@@ -1,0 +1,118 @@
+// Reproduces the heterogeneity evaluation (§IV-C): MatrixMul and SpMV on
+// hybrid GPU+FPGA clusters, normalized to a single GPU node and to a
+// single FPGA node.
+//   - MatrixMul: the same kernel everywhere, different data portions;
+//   - SpMV: stage-partitioned — the data-partition kernel on the GPUs and
+//     the compute kernel on the FPGAs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/spmv_staged.h"
+
+namespace {
+
+using haocl::bench::Amplification;
+using haocl::bench::PaperScale;
+
+double RunSpmvStagedSeconds(std::size_t gpus, std::size_t fpgas,
+                            double scale, const Amplification& amp) {
+  auto cluster = haocl::host::SimCluster::Create(
+      {.gpu_nodes = gpus, .fpga_nodes = fpgas});
+  if (!cluster.ok()) std::exit(1);
+  auto& runtime = (*cluster)->runtime();
+  runtime.timeline().SetAmplification(amp.transfer, amp.compute);
+  std::vector<std::size_t> gpu_nodes;
+  std::vector<std::size_t> fpga_nodes;
+  for (std::size_t i = 0; i < gpus; ++i) gpu_nodes.push_back(i);
+  for (std::size_t i = 0; i < fpgas; ++i) fpga_nodes.push_back(gpus + i);
+  // Homogeneous fallbacks when one class is absent.
+  if (gpu_nodes.empty()) gpu_nodes = fpga_nodes;
+  if (fpga_nodes.empty()) fpga_nodes = gpu_nodes;
+  auto report = haocl::workloads::RunSpmvStaged(runtime, gpu_nodes,
+                                                fpga_nodes, scale);
+  if (!report.ok() || !report->verified) {
+    std::fprintf(stderr, "SpMV staged failed\n");
+    std::exit(1);
+  }
+  return haocl::bench::SteadyStateSeconds(*report, amp);
+}
+
+}  // namespace
+
+int main() {
+  haocl::workloads::RegisterAllNativeKernels();
+  const double scale = 0.25;
+
+  struct Config {
+    const char* label;
+    std::size_t gpus;
+    std::size_t fpgas;
+  };
+  const Config configs[] = {
+      {"1 GPU", 1, 0},   {"2 GPU", 2, 0},   {"4 GPU", 4, 0},
+      {"1 FPGA", 0, 1},  {"2 FPGA", 0, 2},  {"4 FPGA", 0, 4},
+      {"1G+1F", 1, 1},   {"2G+2F", 2, 2},   {"4G+4F", 4, 4},
+  };
+
+  // ---- MatrixMul: data-partitioned across the hybrid cluster -----------
+  auto matmul = haocl::workloads::MakeMatrixMul();
+  auto probe = haocl::bench::MustRun(*matmul, 1, 0, scale, {});
+  const Amplification mm_amp =
+      PaperScale(matmul->paper_input_bytes(), probe.input_bytes, true);
+
+  std::printf("Heterogeneity evaluation (steady-state seconds, and\n");
+  std::printf("performance normalized to 1 GPU and to 1 FPGA)\n\n");
+  std::printf("MatrixMul (same kernel, different data portions)\n");
+  std::printf("%-8s %12s %10s %10s\n", "cluster", "seconds", "vs 1GPU",
+              "vs 1FPGA");
+  double mm_gpu1 = 0.0;
+  double mm_fpga1 = 0.0;
+  std::vector<double> mm_seconds;
+  for (const Config& config : configs) {
+    auto report = haocl::bench::MustRun(*matmul, config.gpus, config.fpgas,
+                                        scale, mm_amp);
+    const double seconds = haocl::bench::SteadyStateSeconds(report, mm_amp);
+    mm_seconds.push_back(seconds);
+    if (std::string(config.label) == "1 GPU") mm_gpu1 = seconds;
+    if (std::string(config.label) == "1 FPGA") mm_fpga1 = seconds;
+  }
+  for (std::size_t i = 0; i < mm_seconds.size(); ++i) {
+    std::printf("%-8s %12.2f %10.2f %10.2f\n", configs[i].label,
+                mm_seconds[i], mm_gpu1 / mm_seconds[i],
+                mm_fpga1 / mm_seconds[i]);
+  }
+
+  // ---- SpMV: partition kernel on GPUs, compute kernel on FPGAs ---------
+  auto spmv = haocl::workloads::MakeSpmv();
+  auto spmv_probe = haocl::bench::MustRun(*spmv, 1, 0, scale, {});
+  const Amplification sp_amp =
+      PaperScale(spmv->paper_input_bytes(), spmv_probe.input_bytes, false);
+
+  std::printf("\nSpMV (stage-partitioned: partition on GPU, compute on "
+              "FPGA)\n");
+  std::printf("%-8s %12s %10s %10s\n", "cluster", "seconds", "vs 1GPU",
+              "vs 1FPGA");
+  std::vector<double> sp_seconds;
+  double sp_gpu1 = 0.0;
+  double sp_fpga1 = 0.0;
+  for (const Config& config : configs) {
+    const double seconds =
+        RunSpmvStagedSeconds(config.gpus, config.fpgas, scale, sp_amp);
+    sp_seconds.push_back(seconds);
+    if (std::string(config.label) == "1 GPU") sp_gpu1 = seconds;
+    if (std::string(config.label) == "1 FPGA") sp_fpga1 = seconds;
+  }
+  for (std::size_t i = 0; i < sp_seconds.size(); ++i) {
+    std::printf("%-8s %12.4f %10.2f %10.2f\n", configs[i].label,
+                sp_seconds[i], sp_gpu1 / sp_seconds[i],
+                sp_fpga1 / sp_seconds[i]);
+  }
+
+  std::printf(
+      "\nExpected shape: performance scales with device count for both\n"
+      "apps; on SpMV (irregular, memory-bound) the FPGA's streaming\n"
+      "pipelines close most of the gap to the GPU, so hybrid clusters use\n"
+      "both device classes productively — the paper's takeaway that \"the\n"
+      "heterogeneity of the devices in the cluster is well utilized\".\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Graph analytics on a cluster: distributed BFS (the paper's GP workload).
+//
+// Demonstrates the frontier-exchange pattern across node counts, the
+// runtime resource monitor, and why communication-bound applications scale
+// worse than compute-bound ones — the behaviour visible in Fig. 2.
+//
+// Usage: ./build/examples/graph_analytics
+#include <cstdio>
+
+#include "host/sim_cluster.h"
+#include "workloads/workload.h"
+
+int main() {
+  haocl::workloads::RegisterAllNativeKernels();
+  std::printf("Distributed BFS, frontier exchange per level\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "nodes", "makespan(s)",
+              "transfer(s)", "compute(s)", "wire bytes");
+
+  double single_node = 0.0;
+  for (std::size_t n : {1, 2, 4, 8}) {
+    auto cluster = haocl::host::SimCluster::Create({.gpu_nodes = n});
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+      return 1;
+    }
+    auto& runtime = (*cluster)->runtime();
+    // Model the paper-scale 240 MB graph while traversing a smaller one.
+    runtime.timeline().SetAmplification(64.0, 64.0);
+
+    std::vector<std::size_t> nodes;
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(i);
+    auto workload = haocl::workloads::MakeBfs();
+    auto report = workload->Run(runtime, nodes, 0.5);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    if (n == 1) single_node = report->virtual_seconds;
+    std::printf("%8zu %12.3f %12.3f %12.3f %14llu  speedup %.2fx %s\n", n,
+                report->virtual_seconds, report->data_transfer_seconds,
+                report->compute_seconds,
+                static_cast<unsigned long long>(report->wire_bytes),
+                single_node / report->virtual_seconds,
+                report->verified ? "[verified]" : "[DIVERGED]");
+
+    // The monitor view the scheduler would consult.
+    auto view = runtime.QueryClusterView();
+    if (view.ok()) {
+      std::printf("         monitor:");
+      for (const auto& node : view->nodes) {
+        std::printf(" %s=%llu", node.name.c_str(),
+                    static_cast<unsigned long long>(node.kernels_executed));
+      }
+      std::printf(" kernels\n");
+    }
+  }
+  std::printf(
+      "\nNote: BFS replicates the graph and exchanges full frontiers per\n"
+      "level, so scaling saturates early — the communication-bound corner\n"
+      "of Fig. 2, in contrast to MatrixMul/CFD.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Quickstart: an UNMODIFIED OpenCL host program running on a HaoCL
+// cluster.
+//
+// The code below is textbook OpenCL 1.2 — platform discovery, context,
+// queue, buffers, program-from-source, kernel, NDRange, read-back. The
+// only HaoCL-specific lines are the two binding calls at the top of main()
+// that stand in for pointing the OpenCL loader at the cluster
+// configuration file. Everything else would compile against any OpenCL
+// implementation; here each call is forwarded over the communication
+// backbone to simulated GPU/FPGA node daemons.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "api/hao_cl.h"
+#include "api/runtime_binding.h"
+#include "workloads/workload.h"
+
+namespace {
+
+const char* kVectorAddSource = R"(
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = a[i] + b[i];
+}
+)";
+
+#define CHECK_CL(expr)                                               \
+  do {                                                               \
+    cl_int _err = (expr);                                            \
+    if (_err != CL_SUCCESS) {                                        \
+      std::fprintf(stderr, "%s failed: %d\n", #expr, _err);          \
+      return 1;                                                      \
+    }                                                                \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  // --- HaoCL setup: a 4-GPU + 2-FPGA cluster inside this process. -------
+  haocl::workloads::RegisterAllNativeKernels();
+  haocl::host::SimCluster::Shape shape;
+  shape.gpu_nodes = 4;
+  shape.fpga_nodes = 2;
+  haocl::host::RuntimeOptions options;
+  // The virtual "HaoCL Cluster" device needs an automatic policy; the
+  // heterogeneity-aware scheduler places each kernel by its cost model.
+  options.scheduler = "hetero";
+  haocl::Status bound = haocl::api::BindSimCluster(shape, options);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "cluster bind failed: %s\n",
+                 bound.ToString().c_str());
+    return 1;
+  }
+
+  // --- From here on: plain OpenCL. ---------------------------------------
+  cl_platform_id platform;
+  CHECK_CL(clGetPlatformIDs(1, &platform, nullptr));
+  char platform_name[64];
+  CHECK_CL(clGetPlatformInfo(platform, CL_PLATFORM_NAME,
+                             sizeof(platform_name), platform_name, nullptr));
+
+  cl_uint num_devices = 0;
+  CHECK_CL(clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL, 0, nullptr,
+                          &num_devices));
+  std::vector<cl_device_id> devices(num_devices);
+  CHECK_CL(clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL, num_devices,
+                          devices.data(), nullptr));
+  std::printf("platform: %s, %u devices\n", platform_name, num_devices);
+  for (cl_device_id device : devices) {
+    char name[128];
+    CHECK_CL(clGetDeviceInfo(device, CL_DEVICE_NAME, sizeof(name), name,
+                             nullptr));
+    std::printf("  - %s\n", name);
+  }
+
+  cl_device_id device = devices[0];  // The virtual cluster device.
+  cl_int err;
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  CHECK_CL(err);
+  cl_command_queue queue =
+      clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+  CHECK_CL(err);
+
+  const int n = 1 << 16;
+  std::vector<float> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = 0.5f * static_cast<float>(i);
+    b[i] = 2.0f * static_cast<float>(i);
+  }
+
+  cl_mem a_mem = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                n * sizeof(float), a.data(), &err);
+  CHECK_CL(err);
+  cl_mem b_mem = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                n * sizeof(float), b.data(), &err);
+  CHECK_CL(err);
+  cl_mem c_mem = clCreateBuffer(context, CL_MEM_WRITE_ONLY, n * sizeof(float),
+                                nullptr, &err);
+  CHECK_CL(err);
+
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &kVectorAddSource, nullptr, &err);
+  CHECK_CL(err);
+  CHECK_CL(clBuildProgram(program, 1, &device, "", nullptr, nullptr));
+  cl_kernel kernel = clCreateKernel(program, "vadd", &err);
+  CHECK_CL(err);
+
+  CHECK_CL(clSetKernelArg(kernel, 0, sizeof(cl_mem), &a_mem));
+  CHECK_CL(clSetKernelArg(kernel, 1, sizeof(cl_mem), &b_mem));
+  CHECK_CL(clSetKernelArg(kernel, 2, sizeof(cl_mem), &c_mem));
+  CHECK_CL(clSetKernelArg(kernel, 3, sizeof(int), &n));
+
+  const size_t global = n;
+  cl_event event;
+  CHECK_CL(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global, nullptr,
+                                  0, nullptr, &event));
+  CHECK_CL(clEnqueueReadBuffer(queue, c_mem, CL_TRUE, 0, n * sizeof(float),
+                               c.data(), 0, nullptr, nullptr));
+  CHECK_CL(clFinish(queue));
+
+  int bad = 0;
+  for (int i = 0; i < n; ++i) {
+    if (c[i] != a[i] + b[i]) ++bad;
+  }
+  cl_ulong start_ns = 0;
+  cl_ulong end_ns = 0;
+  CHECK_CL(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_START,
+                                   sizeof(start_ns), &start_ns, nullptr));
+  CHECK_CL(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_END,
+                                   sizeof(end_ns), &end_ns, nullptr));
+
+  std::printf("vadd over %d elements: %s (modeled kernel time %.1f us)\n", n,
+              bad == 0 ? "PASSED" : "FAILED",
+              static_cast<double>(end_ns - start_ns) / 1e3);
+
+  clReleaseEvent(event);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseMemObject(a_mem);
+  clReleaseMemObject(b_mem);
+  clReleaseMemObject(c_mem);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+  haocl::api::UnbindRuntime();
+  return bad == 0 ? 0 : 1;
+}

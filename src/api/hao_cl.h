@@ -1,0 +1,218 @@
+// hao_cl.h — HaoCL's OpenCL-compatible API surface (the "OpenCL Wrapper
+// Lib" of paper §III-B).
+//
+// "The OpenCL Wrapper Lib adopts identical names as standard OpenCL APIs to
+// maintain good usability and portability." An application written against
+// OpenCL 1.2 C APIs recompiles against this header unchanged; every call is
+// packaged into a message and forwarded to the device node the scheduler
+// picks. Types and constants carry the standard names; values of error
+// codes match the OpenCL specification where one exists.
+//
+// Before the first OpenCL call, bind a cluster runtime (see
+// api/runtime_binding.h) — the analogue of pointing the loader at a
+// cluster configuration file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// ---------------------------------------------------------------- Types
+
+using cl_int = std::int32_t;
+using cl_uint = std::uint32_t;
+using cl_long = std::int64_t;
+using cl_ulong = std::uint64_t;
+using cl_bool = cl_uint;
+using cl_bitfield = cl_ulong;
+using cl_device_type = cl_bitfield;
+using cl_mem_flags = cl_bitfield;
+using cl_command_queue_properties = cl_bitfield;
+using cl_platform_info = cl_uint;
+using cl_device_info = cl_uint;
+using cl_program_build_info = cl_uint;
+using cl_profiling_info = cl_uint;
+using cl_context_properties = std::intptr_t;
+
+struct _cl_platform_id;
+struct _cl_device_id;
+struct _cl_context;
+struct _cl_command_queue;
+struct _cl_mem;
+struct _cl_program;
+struct _cl_kernel;
+struct _cl_event;
+
+using cl_platform_id = _cl_platform_id*;
+using cl_device_id = _cl_device_id*;
+using cl_context = _cl_context*;
+using cl_command_queue = _cl_command_queue*;
+using cl_mem = _cl_mem*;
+using cl_program = _cl_program*;
+using cl_kernel = _cl_kernel*;
+using cl_event = _cl_event*;
+
+// ------------------------------------------------------------- Constants
+
+inline constexpr cl_int CL_SUCCESS = 0;
+inline constexpr cl_int CL_DEVICE_NOT_FOUND = -1;
+inline constexpr cl_int CL_DEVICE_NOT_AVAILABLE = -2;
+inline constexpr cl_int CL_COMPILER_NOT_AVAILABLE = -3;
+inline constexpr cl_int CL_MEM_OBJECT_ALLOCATION_FAILURE = -4;
+inline constexpr cl_int CL_OUT_OF_RESOURCES = -5;
+inline constexpr cl_int CL_OUT_OF_HOST_MEMORY = -6;
+inline constexpr cl_int CL_BUILD_PROGRAM_FAILURE = -11;
+inline constexpr cl_int CL_INVALID_VALUE = -30;
+inline constexpr cl_int CL_INVALID_DEVICE_TYPE = -31;
+inline constexpr cl_int CL_INVALID_PLATFORM = -32;
+inline constexpr cl_int CL_INVALID_DEVICE = -33;
+inline constexpr cl_int CL_INVALID_CONTEXT = -34;
+inline constexpr cl_int CL_INVALID_QUEUE_PROPERTIES = -35;
+inline constexpr cl_int CL_INVALID_COMMAND_QUEUE = -36;
+inline constexpr cl_int CL_INVALID_MEM_OBJECT = -38;
+inline constexpr cl_int CL_INVALID_PROGRAM = -44;
+inline constexpr cl_int CL_INVALID_PROGRAM_EXECUTABLE = -45;
+inline constexpr cl_int CL_INVALID_KERNEL_NAME = -46;
+inline constexpr cl_int CL_INVALID_KERNEL = -48;
+inline constexpr cl_int CL_INVALID_ARG_INDEX = -49;
+inline constexpr cl_int CL_INVALID_ARG_VALUE = -50;
+inline constexpr cl_int CL_INVALID_ARG_SIZE = -51;
+inline constexpr cl_int CL_INVALID_KERNEL_ARGS = -52;
+inline constexpr cl_int CL_INVALID_WORK_DIMENSION = -53;
+inline constexpr cl_int CL_INVALID_WORK_GROUP_SIZE = -54;
+inline constexpr cl_int CL_INVALID_WORK_ITEM_SIZE = -55;
+inline constexpr cl_int CL_INVALID_EVENT = -58;
+inline constexpr cl_int CL_INVALID_OPERATION = -59;
+inline constexpr cl_int CL_INVALID_BUFFER_SIZE = -61;
+
+inline constexpr cl_bool CL_FALSE = 0;
+inline constexpr cl_bool CL_TRUE = 1;
+
+inline constexpr cl_device_type CL_DEVICE_TYPE_DEFAULT = 1 << 0;
+inline constexpr cl_device_type CL_DEVICE_TYPE_CPU = 1 << 1;
+inline constexpr cl_device_type CL_DEVICE_TYPE_GPU = 1 << 2;
+inline constexpr cl_device_type CL_DEVICE_TYPE_ACCELERATOR = 1 << 3;  // FPGA
+inline constexpr cl_device_type CL_DEVICE_TYPE_CUSTOM = 1 << 4;
+inline constexpr cl_device_type CL_DEVICE_TYPE_ALL = 0xFFFFFFFF;
+
+inline constexpr cl_mem_flags CL_MEM_READ_WRITE = 1 << 0;
+inline constexpr cl_mem_flags CL_MEM_WRITE_ONLY = 1 << 1;
+inline constexpr cl_mem_flags CL_MEM_READ_ONLY = 1 << 2;
+inline constexpr cl_mem_flags CL_MEM_USE_HOST_PTR = 1 << 3;
+inline constexpr cl_mem_flags CL_MEM_ALLOC_HOST_PTR = 1 << 4;
+inline constexpr cl_mem_flags CL_MEM_COPY_HOST_PTR = 1 << 5;
+
+inline constexpr cl_command_queue_properties CL_QUEUE_PROFILING_ENABLE = 1
+                                                                         << 1;
+
+inline constexpr cl_platform_info CL_PLATFORM_PROFILE = 0x0900;
+inline constexpr cl_platform_info CL_PLATFORM_VERSION = 0x0901;
+inline constexpr cl_platform_info CL_PLATFORM_NAME = 0x0902;
+inline constexpr cl_platform_info CL_PLATFORM_VENDOR = 0x0903;
+
+inline constexpr cl_device_info CL_DEVICE_TYPE = 0x1000;
+inline constexpr cl_device_info CL_DEVICE_MAX_COMPUTE_UNITS = 0x1002;
+inline constexpr cl_device_info CL_DEVICE_MAX_WORK_GROUP_SIZE = 0x1004;
+inline constexpr cl_device_info CL_DEVICE_GLOBAL_MEM_SIZE = 0x101F;
+inline constexpr cl_device_info CL_DEVICE_NAME = 0x102B;
+inline constexpr cl_device_info CL_DEVICE_VENDOR = 0x102C;
+inline constexpr cl_device_info CL_DEVICE_VERSION = 0x102F;
+
+inline constexpr cl_program_build_info CL_PROGRAM_BUILD_STATUS = 0x1181;
+inline constexpr cl_program_build_info CL_PROGRAM_BUILD_LOG = 0x1183;
+
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_QUEUED = 0x1280;
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_SUBMIT = 0x1281;
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_START = 0x1282;
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_END = 0x1283;
+
+// ------------------------------------------------------------- Entry points
+
+extern "C" {
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms);
+cl_int clGetPlatformInfo(cl_platform_id platform, cl_platform_info param_name,
+                         size_t param_value_size, void* param_value,
+                         size_t* param_value_size_ret);
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type device_type,
+                      cl_uint num_entries, cl_device_id* devices,
+                      cl_uint* num_devices);
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param_name,
+                       size_t param_value_size, void* param_value,
+                       size_t* param_value_size_ret);
+
+cl_context clCreateContext(const cl_context_properties* properties,
+                           cl_uint num_devices, const cl_device_id* devices,
+                           void (*pfn_notify)(const char*, const void*,
+                                              size_t, void*),
+                           void* user_data, cl_int* errcode_ret);
+cl_int clRetainContext(cl_context context);
+cl_int clReleaseContext(cl_context context);
+
+cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_command_queue_properties properties,
+                                      cl_int* errcode_ret);
+cl_int clRetainCommandQueue(cl_command_queue queue);
+cl_int clReleaseCommandQueue(cl_command_queue queue);
+
+cl_mem clCreateBuffer(cl_context context, cl_mem_flags flags, size_t size,
+                      void* host_ptr, cl_int* errcode_ret);
+cl_int clRetainMemObject(cl_mem mem);
+cl_int clReleaseMemObject(cl_mem mem);
+
+cl_program clCreateProgramWithSource(cl_context context, cl_uint count,
+                                     const char** strings,
+                                     const size_t* lengths,
+                                     cl_int* errcode_ret);
+cl_int clBuildProgram(cl_program program, cl_uint num_devices,
+                      const cl_device_id* device_list, const char* options,
+                      void (*pfn_notify)(cl_program, void*), void* user_data);
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id device,
+                             cl_program_build_info param_name,
+                             size_t param_value_size, void* param_value,
+                             size_t* param_value_size_ret);
+cl_int clRetainProgram(cl_program program);
+cl_int clReleaseProgram(cl_program program);
+
+cl_kernel clCreateKernel(cl_program program, const char* kernel_name,
+                         cl_int* errcode_ret);
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+                      const void* arg_value);
+cl_int clRetainKernel(cl_kernel kernel);
+cl_int clReleaseKernel(cl_kernel kernel);
+
+cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
+                            cl_bool blocking_write, size_t offset,
+                            size_t size, const void* ptr,
+                            cl_uint num_events_in_wait_list,
+                            const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
+                           cl_bool blocking_read, size_t offset, size_t size,
+                           void* ptr, cl_uint num_events_in_wait_list,
+                           const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueCopyBuffer(cl_command_queue queue, cl_mem src_buffer,
+                           cl_mem dst_buffer, size_t src_offset,
+                           size_t dst_offset, size_t size,
+                           cl_uint num_events_in_wait_list,
+                           const cl_event* event_wait_list, cl_event* event);
+cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
+                              cl_uint work_dim,
+                              const size_t* global_work_offset,
+                              const size_t* global_work_size,
+                              const size_t* local_work_size,
+                              cl_uint num_events_in_wait_list,
+                              const cl_event* event_wait_list,
+                              cl_event* event);
+
+cl_int clFlush(cl_command_queue queue);
+cl_int clFinish(cl_command_queue queue);
+
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list);
+cl_int clGetEventProfilingInfo(cl_event event, cl_profiling_info param_name,
+                               size_t param_value_size, void* param_value,
+                               size_t* param_value_size_ret);
+cl_int clRetainEvent(cl_event event);
+cl_int clReleaseEvent(cl_event event);
+
+}  // extern "C"

@@ -1,0 +1,36 @@
+// Binding between the C API surface and a ClusterRuntime instance.
+//
+// A real OpenCL loader finds its ICD through /etc/OpenCL/vendors; HaoCL
+// finds its cluster through this binding. Applications (or test fixtures)
+// either bind an existing runtime or ask the binding to own an in-process
+// SimCluster built from a cluster configuration file.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "host/cluster_runtime.h"
+#include "host/sim_cluster.h"
+
+namespace haocl::api {
+
+// Binds a non-owning runtime pointer; the caller keeps it alive until
+// UnbindRuntime(). Replaces any previous binding.
+void BindRuntime(host::ClusterRuntime* runtime);
+
+// Convenience: creates and owns an in-process cluster of the given shape.
+Status BindSimCluster(host::SimCluster::Shape shape,
+                      host::RuntimeOptions options = {});
+
+// Convenience: cluster from a configuration file path (the deployment
+// style the paper describes for the host process).
+Status BindSimClusterFromConfigFile(const std::string& path,
+                                    host::RuntimeOptions options = {});
+
+// The currently bound runtime, or nullptr.
+host::ClusterRuntime* BoundRuntime();
+
+// Drops the binding (and any owned SimCluster).
+void UnbindRuntime();
+
+}  // namespace haocl::api

@@ -1,0 +1,95 @@
+#include "baseline/snucl_d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace haocl::baseline {
+
+BaselineResult SnuClDModel::Run(const WorkloadProfile& workload,
+                                std::size_t gpu_nodes) const {
+  BaselineResult result;
+  if (!workload.supported_by_snucl || gpu_nodes == 0) {
+    return result;  // unsupported
+  }
+  result.supported = true;
+  const sim::DeviceSpec gpu = sim::TeslaP4();
+
+  // Data replication: the input set travels to every node through the
+  // host uplink (serialized), so transfer grows linearly in node count.
+  result.transfer_seconds =
+      static_cast<double>(gpu_nodes) *
+          link_.TransferTime(workload.input_bytes) +
+      link_.TransferTime(workload.output_bytes);
+
+  // Coarse-grained static partitioning: per-node share with a straggler
+  // penalty that grows with the partition count on skewed workloads.
+  sim::KernelCost share;
+  share.flops = workload.total_flops / static_cast<double>(gpu_nodes);
+  share.bytes = workload.total_mem_bytes / static_cast<double>(gpu_nodes);
+  share.irregular = workload.irregular;
+  const double straggler =
+      1.0 + workload.skew * std::log2(static_cast<double>(gpu_nodes) + 1.0);
+  result.compute_seconds = sim::ModelKernelTime(gpu, share) * straggler;
+
+  // Redundant control processing: every node replays every command.
+  const double control = static_cast<double>(workload.command_count) *
+                         static_cast<double>(gpu_nodes) *
+                         (link_.per_message_s + 30e-6);
+
+  result.seconds = result.transfer_seconds + result.compute_seconds + control;
+  return result;
+}
+
+WorkloadProfile ProfileFor(const std::string& app_name, double scale) {
+  WorkloadProfile profile;
+  profile.name = app_name;
+  if (app_name == "MatrixMul") {
+    const double n = std::max(32.0, 256.0 * std::sqrt(scale));
+    profile.input_bytes = static_cast<std::uint64_t>(2 * n * n * 4);
+    profile.output_bytes = static_cast<std::uint64_t>(n * n * 4);
+    profile.total_flops = 2.0 * n * n * n;
+    profile.total_mem_bytes = 3.0 * n * n * 4;
+    profile.skew = 0.02;  // Dense: near-perfect static balance.
+    profile.command_count = 16;
+  } else if (app_name == "CFD") {
+    const double cells = std::max(1024.0, 40000.0 * scale);
+    profile.input_bytes = static_cast<std::uint64_t>(cells * 4 * 9);
+    profile.output_bytes = static_cast<std::uint64_t>(cells * 4);
+    profile.total_flops = cells * 4 /*faces*/ * 8 /*flops*/ * 8 /*iters*/;
+    profile.total_mem_bytes = cells * 4.0 * 10 * 8;
+    profile.skew = 0.15;
+    profile.command_count = 8;
+    profile.supported_by_snucl = false;  // Paper §IV-B.
+  } else if (app_name == "kNN") {
+    const double points = std::max(1024.0, 200000.0 * scale);
+    profile.input_bytes = static_cast<std::uint64_t>(points * 8);
+    profile.output_bytes = 1024;
+    profile.total_flops = points * 5 + points * 8 /*selection*/;
+    profile.total_mem_bytes = points * 12.0;
+    profile.skew = 0.05;
+    profile.command_count = 32;
+  } else if (app_name == "BFS") {
+    const double vertices = std::max(1000.0, 20000.0 * scale);
+    const double edges = vertices * 8;
+    profile.input_bytes = static_cast<std::uint64_t>((vertices + edges) * 4);
+    profile.output_bytes = static_cast<std::uint64_t>(vertices * 4);
+    profile.total_flops = edges * 2;
+    profile.total_mem_bytes = edges * 8.0;
+    profile.irregular = true;
+    profile.skew = 0.35;  // Frontier imbalance hurts static partitions.
+    profile.command_count = 64;  // One launch per node per level.
+  } else if (app_name == "SpMV") {
+    const double rows = std::max(256.0, 20000.0 * scale);
+    const double nnz = rows * 64;
+    profile.input_bytes = static_cast<std::uint64_t>(nnz * 8 + rows * 8);
+    profile.output_bytes = static_cast<std::uint64_t>(rows * 4);
+    profile.total_flops = 2.0 * nnz;
+    profile.total_mem_bytes = nnz * 12.0;
+    profile.irregular = true;
+    profile.skew = 0.25;  // Skewed row lengths.
+    profile.command_count = 24;
+  }
+  return profile;
+}
+
+}  // namespace haocl::baseline

@@ -1,0 +1,69 @@
+// SnuCL-D comparator (Fig. 2's "SnuCL" series).
+//
+// SnuCL-D [Kim et al., PLDI'16] is a decentralized distributed OpenCL
+// framework built on redundant computation and data replication. We model
+// the consequences of that design, calibrated against the same device and
+// link models HaoCL's virtual timeline uses, so the Fig. 2 comparison is
+// apples-to-apples:
+//   - GPU (and CPU) only: no FPGA support;
+//   - input data replicated to every participating node (the replication
+//    design), so transfer cost grows with node count instead of staying
+//    flat like HaoCL's partitioned scatter;
+//   - coarse-grained static partitioning: per-node share is fixed up
+//     front; skewed workloads pay a straggler penalty that grows with the
+//     node count;
+//   - per-command redundant control processing on every node (cheap, but
+//     proportional to node count x commands).
+// The paper also notes: "CFD cannot be implemented on SnuCL-D without
+// significant change" — modeled as unsupported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sim/device_model.h"
+#include "sim/network_model.h"
+
+namespace haocl::baseline {
+
+// Workload summary the model consumes (produced by the bench harness from
+// the same generators HaoCL runs).
+struct WorkloadProfile {
+  std::string name;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  double total_flops = 0.0;
+  double total_mem_bytes = 0.0;
+  bool irregular = false;     // Divergent kernels (BFS, SpMV).
+  double skew = 0.0;          // Work imbalance in [0, 1] under coarse
+                              // static partitioning.
+  int command_count = 1;      // Kernel launches per run.
+  bool supported_by_snucl = true;  // CFD: false.
+};
+
+struct BaselineResult {
+  bool supported = false;
+  double seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double compute_seconds = 0.0;
+};
+
+class SnuClDModel {
+ public:
+  explicit SnuClDModel(sim::LinkSpec link = sim::GigabitEthernet())
+      : link_(link) {}
+
+  // Estimated end-to-end seconds on `gpu_nodes` GPU nodes.
+  [[nodiscard]] BaselineResult Run(const WorkloadProfile& workload,
+                                   std::size_t gpu_nodes) const;
+
+ private:
+  sim::LinkSpec link_;
+};
+
+// Profiles for the five Table-I apps at a given scale factor, matching the
+// sizes the HaoCL-side harness generates.
+WorkloadProfile ProfileFor(const std::string& app_name, double scale);
+
+}  // namespace haocl::baseline

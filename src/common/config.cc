@@ -1,0 +1,136 @@
+#include "common/config.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace haocl {
+namespace {
+
+std::vector<std::string_view> SplitWhitespace(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+const char* NodeTypeName(NodeType type) noexcept {
+  switch (type) {
+    case NodeType::kCpu: return "cpu";
+    case NodeType::kGpu: return "gpu";
+    case NodeType::kFpga: return "fpga";
+  }
+  return "unknown";
+}
+
+Expected<NodeType> ParseNodeType(std::string_view text) {
+  if (text == "cpu") return NodeType::kCpu;
+  if (text == "gpu") return NodeType::kGpu;
+  if (text == "fpga") return NodeType::kFpga;
+  return Status(ErrorCode::kInvalidValue,
+                "unknown node type: " + std::string(text));
+}
+
+Expected<ClusterConfig> ClusterConfig::Parse(std::string_view text) {
+  ClusterConfig config;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+
+    if (std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    auto tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+
+    auto error = [&](const std::string& what) {
+      return Status(ErrorCode::kInvalidValue,
+                    "config line " + std::to_string(line_no) + ": " + what);
+    };
+
+    if (tokens[0] == "node") {
+      if (tokens.size() != 5) return error("expected: node NAME TYPE ADDR PORT");
+      auto type = ParseNodeType(tokens[2]);
+      if (!type.ok()) return error(type.status().message());
+      std::uint32_t port = 0;
+      auto [ptr, ec] = std::from_chars(
+          tokens[4].data(), tokens[4].data() + tokens[4].size(), port);
+      if (ec != std::errc() || ptr != tokens[4].data() + tokens[4].size() ||
+          port > 65535) {
+        return error("bad port: " + std::string(tokens[4]));
+      }
+      config.nodes_.push_back(NodeEntry{std::string(tokens[1]), *type,
+                                        std::string(tokens[3]),
+                                        static_cast<std::uint16_t>(port)});
+    } else if (tokens[0] == "option") {
+      if (tokens.size() != 3) return error("expected: option KEY VALUE");
+      config.options_[std::string(tokens[1])] = std::string(tokens[2]);
+    } else {
+      return error("unknown directive: " + std::string(tokens[0]));
+    }
+  }
+  return config;
+}
+
+Expected<ClusterConfig> ClusterConfig::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(ErrorCode::kInvalidValue, "cannot open config: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::size_t ClusterConfig::CountByType(NodeType type) const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.type == type) ++n;
+  }
+  return n;
+}
+
+std::string ClusterConfig::GetOption(const std::string& key,
+                                     std::string default_value) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? std::move(default_value) : it->second;
+}
+
+std::int64_t ClusterConfig::GetOptionInt(const std::string& key,
+                                         std::int64_t default_value) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return default_value;
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(
+      it->second.data(), it->second.data() + it->second.size(), value);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+    return default_value;
+  }
+  return value;
+}
+
+std::string ClusterConfig::Serialize() const {
+  std::ostringstream out;
+  for (const auto& node : nodes_) {
+    out << "node " << node.name << " " << NodeTypeName(node.type) << " "
+        << node.address << " " << node.port << "\n";
+  }
+  for (const auto& [key, value] : options_) {
+    out << "option " << key << " " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace haocl

@@ -1,0 +1,62 @@
+// Cluster configuration: the paper's host process "reads the address and
+// port defined in a system configuration file and creates a message and a
+// data listener for each node". This module parses that file format.
+//
+// Format (one node per line, '#' comments):
+//   node <name> <type:cpu|gpu|fpga> <address> <port>
+//   option <key> <value>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace haocl {
+
+enum class NodeType : std::uint8_t { kCpu = 0, kGpu = 1, kFpga = 2 };
+
+const char* NodeTypeName(NodeType type) noexcept;
+Expected<NodeType> ParseNodeType(std::string_view text);
+
+struct NodeEntry {
+  std::string name;
+  NodeType type = NodeType::kCpu;
+  std::string address;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const NodeEntry&, const NodeEntry&) = default;
+};
+
+// Parsed cluster configuration file.
+class ClusterConfig {
+ public:
+  static Expected<ClusterConfig> Parse(std::string_view text);
+  static Expected<ClusterConfig> LoadFile(const std::string& path);
+
+  [[nodiscard]] const std::vector<NodeEntry>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t CountByType(NodeType type) const;
+
+  // Options default when absent; unknown keys are preserved (forward
+  // compatibility with user scheduling policies that read custom options).
+  [[nodiscard]] std::string GetOption(const std::string& key,
+                                      std::string default_value) const;
+  [[nodiscard]] std::int64_t GetOptionInt(const std::string& key,
+                                          std::int64_t default_value) const;
+
+  void AddNode(NodeEntry entry) { nodes_.push_back(std::move(entry)); }
+  void SetOption(std::string key, std::string value) {
+    options_[std::move(key)] = std::move(value);
+  }
+
+  [[nodiscard]] std::string Serialize() const;
+
+ private:
+  std::vector<NodeEntry> nodes_;
+  std::unordered_map<std::string, std::string> options_;
+};
+
+}  // namespace haocl

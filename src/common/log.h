@@ -1,0 +1,60 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. Severity is
+// controlled globally (benchmarks silence it; tests can capture it).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace haocl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+
+// One log statement. Accumulates into a stream, emits on destruction so a
+// single write() keeps concurrent log lines from interleaving.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the streamed expression when the level is disabled.
+  void operator&(const LogMessage&) const noexcept {}
+};
+
+}  // namespace internal
+
+#define HAOCL_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::haocl::GetLogLevel()))
+
+#define HAOCL_LOG(level)                                       \
+  !HAOCL_LOG_ENABLED(::haocl::LogLevel::level)                 \
+      ? (void)0                                                \
+      : ::haocl::internal::LogSink() &                         \
+            ::haocl::internal::LogMessage(::haocl::LogLevel::level, \
+                                          __FILE__, __LINE__)
+
+#define HAOCL_DEBUG HAOCL_LOG(kDebug)
+#define HAOCL_INFO HAOCL_LOG(kInfo)
+#define HAOCL_WARN HAOCL_LOG(kWarn)
+#define HAOCL_ERROR HAOCL_LOG(kError)
+
+}  // namespace haocl

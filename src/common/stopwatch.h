@@ -1,0 +1,63 @@
+// Wall-clock stopwatch plus a phase accumulator used by the breakdown
+// analysis (Fig. 3): DataCreate / DataTransfer / Compute buckets.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace haocl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  [[nodiscard]] double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates named durations (virtual or wall time) for breakdown reports.
+class PhaseAccumulator {
+ public:
+  void Add(const std::string& phase, double seconds) {
+    auto [it, inserted] = index_.try_emplace(phase, phases_.size());
+    if (inserted) phases_.push_back({phase, 0.0});
+    phases_[it->second].seconds += seconds;
+  }
+
+  [[nodiscard]] double Get(const std::string& phase) const {
+    auto it = index_.find(phase);
+    return it == index_.end() ? 0.0 : phases_[it->second].seconds;
+  }
+
+  [[nodiscard]] double Total() const {
+    double total = 0.0;
+    for (const auto& p : phases_) total += p.seconds;
+    return total;
+  }
+
+  struct Entry {
+    std::string name;
+    double seconds;
+  };
+  // Insertion order, so reports are stable.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return phases_; }
+
+  void Clear() {
+    phases_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::vector<Entry> phases_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace haocl

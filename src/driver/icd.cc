@@ -1,0 +1,42 @@
+#include "driver/icd.h"
+
+namespace haocl::driver {
+
+IcdRegistry::IcdRegistry() {
+  factories_[static_cast<std::uint8_t>(NodeType::kCpu)] = MakeCpuDriver;
+  factories_[static_cast<std::uint8_t>(NodeType::kGpu)] = MakeGpuDriver;
+  factories_[static_cast<std::uint8_t>(NodeType::kFpga)] = MakeFpgaDriver;
+}
+
+IcdRegistry& IcdRegistry::Instance() {
+  static auto* instance = new IcdRegistry();
+  return *instance;
+}
+
+void IcdRegistry::Install(NodeType type, DriverFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[static_cast<std::uint8_t>(type)] = std::move(factory);
+}
+
+Expected<std::unique_ptr<DeviceDriver>> IcdRegistry::Create(
+    NodeType type) const {
+  DriverFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(static_cast<std::uint8_t>(type));
+    if (it == factories_.end()) {
+      return Status(ErrorCode::kDeviceNotFound,
+                    std::string("no ICD driver installed for ") +
+                        NodeTypeName(type));
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+bool IcdRegistry::Has(NodeType type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(static_cast<std::uint8_t>(type)) != 0;
+}
+
+}  // namespace haocl::driver

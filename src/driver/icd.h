@@ -1,0 +1,41 @@
+// Installable Client Driver dispatch.
+//
+// The paper extends the OpenCL ICD so that "each call to the standard
+// OpenCL APIs can be executed ... according to the remote devices and
+// vendor drivers". Here the ICD is a registry mapping a device type to a
+// driver factory; the NMP asks the ICD for the driver matching its node
+// type, and tests install fake drivers to exercise dispatch.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "driver/device_driver.h"
+
+namespace haocl::driver {
+
+using DriverFactory = std::function<std::unique_ptr<DeviceDriver>()>;
+
+class IcdRegistry {
+ public:
+  // Pre-populated with the three built-in vendor drivers.
+  static IcdRegistry& Instance();
+
+  // Installs (or replaces) the factory for a device type.
+  void Install(NodeType type, DriverFactory factory);
+
+  // Instantiates a driver for the device type; error if none installed.
+  Expected<std::unique_ptr<DeviceDriver>> Create(NodeType type) const;
+
+  [[nodiscard]] bool Has(NodeType type) const;
+
+ private:
+  IcdRegistry();
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint8_t, DriverFactory> factories_;
+};
+
+}  // namespace haocl::driver

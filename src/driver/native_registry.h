@@ -1,0 +1,58 @@
+// Registry of pre-built native kernel implementations.
+//
+// This models two real mechanisms at once:
+//  - the paper's FPGA flow, where "tasks are pre-built as executable
+//    binaries with the bitstreams" — the FPGA driver can only run kernels
+//    whose binary is registered here;
+//  - vendor-tuned kernel libraries on CPU/GPU, which those drivers use as a
+//    fast path when available (falling back to the online compiler).
+//
+// Equivalence between a native kernel and the interpreted OpenCL C source
+// is enforced by property tests in tests/workloads/.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oclc/vm.h"
+
+namespace haocl::driver {
+
+// A native kernel receives the same bindings and range the VM would.
+using NativeKernelFn =
+    std::function<Status(const std::vector<oclc::ArgBinding>& args,
+                         const oclc::NDRange& range)>;
+
+// Process-wide registry (thread-safe). Keys are kernel function names.
+class NativeKernelRegistry {
+ public:
+  static NativeKernelRegistry& Instance();
+
+  void Register(const std::string& kernel_name, NativeKernelFn fn);
+  [[nodiscard]] bool Contains(const std::string& kernel_name) const;
+  [[nodiscard]] const NativeKernelFn* Find(
+      const std::string& kernel_name) const;
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  // Test hook: remove one entry (e.g. to exercise the FPGA missing-
+  // bitstream error path).
+  void Unregister(const std::string& kernel_name);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, NativeKernelFn> kernels_;
+};
+
+// Static-initialization helper:
+//   HAOCL_REGISTER_NATIVE_KERNEL("matmul_partition", fn);
+struct NativeKernelRegistration {
+  NativeKernelRegistration(const std::string& name, NativeKernelFn fn) {
+    NativeKernelRegistry::Instance().Register(name, std::move(fn));
+  }
+};
+
+}  // namespace haocl::driver

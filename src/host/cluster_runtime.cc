@@ -1,0 +1,574 @@
+#include "host/cluster_runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "driver/device_driver.h"
+#include "driver/native_registry.h"
+
+namespace haocl::host {
+
+using net::Message;
+using net::MsgType;
+
+ClusterRuntime::ClusterRuntime(Options options)
+    : options_(std::move(options)) {}
+
+ClusterRuntime::~ClusterRuntime() { Disconnect(); }
+
+Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
+    std::vector<net::ConnectionPtr> connections, Options options) {
+  if (connections.empty()) {
+    return Status(ErrorCode::kInvalidValue, "no node connections supplied");
+  }
+  auto policy = sched::MakePolicyByName(options.scheduler);
+  if (!policy.ok()) return policy.status();
+
+  std::unique_ptr<ClusterRuntime> runtime(
+      new ClusterRuntime(std::move(options)));
+  runtime->policy_ = *std::move(policy);
+  runtime->scheduler_name_ = runtime->options_.scheduler;
+
+  // Handshake: one hello per node; replies populate the device table and
+  // the virtual topology ("the backbone obtains the device's id of each
+  // compute node and records this mapping").
+  ClusterConfig topo_config;
+  for (auto& connection : connections) {
+    runtime->nodes_.push_back(
+        std::make_unique<net::RpcClient>(std::move(connection)));
+  }
+  for (std::size_t i = 0; i < runtime->nodes_.size(); ++i) {
+    net::HelloRequest hello;
+    hello.host_name = runtime->options_.host_name;
+    auto reply = runtime->nodes_[i]->Call(MsgType::kHelloRequest,
+                                          runtime->options_.session_id,
+                                          hello.Encode(),
+                                          runtime->options_.rpc_timeout);
+    if (!reply.ok()) {
+      return Status(ErrorCode::kNodeUnreachable,
+                    "handshake with node " + std::to_string(i) +
+                        " failed: " + reply.status().message());
+    }
+    if (reply->type != MsgType::kHelloReply) {
+      return Status(ErrorCode::kProtocolError,
+                    "unexpected handshake reply type");
+    }
+    auto decoded = net::HelloReply::Decode(reply->payload);
+    if (!decoded.ok()) return decoded.status();
+    DeviceInfo info;
+    info.name = decoded->node_name;
+    info.type = decoded->device_type;
+    info.model = decoded->device_model;
+    info.compute_gflops = decoded->compute_gflops;
+    info.mem_bandwidth_gbps = decoded->mem_bandwidth_gbps;
+    runtime->devices_.push_back(std::move(info));
+    topo_config.AddNode(NodeEntry{decoded->node_name, decoded->device_type,
+                                  "sim", 0});
+  }
+  runtime->timeline_ = std::make_unique<VirtualTimeline>(
+      sim::ClusterTopology::FromConfig(topo_config, runtime->options_.link));
+  runtime->node_busy_ahead_.assign(runtime->nodes_.size(), 0.0);
+  runtime->observed_sec_per_flop_.assign(runtime->nodes_.size(), 0.0);
+  return runtime;
+}
+
+std::vector<std::size_t> ClusterRuntime::DevicesOfType(NodeType type) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+Status ClusterRuntime::CheckReply(const Expected<Message>& reply,
+                                  MsgType expected_type) const {
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kStatusReply) {
+    auto status = net::StatusReply::Decode(reply->payload);
+    if (!status.ok()) return status.status();
+    if (expected_type == MsgType::kStatusReply) return status->ToStatus();
+    // Status where data was expected: it must be an error report.
+    Status s = status->ToStatus();
+    if (s.ok()) {
+      return Status(ErrorCode::kProtocolError,
+                    "node sent OK status where data was expected");
+    }
+    return s;
+  }
+  if (reply->type != expected_type) {
+    return Status(ErrorCode::kProtocolError,
+                  std::string("unexpected reply type ") +
+                      net::MsgTypeName(reply->type));
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- Buffers
+
+Expected<BufferId> ClusterRuntime::CreateBuffer(std::uint64_t size) {
+  if (size == 0) {
+    return Status(ErrorCode::kInvalidBufferSize, "zero-sized buffer");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const BufferId id = next_buffer_id_++;
+  LogicalBuffer& buffer = buffers_[id];
+  buffer.size = size;
+  buffer.shadow.assign(size, 0);
+  buffer.host_valid = true;
+  buffer.valid_on.assign(nodes_.size(), false);
+  buffer.allocated_on.assign(nodes_.size(), false);
+  return id;
+}
+
+Status ClusterRuntime::WriteBuffer(BufferId id, std::uint64_t offset,
+                                   const void* data, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+  }
+  LogicalBuffer& buffer = it->second;
+  if (offset + size > buffer.size) {
+    return Status(ErrorCode::kInvalidValue, "write beyond buffer end");
+  }
+  // Partial write to a host-stale buffer must first gather the current
+  // contents, or the unwritten part of the shadow would be garbage.
+  if (!buffer.host_valid && !(offset == 0 && size == buffer.size)) {
+    HAOCL_RETURN_IF_ERROR(FetchToHost(id, buffer));
+  }
+  std::memcpy(buffer.shadow.data() + offset, data, size);
+  buffer.host_valid = true;
+  std::fill(buffer.valid_on.begin(), buffer.valid_on.end(), false);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::FetchToHost(BufferId id, LogicalBuffer& buffer) {
+  // Find any node holding a valid replica.
+  std::size_t owner = nodes_.size();
+  for (std::size_t i = 0; i < buffer.valid_on.size(); ++i) {
+    if (buffer.valid_on[i]) {
+      owner = i;
+      break;
+    }
+  }
+  if (owner == nodes_.size()) {
+    return Status(ErrorCode::kInternal,
+                  "buffer " + std::to_string(id) + " has no valid copy");
+  }
+  net::ReadBufferRequest request;
+  request.buffer_id = id;
+  request.offset = 0;
+  request.size = buffer.size;
+  auto reply = nodes_[owner]->Call(MsgType::kReadBuffer, options_.session_id,                                   request.Encode(), options_.rpc_timeout);
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
+  if (reply->payload.size() != buffer.size) {
+    return Status(ErrorCode::kProtocolError, "short buffer read");
+  }
+  buffer.shadow = reply->payload;
+  buffer.host_valid = true;
+  timeline_->RecordTransferFromNode(owner, buffer.size);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::ReadBuffer(BufferId id, std::uint64_t offset,
+                                  void* data, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+  }
+  LogicalBuffer& buffer = it->second;
+  if (offset + size > buffer.size) {
+    return Status(ErrorCode::kInvalidValue, "read beyond buffer end");
+  }
+  if (!buffer.host_valid) {
+    HAOCL_RETURN_IF_ERROR(FetchToHost(id, buffer));
+  }
+  std::memcpy(data, buffer.shadow.data() + offset, size);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::ReleaseBuffer(BufferId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!it->second.allocated_on[i]) continue;
+    net::ReleaseBufferRequest request;
+    request.buffer_id = id;
+    auto reply = nodes_[i]->Call(MsgType::kReleaseBuffer, options_.session_id,                                 request.Encode(), options_.rpc_timeout);
+    Status status = CheckReply(reply, MsgType::kStatusReply);
+    if (!status.ok()) {
+      HAOCL_WARN << "release of buffer " << id << " on node " << i
+                 << " failed: " << status.ToString();
+    }
+  }
+  buffers_.erase(it);
+  return Status::Ok();
+}
+
+Expected<std::uint64_t> ClusterRuntime::BufferSize(BufferId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+  }
+  return it->second.size;
+}
+
+Status ClusterRuntime::EnsureBufferOnNode(BufferId id, LogicalBuffer& buffer,
+                                          std::size_t node,
+                                          std::uint64_t* bytes_shipped) {
+  if (!buffer.allocated_on[node]) {
+    net::CreateBufferRequest request;
+    request.buffer_id = id;
+    request.size = buffer.size;
+    auto reply = nodes_[node]->Call(MsgType::kCreateBuffer,
+                                    options_.session_id, request.Encode(), options_.rpc_timeout);
+    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+    buffer.allocated_on[node] = true;
+  }
+  if (buffer.valid_on[node]) return Status::Ok();
+  if (!buffer.host_valid) {
+    HAOCL_RETURN_IF_ERROR(FetchToHost(id, buffer));
+  }
+  // Nodes already holding the replica can relay it peer-to-peer (modeled
+  // in the timeline); the functional bytes still flow through this star
+  // topology, which the coherence protocol keeps equivalent.
+  std::vector<std::size_t> replica_holders;
+  for (std::size_t i = 0; i < buffer.valid_on.size(); ++i) {
+    if (buffer.valid_on[i]) replica_holders.push_back(i);
+  }
+  net::WriteBufferRequest request;
+  request.buffer_id = id;
+  request.offset = 0;
+  request.data = buffer.shadow;
+  auto reply = nodes_[node]->Call(MsgType::kWriteBuffer, options_.session_id,                                  request.Encode(), options_.rpc_timeout);
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+  buffer.valid_on[node] = true;
+  if (bytes_shipped != nullptr) *bytes_shipped += buffer.size;
+  if (replica_holders.empty()) {
+    timeline_->RecordTransferToNode(node, buffer.size);
+  } else {
+    timeline_->RecordReplicationToNode(node, buffer.size, replica_holders);
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- Programs
+
+Expected<ProgramId> ClusterRuntime::BuildProgram(const std::string& source) {
+  // Host-side compile: immediate diagnostics + kernel signatures for
+  // clSetKernelArg validation and the coherence protocol's constness.
+  oclc::CompileResult compiled = oclc::CompileWithLog(source);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ProgramId id = next_program_id_++;
+  ProgramState& program = programs_[id];
+  program.source = source;
+  program.module = compiled.module;
+  program.build_log = compiled.build_log;
+  program.built_on.assign(nodes_.size(), false);
+  if (compiled.module == nullptr) {
+    return Status(ErrorCode::kBuildProgramFailure, compiled.build_log);
+  }
+  return id;
+}
+
+std::string ClusterRuntime::BuildLog(ProgramId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = programs_.find(id);
+  return it == programs_.end() ? "" : it->second.build_log;
+}
+
+Expected<const oclc::CompiledFunction*> ClusterRuntime::FindKernel(
+    ProgramId id, const std::string& kernel_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = programs_.find(id);
+  if (it == programs_.end() || it->second.module == nullptr) {
+    return Status(ErrorCode::kInvalidProgram, "no such program");
+  }
+  const oclc::CompiledFunction* kernel =
+      it->second.module->FindKernel(kernel_name);
+  if (kernel == nullptr) {
+    return Status(ErrorCode::kInvalidKernelName,
+                  "no kernel '" + kernel_name + "'");
+  }
+  return kernel;
+}
+
+Status ClusterRuntime::ReleaseProgram(ProgramId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = programs_.find(id);
+  if (it == programs_.end()) {
+    return Status(ErrorCode::kInvalidProgram, "no such program");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!it->second.built_on[i]) continue;
+    net::ReleaseProgramRequest request;
+    request.program_id = id;
+    auto reply = nodes_[i]->Call(MsgType::kReleaseProgram,
+                                 options_.session_id, request.Encode(), options_.rpc_timeout);
+    Status status = CheckReply(reply, MsgType::kStatusReply);
+    if (!status.ok()) {
+      HAOCL_WARN << "release of program " << id << " on node " << i
+                 << " failed: " << status.ToString();
+    }
+  }
+  programs_.erase(it);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::EnsureProgramOnNode(ProgramId id,
+                                           ProgramState& program,
+                                           std::size_t node) {
+  if (program.built_on[node]) return Status::Ok();
+  net::BuildProgramRequest request;
+  request.program_id = id;
+  request.source = program.source;
+  auto reply = nodes_[node]->Call(MsgType::kBuildProgram, options_.session_id,                                  request.Encode(), options_.rpc_timeout);
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kBuildReply));
+  auto decoded = net::BuildProgramReply::Decode(reply->payload);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->status_code != 0) {
+    return Status(static_cast<ErrorCode>(decoded->status_code),
+                  "remote build failed on node " + std::to_string(node) +
+                      ": " + decoded->build_log);
+  }
+  program.built_on[node] = true;
+  timeline_->RecordControlMessage(node);
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- Launch
+
+Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto program_it = programs_.find(spec.program);
+  if (program_it == programs_.end() || program_it->second.module == nullptr) {
+    return Status(ErrorCode::kInvalidProgram, "no such program");
+  }
+  ProgramState& program = program_it->second;
+  const oclc::CompiledFunction* kernel =
+      program.module->FindKernel(spec.kernel_name);
+  if (kernel == nullptr) {
+    return Status(ErrorCode::kInvalidKernelName,
+                  "no kernel '" + spec.kernel_name + "' in program");
+  }
+  if (kernel->params.size() != spec.args.size()) {
+    return Status(ErrorCode::kInvalidKernelArgs,
+                  "kernel '" + spec.kernel_name + "' takes " +
+                      std::to_string(kernel->params.size()) + " args, got " +
+                      std::to_string(spec.args.size()));
+  }
+
+  // ---- Schedule ----------------------------------------------------------
+  sched::TaskInfo task;
+  task.kernel_name = spec.kernel_name;
+  task.user_id = options_.session_id;
+  task.preferred_node = spec.preferred_node;
+  task.fpga_binary_available =
+      driver::NativeKernelRegistry::Instance().Contains(spec.kernel_name);
+  if (spec.cost_hint.has_value()) task.cost = *spec.cost_hint;
+  oclc::NDRange range;
+  range.work_dim = spec.work_dim;
+  for (int d = 0; d < 3; ++d) {
+    range.global[d] = spec.global[d];
+    range.local[d] = spec.local[d];
+  }
+  range.local_specified = spec.local_specified;
+  {
+    // Cost estimate for the policy's model (the NMP refines it later).
+    std::vector<oclc::ArgBinding> fake_bindings;
+    for (std::size_t i = 0; i < spec.args.size(); ++i) {
+      const KernelArgValue& arg = spec.args[i];
+      if (arg.kind == KernelArgValue::Kind::kBuffer) {
+        auto it = buffers_.find(arg.buffer);
+        if (it == buffers_.end()) {
+          return Status(ErrorCode::kInvalidMemObject,
+                        "arg " + std::to_string(i) + ": no such buffer");
+        }
+        task.input_bytes += it->second.size;
+        oclc::ArgBinding binding;
+        binding.kind = oclc::ArgBinding::Kind::kBuffer;
+        binding.size = it->second.size;
+        fake_bindings.push_back(binding);
+      } else {
+        fake_bindings.push_back(oclc::ArgBinding{});
+      }
+    }
+    if (!spec.cost_hint.has_value()) {
+      task.cost = driver::EstimateKernelCost(*program.module, *kernel,
+                                             fake_bindings, range);
+    }
+  }
+
+  sched::ClusterView view;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    sched::NodeView node;
+    node.name = devices_[i].name;
+    node.type = devices_[i].type;
+    node.spec = sim::SpecForType(devices_[i].type);
+    node.link = options_.link;
+    node.busy_seconds_ahead = node_busy_ahead_[i];
+    node.observed_seconds_per_flop = observed_sec_per_flop_[i];
+    view.nodes.push_back(std::move(node));
+  }
+  auto selected = policy_->SelectNode(task, view);
+  if (!selected.ok()) return selected.status();
+  const std::size_t node = *selected;
+
+  // ---- Stage program + data ----------------------------------------------
+  HAOCL_RETURN_IF_ERROR(EnsureProgramOnNode(spec.program, program, node));
+
+  LaunchResult result;
+  result.node = node;
+  net::LaunchKernelRequest request;
+  request.program_id = spec.program;
+  request.kernel_name = spec.kernel_name;
+  request.work_dim = spec.work_dim;
+  for (int d = 0; d < 3; ++d) {
+    request.global[d] = spec.global[d];
+    request.local[d] = spec.local[d];
+  }
+  request.local_specified = spec.local_specified;
+
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    const KernelArgValue& arg = spec.args[i];
+    net::WireKernelArg wire;
+    switch (arg.kind) {
+      case KernelArgValue::Kind::kBuffer: {
+        auto it = buffers_.find(arg.buffer);
+        if (it == buffers_.end()) {
+          return Status(ErrorCode::kInvalidMemObject,
+                        "arg " + std::to_string(i) + ": no such buffer");
+        }
+        HAOCL_RETURN_IF_ERROR(EnsureBufferOnNode(arg.buffer, it->second, node,
+                                                 &result.bytes_shipped));
+        wire.kind = net::WireKernelArg::Kind::kBuffer;
+        wire.buffer_id = arg.buffer;
+        break;
+      }
+      case KernelArgValue::Kind::kScalar:
+        wire.kind = net::WireKernelArg::Kind::kScalar;
+        wire.scalar_bytes = arg.scalar_bytes;
+        break;
+      case KernelArgValue::Kind::kLocalSize:
+        wire.kind = net::WireKernelArg::Kind::kLocalSize;
+        wire.local_size = arg.local_size;
+        break;
+    }
+    request.args.push_back(std::move(wire));
+  }
+
+  // ---- Execute ------------------------------------------------------------
+  auto reply = nodes_[node]->Call(MsgType::kLaunchKernel, options_.session_id,                                  request.Encode(), options_.rpc_timeout);
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kLaunchReply));
+  auto decoded = net::LaunchKernelReply::Decode(reply->payload);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->status_code != 0) {
+    return Status(static_cast<ErrorCode>(decoded->status_code),
+                  decoded->error_message);
+  }
+
+  // ---- Post-launch bookkeeping --------------------------------------------
+  // Buffers bound to non-const pointer params are now owned by `node`.
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    if (spec.args[i].kind != KernelArgValue::Kind::kBuffer) continue;
+    if (kernel->params[i].pointee_const) continue;
+    auto it = buffers_.find(spec.args[i].buffer);
+    if (it == buffers_.end()) continue;
+    LogicalBuffer& buffer = it->second;
+    std::fill(buffer.valid_on.begin(), buffer.valid_on.end(), false);
+    buffer.valid_on[node] = true;
+    buffer.host_valid = false;
+  }
+
+  result.modeled_seconds = decoded->modeled_seconds;
+  result.modeled_joules = decoded->modeled_joules;
+  const double compute_amp = timeline_->compute_amplification();
+  if (spec.cost_hint.has_value()) {
+    // The analytic hint beats the driver's static instruction-mix
+    // estimate (it knows the data-dependent trip counts). Paper-scale
+    // amplification applies to the WORK, so fixed launch overheads stay
+    // constant.
+    sim::KernelCost cost = *spec.cost_hint;
+    cost.flops *= compute_amp;
+    cost.bytes *= compute_amp;
+    const sim::DeviceSpec device_spec = sim::SpecForType(devices_[node].type);
+    result.modeled_seconds = sim::ModelKernelTime(device_spec, cost);
+    result.modeled_joules = result.modeled_seconds * device_spec.power_watts;
+  } else if (compute_amp != 1.0) {
+    // Static-estimate path: approximate by scaling the modeled time.
+    result.modeled_seconds *= compute_amp;
+    result.modeled_joules *= compute_amp;
+  }
+  result.virtual_completion =
+      timeline_->RecordKernel(node, result.modeled_seconds);
+  node_busy_ahead_[node] += result.modeled_seconds;
+  if (decoded->flops > 0) {
+    // Exponential moving average of the runtime profile.
+    const double sample =
+        decoded->modeled_seconds / static_cast<double>(decoded->flops);
+    double& avg = observed_sec_per_flop_[node];
+    avg = avg == 0.0 ? sample : 0.7 * avg + 0.3 * sample;
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- Monitoring
+
+Status ClusterRuntime::SetScheduler(const std::string& policy_name) {
+  auto policy = sched::MakePolicyByName(policy_name);
+  if (!policy.ok()) return policy.status();
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = *std::move(policy);
+  scheduler_name_ = policy_name;
+  return Status::Ok();
+}
+
+Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
+  sched::ClusterView view;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    sched::NodeView node;
+    node.name = devices_[i].name;
+    node.type = devices_[i].type;
+    node.spec = sim::SpecForType(devices_[i].type);
+    node.link = options_.link;
+    auto reply = nodes_[i]->Call(MsgType::kQueryLoad, options_.session_id, {}, options_.rpc_timeout);
+    Status status = CheckReply(reply, MsgType::kLoadReply);
+    if (status.ok()) {
+      auto load = net::LoadReply::Decode(reply->payload);
+      if (load.ok()) {
+        node.queue_depth = load->queue_depth;
+        node.busy_seconds_ahead = node_busy_ahead_[i];
+        node.kernels_executed = load->kernels_executed;
+      }
+    } else {
+      node.alive = false;
+    }
+    view.nodes.push_back(std::move(node));
+  }
+  return view;
+}
+
+std::uint64_t ClusterRuntime::TotalBytesSent() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->bytes_sent();
+  return total;
+}
+
+void ClusterRuntime::Disconnect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (disconnected_) return;
+  disconnected_ = true;
+  for (auto& node : nodes_) {
+    (void)node->Notify(MsgType::kShutdown, options_.session_id, {});
+    node->Close();
+  }
+}
+
+}  // namespace haocl::host

@@ -1,0 +1,212 @@
+// ClusterRuntime: the host-side heart of HaoCL.
+//
+// Owns one RPC channel per device node, the cluster-wide device table
+// (built through the paper's clGetDeviceIDs "mapping mechanism"), logical
+// buffers with a single-writer coherence protocol, program builds, and
+// kernel dispatch through the pluggable scheduler. The OpenCL Wrapper Lib
+// (src/api) is a thin C shim over this class.
+//
+// Buffer coherence: a logical buffer has a host shadow plus per-node
+// replicas. Writes from the application land in the shadow and invalidate
+// replicas. A launch sends stale inputs to the target node just-in-time
+// ("creates data packages containing all data in OpenCL buffers that have
+// been called in this API and sends it to the specified compute node",
+// paper §III-B). After a launch, buffers bound to non-const pointer
+// parameters are owned by the executing node; reads gather them back.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "host/virtual_timeline.h"
+#include "net/protocol.h"
+#include "net/rpc.h"
+#include "oclc/program.h"
+#include "sched/scheduler.h"
+
+namespace haocl::host {
+
+using BufferId = std::uint64_t;
+using ProgramId = std::uint64_t;
+
+// One entry of the cluster-wide device table.
+struct DeviceInfo {
+  std::string name;
+  NodeType type = NodeType::kCpu;
+  std::string model;
+  double compute_gflops = 0.0;
+  double mem_bandwidth_gbps = 0.0;
+};
+
+// One kernel argument as the application binds it (clSetKernelArg).
+struct KernelArgValue {
+  enum class Kind : std::uint8_t { kBuffer, kScalar, kLocalSize };
+  Kind kind = Kind::kScalar;
+  BufferId buffer = 0;
+  std::vector<std::uint8_t> scalar_bytes;
+  std::uint64_t local_size = 0;
+
+  static KernelArgValue Buffer(BufferId id) {
+    KernelArgValue v;
+    v.kind = Kind::kBuffer;
+    v.buffer = id;
+    return v;
+  }
+  template <typename T>
+  static KernelArgValue Scalar(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    KernelArgValue v;
+    v.kind = Kind::kScalar;
+    v.scalar_bytes.resize(sizeof(T));
+    std::memcpy(v.scalar_bytes.data(), &value, sizeof(T));
+    return v;
+  }
+  static KernelArgValue Local(std::uint64_t bytes) {
+    KernelArgValue v;
+    v.kind = Kind::kLocalSize;
+    v.local_size = bytes;
+    return v;
+  }
+};
+
+struct LaunchResult {
+  std::size_t node = 0;            // Where the scheduler placed the task.
+  double modeled_seconds = 0.0;    // Device-model kernel time.
+  double modeled_joules = 0.0;
+  std::uint64_t bytes_shipped = 0; // Input data moved for this launch.
+  sim::SimTime virtual_completion = 0.0;
+};
+
+struct RuntimeOptions {
+  std::string scheduler = "user";   // Policy name (sched registry).
+  sim::LinkSpec link = sim::GigabitEthernet();
+  std::uint64_t session_id = 1;
+  std::string host_name = "haocl-host";
+  // Per-RPC deadline; a silent node turns into kNodeUnreachable.
+  std::chrono::milliseconds rpc_timeout{30000};
+};
+
+class ClusterRuntime {
+ public:
+  using Options = RuntimeOptions;
+
+  // Performs the hello handshake on every connection and builds the device
+  // table. Connection order defines node indices.
+  static Expected<std::unique_ptr<ClusterRuntime>> Connect(
+      std::vector<net::ConnectionPtr> connections, Options options = {});
+
+  ~ClusterRuntime();
+  ClusterRuntime(const ClusterRuntime&) = delete;
+  ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+  // ---- Device table ------------------------------------------------------
+  [[nodiscard]] const std::vector<DeviceInfo>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::vector<std::size_t> DevicesOfType(NodeType type) const;
+
+  // ---- Buffers -----------------------------------------------------------
+  Expected<BufferId> CreateBuffer(std::uint64_t size);
+  Status WriteBuffer(BufferId id, std::uint64_t offset, const void* data,
+                     std::uint64_t size);
+  Status ReadBuffer(BufferId id, std::uint64_t offset, void* data,
+                    std::uint64_t size);
+  Status ReleaseBuffer(BufferId id);
+  [[nodiscard]] Expected<std::uint64_t> BufferSize(BufferId id) const;
+
+  // ---- Programs ----------------------------------------------------------
+  // Compiles locally (for kernel metadata and immediate diagnostics, a
+  // SnuCL-D-style redundant computation) and lazily on nodes at first use.
+  Expected<ProgramId> BuildProgram(const std::string& source);
+  [[nodiscard]] std::string BuildLog(ProgramId id) const;
+  [[nodiscard]] Expected<const oclc::CompiledFunction*> FindKernel(
+      ProgramId id, const std::string& kernel_name) const;
+  Status ReleaseProgram(ProgramId id);
+
+  // ---- Kernel dispatch ---------------------------------------------------
+  struct LaunchSpec {
+    ProgramId program = 0;
+    std::string kernel_name;
+    std::vector<KernelArgValue> args;
+    std::uint32_t work_dim = 1;
+    std::uint64_t global[3] = {1, 1, 1};
+    std::uint64_t local[3] = {1, 1, 1};
+    bool local_specified = false;
+    int preferred_node = -1;  // User instruction; -1 lets the policy pick.
+    // Analytic work estimate. The driver's static estimator cannot see
+    // data-dependent loop trip counts (e.g. the N-iteration dot product in
+    // naive matmul), so workloads that know their exact flop/byte counts
+    // pass them here; the scheduler's cost model and the virtual timeline
+    // use the hint instead of the static estimate.
+    std::optional<sim::KernelCost> cost_hint;
+  };
+  Expected<LaunchResult> LaunchKernel(const LaunchSpec& spec);
+
+  // ---- Scheduling / monitoring -------------------------------------------
+  Status SetScheduler(const std::string& policy_name);
+  [[nodiscard]] const std::string& scheduler_name() const {
+    return scheduler_name_;
+  }
+  // Polls every node's load counters (the runtime resource monitor).
+  Expected<sched::ClusterView> QueryClusterView();
+
+  // ---- Virtual time ------------------------------------------------------
+  [[nodiscard]] VirtualTimeline& timeline() { return *timeline_; }
+
+  // Total bytes sent over all channels (functional, not modeled).
+  [[nodiscard]] std::uint64_t TotalBytesSent() const;
+
+  void Disconnect();
+
+ private:
+  ClusterRuntime(Options options);
+
+  struct LogicalBuffer {
+    std::uint64_t size = 0;
+    std::vector<std::uint8_t> shadow;    // Host copy.
+    bool host_valid = true;
+    std::vector<bool> valid_on;          // Replica validity per node.
+    std::vector<bool> allocated_on;      // Remote allocation exists.
+  };
+
+  struct ProgramState {
+    std::string source;
+    std::shared_ptr<const oclc::Module> module;  // Host-side metadata.
+    std::string build_log;
+    std::vector<bool> built_on;
+  };
+
+  Status EnsureBufferOnNode(BufferId id, LogicalBuffer& buffer,
+                            std::size_t node, std::uint64_t* bytes_shipped);
+  Status EnsureProgramOnNode(ProgramId id, ProgramState& program,
+                             std::size_t node);
+  Status FetchToHost(BufferId id, LogicalBuffer& buffer);
+  Status CheckReply(const Expected<net::Message>& reply,
+                    net::MsgType expected_type) const;
+
+  Options options_;
+  std::vector<std::unique_ptr<net::RpcClient>> nodes_;
+  std::vector<DeviceInfo> devices_;
+  std::unique_ptr<sched::SchedulingPolicy> policy_;
+  std::string scheduler_name_;
+  std::unique_ptr<VirtualTimeline> timeline_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<BufferId, LogicalBuffer> buffers_;
+  std::unordered_map<ProgramId, ProgramState> programs_;
+  BufferId next_buffer_id_ = 1;
+  ProgramId next_program_id_ = 1;
+  std::vector<double> node_busy_ahead_;  // Scheduler backlog estimate.
+  std::vector<double> observed_sec_per_flop_;
+  bool disconnected_ = false;
+};
+
+}  // namespace haocl::host

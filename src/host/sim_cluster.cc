@@ -1,0 +1,82 @@
+#include "host/sim_cluster.h"
+
+#include "net/sim_transport.h"
+
+namespace haocl::host {
+namespace {
+
+Expected<std::vector<std::unique_ptr<nmp::NodeServer>>> SpawnServers(
+    const ClusterConfig& config) {
+  std::vector<std::unique_ptr<nmp::NodeServer>> servers;
+  for (const NodeEntry& entry : config.nodes()) {
+    auto server = nmp::NodeServer::Create(entry.name, entry.type);
+    if (!server.ok()) return server.status();
+    servers.push_back(*std::move(server));
+  }
+  return servers;
+}
+
+ClusterConfig ShapeToConfig(const SimCluster::Shape& shape) {
+  ClusterConfig config;
+  for (std::size_t i = 0; i < shape.gpu_nodes; ++i) {
+    config.AddNode({"gpu" + std::to_string(i), NodeType::kGpu, "sim", 0});
+  }
+  for (std::size_t i = 0; i < shape.fpga_nodes; ++i) {
+    config.AddNode({"fpga" + std::to_string(i), NodeType::kFpga, "sim", 0});
+  }
+  for (std::size_t i = 0; i < shape.cpu_nodes; ++i) {
+    config.AddNode({"cpu" + std::to_string(i), NodeType::kCpu, "sim", 0});
+  }
+  return config;
+}
+
+}  // namespace
+
+Expected<std::unique_ptr<SimCluster>> SimCluster::Create(
+    Shape shape, ClusterRuntime::Options options) {
+  return CreateFromConfig(ShapeToConfig(shape), std::move(options));
+}
+
+Expected<std::unique_ptr<SimCluster>> SimCluster::CreateFromConfig(
+    const ClusterConfig& config, ClusterRuntime::Options options) {
+  if (config.nodes().empty()) {
+    return Status(ErrorCode::kInvalidValue, "cluster has no nodes");
+  }
+  auto servers = SpawnServers(config);
+  if (!servers.ok()) return servers.status();
+
+  std::unique_ptr<SimCluster> cluster(new SimCluster());
+  cluster->servers_ = *std::move(servers);
+
+  std::vector<net::ConnectionPtr> host_ends;
+  for (auto& server : cluster->servers_) {
+    auto [host_end, node_end] = net::CreateSimChannel();
+    server->Serve(std::move(node_end));
+    host_ends.push_back(std::move(host_end));
+  }
+  auto runtime =
+      ClusterRuntime::Connect(std::move(host_ends), std::move(options));
+  if (!runtime.ok()) return runtime.status();
+  cluster->runtime_ = *std::move(runtime);
+  return cluster;
+}
+
+Expected<std::unique_ptr<ClusterRuntime>> SimCluster::ConnectSecondSession(
+    ClusterRuntime::Options options) {
+  std::vector<net::ConnectionPtr> host_ends;
+  for (auto& server : servers_) {
+    auto [host_end, node_end] = net::CreateSimChannel();
+    server->Serve(std::move(node_end));
+    host_ends.push_back(std::move(host_end));
+  }
+  return ClusterRuntime::Connect(std::move(host_ends), std::move(options));
+}
+
+void SimCluster::Shutdown() {
+  if (runtime_ != nullptr) runtime_->Disconnect();
+  for (auto& server : servers_) server->Shutdown();
+}
+
+SimCluster::~SimCluster() { Shutdown(); }
+
+}  // namespace haocl::host

@@ -1,0 +1,57 @@
+// SimCluster: an entire HaoCL deployment inside one process.
+//
+// Spawns one NodeServer (NMP) per requested device node, wires each to the
+// host through the in-process transport, and hands back a connected
+// ClusterRuntime. This is the test/bench substitute for the paper's
+// Alibaba Cloud deployment: every software layer (wrapper lib, scheduler,
+// backbone, NMP, driver, compiler) runs exactly as it would across
+// machines; only the wires are in-memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "host/cluster_runtime.h"
+#include "nmp/node_server.h"
+
+namespace haocl::host {
+
+class SimCluster {
+ public:
+  struct Shape {
+    std::size_t gpu_nodes = 0;
+    std::size_t fpga_nodes = 0;
+    std::size_t cpu_nodes = 0;
+  };
+
+  // Builds the cluster and connects a runtime with `options`.
+  static Expected<std::unique_ptr<SimCluster>> Create(
+      Shape shape, RuntimeOptions options = {});
+
+  // As above but node types/names from a configuration file.
+  static Expected<std::unique_ptr<SimCluster>> CreateFromConfig(
+      const ClusterConfig& config, RuntimeOptions options = {});
+
+  ~SimCluster();
+
+  [[nodiscard]] ClusterRuntime& runtime() { return *runtime_; }
+
+  // Connects an additional host runtime (a second user session) to the
+  // same node daemons — the multi-user scenario SnuCL lacks.
+  Expected<std::unique_ptr<ClusterRuntime>> ConnectSecondSession(
+      RuntimeOptions options);
+
+  [[nodiscard]] std::size_t node_count() const { return servers_.size(); }
+  [[nodiscard]] nmp::NodeServer& server(std::size_t i) {
+    return *servers_.at(i);
+  }
+
+  void Shutdown();
+
+ private:
+  SimCluster() = default;
+  std::vector<std::unique_ptr<nmp::NodeServer>> servers_;
+  std::unique_ptr<ClusterRuntime> runtime_;
+};
+
+}  // namespace haocl::host

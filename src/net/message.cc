@@ -1,0 +1,96 @@
+#include "net/message.h"
+
+#include "common/wire.h"
+
+namespace haocl::net {
+
+std::vector<std::uint8_t> Message::Serialize() const {
+  WireWriter w(kHeaderSize + payload.size());
+  w.WriteU32(kMagic);
+  w.WriteU16(static_cast<std::uint16_t>(type));
+  w.WriteU16(0);  // flags, reserved
+  w.WriteU64(seq);
+  w.WriteU64(session);
+  w.WriteU64(payload.size());
+  std::vector<std::uint8_t> out = std::move(w).Take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Expected<Message::Header> Message::ParseHeader(const void* data,
+                                               std::size_t size) {
+  if (size < kHeaderSize) {
+    return Status(ErrorCode::kProtocolError, "short message header");
+  }
+  WireReader r(data, size);
+  auto magic = r.ReadU32();
+  if (!magic.ok() || *magic != kMagic) {
+    return Status(ErrorCode::kProtocolError, "bad frame magic");
+  }
+  Header header{};
+  auto type = r.ReadU16();
+  auto flags = r.ReadU16();
+  auto seq = r.ReadU64();
+  auto session = r.ReadU64();
+  auto payload_size = r.ReadU64();
+  if (!type.ok() || !flags.ok() || !seq.ok() || !session.ok() ||
+      !payload_size.ok()) {
+    return Status(ErrorCode::kProtocolError, "truncated header");
+  }
+  if (*payload_size > kMaxPayload) {
+    return Status(ErrorCode::kProtocolError,
+                  "frame payload exceeds limit: " +
+                      std::to_string(*payload_size));
+  }
+  header.type = static_cast<MsgType>(*type);
+  header.seq = *seq;
+  header.session = *session;
+  header.payload_size = *payload_size;
+  return header;
+}
+
+Expected<Message> Message::Deserialize(const void* data, std::size_t size) {
+  auto header = ParseHeader(data, size);
+  if (!header.ok()) return header.status();
+  if (size != kHeaderSize + header->payload_size) {
+    return Status(ErrorCode::kProtocolError,
+                  "frame size mismatch: header claims " +
+                      std::to_string(header->payload_size) + " payload, got " +
+                      std::to_string(size - kHeaderSize));
+  }
+  Message msg;
+  msg.type = header->type;
+  msg.seq = header->seq;
+  msg.session = header->session;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  msg.payload.assign(bytes + kHeaderSize, bytes + size);
+  return msg;
+}
+
+const char* MsgTypeName(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHelloRequest: return "HelloRequest";
+    case MsgType::kHelloReply: return "HelloReply";
+    case MsgType::kCreateBuffer: return "CreateBuffer";
+    case MsgType::kWriteBuffer: return "WriteBuffer";
+    case MsgType::kReadBuffer: return "ReadBuffer";
+    case MsgType::kReleaseBuffer: return "ReleaseBuffer";
+    case MsgType::kCopyBuffer: return "CopyBuffer";
+    case MsgType::kBuildProgram: return "BuildProgram";
+    case MsgType::kReleaseProgram: return "ReleaseProgram";
+    case MsgType::kLaunchKernel: return "LaunchKernel";
+    case MsgType::kQueryLoad: return "QueryLoad";
+    case MsgType::kOpenSession: return "OpenSession";
+    case MsgType::kCloseSession: return "CloseSession";
+    case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kStatusReply: return "StatusReply";
+    case MsgType::kHelloReplyData: return "HelloReplyData";
+    case MsgType::kReadReply: return "ReadReply";
+    case MsgType::kBuildReply: return "BuildReply";
+    case MsgType::kLaunchReply: return "LaunchReply";
+    case MsgType::kLoadReply: return "LoadReply";
+  }
+  return "?";
+}
+
+}  // namespace haocl::net

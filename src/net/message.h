@@ -1,0 +1,82 @@
+// Message framing for the communication backbone.
+//
+// Every unit crossing a node boundary is a Message: a fixed header (magic,
+// type, sequence number, session id, payload length) followed by a payload
+// encoded with common/wire.h. The same frame format is used by the
+// in-process transport and the TCP transport, so the NMP and the host
+// runtime are transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace haocl::net {
+
+enum class MsgType : std::uint16_t {
+  // Handshake.
+  kHelloRequest = 1,
+  kHelloReply = 2,
+  // Buffer management on a device node.
+  kCreateBuffer = 10,
+  kWriteBuffer = 11,
+  kReadBuffer = 12,
+  kReleaseBuffer = 13,
+  kCopyBuffer = 14,
+  // Program / kernel management.
+  kBuildProgram = 20,
+  kReleaseProgram = 21,
+  kLaunchKernel = 22,
+  // Monitoring (scheduler's runtime information).
+  kQueryLoad = 30,
+  // Session control.
+  kOpenSession = 40,
+  kCloseSession = 41,
+  kShutdown = 42,
+  // Replies.
+  kStatusReply = 100,  // status only
+  kHelloReplyData = 101,
+  kReadReply = 102,    // status + bytes
+  kBuildReply = 103,   // status + build log + kernel names
+  kLaunchReply = 104,  // status + modeled timing
+  kLoadReply = 105,    // monitor counters
+};
+
+struct Message {
+  MsgType type = MsgType::kStatusReply;
+  std::uint64_t seq = 0;      // Request/response matching.
+  std::uint64_t session = 0;  // Multi-user isolation.
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t WireSize() const noexcept {
+    return kHeaderSize + payload.size();
+  }
+
+  static constexpr std::uint32_t kMagic = 0x48414F43;  // "HAOC"
+  static constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8 + 8 + 8;
+  // Frames larger than this are rejected as protocol errors (a corrupted
+  // length prefix must not make a node try to allocate petabytes).
+  static constexpr std::uint64_t kMaxPayload = 1ULL << 32;
+
+  // Serializes header+payload into a flat byte vector (TCP path).
+  [[nodiscard]] std::vector<std::uint8_t> Serialize() const;
+
+  // Parses a complete frame. `size` must be exactly one frame.
+  static Expected<Message> Deserialize(const void* data, std::size_t size);
+
+  // Parses just the fixed header, returning the payload length so stream
+  // transports know how many more bytes to read.
+  struct Header {
+    MsgType type;
+    std::uint64_t seq;
+    std::uint64_t session;
+    std::uint64_t payload_size;
+  };
+  static Expected<Header> ParseHeader(const void* data, std::size_t size);
+};
+
+const char* MsgTypeName(MsgType type) noexcept;
+
+}  // namespace haocl::net

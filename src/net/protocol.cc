@@ -1,0 +1,416 @@
+#include "net/protocol.h"
+
+namespace haocl::net {
+namespace {
+
+Status Malformed(const char* what) {
+  return Status(ErrorCode::kProtocolError,
+                std::string("malformed ") + what + " payload");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Handshake
+
+std::vector<std::uint8_t> HelloRequest::Encode() const {
+  WireWriter w;
+  w.WriteString(host_name);
+  w.WriteU32(protocol_version);
+  return std::move(w).Take();
+}
+
+Expected<HelloRequest> HelloRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  HelloRequest out;
+  auto name = r.ReadString();
+  auto version = r.ReadU32();
+  if (!name.ok() || !version.ok()) return Malformed("HelloRequest");
+  out.host_name = *std::move(name);
+  out.protocol_version = *version;
+  return out;
+}
+
+std::vector<std::uint8_t> HelloReply::Encode() const {
+  WireWriter w;
+  w.WriteString(node_name);
+  w.WriteU8(static_cast<std::uint8_t>(device_type));
+  w.WriteString(device_model);
+  w.WriteF64(compute_gflops);
+  w.WriteF64(mem_bandwidth_gbps);
+  w.WriteU32(protocol_version);
+  return std::move(w).Take();
+}
+
+Expected<HelloReply> HelloReply::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  HelloReply out;
+  auto name = r.ReadString();
+  auto type = r.ReadU8();
+  auto model = r.ReadString();
+  auto gflops = r.ReadF64();
+  auto bw = r.ReadF64();
+  auto version = r.ReadU32();
+  if (!name.ok() || !type.ok() || !model.ok() || !gflops.ok() || !bw.ok() ||
+      !version.ok() || *type > 2) {
+    return Malformed("HelloReply");
+  }
+  out.node_name = *std::move(name);
+  out.device_type = static_cast<NodeType>(*type);
+  out.device_model = *std::move(model);
+  out.compute_gflops = *gflops;
+  out.mem_bandwidth_gbps = *bw;
+  out.protocol_version = *version;
+  return out;
+}
+
+// ------------------------------------------------------------------ Buffers
+
+std::vector<std::uint8_t> CreateBufferRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(buffer_id);
+  w.WriteU64(size);
+  return std::move(w).Take();
+}
+
+Expected<CreateBufferRequest> CreateBufferRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  CreateBufferRequest out;
+  auto id = r.ReadU64();
+  auto size = r.ReadU64();
+  if (!id.ok() || !size.ok()) return Malformed("CreateBuffer");
+  out.buffer_id = *id;
+  out.size = *size;
+  return out;
+}
+
+std::vector<std::uint8_t> WriteBufferRequest::Encode() const {
+  WireWriter w(24 + data.size());
+  w.WriteU64(buffer_id);
+  w.WriteU64(offset);
+  w.WriteByteVector(data);
+  return std::move(w).Take();
+}
+
+Expected<WriteBufferRequest> WriteBufferRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  WriteBufferRequest out;
+  auto id = r.ReadU64();
+  auto offset = r.ReadU64();
+  auto data = r.ReadByteVector();
+  if (!id.ok() || !offset.ok() || !data.ok()) return Malformed("WriteBuffer");
+  out.buffer_id = *id;
+  out.offset = *offset;
+  out.data = *std::move(data);
+  return out;
+}
+
+std::vector<std::uint8_t> ReadBufferRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(buffer_id);
+  w.WriteU64(offset);
+  w.WriteU64(size);
+  return std::move(w).Take();
+}
+
+Expected<ReadBufferRequest> ReadBufferRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  ReadBufferRequest out;
+  auto id = r.ReadU64();
+  auto offset = r.ReadU64();
+  auto size = r.ReadU64();
+  if (!id.ok() || !offset.ok() || !size.ok()) return Malformed("ReadBuffer");
+  out.buffer_id = *id;
+  out.offset = *offset;
+  out.size = *size;
+  return out;
+}
+
+std::vector<std::uint8_t> ReleaseBufferRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(buffer_id);
+  return std::move(w).Take();
+}
+
+Expected<ReleaseBufferRequest> ReleaseBufferRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  ReleaseBufferRequest out;
+  auto id = r.ReadU64();
+  if (!id.ok()) return Malformed("ReleaseBuffer");
+  out.buffer_id = *id;
+  return out;
+}
+
+std::vector<std::uint8_t> CopyBufferRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(src_buffer_id);
+  w.WriteU64(dst_buffer_id);
+  w.WriteU64(src_offset);
+  w.WriteU64(dst_offset);
+  w.WriteU64(size);
+  return std::move(w).Take();
+}
+
+Expected<CopyBufferRequest> CopyBufferRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  CopyBufferRequest out;
+  auto src = r.ReadU64();
+  auto dst = r.ReadU64();
+  auto so = r.ReadU64();
+  auto dofs = r.ReadU64();
+  auto size = r.ReadU64();
+  if (!src.ok() || !dst.ok() || !so.ok() || !dofs.ok() || !size.ok()) {
+    return Malformed("CopyBuffer");
+  }
+  out.src_buffer_id = *src;
+  out.dst_buffer_id = *dst;
+  out.src_offset = *so;
+  out.dst_offset = *dofs;
+  out.size = *size;
+  return out;
+}
+
+// ----------------------------------------------------------------- Programs
+
+std::vector<std::uint8_t> BuildProgramRequest::Encode() const {
+  WireWriter w(16 + source.size());
+  w.WriteU64(program_id);
+  w.WriteString(source);
+  return std::move(w).Take();
+}
+
+Expected<BuildProgramRequest> BuildProgramRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  BuildProgramRequest out;
+  auto id = r.ReadU64();
+  auto source = r.ReadString();
+  if (!id.ok() || !source.ok()) return Malformed("BuildProgram");
+  out.program_id = *id;
+  out.source = *std::move(source);
+  return out;
+}
+
+std::vector<std::uint8_t> BuildProgramReply::Encode() const {
+  WireWriter w;
+  w.WriteI32(status_code);
+  w.WriteString(build_log);
+  w.WriteU32(static_cast<std::uint32_t>(kernel_names.size()));
+  for (const std::string& name : kernel_names) w.WriteString(name);
+  return std::move(w).Take();
+}
+
+Expected<BuildProgramReply> BuildProgramReply::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  BuildProgramReply out;
+  auto code = r.ReadI32();
+  auto log = r.ReadString();
+  auto count = r.ReadU32();
+  if (!code.ok() || !log.ok() || !count.ok()) return Malformed("BuildReply");
+  out.status_code = *code;
+  out.build_log = *std::move(log);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) return Malformed("BuildReply");
+    out.kernel_names.push_back(*std::move(name));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ReleaseProgramRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(program_id);
+  return std::move(w).Take();
+}
+
+Expected<ReleaseProgramRequest> ReleaseProgramRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  ReleaseProgramRequest out;
+  auto id = r.ReadU64();
+  if (!id.ok()) return Malformed("ReleaseProgram");
+  out.program_id = *id;
+  return out;
+}
+
+// ------------------------------------------------------------------ Kernels
+
+std::vector<std::uint8_t> LaunchKernelRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(program_id);
+  w.WriteString(kernel_name);
+  w.WriteU32(static_cast<std::uint32_t>(args.size()));
+  for (const WireKernelArg& arg : args) {
+    w.WriteU8(static_cast<std::uint8_t>(arg.kind));
+    switch (arg.kind) {
+      case WireKernelArg::Kind::kBuffer:
+        w.WriteU64(arg.buffer_id);
+        break;
+      case WireKernelArg::Kind::kScalar:
+        w.WriteByteVector(arg.scalar_bytes);
+        break;
+      case WireKernelArg::Kind::kLocalSize:
+        w.WriteU64(arg.local_size);
+        break;
+    }
+  }
+  w.WriteU32(work_dim);
+  for (int d = 0; d < 3; ++d) w.WriteU64(global[d]);
+  for (int d = 0; d < 3; ++d) w.WriteU64(local[d]);
+  w.WriteBool(local_specified);
+  return std::move(w).Take();
+}
+
+Expected<LaunchKernelRequest> LaunchKernelRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  LaunchKernelRequest out;
+  auto program = r.ReadU64();
+  auto name = r.ReadString();
+  auto argc = r.ReadU32();
+  if (!program.ok() || !name.ok() || !argc.ok()) {
+    return Malformed("LaunchKernel");
+  }
+  out.program_id = *program;
+  out.kernel_name = *std::move(name);
+  for (std::uint32_t i = 0; i < *argc; ++i) {
+    auto kind = r.ReadU8();
+    if (!kind.ok() || *kind > 2) return Malformed("LaunchKernel arg");
+    WireKernelArg arg;
+    arg.kind = static_cast<WireKernelArg::Kind>(*kind);
+    switch (arg.kind) {
+      case WireKernelArg::Kind::kBuffer: {
+        auto id = r.ReadU64();
+        if (!id.ok()) return Malformed("LaunchKernel arg");
+        arg.buffer_id = *id;
+        break;
+      }
+      case WireKernelArg::Kind::kScalar: {
+        auto data = r.ReadByteVector();
+        if (!data.ok()) return Malformed("LaunchKernel arg");
+        arg.scalar_bytes = *std::move(data);
+        break;
+      }
+      case WireKernelArg::Kind::kLocalSize: {
+        auto size = r.ReadU64();
+        if (!size.ok()) return Malformed("LaunchKernel arg");
+        arg.local_size = *size;
+        break;
+      }
+    }
+    out.args.push_back(std::move(arg));
+  }
+  auto dim = r.ReadU32();
+  if (!dim.ok()) return Malformed("LaunchKernel range");
+  out.work_dim = *dim;
+  for (int d = 0; d < 3; ++d) {
+    auto g = r.ReadU64();
+    if (!g.ok()) return Malformed("LaunchKernel range");
+    out.global[d] = *g;
+  }
+  for (int d = 0; d < 3; ++d) {
+    auto l = r.ReadU64();
+    if (!l.ok()) return Malformed("LaunchKernel range");
+    out.local[d] = *l;
+  }
+  auto spec = r.ReadBool();
+  if (!spec.ok()) return Malformed("LaunchKernel range");
+  out.local_specified = *spec;
+  return out;
+}
+
+std::vector<std::uint8_t> LaunchKernelReply::Encode() const {
+  WireWriter w;
+  w.WriteI32(status_code);
+  w.WriteString(error_message);
+  w.WriteF64(modeled_seconds);
+  w.WriteF64(modeled_joules);
+  w.WriteU64(flops);
+  w.WriteU64(bytes_accessed);
+  return std::move(w).Take();
+}
+
+Expected<LaunchKernelReply> LaunchKernelReply::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  LaunchKernelReply out;
+  auto code = r.ReadI32();
+  auto message = r.ReadString();
+  auto seconds = r.ReadF64();
+  auto joules = r.ReadF64();
+  auto flops = r.ReadU64();
+  auto accessed = r.ReadU64();
+  if (!code.ok() || !message.ok() || !seconds.ok() || !joules.ok() ||
+      !flops.ok() || !accessed.ok()) {
+    return Malformed("LaunchReply");
+  }
+  out.status_code = *code;
+  out.error_message = *std::move(message);
+  out.modeled_seconds = *seconds;
+  out.modeled_joules = *joules;
+  out.flops = *flops;
+  out.bytes_accessed = *accessed;
+  return out;
+}
+
+// --------------------------------------------------------------- Monitoring
+
+std::vector<std::uint8_t> LoadReply::Encode() const {
+  WireWriter w;
+  w.WriteU32(queue_depth);
+  w.WriteU64(buffers_held);
+  w.WriteU64(bytes_allocated);
+  w.WriteF64(busy_seconds_total);
+  w.WriteU64(kernels_executed);
+  return std::move(w).Take();
+}
+
+Expected<LoadReply> LoadReply::Decode(const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  LoadReply out;
+  auto depth = r.ReadU32();
+  auto buffers = r.ReadU64();
+  auto alloc = r.ReadU64();
+  auto busy = r.ReadF64();
+  auto kernels = r.ReadU64();
+  if (!depth.ok() || !buffers.ok() || !alloc.ok() || !busy.ok() ||
+      !kernels.ok()) {
+    return Malformed("LoadReply");
+  }
+  out.queue_depth = *depth;
+  out.buffers_held = *buffers;
+  out.bytes_allocated = *alloc;
+  out.busy_seconds_total = *busy;
+  out.kernels_executed = *kernels;
+  return out;
+}
+
+// ------------------------------------------------------------ Status replies
+
+std::vector<std::uint8_t> StatusReply::Encode() const {
+  WireWriter w;
+  w.WriteI32(status_code);
+  w.WriteString(message);
+  return std::move(w).Take();
+}
+
+Expected<StatusReply> StatusReply::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  StatusReply out;
+  auto code = r.ReadI32();
+  auto message = r.ReadString();
+  if (!code.ok() || !message.ok()) return Malformed("StatusReply");
+  out.status_code = *code;
+  out.message = *std::move(message);
+  return out;
+}
+
+}  // namespace haocl::net

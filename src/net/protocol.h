@@ -1,0 +1,190 @@
+// Typed request/reply payloads of the host <-> NMP protocol, with wire
+// codecs. One struct per message type keeps the NMP's dispatch readable and
+// gives the fuzz/failure tests a precise surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/wire.h"
+#include "oclc/vm.h"
+
+namespace haocl::net {
+
+// ---------------------------------------------------------------- Handshake
+
+struct HelloRequest {
+  std::string host_name;
+  std::uint32_t protocol_version = 1;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<HelloRequest> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct HelloReply {
+  std::string node_name;
+  NodeType device_type = NodeType::kCpu;
+  std::string device_model;
+  double compute_gflops = 0.0;
+  double mem_bandwidth_gbps = 0.0;
+  std::uint32_t protocol_version = 1;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<HelloReply> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// ------------------------------------------------------------------ Buffers
+
+struct CreateBufferRequest {
+  std::uint64_t buffer_id = 0;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<CreateBufferRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct WriteBufferRequest {
+  std::uint64_t buffer_id = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<WriteBufferRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct ReadBufferRequest {
+  std::uint64_t buffer_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<ReadBufferRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct ReleaseBufferRequest {
+  std::uint64_t buffer_id = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<ReleaseBufferRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct CopyBufferRequest {
+  std::uint64_t src_buffer_id = 0;
+  std::uint64_t dst_buffer_id = 0;
+  std::uint64_t src_offset = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<CopyBufferRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+// ----------------------------------------------------------------- Programs
+
+struct BuildProgramRequest {
+  std::uint64_t program_id = 0;
+  std::string source;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<BuildProgramRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct BuildProgramReply {
+  std::int32_t status_code = 0;  // ErrorCode as int.
+  std::string build_log;
+  std::vector<std::string> kernel_names;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<BuildProgramReply> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct ReleaseProgramRequest {
+  std::uint64_t program_id = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<ReleaseProgramRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+// ------------------------------------------------------------------ Kernels
+
+// One kernel argument as shipped over the wire.
+struct WireKernelArg {
+  enum class Kind : std::uint8_t { kBuffer = 0, kScalar = 1, kLocalSize = 2 };
+  Kind kind = Kind::kScalar;
+  std::uint64_t buffer_id = 0;                // kBuffer
+  std::vector<std::uint8_t> scalar_bytes;     // kScalar (raw, as from
+                                              // clSetKernelArg)
+  std::uint64_t local_size = 0;               // kLocalSize
+};
+
+struct LaunchKernelRequest {
+  std::uint64_t program_id = 0;
+  std::string kernel_name;
+  std::vector<WireKernelArg> args;
+  std::uint32_t work_dim = 1;
+  std::uint64_t global[3] = {1, 1, 1};
+  std::uint64_t local[3] = {1, 1, 1};
+  bool local_specified = false;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<LaunchKernelRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+struct LaunchKernelReply {
+  std::int32_t status_code = 0;
+  std::string error_message;
+  double modeled_seconds = 0.0;   // Device-model execution time.
+  double modeled_joules = 0.0;    // Energy for the scheduler's power policy.
+  std::uint64_t flops = 0;        // Profiled work (heterogeneity-aware
+  std::uint64_t bytes_accessed = 0;  // scheduling feeds on these).
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<LaunchKernelReply> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+// --------------------------------------------------------------- Monitoring
+
+struct LoadReply {
+  std::uint32_t queue_depth = 0;       // Commands waiting on the node.
+  std::uint64_t buffers_held = 0;
+  std::uint64_t bytes_allocated = 0;
+  double busy_seconds_total = 0.0;     // Modeled device busy time.
+  std::uint64_t kernels_executed = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<LoadReply> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// ------------------------------------------------------------ Status replies
+
+// Generic status reply used by buffer/session commands.
+struct StatusReply {
+  std::int32_t status_code = 0;
+  std::string message;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<StatusReply> Decode(const std::vector<std::uint8_t>& bytes);
+
+  static StatusReply FromStatus(const Status& status) {
+    return StatusReply{static_cast<std::int32_t>(status.code()),
+                       status.message()};
+  }
+  [[nodiscard]] Status ToStatus() const {
+    return Status(static_cast<ErrorCode>(status_code), message);
+  }
+};
+
+}  // namespace haocl::net

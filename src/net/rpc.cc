@@ -1,0 +1,93 @@
+#include "net/rpc.h"
+
+#include "common/log.h"
+
+namespace haocl::net {
+
+RpcClient::RpcClient(ConnectionPtr connection)
+    : connection_(std::move(connection)) {
+  connection_->Start([this](Message msg) { OnMessage(std::move(msg)); });
+}
+
+RpcClient::~RpcClient() { Close(); }
+
+RpcClient::ReplyFuture RpcClient::CallAsync(MsgType type,
+                                            std::uint64_t session,
+                                            std::vector<std::uint8_t> payload) {
+  auto future = std::make_shared<Promise<Expected<Message>>>();
+  Message msg;
+  msg.type = type;
+  msg.session = session;
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  msg.payload = std::move(payload);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_[msg.seq] = future;
+  }
+  Status sent = connection_->Send(msg);
+  if (!sent.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.erase(msg.seq);
+    }
+    future->Set(Expected<Message>(sent));
+  }
+  return future;
+}
+
+Expected<Message> RpcClient::Call(MsgType type, std::uint64_t session,
+                                  std::vector<std::uint8_t> payload,
+                                  std::chrono::milliseconds timeout) {
+  auto future = CallAsync(type, session, std::move(payload));
+  const auto* reply = future->WaitFor(timeout);
+  if (reply == nullptr) {
+    return Status(ErrorCode::kNetworkError,
+                  std::string("RPC timeout for ") + MsgTypeName(type));
+  }
+  return *reply;
+}
+
+Status RpcClient::Notify(MsgType type, std::uint64_t session,
+                         std::vector<std::uint8_t> payload) {
+  Message msg;
+  msg.type = type;
+  msg.session = session;
+  msg.seq = 0;  // Seq 0 marks one-way traffic.
+  msg.payload = std::move(payload);
+  return connection_->Send(msg);
+}
+
+void RpcClient::OnMessage(Message msg) {
+  ReplyFuture future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(msg.seq);
+    if (it == pending_.end()) {
+      HAOCL_DEBUG << "orphan reply seq=" << msg.seq << " type="
+                  << MsgTypeName(msg.type);
+      return;
+    }
+    future = it->second;
+    pending_.erase(it);
+  }
+  future->Set(Expected<Message>(std::move(msg)));
+}
+
+void RpcClient::FailAllPending(const Status& status) {
+  std::unordered_map<std::uint64_t, ReplyFuture> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphaned.swap(pending_);
+  }
+  for (auto& [seq, future] : orphaned) {
+    future->Set(Expected<Message>(status));
+  }
+}
+
+void RpcClient::Close() {
+  if (closed_.exchange(true)) return;
+  connection_->Close();
+  FailAllPending(Status(ErrorCode::kNodeUnreachable, "client closed"));
+}
+
+}  // namespace haocl::net

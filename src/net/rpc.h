@@ -1,0 +1,66 @@
+// Request/response matching over a Connection.
+//
+// The paper's host process "sends a message through the message listener,
+// [then] waits for the response message and takes the next action" — a
+// synchronous RPC. Device-node listeners are asynchronous. RpcClient gives
+// the host both styles: Call() blocks, CallAsync() pipelines (the ablation
+// benchmark measures the difference).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/sync.h"
+#include "net/transport.h"
+
+namespace haocl::net {
+
+class RpcClient {
+ public:
+  // Takes ownership of the connection and starts its dispatcher.
+  explicit RpcClient(ConnectionPtr connection);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  using ReplyFuture = std::shared_ptr<Promise<Expected<Message>>>;
+
+  // Sends a request and returns a future the caller can Wait() on.
+  ReplyFuture CallAsync(MsgType type, std::uint64_t session,
+                        std::vector<std::uint8_t> payload);
+
+  // Synchronous convenience: send and wait (with timeout).
+  Expected<Message> Call(MsgType type, std::uint64_t session,
+                         std::vector<std::uint8_t> payload,
+                         std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds(30000));
+
+  // One-way message (no reply expected), e.g. shutdown.
+  Status Notify(MsgType type, std::uint64_t session,
+                std::vector<std::uint8_t> payload);
+
+  void Close();
+
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return connection_->bytes_sent();
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return connection_->messages_sent();
+  }
+
+ private:
+  void OnMessage(Message msg);
+  void FailAllPending(const Status& status);
+
+  ConnectionPtr connection_;
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, ReplyFuture> pending_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace haocl::net

@@ -1,0 +1,41 @@
+// In-process transport: a pair of connections backed by blocking queues,
+// each side with its own dispatcher thread. Functionally identical to the
+// TCP transport (same Message frames, same ordering guarantees); it stands
+// in for the cloud network we cannot provision, while byte/message counters
+// feed the virtual-time link model for timing.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/sync.h"
+#include "net/transport.h"
+
+namespace haocl::net {
+
+// Creates a connected pair: (host side, node side).
+std::pair<ConnectionPtr, ConnectionPtr> CreateSimChannel();
+
+// An in-process listener: Connect() synthesizes a channel pair and hands
+// the server end to the accept handler — the loopback analogue of dialing
+// a node's (address, port) from the cluster configuration file.
+class SimListener : public Listener {
+ public:
+  SimListener() = default;
+  ~SimListener() override;
+
+  Status Start(AcceptHandler handler) override;
+  void Stop() override;
+
+  // Client side: dial this listener. Returns the client connection, or an
+  // error if the listener is not running.
+  Expected<ConnectionPtr> Connect();
+
+ private:
+  std::mutex mutex_;
+  AcceptHandler handler_;
+  bool running_ = false;
+};
+
+}  // namespace haocl::net

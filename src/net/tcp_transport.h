@@ -1,0 +1,37 @@
+// Real TCP transport: POSIX sockets, length-prefixed frames, one reader
+// thread per connection. Proves the messaging stack works across genuine
+// process boundaries; the examples ship a two-process demo using it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/transport.h"
+
+namespace haocl::net {
+
+// Dials host:port (blocking connect). The returned connection is not yet
+// started.
+Expected<ConnectionPtr> TcpConnect(const std::string& address,
+                                   std::uint16_t port);
+
+// Listens on 127.0.0.1:port (or any interface when address is "0.0.0.0").
+// Port 0 asks the kernel for an ephemeral port, readable via port().
+class TcpListener : public Listener {
+ public:
+  explicit TcpListener(std::uint16_t port, std::string address = "127.0.0.1");
+  ~TcpListener() override;
+
+  Status Start(AcceptHandler handler) override;
+  void Stop() override;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_;
+  std::string address_;
+};
+
+}  // namespace haocl::net

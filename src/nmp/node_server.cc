@@ -1,0 +1,239 @@
+#include "nmp/node_server.h"
+
+#include "common/log.h"
+#include "driver/icd.h"
+#include "net/protocol.h"
+
+namespace haocl::nmp {
+
+using net::Message;
+using net::MsgType;
+
+// One served connection: its queue and worker thread.
+struct NodeServer::Channel {
+  net::ConnectionPtr connection;
+  BlockingQueue<Message> inbox;
+  std::thread worker;
+};
+
+Expected<std::unique_ptr<NodeServer>> NodeServer::Create(std::string name,
+                                                         NodeType type) {
+  auto driver = driver::IcdRegistry::Instance().Create(type);
+  if (!driver.ok()) return driver.status();
+  return std::make_unique<NodeServer>(std::move(name), type,
+                                      *std::move(driver));
+}
+
+NodeServer::NodeServer(std::string name, NodeType type,
+                       std::unique_ptr<driver::DeviceDriver> driver)
+    : name_(std::move(name)), type_(type), driver_(std::move(driver)) {}
+
+NodeServer::~NodeServer() { Shutdown(); }
+
+void NodeServer::Serve(net::ConnectionPtr connection) {
+  auto channel = std::make_unique<Channel>();
+  channel->connection = std::move(connection);
+  Channel* raw = channel.get();
+  {
+    std::lock_guard<std::mutex> lock(channels_mutex_);
+    channels_.push_back(std::move(channel));
+  }
+  // Asynchronous listener: enqueue and return to listening, exactly the
+  // paper's accept-then-listen-again loop.
+  raw->connection->Start([this, raw](Message msg) {
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
+    raw->inbox.Push(std::move(msg));
+  });
+  raw->worker = std::thread([this, raw] { WorkerLoop(raw); });
+}
+
+void NodeServer::WorkerLoop(Channel* channel) {
+  while (auto msg = channel->inbox.Pop()) {
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    if (msg->type == MsgType::kShutdown) break;
+    Message reply = HandleMessage(*msg);
+    reply.seq = msg->seq;
+    reply.session = msg->session;
+    if (msg->seq == 0) continue;  // One-way message: no reply wanted.
+    Status sent = channel->connection->Send(reply);
+    if (!sent.ok()) {
+      HAOCL_WARN << "NMP " << name_ << ": reply failed: " << sent.ToString();
+      break;
+    }
+  }
+}
+
+runtime::DeviceSession& NodeServer::SessionFor(std::uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto& slot = sessions_[session_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<runtime::DeviceSession>(driver_.get());
+  }
+  return *slot;
+}
+
+Message NodeServer::HandleMessage(const Message& request) {
+  Message reply;
+  reply.type = MsgType::kStatusReply;
+
+  auto status_reply = [&reply](const Status& status) {
+    reply.type = MsgType::kStatusReply;
+    reply.payload = net::StatusReply::FromStatus(status).Encode();
+  };
+  auto protocol_error = [&](const Status& status) {
+    HAOCL_WARN << "NMP " << name_ << ": " << status.ToString();
+    status_reply(status);
+  };
+
+  runtime::DeviceSession& session = SessionFor(request.session);
+
+  switch (request.type) {
+    case MsgType::kHelloRequest: {
+      auto decoded = net::HelloRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      net::HelloReply hello;
+      hello.node_name = name_;
+      hello.device_type = type_;
+      hello.device_model = driver_->spec().model_name;
+      hello.compute_gflops = driver_->spec().compute_gflops;
+      hello.mem_bandwidth_gbps = driver_->spec().mem_bandwidth_gbps;
+      reply.type = MsgType::kHelloReply;
+      reply.payload = hello.Encode();
+      break;
+    }
+    case MsgType::kCreateBuffer: {
+      auto decoded = net::CreateBufferRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      status_reply(session.CreateBuffer(decoded->buffer_id, decoded->size));
+      break;
+    }
+    case MsgType::kWriteBuffer: {
+      auto decoded = net::WriteBufferRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      status_reply(session.WriteBuffer(decoded->buffer_id, decoded->offset,
+                                       decoded->data));
+      break;
+    }
+    case MsgType::kReadBuffer: {
+      auto decoded = net::ReadBufferRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      auto data = session.ReadBuffer(decoded->buffer_id, decoded->offset,
+                                     decoded->size);
+      if (!data.ok()) {
+        status_reply(data.status());
+        break;
+      }
+      reply.type = MsgType::kReadReply;
+      reply.payload = *std::move(data);
+      break;
+    }
+    case MsgType::kCopyBuffer: {
+      auto decoded = net::CopyBufferRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      status_reply(session.CopyBuffer(*decoded));
+      break;
+    }
+    case MsgType::kReleaseBuffer: {
+      auto decoded = net::ReleaseBufferRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      status_reply(session.ReleaseBuffer(decoded->buffer_id));
+      break;
+    }
+    case MsgType::kBuildProgram: {
+      auto decoded = net::BuildProgramRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      reply.type = MsgType::kBuildReply;
+      reply.payload =
+          session.BuildProgram(decoded->program_id, decoded->source).Encode();
+      break;
+    }
+    case MsgType::kReleaseProgram: {
+      auto decoded = net::ReleaseProgramRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      status_reply(session.ReleaseProgram(decoded->program_id));
+      break;
+    }
+    case MsgType::kLaunchKernel: {
+      auto decoded = net::LaunchKernelRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      reply.type = MsgType::kLaunchReply;
+      reply.payload = session.LaunchKernel(*decoded).Encode();
+      break;
+    }
+    case MsgType::kQueryLoad: {
+      net::LoadReply load = session.Load();
+      load.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+      reply.type = MsgType::kLoadReply;
+      reply.payload = load.Encode();
+      break;
+    }
+    case MsgType::kOpenSession:
+    case MsgType::kCloseSession: {
+      if (request.type == MsgType::kCloseSession) {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        sessions_.erase(request.session);
+      }
+      status_reply(Status::Ok());
+      break;
+    }
+    default:
+      protocol_error(Status(ErrorCode::kProtocolError,
+                            std::string("unexpected message type ") +
+                                net::MsgTypeName(request.type)));
+      break;
+  }
+  return reply;
+}
+
+std::uint64_t NodeServer::kernels_executed() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(
+      const_cast<std::mutex&>(sessions_mutex_));
+  for (const auto& [id, session] : sessions_) {
+    total += session->Load().kernels_executed;
+  }
+  return total;
+}
+
+void NodeServer::Shutdown() {
+  if (shutting_down_.exchange(true)) return;
+  std::vector<std::unique_ptr<Channel>> channels;
+  {
+    std::lock_guard<std::mutex> lock(channels_mutex_);
+    channels.swap(channels_);
+  }
+  for (auto& channel : channels) {
+    channel->inbox.Close();
+    channel->connection->Close();
+    if (channel->worker.joinable()) channel->worker.join();
+  }
+}
+
+}  // namespace haocl::nmp

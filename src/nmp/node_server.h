@@ -1,0 +1,81 @@
+// Node Management Process (NMP).
+//
+// "The daemon process runs on each device (accelerator) node for the actual
+// execution of OpenCL API calls" (paper §III-D). The NMP:
+//  - accepts a connection from the host's communication backbone,
+//  - decodes each message, executes it against the per-session
+//    DeviceSession (multi-user isolation: resources are keyed by the
+//    session id carried in every frame),
+//  - replies with the matching reply type, preserving the request seq.
+//
+// Commands within a connection are serviced in arrival order by one worker
+// thread — the in-order command-queue semantics a device gives OpenCL —
+// while the message listener stays asynchronous, mirroring the paper's
+// acceptor design.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "common/sync.h"
+#include "driver/device_driver.h"
+#include "net/transport.h"
+#include "runtime/device_session.h"
+
+namespace haocl::nmp {
+
+class NodeServer {
+ public:
+  // Creates the server for one device node; the driver comes from the ICD
+  // for `type` unless an explicit driver is injected (tests).
+  static Expected<std::unique_ptr<NodeServer>> Create(std::string name,
+                                                      NodeType type);
+  NodeServer(std::string name, NodeType type,
+             std::unique_ptr<driver::DeviceDriver> driver);
+  ~NodeServer();
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  // Attaches a transport connection and starts servicing it. The server
+  // owns the connection. May be called for multiple connections (multiple
+  // hosts sharing the node: the "shared device" flag in the paper).
+  void Serve(net::ConnectionPtr connection);
+
+  // Stops all workers and closes all connections.
+  void Shutdown();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] NodeType type() const { return type_; }
+  [[nodiscard]] const sim::DeviceSpec& spec() const { return driver_->spec(); }
+
+  // Test hook: total kernels run across all sessions.
+  [[nodiscard]] std::uint64_t kernels_executed() const;
+
+ private:
+  struct Channel;  // One served connection.
+
+  void WorkerLoop(Channel* channel);
+  net::Message HandleMessage(const net::Message& request);
+  runtime::DeviceSession& SessionFor(std::uint64_t session_id);
+
+  std::string name_;
+  NodeType type_;
+  std::unique_ptr<driver::DeviceDriver> driver_;
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<runtime::DeviceSession>>
+      sessions_;
+
+  std::mutex channels_mutex_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint32_t> queue_depth_{0};
+};
+
+}  // namespace haocl::nmp

@@ -1,0 +1,220 @@
+#include "oclc/builtins.h"
+
+#include <array>
+
+namespace haocl::oclc {
+namespace {
+
+struct NameEntry {
+  const char* name;
+  BuiltinId id;
+};
+
+constexpr NameEntry kNames[] = {
+    {"get_global_id", BuiltinId::kGetGlobalId},
+    {"get_local_id", BuiltinId::kGetLocalId},
+    {"get_group_id", BuiltinId::kGetGroupId},
+    {"get_global_size", BuiltinId::kGetGlobalSize},
+    {"get_local_size", BuiltinId::kGetLocalSize},
+    {"get_num_groups", BuiltinId::kGetNumGroups},
+    {"get_work_dim", BuiltinId::kGetWorkDim},
+    {"sqrt", BuiltinId::kSqrt},
+    {"rsqrt", BuiltinId::kRsqrt},
+    {"fabs", BuiltinId::kFabs},
+    {"exp", BuiltinId::kExp},
+    {"log", BuiltinId::kLog},
+    {"log2", BuiltinId::kLog2},
+    {"sin", BuiltinId::kSin},
+    {"cos", BuiltinId::kCos},
+    {"tan", BuiltinId::kTan},
+    {"pow", BuiltinId::kPow},
+    {"floor", BuiltinId::kFloor},
+    {"ceil", BuiltinId::kCeil},
+    {"fmod", BuiltinId::kFmod},
+    {"fmin", BuiltinId::kFmin},
+    {"fmax", BuiltinId::kFmax},
+    {"mad", BuiltinId::kMad},
+    {"fma", BuiltinId::kFma},
+    {"native_sqrt", BuiltinId::kNativeSqrt},
+    {"native_exp", BuiltinId::kNativeExp},
+    {"native_log", BuiltinId::kNativeLog},
+    {"min", BuiltinId::kMin},
+    {"max", BuiltinId::kMax},
+    {"abs", BuiltinId::kAbs},
+    {"clamp", BuiltinId::kClamp},
+    {"atomic_add", BuiltinId::kAtomicAdd},
+    {"atom_add", BuiltinId::kAtomicAdd},
+    {"atomic_sub", BuiltinId::kAtomicSub},
+    {"atomic_min", BuiltinId::kAtomicMin},
+    {"atomic_max", BuiltinId::kAtomicMax},
+    {"atomic_inc", BuiltinId::kAtomicInc},
+    {"atomic_dec", BuiltinId::kAtomicDec},
+    {"atomic_or", BuiltinId::kAtomicOr},
+    {"atomic_and", BuiltinId::kAtomicAnd},
+    {"atomic_xchg", BuiltinId::kAtomicXchg},
+    {"atomic_cmpxchg", BuiltinId::kAtomicCmpxchg},
+};
+
+std::optional<BuiltinId> LookupName(const std::string& name) {
+  for (const auto& entry : kNames) {
+    if (name == entry.name) return entry.id;
+  }
+  return std::nullopt;
+}
+
+bool AllNumeric(const std::vector<Type>& args) {
+  for (const Type& t : args) {
+    if (!t.IsNumeric()) return false;
+  }
+  return true;
+}
+
+// Result category of an N-ary math builtin: f64 if any arg is f64 (or an
+// integer, which converts to the float type), else f32.
+ScalarType FloatResult(const std::vector<Type>& args) {
+  for (const Type& t : args) {
+    if (t.scalar == ScalarType::kF64) return ScalarType::kF64;
+  }
+  for (const Type& t : args) {
+    if (IsInteger(t.scalar)) return ScalarType::kF64;  // C default promotion.
+  }
+  return ScalarType::kF32;
+}
+
+}  // namespace
+
+bool IsBuiltinName(const std::string& name) {
+  return LookupName(name).has_value();
+}
+
+const char* BuiltinName(BuiltinId id) noexcept {
+  for (const auto& entry : kNames) {
+    if (entry.id == id) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<BuiltinSignature> ResolveBuiltin(
+    const std::string& name, const std::vector<Type>& arg_types) {
+  auto id = LookupName(name);
+  if (!id.has_value()) return std::nullopt;
+
+  const std::size_t argc = arg_types.size();
+  auto sig = [&](Type result) {
+    return BuiltinSignature{*id, result};
+  };
+
+  switch (*id) {
+    case BuiltinId::kGetGlobalId:
+    case BuiltinId::kGetLocalId:
+    case BuiltinId::kGetGroupId:
+    case BuiltinId::kGetGlobalSize:
+    case BuiltinId::kGetLocalSize:
+    case BuiltinId::kGetNumGroups:
+      if (argc != 1 || !arg_types[0].IsNumeric()) return std::nullopt;
+      return sig(Type::Scalar(ScalarType::kU64));  // size_t
+    case BuiltinId::kGetWorkDim:
+      if (argc != 0) return std::nullopt;
+      return sig(Type::Scalar(ScalarType::kU32));
+
+    case BuiltinId::kSqrt:
+    case BuiltinId::kRsqrt:
+    case BuiltinId::kFabs:
+    case BuiltinId::kExp:
+    case BuiltinId::kLog:
+    case BuiltinId::kLog2:
+    case BuiltinId::kSin:
+    case BuiltinId::kCos:
+    case BuiltinId::kTan:
+    case BuiltinId::kFloor:
+    case BuiltinId::kCeil:
+    case BuiltinId::kNativeSqrt:
+    case BuiltinId::kNativeExp:
+    case BuiltinId::kNativeLog:
+      if (argc != 1 || !AllNumeric(arg_types)) return std::nullopt;
+      return sig(Type::Scalar(FloatResult(arg_types)));
+
+    case BuiltinId::kPow:
+    case BuiltinId::kFmod:
+    case BuiltinId::kFmin:
+    case BuiltinId::kFmax:
+      if (argc != 2 || !AllNumeric(arg_types)) return std::nullopt;
+      return sig(Type::Scalar(FloatResult(arg_types)));
+
+    case BuiltinId::kMad:
+    case BuiltinId::kFma:
+      if (argc != 3 || !AllNumeric(arg_types)) return std::nullopt;
+      return sig(Type::Scalar(FloatResult(arg_types)));
+
+    case BuiltinId::kMin:
+    case BuiltinId::kMax: {
+      if (argc != 2 || !AllNumeric(arg_types)) return std::nullopt;
+      if (IsFloat(arg_types[0].scalar) || IsFloat(arg_types[1].scalar)) {
+        return sig(Type::Scalar(FloatResult(arg_types)));
+      }
+      return sig(Type::Scalar(
+          CommonArithmeticType(arg_types[0].scalar, arg_types[1].scalar)));
+    }
+    case BuiltinId::kAbs: {
+      if (argc != 1 || !AllNumeric(arg_types)) return std::nullopt;
+      if (IsFloat(arg_types[0].scalar)) {
+        return sig(Type::Scalar(arg_types[0].scalar));
+      }
+      // OpenCL abs returns the unsigned counterpart; we keep the promoted
+      // signed type for subset simplicity (values are non-negative anyway).
+      return sig(Type::Scalar(Promote(arg_types[0].scalar)));
+    }
+    case BuiltinId::kClamp: {
+      if (argc != 3 || !AllNumeric(arg_types)) return std::nullopt;
+      ScalarType t = arg_types[0].scalar;
+      if (IsFloat(t) || IsFloat(arg_types[1].scalar) ||
+          IsFloat(arg_types[2].scalar)) {
+        return sig(Type::Scalar(FloatResult(arg_types)));
+      }
+      return sig(Type::Scalar(Promote(t)));
+    }
+
+    case BuiltinId::kAtomicAdd:
+    case BuiltinId::kAtomicSub:
+    case BuiltinId::kAtomicMin:
+    case BuiltinId::kAtomicMax:
+    case BuiltinId::kAtomicOr:
+    case BuiltinId::kAtomicAnd:
+    case BuiltinId::kAtomicXchg: {
+      if (argc != 2) return std::nullopt;
+      const Type& ptr = arg_types[0];
+      if (!ptr.is_pointer || !arg_types[1].IsNumeric()) return std::nullopt;
+      if (ptr.scalar != ScalarType::kI32 && ptr.scalar != ScalarType::kU32) {
+        return std::nullopt;
+      }
+      return sig(Type::Scalar(ptr.scalar));  // Returns the old value.
+    }
+    case BuiltinId::kAtomicInc:
+    case BuiltinId::kAtomicDec: {
+      if (argc != 1) return std::nullopt;
+      const Type& ptr = arg_types[0];
+      if (!ptr.is_pointer) return std::nullopt;
+      if (ptr.scalar != ScalarType::kI32 && ptr.scalar != ScalarType::kU32) {
+        return std::nullopt;
+      }
+      return sig(Type::Scalar(ptr.scalar));
+    }
+    case BuiltinId::kAtomicCmpxchg: {
+      if (argc != 3) return std::nullopt;
+      const Type& ptr = arg_types[0];
+      if (!ptr.is_pointer || !arg_types[1].IsNumeric() ||
+          !arg_types[2].IsNumeric()) {
+        return std::nullopt;
+      }
+      if (ptr.scalar != ScalarType::kI32 && ptr.scalar != ScalarType::kU32) {
+        return std::nullopt;
+      }
+      return sig(Type::Scalar(ptr.scalar));
+    }
+    case BuiltinId::kCount:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace haocl::oclc

@@ -1,0 +1,120 @@
+// Stack bytecode the codegen lowers the AST into and the VM executes.
+//
+// Why bytecode instead of a tree-walking interpreter: OpenCL work-groups
+// synchronize at barrier() — every work-item in the group must reach the
+// barrier before any proceeds. With an explicit program counter and operand
+// stack per work-item, suspending at a barrier is just saving the machine
+// state, which a recursive tree-walker cannot do without coroutines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oclc/type.h"
+
+namespace haocl::oclc {
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kPushConst,    // a = literal pool index            -> push
+  kLoadLocal,    // a = slot                          -> push
+  kStoreLocal,   // a = slot                          pop ->
+  kDup,          // duplicate top of stack
+  kPop,          // discard top of stack
+  kLoadMem,      // type = element type; pop addr     -> push value
+  kStoreMem,     // type = element type; pop value, addr ->
+  kPtrAdd,       // a = element size; pop index(i64), ptr -> push ptr'
+  kAdd, kSub, kMul, kDiv, kMod,        // type-tagged arithmetic
+  kNeg,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr, kBitNot,
+  kEq, kNe, kLt, kLe, kGt, kGe,        // push bool
+  kLogicalNot,
+  kConvert,      // type = source; a = target ScalarType
+  kJump,         // a = target pc
+  kJumpIfFalse,  // a = target pc; pop bool
+  kJumpIfTrue,   // a = target pc; pop bool
+  kCall,         // a = function index; args on stack
+  kCallBuiltin,  // a = builtin id; b = argc
+  kReturn,       // b = 1 if a value is on the stack
+  kBarrier,      // work-group barrier
+};
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  ScalarType type = ScalarType::kVoid;  // Operand type for typed ops.
+  std::int32_t a = 0;                   // Primary operand (slot/target/id).
+  std::int32_t b = 0;                   // Secondary operand.
+};
+
+// Runtime representation of any scalar value. The static type is carried by
+// the instruction stream, not the value, so a slot is just 8 bytes.
+union Value {
+  std::int64_t i;
+  std::uint64_t u;
+  double f;
+};
+
+// A __local or __private array declared in a function body.
+struct ArrayAlloc {
+  AddressSpace space = AddressSpace::kLocal;
+  ScalarType element = ScalarType::kF32;
+  std::uint64_t count = 0;
+  [[nodiscard]] std::uint64_t ByteSize() const {
+    return count * ScalarSize(element);
+  }
+};
+
+// Kernel argument descriptor, used by clSetKernelArg validation and by the
+// NMP to bind buffers at launch.
+struct KernelArgInfo {
+  std::string name;
+  Type type;
+  // `const T*` parameter: the launch cannot modify the buffer, so the
+  // host's coherence protocol keeps replicas valid across such launches.
+  bool pointee_const = false;
+  [[nodiscard]] bool IsBuffer() const {
+    return type.is_pointer && (type.space == AddressSpace::kGlobal ||
+                               type.space == AddressSpace::kConstant);
+  }
+  [[nodiscard]] bool IsLocalPointer() const {
+    return type.is_pointer && type.space == AddressSpace::kLocal;
+  }
+};
+
+// One compiled function (kernel or helper).
+struct CompiledFunction {
+  std::string name;
+  bool is_kernel = false;
+  Type return_type;
+  std::vector<KernelArgInfo> params;
+  std::uint32_t entry_pc = 0;     // Index into Module::code.
+  std::uint32_t local_slots = 0;  // Scalar slots incl. params.
+  std::vector<ArrayAlloc> arrays;  // Body-declared local/private arrays.
+  bool uses_barrier = false;
+};
+
+// A compiled translation unit: shared code array + literal pool + functions.
+struct Module {
+  std::vector<Instruction> code;
+  std::vector<Value> literals;
+  std::vector<CompiledFunction> functions;
+
+  [[nodiscard]] const CompiledFunction* FindKernel(
+      const std::string& name) const {
+    for (const auto& fn : functions) {
+      if (fn.is_kernel && fn.name == name) return &fn;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::vector<std::string> KernelNames() const {
+    std::vector<std::string> names;
+    for (const auto& fn : functions) {
+      if (fn.is_kernel) names.push_back(fn.name);
+    }
+    return names;
+  }
+};
+
+}  // namespace haocl::oclc

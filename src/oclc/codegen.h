@@ -1,0 +1,40 @@
+// Lowers an analyzed AST into the stack bytecode of bytecode.h.
+#pragma once
+
+#include "common/status.h"
+#include "oclc/ast.h"
+#include "oclc/bytecode.h"
+
+namespace haocl::oclc {
+
+// The unit must have passed Analyze().
+Expected<Module> Generate(const TranslationUnit& unit);
+
+// Pointer value encoding shared between codegen and the VM.
+// Layout: [63:62] space tag, [61:48] region id, [47:0] byte offset.
+enum class PtrSpace : std::uint64_t { kGlobal = 0, kLocal = 1, kPrivate = 2 };
+
+constexpr std::uint64_t kPtrOffsetBits = 48;
+constexpr std::uint64_t kPtrOffsetMask = (1ULL << kPtrOffsetBits) - 1;
+constexpr std::uint64_t kPtrRegionBits = 14;
+constexpr std::uint64_t kPtrRegionMask = (1ULL << kPtrRegionBits) - 1;
+
+[[nodiscard]] constexpr std::uint64_t MakePointer(PtrSpace space,
+                                                  std::uint64_t region,
+                                                  std::uint64_t offset) {
+  return (static_cast<std::uint64_t>(space) << 62) |
+         ((region & kPtrRegionMask) << kPtrOffsetBits) |
+         (offset & kPtrOffsetMask);
+}
+
+[[nodiscard]] constexpr PtrSpace PointerSpace(std::uint64_t ptr) {
+  return static_cast<PtrSpace>(ptr >> 62);
+}
+[[nodiscard]] constexpr std::uint64_t PointerRegion(std::uint64_t ptr) {
+  return (ptr >> kPtrOffsetBits) & kPtrRegionMask;
+}
+[[nodiscard]] constexpr std::uint64_t PointerOffset(std::uint64_t ptr) {
+  return ptr & kPtrOffsetMask;
+}
+
+}  // namespace haocl::oclc

@@ -1,0 +1,371 @@
+#include "oclc/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace haocl::oclc {
+namespace {
+
+const char* const kKeywords[] = {
+    "__kernel", "kernel", "__global", "global", "__local", "local",
+    "__constant", "constant", "__private", "private",
+    "void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+    "long", "ulong", "float", "double", "size_t",
+    "if", "else", "for", "while", "do", "break", "continue", "return",
+    "true", "false", "const", "restrict", "volatile",
+};
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  [[nodiscard]] bool AtEnd() const { return pos >= text.size(); }
+  [[nodiscard]] char Peek(std::size_t ahead = 0) const {
+    return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+  }
+  char Advance() {
+    char c = text[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+  bool Match(char c) {
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] SourceLocation Loc() const { return {line, column}; }
+};
+
+Status LexError(const Cursor& cur, const std::string& what) {
+  return Status(ErrorCode::kBuildProgramFailure,
+                "lex error at line " + std::to_string(cur.line) + ":" +
+                    std::to_string(cur.column) + ": " + what);
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Lexes a numeric literal starting at the cursor.
+Expected<Token> LexNumber(Cursor& cur) {
+  Token tok;
+  tok.loc = cur.Loc();
+  std::string digits;
+  bool is_float = false;
+  bool is_hex = false;
+
+  if (cur.Peek() == '0' && (cur.Peek(1) == 'x' || cur.Peek(1) == 'X')) {
+    is_hex = true;
+    digits += cur.Advance();
+    digits += cur.Advance();
+    while (std::isxdigit(static_cast<unsigned char>(cur.Peek()))) {
+      digits += cur.Advance();
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+      digits += cur.Advance();
+    }
+    if (cur.Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(cur.Peek(1)))) {
+      is_float = true;
+      digits += cur.Advance();
+      while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+        digits += cur.Advance();
+      }
+    } else if (cur.Peek() == '.' && !IsIdentChar(cur.Peek(1))) {
+      is_float = true;
+      digits += cur.Advance();
+    }
+    if (cur.Peek() == 'e' || cur.Peek() == 'E') {
+      char next = cur.Peek(1);
+      char next2 = cur.Peek(2);
+      if (std::isdigit(static_cast<unsigned char>(next)) ||
+          ((next == '+' || next == '-') &&
+           std::isdigit(static_cast<unsigned char>(next2)))) {
+        is_float = true;
+        digits += cur.Advance();  // e
+        if (cur.Peek() == '+' || cur.Peek() == '-') digits += cur.Advance();
+        while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+          digits += cur.Advance();
+        }
+      }
+    }
+  }
+
+  // Suffixes.
+  while (true) {
+    char c = cur.Peek();
+    if (c == 'f' || c == 'F') {
+      tok.is_float_suffix = true;
+      is_float = true;
+      cur.Advance();
+    } else if (c == 'u' || c == 'U') {
+      tok.is_unsigned = true;
+      cur.Advance();
+    } else if (c == 'l' || c == 'L') {
+      tok.is_long = true;
+      cur.Advance();
+    } else {
+      break;
+    }
+  }
+
+  if (is_float) {
+    tok.kind = TokenKind::kFloatLiteral;
+    tok.float_value = std::strtod(digits.c_str(), nullptr);
+  } else {
+    tok.kind = TokenKind::kIntLiteral;
+    std::uint64_t value = 0;
+    const char* begin = digits.c_str() + (is_hex ? 2 : 0);
+    const char* end = digits.c_str() + digits.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value, is_hex ? 16 : 10);
+    if (ec != std::errc() || ptr != end) {
+      return LexError(cur, "bad integer literal '" + digits + "'");
+    }
+    tok.int_value = value;
+  }
+  return tok;
+}
+
+}  // namespace
+
+bool IsKeyword(std::string_view text) noexcept {
+  for (const char* kw : kKeywords) {
+    if (text == kw) return true;
+  }
+  return false;
+}
+
+Expected<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::unordered_map<std::string, std::vector<Token>> macros;
+  Cursor cur{source};
+
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.Advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.Peek(1) == '/') {
+      while (!cur.AtEnd() && cur.Peek() != '\n') cur.Advance();
+      continue;
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      cur.Advance();
+      cur.Advance();
+      while (!cur.AtEnd() && !(cur.Peek() == '*' && cur.Peek(1) == '/')) {
+        cur.Advance();
+      }
+      if (cur.AtEnd()) return LexError(cur, "unterminated block comment");
+      cur.Advance();
+      cur.Advance();
+      continue;
+    }
+    // Preprocessor: only `#define NAME TOKENS...` and `#pragma` (ignored).
+    if (c == '#') {
+      std::string directive;
+      cur.Advance();
+      while (IsIdentChar(cur.Peek())) directive += cur.Advance();
+      if (directive == "pragma") {
+        while (!cur.AtEnd() && cur.Peek() != '\n') cur.Advance();
+        continue;
+      }
+      if (directive != "define") {
+        return LexError(cur, "unsupported preprocessor directive #" + directive);
+      }
+      while (cur.Peek() == ' ' || cur.Peek() == '\t') cur.Advance();
+      std::string name;
+      while (IsIdentChar(cur.Peek())) name += cur.Advance();
+      if (name.empty()) return LexError(cur, "#define without a name");
+      if (cur.Peek() == '(') {
+        return LexError(cur, "function-like macros are not supported");
+      }
+      // Lex the replacement list (rest of line) recursively.
+      std::string body;
+      while (!cur.AtEnd() && cur.Peek() != '\n') body += cur.Advance();
+      auto body_tokens = Lex(body);
+      if (!body_tokens.ok()) return body_tokens.status();
+      body_tokens->pop_back();  // Drop kEnd.
+      macros[name] = *std::move(body_tokens);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      Token tok;
+      tok.loc = cur.Loc();
+      while (IsIdentChar(cur.Peek())) tok.text += cur.Advance();
+      if (auto it = macros.find(tok.text); it != macros.end()) {
+        for (Token t : it->second) {
+          t.loc = tok.loc;
+          tokens.push_back(std::move(t));
+        }
+        continue;
+      }
+      tok.kind = IsKeyword(tok.text) ? TokenKind::kKeyword
+                                     : TokenKind::kIdentifier;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.Peek(1))))) {
+      auto tok = LexNumber(cur);
+      if (!tok.ok()) return tok.status();
+      tokens.push_back(*std::move(tok));
+      continue;
+    }
+
+    // Operators and punctuation.
+    Token tok;
+    tok.loc = cur.Loc();
+    cur.Advance();
+    switch (c) {
+      case '(': tok.kind = TokenKind::kLParen; break;
+      case ')': tok.kind = TokenKind::kRParen; break;
+      case '{': tok.kind = TokenKind::kLBrace; break;
+      case '}': tok.kind = TokenKind::kRBrace; break;
+      case '[': tok.kind = TokenKind::kLBracket; break;
+      case ']': tok.kind = TokenKind::kRBracket; break;
+      case ',': tok.kind = TokenKind::kComma; break;
+      case ';': tok.kind = TokenKind::kSemicolon; break;
+      case '?': tok.kind = TokenKind::kQuestion; break;
+      case ':': tok.kind = TokenKind::kColon; break;
+      case '~': tok.kind = TokenKind::kTilde; break;
+      case '+':
+        tok.kind = cur.Match('+') ? TokenKind::kPlusPlus
+                   : cur.Match('=') ? TokenKind::kPlusAssign
+                                    : TokenKind::kPlus;
+        break;
+      case '-':
+        tok.kind = cur.Match('-') ? TokenKind::kMinusMinus
+                   : cur.Match('=') ? TokenKind::kMinusAssign
+                                    : TokenKind::kMinus;
+        break;
+      case '*':
+        tok.kind = cur.Match('=') ? TokenKind::kStarAssign : TokenKind::kStar;
+        break;
+      case '/':
+        tok.kind = cur.Match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash;
+        break;
+      case '%':
+        tok.kind =
+            cur.Match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent;
+        break;
+      case '=':
+        tok.kind = cur.Match('=') ? TokenKind::kEq : TokenKind::kAssign;
+        break;
+      case '!':
+        tok.kind = cur.Match('=') ? TokenKind::kNe : TokenKind::kBang;
+        break;
+      case '<':
+        if (cur.Match('<')) {
+          tok.kind = cur.Match('=') ? TokenKind::kShlAssign : TokenKind::kShl;
+        } else {
+          tok.kind = cur.Match('=') ? TokenKind::kLe : TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (cur.Match('>')) {
+          tok.kind = cur.Match('=') ? TokenKind::kShrAssign : TokenKind::kShr;
+        } else {
+          tok.kind = cur.Match('=') ? TokenKind::kGe : TokenKind::kGt;
+        }
+        break;
+      case '&':
+        tok.kind = cur.Match('&') ? TokenKind::kAmpAmp
+                   : cur.Match('=') ? TokenKind::kAmpAssign
+                                    : TokenKind::kAmp;
+        break;
+      case '|':
+        tok.kind = cur.Match('|') ? TokenKind::kPipePipe
+                   : cur.Match('=') ? TokenKind::kPipeAssign
+                                    : TokenKind::kPipe;
+        break;
+      case '^':
+        tok.kind =
+            cur.Match('=') ? TokenKind::kCaretAssign : TokenKind::kCaret;
+        break;
+      default:
+        return LexError(cur, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.loc = cur.Loc();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+const char* TokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kPercentAssign: return "'%='";
+    case TokenKind::kAmpAssign: return "'&='";
+    case TokenKind::kPipeAssign: return "'|='";
+    case TokenKind::kCaretAssign: return "'^='";
+    case TokenKind::kShlAssign: return "'<<='";
+    case TokenKind::kShrAssign: return "'>>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+  }
+  return "?";
+}
+
+}  // namespace haocl::oclc

@@ -1,0 +1,24 @@
+// Hand-written lexer for the OpenCL C subset. Handles line/block comments,
+// preprocessor-style `#define NAME VALUE` of object-like constants (enough
+// for the CLK_*_MEM_FENCE idiom and kernel tuning knobs), and the literal
+// suffixes f/F, u/U, l/L.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oclc/token.h"
+
+namespace haocl::oclc {
+
+// Tokenizes the whole translation unit up front. Object-like #define macros
+// are substituted during lexing (one level, no function-like macros).
+Expected<std::vector<Token>> Lex(std::string_view source);
+
+// True if `text` is a reserved word of the subset grammar.
+bool IsKeyword(std::string_view text) noexcept;
+
+}  // namespace haocl::oclc

@@ -1,0 +1,17 @@
+// Recursive-descent parser producing the AST. Grammar is the intersection
+// of OpenCL C and what the paper's benchmark kernels need: functions,
+// scalar/pointer declarations with address-space qualifiers, the full C
+// expression grammar (without comma operator and unary * / &), and the
+// usual control-flow statements.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "oclc/ast.h"
+
+namespace haocl::oclc {
+
+Expected<std::unique_ptr<TranslationUnit>> Parse(std::string_view source);
+
+}  // namespace haocl::oclc

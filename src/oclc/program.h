@@ -1,0 +1,28 @@
+// One-call compiler driver: source text -> executable Module.
+// This is what a device node's "vendor compiler" runs when the NMP services
+// a clBuildProgram forwarded from the host.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "oclc/bytecode.h"
+
+namespace haocl::oclc {
+
+struct CompileResult {
+  std::shared_ptr<const Module> module;
+  std::string build_log;  // Empty on success; diagnostics on failure.
+};
+
+// Compiles OpenCL C source. On failure the Status carries
+// kBuildProgramFailure and the same text is placed in build_log by
+// CompileWithLog.
+Expected<std::shared_ptr<const Module>> Compile(const std::string& source);
+
+// Variant that always returns a result with the build log filled in,
+// matching clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG) behaviour.
+CompileResult CompileWithLog(const std::string& source);
+
+}  // namespace haocl::oclc

@@ -1,0 +1,622 @@
+#include "oclc/sema.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "oclc/builtins.h"
+
+namespace haocl::oclc {
+namespace {
+
+struct Symbol {
+  Type type;
+  int slot = -1;            // Scalar variables / pointer variables.
+  bool is_array = false;
+  int alloc_index = -1;     // Array allocation id within the function.
+  AddressSpace array_space = AddressSpace::kPrivate;
+  ScalarType array_elem = ScalarType::kF32;
+};
+
+class Scope {
+ public:
+  explicit Scope(Scope* parent) : parent_(parent) {}
+
+  bool Declare(const std::string& name, Symbol symbol) {
+    return symbols_.emplace(name, symbol).second;
+  }
+
+  const Symbol* Lookup(const std::string& name) const {
+    auto it = symbols_.find(name);
+    if (it != symbols_.end()) return &it->second;
+    return parent_ != nullptr ? parent_->Lookup(name) : nullptr;
+  }
+
+  Scope* parent() const { return parent_; }
+
+ private:
+  Scope* parent_;
+  std::unordered_map<std::string, Symbol> symbols_;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(TranslationUnit& unit) : unit_(unit) {}
+
+  Status Run() {
+    // Pass 1: register all functions (allows forward calls).
+    for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+      FunctionDecl* fn = unit_.functions[i].get();
+      fn->index = static_cast<int>(i);
+      if (functions_.count(fn->name) != 0) {
+        return ErrorAt(fn->loc, "redefinition of function '" + fn->name + "'");
+      }
+      if (IsBuiltinName(fn->name)) {
+        return ErrorAt(fn->loc,
+                       "function '" + fn->name + "' shadows a builtin");
+      }
+      functions_[fn->name] = fn;
+    }
+    // Pass 2: analyze bodies.
+    for (auto& fn : unit_.functions) {
+      HAOCL_RETURN_IF_ERROR(AnalyzeFunction(*fn));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status ErrorAt(SourceLocation loc, const std::string& what) {
+    return Status(ErrorCode::kBuildProgramFailure,
+                  "semantic error at line " + std::to_string(loc.line) + ":" +
+                      std::to_string(loc.column) + ": " + what);
+  }
+
+  Status AnalyzeFunction(FunctionDecl& fn) {
+    current_fn_ = &fn;
+    next_slot_ = 0;
+    array_count_ = 0;
+
+    Scope scope(nullptr);
+    for (ParamDecl& param : fn.params) {
+      if (param.type.IsVoid()) {
+        return ErrorAt(param.loc, "parameter cannot have void type");
+      }
+      Symbol symbol;
+      symbol.type = param.type;
+      symbol.slot = next_slot_++;
+      param.slot = symbol.slot;
+      if (!scope.Declare(param.name, symbol)) {
+        return ErrorAt(param.loc, "duplicate parameter '" + param.name + "'");
+      }
+    }
+    HAOCL_RETURN_IF_ERROR(AnalyzeStmt(*fn.body, scope));
+    fn.local_slot_count = next_slot_;
+    return Status::Ok();
+  }
+
+  // ------------------------------------------------------------- Statements
+
+  Status AnalyzeStmt(Stmt& stmt, Scope& scope) {
+    switch (stmt.kind) {
+      case StmtKind::kEmpty:
+        return Status::Ok();
+      case StmtKind::kExpr:
+        return AnalyzeExpr(*stmt.expr, scope);
+      case StmtKind::kBlock: {
+        Scope inner(&scope);
+        for (auto& child : stmt.body) {
+          HAOCL_RETURN_IF_ERROR(AnalyzeStmt(*child, inner));
+        }
+        return Status::Ok();
+      }
+      case StmtKind::kDecl:
+        return AnalyzeDecl(stmt, scope);
+      case StmtKind::kIf: {
+        HAOCL_RETURN_IF_ERROR(AnalyzeCondition(*stmt.cond, scope));
+        HAOCL_RETURN_IF_ERROR(AnalyzeStmt(*stmt.body[0], scope));
+        if (stmt.body.size() > 1) {
+          HAOCL_RETURN_IF_ERROR(AnalyzeStmt(*stmt.body[1], scope));
+        }
+        return Status::Ok();
+      }
+      case StmtKind::kFor: {
+        Scope inner(&scope);
+        if (stmt.body[0] != nullptr) {
+          HAOCL_RETURN_IF_ERROR(AnalyzeStmt(*stmt.body[0], inner));
+        }
+        if (stmt.cond != nullptr) {
+          HAOCL_RETURN_IF_ERROR(AnalyzeCondition(*stmt.cond, inner));
+        }
+        if (stmt.step != nullptr) {
+          HAOCL_RETURN_IF_ERROR(AnalyzeExpr(*stmt.step, inner));
+        }
+        ++loop_depth_;
+        Status body_status = AnalyzeStmt(*stmt.body[1], inner);
+        --loop_depth_;
+        return body_status;
+      }
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile: {
+        HAOCL_RETURN_IF_ERROR(AnalyzeCondition(*stmt.cond, scope));
+        ++loop_depth_;
+        Status body_status = AnalyzeStmt(*stmt.body[0], scope);
+        --loop_depth_;
+        return body_status;
+      }
+      case StmtKind::kReturn: {
+        if (stmt.expr == nullptr) {
+          if (!current_fn_->return_type.IsVoid()) {
+            return ErrorAt(stmt.loc, "non-void function must return a value");
+          }
+          return Status::Ok();
+        }
+        if (current_fn_->return_type.IsVoid()) {
+          return ErrorAt(stmt.loc, "void function cannot return a value");
+        }
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(*stmt.expr, scope));
+        return CheckConvertible(stmt.expr->type, current_fn_->return_type,
+                                stmt.loc, "return value");
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          return ErrorAt(stmt.loc, "break/continue outside of a loop");
+        }
+        return Status::Ok();
+    }
+    return Status(ErrorCode::kInternal, "unhandled statement kind");
+  }
+
+  Status AnalyzeDecl(Stmt& stmt, Scope& scope) {
+    for (Declarator& decl : stmt.declarators) {
+      Symbol symbol;
+      if (decl.array_size != nullptr) {
+        // Array declaration: __local (work-group shared) or __private.
+        if (stmt.decl_type.is_pointer) {
+          return ErrorAt(decl.loc, "arrays of pointers are not supported");
+        }
+        if (!current_fn_->is_kernel) {
+          // Keeps the VM's memory-region table per-launch instead of
+          // per-frame; helper functions use scalars and caller pointers.
+          return ErrorAt(decl.loc,
+                         "array variables may only be declared in kernels");
+        }
+        if (stmt.decl_space == AddressSpace::kConstant) {
+          return ErrorAt(decl.loc,
+                         "__constant variables are not supported in bodies");
+        }
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(*decl.array_size, scope));
+        std::int64_t count = 0;
+        if (!FoldIntConstant(*decl.array_size, &count) || count <= 0) {
+          return ErrorAt(decl.loc,
+                         "array size must be a positive integer constant");
+        }
+        decl.array_count = count;
+        decl.alloc_index = array_count_++;
+        if (decl.init != nullptr) {
+          return ErrorAt(decl.loc, "array initializers are not supported");
+        }
+        symbol.is_array = true;
+        symbol.alloc_index = decl.alloc_index;
+        symbol.array_space = stmt.decl_space;
+        symbol.array_elem = stmt.decl_type.scalar;
+        symbol.type = Type::Pointer(stmt.decl_type.scalar, stmt.decl_space);
+      } else {
+        if (stmt.decl_space == AddressSpace::kLocal) {
+          return ErrorAt(decl.loc,
+                         "scalar __local variables are not supported; "
+                         "declare a __local array instead");
+        }
+        if (stmt.decl_type.IsVoid()) {
+          return ErrorAt(decl.loc, "cannot declare a void variable");
+        }
+        symbol.type = stmt.decl_type;
+        symbol.slot = next_slot_++;
+        decl.slot = symbol.slot;
+        if (decl.init != nullptr) {
+          HAOCL_RETURN_IF_ERROR(AnalyzeExpr(*decl.init, scope));
+          HAOCL_RETURN_IF_ERROR(CheckConvertible(decl.init->type, symbol.type,
+                                                 decl.loc,
+                                                 "initializer for '" +
+                                                     decl.name + "'"));
+        }
+      }
+      if (!scope.Declare(decl.name, symbol)) {
+        return ErrorAt(decl.loc, "redefinition of '" + decl.name + "'");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status AnalyzeCondition(Expr& expr, Scope& scope) {
+    HAOCL_RETURN_IF_ERROR(AnalyzeExpr(expr, scope));
+    if (!expr.type.IsNumeric() && !expr.type.is_pointer) {
+      return ErrorAt(expr.loc, "condition must be numeric");
+    }
+    return Status::Ok();
+  }
+
+  // ------------------------------------------------------------ Expressions
+
+  Status AnalyzeExpr(Expr& expr, Scope& scope) {
+    switch (expr.kind) {
+      case ExprKind::kIntLiteral: {
+        ScalarType t = ScalarType::kI32;
+        if (expr.literal_unsigned && expr.literal_long) {
+          t = ScalarType::kU64;
+        } else if (expr.literal_long) {
+          t = ScalarType::kI64;
+        } else if (expr.literal_unsigned) {
+          t = ScalarType::kU32;
+        } else if (expr.int_value > 0x7fffffffULL) {
+          t = expr.int_value > 0x7fffffffffffffffULL ? ScalarType::kU64
+                                                     : ScalarType::kI64;
+        }
+        expr.type = Type::Scalar(t);
+        return Status::Ok();
+      }
+      case ExprKind::kFloatLiteral:
+        expr.type = Type::Scalar(expr.literal_float32 ? ScalarType::kF32
+                                                      : ScalarType::kF64);
+        return Status::Ok();
+      case ExprKind::kBoolLiteral:
+        expr.type = Type::Scalar(ScalarType::kBool);
+        return Status::Ok();
+      case ExprKind::kVarRef: {
+        const Symbol* symbol = scope.Lookup(expr.name);
+        if (symbol == nullptr) {
+          return ErrorAt(expr.loc, "use of undeclared name '" + expr.name + "'");
+        }
+        expr.type = symbol->type;
+        expr.symbol_slot = symbol->is_array ? -1 : symbol->slot;
+        if (symbol->is_array) {
+          // VarRef to an array decays to a pointer constant; codegen needs
+          // the allocation id, carried via builtin_id (repurposed field).
+          expr.builtin_id = symbol->alloc_index;
+        }
+        return Status::Ok();
+      }
+      case ExprKind::kBinary:
+        return AnalyzeBinary(expr, scope);
+      case ExprKind::kUnary:
+        return AnalyzeUnary(expr, scope);
+      case ExprKind::kAssign:
+        return AnalyzeAssign(expr, scope);
+      case ExprKind::kCall:
+        return AnalyzeCall(expr, scope);
+      case ExprKind::kSubscript: {
+        Expr& base = *expr.children[0];
+        Expr& index = *expr.children[1];
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(base, scope));
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(index, scope));
+        if (!base.type.is_pointer) {
+          return ErrorAt(expr.loc, "subscripted value is not a pointer");
+        }
+        if (!index.type.IsNumeric() || IsFloat(index.type.scalar)) {
+          return ErrorAt(expr.loc, "array index must be an integer");
+        }
+        expr.type = Type::Scalar(base.type.scalar);
+        return Status::Ok();
+      }
+      case ExprKind::kCast: {
+        Expr& operand = *expr.children[0];
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(operand, scope));
+        if (expr.cast_type.is_pointer) {
+          if (!operand.type.is_pointer) {
+            return ErrorAt(expr.loc, "cannot cast non-pointer to pointer");
+          }
+          if (operand.type.space != expr.cast_type.space) {
+            return ErrorAt(expr.loc,
+                           "pointer cast cannot change address space");
+          }
+        } else if (!operand.type.IsNumeric()) {
+          return ErrorAt(expr.loc, "cannot cast a pointer to a scalar");
+        }
+        expr.type = expr.cast_type;
+        return Status::Ok();
+      }
+      case ExprKind::kTernary: {
+        Expr& cond = *expr.children[0];
+        Expr& then_expr = *expr.children[1];
+        Expr& else_expr = *expr.children[2];
+        HAOCL_RETURN_IF_ERROR(AnalyzeCondition(cond, scope));
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(then_expr, scope));
+        HAOCL_RETURN_IF_ERROR(AnalyzeExpr(else_expr, scope));
+        if (then_expr.type.is_pointer || else_expr.type.is_pointer) {
+          if (then_expr.type != else_expr.type) {
+            return ErrorAt(expr.loc, "ternary branches have different types");
+          }
+          expr.type = then_expr.type;
+        } else {
+          expr.type = Type::Scalar(CommonArithmeticType(
+              then_expr.type.scalar, else_expr.type.scalar));
+        }
+        return Status::Ok();
+      }
+    }
+    return Status(ErrorCode::kInternal, "unhandled expression kind");
+  }
+
+  Status AnalyzeBinary(Expr& expr, Scope& scope) {
+    Expr& lhs = *expr.children[0];
+    Expr& rhs = *expr.children[1];
+    HAOCL_RETURN_IF_ERROR(AnalyzeExpr(lhs, scope));
+    HAOCL_RETURN_IF_ERROR(AnalyzeExpr(rhs, scope));
+
+    switch (expr.binary_op) {
+      case BinaryOp::kLogicalAnd:
+      case BinaryOp::kLogicalOr:
+        if ((!lhs.type.IsNumeric() && !lhs.type.is_pointer) ||
+            (!rhs.type.IsNumeric() && !rhs.type.is_pointer)) {
+          return ErrorAt(expr.loc, "logical operands must be scalar");
+        }
+        expr.type = Type::Scalar(ScalarType::kBool);
+        return Status::Ok();
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (lhs.type.is_pointer != rhs.type.is_pointer) {
+          return ErrorAt(expr.loc, "cannot compare pointer with scalar");
+        }
+        if (!lhs.type.is_pointer &&
+            (!lhs.type.IsNumeric() || !rhs.type.IsNumeric())) {
+          return ErrorAt(expr.loc, "comparison needs numeric operands");
+        }
+        expr.type = Type::Scalar(ScalarType::kBool);
+        return Status::Ok();
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+        // Pointer arithmetic: ptr +/- int.
+        if (lhs.type.is_pointer && rhs.type.IsNumeric() &&
+            !IsFloat(rhs.type.scalar)) {
+          expr.type = lhs.type;
+          return Status::Ok();
+        }
+        if (expr.binary_op == BinaryOp::kAdd && rhs.type.is_pointer &&
+            lhs.type.IsNumeric() && !IsFloat(lhs.type.scalar)) {
+          expr.type = rhs.type;
+          return Status::Ok();
+        }
+        [[fallthrough]];
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        if (!lhs.type.IsNumeric() || !rhs.type.IsNumeric()) {
+          return ErrorAt(expr.loc, "arithmetic needs numeric operands");
+        }
+        expr.type = Type::Scalar(
+            CommonArithmeticType(lhs.type.scalar, rhs.type.scalar));
+        return Status::Ok();
+      case BinaryOp::kMod:
+      case BinaryOp::kBitAnd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor:
+      case BinaryOp::kShl:
+      case BinaryOp::kShr:
+        if (!lhs.type.IsNumeric() || IsFloat(lhs.type.scalar) ||
+            !rhs.type.IsNumeric() || IsFloat(rhs.type.scalar)) {
+          return ErrorAt(expr.loc, "integer operation needs integer operands");
+        }
+        if (expr.binary_op == BinaryOp::kShl ||
+            expr.binary_op == BinaryOp::kShr) {
+          expr.type = Type::Scalar(Promote(lhs.type.scalar));
+        } else {
+          expr.type = Type::Scalar(
+              CommonArithmeticType(lhs.type.scalar, rhs.type.scalar));
+        }
+        return Status::Ok();
+    }
+    return Status(ErrorCode::kInternal, "unhandled binary op");
+  }
+
+  Status AnalyzeUnary(Expr& expr, Scope& scope) {
+    Expr& operand = *expr.children[0];
+    HAOCL_RETURN_IF_ERROR(AnalyzeExpr(operand, scope));
+    switch (expr.unary_op) {
+      case UnaryOp::kNeg:
+      case UnaryOp::kPlus:
+        if (!operand.type.IsNumeric()) {
+          return ErrorAt(expr.loc, "unary +/- needs a numeric operand");
+        }
+        expr.type = Type::Scalar(Promote(operand.type.scalar));
+        return Status::Ok();
+      case UnaryOp::kLogicalNot:
+        if (!operand.type.IsNumeric() && !operand.type.is_pointer) {
+          return ErrorAt(expr.loc, "'!' needs a scalar operand");
+        }
+        expr.type = Type::Scalar(ScalarType::kBool);
+        return Status::Ok();
+      case UnaryOp::kBitNot:
+        if (!operand.type.IsNumeric() || IsFloat(operand.type.scalar)) {
+          return ErrorAt(expr.loc, "'~' needs an integer operand");
+        }
+        expr.type = Type::Scalar(Promote(operand.type.scalar));
+        return Status::Ok();
+      case UnaryOp::kPreInc:
+      case UnaryOp::kPreDec:
+      case UnaryOp::kPostInc:
+      case UnaryOp::kPostDec:
+        HAOCL_RETURN_IF_ERROR(CheckLvalue(operand, "increment/decrement"));
+        if (!operand.type.IsNumeric() && !operand.type.is_pointer) {
+          return ErrorAt(expr.loc, "++/-- needs a numeric or pointer operand");
+        }
+        expr.type = operand.type;
+        return Status::Ok();
+    }
+    return Status(ErrorCode::kInternal, "unhandled unary op");
+  }
+
+  Status AnalyzeAssign(Expr& expr, Scope& scope) {
+    Expr& lhs = *expr.children[0];
+    Expr& rhs = *expr.children[1];
+    HAOCL_RETURN_IF_ERROR(AnalyzeExpr(lhs, scope));
+    HAOCL_RETURN_IF_ERROR(AnalyzeExpr(rhs, scope));
+    HAOCL_RETURN_IF_ERROR(CheckLvalue(lhs, "assignment"));
+
+    if (lhs.type.is_pointer) {
+      if (expr.compound) {
+        if (expr.binary_op != BinaryOp::kAdd &&
+            expr.binary_op != BinaryOp::kSub) {
+          return ErrorAt(expr.loc, "invalid compound op on pointer");
+        }
+        if (!rhs.type.IsNumeric() || IsFloat(rhs.type.scalar)) {
+          return ErrorAt(expr.loc, "pointer += needs an integer");
+        }
+      } else if (!rhs.type.is_pointer || rhs.type != lhs.type) {
+        return ErrorAt(expr.loc, "incompatible pointer assignment");
+      }
+    } else {
+      if (!rhs.type.IsNumeric()) {
+        return ErrorAt(expr.loc, "cannot assign pointer to scalar");
+      }
+      if (expr.compound) {
+        const bool integer_only =
+            expr.binary_op == BinaryOp::kMod ||
+            expr.binary_op == BinaryOp::kBitAnd ||
+            expr.binary_op == BinaryOp::kBitOr ||
+            expr.binary_op == BinaryOp::kBitXor ||
+            expr.binary_op == BinaryOp::kShl ||
+            expr.binary_op == BinaryOp::kShr;
+        if (integer_only &&
+            (IsFloat(lhs.type.scalar) || IsFloat(rhs.type.scalar))) {
+          return ErrorAt(expr.loc, "integer compound op on float operand");
+        }
+      }
+    }
+    expr.type = lhs.type;
+    return Status::Ok();
+  }
+
+  Status AnalyzeCall(Expr& expr, Scope& scope) {
+    std::vector<Type> arg_types;
+    arg_types.reserve(expr.children.size());
+    for (auto& arg : expr.children) {
+      HAOCL_RETURN_IF_ERROR(AnalyzeExpr(*arg, scope));
+      arg_types.push_back(arg->type);
+    }
+
+    // barrier() is special: lowered to a dedicated opcode.
+    if (expr.name == "barrier" || expr.name == "mem_fence" ||
+        expr.name == "work_group_barrier") {
+      if (!current_fn_->is_kernel) {
+        return ErrorAt(expr.loc, "barrier() may only be called from a kernel");
+      }
+      current_fn_->uses_barrier = true;
+      expr.builtin_id = -2;  // Sentinel: barrier.
+      expr.type = Type::Void();
+      return Status::Ok();
+    }
+
+    if (auto sig = ResolveBuiltin(expr.name, arg_types)) {
+      expr.builtin_id = static_cast<int>(sig->id);
+      expr.type = sig->result;
+      return Status::Ok();
+    }
+    if (IsBuiltinName(expr.name)) {
+      return ErrorAt(expr.loc,
+                     "no matching overload for builtin '" + expr.name + "'");
+    }
+
+    auto it = functions_.find(expr.name);
+    if (it == functions_.end()) {
+      return ErrorAt(expr.loc, "call to unknown function '" + expr.name + "'");
+    }
+    FunctionDecl* callee = it->second;
+    if (callee->is_kernel) {
+      return ErrorAt(expr.loc, "kernels cannot be called from device code");
+    }
+    if (callee->params.size() != expr.children.size()) {
+      return ErrorAt(expr.loc, "wrong number of arguments to '" + expr.name +
+                                   "': expected " +
+                                   std::to_string(callee->params.size()));
+    }
+    for (std::size_t i = 0; i < arg_types.size(); ++i) {
+      HAOCL_RETURN_IF_ERROR(CheckConvertible(
+          arg_types[i], callee->params[i].type, expr.children[i]->loc,
+          "argument " + std::to_string(i + 1) + " of '" + expr.name + "'"));
+    }
+    expr.callee_index = callee->index;
+    expr.type = callee->return_type;
+    return Status::Ok();
+  }
+
+  // --------------------------------------------------------------- Utility
+
+  Status CheckLvalue(const Expr& expr, const char* what) {
+    if (expr.kind == ExprKind::kVarRef && expr.symbol_slot >= 0) {
+      return Status::Ok();
+    }
+    if (expr.kind == ExprKind::kSubscript) return Status::Ok();
+    return ErrorAt(expr.loc, std::string("operand of ") + what +
+                                 " is not assignable");
+  }
+
+  Status CheckConvertible(const Type& from, const Type& to, SourceLocation loc,
+                          const std::string& what) {
+    if (from == to) return Status::Ok();
+    if (from.IsNumeric() && to.IsNumeric()) return Status::Ok();
+    if (from.is_pointer && to.is_pointer && from.space == to.space &&
+        from.scalar == to.scalar) {
+      return Status::Ok();
+    }
+    return ErrorAt(loc, "cannot convert " + from.ToString() + " to " +
+                            to.ToString() + " for " + what);
+  }
+
+  // Best-effort constant folding for array sizes (literals and arithmetic
+  // over literals, after macro substitution).
+  static bool FoldIntConstant(const Expr& expr, std::int64_t* out) {
+    switch (expr.kind) {
+      case ExprKind::kIntLiteral:
+        *out = static_cast<std::int64_t>(expr.int_value);
+        return true;
+      case ExprKind::kBinary: {
+        std::int64_t lhs = 0;
+        std::int64_t rhs = 0;
+        if (!FoldIntConstant(*expr.children[0], &lhs) ||
+            !FoldIntConstant(*expr.children[1], &rhs)) {
+          return false;
+        }
+        switch (expr.binary_op) {
+          case BinaryOp::kAdd: *out = lhs + rhs; return true;
+          case BinaryOp::kSub: *out = lhs - rhs; return true;
+          case BinaryOp::kMul: *out = lhs * rhs; return true;
+          case BinaryOp::kDiv:
+            if (rhs == 0) return false;
+            *out = lhs / rhs;
+            return true;
+          case BinaryOp::kShl: *out = lhs << rhs; return true;
+          case BinaryOp::kShr: *out = lhs >> rhs; return true;
+          default: return false;
+        }
+      }
+      case ExprKind::kUnary:
+        if (expr.unary_op == UnaryOp::kNeg) {
+          std::int64_t v = 0;
+          if (!FoldIntConstant(*expr.children[0], &v)) return false;
+          *out = -v;
+          return true;
+        }
+        return false;
+      case ExprKind::kCast:
+        return FoldIntConstant(*expr.children[0], out);
+      default:
+        return false;
+    }
+  }
+
+  TranslationUnit& unit_;
+  std::unordered_map<std::string, FunctionDecl*> functions_;
+  FunctionDecl* current_fn_ = nullptr;
+  int next_slot_ = 0;
+  int array_count_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+Status Analyze(TranslationUnit& unit) { return Analyzer(unit).Run(); }
+
+}  // namespace haocl::oclc

@@ -1,0 +1,17 @@
+// Semantic analysis: resolves names to slots, checks and annotates types,
+// resolves builtin/user calls, validates address-space rules (e.g. __local
+// declarations only in kernels, barrier() only in kernels), and folds
+// array-size constant expressions.
+#pragma once
+
+#include "common/status.h"
+#include "oclc/ast.h"
+
+namespace haocl::oclc {
+
+// Analyzes the unit in place. On success every Expr has a valid `type`,
+// every VarRef a `symbol_slot`, every Call a builtin or callee index, and
+// every FunctionDecl its `local_slot_count` and `index`.
+Status Analyze(TranslationUnit& unit);
+
+}  // namespace haocl::oclc

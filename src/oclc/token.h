@@ -1,0 +1,46 @@
+// Token stream definitions for the OpenCL C lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haocl::oclc {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kKeyword,
+  // Punctuation & operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kQuestion, kColon,
+  kAssign,          // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kPlusPlus, kMinusMinus,
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAmpAmp, kPipePipe, kBang,
+  kAmp, kPipe, kCaret, kTilde, kShl, kShr,
+};
+
+struct SourceLocation {
+  int line = 1;
+  int column = 1;
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;          // Identifier / keyword spelling.
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  bool is_unsigned = false;  // Literal suffix u/U seen.
+  bool is_long = false;      // Literal suffix l/L seen.
+  bool is_float_suffix = false;  // Literal suffix f/F seen.
+  SourceLocation loc;
+};
+
+const char* TokenKindName(TokenKind kind) noexcept;
+
+}  // namespace haocl::oclc

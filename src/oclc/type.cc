@@ -1,0 +1,74 @@
+#include "oclc/type.h"
+
+namespace haocl::oclc {
+
+const char* ScalarTypeName(ScalarType t) noexcept {
+  switch (t) {
+    case ScalarType::kVoid: return "void";
+    case ScalarType::kBool: return "bool";
+    case ScalarType::kI8: return "char";
+    case ScalarType::kU8: return "uchar";
+    case ScalarType::kI16: return "short";
+    case ScalarType::kU16: return "ushort";
+    case ScalarType::kI32: return "int";
+    case ScalarType::kU32: return "uint";
+    case ScalarType::kI64: return "long";
+    case ScalarType::kU64: return "ulong";
+    case ScalarType::kF32: return "float";
+    case ScalarType::kF64: return "double";
+  }
+  return "?";
+}
+
+const char* AddressSpaceName(AddressSpace s) noexcept {
+  switch (s) {
+    case AddressSpace::kPrivate: return "__private";
+    case AddressSpace::kGlobal: return "__global";
+    case AddressSpace::kLocal: return "__local";
+    case AddressSpace::kConstant: return "__constant";
+  }
+  return "?";
+}
+
+std::string Type::ToString() const {
+  std::string out;
+  if (is_pointer) {
+    out = std::string(AddressSpaceName(space)) + " " +
+          ScalarTypeName(scalar) + "*";
+  } else {
+    out = ScalarTypeName(scalar);
+  }
+  return out;
+}
+
+ScalarType Promote(ScalarType t) noexcept {
+  switch (t) {
+    case ScalarType::kBool:
+    case ScalarType::kI8:
+    case ScalarType::kI16:
+      return ScalarType::kI32;
+    case ScalarType::kU8:
+    case ScalarType::kU16:
+      // Values of these types always fit in int, per C promotion rules.
+      return ScalarType::kI32;
+    default:
+      return t;
+  }
+}
+
+ScalarType CommonArithmeticType(ScalarType a, ScalarType b) noexcept {
+  if (a == ScalarType::kF64 || b == ScalarType::kF64) return ScalarType::kF64;
+  if (a == ScalarType::kF32 || b == ScalarType::kF32) return ScalarType::kF32;
+  a = Promote(a);
+  b = Promote(b);
+  if (a == b) return a;
+  if (a == ScalarType::kU64 || b == ScalarType::kU64) return ScalarType::kU64;
+  if (a == ScalarType::kI64 || b == ScalarType::kI64) {
+    // i64 can represent all u32 values.
+    return ScalarType::kI64;
+  }
+  if (a == ScalarType::kU32 || b == ScalarType::kU32) return ScalarType::kU32;
+  return ScalarType::kI32;
+}
+
+}  // namespace haocl::oclc

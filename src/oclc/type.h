@@ -1,0 +1,109 @@
+// Type system for the OpenCL C subset compiled by HaoCL's device drivers.
+//
+// Supported: the scalar types of OpenCL C (bool, char..ulong, float,
+// double, size_t), and single-level pointers qualified by an address space
+// (__global, __local, __constant, __private). Vector types, structs and
+// images are outside the subset (none of the paper's benchmarks need them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haocl::oclc {
+
+enum class ScalarType : std::uint8_t {
+  kVoid,
+  kBool,
+  kI8,   // char
+  kU8,   // uchar
+  kI16,  // short
+  kU16,  // ushort
+  kI32,  // int
+  kU32,  // uint
+  kI64,  // long
+  kU64,  // ulong, size_t
+  kF32,  // float
+  kF64,  // double
+};
+
+enum class AddressSpace : std::uint8_t {
+  kPrivate = 0,
+  kGlobal = 1,
+  kLocal = 2,
+  kConstant = 3,
+};
+
+[[nodiscard]] constexpr std::size_t ScalarSize(ScalarType t) noexcept {
+  switch (t) {
+    case ScalarType::kVoid: return 0;
+    case ScalarType::kBool:
+    case ScalarType::kI8:
+    case ScalarType::kU8: return 1;
+    case ScalarType::kI16:
+    case ScalarType::kU16: return 2;
+    case ScalarType::kI32:
+    case ScalarType::kU32:
+    case ScalarType::kF32: return 4;
+    case ScalarType::kI64:
+    case ScalarType::kU64:
+    case ScalarType::kF64: return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr bool IsFloat(ScalarType t) noexcept {
+  return t == ScalarType::kF32 || t == ScalarType::kF64;
+}
+
+[[nodiscard]] constexpr bool IsInteger(ScalarType t) noexcept {
+  return t >= ScalarType::kI8 && t <= ScalarType::kU64;
+}
+
+[[nodiscard]] constexpr bool IsSignedInt(ScalarType t) noexcept {
+  return t == ScalarType::kI8 || t == ScalarType::kI16 ||
+         t == ScalarType::kI32 || t == ScalarType::kI64;
+}
+
+[[nodiscard]] constexpr bool IsUnsignedInt(ScalarType t) noexcept {
+  return t == ScalarType::kU8 || t == ScalarType::kU16 ||
+         t == ScalarType::kU32 || t == ScalarType::kU64;
+}
+
+const char* ScalarTypeName(ScalarType t) noexcept;
+const char* AddressSpaceName(AddressSpace s) noexcept;
+
+// A complete type: a scalar, or a pointer to a scalar in an address space.
+struct Type {
+  ScalarType scalar = ScalarType::kVoid;
+  bool is_pointer = false;
+  AddressSpace space = AddressSpace::kPrivate;  // Pointee space if pointer.
+
+  static Type Scalar(ScalarType t) { return Type{t, false, {}}; }
+  static Type Pointer(ScalarType pointee, AddressSpace space) {
+    return Type{pointee, true, space};
+  }
+  static Type Void() { return Scalar(ScalarType::kVoid); }
+
+  [[nodiscard]] bool IsVoid() const noexcept {
+    return !is_pointer && scalar == ScalarType::kVoid;
+  }
+  [[nodiscard]] bool IsNumeric() const noexcept {
+    return !is_pointer && (IsInteger(scalar) || IsFloat(scalar) ||
+                           scalar == ScalarType::kBool);
+  }
+
+  friend bool operator==(const Type&, const Type&) = default;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Usual arithmetic conversions over the subset: the common type both
+// operands are converted to before a binary arithmetic operation.
+// Mirrors C: everything below int promotes to int first.
+[[nodiscard]] ScalarType CommonArithmeticType(ScalarType a,
+                                              ScalarType b) noexcept;
+
+// Integer promotion applied to a single operand (unary ops).
+[[nodiscard]] ScalarType Promote(ScalarType t) noexcept;
+
+}  // namespace haocl::oclc

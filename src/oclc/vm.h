@@ -1,0 +1,107 @@
+// Bytecode VM executing compiled kernels over an NDRange.
+//
+// Execution model: work-groups are independent and are distributed across a
+// pool of host threads (this is the "compute unit" parallelism of the
+// simulated device). Within a work-group, work-items are interpreted
+// cooperatively: each runs until it finishes or reaches a barrier(); at a
+// barrier every item's machine state (pc, operand stack, locals, frames) is
+// suspended, and all items resume only after the whole group arrived —
+// the OpenCL barrier semantics, without coroutines or OS threads per item.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "oclc/bytecode.h"
+
+namespace haocl::oclc {
+
+// Launch geometry (OpenCL NDRange, up to 3 dimensions).
+struct NDRange {
+  std::uint32_t work_dim = 1;
+  std::uint64_t global[3] = {1, 1, 1};
+  std::uint64_t local[3] = {1, 1, 1};
+  bool local_specified = false;
+};
+
+// One bound kernel argument.
+struct ArgBinding {
+  enum class Kind : std::uint8_t { kBuffer, kScalar, kLocalMem };
+  Kind kind = Kind::kScalar;
+
+  // kBuffer: borrowed device-buffer bytes (writable).
+  std::uint8_t* data = nullptr;
+  std::uint64_t size = 0;
+
+  // kScalar: canonical value + its declared type.
+  Value scalar{};
+  ScalarType scalar_type = ScalarType::kI32;
+
+  // kLocalMem: per-group scratch size in bytes.
+  std::uint64_t local_size = 0;
+
+  static ArgBinding Buffer(void* data, std::uint64_t size) {
+    ArgBinding b;
+    b.kind = Kind::kBuffer;
+    b.data = static_cast<std::uint8_t*>(data);
+    b.size = size;
+    return b;
+  }
+  static ArgBinding Scalar(Value v, ScalarType t) {
+    ArgBinding b;
+    b.kind = Kind::kScalar;
+    b.scalar = v;
+    b.scalar_type = t;
+    return b;
+  }
+  static ArgBinding LocalMem(std::uint64_t bytes) {
+    ArgBinding b;
+    b.kind = Kind::kLocalMem;
+    b.local_size = bytes;
+    return b;
+  }
+  // Convenience constructors used heavily in tests.
+  static ArgBinding Int(std::int32_t v) {
+    Value value;
+    value.i = v;
+    return Scalar(value, ScalarType::kI32);
+  }
+  static ArgBinding UInt(std::uint32_t v) {
+    Value value;
+    value.u = v;
+    return Scalar(value, ScalarType::kU32);
+  }
+  static ArgBinding Long(std::int64_t v) {
+    Value value;
+    value.i = v;
+    return Scalar(value, ScalarType::kI64);
+  }
+  static ArgBinding Float(float v) {
+    Value value;
+    value.f = static_cast<double>(v);
+    return Scalar(value, ScalarType::kF32);
+  }
+  static ArgBinding Double(double v) {
+    Value value;
+    value.f = v;
+    return Scalar(value, ScalarType::kF64);
+  }
+};
+
+struct LaunchOptions {
+  int num_threads = 1;  // Host threads across work-groups.
+  std::uint64_t max_instructions_per_item = 1ULL << 33;  // Runaway guard.
+};
+
+// Executes `kernel` from `module` over `range` with `args` bound in
+// declaration order. Blocking; returns once every work-group finished.
+Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
+                    const std::vector<ArgBinding>& args, const NDRange& range,
+                    const LaunchOptions& options = {});
+
+// Fills in range.local when the caller did not specify it, mirroring the
+// OpenCL runtime's choice for clEnqueueNDRangeKernel(local_size=NULL).
+void ChooseLocalSize(NDRange& range) noexcept;
+
+}  // namespace haocl::oclc

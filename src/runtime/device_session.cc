@@ -1,0 +1,247 @@
+#include "runtime/device_session.h"
+
+#include <cstring>
+
+namespace haocl::runtime {
+namespace {
+
+Status NoSuchBuffer(std::uint64_t id) {
+  return Status(ErrorCode::kInvalidMemObject,
+                "no buffer with id " + std::to_string(id));
+}
+
+}  // namespace
+
+Status DeviceSession::CreateBuffer(std::uint64_t buffer_id,
+                                   std::uint64_t size) {
+  if (size == 0) {
+    return Status(ErrorCode::kInvalidBufferSize, "zero-sized buffer");
+  }
+  if (buffers_.count(buffer_id) != 0) {
+    return Status(ErrorCode::kInvalidValue,
+                  "buffer id " + std::to_string(buffer_id) + " already exists");
+  }
+  // A real allocation can fail; surface that as the OpenCL error rather
+  // than letting bad_alloc escape across the protocol boundary.
+  try {
+    buffers_[buffer_id].resize(size, 0);
+  } catch (const std::bad_alloc&) {
+    buffers_.erase(buffer_id);
+    return Status(ErrorCode::kMemObjectAllocationFailure,
+                  "cannot allocate " + std::to_string(size) + " bytes");
+  }
+  bytes_allocated_ += size;
+  return Status::Ok();
+}
+
+Status DeviceSession::WriteBuffer(std::uint64_t buffer_id,
+                                  std::uint64_t offset,
+                                  const std::vector<std::uint8_t>& data) {
+  auto it = buffers_.find(buffer_id);
+  if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
+  if (offset + data.size() > it->second.size()) {
+    return Status(ErrorCode::kInvalidValue,
+                  "write beyond buffer end: offset " + std::to_string(offset) +
+                      " + " + std::to_string(data.size()) + " > " +
+                      std::to_string(it->second.size()));
+  }
+  std::memcpy(it->second.data() + offset, data.data(), data.size());
+  return Status::Ok();
+}
+
+Expected<std::vector<std::uint8_t>> DeviceSession::ReadBuffer(
+    std::uint64_t buffer_id, std::uint64_t offset, std::uint64_t size) {
+  auto it = buffers_.find(buffer_id);
+  if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
+  if (offset + size > it->second.size()) {
+    return Status(ErrorCode::kInvalidValue, "read beyond buffer end");
+  }
+  return std::vector<std::uint8_t>(it->second.begin() + offset,
+                                   it->second.begin() + offset + size);
+}
+
+Status DeviceSession::CopyBuffer(const net::CopyBufferRequest& request) {
+  auto src = buffers_.find(request.src_buffer_id);
+  if (src == buffers_.end()) return NoSuchBuffer(request.src_buffer_id);
+  auto dst = buffers_.find(request.dst_buffer_id);
+  if (dst == buffers_.end()) return NoSuchBuffer(request.dst_buffer_id);
+  if (request.src_offset + request.size > src->second.size() ||
+      request.dst_offset + request.size > dst->second.size()) {
+    return Status(ErrorCode::kInvalidValue, "copy out of range");
+  }
+  std::memmove(dst->second.data() + request.dst_offset,
+               src->second.data() + request.src_offset, request.size);
+  return Status::Ok();
+}
+
+Status DeviceSession::ReleaseBuffer(std::uint64_t buffer_id) {
+  auto it = buffers_.find(buffer_id);
+  if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
+  bytes_allocated_ -= it->second.size();
+  buffers_.erase(it);
+  return Status::Ok();
+}
+
+net::BuildProgramReply DeviceSession::BuildProgram(std::uint64_t program_id,
+                                                   const std::string& source) {
+  net::BuildProgramReply reply;
+  std::string build_log;
+  auto module = driver_->Build(source, &build_log);
+  if (!module.ok()) {
+    reply.status_code =
+        static_cast<std::int32_t>(ErrorCode::kBuildProgramFailure);
+    reply.build_log = build_log.empty() ? module.status().message() : build_log;
+    return reply;
+  }
+  ProgramEntry entry;
+  entry.module = *std::move(module);
+  entry.build_log = build_log;
+  reply.kernel_names = entry.module->KernelNames();
+  programs_[program_id] = std::move(entry);
+  return reply;
+}
+
+Status DeviceSession::ReleaseProgram(std::uint64_t program_id) {
+  if (programs_.erase(program_id) == 0) {
+    return Status(ErrorCode::kInvalidProgram,
+                  "no program with id " + std::to_string(program_id));
+  }
+  return Status::Ok();
+}
+
+net::LaunchKernelReply DeviceSession::LaunchKernel(
+    const net::LaunchKernelRequest& request) {
+  net::LaunchKernelReply reply;
+  auto fail = [&reply](const Status& status) {
+    reply.status_code = static_cast<std::int32_t>(status.code());
+    reply.error_message = status.message();
+    return reply;
+  };
+
+  auto program = programs_.find(request.program_id);
+  if (program == programs_.end()) {
+    return fail(Status(ErrorCode::kInvalidProgram,
+                       "no program " + std::to_string(request.program_id)));
+  }
+  const oclc::Module& module = *program->second.module;
+  const oclc::CompiledFunction* kernel =
+      module.FindKernel(request.kernel_name);
+  if (kernel == nullptr) {
+    return fail(Status(ErrorCode::kInvalidKernelName,
+                       "no kernel '" + request.kernel_name + "'"));
+  }
+  if (request.args.size() != kernel->params.size()) {
+    return fail(Status(ErrorCode::kInvalidKernelArgs,
+                       "kernel '" + request.kernel_name + "' takes " +
+                           std::to_string(kernel->params.size()) +
+                           " args, got " +
+                           std::to_string(request.args.size())));
+  }
+
+  // Bind wire arguments to VM bindings.
+  std::vector<oclc::ArgBinding> bindings;
+  bindings.reserve(request.args.size());
+  for (std::size_t i = 0; i < request.args.size(); ++i) {
+    const net::WireKernelArg& arg = request.args[i];
+    const oclc::KernelArgInfo& param = kernel->params[i];
+    switch (arg.kind) {
+      case net::WireKernelArg::Kind::kBuffer: {
+        auto it = buffers_.find(arg.buffer_id);
+        if (it == buffers_.end()) {
+          return fail(NoSuchBuffer(arg.buffer_id));
+        }
+        bindings.push_back(oclc::ArgBinding::Buffer(it->second.data(),
+                                                    it->second.size()));
+        break;
+      }
+      case net::WireKernelArg::Kind::kScalar: {
+        if (param.type.is_pointer) {
+          return fail(Status(ErrorCode::kInvalidArgValue,
+                             "scalar bound to pointer arg " +
+                                 std::to_string(i)));
+        }
+        const std::size_t want = oclc::ScalarSize(param.type.scalar);
+        if (arg.scalar_bytes.size() != want) {
+          return fail(Status(ErrorCode::kInvalidArgSize,
+                             "arg " + std::to_string(i) + " of '" +
+                                 request.kernel_name + "' expects " +
+                                 std::to_string(want) + " bytes, got " +
+                                 std::to_string(arg.scalar_bytes.size())));
+        }
+        // Reinterpret the raw bytes exactly as clSetKernelArg received
+        // them, using the declared parameter type.
+        oclc::ArgBinding binding;
+        binding.kind = oclc::ArgBinding::Kind::kScalar;
+        binding.scalar_type = param.type.scalar;
+        std::uint8_t raw[8] = {0};
+        std::memcpy(raw, arg.scalar_bytes.data(), want);
+        switch (param.type.scalar) {
+          case oclc::ScalarType::kF32: {
+            float f;
+            std::memcpy(&f, raw, 4);
+            binding.scalar.f = f;
+            break;
+          }
+          case oclc::ScalarType::kF64: {
+            double d;
+            std::memcpy(&d, raw, 8);
+            binding.scalar.f = d;
+            break;
+          }
+          default: {
+            // Integers: zero-extend then sign-extend per type.
+            std::uint64_t u = 0;
+            std::memcpy(&u, raw, want);
+            if (oclc::IsSignedInt(param.type.scalar)) {
+              const int bits = static_cast<int>(want) * 8;
+              const std::int64_t shifted =
+                  static_cast<std::int64_t>(u << (64 - bits));
+              binding.scalar.i = shifted >> (64 - bits);
+            } else {
+              binding.scalar.u = u;
+            }
+            break;
+          }
+        }
+        bindings.push_back(binding);
+        break;
+      }
+      case net::WireKernelArg::Kind::kLocalSize:
+        bindings.push_back(oclc::ArgBinding::LocalMem(arg.local_size));
+        break;
+    }
+  }
+
+  oclc::NDRange range;
+  range.work_dim = request.work_dim;
+  for (int d = 0; d < 3; ++d) {
+    range.global[d] = request.global[d];
+    range.local[d] = request.local[d];
+  }
+  range.local_specified = request.local_specified;
+
+  driver::LaunchProfile profile;
+  Status launched = driver_->Launch(module, request.kernel_name, bindings,
+                                    range, &profile);
+  if (!launched.ok()) return fail(launched);
+
+  reply.modeled_seconds = profile.modeled_seconds;
+  reply.modeled_joules = profile.modeled_joules;
+  reply.flops = profile.flops;
+  reply.bytes_accessed = profile.bytes_accessed;
+  ++kernels_executed_;
+  busy_seconds_total_ += profile.modeled_seconds;
+  return reply;
+}
+
+net::LoadReply DeviceSession::Load() const {
+  net::LoadReply reply;
+  reply.queue_depth = 0;  // Filled by the NMP, which owns the queue.
+  reply.buffers_held = buffers_.size();
+  reply.bytes_allocated = bytes_allocated_;
+  reply.busy_seconds_total = busy_seconds_total_;
+  reply.kernels_executed = kernels_executed_;
+  return reply;
+}
+
+}  // namespace haocl::runtime

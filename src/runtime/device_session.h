@@ -1,0 +1,72 @@
+// DeviceSession: the node-local OpenCL execution engine.
+//
+// One DeviceSession exists per (device node, user session). It owns the
+// node-side state a forwarded OpenCL application needs: device buffers,
+// built programs, and the driver handle, and it executes the command stream
+// in order (the in-order command-queue semantics OpenCL guarantees). The
+// NMP is a thin protocol shell around this class; unit tests drive it
+// directly without any networking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "driver/device_driver.h"
+#include "net/protocol.h"
+
+namespace haocl::runtime {
+
+class DeviceSession {
+ public:
+  // The driver is shared with other sessions on the same node (a "shared"
+  // device in the paper's terms); the session only owns its own objects.
+  explicit DeviceSession(driver::DeviceDriver* driver) : driver_(driver) {}
+
+  DeviceSession(const DeviceSession&) = delete;
+  DeviceSession& operator=(const DeviceSession&) = delete;
+
+  // ---- Buffers ----------------------------------------------------------
+  Status CreateBuffer(std::uint64_t buffer_id, std::uint64_t size);
+  Status WriteBuffer(std::uint64_t buffer_id, std::uint64_t offset,
+                     const std::vector<std::uint8_t>& data);
+  Expected<std::vector<std::uint8_t>> ReadBuffer(std::uint64_t buffer_id,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t size);
+  Status CopyBuffer(const net::CopyBufferRequest& request);
+  Status ReleaseBuffer(std::uint64_t buffer_id);
+
+  // ---- Programs ---------------------------------------------------------
+  net::BuildProgramReply BuildProgram(std::uint64_t program_id,
+                                      const std::string& source);
+  Status ReleaseProgram(std::uint64_t program_id);
+
+  // ---- Kernels ----------------------------------------------------------
+  net::LaunchKernelReply LaunchKernel(const net::LaunchKernelRequest& request);
+
+  // ---- Introspection ----------------------------------------------------
+  [[nodiscard]] net::LoadReply Load() const;
+  [[nodiscard]] const sim::DeviceSpec& spec() const { return driver_->spec(); }
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+  [[nodiscard]] std::size_t program_count() const { return programs_.size(); }
+
+ private:
+  struct ProgramEntry {
+    std::shared_ptr<const oclc::Module> module;
+    std::string build_log;
+  };
+
+  driver::DeviceDriver* driver_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> buffers_;
+  std::unordered_map<std::uint64_t, ProgramEntry> programs_;
+
+  // Monitor counters the scheduler's resource monitor reads.
+  std::uint64_t bytes_allocated_ = 0;
+  std::uint64_t kernels_executed_ = 0;
+  double busy_seconds_total_ = 0.0;
+};
+
+}  // namespace haocl::runtime

@@ -1,0 +1,244 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+namespace haocl::sched {
+namespace {
+
+Status NoEligibleNode(const TaskInfo& task) {
+  return Status(ErrorCode::kSchedulerError,
+                "no eligible node for kernel '" + task.kernel_name + "'");
+}
+
+class UserDirectedPolicy : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "user"; }
+
+  Expected<std::size_t> SelectNode(const TaskInfo& task,
+                                   const ClusterView& cluster) override {
+    if (task.preferred_node < 0 ||
+        static_cast<std::size_t>(task.preferred_node) >=
+            cluster.nodes.size()) {
+      return Status(ErrorCode::kSchedulerError,
+                    "user-directed scheduling needs an explicit device "
+                    "(kernel '" + task.kernel_name + "')");
+    }
+    const auto index = static_cast<std::size_t>(task.preferred_node);
+    if (!cluster.nodes[index].alive) {
+      return Status(ErrorCode::kNodeUnreachable,
+                    "requested node '" + cluster.nodes[index].name +
+                        "' is not alive");
+    }
+    return index;
+  }
+};
+
+class RoundRobinPolicy : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "roundrobin"; }
+
+  Expected<std::size_t> SelectNode(const TaskInfo& task,
+                                   const ClusterView& cluster) override {
+    const auto eligible = cluster.EligibleFor(task);
+    if (eligible.empty()) return NoEligibleNode(task);
+    const std::uint64_t turn =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    return eligible[turn % eligible.size()];
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
+
+class LeastLoadedPolicy : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "leastloaded"; }
+
+  Expected<std::size_t> SelectNode(const TaskInfo& task,
+                                   const ClusterView& cluster) override {
+    const auto eligible = cluster.EligibleFor(task);
+    if (eligible.empty()) return NoEligibleNode(task);
+    std::size_t best = eligible[0];
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t index : eligible) {
+      const NodeView& node = cluster.nodes[index];
+      const double load =
+          node.busy_seconds_ahead + 1e-3 * node.queue_depth;
+      if (load < best_load) {
+        best_load = load;
+        best = index;
+      }
+    }
+    return best;
+  }
+};
+
+class HeterogeneityAwarePolicy : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "hetero"; }
+
+  Expected<std::size_t> SelectNode(const TaskInfo& task,
+                                   const ClusterView& cluster) override {
+    const auto eligible = cluster.EligibleFor(task);
+    if (eligible.empty()) return NoEligibleNode(task);
+    std::size_t best = eligible[0];
+    double best_time = std::numeric_limits<double>::infinity();
+    for (std::size_t index : eligible) {
+      const double t = PredictCompletionSeconds(task, cluster.nodes[index]);
+      if (t < best_time) {
+        best_time = t;
+        best = index;
+      }
+    }
+    return best;
+  }
+};
+
+class PowerAwarePolicy : public SchedulingPolicy {
+ public:
+  explicit PowerAwarePolicy(double max_slowdown)
+      : max_slowdown_(std::max(1.0, max_slowdown)) {}
+
+  [[nodiscard]] std::string name() const override { return "power"; }
+
+  Expected<std::size_t> SelectNode(const TaskInfo& task,
+                                   const ClusterView& cluster) override {
+    const auto eligible = cluster.EligibleFor(task);
+    if (eligible.empty()) return NoEligibleNode(task);
+    // Fastest option sets the latency budget.
+    double fastest = std::numeric_limits<double>::infinity();
+    for (std::size_t index : eligible) {
+      fastest = std::min(fastest,
+                         PredictCompletionSeconds(task, cluster.nodes[index]));
+    }
+    const double budget = fastest * max_slowdown_;
+    std::size_t best = eligible[0];
+    double best_energy = std::numeric_limits<double>::infinity();
+    for (std::size_t index : eligible) {
+      const NodeView& node = cluster.nodes[index];
+      const double t = PredictCompletionSeconds(task, node);
+      if (t > budget) continue;
+      const double joules = PredictEnergyJoules(task, node);
+      if (joules < best_energy) {
+        best_energy = joules;
+        best = index;
+      }
+    }
+    return best;
+  }
+
+ private:
+  double max_slowdown_;
+};
+
+struct PolicyRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, PolicyFactory> factories;
+};
+
+PolicyRegistry& Registry() {
+  static auto* registry = new PolicyRegistry();
+  static std::once_flag once;
+  std::call_once(once, [] {
+    registry->factories["user"] = MakeUserDirectedPolicy;
+    registry->factories["roundrobin"] = MakeRoundRobinPolicy;
+    registry->factories["leastloaded"] = MakeLeastLoadedPolicy;
+    registry->factories["hetero"] = MakeHeterogeneityAwarePolicy;
+    registry->factories["power"] = [] { return MakePowerAwarePolicy(); };
+  });
+  return *registry;
+}
+
+}  // namespace
+
+std::vector<std::size_t> ClusterView::EligibleFor(const TaskInfo& task) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeView& node = nodes[i];
+    if (!node.alive) continue;
+    // FPGAs run only pre-built kernels (paper §III-D).
+    if (node.type == NodeType::kFpga && !task.fpga_binary_available) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+double PredictCompletionSeconds(const TaskInfo& task, const NodeView& node) {
+  const double transfer =
+      node.link.TransferTime(task.input_bytes) +
+      node.link.TransferTime(task.output_bytes);
+  double compute;
+  if (node.observed_seconds_per_flop > 0.0 && task.cost.flops > 0.0) {
+    // Runtime profile beats the static model once available.
+    compute = node.observed_seconds_per_flop * task.cost.flops;
+  } else {
+    compute = sim::ModelKernelTime(node.spec, task.cost);
+  }
+  return node.busy_seconds_ahead + transfer + compute;
+}
+
+double PredictEnergyJoules(const TaskInfo& task, const NodeView& node) {
+  double compute;
+  if (node.observed_seconds_per_flop > 0.0 && task.cost.flops > 0.0) {
+    compute = node.observed_seconds_per_flop * task.cost.flops;
+  } else {
+    compute = sim::ModelKernelTime(node.spec, task.cost);
+  }
+  return compute * node.spec.power_watts;
+}
+
+std::unique_ptr<SchedulingPolicy> MakeUserDirectedPolicy() {
+  return std::make_unique<UserDirectedPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeRoundRobinPolicy() {
+  return std::make_unique<RoundRobinPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeLeastLoadedPolicy() {
+  return std::make_unique<LeastLoadedPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwarePolicy() {
+  return std::make_unique<HeterogeneityAwarePolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakePowerAwarePolicy(double max_slowdown) {
+  return std::make_unique<PowerAwarePolicy>(max_slowdown);
+}
+
+void RegisterPolicy(const std::string& name, PolicyFactory factory) {
+  PolicyRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.factories[name] = std::move(factory);
+}
+
+Expected<std::unique_ptr<SchedulingPolicy>> MakePolicyByName(
+    const std::string& name) {
+  PolicyRegistry& registry = Registry();
+  PolicyFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.factories.find(name);
+    if (it == registry.factories.end()) {
+      return Status(ErrorCode::kSchedulerError,
+                    "unknown scheduling policy '" + name + "'");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> RegisteredPolicyNames() {
+  PolicyRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace haocl::sched

@@ -1,0 +1,101 @@
+// Extendable task-scheduling component (paper §III-B).
+//
+// "In the current version, it delivers the kernel tasks to device nodes
+// based on users' instructions. However, it is designed in an extendable
+// manner so that it can be upgraded to an automatic scheduler with the
+// runtime profiling information from the cluster."
+//
+// SchedulingPolicy is that extension point. Built-ins:
+//   UserDirected       - the paper's shipping behaviour: honor the queue's
+//                        device choice.
+//   RoundRobin         - rotate across eligible nodes.
+//   LeastLoaded        - pick the node with the smallest backlog.
+//   HeterogeneityAware - cost model: predicted completion = data transfer +
+//                        queue drain + modeled kernel time on that device,
+//                        fed by the runtime profiles the NMPs report.
+//   PowerAware         - minimize energy (modeled joules) subject to a
+//                        slowdown cap, for the paper's power-efficiency goal.
+// Applications register custom policies with RegisterPolicy().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "sim/device_model.h"
+#include "sim/network_model.h"
+
+namespace haocl::sched {
+
+// What the scheduler knows about one pending kernel task.
+struct TaskInfo {
+  std::string kernel_name;
+  std::uint64_t user_id = 0;
+  sim::KernelCost cost;              // Estimated (or profiled) work.
+  std::uint64_t input_bytes = 0;     // Bytes that must reach the node.
+  std::uint64_t output_bytes = 0;    // Bytes coming back.
+  int preferred_node = -1;           // User instruction, -1 = none.
+  bool fpga_binary_available = true; // Can this kernel run on an FPGA?
+};
+
+// What the scheduler knows about one device node, refreshed by the
+// resource monitor.
+struct NodeView {
+  std::string name;
+  NodeType type = NodeType::kCpu;
+  sim::DeviceSpec spec;
+  sim::LinkSpec link = sim::GigabitEthernet();
+  std::uint32_t queue_depth = 0;       // Outstanding commands.
+  double busy_seconds_ahead = 0.0;     // Modeled backlog.
+  double observed_seconds_per_flop = 0.0;  // Runtime profile (0 = none yet).
+  std::uint64_t kernels_executed = 0;
+  bool alive = true;
+};
+
+struct ClusterView {
+  std::vector<NodeView> nodes;
+
+  [[nodiscard]] std::vector<std::size_t> EligibleFor(
+      const TaskInfo& task) const;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Chooses a node index for the task. Must return an eligible node or an
+  // error; the runtime turns errors into kSchedulerError for the caller.
+  virtual Expected<std::size_t> SelectNode(const TaskInfo& task,
+                                           const ClusterView& cluster) = 0;
+};
+
+std::unique_ptr<SchedulingPolicy> MakeUserDirectedPolicy();
+std::unique_ptr<SchedulingPolicy> MakeRoundRobinPolicy();
+std::unique_ptr<SchedulingPolicy> MakeLeastLoadedPolicy();
+std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwarePolicy();
+// max_slowdown: how much longer than the fastest choice the policy may
+// accept in exchange for lower energy (1.0 = never slower).
+std::unique_ptr<SchedulingPolicy> MakePowerAwarePolicy(
+    double max_slowdown = 2.0);
+
+// Policy registry: user-defined schedulers plug in by name (the paper's
+// "designers can design and illustrate their own scheduling algorithms and
+// embed them into HaoCL").
+using PolicyFactory = std::function<std::unique_ptr<SchedulingPolicy>()>;
+void RegisterPolicy(const std::string& name, PolicyFactory factory);
+Expected<std::unique_ptr<SchedulingPolicy>> MakePolicyByName(
+    const std::string& name);
+std::vector<std::string> RegisteredPolicyNames();
+
+// Predicted completion time of `task` on `node` if dispatched now; the
+// cost model HeterogeneityAware/PowerAware share (exposed for tests and
+// the ablation bench).
+double PredictCompletionSeconds(const TaskInfo& task, const NodeView& node);
+double PredictEnergyJoules(const TaskInfo& task, const NodeView& node);
+
+}  // namespace haocl::sched

@@ -1,0 +1,71 @@
+// Analytical performance/power models for the three device classes the
+// paper deploys: Intel Xeon E5-2686 CPUs, NVIDIA Tesla P4 GPUs and Xilinx
+// VU9P FPGAs. A kernel invocation is summarized as a KernelCost (flops,
+// bytes moved, work-items); the device model converts that into virtual
+// seconds with a roofline-style bound plus device-specific overheads.
+//
+// The FPGA is modelled as the paper describes it: "a streaming processor
+// with different performance characteristics from CPU or GPU" whose tasks
+// are "pre-built as executable binaries with the bitstreams". A kernel
+// whose bitstream is not resident pays a reconfiguration penalty; resident
+// kernels stream with a pipeline-fill latency and high sustained
+// efficiency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "sim/virtual_time.h"
+
+namespace haocl::sim {
+
+// Static description of one device's capabilities.
+struct DeviceSpec {
+  std::string model_name;
+  NodeType type = NodeType::kCpu;
+
+  double compute_gflops = 1.0;     // Peak sustained FP32 throughput.
+  double mem_bandwidth_gbps = 1.0; // Device memory bandwidth, GB/s.
+  double launch_overhead_s = 0.0;  // Per-kernel-launch fixed cost.
+  double power_watts = 0.0;        // Active power draw.
+
+  // Fraction of peak reachable by irregular (branchy / gather-scatter)
+  // kernels. GPUs degrade sharply on divergent code; FPGAs keep pipelines
+  // full; CPUs sit in between.
+  double irregular_efficiency = 1.0;
+
+  // FPGA-only streaming parameters (ignored for CPU/GPU).
+  double pipeline_fill_s = 0.0;    // Latency to fill the pipeline once.
+  double reconfigure_s = 0.0;      // Full/partial reconfiguration penalty.
+};
+
+// Per-invocation cost summary produced by the workload layer (or measured
+// by the runtime profiler for the heterogeneity-aware scheduler).
+struct KernelCost {
+  double flops = 0.0;          // Arithmetic work.
+  double bytes = 0.0;          // Device-memory traffic (read + write).
+  std::uint64_t work_items = 0;
+  bool irregular = false;      // Divergent control flow / random access.
+
+  KernelCost Scaled(double fraction) const {
+    KernelCost c = *this;
+    c.flops *= fraction;
+    c.bytes *= fraction;
+    c.work_items = static_cast<std::uint64_t>(
+        static_cast<double>(c.work_items) * fraction);
+    return c;
+  }
+};
+
+// Virtual seconds for `cost` on `spec`, excluding reconfiguration (the
+// driver charges that separately, once per bitstream swap).
+SimTime ModelKernelTime(const DeviceSpec& spec, const KernelCost& cost) noexcept;
+
+// Calibrated presets matching the paper's testbed (Section IV-A).
+DeviceSpec XeonE52686();   // CPU node.
+DeviceSpec TeslaP4();      // GPU node.
+DeviceSpec XilinxVU9P();   // FPGA node.
+DeviceSpec SpecForType(NodeType type);
+
+}  // namespace haocl::sim

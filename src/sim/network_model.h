@@ -1,0 +1,45 @@
+// Network link model calibrated to the paper's interconnect: "the nodes
+// are connected through Gigabit Ethernet". A transfer of B bytes over a
+// link costs latency + B / bandwidth; the host's single NIC is a serial
+// resource, so scattering data to N nodes serializes on the host uplink —
+// this is what makes the DataTransfer bars in Fig. 3 roughly flat in the
+// node count while ComputeTime shrinks.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/virtual_time.h"
+
+namespace haocl::sim {
+
+struct LinkSpec {
+  double latency_s = 0.0;       // One-way propagation + stack latency.
+  double bandwidth_gbps = 1.0;  // Payload bandwidth in gigaBITS/s.
+  double per_message_s = 0.0;   // Fixed software cost per message.
+
+  [[nodiscard]] SimTime TransferTime(std::uint64_t bytes) const noexcept {
+    const double bytes_per_second = bandwidth_gbps * 1e9 / 8.0;
+    return latency_s + per_message_s +
+           static_cast<double>(bytes) / bytes_per_second;
+  }
+};
+
+// Gigabit Ethernet as deployed in the paper's Alibaba Cloud testbed.
+inline LinkSpec GigabitEthernet() {
+  LinkSpec link;
+  link.latency_s = 100e-6;   // Cloud-network RTT/2 incl. kernel stack.
+  link.bandwidth_gbps = 0.94;  // 1 GbE minus framing overhead.
+  link.per_message_s = 15e-6;  // Serialization + syscall cost per message.
+  return link;
+}
+
+// A faster link used for ablations (what-if: 10 GbE fabric).
+inline LinkSpec TenGigabitEthernet() {
+  LinkSpec link;
+  link.latency_s = 30e-6;
+  link.bandwidth_gbps = 9.4;
+  link.per_message_s = 10e-6;
+  return link;
+}
+
+}  // namespace haocl::sim

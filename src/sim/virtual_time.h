@@ -1,0 +1,47 @@
+// Virtual-time primitives for the simulated cluster.
+//
+// The paper measured wall-clock time on a real 20-node cluster. We execute
+// kernels functionally (real bytes, real results) but account *time*
+// analytically against calibrated device and link models. Virtual time is
+// tracked with SerialResource: a device, a NIC, or a host uplink is a serial
+// resource that can do one thing at a time; occupying it returns the
+// completion timestamp. Makespans fall out of max() over resources, which is
+// exactly how the paper's phases (create / transfer / compute) compose.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace haocl::sim {
+
+// Seconds of virtual time since the start of the experiment.
+using SimTime = double;
+
+// A resource that serves requests one at a time, in arrival order.
+class SerialResource {
+ public:
+  // Occupy the resource for `duration` starting no earlier than `now`.
+  // Returns the completion time. Also used for zero-duration "sync points".
+  SimTime Acquire(SimTime now, SimTime duration) noexcept {
+    assert(duration >= 0.0);
+    const SimTime start = std::max(now, busy_until_);
+    busy_until_ = start + duration;
+    busy_total_ += duration;
+    return busy_until_;
+  }
+
+  [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
+  // Total occupied time; the power model multiplies this by device wattage.
+  [[nodiscard]] SimTime busy_total() const noexcept { return busy_total_; }
+
+  void Reset() noexcept {
+    busy_until_ = 0.0;
+    busy_total_ = 0.0;
+  }
+
+ private:
+  SimTime busy_until_ = 0.0;
+  SimTime busy_total_ = 0.0;
+};
+
+}  // namespace haocl::sim

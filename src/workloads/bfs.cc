@@ -1,0 +1,288 @@
+// BFS: level-synchronous breadth-first traversal of all connected
+// components (Table I: 240 MB; Rodinia's bfs pattern).
+//
+// Distribution: the vertex space is range-partitioned; every node holds
+// the full CSR graph (const, replicated once) plus the global frontier.
+// Each level: every node expands the frontier restricted to its own vertex
+// range and produces a next-frontier mask and level updates for ALL
+// vertices it discovered; the host gathers the per-node masks, merges, and
+// scatters the combined frontier for the next level. This is the classic
+// frontier-exchange pattern and is what makes BFS the most
+// communication-bound of the five apps (visible in Fig. 2).
+#include <algorithm>
+#include <queue>
+#include <random>
+
+#include "driver/native_registry.h"
+#include "workloads/workload.h"
+
+namespace haocl::workloads {
+namespace {
+
+constexpr char kSource[] = R"(
+// Expands frontier vertices owned by this node ([v_begin, v_end)). For
+// each discovered neighbour anywhere in the graph, sets next[u] = 1 and
+// levels[u] = depth (benign write races: all writers store equal values).
+__kernel void bfs_expand(__global const int* row_ptr,
+                         __global const int* adj,
+                         __global const int* frontier,
+                         __global int* next,
+                         __global int* levels,
+                         int v_begin, int v_end, int depth) {
+  int v = v_begin + get_global_id(0);
+  if (v >= v_end) return;
+  if (frontier[v] == 0) return;
+  for (int e = row_ptr[v]; e < row_ptr[v + 1]; e++) {
+    int u = adj[e];
+    if (levels[u] < 0) {
+      levels[u] = depth;
+      next[u] = 1;
+    }
+  }
+}
+)";
+
+Status NativeBfsExpand(const std::vector<oclc::ArgBinding>& args,
+                       const oclc::NDRange& range) {
+  const auto* row_ptr = reinterpret_cast<const std::int32_t*>(args[0].data);
+  const auto* adj = reinterpret_cast<const std::int32_t*>(args[1].data);
+  const auto* frontier = reinterpret_cast<const std::int32_t*>(args[2].data);
+  auto* next = reinterpret_cast<std::int32_t*>(args[3].data);
+  auto* levels = reinterpret_cast<std::int32_t*>(args[4].data);
+  const auto v_begin = static_cast<int>(args[5].scalar.i);
+  const auto v_end = static_cast<int>(args[6].scalar.i);
+  const auto depth = static_cast<int>(args[7].scalar.i);
+  for (std::uint64_t g = 0; g < range.global[0]; ++g) {
+    const int v = v_begin + static_cast<int>(g);
+    if (v >= v_end || frontier[v] == 0) continue;
+    for (std::int32_t e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
+      const std::int32_t u = adj[e];
+      if (levels[u] < 0) {
+        levels[u] = depth;
+        next[u] = 1;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Undirected graph with a few components, CSR form.
+struct Graph {
+  int vertices = 0;
+  std::vector<std::int32_t> row_ptr;
+  std::vector<std::int32_t> adj;
+};
+
+Graph GenerateGraph(int vertices, int avg_degree, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int32_t> vdist(0, vertices - 1);
+  std::vector<std::vector<std::int32_t>> lists(vertices);
+  // Chain within blocks of 1000 to guarantee sizeable components, plus
+  // random edges for small-world structure.
+  for (int v = 0; v + 1 < vertices; ++v) {
+    if ((v + 1) % 1000 != 0) {
+      lists[v].push_back(v + 1);
+      lists[v + 1].push_back(v);
+    }
+  }
+  const long long extra =
+      static_cast<long long>(vertices) * std::max(0, avg_degree - 2) / 2;
+  for (long long i = 0; i < extra; ++i) {
+    const std::int32_t a = vdist(rng);
+    const std::int32_t b = vdist(rng);
+    if (a == b) continue;
+    lists[a].push_back(b);
+    lists[b].push_back(a);
+  }
+  Graph g;
+  g.vertices = vertices;
+  g.row_ptr.resize(vertices + 1, 0);
+  for (int v = 0; v < vertices; ++v) {
+    g.row_ptr[v + 1] = g.row_ptr[v] +
+                       static_cast<std::int32_t>(lists[v].size());
+  }
+  g.adj.reserve(g.row_ptr.back());
+  for (int v = 0; v < vertices; ++v) {
+    g.adj.insert(g.adj.end(), lists[v].begin(), lists[v].end());
+  }
+  return g;
+}
+
+class Bfs : public Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "BFS"; }
+  [[nodiscard]] std::string description() const override {
+    return "Traverses all the connected components in a graph";
+  }
+  [[nodiscard]] std::uint64_t paper_input_bytes() const override {
+    return 240ull << 20;
+  }
+  [[nodiscard]] std::vector<std::string> kernel_names() const override {
+    return {"bfs_expand"};
+  }
+  [[nodiscard]] std::string kernel_source() const override { return kSource; }
+
+  Expected<RunReport> Run(host::ClusterRuntime& runtime,
+                          const std::vector<std::size_t>& nodes,
+                          double scale) override {
+    RegisterAllNativeKernels();
+    if (nodes.empty()) return Status(ErrorCode::kInvalidValue, "no nodes");
+    const int vertices = std::max(1000, static_cast<int>(20000 * scale));
+    const Graph g = GenerateGraph(vertices, 8, 7);
+    const std::uint64_t input_bytes =
+        g.row_ptr.size() * 4 + g.adj.size() * 4;
+
+    runtime.timeline().Reset();
+    runtime.timeline().RecordDataCreate(static_cast<double>(input_bytes) /
+                                        1e8);
+    auto program = runtime.BuildProgram(kSource);
+    if (!program.ok()) return program.status();
+
+    // Graph structure is const: replicated once to every node on first use.
+    auto row_buf = runtime.CreateBuffer(g.row_ptr.size() * 4);
+    auto adj_buf = runtime.CreateBuffer(g.adj.size() * 4);
+    if (!row_buf.ok() || !adj_buf.ok()) {
+      return Status(ErrorCode::kOutOfResources, "graph buffers failed");
+    }
+    HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(*row_buf, 0, g.row_ptr.data(),
+                                              g.row_ptr.size() * 4));
+    HAOCL_RETURN_IF_ERROR(
+        runtime.WriteBuffer(*adj_buf, 0, g.adj.data(), g.adj.size() * 4));
+
+    // Per-node frontier/next/levels working buffers (exchanged per level).
+    struct NodeState {
+      host::BufferId frontier;
+      host::BufferId next;
+      host::BufferId levels;
+      int v_begin;
+      int v_end;
+      std::size_t node;
+    };
+    const int per = (vertices + static_cast<int>(nodes.size()) - 1) /
+                    static_cast<int>(nodes.size());
+    std::vector<NodeState> states;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      NodeState st;
+      st.v_begin = static_cast<int>(i) * per;
+      st.v_end = std::min(vertices, st.v_begin + per);
+      st.node = nodes[i];
+      if (st.v_begin >= st.v_end) break;
+      auto f = runtime.CreateBuffer(static_cast<std::uint64_t>(vertices) * 4);
+      auto x = runtime.CreateBuffer(static_cast<std::uint64_t>(vertices) * 4);
+      auto l = runtime.CreateBuffer(static_cast<std::uint64_t>(vertices) * 4);
+      if (!f.ok() || !x.ok() || !l.ok()) {
+        return Status(ErrorCode::kOutOfResources, "bfs buffers failed");
+      }
+      st.frontier = *f;
+      st.next = *x;
+      st.levels = *l;
+      states.push_back(st);
+    }
+
+    // Host-side master copies.
+    std::vector<std::int32_t> frontier(vertices, 0);
+    std::vector<std::int32_t> levels(vertices, -1);
+    const int source = 0;
+    frontier[source] = 1;
+    levels[source] = 0;
+
+    int depth = 0;
+    bool frontier_nonempty = true;
+    const std::vector<std::int32_t> zeros(vertices, 0);
+    while (frontier_nonempty && depth < vertices) {
+      ++depth;
+      // Scatter the merged frontier + current levels to all nodes.
+      for (NodeState& st : states) {
+        HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(
+            st.frontier, 0, frontier.data(), frontier.size() * 4));
+        HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(st.next, 0, zeros.data(),
+                                                  zeros.size() * 4));
+        HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(st.levels, 0, levels.data(),
+                                                  levels.size() * 4));
+        host::ClusterRuntime::LaunchSpec spec;
+        spec.program = *program;
+        spec.kernel_name = "bfs_expand";
+        spec.args = {host::KernelArgValue::Buffer(*row_buf),
+                     host::KernelArgValue::Buffer(*adj_buf),
+                     host::KernelArgValue::Buffer(st.frontier),
+                     host::KernelArgValue::Buffer(st.next),
+                     host::KernelArgValue::Buffer(st.levels),
+                     host::KernelArgValue::Scalar<std::int32_t>(st.v_begin),
+                     host::KernelArgValue::Scalar<std::int32_t>(st.v_end),
+                     host::KernelArgValue::Scalar<std::int32_t>(depth)};
+        spec.work_dim = 1;
+        spec.global[0] = static_cast<std::uint64_t>(st.v_end - st.v_begin);
+        spec.preferred_node = static_cast<int>(st.node);
+        // Frontier expansion: random adjacency gathers, heavy divergence.
+        const double range_vertices =
+            static_cast<double>(st.v_end - st.v_begin);
+        const double range_edges = range_vertices * 8.0;  // Average degree.
+        sim::KernelCost cost;
+        cost.flops = 2.0 * range_edges;
+        cost.bytes = 12.0 * range_edges;
+        cost.work_items = static_cast<std::uint64_t>(range_vertices);
+        cost.irregular = true;
+        spec.cost_hint = cost;
+        auto result = runtime.LaunchKernel(spec);
+        if (!result.ok()) return result.status();
+      }
+      // Gather per-node next masks and discovered levels; merge.
+      std::fill(frontier.begin(), frontier.end(), 0);
+      frontier_nonempty = false;
+      std::vector<std::int32_t> next(vertices);
+      std::vector<std::int32_t> node_levels(vertices);
+      for (NodeState& st : states) {
+        HAOCL_RETURN_IF_ERROR(
+            runtime.ReadBuffer(st.next, 0, next.data(), next.size() * 4));
+        HAOCL_RETURN_IF_ERROR(runtime.ReadBuffer(
+            st.levels, 0, node_levels.data(), node_levels.size() * 4));
+        for (int v = 0; v < vertices; ++v) {
+          if (next[v] != 0 && levels[v] < 0) {
+            levels[v] = node_levels[v];
+            frontier[v] = 1;
+            frontier_nonempty = true;
+          }
+        }
+      }
+    }
+
+    // Host reference BFS for verification.
+    std::vector<std::int32_t> want(vertices, -1);
+    std::queue<int> queue;
+    want[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (std::int32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+        const std::int32_t u = g.adj[e];
+        if (want[u] < 0) {
+          want[u] = want[v] + 1;
+          queue.push(u);
+        }
+      }
+    }
+    const bool verified = want == levels;
+
+    for (NodeState& st : states) {
+      for (host::BufferId id : {st.frontier, st.next, st.levels}) {
+        (void)runtime.ReleaseBuffer(id);
+      }
+    }
+    (void)runtime.ReleaseBuffer(*row_buf);
+    (void)runtime.ReleaseBuffer(*adj_buf);
+    (void)runtime.ReleaseProgram(*program);
+    return ReportFromTimeline(runtime, input_bytes, verified);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeBfs() { return std::make_unique<Bfs>(); }
+
+void RegisterBfsNative() {
+  driver::NativeKernelRegistry::Instance().Register("bfs_expand",
+                                                    NativeBfsExpand);
+}
+
+}  // namespace haocl::workloads

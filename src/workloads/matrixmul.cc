@@ -1,0 +1,230 @@
+// MatrixMul: dense matrix multiplication (Table I: 760 MB input).
+//
+// Distribution (paper §IV-C): "the MatrixMul kernels on the different
+// devices are kept the same, just processing different data portion" —
+// rows of A (and C) are partitioned across nodes, B is replicated once
+// (it is a `const` parameter, so the coherence layer keeps the replicas).
+#include <cmath>
+#include <random>
+
+#include "driver/native_registry.h"
+#include "workloads/workload.h"
+
+namespace haocl::workloads {
+namespace {
+
+constexpr char kSource[] = R"(
+// One work-item per output element of the partition's C chunk.
+__kernel void matmul_partition(__global const float* a,
+                               __global const float* b,
+                               __global float* c,
+                               int n, int rows) {
+  int col = get_global_id(0);
+  int row = get_global_id(1);
+  if (row >= rows || col >= n) return;
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++) {
+    acc += a[row * n + k] * b[k * n + col];
+  }
+  c[row * n + col] = acc;
+}
+)";
+
+// Native "bitstream": blocked row-major matmul over the same bindings the
+// VM would receive. Must be numerically identical to the interpreted
+// kernel: plain float accumulation in the same k-order.
+Status NativeMatmul(const std::vector<oclc::ArgBinding>& args,
+                    const oclc::NDRange& range) {
+  const auto* a = reinterpret_cast<const float*>(args[0].data);
+  const auto* b = reinterpret_cast<const float*>(args[1].data);
+  auto* c = reinterpret_cast<float*>(args[2].data);
+  const auto n = static_cast<int>(args[3].scalar.i);
+  const auto rows = static_cast<int>(args[4].scalar.i);
+  const auto gcols = static_cast<std::int64_t>(range.global[0]);
+  const auto grows = static_cast<std::int64_t>(range.global[1]);
+  for (std::int64_t row = 0; row < grows; ++row) {
+    if (row >= rows) continue;
+    for (std::int64_t col = 0; col < gcols; ++col) {
+      if (col >= n) continue;
+      float acc = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        acc += a[row * n + k] * b[static_cast<std::int64_t>(k) * n + col];
+      }
+      c[row * n + col] = acc;
+    }
+  }
+  return Status::Ok();
+}
+
+class MatrixMul : public Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "MatrixMul"; }
+  [[nodiscard]] std::string description() const override {
+    return "Matrix multiplication";
+  }
+  [[nodiscard]] std::uint64_t paper_input_bytes() const override {
+    return 760ull << 20;
+  }
+  [[nodiscard]] std::vector<std::string> kernel_names() const override {
+    return {"matmul_partition"};
+  }
+  [[nodiscard]] std::string kernel_source() const override { return kSource; }
+
+  Expected<RunReport> Run(host::ClusterRuntime& runtime,
+                          const std::vector<std::size_t>& nodes,
+                          double scale) override {
+    RegisterAllNativeKernels();
+    if (nodes.empty()) {
+      return Status(ErrorCode::kInvalidValue, "no nodes");
+    }
+    // Default N=256; paper ran up to N=10000.
+    const int n = std::max<int>(32, static_cast<int>(256 * std::sqrt(scale)));
+
+    // Capability-proportional row partitioning: on hybrid clusters an
+    // equal split would leave the GPUs idle waiting for the FPGA
+    // straggler, so each node's share follows its modeled dense-GEMM
+    // throughput (memory-bandwidth bound for the naive kernel).
+    std::vector<double> weights(nodes.size());
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const sim::DeviceSpec spec =
+          sim::SpecForType(runtime.devices()[nodes[i]].type);
+      weights[i] = spec.mem_bandwidth_gbps;
+      total_weight += weights[i];
+    }
+    std::vector<int> rows_for(nodes.size(), 0);
+    int assigned = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      rows_for[i] = std::max(
+          1, static_cast<int>(n * weights[i] / total_weight));
+      assigned += rows_for[i];
+    }
+    rows_for.back() += n - assigned;  // Remainder to the last node.
+    if (rows_for.back() < 1) rows_for.back() = 1;
+
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    std::vector<float> a(static_cast<std::size_t>(n) * n);
+    std::vector<float> b(static_cast<std::size_t>(n) * n);
+    for (auto& v : a) v = dist(rng);
+    for (auto& v : b) v = dist(rng);
+    const std::uint64_t input_bytes = (a.size() + b.size()) * sizeof(float);
+
+    runtime.timeline().Reset();
+    // Data creation modeled at 2 GB/s (generation + initialization).
+    runtime.timeline().RecordDataCreate(
+        static_cast<double>(input_bytes) / 1e8);
+
+    auto program = runtime.BuildProgram(kSource);
+    if (!program.ok()) return program.status();
+
+    // B replicated once (const arg keeps it valid everywhere).
+    auto b_buffer = runtime.CreateBuffer(b.size() * sizeof(float));
+    if (!b_buffer.ok()) return b_buffer.status();
+    HAOCL_RETURN_IF_ERROR(
+        runtime.WriteBuffer(*b_buffer, 0, b.data(), b.size() * sizeof(float)));
+
+    struct Chunk {
+      host::BufferId a_buffer;
+      host::BufferId c_buffer;
+      int row_begin;
+      int row_count;
+      std::size_t node;
+    };
+    std::vector<Chunk> chunks;
+    int row = 0;
+    for (std::size_t i = 0; i < nodes.size() && row < n; ++i) {
+      const int count =
+          (i + 1 == nodes.size()) ? (n - row) : std::min(rows_for[i], n - row);
+      if (count <= 0) break;
+      Chunk chunk;
+      chunk.row_begin = row;
+      chunk.row_count = count;
+      chunk.node = nodes[i];
+      auto a_buf =
+          runtime.CreateBuffer(static_cast<std::uint64_t>(count) * n * 4);
+      if (!a_buf.ok()) return a_buf.status();
+      chunk.a_buffer = *a_buf;
+      HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(
+          chunk.a_buffer, 0, a.data() + static_cast<std::size_t>(row) * n,
+          static_cast<std::uint64_t>(count) * n * 4));
+      auto c_buf =
+          runtime.CreateBuffer(static_cast<std::uint64_t>(count) * n * 4);
+      if (!c_buf.ok()) return c_buf.status();
+      chunk.c_buffer = *c_buf;
+      chunks.push_back(chunk);
+      row += count;
+    }
+
+    for (const Chunk& chunk : chunks) {
+      host::ClusterRuntime::LaunchSpec spec;
+      spec.program = *program;
+      spec.kernel_name = "matmul_partition";
+      spec.args = {host::KernelArgValue::Buffer(chunk.a_buffer),
+                   host::KernelArgValue::Buffer(*b_buffer),
+                   host::KernelArgValue::Buffer(chunk.c_buffer),
+                   host::KernelArgValue::Scalar<std::int32_t>(n),
+                   host::KernelArgValue::Scalar<std::int32_t>(
+                       chunk.row_count)};
+      spec.work_dim = 2;
+      spec.global[0] = static_cast<std::uint64_t>(n);
+      spec.global[1] = static_cast<std::uint64_t>(chunk.row_count);
+      spec.preferred_node = static_cast<int>(chunk.node);
+      // Naive kernel: 2 flops per MAC, ~4 bytes of global traffic per flop
+      // (the column walk over B defeats caching/coalescing).
+      sim::KernelCost cost;
+      cost.flops = 2.0 * chunk.row_count * static_cast<double>(n) * n;
+      cost.bytes = cost.flops * 4.0;
+      cost.work_items = static_cast<std::uint64_t>(chunk.row_count) * n;
+      spec.cost_hint = cost;
+      auto result = runtime.LaunchKernel(spec);
+      if (!result.ok()) return result.status();
+    }
+
+    // Gather C and verify a sample of entries against the host reference.
+    std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+    for (const Chunk& chunk : chunks) {
+      HAOCL_RETURN_IF_ERROR(runtime.ReadBuffer(
+          chunk.c_buffer, 0,
+          c.data() + static_cast<std::size_t>(chunk.row_begin) * n,
+          static_cast<std::uint64_t>(chunk.row_count) * n * 4));
+    }
+
+    bool verified = true;
+    std::mt19937 check_rng(7);
+    for (int sample = 0; sample < 64 && verified; ++sample) {
+      const int i = static_cast<int>(check_rng() % n);
+      const int j = static_cast<int>(check_rng() % n);
+      float want = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        want += a[static_cast<std::size_t>(i) * n + k] *
+                b[static_cast<std::size_t>(k) * n + j];
+      }
+      const float got = c[static_cast<std::size_t>(i) * n + j];
+      if (std::fabs(got - want) > 1e-2f * (1.0f + std::fabs(want))) {
+        verified = false;
+      }
+    }
+
+    for (const Chunk& chunk : chunks) {
+      (void)runtime.ReleaseBuffer(chunk.a_buffer);
+      (void)runtime.ReleaseBuffer(chunk.c_buffer);
+    }
+    (void)runtime.ReleaseBuffer(*b_buffer);
+    (void)runtime.ReleaseProgram(*program);
+    return ReportFromTimeline(runtime, input_bytes, verified);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeMatrixMul() {
+  return std::make_unique<MatrixMul>();
+}
+
+void RegisterMatrixMulNative() {
+  driver::NativeKernelRegistry::Instance().Register("matmul_partition",
+                                                    NativeMatmul);
+}
+
+}  // namespace haocl::workloads

@@ -1,0 +1,342 @@
+// SpMV: sparse matrix-vector multiplication in CSR format (Table I:
+// 1.1 GB input; from the SHOC suite).
+//
+// Two execution modes matching the paper:
+//  - data-partitioned: row blocks across homogeneous nodes, x replicated;
+//  - stage-partitioned (heterogeneity evaluation §IV-C): "the kernel for
+//    data partition is allocated on the GPUs and computation on the
+//    FPGAs" — spmv_partition (row-block scheduling by nonzero count) runs
+//    on GPU nodes, spmv_compute on FPGA nodes.
+#include <cmath>
+#include <random>
+
+#include "driver/native_registry.h"
+#include "workloads/workload.h"
+
+namespace haocl::workloads {
+namespace {
+
+constexpr char kSource[] = R"(
+// Stage 1 (data partition): computes, for each work chunk of `chunk` rows,
+// the total nonzeros, so compute nodes can balance row blocks.
+__kernel void spmv_partition(__global const int* row_ptr,
+                             __global int* chunk_nnz,
+                             int rows, int chunk) {
+  int c = get_global_id(0);
+  int begin = c * chunk;
+  if (begin >= rows) return;
+  int end = min(begin + chunk, rows);
+  chunk_nnz[c] = row_ptr[end] - row_ptr[begin];
+}
+
+// Stage 2 (compute): CSR y = A*x over a block of rows.
+__kernel void spmv_compute(__global const int* row_ptr,
+                           __global const int* col_idx,
+                           __global const float* values,
+                           __global const float* x,
+                           __global float* y,
+                           int rows) {
+  int r = get_global_id(0);
+  if (r >= rows) return;
+  float acc = 0.0f;
+  for (int i = row_ptr[r]; i < row_ptr[r + 1]; i++) {
+    acc += values[i] * x[col_idx[i]];
+  }
+  y[r] = acc;
+}
+)";
+
+Status NativeSpmvPartition(const std::vector<oclc::ArgBinding>& args,
+                           const oclc::NDRange& range) {
+  const auto* row_ptr = reinterpret_cast<const std::int32_t*>(args[0].data);
+  auto* chunk_nnz = reinterpret_cast<std::int32_t*>(args[1].data);
+  const auto rows = static_cast<int>(args[2].scalar.i);
+  const auto chunk = static_cast<int>(args[3].scalar.i);
+  for (std::uint64_t c = 0; c < range.global[0]; ++c) {
+    const int begin = static_cast<int>(c) * chunk;
+    if (begin >= rows) continue;
+    const int end = std::min(begin + chunk, rows);
+    chunk_nnz[c] = row_ptr[end] - row_ptr[begin];
+  }
+  return Status::Ok();
+}
+
+Status NativeSpmvCompute(const std::vector<oclc::ArgBinding>& args,
+                         const oclc::NDRange& range) {
+  const auto* row_ptr = reinterpret_cast<const std::int32_t*>(args[0].data);
+  const auto* col_idx = reinterpret_cast<const std::int32_t*>(args[1].data);
+  const auto* values = reinterpret_cast<const float*>(args[2].data);
+  const auto* x = reinterpret_cast<const float*>(args[3].data);
+  auto* y = reinterpret_cast<float*>(args[4].data);
+  const auto rows = static_cast<int>(args[5].scalar.i);
+  for (std::uint64_t r = 0; r < range.global[0]; ++r) {
+    if (static_cast<int>(r) >= rows) continue;
+    float acc = 0.0f;
+    for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      acc += values[i] * x[col_idx[i]];
+    }
+    y[r] = acc;
+  }
+  return Status::Ok();
+}
+
+// CSR matrix with a skewed nonzero distribution (power-law-ish row
+// lengths), the irregularity SHOC's spmv stresses.
+struct CsrMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::int32_t> row_ptr;
+  std::vector<std::int32_t> col_idx;
+  std::vector<float> values;
+};
+
+CsrMatrix GenerateCsr(int rows, int avg_nnz_per_row, std::uint32_t seed) {
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = rows;
+  m.row_ptr.resize(rows + 1, 0);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len_dist(1, 2 * avg_nnz_per_row - 1);
+  std::uniform_int_distribution<std::int32_t> col_dist(0, rows - 1);
+  std::uniform_real_distribution<float> val_dist(-1.0f, 1.0f);
+  for (int r = 0; r < rows; ++r) {
+    int len = len_dist(rng);
+    if (r % 97 == 0) len *= 4;  // Heavy rows (skew).
+    m.row_ptr[r + 1] = m.row_ptr[r] + len;
+    for (int i = 0; i < len; ++i) {
+      m.col_idx.push_back(col_dist(rng));
+      m.values.push_back(val_dist(rng));
+    }
+  }
+  return m;
+}
+
+class Spmv : public Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "SpMV"; }
+  [[nodiscard]] std::string description() const override {
+    return "Sparse matrix-vector multiplication in CSR format";
+  }
+  [[nodiscard]] std::uint64_t paper_input_bytes() const override {
+    return 1100ull << 20;
+  }
+  [[nodiscard]] std::vector<std::string> kernel_names() const override {
+    return {"spmv_partition", "spmv_compute"};
+  }
+  [[nodiscard]] std::string kernel_source() const override { return kSource; }
+
+  Expected<RunReport> Run(host::ClusterRuntime& runtime,
+                          const std::vector<std::size_t>& nodes,
+                          double scale) override {
+    return RunStaged(runtime, nodes, nodes, scale);
+  }
+
+  // Heterogeneity mode: partition-stage nodes (GPUs) and compute-stage
+  // nodes (FPGAs) can differ; Run() uses the same set for both.
+  Expected<RunReport> RunStaged(host::ClusterRuntime& runtime,
+                                const std::vector<std::size_t>& stage1_nodes,
+                                const std::vector<std::size_t>& stage2_nodes,
+                                double scale) {
+    RegisterAllNativeKernels();
+    if (stage1_nodes.empty() || stage2_nodes.empty()) {
+      return Status(ErrorCode::kInvalidValue, "no nodes");
+    }
+    const int rows = std::max(256, static_cast<int>(20000 * scale));
+    constexpr int kAvgNnz = 64;
+    constexpr int kChunkRows = 64;
+    // SHOC's spmv times repeated products with the matrix resident on the
+    // device; one-shot runs would be dominated by the initial broadcast.
+    constexpr int kIterations = 100;
+    CsrMatrix m = GenerateCsr(rows, kAvgNnz, 1234);
+    std::vector<float> x(m.cols);
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (auto& v : x) v = dist(rng);
+    const std::uint64_t input_bytes =
+        m.row_ptr.size() * 4 + m.col_idx.size() * 4 + m.values.size() * 4 +
+        x.size() * 4;
+
+    runtime.timeline().Reset();
+    runtime.timeline().RecordDataCreate(static_cast<double>(input_bytes) /
+                                        1e8);
+    auto program = runtime.BuildProgram(kSource);
+    if (!program.ok()) return program.status();
+
+    // Shared (const) inputs: row_ptr / col_idx / values / x.
+    auto row_buf = runtime.CreateBuffer(m.row_ptr.size() * 4);
+    auto col_buf = runtime.CreateBuffer(m.col_idx.size() * 4);
+    auto val_buf = runtime.CreateBuffer(m.values.size() * 4);
+    auto x_buf = runtime.CreateBuffer(x.size() * 4);
+    if (!row_buf.ok() || !col_buf.ok() || !val_buf.ok() || !x_buf.ok()) {
+      return Status(ErrorCode::kOutOfResources, "buffer allocation failed");
+    }
+    HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(*row_buf, 0, m.row_ptr.data(),
+                                              m.row_ptr.size() * 4));
+    HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(*col_buf, 0, m.col_idx.data(),
+                                              m.col_idx.size() * 4));
+    HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(*val_buf, 0, m.values.data(),
+                                              m.values.size() * 4));
+    HAOCL_RETURN_IF_ERROR(
+        runtime.WriteBuffer(*x_buf, 0, x.data(), x.size() * 4));
+
+    // ---- Stage 1: chunk nonzero counts on the partition nodes ----------
+    const int num_chunks = (rows + kChunkRows - 1) / kChunkRows;
+    auto nnz_buf = runtime.CreateBuffer(static_cast<std::uint64_t>(
+                                            num_chunks) * 4);
+    if (!nnz_buf.ok()) return nnz_buf.status();
+    {
+      host::ClusterRuntime::LaunchSpec spec;
+      spec.program = *program;
+      spec.kernel_name = "spmv_partition";
+      spec.args = {host::KernelArgValue::Buffer(*row_buf),
+                   host::KernelArgValue::Buffer(*nnz_buf),
+                   host::KernelArgValue::Scalar<std::int32_t>(rows),
+                   host::KernelArgValue::Scalar<std::int32_t>(kChunkRows)};
+      spec.work_dim = 1;
+      spec.global[0] = static_cast<std::uint64_t>(num_chunks);
+      spec.preferred_node = static_cast<int>(stage1_nodes[0]);
+      sim::KernelCost cost;
+      cost.flops = 2.0 * num_chunks;
+      cost.bytes = 12.0 * num_chunks;
+      cost.work_items = static_cast<std::uint64_t>(num_chunks);
+      spec.cost_hint = cost;
+      auto result = runtime.LaunchKernel(spec);
+      if (!result.ok()) return result.status();
+    }
+    std::vector<std::int32_t> chunk_nnz(num_chunks);
+    HAOCL_RETURN_IF_ERROR(runtime.ReadBuffer(
+        *nnz_buf, 0, chunk_nnz.data(), chunk_nnz.size() * 4));
+
+    // Greedy balance of chunks over the compute nodes by nonzero count.
+    struct Block {
+      int row_begin;
+      int row_end;
+      std::int64_t nnz = 0;
+    };
+    std::vector<Block> blocks(stage2_nodes.size());
+    {
+      const int per =
+          (num_chunks + static_cast<int>(stage2_nodes.size()) - 1) /
+          static_cast<int>(stage2_nodes.size());
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const int c0 = static_cast<int>(b) * per;
+        const int c1 = std::min(num_chunks, c0 + per);
+        blocks[b].row_begin = std::min(rows, c0 * kChunkRows);
+        blocks[b].row_end = std::min(rows, c1 * kChunkRows);
+        for (int c = c0; c < c1; ++c) blocks[b].nnz += chunk_nnz[c];
+      }
+    }
+
+    // ---- Stage 2: per-block CSR compute on the compute nodes ------------
+    // Each block gets its own rebased CSR slice and y chunk.
+    std::vector<host::BufferId> cleanup;
+    std::vector<float> y(rows, 0.0f);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const Block& block = blocks[b];
+      const int brows = block.row_end - block.row_begin;
+      if (brows <= 0) continue;
+      const std::int32_t nz0 = m.row_ptr[block.row_begin];
+      const std::int32_t nz1 = m.row_ptr[block.row_end];
+      std::vector<std::int32_t> local_ptr(brows + 1);
+      for (int r = 0; r <= brows; ++r) {
+        local_ptr[r] = m.row_ptr[block.row_begin + r] - nz0;
+      }
+      auto lp_buf = runtime.CreateBuffer(local_ptr.size() * 4);
+      auto lc_buf = runtime.CreateBuffer(
+          static_cast<std::uint64_t>(nz1 - nz0) * 4);
+      auto lv_buf = runtime.CreateBuffer(
+          static_cast<std::uint64_t>(nz1 - nz0) * 4);
+      auto y_buf =
+          runtime.CreateBuffer(static_cast<std::uint64_t>(brows) * 4);
+      if (!lp_buf.ok() || !lc_buf.ok() || !lv_buf.ok() || !y_buf.ok()) {
+        return Status(ErrorCode::kOutOfResources, "block buffers failed");
+      }
+      HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(*lp_buf, 0, local_ptr.data(),
+                                                local_ptr.size() * 4));
+      HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(
+          *lc_buf, 0, m.col_idx.data() + nz0,
+          static_cast<std::uint64_t>(nz1 - nz0) * 4));
+      HAOCL_RETURN_IF_ERROR(runtime.WriteBuffer(
+          *lv_buf, 0, m.values.data() + nz0,
+          static_cast<std::uint64_t>(nz1 - nz0) * 4));
+
+      host::ClusterRuntime::LaunchSpec spec;
+      spec.program = *program;
+      spec.kernel_name = "spmv_compute";
+      spec.args = {host::KernelArgValue::Buffer(*lp_buf),
+                   host::KernelArgValue::Buffer(*lc_buf),
+                   host::KernelArgValue::Buffer(*lv_buf),
+                   host::KernelArgValue::Buffer(*x_buf),
+                   host::KernelArgValue::Buffer(*y_buf),
+                   host::KernelArgValue::Scalar<std::int32_t>(brows)};
+      spec.work_dim = 1;
+      spec.global[0] = static_cast<std::uint64_t>(brows);
+      spec.preferred_node =
+          static_cast<int>(stage2_nodes[b % stage2_nodes.size()]);
+      // CSR gather: 2 flops and ~16 bytes (col idx + value + random x
+      // access + row_ptr share) per nonzero; divergent row lengths.
+      sim::KernelCost cost;
+      cost.flops = 2.0 * static_cast<double>(block.nnz);
+      cost.bytes = 16.0 * static_cast<double>(block.nnz);
+      cost.work_items = static_cast<std::uint64_t>(brows);
+      cost.irregular = true;
+      spec.cost_hint = cost;
+      // The matrix slices and x stay resident across iterations; only the
+      // first launch pays the staging transfers.
+      for (int iter = 0; iter < kIterations; ++iter) {
+        auto result = runtime.LaunchKernel(spec);
+        if (!result.ok()) return result.status();
+      }
+
+      HAOCL_RETURN_IF_ERROR(runtime.ReadBuffer(
+          *y_buf, 0, y.data() + block.row_begin,
+          static_cast<std::uint64_t>(brows) * 4));
+      for (host::BufferId id : {*lp_buf, *lc_buf, *lv_buf, *y_buf}) {
+        cleanup.push_back(id);
+      }
+    }
+
+    // Verify a sample of rows against the host reference.
+    bool verified = true;
+    std::mt19937 check_rng(5);
+    for (int sample = 0; sample < 128 && verified; ++sample) {
+      const int r = static_cast<int>(check_rng() % rows);
+      float want = 0.0f;
+      for (std::int32_t i = m.row_ptr[r]; i < m.row_ptr[r + 1]; ++i) {
+        want += m.values[i] * x[m.col_idx[i]];
+      }
+      if (std::fabs(y[r] - want) > 1e-3f * (1.0f + std::fabs(want))) {
+        verified = false;
+      }
+    }
+
+    for (host::BufferId id : cleanup) (void)runtime.ReleaseBuffer(id);
+    for (host::BufferId id : {*row_buf, *col_buf, *val_buf, *x_buf, *nnz_buf}) {
+      (void)runtime.ReleaseBuffer(id);
+    }
+    (void)runtime.ReleaseProgram(*program);
+    return ReportFromTimeline(runtime, input_bytes, verified);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeSpmv() { return std::make_unique<Spmv>(); }
+
+// Exposed for the heterogeneity benchmark (GPU partition + FPGA compute).
+Expected<RunReport> RunSpmvStaged(host::ClusterRuntime& runtime,
+                                  const std::vector<std::size_t>& gpu_nodes,
+                                  const std::vector<std::size_t>& fpga_nodes,
+                                  double scale) {
+  Spmv spmv;
+  return spmv.RunStaged(runtime, gpu_nodes, fpga_nodes, scale);
+}
+
+void RegisterSpmvNative() {
+  driver::NativeKernelRegistry::Instance().Register("spmv_partition",
+                                                    NativeSpmvPartition);
+  driver::NativeKernelRegistry::Instance().Register("spmv_compute",
+                                                    NativeSpmvCompute);
+}
+
+}  // namespace haocl::workloads

@@ -1,0 +1,17 @@
+// Stage-partitioned SpMV entry point for the heterogeneity evaluation
+// (§IV-C): the partition kernel runs on `gpu_nodes`, the compute kernel on
+// `fpga_nodes`.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace haocl::workloads {
+
+Expected<RunReport> RunSpmvStaged(host::ClusterRuntime& runtime,
+                                  const std::vector<std::size_t>& gpu_nodes,
+                                  const std::vector<std::size_t>& fpga_nodes,
+                                  double scale);
+
+}  // namespace haocl::workloads

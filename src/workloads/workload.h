@@ -1,0 +1,82 @@
+// The five benchmark applications of Table I, each implemented three ways:
+//  1. genuine OpenCL C kernel source, compiled online by the device
+//     drivers (the path a real HaoCL deployment exercises);
+//  2. a native C++ implementation registered as the kernel's "pre-built
+//     binary" (the FPGA bitstream path; also the vendor-library fast path
+//     for CPU/GPU, used by the large benchmark runs);
+//  3. a sequential host reference used to verify numerical results.
+//
+// Every workload knows how to run itself *distributed* over a set of
+// cluster nodes through ClusterRuntime — the partitioning strategies match
+// the paper (§IV-C): MatrixMul/kNN/SpMV partition data rows/points,
+// CFD partitions the unstructured grid, BFS partitions the vertex space
+// and exchanges frontiers each level, SpMV can also stage-partition
+// (partition kernel on GPUs, compute kernel on FPGAs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "host/cluster_runtime.h"
+
+namespace haocl::workloads {
+
+struct RunReport {
+  bool verified = false;          // Numerics match the host reference.
+  double virtual_seconds = 0.0;   // Modeled cluster makespan.
+  double data_create_seconds = 0.0;
+  double data_transfer_seconds = 0.0;  // Sum over all transfers.
+  double compute_seconds = 0.0;        // Sum over all kernels.
+  double compute_parallel_seconds = 0.0;  // Max per-node busy time (the
+                                          // Fig. 3 "ComputeTime" bar).
+  double energy_joules = 0.0;
+  std::uint64_t input_bytes = 0;  // Actual generated size this run.
+  std::uint64_t wire_bytes = 0;   // Real bytes through the backbone.
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Table I "Description" column.
+  [[nodiscard]] virtual std::string description() const = 0;
+  // Table I "In. size" column (the paper-scale bytes).
+  [[nodiscard]] virtual std::uint64_t paper_input_bytes() const = 0;
+
+  // Runs the workload distributed across `nodes` (indices into the
+  // runtime's device table). `scale` in (0, 1] shrinks the default
+  // laptop-scale problem (1.0 ~ runs in seconds with native kernels).
+  // Resets and then populates the runtime's virtual timeline.
+  virtual Expected<RunReport> Run(host::ClusterRuntime& runtime,
+                                  const std::vector<std::size_t>& nodes,
+                                  double scale) = 0;
+
+  // The kernels this workload launches (used by tests to check native /
+  // interpreted equivalence and by the FPGA bitstream registry).
+  [[nodiscard]] virtual std::vector<std::string> kernel_names() const = 0;
+  [[nodiscard]] virtual std::string kernel_source() const = 0;
+};
+
+// Factories (registration of native kernels happens on first use).
+std::unique_ptr<Workload> MakeMatrixMul();
+std::unique_ptr<Workload> MakeCfd();
+std::unique_ptr<Workload> MakeKnn();
+std::unique_ptr<Workload> MakeBfs();
+std::unique_ptr<Workload> MakeSpmv();
+
+// All five, in Table I order.
+std::vector<std::unique_ptr<Workload>> AllWorkloads();
+
+// Installs every workload's native kernels into the NativeKernelRegistry
+// (idempotent). Call before running on clusters that contain FPGA nodes.
+void RegisterAllNativeKernels();
+
+// Fills the standard report fields from the runtime after a run.
+RunReport ReportFromTimeline(host::ClusterRuntime& runtime,
+                             std::uint64_t input_bytes, bool verified);
+
+}  // namespace haocl::workloads

@@ -1,0 +1,403 @@
+// The OpenCL Wrapper Lib: an unmodified OpenCL 1.2 host program written
+// against cl* entry points must run on the distributed cluster. Also
+// covers error-code conformance on misuse.
+#include "api/hao_cl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/runtime_binding.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using haocl::api::BindSimCluster;
+using haocl::api::UnbindRuntime;
+
+class HaoClApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    haocl::workloads::RegisterAllNativeKernels();
+    haocl::host::SimCluster::Shape shape;
+    shape.gpu_nodes = 2;
+    shape.fpga_nodes = 1;
+    ASSERT_TRUE(BindSimCluster(shape).ok());
+    ASSERT_EQ(clGetPlatformIDs(1, &platform_, nullptr), CL_SUCCESS);
+  }
+  void TearDown() override { UnbindRuntime(); }
+
+  cl_platform_id platform_ = nullptr;
+};
+
+TEST_F(HaoClApiTest, PlatformAndDeviceDiscovery) {
+  cl_uint num_platforms = 0;
+  ASSERT_EQ(clGetPlatformIDs(0, nullptr, &num_platforms), CL_SUCCESS);
+  EXPECT_EQ(num_platforms, 1u);
+
+  char name[64];
+  ASSERT_EQ(clGetPlatformInfo(platform_, CL_PLATFORM_NAME, sizeof(name), name,
+                              nullptr),
+            CL_SUCCESS);
+  EXPECT_STREQ(name, "HaoCL");
+
+  cl_uint num_devices = 0;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_ALL, 0, nullptr,
+                           &num_devices),
+            CL_SUCCESS);
+  EXPECT_EQ(num_devices, 4u);  // Virtual cluster device + 3 nodes.
+
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 0, nullptr,
+                           &num_devices),
+            CL_SUCCESS);
+  EXPECT_EQ(num_devices, 2u);
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_ACCELERATOR, 0, nullptr,
+                           &num_devices),
+            CL_SUCCESS);
+  EXPECT_EQ(num_devices, 1u);
+
+  cl_device_id first = nullptr;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_DEFAULT, 1, &first,
+                           nullptr),
+            CL_SUCCESS);
+  char device_name[128];
+  ASSERT_EQ(clGetDeviceInfo(first, CL_DEVICE_NAME, sizeof(device_name),
+                            device_name, nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(device_name).find("HaoCL Cluster"),
+            std::string::npos);
+}
+
+// The canonical unmodified OpenCL host program: vector addition. This is
+// the paper's core usability claim end-to-end.
+TEST_F(HaoClApiTest, UnmodifiedVectorAddProgram) {
+  cl_device_id device = nullptr;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device,
+                           nullptr),
+            CL_SUCCESS);
+
+  cl_int err = CL_SUCCESS;
+  cl_context context = clCreateContext(nullptr, 1, &device, nullptr, nullptr,
+                                       &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue queue =
+      clCreateCommandQueue(context, device, CL_QUEUE_PROFILING_ENABLE, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  const int n = 1000;
+  std::vector<float> a(n), b(n), c(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(3 * i);
+  }
+  cl_mem a_mem = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                n * sizeof(float), a.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem b_mem = clCreateBuffer(context, CL_MEM_READ_ONLY, n * sizeof(float),
+                                nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem c_mem = clCreateBuffer(context, CL_MEM_WRITE_ONLY, n * sizeof(float),
+                                nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clEnqueueWriteBuffer(queue, b_mem, CL_TRUE, 0, n * sizeof(float),
+                                 b.data(), 0, nullptr, nullptr),
+            CL_SUCCESS);
+
+  const char* source = R"(
+    __kernel void vadd(__global const float* a, __global const float* b,
+                       __global float* c, int n) {
+      int i = get_global_id(0);
+      if (i < n) c[i] = a[i] + b[i];
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &source, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 1, &device, "", nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "vadd", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &a_mem), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof(cl_mem), &b_mem), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 2, sizeof(cl_mem), &c_mem), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 3, sizeof(int), &n), CL_SUCCESS);
+
+  const size_t global = 1024;
+  cl_event event = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, &event),
+            CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &event), CL_SUCCESS);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, c_mem, CL_TRUE, 0, n * sizeof(float),
+                                c.data(), 0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue), CL_SUCCESS);
+
+  for (int i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(c[i], static_cast<float>(4 * i)) << i;
+  }
+
+  // Profiling: end >= start, both nonzero after a real kernel.
+  cl_ulong start_ns = 0;
+  cl_ulong end_ns = 0;
+  ASSERT_EQ(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_START,
+                                    sizeof(start_ns), &start_ns, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_END,
+                                    sizeof(end_ns), &end_ns, nullptr),
+            CL_SUCCESS);
+  EXPECT_GT(end_ns, start_ns);
+
+  EXPECT_EQ(clReleaseEvent(event), CL_SUCCESS);
+  EXPECT_EQ(clReleaseKernel(kernel), CL_SUCCESS);
+  EXPECT_EQ(clReleaseProgram(program), CL_SUCCESS);
+  for (cl_mem mem : {a_mem, b_mem, c_mem}) {
+    EXPECT_EQ(clReleaseMemObject(mem), CL_SUCCESS);
+  }
+  EXPECT_EQ(clReleaseCommandQueue(queue), CL_SUCCESS);
+  EXPECT_EQ(clReleaseContext(context), CL_SUCCESS);
+}
+
+TEST_F(HaoClApiTest, ClusterDeviceSchedulesAutomatically) {
+  // Queue on the virtual cluster device: the scheduler places kernels.
+  auto* runtime = haocl::api::BoundRuntime();
+  ASSERT_TRUE(runtime->SetScheduler("leastloaded").ok());
+
+  cl_device_id cluster_device = nullptr;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_DEFAULT, 1,
+                           &cluster_device, nullptr),
+            CL_SUCCESS);
+  cl_int err;
+  cl_context context = clCreateContext(nullptr, 1, &cluster_device, nullptr,
+                                       nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue queue =
+      clCreateCommandQueue(context, cluster_device, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  const char* source = R"(
+    __kernel void inc(__global int* data) {
+      data[get_global_id(0)] += 1;
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &source, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "inc", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  std::vector<int> data(64, 41);
+  cl_mem mem = clCreateBuffer(context, CL_MEM_COPY_HOST_PTR, 64 * 4,
+                              data.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &mem), CL_SUCCESS);
+  const size_t global = 64;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, mem, CL_TRUE, 0, 64 * 4, data.data(),
+                                0, nullptr, nullptr),
+            CL_SUCCESS);
+  for (int v : data) ASSERT_EQ(v, 42);
+
+  clReleaseMemObject(mem);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
+TEST_F(HaoClApiTest, BuildFailureReportsLog) {
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device,
+                           nullptr),
+            CL_SUCCESS);
+  cl_int err;
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  const char* bad = "__kernel void broken( {";
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &bad, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(clBuildProgram(program, 1, &device, nullptr, nullptr, nullptr),
+            CL_BUILD_PROGRAM_FAILURE);
+
+  cl_int status = CL_SUCCESS;
+  ASSERT_EQ(clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_STATUS,
+                                  sizeof(status), &status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(status, CL_BUILD_PROGRAM_FAILURE);
+
+  size_t log_size = 0;
+  ASSERT_EQ(clGetProgramBuildInfo(program, device, CL_PROGRAM_BUILD_LOG, 0,
+                                  nullptr, &log_size),
+            CL_SUCCESS);
+  EXPECT_GT(log_size, 1u);
+
+  // Kernel creation on an unbuilt program fails cleanly.
+  cl_kernel kernel = clCreateKernel(program, "broken", &err);
+  EXPECT_EQ(kernel, nullptr);
+  EXPECT_EQ(err, CL_INVALID_PROGRAM_EXECUTABLE);
+
+  clReleaseProgram(program);
+  clReleaseContext(context);
+}
+
+TEST_F(HaoClApiTest, ErrorCodesOnMisuse) {
+  // Invalid handles are detected, not dereferenced.
+  EXPECT_EQ(clRetainContext(nullptr), CL_INVALID_CONTEXT);
+  EXPECT_EQ(clReleaseMemObject(nullptr), CL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(clFinish(nullptr), CL_INVALID_COMMAND_QUEUE);
+  EXPECT_EQ(clWaitForEvents(0, nullptr), CL_INVALID_VALUE);
+
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device,
+                           nullptr),
+            CL_SUCCESS);
+  cl_int err;
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+
+  // Zero-size buffer.
+  cl_mem mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 0, nullptr, &err);
+  EXPECT_EQ(mem, nullptr);
+  EXPECT_EQ(err, CL_INVALID_BUFFER_SIZE);
+  // COPY_HOST_PTR without a pointer.
+  mem = clCreateBuffer(context, CL_MEM_COPY_HOST_PTR, 16, nullptr, &err);
+  EXPECT_EQ(mem, nullptr);
+  EXPECT_EQ(err, CL_INVALID_VALUE);
+
+  const char* source = R"(
+    __kernel void two(__global int* buf, float scale) { buf[0] = (int)scale; }
+  )";
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &source, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "two", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(clCreateKernel(program, "nosuch", &err), nullptr);
+  EXPECT_EQ(err, CL_INVALID_KERNEL_NAME);
+
+  // Arg index/size validation against the compiled signature.
+  float scale = 2.0f;
+  EXPECT_EQ(clSetKernelArg(kernel, 7, sizeof(float), &scale),
+            CL_INVALID_ARG_INDEX);
+  EXPECT_EQ(clSetKernelArg(kernel, 1, sizeof(double), &scale),
+            CL_INVALID_ARG_SIZE);
+  EXPECT_EQ(clSetKernelArg(kernel, 0, sizeof(float), &scale),
+            CL_INVALID_ARG_SIZE);  // Buffer arg needs cl_mem.
+
+  // Launch with unset args is rejected.
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+  const size_t global = 1;
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_INVALID_KERNEL_ARGS);
+  // Bad work dimension.
+  EXPECT_EQ(clEnqueueNDRangeKernel(queue, kernel, 4, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_INVALID_WORK_DIMENSION);
+
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
+TEST_F(HaoClApiTest, LocalMemoryKernelThroughApi) {
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device,
+                           nullptr),
+            CL_SUCCESS);
+  cl_int err;
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+
+  const char* source = R"(
+    __kernel void reduce(__global const int* in, __global int* out,
+                         __local int* scratch) {
+      int lid = get_local_id(0);
+      scratch[lid] = in[get_global_id(0)];
+      barrier(1);
+      for (int off = (int)get_local_size(0) / 2; off > 0; off /= 2) {
+        if (lid < off) scratch[lid] += scratch[lid + off];
+        barrier(1);
+      }
+      if (lid == 0) out[get_group_id(0)] = scratch[0];
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context, 1, &source, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "reduce", &err);
+
+  const int n = 256;
+  const int local = 64;
+  std::vector<int> in(n, 1);
+  std::vector<int> out(n / local, 0);
+  cl_mem in_mem = clCreateBuffer(context, CL_MEM_COPY_HOST_PTR, n * 4,
+                                 in.data(), &err);
+  cl_mem out_mem =
+      clCreateBuffer(context, CL_MEM_WRITE_ONLY, out.size() * 4, nullptr,
+                     &err);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &in_mem), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof(cl_mem), &out_mem), CL_SUCCESS);
+  // Local pointer arg: NULL value + byte size, per the OpenCL spec.
+  ASSERT_EQ(clSetKernelArg(kernel, 2, local * 4, nullptr), CL_SUCCESS);
+
+  const size_t global_size = n;
+  const size_t local_size = local;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global_size,
+                                   &local_size, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, out_mem, CL_TRUE, 0, out.size() * 4,
+                                out.data(), 0, nullptr, nullptr),
+            CL_SUCCESS);
+  for (int v : out) ASSERT_EQ(v, local);
+
+  clReleaseMemObject(in_mem);
+  clReleaseMemObject(out_mem);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
+TEST_F(HaoClApiTest, RetainReleaseRefcounts) {
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device,
+                           nullptr),
+            CL_SUCCESS);
+  cl_int err;
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  ASSERT_EQ(clRetainContext(context), CL_SUCCESS);
+  EXPECT_EQ(clReleaseContext(context), CL_SUCCESS);  // refs 2 -> 1.
+  EXPECT_EQ(clReleaseContext(context), CL_SUCCESS);  // refs 1 -> 0, freed.
+
+  cl_mem mem;
+  {
+    cl_context c2 = clCreateContext(nullptr, 1, &device, nullptr, nullptr,
+                                    &err);
+    mem = clCreateBuffer(c2, CL_MEM_READ_WRITE, 64, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_EQ(clRetainMemObject(mem), CL_SUCCESS);
+    EXPECT_EQ(clReleaseMemObject(mem), CL_SUCCESS);
+    EXPECT_EQ(clReleaseMemObject(mem), CL_SUCCESS);
+    clReleaseContext(c2);
+  }
+}
+
+TEST(HaoClUnboundTest, NoPlatformWithoutCluster) {
+  UnbindRuntime();
+  cl_uint num_platforms = 99;
+  EXPECT_EQ(clGetPlatformIDs(0, nullptr, &num_platforms), CL_SUCCESS);
+  EXPECT_EQ(num_platforms, 0u);
+}
+
+}  // namespace

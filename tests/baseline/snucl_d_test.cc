@@ -1,0 +1,70 @@
+// SnuCL-D comparator model: the qualitative properties Fig. 2 depends on.
+#include "baseline/snucl_d.h"
+
+#include <gtest/gtest.h>
+
+namespace haocl::baseline {
+namespace {
+
+TEST(SnuClDTest, CfdUnsupported) {
+  SnuClDModel model;
+  auto result = model.Run(ProfileFor("CFD", 1.0), 4);
+  EXPECT_FALSE(result.supported);
+}
+
+TEST(SnuClDTest, AllOtherAppsSupported) {
+  SnuClDModel model;
+  for (const char* app : {"MatrixMul", "kNN", "BFS", "SpMV"}) {
+    EXPECT_TRUE(model.Run(ProfileFor(app, 1.0), 2).supported) << app;
+  }
+}
+
+TEST(SnuClDTest, ZeroNodesUnsupported) {
+  SnuClDModel model;
+  EXPECT_FALSE(model.Run(ProfileFor("MatrixMul", 1.0), 0).supported);
+}
+
+TEST(SnuClDTest, ReplicationTransferGrowsWithNodes) {
+  SnuClDModel model;
+  const WorkloadProfile profile = ProfileFor("MatrixMul", 1.0);
+  const auto two = model.Run(profile, 2);
+  const auto eight = model.Run(profile, 8);
+  // Data replication: 4x nodes => ~4x input transfer (the constant output
+  // gather dilutes the ratio slightly).
+  const double ratio = eight.transfer_seconds / two.transfer_seconds;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LE(ratio, 4.0);
+}
+
+TEST(SnuClDTest, ComputeShrinksSublinearlyOnSkewedApps) {
+  SnuClDModel model;
+  // Paper-scale BFS (scale 200 ~ millions of vertices): per-launch fixed
+  // overheads stop dominating and the straggler penalty becomes visible.
+  const WorkloadProfile bfs = ProfileFor("BFS", 200.0);
+  const auto one = model.Run(bfs, 1);
+  const auto eight = model.Run(bfs, 8);
+  const double speedup = one.compute_seconds / eight.compute_seconds;
+  EXPECT_GT(speedup, 1.5);  // Still some scaling...
+  EXPECT_LT(speedup, 7.0);  // ...but clearly sublinear (stragglers).
+}
+
+TEST(SnuClDTest, DenseAppScalesBetterThanIrregular) {
+  SnuClDModel model;
+  auto speedup_of = [&model](const char* app) {
+    const WorkloadProfile profile = ProfileFor(app, 1.0);
+    return model.Run(profile, 1).compute_seconds /
+           model.Run(profile, 8).compute_seconds;
+  };
+  EXPECT_GT(speedup_of("MatrixMul"), speedup_of("BFS"));
+}
+
+TEST(SnuClDTest, ProfilesScaleWithFactor) {
+  const WorkloadProfile small = ProfileFor("SpMV", 0.1);
+  const WorkloadProfile large = ProfileFor("SpMV", 1.0);
+  EXPECT_LT(small.input_bytes, large.input_bytes);
+  EXPECT_LT(small.total_flops, large.total_flops);
+  EXPECT_EQ(small.irregular, large.irregular);
+}
+
+}  // namespace
+}  // namespace haocl::baseline

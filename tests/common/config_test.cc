@@ -1,0 +1,81 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace haocl {
+namespace {
+
+TEST(ConfigTest, ParsesNodesAndOptions) {
+  auto config = ClusterConfig::Parse(R"(
+# HaoCL cluster map
+node gpu0  gpu  10.0.0.1 9000
+node gpu1  gpu  10.0.0.2 9000
+node fpga0 fpga 10.0.0.3 9001
+node cpu0  cpu  10.0.0.4 9002
+option scheduler hetero
+option data_port_base 9100
+)");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->nodes().size(), 4u);
+  EXPECT_EQ(config->CountByType(NodeType::kGpu), 2u);
+  EXPECT_EQ(config->CountByType(NodeType::kFpga), 1u);
+  EXPECT_EQ(config->CountByType(NodeType::kCpu), 1u);
+  EXPECT_EQ(config->nodes()[2].name, "fpga0");
+  EXPECT_EQ(config->nodes()[2].port, 9001);
+  EXPECT_EQ(config->GetOption("scheduler", "user"), "hetero");
+  EXPECT_EQ(config->GetOptionInt("data_port_base", 0), 9100);
+  EXPECT_EQ(config->GetOptionInt("missing", 7), 7);
+}
+
+TEST(ConfigTest, EmptyAndCommentsOnly) {
+  auto config = ClusterConfig::Parse("# nothing\n\n   \n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->nodes().empty());
+}
+
+TEST(ConfigTest, BadTypeRejectedWithLineNumber) {
+  auto config = ClusterConfig::Parse("node n1 tpu 10.0.0.1 9000\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(config.status().message().find("tpu"), std::string::npos);
+}
+
+TEST(ConfigTest, BadPortRejected) {
+  EXPECT_FALSE(ClusterConfig::Parse("node n1 gpu 10.0.0.1 99999\n").ok());
+  EXPECT_FALSE(ClusterConfig::Parse("node n1 gpu 10.0.0.1 abc\n").ok());
+}
+
+TEST(ConfigTest, WrongArityRejected) {
+  EXPECT_FALSE(ClusterConfig::Parse("node n1 gpu 10.0.0.1\n").ok());
+  EXPECT_FALSE(ClusterConfig::Parse("option onlykey\n").ok());
+}
+
+TEST(ConfigTest, UnknownDirectiveRejected) {
+  EXPECT_FALSE(ClusterConfig::Parse("device n1 gpu 10.0.0.1 9000\n").ok());
+}
+
+TEST(ConfigTest, SerializeRoundTrip) {
+  ClusterConfig config;
+  config.AddNode({"gpu0", NodeType::kGpu, "127.0.0.1", 9000});
+  config.AddNode({"fpga0", NodeType::kFpga, "127.0.0.1", 9001});
+  config.SetOption("scheduler", "roundrobin");
+  auto reparsed = ClusterConfig::Parse(config.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->nodes(), config.nodes());
+  EXPECT_EQ(reparsed->GetOption("scheduler", ""), "roundrobin");
+}
+
+TEST(ConfigTest, ParseNodeTypeNames) {
+  EXPECT_EQ(*ParseNodeType("cpu"), NodeType::kCpu);
+  EXPECT_EQ(*ParseNodeType("gpu"), NodeType::kGpu);
+  EXPECT_EQ(*ParseNodeType("fpga"), NodeType::kFpga);
+  EXPECT_FALSE(ParseNodeType("asic").ok());
+  EXPECT_STREQ(NodeTypeName(NodeType::kFpga), "fpga");
+}
+
+TEST(ConfigTest, MissingFileFails) {
+  EXPECT_FALSE(ClusterConfig::LoadFile("/nonexistent/cluster.conf").ok());
+}
+
+}  // namespace
+}  // namespace haocl

@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace haocl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kInvalidDevice, "no such device");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidDevice);
+  EXPECT_EQ(s.ToString(), "INVALID_DEVICE: no such device");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (ErrorCode code : {ErrorCode::kOk, ErrorCode::kDeviceNotFound,
+                         ErrorCode::kBuildProgramFailure,
+                         ErrorCode::kInvalidValue, ErrorCode::kNetworkError,
+                         ErrorCode::kProtocolError, ErrorCode::kInternal,
+                         ErrorCode::kUnimplemented}) {
+    EXPECT_STRNE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.code(), ErrorCode::kOk);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e(ErrorCode::kInvalidValue, "bad");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), ErrorCode::kInvalidValue);
+  EXPECT_EQ(e.status().message(), "bad");
+}
+
+TEST(ExpectedTest, OkStatusIsNotAValue) {
+  // Constructing Expected from an OK status is a bug; it must surface as an
+  // internal error rather than pretend to hold a value.
+  Expected<int> e{Status::Ok()};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), ErrorCode::kInternal);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> e(std::string(1000, 'x'));
+  std::string taken = *std::move(e);
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+Status FailingOp() { return Status(ErrorCode::kNetworkError, "down"); }
+Status UsesReturnIfError() {
+  HAOCL_RETURN_IF_ERROR(FailingOp());
+  return Status(ErrorCode::kInternal, "unreached");
+}
+
+Expected<int> GivesSeven() { return 7; }
+Expected<int> GivesError() {
+  return Expected<int>(ErrorCode::kInvalidValue, "nope");
+}
+Status UsesAssignOrReturn(int* out) {
+  HAOCL_ASSIGN_OR_RETURN(int v, GivesSeven());
+  HAOCL_ASSIGN_OR_RETURN(int w, GivesError());
+  *out = v + w;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), ErrorCode::kNetworkError);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_EQ(UsesAssignOrReturn(&out).code(), ErrorCode::kInvalidValue);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace haocl

@@ -1,0 +1,205 @@
+// Device drivers + ICD dispatch: timing models, native/interpreted paths,
+// the FPGA bitstream policy, and driver installation.
+#include "driver/device_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/icd.h"
+#include "driver/native_registry.h"
+#include "oclc/program.h"
+
+namespace haocl::driver {
+namespace {
+
+constexpr char kSource[] = R"(
+  __kernel void muladd(__global float* data, float a, float b, int n) {
+    int i = get_global_id(0);
+    if (i < n) data[i] = data[i] * a + b;
+  })";
+
+TEST(IcdTest, BuiltinDriversInstalled) {
+  auto& icd = IcdRegistry::Instance();
+  EXPECT_TRUE(icd.Has(NodeType::kCpu));
+  EXPECT_TRUE(icd.Has(NodeType::kGpu));
+  EXPECT_TRUE(icd.Has(NodeType::kFpga));
+  auto gpu = icd.Create(NodeType::kGpu);
+  ASSERT_TRUE(gpu.ok());
+  EXPECT_EQ((*gpu)->spec().type, NodeType::kGpu);
+  EXPECT_EQ((*gpu)->spec().model_name, "NVIDIA Tesla P4");
+}
+
+TEST(IcdTest, CustomDriverInstallAndDispatch) {
+  // A vendor can install its own driver; subsequent Create() dispatches to
+  // it. Restore the builtin afterwards.
+  class NullDriver : public DeviceDriver {
+   public:
+    [[nodiscard]] const sim::DeviceSpec& spec() const override {
+      return spec_;
+    }
+    Expected<std::shared_ptr<const oclc::Module>> Build(
+        const std::string&, std::string*) override {
+      return Status(ErrorCode::kCompilerNotAvailable, "null driver");
+    }
+    Status Launch(const oclc::Module&, const std::string&,
+                  const std::vector<oclc::ArgBinding>&, const oclc::NDRange&,
+                  LaunchProfile*) override {
+      return Status(ErrorCode::kUnimplemented, "null driver");
+    }
+
+   private:
+    sim::DeviceSpec spec_ = sim::XeonE52686();
+  };
+
+  IcdRegistry::Instance().Install(
+      NodeType::kCpu, [] { return std::make_unique<NullDriver>(); });
+  auto driver = IcdRegistry::Instance().Create(NodeType::kCpu);
+  ASSERT_TRUE(driver.ok());
+  std::string log;
+  EXPECT_EQ((*driver)->Build("x", &log).code(),
+            ErrorCode::kCompilerNotAvailable);
+  IcdRegistry::Instance().Install(NodeType::kCpu, MakeCpuDriver);
+}
+
+TEST(DriverTest, GpuLaunchExecutesAndProfiles) {
+  auto driver = MakeGpuDriver();
+  std::string log;
+  auto module = driver->Build(kSource, &log);
+  ASSERT_TRUE(module.ok()) << log;
+
+  const int n = 512;
+  std::vector<float> data(n, 2.0f);
+  oclc::NDRange range;
+  range.global[0] = n;
+  LaunchProfile profile;
+  Status s = driver->Launch(
+      **module, "muladd",
+      {oclc::ArgBinding::Buffer(data.data(), n * 4),
+       oclc::ArgBinding::Float(3.0f), oclc::ArgBinding::Float(1.0f),
+       oclc::ArgBinding::Int(n)},
+      range, &profile);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (float v : data) ASSERT_FLOAT_EQ(v, 7.0f);
+  EXPECT_GT(profile.modeled_seconds, 0.0);
+  EXPECT_GT(profile.flops, 0u);
+  EXPECT_FALSE(profile.used_native_binary);
+}
+
+TEST(DriverTest, NativeFastPathPreferred) {
+  auto driver = MakeCpuDriver();
+  std::string log;
+  auto module = driver->Build(
+      "__kernel void nat_test(__global int* d) { d[0] = 1; }", &log);
+  ASSERT_TRUE(module.ok());
+  bool native_ran = false;
+  NativeKernelRegistry::Instance().Register(
+      "nat_test",
+      [&native_ran](const std::vector<oclc::ArgBinding>& args,
+                    const oclc::NDRange&) {
+        native_ran = true;
+        *reinterpret_cast<std::int32_t*>(args[0].data) = 99;
+        return Status::Ok();
+      });
+  std::vector<std::int32_t> data(1, 0);
+  oclc::NDRange range;
+  LaunchProfile profile;
+  ASSERT_TRUE(driver
+                  ->Launch(**module, "nat_test",
+                           {oclc::ArgBinding::Buffer(data.data(), 4)}, range,
+                           &profile)
+                  .ok());
+  EXPECT_TRUE(native_ran);
+  EXPECT_TRUE(profile.used_native_binary);
+  EXPECT_EQ(data[0], 99);  // The native binary ran, not the interpreter.
+  NativeKernelRegistry::Instance().Unregister("nat_test");
+}
+
+TEST(DriverTest, FpgaRefusesUnknownKernels) {
+  auto driver = MakeFpgaDriver();
+  std::string log;
+  auto module = driver->Build(
+      "__kernel void no_bitstream(__global int* d) { d[0] = 1; }", &log);
+  ASSERT_TRUE(module.ok());
+  std::vector<std::int32_t> data(1, 0);
+  oclc::NDRange range;
+  Status s = driver->Launch(**module, "no_bitstream",
+                            {oclc::ArgBinding::Buffer(data.data(), 4)}, range,
+                            nullptr);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidProgramExecutable);
+}
+
+TEST(DriverTest, FpgaRunsRegisteredBitstream) {
+  NativeKernelRegistry::Instance().Register(
+      "with_bitstream",
+      [](const std::vector<oclc::ArgBinding>& args, const oclc::NDRange&) {
+        *reinterpret_cast<std::int32_t*>(args[0].data) = 7;
+        return Status::Ok();
+      });
+  auto driver = MakeFpgaDriver();
+  std::string log;
+  auto module = driver->Build(
+      "__kernel void with_bitstream(__global int* d) { d[0] = 1; }", &log);
+  ASSERT_TRUE(module.ok());
+  std::vector<std::int32_t> data(1, 0);
+  oclc::NDRange range;
+  LaunchProfile profile;
+  ASSERT_TRUE(driver
+                  ->Launch(**module, "with_bitstream",
+                           {oclc::ArgBinding::Buffer(data.data(), 4)}, range,
+                           &profile)
+                  .ok());
+  EXPECT_EQ(data[0], 7);
+  EXPECT_TRUE(profile.used_native_binary);
+  NativeKernelRegistry::Instance().Unregister("with_bitstream");
+}
+
+TEST(DriverTest, BuildFailurePopulatesLog) {
+  auto driver = MakeGpuDriver();
+  std::string log;
+  auto module = driver->Build("__kernel void broken(", &log);
+  EXPECT_FALSE(module.ok());
+  EXPECT_FALSE(log.empty());
+}
+
+TEST(DriverTest, CostEstimateScalesWithRange) {
+  auto driver = MakeGpuDriver();
+  std::string log;
+  auto module = driver->Build(kSource, &log);
+  ASSERT_TRUE(module.ok());
+  const oclc::CompiledFunction* kernel = (*module)->FindKernel("muladd");
+  ASSERT_NE(kernel, nullptr);
+
+  oclc::NDRange small;
+  small.global[0] = 100;
+  oclc::NDRange big;
+  big.global[0] = 100000;
+  auto cost_small = EstimateKernelCost(**module, *kernel, {}, small);
+  auto cost_big = EstimateKernelCost(**module, *kernel, {}, big);
+  EXPECT_GT(cost_big.flops, cost_small.flops * 100);
+  EXPECT_EQ(cost_big.work_items, 100000u);
+}
+
+TEST(DriverTest, UnknownKernelNameRejected) {
+  auto driver = MakeGpuDriver();
+  std::string log;
+  auto module = driver->Build(kSource, &log);
+  ASSERT_TRUE(module.ok());
+  oclc::NDRange range;
+  Status s = driver->Launch(**module, "nope", {}, range, nullptr);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidKernelName);
+}
+
+TEST(RegistryTest, NamesAreSortedAndUnique) {
+  auto& registry = NativeKernelRegistry::Instance();
+  registry.Register("zz_probe", [](const std::vector<oclc::ArgBinding>&,
+                                   const oclc::NDRange&) {
+    return Status::Ok();
+  });
+  auto names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_TRUE(registry.Contains("zz_probe"));
+  registry.Unregister("zz_probe");
+  EXPECT_FALSE(registry.Contains("zz_probe"));
+}
+
+}  // namespace
+}  // namespace haocl::driver

@@ -1,0 +1,321 @@
+// Full-stack integration: host runtime -> scheduler -> backbone -> NMP ->
+// driver -> compiler/VM, over the in-process transport. Covers the device
+// mapping, buffer coherence protocol, remote builds, scheduled launches,
+// multi-user sessions, and node-failure behaviour.
+#include "host/cluster_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "host/sim_cluster.h"
+#include "net/sim_transport.h"
+#include "workloads/workload.h"
+
+namespace haocl::host {
+namespace {
+
+constexpr char kDoubler[] = R"(
+  __kernel void doubler(__global int* data, int n) {
+    int i = get_global_id(0);
+    if (i < n) data[i] = data[i] * 2;
+  })";
+
+constexpr char kScaleConst[] = R"(
+  __kernel void scale(__global const int* in, __global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) out[i] = in[i] * 3;
+  })";
+
+class ClusterRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workloads::RegisterAllNativeKernels();
+    auto cluster = SimCluster::Create({.gpu_nodes = 2, .fpga_nodes = 1});
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = *std::move(cluster);
+  }
+
+  ClusterRuntime& runtime() { return cluster_->runtime(); }
+  std::unique_ptr<SimCluster> cluster_;
+};
+
+TEST_F(ClusterRuntimeTest, HandshakeBuildsDeviceTable) {
+  const auto& devices = runtime().devices();
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(devices[0].type, NodeType::kGpu);
+  EXPECT_EQ(devices[0].name, "gpu0");
+  EXPECT_EQ(devices[2].type, NodeType::kFpga);
+  EXPECT_EQ(devices[2].model, "Xilinx Virtex UltraScale+ VU9P");
+  EXPECT_EQ(runtime().DevicesOfType(NodeType::kGpu).size(), 2u);
+  EXPECT_EQ(runtime().DevicesOfType(NodeType::kFpga).size(), 1u);
+}
+
+TEST_F(ClusterRuntimeTest, BufferWriteReadRoundTrip) {
+  auto buffer = runtime().CreateBuffer(1024);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::uint8_t> data(1024);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, data.data(), 1024).ok());
+  std::vector<std::uint8_t> back(1024);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, back.data(), 1024).ok());
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(runtime().ReleaseBuffer(*buffer).ok());
+  EXPECT_FALSE(runtime().ReadBuffer(*buffer, 0, back.data(), 1).ok());
+}
+
+TEST_F(ClusterRuntimeTest, RemoteLaunchMutatesRemoteBuffer) {
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const int n = 256;
+  auto buffer = runtime().CreateBuffer(n * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n);
+  std::iota(values.begin(), values.end(), 1);
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 1;
+  auto result = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->node, 1u);
+  EXPECT_GT(result->modeled_seconds, 0.0);
+  EXPECT_EQ(result->bytes_shipped, static_cast<std::uint64_t>(n * 4));
+
+  // Read gathers the data back from node 1 (host copy was invalidated).
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, values.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(values[i], 2 * (i + 1));
+}
+
+TEST_F(ClusterRuntimeTest, ConstBuffersStayValidAcrossNodes) {
+  auto program = runtime().BuildProgram(kScaleConst);
+  ASSERT_TRUE(program.ok());
+  const int n = 128;
+  auto in = runtime().CreateBuffer(n * 4);
+  auto out0 = runtime().CreateBuffer(n * 4);
+  auto out1 = runtime().CreateBuffer(n * 4);
+  ASSERT_TRUE(in.ok() && out0.ok() && out1.ok());
+  std::vector<std::int32_t> values(n, 5);
+  ASSERT_TRUE(runtime().WriteBuffer(*in, 0, values.data(), n * 4).ok());
+
+  // Launch on node 0: ships `in` there.
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "scale";
+  spec.args = {KernelArgValue::Buffer(*in), KernelArgValue::Buffer(*out0),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 0;
+  auto first = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->bytes_shipped, static_cast<std::uint64_t>(2 * n * 4));
+
+  // Launch on node 1: `in` is const, so only out1 + in ship to node 1 —
+  // but `in` was NOT invalidated by the first launch, so the host shadow
+  // is still valid and no gather-from-node-0 is needed.
+  spec.args[1] = KernelArgValue::Buffer(*out1);
+  spec.preferred_node = 1;
+  auto second = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(second.ok());
+
+  // Re-launch on node 0: everything already valid there except out0
+  // (written by launch 1 on node 0 - still valid on node 0). Zero bytes.
+  spec.args[1] = KernelArgValue::Buffer(*out0);
+  spec.preferred_node = 0;
+  auto third = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->bytes_shipped, 0u);
+
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(runtime().ReadBuffer(*out1, 0, got.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], 15);
+}
+
+TEST_F(ClusterRuntimeTest, PartialWriteToRemoteOwnedBufferGathersFirst) {
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 64;
+  auto buffer = runtime().CreateBuffer(n * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n, 10);
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 0;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());  // Buffer now = 20 on node0.
+
+  // Partial write: must first gather the 20s, then overlay one element.
+  const std::int32_t patch = 999;
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 4, &patch, 4).ok());
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  EXPECT_EQ(got[0], 20);
+  EXPECT_EQ(got[1], 999);
+  EXPECT_EQ(got[2], 20);
+}
+
+TEST_F(ClusterRuntimeTest, BuildFailureSurfacesLog) {
+  auto program = runtime().BuildProgram("__kernel void broken(");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.code(), ErrorCode::kBuildProgramFailure);
+  EXPECT_FALSE(program.status().message().empty());
+}
+
+TEST_F(ClusterRuntimeTest, SchedulerPolicySwitching) {
+  EXPECT_EQ(runtime().scheduler_name(), "user");
+  ASSERT_TRUE(runtime().SetScheduler("roundrobin").ok());
+  EXPECT_EQ(runtime().scheduler_name(), "roundrobin");
+  EXPECT_FALSE(runtime().SetScheduler("bogus").ok());
+
+  // Round robin spreads launches without explicit placement.
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 16;
+  std::vector<std::int32_t> values(n, 1);
+  std::set<std::size_t> nodes_used;
+  for (int i = 0; i < 6; ++i) {
+    auto buffer = runtime().CreateBuffer(n * 4);
+    ASSERT_TRUE(buffer.ok());
+    ASSERT_TRUE(
+        runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+    ClusterRuntime::LaunchSpec spec;
+    spec.program = *program;
+    spec.kernel_name = "doubler";
+    spec.args = {KernelArgValue::Buffer(*buffer),
+                 KernelArgValue::Scalar<std::int32_t>(n)};
+    spec.global[0] = n;
+    spec.preferred_node = -1;  // Let the policy place it.
+    auto result = runtime().LaunchKernel(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    nodes_used.insert(result->node);
+  }
+  // "doubler" has no pre-built FPGA bitstream, so the scheduler must keep
+  // it off the FPGA node and rotate over the two GPU nodes only.
+  EXPECT_EQ(nodes_used, (std::set<std::size_t>{0, 1}));
+}
+
+TEST_F(ClusterRuntimeTest, MonitorReportsPerNodeCounters) {
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 16;
+  auto buffer = runtime().CreateBuffer(n * 4);
+  std::vector<std::int32_t> values(n, 1);
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 1;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());
+
+  auto view = runtime().QueryClusterView();
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->nodes.size(), 3u);
+  EXPECT_EQ(view->nodes[1].kernels_executed, 1u);
+  EXPECT_EQ(view->nodes[0].kernels_executed, 0u);
+  EXPECT_TRUE(view->nodes[2].alive);
+}
+
+TEST_F(ClusterRuntimeTest, MultiUserSessionsAreIsolated) {
+  // Second host session against the same NMPs: same buffer ids in two
+  // sessions must not collide (the paper's multi-user requirement).
+  RuntimeOptions options;
+  options.session_id = 2;
+  auto second = cluster_->ConnectSecondSession(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  auto b1 = runtime().CreateBuffer(16);
+  auto b2 = (*second)->CreateBuffer(16);
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  EXPECT_EQ(*b1, *b2);  // Same logical id in both sessions.
+
+  auto program1 = runtime().BuildProgram(kDoubler);
+  auto program2 = (*second)->BuildProgram(kDoubler);
+  ASSERT_TRUE(program1.ok() && program2.ok());
+
+  const std::int32_t v1 = 100;
+  const std::int32_t v2 = 777;
+  std::vector<std::int32_t> init1(4, v1);
+  std::vector<std::int32_t> init2(4, v2);
+  ASSERT_TRUE(runtime().WriteBuffer(*b1, 0, init1.data(), 16).ok());
+  ASSERT_TRUE((*second)->WriteBuffer(*b2, 0, init2.data(), 16).ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.kernel_name = "doubler";
+  spec.global[0] = 4;
+  spec.preferred_node = 0;
+  spec.program = *program1;
+  spec.args = {KernelArgValue::Buffer(*b1),
+               KernelArgValue::Scalar<std::int32_t>(4)};
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());
+  spec.program = *program2;
+  spec.args = {KernelArgValue::Buffer(*b2),
+               KernelArgValue::Scalar<std::int32_t>(4)};
+  ASSERT_TRUE((*second)->LaunchKernel(spec).ok());
+
+  std::vector<std::int32_t> got(4);
+  ASSERT_TRUE(runtime().ReadBuffer(*b1, 0, got.data(), 16).ok());
+  EXPECT_EQ(got[0], 200);
+  ASSERT_TRUE((*second)->ReadBuffer(*b2, 0, got.data(), 16).ok());
+  EXPECT_EQ(got[0], 1554);
+  (*second)->Disconnect();
+}
+
+TEST_F(ClusterRuntimeTest, VirtualTimelineAccumulatesPhases) {
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  runtime().timeline().Reset();
+  const int n = 4096;
+  auto buffer = runtime().CreateBuffer(n * 4);
+  std::vector<std::int32_t> values(n, 1);
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 0;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  const auto& phases = runtime().timeline().phases();
+  EXPECT_GT(phases.Get(kPhaseDataTransfer), 0.0);  // Scatter + gather.
+  EXPECT_GT(phases.Get(kPhaseCompute), 0.0);
+  EXPECT_GE(runtime().timeline().Makespan(),
+            phases.Get(kPhaseCompute));
+  EXPECT_GT(runtime().TotalBytesSent(), static_cast<std::uint64_t>(n * 4));
+}
+
+TEST(ClusterRuntimeErrorsTest, EmptyConnectionListRejected) {
+  auto runtime = ClusterRuntime::Connect({});
+  EXPECT_FALSE(runtime.ok());
+}
+
+TEST(ClusterRuntimeErrorsTest, DeadNodeFailsHandshake) {
+  auto [host_end, node_end] = net::CreateSimChannel();
+  node_end->Start([](net::Message) { /* mute node */ });
+  std::vector<net::ConnectionPtr> connections;
+  connections.push_back(std::move(host_end));
+  RuntimeOptions options;
+  options.rpc_timeout = std::chrono::milliseconds(200);
+  auto runtime = ClusterRuntime::Connect(std::move(connections), options);
+  EXPECT_FALSE(runtime.ok());
+  node_end->Close();
+}
+
+}  // namespace
+}  // namespace haocl::host

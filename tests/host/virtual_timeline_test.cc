@@ -1,0 +1,117 @@
+// VirtualTimeline: phase accounting, resource serialization, paper-scale
+// amplification, and the peer-to-peer replication model.
+#include "host/virtual_timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace haocl::host {
+namespace {
+
+VirtualTimeline MakeTimeline(std::size_t gpus) {
+  return VirtualTimeline(sim::ClusterTopology::Make(gpus, 0));
+}
+
+TEST(VirtualTimelineTest, PhasesAccumulate) {
+  VirtualTimeline timeline = MakeTimeline(2);
+  timeline.RecordDataCreate(1.5);
+  timeline.RecordTransferToNode(0, 1'000'000);
+  timeline.RecordKernel(0, 0.25);
+  timeline.RecordTransferFromNode(0, 1'000'000);
+  EXPECT_DOUBLE_EQ(timeline.phases().Get(kPhaseDataCreate), 1.5);
+  EXPECT_GT(timeline.phases().Get(kPhaseDataTransfer), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.phases().Get(kPhaseCompute), 0.25);
+  EXPECT_GT(timeline.Makespan(), 1.75);
+}
+
+TEST(VirtualTimelineTest, PerNodeChainsAreIndependent) {
+  VirtualTimeline timeline = MakeTimeline(2);
+  timeline.RecordKernel(0, 1.0);
+  timeline.RecordKernel(1, 1.0);
+  // Two kernels on different nodes overlap: makespan 1s, not 2s.
+  EXPECT_NEAR(timeline.Makespan(), 1.0, 1e-9);
+  timeline.RecordKernel(0, 1.0);  // Same node serializes.
+  EXPECT_NEAR(timeline.Makespan(), 2.0, 1e-9);
+}
+
+TEST(VirtualTimelineTest, TransferAmplificationScalesBytes) {
+  VirtualTimeline small = MakeTimeline(1);
+  small.RecordTransferToNode(0, 1'000'000);
+  VirtualTimeline big = MakeTimeline(1);
+  big.SetAmplification(/*transfer=*/100.0, /*compute=*/1.0);
+  big.RecordTransferToNode(0, 1'000'000);
+  // 100x the bytes: wire time grows ~100x (minus the constant latency).
+  EXPECT_GT(big.phases().Get(kPhaseDataTransfer),
+            50.0 * small.phases().Get(kPhaseDataTransfer));
+}
+
+TEST(VirtualTimelineTest, DataCreateAmplifiesWithTransferFactor) {
+  VirtualTimeline timeline = MakeTimeline(1);
+  timeline.SetAmplification(8.0, 1.0);
+  timeline.RecordDataCreate(1.0);
+  EXPECT_DOUBLE_EQ(timeline.phases().Get(kPhaseDataCreate), 8.0);
+}
+
+TEST(VirtualTimelineTest, KernelSecondsAreNotAmplifiedByTimeline) {
+  // Compute amplification is the caller's job (cost-based), so constant
+  // launch overheads are not inflated; RecordKernel must take the seconds
+  // it is given.
+  VirtualTimeline timeline = MakeTimeline(1);
+  timeline.SetAmplification(10.0, 10.0);
+  timeline.RecordKernel(0, 0.5);
+  EXPECT_DOUBLE_EQ(timeline.phases().Get(kPhaseCompute), 0.5);
+}
+
+TEST(VirtualTimelineTest, ReplicationBuildsMulticastTree) {
+  // Broadcasting B bytes to 8 nodes: host-only scatter serializes 8 wire
+  // times on the uplink; with peers relaying, later copies come from
+  // earlier receivers in parallel, so completion is ~tree depth.
+  const std::uint64_t bytes = 100'000'000;  // ~0.85 s on GbE.
+  VirtualTimeline serial = MakeTimeline(8);
+  for (std::size_t node = 0; node < 8; ++node) {
+    serial.RecordTransferToNode(node, bytes);
+  }
+  VirtualTimeline tree = MakeTimeline(8);
+  std::vector<std::size_t> holders;
+  for (std::size_t node = 0; node < 8; ++node) {
+    tree.RecordReplicationToNode(node, bytes, holders);
+    holders.push_back(node);
+  }
+  EXPECT_LT(tree.Makespan(), 0.7 * serial.Makespan());
+}
+
+TEST(VirtualTimelineTest, ReplicationWithNoHoldersFallsBackToHost) {
+  VirtualTimeline timeline = MakeTimeline(2);
+  const sim::SimTime done = timeline.RecordReplicationToNode(1, 1000, {});
+  EXPECT_GT(done, 0.0);
+  EXPECT_GT(timeline.phases().Get(kPhaseDataTransfer), 0.0);
+}
+
+TEST(VirtualTimelineTest, ResetPreservesAmplification) {
+  VirtualTimeline timeline = MakeTimeline(1);
+  timeline.SetAmplification(4.0, 9.0);
+  timeline.RecordDataCreate(1.0);
+  timeline.Reset();
+  EXPECT_DOUBLE_EQ(timeline.Makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.phases().Total(), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.transfer_amplification(), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.compute_amplification(), 9.0);
+}
+
+TEST(VirtualTimelineTest, EnergyTracksComputeBusyTime) {
+  VirtualTimeline timeline = MakeTimeline(1);  // One Tesla P4 at 75 W.
+  timeline.RecordKernel(0, 2.0);
+  EXPECT_NEAR(timeline.TotalEnergyJoules(), 150.0, 1.0);
+}
+
+TEST(VirtualTimelineTest, GatherSynchronizesHostClock) {
+  VirtualTimeline timeline = MakeTimeline(2);
+  timeline.RecordKernel(1, 3.0);
+  timeline.RecordTransferFromNode(1, 1000);
+  // The host waited for node 1's result, so a later host-side create
+  // starts after the gather.
+  timeline.RecordDataCreate(0.5);
+  EXPECT_GT(timeline.Makespan(), 3.5);
+}
+
+}  // namespace
+}  // namespace haocl::host

@@ -1,0 +1,179 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+namespace haocl::net {
+namespace {
+
+TEST(MessageTest, SerializeDeserializeRoundTrip) {
+  Message msg;
+  msg.type = MsgType::kLaunchKernel;
+  msg.seq = 42;
+  msg.session = 7;
+  msg.payload = {1, 2, 3, 4, 5};
+  auto frame = msg.Serialize();
+  auto parsed = Message::Deserialize(frame.data(), frame.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, MsgType::kLaunchKernel);
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->session, 7u);
+  EXPECT_EQ(parsed->payload, msg.payload);
+}
+
+TEST(MessageTest, EmptyPayload) {
+  Message msg;
+  msg.type = MsgType::kQueryLoad;
+  auto frame = msg.Serialize();
+  EXPECT_EQ(frame.size(), Message::kHeaderSize);
+  auto parsed = Message::Deserialize(frame.data(), frame.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(MessageTest, BadMagicRejected) {
+  Message msg;
+  auto frame = msg.Serialize();
+  frame[0] ^= 0xFF;
+  EXPECT_FALSE(Message::Deserialize(frame.data(), frame.size()).ok());
+  EXPECT_FALSE(Message::ParseHeader(frame.data(), frame.size()).ok());
+}
+
+TEST(MessageTest, TruncatedHeaderRejected) {
+  Message msg;
+  auto frame = msg.Serialize();
+  EXPECT_FALSE(Message::ParseHeader(frame.data(), 5).ok());
+  EXPECT_FALSE(Message::Deserialize(frame.data(), 5).ok());
+}
+
+TEST(MessageTest, SizeMismatchRejected) {
+  Message msg;
+  msg.payload = {1, 2, 3};
+  auto frame = msg.Serialize();
+  // Claim the full frame but hand over one byte less.
+  EXPECT_FALSE(Message::Deserialize(frame.data(), frame.size() - 1).ok());
+}
+
+TEST(MessageTest, AbsurdPayloadLengthRejected) {
+  Message msg;
+  auto frame = msg.Serialize();
+  // Patch the payload-size field (last 8 header bytes) to something huge.
+  for (std::size_t i = Message::kHeaderSize - 8; i < Message::kHeaderSize;
+       ++i) {
+    frame[i] = 0xFF;
+  }
+  auto header = Message::ParseHeader(frame.data(), frame.size());
+  EXPECT_FALSE(header.ok());
+  EXPECT_EQ(header.code(), ErrorCode::kProtocolError);
+}
+
+// ----- Protocol payload codecs ---------------------------------------------
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  HelloRequest req;
+  req.host_name = "host-A";
+  auto decoded = HelloRequest::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->host_name, "host-A");
+
+  HelloReply reply;
+  reply.node_name = "gpu3";
+  reply.device_type = NodeType::kGpu;
+  reply.device_model = "Tesla P4";
+  reply.compute_gflops = 5500;
+  auto r = HelloReply::Decode(reply.Encode());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node_name, "gpu3");
+  EXPECT_EQ(r->device_type, NodeType::kGpu);
+  EXPECT_DOUBLE_EQ(r->compute_gflops, 5500);
+}
+
+TEST(ProtocolTest, BufferRequestsRoundTrip) {
+  CreateBufferRequest create{11, 4096};
+  auto c = CreateBufferRequest::Decode(create.Encode());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->buffer_id, 11u);
+  EXPECT_EQ(c->size, 4096u);
+
+  WriteBufferRequest write;
+  write.buffer_id = 11;
+  write.offset = 128;
+  write.data = {9, 8, 7};
+  auto w = WriteBufferRequest::Decode(write.Encode());
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->offset, 128u);
+  EXPECT_EQ(w->data, write.data);
+
+  ReadBufferRequest read{11, 0, 256};
+  auto r = ReadBufferRequest::Decode(read.Encode());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size, 256u);
+
+  CopyBufferRequest copy{1, 2, 10, 20, 30};
+  auto cp = CopyBufferRequest::Decode(copy.Encode());
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp->dst_offset, 20u);
+}
+
+TEST(ProtocolTest, LaunchKernelRoundTrip) {
+  LaunchKernelRequest req;
+  req.program_id = 3;
+  req.kernel_name = "matmul_partition";
+  WireKernelArg buf;
+  buf.kind = WireKernelArg::Kind::kBuffer;
+  buf.buffer_id = 17;
+  WireKernelArg scalar;
+  scalar.kind = WireKernelArg::Kind::kScalar;
+  scalar.scalar_bytes = {0, 1, 0, 0};
+  WireKernelArg local;
+  local.kind = WireKernelArg::Kind::kLocalSize;
+  local.local_size = 1024;
+  req.args = {buf, scalar, local};
+  req.work_dim = 2;
+  req.global[0] = 256;
+  req.global[1] = 128;
+  req.local[0] = 16;
+  req.local[1] = 8;
+  req.local_specified = true;
+
+  auto decoded = LaunchKernelRequest::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kernel_name, "matmul_partition");
+  ASSERT_EQ(decoded->args.size(), 3u);
+  EXPECT_EQ(decoded->args[0].buffer_id, 17u);
+  EXPECT_EQ(decoded->args[1].scalar_bytes.size(), 4u);
+  EXPECT_EQ(decoded->args[2].local_size, 1024u);
+  EXPECT_EQ(decoded->global[1], 128u);
+  EXPECT_TRUE(decoded->local_specified);
+}
+
+TEST(ProtocolTest, TruncatedPayloadsRejected) {
+  LaunchKernelRequest req;
+  req.kernel_name = "k";
+  WireKernelArg arg;
+  arg.kind = WireKernelArg::Kind::kBuffer;
+  arg.buffer_id = 1;
+  req.args = {arg};
+  auto bytes = req.Encode();
+  for (std::size_t cut : {std::size_t{1}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + cut);
+    EXPECT_FALSE(LaunchKernelRequest::Decode(truncated).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, StatusReplyConveysErrors) {
+  StatusReply reply = StatusReply::FromStatus(
+      Status(ErrorCode::kInvalidMemObject, "no buffer 9"));
+  auto decoded = StatusReply::Decode(reply.Encode());
+  ASSERT_TRUE(decoded.ok());
+  Status status = decoded->ToStatus();
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidMemObject);
+  EXPECT_EQ(status.message(), "no buffer 9");
+}
+
+}  // namespace
+}  // namespace haocl::net

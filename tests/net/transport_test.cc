@@ -1,0 +1,234 @@
+// Transport tests: the in-process channel and the real TCP loopback path
+// must behave identically (ordering, large frames, clean shutdown).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/sync.h"
+#include "net/rpc.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
+
+namespace haocl::net {
+namespace {
+
+Message Make(MsgType type, std::uint64_t seq,
+             std::vector<std::uint8_t> payload = {}) {
+  Message msg;
+  msg.type = type;
+  msg.seq = seq;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+TEST(SimTransportTest, BidirectionalOrdering) {
+  auto [a, b] = CreateSimChannel();
+  BlockingQueue<std::uint64_t> got_a;
+  BlockingQueue<std::uint64_t> got_b;
+  a->Start([&](Message m) { got_a.Push(m.seq); });
+  b->Start([&](Message m) { got_b.Push(m.seq); });
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->Send(Make(MsgType::kQueryLoad, i)).ok());
+    ASSERT_TRUE(b->Send(Make(MsgType::kStatusReply, 1000 + i)).ok());
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(*got_b.Pop(), i);          // a -> b arrives in order.
+    EXPECT_EQ(*got_a.Pop(), 1000 + i);   // b -> a arrives in order.
+  }
+  a->Close();
+  b->Close();
+}
+
+TEST(SimTransportTest, SendAfterPeerCloseFails) {
+  auto [a, b] = CreateSimChannel();
+  a->Start([](Message) {});
+  b->Start([](Message) {});
+  b->Close();
+  Status s = a->Send(Make(MsgType::kQueryLoad, 1));
+  EXPECT_FALSE(s.ok());
+  a->Close();
+}
+
+TEST(SimTransportTest, CountsBytesAndMessages) {
+  auto [a, b] = CreateSimChannel();
+  b->Start([](Message) {});
+  a->Start([](Message) {});
+  Message m = Make(MsgType::kWriteBuffer, 1,
+                   std::vector<std::uint8_t>(1000, 0xAB));
+  ASSERT_TRUE(a->Send(m).ok());
+  EXPECT_EQ(a->messages_sent(), 1u);
+  EXPECT_EQ(a->bytes_sent(), m.WireSize());
+  a->Close();
+  b->Close();
+}
+
+TEST(SimListenerTest, ConnectDeliversServerEnd) {
+  SimListener listener;
+  BlockingQueue<ConnectionPtr> accepted;
+  ASSERT_TRUE(
+      listener.Start([&](ConnectionPtr c) { accepted.Push(std::move(c)); })
+          .ok());
+  auto client = listener.Connect();
+  ASSERT_TRUE(client.ok());
+  auto server = accepted.Pop();
+  ASSERT_TRUE(server.has_value());
+
+  BlockingQueue<std::uint64_t> got;
+  (*server)->Start([&](Message m) { got.Push(m.seq); });
+  (*client)->Start([](Message) {});
+  ASSERT_TRUE((*client)->Send(Make(MsgType::kHelloRequest, 5)).ok());
+  EXPECT_EQ(*got.Pop(), 5u);
+  (*client)->Close();
+  (*server)->Close();
+  listener.Stop();
+  EXPECT_FALSE(listener.Connect().ok());
+}
+
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    listener_ = std::make_unique<TcpListener>(0);  // Ephemeral port.
+    ASSERT_TRUE(listener_
+                    ->Start([this](ConnectionPtr c) {
+                      accepted_.Push(std::move(c));
+                    })
+                    .ok());
+  }
+  void TearDown() override { listener_->Stop(); }
+
+  std::unique_ptr<TcpListener> listener_;
+  BlockingQueue<ConnectionPtr> accepted_;
+};
+
+TEST_F(TcpTransportTest, RoundTripOverLoopback) {
+  auto client = TcpConnect("127.0.0.1", listener_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = accepted_.Pop();
+  ASSERT_TRUE(server.has_value());
+
+  BlockingQueue<Message> at_server;
+  (*server)->Start([&](Message m) { at_server.Push(std::move(m)); });
+  BlockingQueue<Message> at_client;
+  (*client)->Start([&](Message m) { at_client.Push(std::move(m)); });
+
+  ASSERT_TRUE((*client)
+                  ->Send(Make(MsgType::kWriteBuffer, 9,
+                              std::vector<std::uint8_t>{1, 2, 3}))
+                  .ok());
+  auto got = at_server.Pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seq, 9u);
+  EXPECT_EQ(got->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+
+  ASSERT_TRUE((*server)->Send(Make(MsgType::kStatusReply, 9)).ok());
+  auto reply = at_client.Pop();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kStatusReply);
+
+  (*client)->Close();
+  (*server)->Close();
+}
+
+TEST_F(TcpTransportTest, LargeFrameSurvives) {
+  auto client = TcpConnect("127.0.0.1", listener_->port());
+  ASSERT_TRUE(client.ok());
+  auto server = accepted_.Pop();
+  BlockingQueue<Message> at_server;
+  (*server)->Start([&](Message m) { at_server.Push(std::move(m)); });
+  (*client)->Start([](Message) {});
+
+  std::vector<std::uint8_t> big(8 << 20);  // 8 MB.
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  ASSERT_TRUE((*client)->Send(Make(MsgType::kWriteBuffer, 1, big)).ok());
+  auto got = at_server.Pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, big);
+  (*client)->Close();
+  (*server)->Close();
+}
+
+TEST_F(TcpTransportTest, ManyMessagesStayOrdered) {
+  auto client = TcpConnect("127.0.0.1", listener_->port());
+  ASSERT_TRUE(client.ok());
+  auto server = accepted_.Pop();
+  BlockingQueue<std::uint64_t> seqs;
+  (*server)->Start([&](Message m) { seqs.Push(m.seq); });
+  (*client)->Start([](Message) {});
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*client)
+                    ->Send(Make(MsgType::kQueryLoad, i,
+                                std::vector<std::uint8_t>(i % 97, 1)))
+                    .ok());
+  }
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(*seqs.Pop(), i);
+  }
+  (*client)->Close();
+  (*server)->Close();
+}
+
+TEST(TcpConnectTest, RefusedConnectionReported) {
+  // Port 1 is essentially never listening.
+  auto client = TcpConnect("127.0.0.1", 1);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.code(), ErrorCode::kNetworkError);
+}
+
+TEST(TcpConnectTest, BadAddressReported) {
+  EXPECT_FALSE(TcpConnect("not-an-ip", 80).ok());
+}
+
+// ---- RPC -------------------------------------------------------------------
+
+TEST(RpcTest, CallMatchesReplyBySeq) {
+  auto [host_end, node_end] = CreateSimChannel();
+  // Echo server: replies with the request seq and type kStatusReply.
+  auto* node_raw = node_end.get();
+  node_end->Start([node_raw](Message m) {
+    Message reply;
+    reply.type = MsgType::kStatusReply;
+    reply.seq = m.seq;
+    reply.payload = m.payload;
+    (void)node_raw->Send(reply);
+  });
+  RpcClient client(std::move(host_end));
+
+  // Issue out-of-order async calls; all must resolve.
+  auto f1 = client.CallAsync(MsgType::kQueryLoad, 1, {1});
+  auto f2 = client.CallAsync(MsgType::kQueryLoad, 1, {2});
+  auto f3 = client.CallAsync(MsgType::kQueryLoad, 1, {3});
+  EXPECT_EQ(f3->Wait().value().payload, (std::vector<std::uint8_t>{3}));
+  EXPECT_EQ(f1->Wait().value().payload, (std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(f2->Wait().value().payload, (std::vector<std::uint8_t>{2}));
+  client.Close();
+  node_raw->Close();
+}
+
+TEST(RpcTest, TimeoutWhenNodeSilent) {
+  auto [host_end, node_end] = CreateSimChannel();
+  node_end->Start([](Message) { /* never reply */ });
+  RpcClient client(std::move(host_end));
+  auto reply = client.Call(MsgType::kQueryLoad, 1, {},
+                           std::chrono::milliseconds(50));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.code(), ErrorCode::kNetworkError);
+  client.Close();
+  node_end->Close();
+}
+
+TEST(RpcTest, CloseFailsPendingCalls) {
+  auto [host_end, node_end] = CreateSimChannel();
+  node_end->Start([](Message) {});
+  RpcClient client(std::move(host_end));
+  auto pending = client.CallAsync(MsgType::kQueryLoad, 1, {});
+  client.Close();
+  EXPECT_FALSE(pending->Wait().ok());
+  node_end->Close();
+}
+
+}  // namespace
+}  // namespace haocl::net

@@ -1,0 +1,194 @@
+// NMP protocol tests: the daemon over a raw connection — malformed frames,
+// unknown message types, one-way traffic, TCP deployment, and shutdown.
+#include "nmp/node_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sync.h"
+#include "net/protocol.h"
+#include "net/rpc.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
+
+namespace haocl::nmp {
+namespace {
+
+using net::Message;
+using net::MsgType;
+
+class NodeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto server = NodeServer::Create("gpu0", NodeType::kGpu);
+    ASSERT_TRUE(server.ok());
+    server_ = *std::move(server);
+    auto [host_end, node_end] = net::CreateSimChannel();
+    server_->Serve(std::move(node_end));
+    client_ = std::make_unique<net::RpcClient>(std::move(host_end));
+  }
+
+  void TearDown() override {
+    client_->Close();
+    server_->Shutdown();
+  }
+
+  std::unique_ptr<NodeServer> server_;
+  std::unique_ptr<net::RpcClient> client_;
+};
+
+TEST_F(NodeServerTest, HelloReportsDevice) {
+  net::HelloRequest hello;
+  hello.host_name = "test-host";
+  auto reply = client_->Call(MsgType::kHelloRequest, 1, hello.Encode());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, MsgType::kHelloReply);
+  auto decoded = net::HelloReply::Decode(reply->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->node_name, "gpu0");
+  EXPECT_EQ(decoded->device_type, NodeType::kGpu);
+  EXPECT_GT(decoded->compute_gflops, 0.0);
+}
+
+TEST_F(NodeServerTest, MalformedPayloadGetsProtocolError) {
+  Message bad;
+  bad.type = MsgType::kCreateBuffer;
+  bad.seq = 1;
+  bad.payload = {1, 2};  // Too short for CreateBufferRequest.
+  auto reply = client_->Call(MsgType::kCreateBuffer, 1, bad.payload);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, MsgType::kStatusReply);
+  auto status = net::StatusReply::Decode(reply->payload);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->ToStatus().code(), ErrorCode::kProtocolError);
+}
+
+TEST_F(NodeServerTest, UnknownMessageTypeRejected) {
+  auto reply = client_->Call(static_cast<MsgType>(999), 1, {});
+  ASSERT_TRUE(reply.ok());
+  auto status = net::StatusReply::Decode(reply->payload);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->ToStatus().code(), ErrorCode::kProtocolError);
+}
+
+TEST_F(NodeServerTest, SessionsAreIndependent) {
+  net::CreateBufferRequest create;
+  create.buffer_id = 5;
+  create.size = 64;
+  // Session 1 creates buffer 5; creating it again in session 1 fails, but
+  // session 2 may use the same id freely.
+  auto r1 = client_->Call(MsgType::kCreateBuffer, 1, create.Encode());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(net::StatusReply::Decode(r1->payload)->ToStatus().ok());
+  auto r2 = client_->Call(MsgType::kCreateBuffer, 1, create.Encode());
+  EXPECT_FALSE(net::StatusReply::Decode(r2->payload)->ToStatus().ok());
+  auto r3 = client_->Call(MsgType::kCreateBuffer, 2, create.Encode());
+  EXPECT_TRUE(net::StatusReply::Decode(r3->payload)->ToStatus().ok());
+
+  // Closing session 2 frees its resources; the id becomes reusable.
+  auto closed = client_->Call(MsgType::kCloseSession, 2, {});
+  ASSERT_TRUE(closed.ok());
+  auto r4 = client_->Call(MsgType::kCreateBuffer, 2, create.Encode());
+  EXPECT_TRUE(net::StatusReply::Decode(r4->payload)->ToStatus().ok());
+}
+
+TEST_F(NodeServerTest, QueryLoadCounters) {
+  auto reply = client_->Call(MsgType::kQueryLoad, 1, {});
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, MsgType::kLoadReply);
+  auto load = net::LoadReply::Decode(reply->payload);
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->kernels_executed, 0u);
+
+  net::CreateBufferRequest create;
+  create.buffer_id = 1;
+  create.size = 4096;
+  ASSERT_TRUE(client_->Call(MsgType::kCreateBuffer, 1, create.Encode()).ok());
+  reply = client_->Call(MsgType::kQueryLoad, 1, {});
+  load = net::LoadReply::Decode(reply->payload);
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->buffers_held, 1u);
+  EXPECT_EQ(load->bytes_allocated, 4096u);
+}
+
+TEST_F(NodeServerTest, OneWayMessagesGetNoReply) {
+  // Notify (seq 0) must not generate a reply that would confuse the RPC
+  // matcher; a subsequent call still works.
+  ASSERT_TRUE(client_->Notify(MsgType::kOpenSession, 3, {}).ok());
+  auto reply = client_->Call(MsgType::kQueryLoad, 3, {});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MsgType::kLoadReply);
+}
+
+TEST(NodeServerTcpTest, FullProtocolOverRealSockets) {
+  // The same daemon served over genuine TCP: the two-process deployment
+  // path, in-process for testability.
+  auto server = NodeServer::Create("fpga0", NodeType::kFpga);
+  ASSERT_TRUE(server.ok());
+  net::TcpListener listener(0);
+  BlockingQueue<net::ConnectionPtr> accepted;
+  ASSERT_TRUE(listener
+                  .Start([&](net::ConnectionPtr c) {
+                    accepted.Push(std::move(c));
+                  })
+                  .ok());
+  auto client_conn = net::TcpConnect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client_conn.ok());
+  auto server_conn = accepted.Pop();
+  ASSERT_TRUE(server_conn.has_value());
+  (*server)->Serve(*std::move(server_conn));
+
+  net::RpcClient client(*std::move(client_conn));
+  net::HelloRequest hello;
+  hello.host_name = "tcp-host";
+  auto reply = client.Call(MsgType::kHelloRequest, 1, hello.Encode());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  auto decoded = net::HelloReply::Decode(reply->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->device_type, NodeType::kFpga);
+
+  net::CreateBufferRequest create;
+  create.buffer_id = 1;
+  create.size = 1024;
+  auto created = client.Call(MsgType::kCreateBuffer, 1, create.Encode());
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(net::StatusReply::Decode(created->payload)->ToStatus().ok());
+
+  net::WriteBufferRequest write;
+  write.buffer_id = 1;
+  write.data = std::vector<std::uint8_t>(1024, 0x5A);
+  auto written = client.Call(MsgType::kWriteBuffer, 1, write.Encode());
+  ASSERT_TRUE(written.ok());
+
+  net::ReadBufferRequest read;
+  read.buffer_id = 1;
+  read.size = 1024;
+  auto got = client.Call(MsgType::kReadBuffer, 1, read.Encode());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->type, MsgType::kReadReply);
+  EXPECT_EQ(got->payload, write.data);
+
+  client.Close();
+  (*server)->Shutdown();
+  listener.Stop();
+}
+
+TEST(NodeServerLifecycleTest, ShutdownIsIdempotentAndServesMultiple) {
+  auto server = NodeServer::Create("cpu0", NodeType::kCpu);
+  ASSERT_TRUE(server.ok());
+  auto [h1, n1] = net::CreateSimChannel();
+  auto [h2, n2] = net::CreateSimChannel();
+  (*server)->Serve(std::move(n1));
+  (*server)->Serve(std::move(n2));
+  net::RpcClient c1(std::move(h1));
+  net::RpcClient c2(std::move(h2));
+  net::HelloRequest hello;
+  EXPECT_TRUE(c1.Call(MsgType::kHelloRequest, 1, hello.Encode()).ok());
+  EXPECT_TRUE(c2.Call(MsgType::kHelloRequest, 2, hello.Encode()).ok());
+  c1.Close();
+  c2.Close();
+  (*server)->Shutdown();
+  (*server)->Shutdown();  // Second shutdown is a no-op.
+}
+
+}  // namespace
+}  // namespace haocl::nmp

@@ -1,0 +1,127 @@
+#include "oclc/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace haocl::oclc {
+namespace {
+
+TEST(LexerTest, EmptySourceYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Lex("__kernel void foo int x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "__kernel");
+  EXPECT_EQ((*tokens)[1].text, "void");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].text, "foo");
+  EXPECT_EQ((*tokens)[3].text, "int");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, IntegerLiteralsWithSuffixes) {
+  auto tokens = Lex("42 0x1F 7u 9L 3UL");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 42u);
+  EXPECT_EQ((*tokens)[1].int_value, 0x1Fu);
+  EXPECT_TRUE((*tokens)[2].is_unsigned);
+  EXPECT_TRUE((*tokens)[3].is_long);
+  EXPECT_TRUE((*tokens)[4].is_unsigned);
+  EXPECT_TRUE((*tokens)[4].is_long);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto tokens = Lex("1.5 2.0f .25 3e2 4.5e-3f 7.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[0].float_value, 1.5);
+  EXPECT_TRUE((*tokens)[1].is_float_suffix);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 0.25);
+  EXPECT_DOUBLE_EQ((*tokens)[3].float_value, 300.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].float_value, 0.0045);
+  EXPECT_TRUE((*tokens)[4].is_float_suffix);
+  EXPECT_DOUBLE_EQ((*tokens)[5].float_value, 7.0);
+}
+
+TEST(LexerTest, OperatorsGreedy) {
+  auto tokens = Lex("a+++b <<= >>= <= >= == != && || += -=");
+  ASSERT_TRUE(tokens.ok());
+  // a ++ + b
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kPlusPlus);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kPlus);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kShlAssign);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kShrAssign);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kAmpAmp);
+  EXPECT_EQ((*tokens)[11].kind, TokenKind::kPipePipe);
+  EXPECT_EQ((*tokens)[12].kind, TokenKind::kPlusAssign);
+  EXPECT_EQ((*tokens)[13].kind, TokenKind::kMinusAssign);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // a b c <end>
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[2].text, "c");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  auto tokens = Lex("a /* never closed");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, ObjectMacroSubstitution) {
+  auto tokens = Lex("#define TILE 16\nint x = TILE * TILE;");
+  ASSERT_TRUE(tokens.ok());
+  int literal_count = 0;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kIntLiteral) {
+      EXPECT_EQ(t.int_value, 16u);
+      ++literal_count;
+    }
+  }
+  EXPECT_EQ(literal_count, 2);
+}
+
+TEST(LexerTest, PragmaIgnored) {
+  auto tokens = Lex("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint x;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "int");
+}
+
+TEST(LexerTest, FunctionLikeMacroRejected) {
+  auto tokens = Lex("#define SQ(x) ((x)*(x))\n");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, UnknownDirectiveRejected) {
+  EXPECT_FALSE(Lex("#include <stdio.h>").ok());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Lex("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].loc.line, 1);
+  EXPECT_EQ((*tokens)[1].loc.line, 2);
+  EXPECT_EQ((*tokens)[1].loc.column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto tokens = Lex("int x = `;");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace haocl::oclc

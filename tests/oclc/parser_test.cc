@@ -1,0 +1,149 @@
+#include "oclc/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace haocl::oclc {
+namespace {
+
+TEST(ParserTest, KernelSignature) {
+  auto unit = Parse(R"(
+    __kernel void k(__global float* a, __local int* scratch, uint n) {}
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  ASSERT_EQ((*unit)->functions.size(), 1u);
+  const FunctionDecl& fn = *(*unit)->functions[0];
+  EXPECT_TRUE(fn.is_kernel);
+  EXPECT_EQ(fn.name, "k");
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_TRUE(fn.params[0].type.is_pointer);
+  EXPECT_EQ(fn.params[0].type.space, AddressSpace::kGlobal);
+  EXPECT_EQ(fn.params[0].type.scalar, ScalarType::kF32);
+  EXPECT_EQ(fn.params[1].type.space, AddressSpace::kLocal);
+  EXPECT_FALSE(fn.params[2].type.is_pointer);
+  EXPECT_EQ(fn.params[2].type.scalar, ScalarType::kU32);
+}
+
+TEST(ParserTest, NonKernelHelperFunction) {
+  auto unit = Parse("float sq(float x) { return x * x; }");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  EXPECT_FALSE((*unit)->functions[0]->is_kernel);
+  EXPECT_EQ((*unit)->functions[0]->return_type.scalar, ScalarType::kF32);
+}
+
+TEST(ParserTest, QualifierOrderFlexible) {
+  auto unit = Parse(R"(
+    __kernel void k(const __global float* a, __global const float* b) {}
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const FunctionDecl& fn = *(*unit)->functions[0];
+  EXPECT_EQ(fn.params[0].type.space, AddressSpace::kGlobal);
+  EXPECT_EQ(fn.params[1].type.space, AddressSpace::kGlobal);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto unit = Parse(R"(
+    __kernel void k(__global int* o) {
+      o[0] = 1 + 2 * 3;       // 7, not 9
+      o[1] = (1 + 2) * 3;     // 9
+      o[2] = 1 << 2 + 1;      // shift binds looser than +
+      o[3] = 5 & 3 | 4;
+    })");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  // Structure check: first statement's RHS is Add(1, Mul(2, 3)).
+  const Stmt& block = *(*unit)->functions[0]->body;
+  const Stmt& s0 = *block.body[0];
+  ASSERT_EQ(s0.kind, StmtKind::kExpr);
+  const Expr& assign = *s0.expr;
+  ASSERT_EQ(assign.kind, ExprKind::kAssign);
+  const Expr& rhs = *assign.children[1];
+  ASSERT_EQ(rhs.kind, ExprKind::kBinary);
+  EXPECT_EQ(rhs.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(rhs.children[1]->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ControlFlowForms) {
+  auto unit = Parse(R"(
+    __kernel void k(__global int* o) {
+      for (int i = 0; i < 4; i++) o[i] = i;
+      for (;;) break;
+      int j = 0;
+      while (j < 10) j++;
+      do { j--; } while (j > 0);
+      if (j == 0) o[0] = 1; else o[0] = 2;
+    })");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+}
+
+TEST(ParserTest, LocalArrayDeclaration) {
+  auto unit = Parse(R"(
+    __kernel void k() {
+      __local float tile[16 * 16];
+      float priv[8];
+    })");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const Stmt& block = *(*unit)->functions[0]->body;
+  EXPECT_EQ(block.body[0]->decl_space, AddressSpace::kLocal);
+  EXPECT_NE(block.body[0]->declarators[0].array_size, nullptr);
+  EXPECT_EQ(block.body[1]->decl_space, AddressSpace::kPrivate);
+}
+
+TEST(ParserTest, CastVersusParen) {
+  auto unit = Parse(R"(
+    __kernel void k(__global float* o, __global int* i) {
+      o[0] = (float)i[0];
+      o[1] = (o[0] + 1.0f);
+    })");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const Stmt& block = *(*unit)->functions[0]->body;
+  const Expr& cast_rhs = *block.body[0]->expr->children[1];
+  EXPECT_EQ(cast_rhs.kind, ExprKind::kCast);
+  const Expr& paren_rhs = *block.body[1]->expr->children[1];
+  EXPECT_EQ(paren_rhs.kind, ExprKind::kBinary);
+}
+
+TEST(ParserTest, TernaryNested) {
+  auto unit = Parse(R"(
+    __kernel void k(__global int* o, int a) {
+      o[0] = a > 0 ? 1 : a < 0 ? -1 : 0;
+    })");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+}
+
+TEST(ParserTest, MissingSemicolonFails) {
+  auto unit = Parse("__kernel void k() { int x = 1 }");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("expected"), std::string::npos);
+}
+
+TEST(ParserTest, UnbalancedBraceFails) {
+  EXPECT_FALSE(Parse("__kernel void k() { if (1) {").ok());
+}
+
+TEST(ParserTest, MissingParamNameFails) {
+  EXPECT_FALSE(Parse("__kernel void k(int) {}").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto unit = Parse("__kernel void k() {\n  int x = ;\n}");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("line 2"), std::string::npos)
+      << unit.status().ToString();
+}
+
+TEST(ParserTest, EmptyParameterListWithVoid) {
+  auto unit = Parse("__kernel void k(void) {}");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  EXPECT_TRUE((*unit)->functions[0]->params.empty());
+}
+
+TEST(ParserTest, MultipleDeclaratorsPerStatement) {
+  auto unit = Parse("__kernel void k() { int a = 1, b, c = 3; }");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const Stmt& decl = *(*unit)->functions[0]->body->body[0];
+  ASSERT_EQ(decl.declarators.size(), 3u);
+  EXPECT_NE(decl.declarators[0].init, nullptr);
+  EXPECT_EQ(decl.declarators[1].init, nullptr);
+}
+
+}  // namespace
+}  // namespace haocl::oclc

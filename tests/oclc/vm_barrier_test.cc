@@ -1,0 +1,217 @@
+// Barrier semantics and __local memory: the parts of the execution model
+// the FPGA/GPU simulation depends on for tiled kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "oclc/program.h"
+#include "oclc/vm.h"
+
+namespace haocl::oclc {
+namespace {
+
+std::shared_ptr<const Module> MustCompile(const std::string& source) {
+  auto module = Compile(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return module.ok() ? *module : nullptr;
+}
+
+TEST(VmBarrierTest, LocalMemoryReverseWithinGroup) {
+  // Classic barrier test: stage into local memory, barrier, read back
+  // reversed. Wrong barrier handling produces garbage.
+  auto module = MustCompile(R"(
+    #define CLK_LOCAL_MEM_FENCE 1
+    __kernel void reverse_group(__global const int* in, __global int* out) {
+      __local int tile[64];
+      int lid = get_local_id(0);
+      int gid = get_global_id(0);
+      int size = get_local_size(0);
+      tile[lid] = in[gid];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      out[gid] = tile[size - 1 - lid];
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = 256;
+  std::vector<int> in(n), out(n, -1);
+  for (int i = 0; i < n; ++i) in[i] = i;
+  const CompiledFunction* fn = module->FindKernel("reverse_group");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.global[0] = n;
+  range.local[0] = 64;
+  range.local_specified = true;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(in.data(), n * 4),
+                           ArgBinding::Buffer(out.data(), n * 4)},
+                          range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int g = 0; g < n / 64; ++g) {
+    for (int l = 0; l < 64; ++l) {
+      EXPECT_EQ(out[g * 64 + l], in[g * 64 + (63 - l)]);
+    }
+  }
+}
+
+TEST(VmBarrierTest, TreeReductionWithLocalPointerArg) {
+  // __local scratch passed from the host via clSetKernelArg(size, NULL):
+  // the local-pointer-argument flavour of local memory.
+  auto module = MustCompile(R"(
+    __kernel void reduce_sum(__global const float* in, __global float* out,
+                             __local float* scratch, int n) {
+      int lid = get_local_id(0);
+      int gid = get_global_id(0);
+      scratch[lid] = gid < n ? in[gid] : 0.0f;
+      barrier(1);
+      for (int offset = (int)get_local_size(0) / 2; offset > 0;
+           offset = offset / 2) {
+        if (lid < offset) {
+          scratch[lid] += scratch[lid + offset];
+        }
+        barrier(1);
+      }
+      if (lid == 0) out[get_group_id(0)] = scratch[0];
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = 1024;
+  const int local = 128;
+  std::vector<float> in(n);
+  double want_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    in[i] = static_cast<float>((i % 17) - 4);
+    want_total += in[i];
+  }
+  std::vector<float> out(n / local, 0.0f);
+  const CompiledFunction* fn = module->FindKernel("reduce_sum");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.global[0] = n;
+  range.local[0] = local;
+  range.local_specified = true;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(in.data(), n * 4),
+                           ArgBinding::Buffer(out.data(), out.size() * 4),
+                           ArgBinding::LocalMem(local * 4),
+                           ArgBinding::Int(n)},
+                          range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  double total = 0.0;
+  for (float v : out) total += v;
+  EXPECT_NEAR(total, want_total, 1e-3);
+}
+
+TEST(VmBarrierTest, TiledMatrixMultiplyMatchesNaive) {
+  // The exact kernel shape the MatrixMul benchmark ships: 16x16 tiles
+  // staged through __local arrays with two barriers per tile.
+  auto module = MustCompile(R"(
+    #define TILE 8
+    __kernel void matmul_tiled(__global const float* a,
+                               __global const float* b,
+                               __global float* c, int n) {
+      __local float ta[TILE * TILE];
+      __local float tb[TILE * TILE];
+      int row = get_global_id(1);
+      int col = get_global_id(0);
+      int lrow = get_local_id(1);
+      int lcol = get_local_id(0);
+      float acc = 0.0f;
+      for (int t = 0; t < n / TILE; t++) {
+        ta[lrow * TILE + lcol] = a[row * n + t * TILE + lcol];
+        tb[lrow * TILE + lcol] = b[(t * TILE + lrow) * n + col];
+        barrier(1);
+        for (int k = 0; k < TILE; k++) {
+          acc += ta[lrow * TILE + k] * tb[k * TILE + lcol];
+        }
+        barrier(1);
+      }
+      c[row * n + col] = acc;
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = 32;
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f), want(n * n, 0.0f);
+  for (int i = 0; i < n * n; ++i) {
+    a[i] = static_cast<float>((i * 7) % 13) * 0.25f;
+    b[i] = static_cast<float>((i * 5) % 11) * 0.5f;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        want[i * n + j] += a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+  const CompiledFunction* fn = module->FindKernel("matmul_tiled");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.work_dim = 2;
+  range.global[0] = n;
+  range.global[1] = n;
+  range.local[0] = 8;
+  range.local[1] = 8;
+  range.local_specified = true;
+  LaunchOptions options;
+  options.num_threads = 4;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(a.data(), a.size() * 4),
+                           ArgBinding::Buffer(b.data(), b.size() * 4),
+                           ArgBinding::Buffer(c.data(), c.size() * 4),
+                           ArgBinding::Int(n)},
+                          range, options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < n * n; ++i) {
+    ASSERT_NEAR(c[i], want[i], 1e-2f) << "at " << i;
+  }
+}
+
+TEST(VmBarrierTest, BarrierDivergenceIsAnError) {
+  auto module = MustCompile(R"(
+    __kernel void diverge(__global int* out) {
+      int lid = get_local_id(0);
+      if (lid < 2) {
+        barrier(1);
+      }
+      out[get_global_id(0)] = lid;
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(4, 0);
+  const CompiledFunction* fn = module->FindKernel("diverge");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.global[0] = 4;
+  range.local[0] = 4;
+  range.local_specified = true;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(out.data(), 16)}, range);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("divergence"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(VmBarrierTest, LocalMemoryIsZeroInitializedPerGroup) {
+  // Each group accumulates into local memory; stale values from a previous
+  // group would double-count.
+  auto module = MustCompile(R"(
+    __kernel void accumulate(__global int* out) {
+      __local int acc[1];
+      int lid = get_local_id(0);
+      if (lid == 0) acc[0] = 0;
+      barrier(1);
+      atomic_add(acc, 1);
+      barrier(1);
+      if (lid == 0) out[get_group_id(0)] = acc[0];
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(8, -1);
+  const CompiledFunction* fn = module->FindKernel("accumulate");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.global[0] = 64;
+  range.local[0] = 8;
+  range.local_specified = true;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(out.data(), 32)}, range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int g = 0; g < 8; ++g) EXPECT_EQ(out[g], 8) << "group " << g;
+}
+
+}  // namespace
+}  // namespace haocl::oclc

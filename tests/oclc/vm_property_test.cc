@@ -1,0 +1,247 @@
+// Property tests: the interpreter must agree with a native C++ reference on
+// randomized inputs, sweeping launch geometries. These are the equivalence
+// guarantees that let the FPGA driver substitute pre-built native kernels
+// ("bitstreams") for interpreted ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "oclc/program.h"
+#include "oclc/vm.h"
+
+namespace haocl::oclc {
+namespace {
+
+std::shared_ptr<const Module> MustCompile(const std::string& source) {
+  auto module = Compile(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return module.ok() ? *module : nullptr;
+}
+
+// ---------------------------------------------------------------- SAXPY
+
+class SaxpyProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SaxpyProperty, MatchesNativeReference) {
+  const int n = std::get<0>(GetParam());
+  const int local = std::get<1>(GetParam());
+  if (n % local != 0) GTEST_SKIP() << "geometry not divisible";
+
+  auto module = MustCompile(R"(
+    __kernel void saxpy(__global float* y, __global const float* x,
+                        float a, int n) {
+      int i = get_global_id(0);
+      if (i < n) y[i] = a * x[i] + y[i];
+    })");
+  ASSERT_NE(module, nullptr);
+
+  std::mt19937 rng(n * 31 + local);
+  std::uniform_real_distribution<float> dist(-10.0f, 10.0f);
+  std::vector<float> x(n), y(n), want(n);
+  const float a = dist(rng);
+  for (int i = 0; i < n; ++i) {
+    x[i] = dist(rng);
+    y[i] = dist(rng);
+    want[i] = a * x[i] + y[i];
+  }
+
+  const CompiledFunction* fn = module->FindKernel("saxpy");
+  NDRange range;
+  range.global[0] = n;
+  range.local[0] = local;
+  range.local_specified = true;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(y.data(), n * 4),
+                           ArgBinding::Buffer(x.data(), n * 4),
+                           ArgBinding::Float(a), ArgBinding::Int(n)},
+                          range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < n; ++i) ASSERT_FLOAT_EQ(y[i], want[i]) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SaxpyProperty,
+    ::testing::Combine(::testing::Values(64, 256, 1000, 4096),
+                       ::testing::Values(1, 8, 50, 64)));
+
+// ------------------------------------------------------ Integer semantics
+
+class IntSemanticsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntSemanticsProperty, WrapDivModShiftAgreeWithCpp) {
+  auto module = MustCompile(R"(
+    __kernel void intsem(__global int* out, __global const int* a,
+                         __global const int* b, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int x = a[i];
+      int y = b[i];
+      int acc = x + y;
+      acc = acc * 31 + (x - y);
+      acc = acc ^ (x & y) ^ (x | y);
+      acc += x << (y & 15);
+      acc += x >> (y & 7);
+      if (y != 0) {
+        acc += x / y + x % y;
+      }
+      out[i] = acc;
+    })");
+  ASSERT_NE(module, nullptr);
+
+  const int n = 512;
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> dist(-1000000, 1000000);
+  std::vector<int> a(n), b(n), out(n, 0), want(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+    const int x = a[i];
+    const int y = b[i];
+    // Mirror of the kernel with the same wrapping semantics.
+    auto wadd = [](int p, int q) {
+      return static_cast<int>(static_cast<unsigned>(p) +
+                              static_cast<unsigned>(q));
+    };
+    auto wmul = [](int p, int q) {
+      return static_cast<int>(static_cast<unsigned>(p) *
+                              static_cast<unsigned>(q));
+    };
+    int acc = wadd(x, y);
+    acc = wadd(wmul(acc, 31), x - y);
+    acc = acc ^ (x & y) ^ (x | y);
+    acc = wadd(acc, static_cast<int>(static_cast<unsigned>(x) << (y & 15)));
+    acc = wadd(acc, x >> (y & 7));
+    if (y != 0) acc = wadd(acc, x / y + x % y);
+    want[i] = acc;
+  }
+
+  const CompiledFunction* fn = module->FindKernel("intsem");
+  NDRange range;
+  range.global[0] = n;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(out.data(), n * 4),
+                           ArgBinding::Buffer(a.data(), n * 4),
+                           ArgBinding::Buffer(b.data(), n * 4),
+                           ArgBinding::Int(n)},
+                          range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < n; ++i) ASSERT_EQ(out[i], want[i]) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntSemanticsProperty,
+                         ::testing::Range(1u, 9u));
+
+// ------------------------------------------------------- Float semantics
+
+class FloatSemanticsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FloatSemanticsProperty, SinglePrecisionIsBitExact) {
+  // The VM computes f32 ops by rounding after every operation; that must
+  // be bit-identical to native float arithmetic, not double-then-truncate.
+  auto module = MustCompile(R"(
+    __kernel void fsem(__global float* out, __global const float* a,
+                       __global const float* b, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      float x = a[i];
+      float y = b[i];
+      float acc = x + y;
+      acc = acc * x - y;
+      acc = acc / (y * y + 1.0f);
+      acc += sqrt(fabs(x)) * 0.125f;
+      out[i] = acc;
+    })");
+  ASSERT_NE(module, nullptr);
+
+  const int n = 512;
+  std::mt19937 rng(GetParam() * 7919);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  std::vector<float> a(n), b(n), out(n, 0), want(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+    const float x = a[i];
+    const float y = b[i];
+    float acc = x + y;
+    acc = acc * x - y;
+    acc = acc / (y * y + 1.0f);
+    acc += std::sqrt(std::fabs(x)) * 0.125f;
+    want[i] = acc;
+  }
+
+  const CompiledFunction* fn = module->FindKernel("fsem");
+  NDRange range;
+  range.global[0] = n;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(out.data(), n * 4),
+                           ArgBinding::Buffer(a.data(), n * 4),
+                           ArgBinding::Buffer(b.data(), n * 4),
+                           ArgBinding::Int(n)},
+                          range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], want[i]) << "i=" << i << " a=" << a[i] << " b=" << b[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloatSemanticsProperty,
+                         ::testing::Range(1u, 9u));
+
+// ------------------------------------------------- Reduction determinism
+
+class ReductionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReductionProperty, GroupReductionSumsEveryElementOnce) {
+  const int groups = std::get<0>(GetParam());
+  const int local = std::get<1>(GetParam());
+  auto module = MustCompile(R"(
+    __kernel void reduce(__global const int* in, __global int* partial,
+                         __local int* scratch) {
+      int lid = get_local_id(0);
+      scratch[lid] = in[get_global_id(0)];
+      barrier(1);
+      for (int off = (int)get_local_size(0) / 2; off > 0; off /= 2) {
+        if (lid < off) scratch[lid] += scratch[lid + off];
+        barrier(1);
+      }
+      if (lid == 0) partial[get_group_id(0)] = scratch[0];
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = groups * local;
+  std::mt19937 rng(n);
+  std::uniform_int_distribution<int> dist(-50, 50);
+  std::vector<int> in(n);
+  long long want = 0;
+  for (int i = 0; i < n; ++i) {
+    in[i] = dist(rng);
+    want += in[i];
+  }
+  std::vector<int> partial(groups, 0);
+  const CompiledFunction* fn = module->FindKernel("reduce");
+  NDRange range;
+  range.global[0] = n;
+  range.local[0] = local;
+  range.local_specified = true;
+  LaunchOptions options;
+  options.num_threads = 4;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(in.data(), n * 4),
+                           ArgBinding::Buffer(partial.data(), groups * 4),
+                           ArgBinding::LocalMem(local * 4)},
+                          range, options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  long long got = 0;
+  for (int v : partial) got += v;
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReductionProperty,
+    ::testing::Combine(::testing::Values(1, 3, 16),
+                       ::testing::Values(2, 8, 64, 256)));
+
+}  // namespace
+}  // namespace haocl::oclc

@@ -1,0 +1,497 @@
+// Functional tests of the compile -> launch path: scalar kernels, control
+// flow, type conversions, pointer arithmetic, builtins, atomics, private
+// arrays, helper-function calls, and launch validation errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "oclc/program.h"
+#include "oclc/vm.h"
+
+namespace haocl::oclc {
+namespace {
+
+std::shared_ptr<const Module> MustCompile(const std::string& source) {
+  auto module = Compile(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return module.ok() ? *module : nullptr;
+}
+
+Status RunK(const Module& module, const std::string& kernel,
+           const std::vector<ArgBinding>& args, std::uint64_t global,
+           std::uint64_t local = 0) {
+  const CompiledFunction* fn = module.FindKernel(kernel);
+  if (fn == nullptr) {
+    return Status(ErrorCode::kInvalidKernelName, "no kernel " + kernel);
+  }
+  NDRange range;
+  range.work_dim = 1;
+  range.global[0] = global;
+  if (local != 0) {
+    range.local[0] = local;
+    range.local_specified = true;
+  }
+  return LaunchKernel(module, *fn, args, range);
+}
+
+TEST(VmTest, VectorAdd) {
+  auto module = MustCompile(R"(
+    __kernel void vadd(__global const float* a, __global const float* b,
+                       __global float* c, int n) {
+      int i = get_global_id(0);
+      if (i < n) c[i] = a[i] + b[i];
+    })");
+  ASSERT_NE(module, nullptr);
+
+  const int n = 1000;
+  std::vector<float> a(n), b(n), c(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(2 * i);
+  }
+  Status s = RunK(*module, "vadd",
+                 {ArgBinding::Buffer(a.data(), a.size() * 4),
+                  ArgBinding::Buffer(b.data(), b.size() * 4),
+                  ArgBinding::Buffer(c.data(), c.size() * 4),
+                  ArgBinding::Int(n)},
+                 1024);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(c[i], static_cast<float>(3 * i)) << "at " << i;
+  }
+}
+
+TEST(VmTest, ControlFlowLoopsAndBranches) {
+  auto module = MustCompile(R"(
+    __kernel void collatz_steps(__global const int* in, __global int* out,
+                                int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      int x = in[i];
+      int steps = 0;
+      while (x != 1 && steps < 10000) {
+        if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+        steps++;
+      }
+      out[i] = steps;
+    })");
+  ASSERT_NE(module, nullptr);
+
+  std::vector<int> in = {1, 2, 3, 6, 7, 27};
+  std::vector<int> out(in.size(), -1);
+  Status s = RunK(*module, "collatz_steps",
+                 {ArgBinding::Buffer(in.data(), in.size() * 4),
+                  ArgBinding::Buffer(out.data(), out.size() * 4),
+                  ArgBinding::Int(static_cast<int>(in.size()))},
+                 8);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 7);
+  EXPECT_EQ(out[3], 8);
+  EXPECT_EQ(out[4], 16);
+  EXPECT_EQ(out[5], 111);
+}
+
+TEST(VmTest, ForLoopBreakContinue) {
+  auto module = MustCompile(R"(
+    __kernel void sum_odd_until(__global int* out, int limit, int stop) {
+      int total = 0;
+      for (int i = 0; i < limit; i++) {
+        if (i % 2 == 0) continue;
+        if (i >= stop) break;
+        total += i;
+      }
+      out[get_global_id(0)] = total;
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(1, 0);
+  Status s = RunK(*module, "sum_odd_until",
+                 {ArgBinding::Buffer(out.data(), 4), ArgBinding::Int(100),
+                  ArgBinding::Int(10)},
+                 1);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out[0], 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(VmTest, TypeConversionsRoundTrip) {
+  auto module = MustCompile(R"(
+    __kernel void convert(__global float* f, __global int* i,
+                          __global ulong* u) {
+      int g = get_global_id(0);
+      f[g] = (float)(i[g]) * 0.5f;
+      u[g] = (ulong)(i[g] + 1000000);
+      i[g] = (int)(f[g] - 0.5f);
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<float> f(4, 0.0f);
+  std::vector<int> i = {10, 21, -8, 7};
+  std::vector<std::uint64_t> u(4, 0);
+  Status s = RunK(*module, "convert",
+                 {ArgBinding::Buffer(f.data(), 16),
+                  ArgBinding::Buffer(i.data(), 16),
+                  ArgBinding::Buffer(u.data(), 32)},
+                 4);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FLOAT_EQ(f[0], 5.0f);
+  EXPECT_FLOAT_EQ(f[1], 10.5f);
+  EXPECT_FLOAT_EQ(f[2], -4.0f);
+  EXPECT_EQ(u[2], 1000000 - 8);
+  EXPECT_EQ(i[1], 10);   // (int)(10.5 - 0.5) = 10
+  EXPECT_EQ(i[2], -4);   // (int)(-4.0 - 0.5) = (int)-4.5 = -4
+}
+
+TEST(VmTest, MathBuiltins) {
+  auto module = MustCompile(R"(
+    __kernel void mathy(__global float* out, __global const float* in) {
+      int i = get_global_id(0);
+      float x = in[i];
+      out[i] = sqrt(x) + fabs(-x) + fmax(x, 2.0f) + fmin(x, 2.0f) +
+               pow(x, 2.0f) + floor(x) + ceil(x);
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<float> in = {1.5f, 4.0f};
+  std::vector<float> out(2, 0.0f);
+  Status s = RunK(*module, "mathy",
+                 {ArgBinding::Buffer(out.data(), 8),
+                  ArgBinding::Buffer(in.data(), 8)},
+                 2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < 2; ++i) {
+    const float x = in[i];
+    const float want = std::sqrt(x) + std::fabs(-x) + std::fmax(x, 2.0f) +
+                       std::fmin(x, 2.0f) + std::pow(x, 2.0f) +
+                       std::floor(x) + std::ceil(x);
+    EXPECT_NEAR(out[i], want, 1e-5f) << "at " << i;
+  }
+}
+
+TEST(VmTest, IntegerBuiltinsMinMaxClampAbs) {
+  auto module = MustCompile(R"(
+    __kernel void intops(__global int* out) {
+      out[0] = min(3, 7);
+      out[1] = max(3, 7);
+      out[2] = clamp(10, 0, 5);
+      out[3] = clamp(-3, 0, 5);
+      out[4] = abs(-42);
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(5, 0);
+  Status s = RunK(*module, "intops", {ArgBinding::Buffer(out.data(), 20)}, 1);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(out[1], 7);
+  EXPECT_EQ(out[2], 5);
+  EXPECT_EQ(out[3], 0);
+  EXPECT_EQ(out[4], 42);
+}
+
+TEST(VmTest, AtomicsAcrossWorkGroups) {
+  auto module = MustCompile(R"(
+    __kernel void count(__global int* counter, __global int* hist,
+                        __global const int* data, int n) {
+      int i = get_global_id(0);
+      if (i >= n) return;
+      atomic_add(counter, 1);
+      atomic_add(hist + (data[i] % 8), 1);
+      atomic_max(counter + 1, data[i]);
+      atomic_min(counter + 2, data[i]);
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = 4096;
+  std::vector<int> counter = {0, -2147483647 - 1, 2147483647};
+  std::vector<int> hist(8, 0);
+  std::vector<int> data(n);
+  for (int i = 0; i < n; ++i) data[i] = (i * 37) % 1000;
+
+  LaunchOptions options;
+  options.num_threads = 4;  // Force real cross-thread atomics.
+  NDRange range;
+  range.global[0] = n;
+  range.local[0] = 64;
+  range.local_specified = true;
+  const CompiledFunction* fn = module->FindKernel("count");
+  ASSERT_NE(fn, nullptr);
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(counter.data(), 12),
+                           ArgBinding::Buffer(hist.data(), 32),
+                           ArgBinding::Buffer(data.data(), n * 4),
+                           ArgBinding::Int(n)},
+                          range, options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(counter[0], n);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), 0), n);
+  EXPECT_EQ(counter[1], *std::max_element(data.begin(), data.end()));
+  EXPECT_EQ(counter[2], *std::min_element(data.begin(), data.end()));
+}
+
+TEST(VmTest, PrivateArrayTopK) {
+  auto module = MustCompile(R"(
+    __kernel void top4(__global const float* in, __global float* out, int n) {
+      float best[4];
+      for (int k = 0; k < 4; k++) best[k] = -1.0e30f;
+      for (int i = 0; i < n; i++) {
+        float v = in[i];
+        for (int k = 0; k < 4; k++) {
+          if (v > best[k]) {
+            float tmp = best[k];
+            best[k] = v;
+            v = tmp;
+          }
+        }
+      }
+      for (int k = 0; k < 4; k++) out[k] = best[k];
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<float> in = {5, 1, 9, 3, 7, 2, 8, 6};
+  std::vector<float> out(4, 0);
+  Status s = RunK(*module, "top4",
+                 {ArgBinding::Buffer(in.data(), in.size() * 4),
+                  ArgBinding::Buffer(out.data(), 16),
+                  ArgBinding::Int(static_cast<int>(in.size()))},
+                 1);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FLOAT_EQ(out[0], 9);
+  EXPECT_FLOAT_EQ(out[1], 8);
+  EXPECT_FLOAT_EQ(out[2], 7);
+  EXPECT_FLOAT_EQ(out[3], 6);
+}
+
+TEST(VmTest, HelperFunctionCalls) {
+  auto module = MustCompile(R"(
+    float square(float x) { return x * x; }
+    float hypot2(float a, float b) { return square(a) + square(b); }
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    __kernel void use_helpers(__global float* f, __global int* i) {
+      int g = get_global_id(0);
+      f[g] = hypot2(3.0f, 4.0f);
+      i[g] = fib(10);
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<float> f(2, 0);
+  std::vector<int> i(2, 0);
+  Status s = RunK(*module, "use_helpers",
+                 {ArgBinding::Buffer(f.data(), 8),
+                  ArgBinding::Buffer(i.data(), 8)},
+                 2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FLOAT_EQ(f[0], 25.0f);
+  EXPECT_EQ(i[1], 55);
+}
+
+TEST(VmTest, TernaryAndLogicalShortCircuit) {
+  auto module = MustCompile(R"(
+    __kernel void pick(__global int* out, __global const int* in, int n) {
+      int i = get_global_id(0);
+      // Short-circuit: the right operand would fault if evaluated at i==0.
+      int guard = (i > 0 && in[i - 1] > 0) ? 1 : 0;
+      out[i] = (in[i] > 5 || guard) ? in[i] : -in[i];
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> in = {3, 9, 2, 7};
+  std::vector<int> out(4, 0);
+  Status s = RunK(*module, "pick",
+                 {ArgBinding::Buffer(out.data(), 16),
+                  ArgBinding::Buffer(in.data(), 16), ArgBinding::Int(4)},
+                 4);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out[0], -3);  // 3 <= 5, guard 0 at i==0.
+  EXPECT_EQ(out[1], 9);
+  EXPECT_EQ(out[2], 2);   // guard: in[1]=9>0 -> keep positive.
+  EXPECT_EQ(out[3], 7);
+}
+
+TEST(VmTest, IncrementDecrementOperators) {
+  auto module = MustCompile(R"(
+    __kernel void incdec(__global int* out) {
+      int a = 5;
+      out[0] = a++;
+      out[1] = a;
+      out[2] = ++a;
+      out[3] = a--;
+      out[4] = --a;
+      int idx = 5;
+      out[idx++] = 100;   // out[5]
+      out[idx] = 200;     // out[6]
+      out[7] = 0;
+      out[7]++;
+      ++out[7];
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(8, -1);
+  Status s = RunK(*module, "incdec", {ArgBinding::Buffer(out.data(), 32)}, 1);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], 6);
+  EXPECT_EQ(out[2], 7);
+  EXPECT_EQ(out[3], 7);
+  EXPECT_EQ(out[4], 5);
+  EXPECT_EQ(out[5], 100);
+  EXPECT_EQ(out[6], 200);
+  EXPECT_EQ(out[7], 2);
+}
+
+TEST(VmTest, PointerArithmetic) {
+  auto module = MustCompile(R"(
+    __kernel void strided(__global float* data, int stride, int n) {
+      __global float* p = data + get_global_id(0) * stride;
+      for (int i = 0; i < n; i++) {
+        p[i] = p[i] * 2.0f;
+      }
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<float> data = {1, 2, 3, 4, 5, 6};
+  Status s = RunK(*module, "strided",
+                 {ArgBinding::Buffer(data.data(), 24), ArgBinding::Int(3),
+                  ArgBinding::Int(3)},
+                 2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(data[i], 2.0f * (i + 1));
+}
+
+TEST(VmTest, OutOfBoundsAccessTraps) {
+  auto module = MustCompile(R"(
+    __kernel void oob(__global int* out, int n) {
+      out[n] = 1;  // One past the end.
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(4, 0);
+  Status s = RunK(*module, "oob",
+                 {ArgBinding::Buffer(out.data(), 16), ArgBinding::Int(4)}, 1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out-of-bounds"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(VmTest, DivisionByZeroTraps) {
+  auto module = MustCompile(R"(
+    __kernel void divz(__global int* out, int d) { out[0] = 10 / d; })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(1, 0);
+  Status s = RunK(*module, "divz",
+                 {ArgBinding::Buffer(out.data(), 4), ArgBinding::Int(0)}, 1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("division by zero"), std::string::npos);
+}
+
+TEST(VmTest, InfiniteLoopHitsBudget) {
+  auto module = MustCompile(R"(
+    __kernel void spin(__global int* out) {
+      while (true) { out[0] = out[0]; }
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<int> out(1, 0);
+  const CompiledFunction* fn = module->FindKernel("spin");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.global[0] = 1;
+  LaunchOptions options;
+  options.max_instructions_per_item = 10000;
+  Status s = LaunchKernel(*module, *fn, {ArgBinding::Buffer(out.data(), 4)},
+                          range, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("budget"), std::string::npos);
+}
+
+TEST(VmTest, LaunchValidationErrors) {
+  auto module = MustCompile(R"(
+    __kernel void k(__global int* buf, int n) { buf[0] = n; })");
+  ASSERT_NE(module, nullptr);
+  const CompiledFunction* fn = module->FindKernel("k");
+  ASSERT_NE(fn, nullptr);
+  std::vector<int> buf(1);
+  NDRange range;
+  range.global[0] = 4;
+
+  // Wrong arg count.
+  EXPECT_EQ(LaunchKernel(*module, *fn, {ArgBinding::Int(1)}, range).code(),
+            ErrorCode::kInvalidKernelArgs);
+  // Scalar where buffer expected.
+  EXPECT_EQ(LaunchKernel(*module, *fn,
+                         {ArgBinding::Int(1), ArgBinding::Int(1)}, range)
+                .code(),
+            ErrorCode::kInvalidArgValue);
+  // Global not divisible by local.
+  NDRange bad = range;
+  bad.local[0] = 3;
+  bad.local_specified = true;
+  EXPECT_EQ(LaunchKernel(*module, *fn,
+                         {ArgBinding::Buffer(buf.data(), 4),
+                          ArgBinding::Int(1)},
+                         bad)
+                .code(),
+            ErrorCode::kInvalidWorkGroupSize);
+  // Oversized work-group.
+  NDRange big;
+  big.global[0] = 2048;
+  big.local[0] = 2048;
+  big.local_specified = true;
+  EXPECT_EQ(LaunchKernel(*module, *fn,
+                         {ArgBinding::Buffer(buf.data(), 4),
+                          ArgBinding::Int(1)},
+                         big)
+                .code(),
+            ErrorCode::kInvalidWorkGroupSize);
+}
+
+TEST(VmTest, TwoDimensionalRange) {
+  auto module = MustCompile(R"(
+    __kernel void fill2d(__global int* out, int width) {
+      int x = get_global_id(0);
+      int y = get_global_id(1);
+      out[y * width + x] = x * 100 + y;
+    })");
+  ASSERT_NE(module, nullptr);
+  const int w = 8;
+  const int h = 4;
+  std::vector<int> out(w * h, -1);
+  const CompiledFunction* fn = module->FindKernel("fill2d");
+  ASSERT_NE(fn, nullptr);
+  NDRange range;
+  range.work_dim = 2;
+  range.global[0] = w;
+  range.global[1] = h;
+  range.local[0] = 4;
+  range.local[1] = 2;
+  range.local_specified = true;
+  Status s = LaunchKernel(*module, *fn,
+                          {ArgBinding::Buffer(out.data(), out.size() * 4),
+                           ArgBinding::Int(w)},
+                          range);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      EXPECT_EQ(out[y * w + x], x * 100 + y) << x << "," << y;
+    }
+  }
+}
+
+TEST(VmTest, UnsignedWrapAndShift) {
+  auto module = MustCompile(R"(
+    __kernel void bits(__global uint* out) {
+      uint x = 0xFFFFFFFFu;
+      out[0] = x + 1u;          // wraps to 0
+      out[1] = x >> 4;          // logical shift
+      out[2] = (1u << 31);
+      int y = -16;
+      out[3] = (uint)(y >> 2);  // arithmetic shift of signed
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<std::uint32_t> out(4, 7);
+  Status s = RunK(*module, "bits", {ArgBinding::Buffer(out.data(), 16)}, 1);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0x0FFFFFFFu);
+  EXPECT_EQ(out[2], 0x80000000u);
+  EXPECT_EQ(out[3], static_cast<std::uint32_t>(-4));
+}
+
+}  // namespace
+}  // namespace haocl::oclc

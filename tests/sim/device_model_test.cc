@@ -1,0 +1,105 @@
+#include "sim/device_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network_model.h"
+
+namespace haocl::sim {
+namespace {
+
+KernelCost RegularCost(double flops, double bytes) {
+  KernelCost c;
+  c.flops = flops;
+  c.bytes = bytes;
+  c.work_items = 1024;
+  return c;
+}
+
+TEST(DeviceModelTest, PresetsMatchPaperTestbed) {
+  EXPECT_EQ(XeonE52686().type, NodeType::kCpu);
+  EXPECT_EQ(TeslaP4().type, NodeType::kGpu);
+  EXPECT_EQ(XilinxVU9P().type, NodeType::kFpga);
+  // Relative ordering the paper's evaluation depends on.
+  EXPECT_GT(TeslaP4().compute_gflops, XilinxVU9P().compute_gflops);
+  EXPECT_GT(XilinxVU9P().compute_gflops, XeonE52686().compute_gflops);
+  EXPECT_LT(XilinxVU9P().power_watts, XeonE52686().power_watts);
+}
+
+TEST(DeviceModelTest, GpuBeatsCpuOnRegularCompute) {
+  const KernelCost cost = RegularCost(/*flops=*/1e12, /*bytes=*/1e9);
+  EXPECT_LT(ModelKernelTime(TeslaP4(), cost),
+            ModelKernelTime(XeonE52686(), cost));
+}
+
+TEST(DeviceModelTest, FpgaWinsOnIrregularKernels) {
+  KernelCost cost = RegularCost(1e11, 1e8);
+  cost.irregular = true;
+  // Divergent kernels collapse GPU efficiency; the FPGA pipeline does not.
+  EXPECT_LT(ModelKernelTime(XilinxVU9P(), cost),
+            ModelKernelTime(TeslaP4(), cost));
+}
+
+TEST(DeviceModelTest, RooflineComputeBound) {
+  // Huge flops, tiny bytes: time tracks flops/peak.
+  const DeviceSpec gpu = TeslaP4();
+  const KernelCost cost = RegularCost(5.5e12, 1.0);
+  const double t = ModelKernelTime(gpu, cost);
+  EXPECT_NEAR(t, 1.0, 0.01);  // 5.5 TFLOP / 5.5 TFLOPs ~ 1 s.
+}
+
+TEST(DeviceModelTest, RooflineMemoryBound) {
+  const DeviceSpec gpu = TeslaP4();
+  const KernelCost cost = RegularCost(1.0, 192e9);
+  EXPECT_NEAR(ModelKernelTime(gpu, cost), 1.0, 0.01);
+}
+
+TEST(DeviceModelTest, TimeIsMonotoneInWork) {
+  const DeviceSpec dev = XilinxVU9P();
+  double prev = 0.0;
+  for (double flops = 1e6; flops <= 1e12; flops *= 10) {
+    const double t = ModelKernelTime(dev, RegularCost(flops, flops));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DeviceModelTest, FpgaChargesPipelineFill) {
+  DeviceSpec fpga = XilinxVU9P();
+  const KernelCost tiny = RegularCost(1.0, 1.0);
+  EXPECT_GE(ModelKernelTime(fpga, tiny),
+            fpga.pipeline_fill_s + fpga.launch_overhead_s);
+}
+
+TEST(DeviceModelTest, ScaledCostDividesWork) {
+  const KernelCost whole = RegularCost(1e10, 1e8);
+  const KernelCost half = whole.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.flops, 0.5e10);
+  EXPECT_DOUBLE_EQ(half.bytes, 0.5e8);
+  EXPECT_EQ(half.work_items, whole.work_items / 2);
+}
+
+TEST(NetworkModelTest, GigabitEthernetShape) {
+  const LinkSpec link = GigabitEthernet();
+  // Latency floor for small messages.
+  EXPECT_GE(link.TransferTime(1), link.latency_s);
+  // 1 GB at ~117 MB/s payload: just under 9 seconds.
+  const double t = link.TransferTime(1'000'000'000);
+  EXPECT_GT(t, 8.0);
+  EXPECT_LT(t, 9.5);
+  // Monotone in size.
+  EXPECT_LT(link.TransferTime(1000), link.TransferTime(1'000'000));
+}
+
+TEST(NetworkModelTest, TenGigIsFaster) {
+  EXPECT_LT(TenGigabitEthernet().TransferTime(1 << 20),
+            GigabitEthernet().TransferTime(1 << 20));
+}
+
+TEST(DeviceModelTest, SpecForTypeCoversAll) {
+  EXPECT_EQ(SpecForType(NodeType::kCpu).type, NodeType::kCpu);
+  EXPECT_EQ(SpecForType(NodeType::kGpu).type, NodeType::kGpu);
+  EXPECT_EQ(SpecForType(NodeType::kFpga).type, NodeType::kFpga);
+}
+
+}  // namespace
+}  // namespace haocl::sim

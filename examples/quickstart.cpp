@@ -2,14 +2,17 @@
 // cluster.
 //
 // The code below is textbook OpenCL 1.2 — platform discovery, context,
-// queue, buffers, program-from-source, kernel, NDRange, read-back. The
-// only HaoCL-specific lines are the two binding calls at the top of main()
-// that stand in for pointing the OpenCL loader at the cluster
-// configuration file. Everything else would compile against any OpenCL
-// implementation; here each call is forwarded over the communication
-// backbone to simulated GPU/FPGA node daemons.
+// queue, buffers, program-from-source, kernel, NDRange, read-back — using
+// the asynchronous style the dispatch API rewards: non-blocking writes
+// chained into the kernel through an event wait list, a non-blocking read
+// chained on the kernel, and one clWaitForEvents at the end. Every
+// enqueue returns immediately; the command graph overlaps the transfers
+// and the kernel across the cluster while the host keeps working. The
+// only HaoCL-specific lines are the two binding calls at the top of
+// main() that stand in for pointing the OpenCL loader at the cluster
+// configuration file.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 #include <cstdio>
 #include <vector>
 
@@ -92,11 +95,11 @@ int main() {
     b[i] = 2.0f * static_cast<float>(i);
   }
 
-  cl_mem a_mem = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
-                                n * sizeof(float), a.data(), &err);
+  cl_mem a_mem = clCreateBuffer(context, CL_MEM_READ_ONLY, n * sizeof(float),
+                                nullptr, &err);
   CHECK_CL(err);
-  cl_mem b_mem = clCreateBuffer(context, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
-                                n * sizeof(float), b.data(), &err);
+  cl_mem b_mem = clCreateBuffer(context, CL_MEM_READ_ONLY, n * sizeof(float),
+                                nullptr, &err);
   CHECK_CL(err);
   cl_mem c_mem = clCreateBuffer(context, CL_MEM_WRITE_ONLY, n * sizeof(float),
                                 nullptr, &err);
@@ -114,30 +117,56 @@ int main() {
   CHECK_CL(clSetKernelArg(kernel, 2, sizeof(cl_mem), &c_mem));
   CHECK_CL(clSetKernelArg(kernel, 3, sizeof(int), &n));
 
+  // Event-chained asynchronous pipeline: every enqueue is non-blocking;
+  // the wait lists express the dataflow (writes -> kernel -> read) and the
+  // command graph runs it while the host thread is free to do other work.
   const size_t global = n;
-  cl_event event;
+  cl_event writes[2];
+  cl_event kernel_done;
+  cl_event read_done;
+  CHECK_CL(clEnqueueWriteBuffer(queue, a_mem, CL_FALSE, 0, n * sizeof(float),
+                                a.data(), 0, nullptr, &writes[0]));
+  CHECK_CL(clEnqueueWriteBuffer(queue, b_mem, CL_FALSE, 0, n * sizeof(float),
+                                b.data(), 0, nullptr, &writes[1]));
   CHECK_CL(clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global, nullptr,
-                                  0, nullptr, &event));
-  CHECK_CL(clEnqueueReadBuffer(queue, c_mem, CL_TRUE, 0, n * sizeof(float),
-                               c.data(), 0, nullptr, nullptr));
-  CHECK_CL(clFinish(queue));
+                                  2, writes, &kernel_done));
+  CHECK_CL(clEnqueueReadBuffer(queue, c_mem, CL_FALSE, 0, n * sizeof(float),
+                               c.data(), 1, &kernel_done, &read_done));
+
+  // The whole pipeline may still be in flight right now; one wait drains
+  // it (clFinish(queue) would too).
+  CHECK_CL(clWaitForEvents(1, &read_done));
 
   int bad = 0;
   for (int i = 0; i < n; ++i) {
     if (c[i] != a[i] + b[i]) ++bad;
   }
+  cl_ulong queued_ns = 0;
+  cl_ulong submit_ns = 0;
   cl_ulong start_ns = 0;
   cl_ulong end_ns = 0;
-  CHECK_CL(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_START,
+  CHECK_CL(clGetEventProfilingInfo(kernel_done, CL_PROFILING_COMMAND_QUEUED,
+                                   sizeof(queued_ns), &queued_ns, nullptr));
+  CHECK_CL(clGetEventProfilingInfo(kernel_done, CL_PROFILING_COMMAND_SUBMIT,
+                                   sizeof(submit_ns), &submit_ns, nullptr));
+  CHECK_CL(clGetEventProfilingInfo(kernel_done, CL_PROFILING_COMMAND_START,
                                    sizeof(start_ns), &start_ns, nullptr));
-  CHECK_CL(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_END,
+  CHECK_CL(clGetEventProfilingInfo(kernel_done, CL_PROFILING_COMMAND_END,
                                    sizeof(end_ns), &end_ns, nullptr));
 
   std::printf("vadd over %d elements: %s (modeled kernel time %.1f us)\n", n,
               bad == 0 ? "PASSED" : "FAILED",
               static_cast<double>(end_ns - start_ns) / 1e3);
+  std::printf("kernel lifecycle (virtual ns): queued=%llu submit=%llu "
+              "start=%llu end=%llu\n",
+              static_cast<unsigned long long>(queued_ns),
+              static_cast<unsigned long long>(submit_ns),
+              static_cast<unsigned long long>(start_ns),
+              static_cast<unsigned long long>(end_ns));
 
-  clReleaseEvent(event);
+  for (cl_event e : {writes[0], writes[1], kernel_done, read_done}) {
+    clReleaseEvent(e);
+  }
   clReleaseKernel(kernel);
   clReleaseProgram(program);
   clReleaseMemObject(a_mem);

@@ -1,12 +1,15 @@
 // Implementation of the OpenCL Wrapper Lib over ClusterRuntime.
 //
-// Execution model: enqueues run eagerly in order (the RPC round trip is
-// the submission), which is a conforming in-order-queue behaviour;
-// pipeline overlap across nodes is modeled by the virtual timeline and
-// exercised directly at the RPC layer. Handles are heap objects with a
-// magic tag (so a wrong handle fails with the right CL_INVALID_* code
-// instead of crashing) and an atomic refcount driven by the standard
-// clRetain*/clRelease* calls.
+// Execution model: every clEnqueue* defers into the runtime's command
+// graph. A _cl_command_queue is a real in-order queue — each enqueue
+// depends on the queue's previous command plus its event wait list — and a
+// _cl_event is a handle onto a graph command, so clFlush/clFinish/
+// clWaitForEvents and the CL_PROFILING_COMMAND_* stamps carry their
+// standard semantics. Blocking read/write flags decide whether the call
+// waits for the command or returns while the node RPCs are still in
+// flight. Handles are heap objects with a magic tag (so a wrong handle
+// fails with the right CL_INVALID_* code instead of crashing) and an
+// atomic refcount driven by the standard clRetain*/clRelease* calls.
 #include "api/hao_cl.h"
 
 #include <algorithm>
@@ -18,7 +21,9 @@
 #include <vector>
 
 #include "api/runtime_binding.h"
+#include "common/wire.h"
 #include "host/cluster_runtime.h"
+#include "host/command_graph.h"
 #include "oclc/bytecode.h"
 
 namespace {
@@ -61,6 +66,12 @@ struct _cl_command_queue {
   cl_context context = nullptr;
   cl_device_id device = nullptr;
   bool profiling = false;
+  // Runtime this queue's commands live in (see _cl_event::origin).
+  void* origin = nullptr;
+  // In-order queue: each enqueue chains on the previous one; clFinish
+  // waits for the tail. Guarded by mutex (enqueues may race).
+  std::mutex mutex;
+  haocl::host::CommandHandle tail;
 };
 
 struct _cl_mem {
@@ -91,6 +102,17 @@ struct _cl_kernel {
 struct _cl_event {
   std::uint32_t magic = kEventMagic;
   std::atomic<int> refs{1};
+  haocl::host::CommandHandle cmd;  // The graph command this event tracks.
+  // Runtime the command belongs to. Command ids restart per runtime, so an
+  // event from a previous binding must never be resolved against a newer
+  // one (it would alias an unrelated command).
+  void* origin = nullptr;
+  bool user = false;               // Created by clCreateUserEvent.
+  // Cached terminal state; filled once the command retires so the event
+  // stays queryable after the runtime unbinds. Guarded by mutex.
+  std::mutex mutex;
+  bool resolved = false;
+  cl_int exec_status = CL_QUEUED;
   // Virtual-time stamps in seconds (reported in ns via profiling info).
   double queued = 0.0;
   double submit = 0.0;
@@ -242,6 +264,8 @@ cl_int ToClError(const Status& status) {
       return CL_INVALID_OPERATION;
     case ErrorCode::kUnimplemented:
       return CL_INVALID_OPERATION;
+    case ErrorCode::kDependencyFailed:
+      return CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
     default:
       return code;
   }
@@ -264,25 +288,130 @@ cl_int ReturnString(const std::string& s, size_t param_value_size,
                     param_value_size_ret);
 }
 
-// Completes an out-event with virtual-time stamps.
-void FillEvent(cl_event* event, double start, double end) {
-  if (event == nullptr) return;
-  auto* e = new _cl_event();
-  e->queued = start;
-  e->submit = start;
-  e->start = start;
-  e->end = end;
-  *event = e;
-}
+using haocl::host::CommandHandle;
+using haocl::host::CommandState;
 
-// Every enqueue validates its wait list even though execution is eager
-// (in-order queues already order the work).
-cl_int CheckWaitList(cl_uint count, const cl_event* list) {
+using haocl::RangeExceeds;  // Overflow-safe bounds check (common/wire.h).
+
+// Validates the wait list and turns it into graph dependencies. Events
+// from a previous runtime binding are rejected: command ids restart per
+// runtime, so a stale handle would alias an unrelated command.
+cl_int CheckWaitList(cl_uint count, const cl_event* list, void* runtime,
+                     std::vector<CommandHandle>* deps) {
   if ((count == 0) != (list == nullptr)) return CL_INVALID_VALUE;
   for (cl_uint i = 0; i < count; ++i) {
     if (!Valid(list[i], kEventMagic)) return CL_INVALID_EVENT;
+    if (list[i]->origin != runtime) return CL_INVALID_EVENT;
+    if (deps != nullptr) deps->push_back(list[i]->cmd);
   }
   return CL_SUCCESS;
+}
+
+// Hands out an event tracking `cmd` (if the application asked for one).
+void EmitEvent(cl_event* event, CommandHandle cmd, bool user = false) {
+  if (event == nullptr) return;
+  auto* e = new _cl_event();
+  e->cmd = cmd;
+  e->origin = BoundRuntime();
+  e->user = user;
+  *event = e;
+}
+
+// The runtime this event's command lives in, or nullptr if the binding
+// changed since the event was created (stale events stay inert).
+haocl::host::ClusterRuntime* RuntimeFor(const _cl_event* e) {
+  auto* runtime = BoundRuntime();
+  return runtime != nullptr && runtime == e->origin ? runtime : nullptr;
+}
+
+// The one deferred-enqueue path all four clEnqueue* entry points share:
+// validate + collect the wait list, chain on the queue's tail (weak edge —
+// a failed predecessor on an in-order queue does not poison later
+// independent commands; wait-list deps stay strong), submit, and honor the
+// blocking flag. The out-event is only produced on success, after any
+// blocking wait, per the spec. `submit` is called with (runtime, deps,
+// order_after) and returns Expected<CommandHandle>.
+template <typename SubmitFn>
+cl_int EnqueueCommand(cl_command_queue queue, cl_uint num_events,
+                      const cl_event* wait_list, cl_bool blocking,
+                      cl_event* event, SubmitFn&& submit) {
+  auto* runtime = BoundRuntime();
+  if (runtime == nullptr) return CL_DEVICE_NOT_AVAILABLE;
+  if (queue->origin != runtime) return CL_INVALID_COMMAND_QUEUE;
+  std::vector<CommandHandle> deps;
+  cl_int wait = CheckWaitList(num_events, wait_list, runtime, &deps);
+  if (wait != CL_SUCCESS) return wait;
+
+  std::unique_lock<std::mutex> order(queue->mutex);
+  std::vector<CommandHandle> after;
+  if (queue->tail.valid()) after.push_back(queue->tail);
+  auto handle = submit(runtime, std::move(deps), std::move(after));
+  if (!handle.ok()) return ToClError(handle.status());
+  queue->tail = *handle;
+  order.unlock();
+  if (blocking != CL_FALSE) {
+    haocl::Status status = runtime->Wait(*handle);
+    if (!status.ok()) return ToClError(status);
+  }
+  EmitEvent(event, *handle);
+  return CL_SUCCESS;
+}
+
+cl_int ExecStatusFromState(CommandState state) {
+  switch (state) {
+    case CommandState::kQueued: return CL_QUEUED;
+    case CommandState::kSubmitted: return CL_SUBMITTED;
+    case CommandState::kRunning: return CL_RUNNING;
+    case CommandState::kComplete: return CL_COMPLETE;
+    case CommandState::kFailed: break;
+  }
+  return CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
+}
+
+// Caches the terminal state + profiling stamps once the command retires,
+// so events outlive the runtime binding. Returns true when resolved.
+bool ResolveEvent(_cl_event* e) {
+  std::lock_guard<std::mutex> lock(e->mutex);
+  if (e->resolved) return true;
+  auto* runtime = RuntimeFor(e);
+  if (runtime == nullptr) return false;
+  auto state = runtime->CommandStateOf(e->cmd);
+  if (!state.ok() || !haocl::host::IsTerminal(*state)) return false;
+  if (*state == CommandState::kFailed) {
+    const haocl::Status status = runtime->graph().QueryStatus(e->cmd.id);
+    e->exec_status = ToClError(status);
+    if (e->exec_status >= 0) {
+      e->exec_status = CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
+    }
+  } else {
+    e->exec_status = CL_COMPLETE;
+  }
+  auto profile = runtime->CommandProfileOf(e->cmd);
+  if (profile.ok()) {
+    e->queued = profile->queued_at;
+    e->submit = profile->submitted_at;
+    e->start = profile->started_at;
+    e->end = profile->finished_at;
+  }
+  e->resolved = true;
+  return true;
+}
+
+// Live execution status for clGetEventInfo (terminal states come from the
+// cache so they survive UnbindRuntime).
+cl_int EventExecutionStatus(_cl_event* e) {
+  if (ResolveEvent(e)) {
+    std::lock_guard<std::mutex> lock(e->mutex);
+    return e->exec_status;
+  }
+  auto* runtime = RuntimeFor(e);
+  if (runtime == nullptr) {
+    // Stale or missing binding: last cached state (default CL_QUEUED).
+    std::lock_guard<std::mutex> lock(e->mutex);
+    return e->exec_status;
+  }
+  auto state = runtime->CommandStateOf(e->cmd);
+  return state.ok() ? ExecStatusFromState(*state) : CL_QUEUED;
 }
 
 }  // namespace
@@ -445,6 +574,7 @@ cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
   auto* queue = new _cl_command_queue();
   queue->context = context;
   queue->device = device;
+  queue->origin = BoundRuntime();
   queue->profiling = (properties & CL_QUEUE_PROFILING_ENABLE) != 0;
   if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
   return queue;
@@ -687,41 +817,42 @@ cl_int clReleaseKernel(cl_kernel kernel) {
 
 // ----------------------------------------------------------------- Enqueues
 
-cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer, cl_bool,
-                            size_t offset, size_t size, const void* ptr,
+cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
+                            cl_bool blocking_write, size_t offset,
+                            size_t size, const void* ptr,
                             cl_uint num_events_in_wait_list,
                             const cl_event* event_wait_list,
                             cl_event* event) {
   if (!Valid(queue, kQueueMagic)) return CL_INVALID_COMMAND_QUEUE;
   if (!Valid(buffer, kMemMagic)) return CL_INVALID_MEM_OBJECT;
-  if (ptr == nullptr) return CL_INVALID_VALUE;
-  cl_int wait = CheckWaitList(num_events_in_wait_list, event_wait_list);
-  if (wait != CL_SUCCESS) return wait;
-  auto* runtime = BoundRuntime();
-  if (runtime == nullptr) return CL_DEVICE_NOT_AVAILABLE;
-  const double t0 = runtime->timeline().Makespan();
-  Status status = runtime->WriteBuffer(buffer->buffer, offset, ptr, size);
-  if (!status.ok()) return ToClError(status);
-  FillEvent(event, t0, runtime->timeline().Makespan());
-  return CL_SUCCESS;
+  if (ptr == nullptr || size == 0) return CL_INVALID_VALUE;
+  if (RangeExceeds(offset, size, buffer->size)) {
+    return CL_INVALID_VALUE;
+  }
+  return EnqueueCommand(
+      queue, num_events_in_wait_list, event_wait_list, blocking_write, event,
+      [&](auto* runtime, auto deps, auto after) {
+        return runtime->SubmitWrite(buffer->buffer, offset, ptr, size,
+                                    std::move(deps), std::move(after));
+      });
 }
 
-cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer, cl_bool,
-                           size_t offset, size_t size, void* ptr,
-                           cl_uint num_events_in_wait_list,
+cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
+                           cl_bool blocking_read, size_t offset, size_t size,
+                           void* ptr, cl_uint num_events_in_wait_list,
                            const cl_event* event_wait_list, cl_event* event) {
   if (!Valid(queue, kQueueMagic)) return CL_INVALID_COMMAND_QUEUE;
   if (!Valid(buffer, kMemMagic)) return CL_INVALID_MEM_OBJECT;
-  if (ptr == nullptr) return CL_INVALID_VALUE;
-  cl_int wait = CheckWaitList(num_events_in_wait_list, event_wait_list);
-  if (wait != CL_SUCCESS) return wait;
-  auto* runtime = BoundRuntime();
-  if (runtime == nullptr) return CL_DEVICE_NOT_AVAILABLE;
-  const double t0 = runtime->timeline().Makespan();
-  Status status = runtime->ReadBuffer(buffer->buffer, offset, ptr, size);
-  if (!status.ok()) return ToClError(status);
-  FillEvent(event, t0, runtime->timeline().Makespan());
-  return CL_SUCCESS;
+  if (ptr == nullptr || size == 0) return CL_INVALID_VALUE;
+  if (RangeExceeds(offset, size, buffer->size)) {
+    return CL_INVALID_VALUE;
+  }
+  return EnqueueCommand(
+      queue, num_events_in_wait_list, event_wait_list, blocking_read, event,
+      [&](auto* runtime, auto deps, auto after) {
+        return runtime->SubmitRead(buffer->buffer, offset, ptr, size,
+                                   std::move(deps), std::move(after));
+      });
 }
 
 cl_int clEnqueueCopyBuffer(cl_command_queue queue, cl_mem src_buffer,
@@ -733,23 +864,18 @@ cl_int clEnqueueCopyBuffer(cl_command_queue queue, cl_mem src_buffer,
   if (!Valid(src_buffer, kMemMagic) || !Valid(dst_buffer, kMemMagic)) {
     return CL_INVALID_MEM_OBJECT;
   }
-  cl_int wait = CheckWaitList(num_events_in_wait_list, event_wait_list);
-  if (wait != CL_SUCCESS) return wait;
-  auto* runtime = BoundRuntime();
-  if (runtime == nullptr) return CL_DEVICE_NOT_AVAILABLE;
-  // Host-mediated copy: read src, write dst (coherence keeps this correct
-  // wherever the replicas live).
-  std::vector<std::uint8_t> staging(size);
-  const double t0 = runtime->timeline().Makespan();
-  Status status =
-      runtime->ReadBuffer(src_buffer->buffer, src_offset, staging.data(),
-                          size);
-  if (!status.ok()) return ToClError(status);
-  status = runtime->WriteBuffer(dst_buffer->buffer, dst_offset,
-                                staging.data(), size);
-  if (!status.ok()) return ToClError(status);
-  FillEvent(event, t0, runtime->timeline().Makespan());
-  return CL_SUCCESS;
+  if (size == 0) return CL_INVALID_VALUE;
+  if (RangeExceeds(src_offset, size, src_buffer->size) ||
+      RangeExceeds(dst_offset, size, dst_buffer->size)) {
+    return CL_INVALID_VALUE;
+  }
+  return EnqueueCommand(
+      queue, num_events_in_wait_list, event_wait_list, CL_FALSE, event,
+      [&](auto* runtime, auto deps, auto after) {
+        return runtime->SubmitCopy(src_buffer->buffer, src_offset,
+                                   dst_buffer->buffer, dst_offset, size,
+                                   std::move(deps), std::move(after));
+      });
 }
 
 cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
@@ -769,13 +895,9 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
       if (global_work_offset[d] != 0) return CL_INVALID_VALUE;  // 1.0 rule.
     }
   }
-  cl_int wait = CheckWaitList(num_events_in_wait_list, event_wait_list);
-  if (wait != CL_SUCCESS) return wait;
   for (const auto& arg : kernel->args) {
     if (!arg.has_value()) return CL_INVALID_KERNEL_ARGS;
   }
-  auto* runtime = BoundRuntime();
-  if (runtime == nullptr) return CL_DEVICE_NOT_AVAILABLE;
 
   haocl::host::ClusterRuntime::LaunchSpec spec;
   spec.program = kernel->program->program;
@@ -789,22 +911,36 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
   spec.local_specified = local_work_size != nullptr;
   spec.preferred_node = queue->device->node_index;  // -1 = scheduler picks.
 
-  auto result = runtime->LaunchKernel(spec);
-  if (!result.ok()) return ToClError(result.status());
-  if (event != nullptr) {
-    FillEvent(event, result->virtual_completion - result->modeled_seconds,
-              result->virtual_completion);
-  }
-  return CL_SUCCESS;
+  return EnqueueCommand(
+      queue, num_events_in_wait_list, event_wait_list, CL_FALSE, event,
+      [&](auto* runtime, auto deps, auto after) {
+        return runtime->SubmitLaunch(spec, std::move(deps),
+                                     std::move(after));
+      });
 }
 
 cl_int clFlush(cl_command_queue queue) {
+  // Every enqueue submits into the command graph immediately; there is
+  // nothing left to push.
   return Valid(queue, kQueueMagic) ? CL_SUCCESS : CL_INVALID_COMMAND_QUEUE;
 }
 
 cl_int clFinish(cl_command_queue queue) {
-  // Enqueues execute eagerly, so the queue is always drained.
-  return Valid(queue, kQueueMagic) ? CL_SUCCESS : CL_INVALID_COMMAND_QUEUE;
+  if (!Valid(queue, kQueueMagic)) return CL_INVALID_COMMAND_QUEUE;
+  auto* runtime = BoundRuntime();
+  if (runtime == nullptr) return CL_SUCCESS;  // Nothing can be in flight.
+  if (queue->origin != runtime) return CL_SUCCESS;  // Stale binding: inert.
+  CommandHandle tail;
+  {
+    std::lock_guard<std::mutex> order(queue->mutex);
+    tail = queue->tail;
+  }
+  if (!tail.valid()) return CL_SUCCESS;
+  // In-order queue: the tail completing means everything before it did.
+  // Note: commands gated on unresolved user events keep clFinish blocked
+  // until the application sets them — the standard's semantics.
+  Status status = runtime->Wait(tail);
+  return status.ok() ? CL_SUCCESS : ToClError(status);
 }
 
 // ------------------------------------------------------------------- Events
@@ -814,25 +950,116 @@ cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list) {
   for (cl_uint i = 0; i < num_events; ++i) {
     if (!Valid(event_list[i], kEventMagic)) return CL_INVALID_EVENT;
   }
-  return CL_SUCCESS;  // Eager execution: events are complete.
+  cl_int result = CL_SUCCESS;
+  for (cl_uint i = 0; i < num_events; ++i) {
+    _cl_event* e = event_list[i];
+    if (ResolveEvent(e)) {
+      // Already terminal (covers events that outlived the runtime).
+      std::lock_guard<std::mutex> lock(e->mutex);
+      if (e->exec_status < 0) {
+        result = CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
+      }
+      continue;
+    }
+    auto* runtime = RuntimeFor(e);
+    if (runtime == nullptr) continue;  // Stale binding: nothing to wait on.
+    Status status = runtime->Wait(e->cmd);
+    (void)ResolveEvent(e);
+    if (!status.ok()) {
+      result = CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
+    }
+  }
+  return result;
+}
+
+cl_int clGetEventInfo(cl_event event, cl_event_info param_name,
+                      size_t param_value_size, void* param_value,
+                      size_t* param_value_size_ret) {
+  if (!Valid(event, kEventMagic)) return CL_INVALID_EVENT;
+  switch (param_name) {
+    case CL_EVENT_COMMAND_EXECUTION_STATUS: {
+      const cl_int status = EventExecutionStatus(event);
+      return ReturnInfo(&status, sizeof(status), param_value_size,
+                        param_value, param_value_size_ret);
+    }
+    case CL_EVENT_REFERENCE_COUNT: {
+      const cl_uint refs = static_cast<cl_uint>(event->refs.load());
+      return ReturnInfo(&refs, sizeof(refs), param_value_size, param_value,
+                        param_value_size_ret);
+    }
+    default:
+      return CL_INVALID_VALUE;
+  }
 }
 
 cl_int clGetEventProfilingInfo(cl_event event, cl_profiling_info param_name,
                                size_t param_value_size, void* param_value,
                                size_t* param_value_size_ret) {
   if (!Valid(event, kEventMagic)) return CL_INVALID_EVENT;
+  if (event->user) return CL_PROFILING_INFO_NOT_AVAILABLE;
+  if (!ResolveEvent(event)) return CL_PROFILING_INFO_NOT_AVAILABLE;
   double seconds = 0.0;
-  switch (param_name) {
-    case CL_PROFILING_COMMAND_QUEUED: seconds = event->queued; break;
-    case CL_PROFILING_COMMAND_SUBMIT: seconds = event->submit; break;
-    case CL_PROFILING_COMMAND_START: seconds = event->start; break;
-    case CL_PROFILING_COMMAND_END: seconds = event->end; break;
-    default:
-      return CL_INVALID_VALUE;
+  {
+    std::lock_guard<std::mutex> lock(event->mutex);
+    switch (param_name) {
+      case CL_PROFILING_COMMAND_QUEUED: seconds = event->queued; break;
+      case CL_PROFILING_COMMAND_SUBMIT: seconds = event->submit; break;
+      case CL_PROFILING_COMMAND_START: seconds = event->start; break;
+      case CL_PROFILING_COMMAND_END: seconds = event->end; break;
+      default:
+        return CL_INVALID_VALUE;
+    }
   }
   const cl_ulong nanos = static_cast<cl_ulong>(seconds * 1e9);
   return ReturnInfo(&nanos, sizeof(nanos), param_value_size, param_value,
                     param_value_size_ret);
+}
+
+cl_event clCreateUserEvent(cl_context context, cl_int* errcode_ret) {
+  auto fail = [&](cl_int code) {
+    if (errcode_ret != nullptr) *errcode_ret = code;
+    return static_cast<cl_event>(nullptr);
+  };
+  if (!Valid(context, kContextMagic)) return fail(CL_INVALID_CONTEXT);
+  auto* runtime = BoundRuntime();
+  if (runtime == nullptr) return fail(CL_DEVICE_NOT_AVAILABLE);
+  auto handle = runtime->SubmitMarker();
+  if (!handle.ok()) return fail(ToClError(handle.status()));
+  cl_event event = nullptr;
+  EmitEvent(&event, *handle, /*user=*/true);
+  if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
+  return event;
+}
+
+cl_int clSetUserEventStatus(cl_event event, cl_int execution_status) {
+  if (!Valid(event, kEventMagic)) return CL_INVALID_EVENT;
+  if (!event->user) return CL_INVALID_EVENT;
+  if (execution_status != CL_COMPLETE && execution_status >= 0) {
+    return CL_INVALID_VALUE;
+  }
+  auto* runtime = RuntimeFor(event);
+  if (runtime == nullptr) return CL_INVALID_OPERATION;
+  Status terminal =
+      execution_status == CL_COMPLETE
+          ? Status::Ok()
+          : Status(haocl::ErrorCode::kInternal,
+                   "user event failed with status " +
+                       std::to_string(execution_status));
+  Status set = runtime->CompleteMarker(event->cmd, std::move(terminal));
+  if (!set.ok()) {
+    // Setting twice is the spec's CL_INVALID_OPERATION.
+    return set.code() == haocl::ErrorCode::kInvalidOperation
+               ? CL_INVALID_OPERATION
+               : ToClError(set);
+  }
+  // Cache the exact status the application set: clGetEventInfo must echo
+  // the user's own negative value, not our internal mapping of it.
+  {
+    std::lock_guard<std::mutex> lock(event->mutex);
+    event->resolved = true;
+    event->exec_status = execution_status;
+  }
+  return CL_SUCCESS;
 }
 
 cl_int clRetainEvent(cl_event event) {

@@ -31,6 +31,7 @@ using cl_platform_info = cl_uint;
 using cl_device_info = cl_uint;
 using cl_program_build_info = cl_uint;
 using cl_profiling_info = cl_uint;
+using cl_event_info = cl_uint;
 using cl_context_properties = std::intptr_t;
 
 struct _cl_platform_id;
@@ -61,6 +62,8 @@ inline constexpr cl_int CL_MEM_OBJECT_ALLOCATION_FAILURE = -4;
 inline constexpr cl_int CL_OUT_OF_RESOURCES = -5;
 inline constexpr cl_int CL_OUT_OF_HOST_MEMORY = -6;
 inline constexpr cl_int CL_BUILD_PROGRAM_FAILURE = -11;
+inline constexpr cl_int CL_PROFILING_INFO_NOT_AVAILABLE = -7;
+inline constexpr cl_int CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST = -14;
 inline constexpr cl_int CL_INVALID_VALUE = -30;
 inline constexpr cl_int CL_INVALID_DEVICE_TYPE = -31;
 inline constexpr cl_int CL_INVALID_PLATFORM = -32;
@@ -124,6 +127,15 @@ inline constexpr cl_profiling_info CL_PROFILING_COMMAND_QUEUED = 0x1280;
 inline constexpr cl_profiling_info CL_PROFILING_COMMAND_SUBMIT = 0x1281;
 inline constexpr cl_profiling_info CL_PROFILING_COMMAND_START = 0x1282;
 inline constexpr cl_profiling_info CL_PROFILING_COMMAND_END = 0x1283;
+
+inline constexpr cl_event_info CL_EVENT_REFERENCE_COUNT = 0x11D2;
+inline constexpr cl_event_info CL_EVENT_COMMAND_EXECUTION_STATUS = 0x11D3;
+
+// Command execution status (clGetEventInfo / clSetUserEventStatus).
+inline constexpr cl_int CL_COMPLETE = 0x0;
+inline constexpr cl_int CL_RUNNING = 0x1;
+inline constexpr cl_int CL_SUBMITTED = 0x2;
+inline constexpr cl_int CL_QUEUED = 0x3;
 
 // ------------------------------------------------------------- Entry points
 
@@ -209,9 +221,14 @@ cl_int clFlush(cl_command_queue queue);
 cl_int clFinish(cl_command_queue queue);
 
 cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list);
+cl_int clGetEventInfo(cl_event event, cl_event_info param_name,
+                      size_t param_value_size, void* param_value,
+                      size_t* param_value_size_ret);
 cl_int clGetEventProfilingInfo(cl_event event, cl_profiling_info param_name,
                                size_t param_value_size, void* param_value,
                                size_t* param_value_size_ret);
+cl_event clCreateUserEvent(cl_context context, cl_int* errcode_ret);
+cl_int clSetUserEventStatus(cl_event event, cl_int execution_status);
 cl_int clRetainEvent(cl_event event);
 cl_int clReleaseEvent(cl_event event);
 

@@ -34,6 +34,7 @@ const char* ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kInvalidWorkGroupSize: return "INVALID_WORK_GROUP_SIZE";
     case ErrorCode::kInvalidWorkItemSize: return "INVALID_WORK_ITEM_SIZE";
     case ErrorCode::kInvalidEvent: return "INVALID_EVENT";
+    case ErrorCode::kInvalidOperation: return "INVALID_OPERATION";
     case ErrorCode::kInvalidBufferSize: return "INVALID_BUFFER_SIZE";
     case ErrorCode::kNetworkError: return "NETWORK_ERROR";
     case ErrorCode::kNodeUnreachable: return "NODE_UNREACHABLE";
@@ -41,6 +42,7 @@ const char* ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kSchedulerError: return "SCHEDULER_ERROR";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kDependencyFailed: return "DEPENDENCY_FAILED";
   }
   return "UNKNOWN";
 }

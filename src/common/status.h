@@ -43,6 +43,7 @@ enum class ErrorCode : std::int32_t {
   kInvalidWorkGroupSize = -54,
   kInvalidWorkItemSize = -55,
   kInvalidEvent = -58,
+  kInvalidOperation = -59,
   kInvalidBufferSize = -61,
   // HaoCL-specific (implementation-defined range).
   kNetworkError = -1001,
@@ -51,6 +52,8 @@ enum class ErrorCode : std::int32_t {
   kSchedulerError = -1004,
   kInternal = -1005,
   kUnimplemented = -1006,
+  // A predecessor in the command graph failed, so this command never ran.
+  kDependencyFailed = -1007,
 };
 
 const char* ErrorCodeName(ErrorCode code) noexcept;

@@ -19,6 +19,15 @@
 
 namespace haocl {
 
+// Overflow-safe range check shared by the API shim and the host runtime:
+// true when [offset, offset + size) does not fit in [0, total). Written
+// without computing offset + size, which could wrap.
+[[nodiscard]] constexpr bool RangeExceeds(std::uint64_t offset,
+                                          std::uint64_t size,
+                                          std::uint64_t total) {
+  return offset > total || size > total - offset;
+}
+
 // Append-only encoder.
 class WireWriter {
  public:

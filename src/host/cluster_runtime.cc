@@ -12,6 +12,30 @@ namespace haocl::host {
 using net::Message;
 using net::MsgType;
 
+// Completed-launch results are retained for at least this many launches;
+// past the window, retired entries are reclaimed lazily at submit.
+constexpr std::size_t kLaunchResultWindow = 1024;
+
+// RAII in-flight accounting: the scheduler's queue_depth per node.
+class ClusterRuntime::InFlightGuard {
+ public:
+  InFlightGuard(ClusterRuntime* runtime, std::size_t node)
+      : runtime_(runtime), node_(node) {
+    std::lock_guard<std::mutex> lock(runtime_->sched_mutex_);
+    ++runtime_->in_flight_[node_];
+  }
+  ~InFlightGuard() {
+    std::lock_guard<std::mutex> lock(runtime_->sched_mutex_);
+    --runtime_->in_flight_[node_];
+  }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  ClusterRuntime* runtime_;
+  std::size_t node_;
+};
+
 ClusterRuntime::ClusterRuntime(Options options)
     : options_(std::move(options)) {}
 
@@ -70,6 +94,17 @@ Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
       sim::ClusterTopology::FromConfig(topo_config, runtime->options_.link));
   runtime->node_busy_ahead_.assign(runtime->nodes_.size(), 0.0);
   runtime->observed_sec_per_flop_.assign(runtime->nodes_.size(), 0.0);
+  runtime->in_flight_.assign(runtime->nodes_.size(), 0);
+
+  CommandGraph::Options graph_options;
+  graph_options.workers =
+      runtime->options_.dispatch_workers != 0
+          ? runtime->options_.dispatch_workers
+          : std::max<std::size_t>(4, runtime->nodes_.size() + 2);
+  ClusterRuntime* raw = runtime.get();
+  // VirtualTimeline is internally synchronized; safe from any worker.
+  graph_options.clock = [raw] { return raw->timeline_->Makespan(); };
+  runtime->graph_ = std::make_unique<CommandGraph>(std::move(graph_options));
   return runtime;
 }
 
@@ -104,46 +139,263 @@ Status ClusterRuntime::CheckReply(const Expected<Message>& reply,
   return Status::Ok();
 }
 
+Expected<Message> ClusterRuntime::CallNode(std::size_t node, MsgType type,
+                                           std::vector<std::uint8_t> payload) {
+  InFlightGuard in_flight(this, node);
+  auto future =
+      nodes_[node]->CallAsync(type, options_.session_id, std::move(payload));
+  const auto* reply = future->WaitFor(options_.rpc_timeout);
+  if (reply == nullptr) {
+    return Status(ErrorCode::kNetworkError,
+                  std::string("RPC timeout for ") + net::MsgTypeName(type));
+  }
+  return *reply;
+}
+
+// ---------------------------------------------------------- Hazard helpers
+
+void ClusterRuntime::CollectDepIds(const std::vector<CommandHandle>& deps,
+                                   std::vector<CommandId>* out) const {
+  for (const CommandHandle& dep : deps) {
+    if (dep.valid()) out->push_back(dep.id);
+  }
+}
+
+void ClusterRuntime::PruneRetiredReadersLocked(LogicalBuffer& buffer) {
+  // Read-mostly buffers would otherwise grow this list until the next
+  // write; retired readers impose no ordering anymore.
+  auto& readers = buffer.readers_since_write;
+  readers.erase(std::remove_if(readers.begin(), readers.end(),
+                               [this](CommandId id) {
+                                 auto state = graph_->QueryState(id);
+                                 return state.ok() && IsTerminal(*state);
+                               }),
+                readers.end());
+}
+
+void ClusterRuntime::AddReadHazardLocked(LogicalBuffer& buffer,
+                                         std::vector<CommandId>* deps) {
+  PruneRetiredReadersLocked(buffer);
+  if (buffer.last_writer != kNullCommand) deps->push_back(buffer.last_writer);
+}
+
+void ClusterRuntime::AddWriteHazardLocked(LogicalBuffer& buffer,
+                                          std::vector<CommandId>* deps) {
+  PruneRetiredReadersLocked(buffer);
+  if (buffer.last_writer != kNullCommand) deps->push_back(buffer.last_writer);
+  deps->insert(deps->end(), buffer.readers_since_write.begin(),
+               buffer.readers_since_write.end());
+}
+
 // --------------------------------------------------------------- Buffers
 
 Expected<BufferId> ClusterRuntime::CreateBuffer(std::uint64_t size) {
   if (size == 0) {
     return Status(ErrorCode::kInvalidBufferSize, "zero-sized buffer");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const BufferId id = next_buffer_id_++;
-  LogicalBuffer& buffer = buffers_[id];
-  buffer.size = size;
-  buffer.shadow.assign(size, 0);
-  buffer.host_valid = true;
-  buffer.valid_on.assign(nodes_.size(), false);
-  buffer.allocated_on.assign(nodes_.size(), false);
+  auto buffer = std::make_shared<LogicalBuffer>();
+  buffer->size = size;
+  buffer->shadow.assign(size, 0);
+  buffer->host_valid = true;
+  buffer->valid_on.assign(nodes_.size(), false);
+  buffer->allocated_on.assign(nodes_.size(), false);
+  buffers_.emplace(id, std::move(buffer));
   return id;
 }
 
-Status ClusterRuntime::WriteBuffer(BufferId id, std::uint64_t offset,
-                                   const void* data, std::uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Expected<CommandHandle> ClusterRuntime::SubmitWrite(
+    BufferId id, std::uint64_t offset, const void* data, std::uint64_t size,
+    std::vector<CommandHandle> deps, std::vector<CommandHandle> order_after) {
+  return SubmitWriteImpl(id, offset, data, size, std::move(deps),
+                         std::move(order_after), /*snapshot_data=*/true);
+}
+
+Expected<CommandHandle> ClusterRuntime::SubmitWriteImpl(
+    BufferId id, std::uint64_t offset, const void* data, std::uint64_t size,
+    std::vector<CommandHandle> deps, std::vector<CommandHandle> order_after,
+    bool snapshot_data) {
+  BufferPtr buffer;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (disconnected_) {
+      return Status(ErrorCode::kInvalidOperation, "runtime disconnected");
+    }
+    auto it = buffers_.find(id);
+    if (it == buffers_.end()) {
+      return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+    }
+    buffer = it->second;
+    if (RangeExceeds(offset, size, buffer->size)) {
+      return Status(ErrorCode::kInvalidValue, "write beyond buffer end");
+    }
+  }
+  // Snapshot at submit (outside the lock — a multi-hundred-MB copy must
+  // not stall unrelated submits): non-blocking writers may reuse their
+  // memory immediately. The blocking WriteBuffer wrapper skips the copy —
+  // it keeps the caller's memory alive until the command completes.
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  std::shared_ptr<std::vector<std::uint8_t>> snapshot;
+  if (snapshot_data) {
+    snapshot =
+        std::make_shared<std::vector<std::uint8_t>>(src, src + size);
+    src = snapshot->data();
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<CommandId> dep_ids;
+  std::vector<CommandId> hazards;
+  CollectDepIds(deps, &dep_ids);
+  CollectDepIds(order_after, &hazards);
+  AddWriteHazardLocked(*buffer, &hazards);
+  const CommandId cmd = graph_->Submit(
+      [this, id, buffer, offset, src, size,
+       snapshot](CommandGraph::Execution&) {
+        return ExecWrite(id, buffer, offset, src, size);
+      },
+      std::move(dep_ids), "write:buf" + std::to_string(id),
+      std::move(hazards));
+  buffer->last_writer = cmd;
+  buffer->readers_since_write.clear();
+  return CommandHandle{cmd};
+}
+
+Expected<CommandHandle> ClusterRuntime::SubmitRead(
+    BufferId id, std::uint64_t offset, void* data, std::uint64_t size,
+    std::vector<CommandHandle> deps, std::vector<CommandHandle> order_after) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (disconnected_) {
+    return Status(ErrorCode::kInvalidOperation, "runtime disconnected");
+  }
   auto it = buffers_.find(id);
   if (it == buffers_.end()) {
     return Status(ErrorCode::kInvalidMemObject, "no such buffer");
   }
-  LogicalBuffer& buffer = it->second;
-  if (offset + size > buffer.size) {
-    return Status(ErrorCode::kInvalidValue, "write beyond buffer end");
+  BufferPtr buffer = it->second;
+  if (RangeExceeds(offset, size, buffer->size)) {
+    return Status(ErrorCode::kInvalidValue, "read beyond buffer end");
   }
+  std::vector<CommandId> dep_ids;
+  std::vector<CommandId> hazards;
+  CollectDepIds(deps, &dep_ids);
+  CollectDepIds(order_after, &hazards);
+  AddReadHazardLocked(*buffer, &hazards);
+  const CommandId cmd = graph_->Submit(
+      [this, id, buffer, offset, data, size](CommandGraph::Execution& e) {
+        return ExecRead(id, buffer, offset, data, size, e);
+      },
+      std::move(dep_ids), "read:buf" + std::to_string(id),
+      std::move(hazards));
+  buffer->readers_since_write.push_back(cmd);
+  return CommandHandle{cmd};
+}
+
+Expected<CommandHandle> ClusterRuntime::SubmitCopy(
+    BufferId src, std::uint64_t src_offset, BufferId dst,
+    std::uint64_t dst_offset, std::uint64_t size,
+    std::vector<CommandHandle> deps, std::vector<CommandHandle> order_after) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (disconnected_) {
+    return Status(ErrorCode::kInvalidOperation, "runtime disconnected");
+  }
+  auto src_it = buffers_.find(src);
+  auto dst_it = buffers_.find(dst);
+  if (src_it == buffers_.end() || dst_it == buffers_.end()) {
+    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+  }
+  BufferPtr src_buffer = src_it->second;
+  BufferPtr dst_buffer = dst_it->second;
+  if (RangeExceeds(src_offset, size, src_buffer->size) ||
+      RangeExceeds(dst_offset, size, dst_buffer->size)) {
+    return Status(ErrorCode::kInvalidValue, "copy beyond buffer end");
+  }
+  std::vector<CommandId> dep_ids;
+  std::vector<CommandId> hazards;
+  CollectDepIds(deps, &dep_ids);
+  CollectDepIds(order_after, &hazards);
+  AddReadHazardLocked(*src_buffer, &hazards);
+  AddWriteHazardLocked(*dst_buffer, &hazards);
+  const CommandId cmd = graph_->Submit(
+      [this, src, src_buffer, src_offset, dst, dst_buffer, dst_offset,
+       size](CommandGraph::Execution&) {
+        return ExecCopy(src, src_buffer, src_offset, dst, dst_buffer,
+                        dst_offset, size);
+      },
+      std::move(dep_ids),
+      "copy:buf" + std::to_string(src) + ">buf" + std::to_string(dst),
+      std::move(hazards));
+  src_buffer->readers_since_write.push_back(cmd);
+  dst_buffer->last_writer = cmd;
+  dst_buffer->readers_since_write.clear();
+  return CommandHandle{cmd};
+}
+
+Status ClusterRuntime::ExecWrite(BufferId id, const BufferPtr& buffer,
+                                 std::uint64_t offset,
+                                 const std::uint8_t* data,
+                                 std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(buffer->mutex);
   // Partial write to a host-stale buffer must first gather the current
   // contents, or the unwritten part of the shadow would be garbage.
-  if (!buffer.host_valid && !(offset == 0 && size == buffer.size)) {
-    HAOCL_RETURN_IF_ERROR(FetchToHost(id, buffer));
+  if (!buffer->host_valid && !(offset == 0 && size == buffer->size)) {
+    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, *buffer));
   }
-  std::memcpy(buffer.shadow.data() + offset, data, size);
-  buffer.host_valid = true;
-  std::fill(buffer.valid_on.begin(), buffer.valid_on.end(), false);
+  std::memcpy(buffer->shadow.data() + offset, data, size);
+  buffer->host_valid = true;
+  std::fill(buffer->valid_on.begin(), buffer->valid_on.end(), false);
   return Status::Ok();
 }
 
-Status ClusterRuntime::FetchToHost(BufferId id, LogicalBuffer& buffer) {
+Status ClusterRuntime::ExecRead(BufferId id, const BufferPtr& buffer,
+                                std::uint64_t offset, void* out,
+                                std::uint64_t size,
+                                CommandGraph::Execution& e) {
+  (void)e;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (!buffer->host_valid) {
+    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, *buffer));
+  }
+  std::memcpy(out, buffer->shadow.data() + offset, size);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::ExecCopy(BufferId src_id, const BufferPtr& src,
+                                std::uint64_t src_offset, BufferId dst_id,
+                                const BufferPtr& dst,
+                                std::uint64_t dst_offset,
+                                std::uint64_t size) {
+  if (src.get() == dst.get()) {
+    std::lock_guard<std::mutex> lock(src->mutex);
+    if (!src->host_valid) {
+      HAOCL_RETURN_IF_ERROR(FetchToHostLocked(src_id, *src));
+    }
+    std::memmove(src->shadow.data() + dst_offset,
+                 src->shadow.data() + src_offset, size);
+    src->host_valid = true;
+    std::fill(src->valid_on.begin(), src->valid_on.end(), false);
+    return Status::Ok();
+  }
+  // Host-mediated copy: stage src, overlay dst (coherence keeps this
+  // correct wherever the replicas live). One buffer lock at a time.
+  std::vector<std::uint8_t> staging(size);
+  {
+    std::lock_guard<std::mutex> lock(src->mutex);
+    if (!src->host_valid) {
+      HAOCL_RETURN_IF_ERROR(FetchToHostLocked(src_id, *src));
+    }
+    std::memcpy(staging.data(), src->shadow.data() + src_offset, size);
+  }
+  std::lock_guard<std::mutex> lock(dst->mutex);
+  if (!dst->host_valid && !(dst_offset == 0 && size == dst->size)) {
+    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(dst_id, *dst));
+  }
+  std::memcpy(dst->shadow.data() + dst_offset, staging.data(), size);
+  dst->host_valid = true;
+  std::fill(dst->valid_on.begin(), dst->valid_on.end(), false);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::FetchToHostLocked(BufferId id, LogicalBuffer& buffer) {
   // Find any node holding a valid replica.
   std::size_t owner = nodes_.size();
   for (std::size_t i = 0; i < buffer.valid_on.size(); ++i) {
@@ -160,7 +412,7 @@ Status ClusterRuntime::FetchToHost(BufferId id, LogicalBuffer& buffer) {
   request.buffer_id = id;
   request.offset = 0;
   request.size = buffer.size;
-  auto reply = nodes_[owner]->Call(MsgType::kReadBuffer, options_.session_id,                                   request.Encode(), options_.rpc_timeout);
+  auto reply = CallNode(owner, MsgType::kReadBuffer, request.Encode());
   HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
   if (reply->payload.size() != buffer.size) {
     return Status(ErrorCode::kProtocolError, "short buffer read");
@@ -171,69 +423,69 @@ Status ClusterRuntime::FetchToHost(BufferId id, LogicalBuffer& buffer) {
   return Status::Ok();
 }
 
-Status ClusterRuntime::ReadBuffer(BufferId id, std::uint64_t offset,
-                                  void* data, std::uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = buffers_.find(id);
-  if (it == buffers_.end()) {
-    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
-  }
-  LogicalBuffer& buffer = it->second;
-  if (offset + size > buffer.size) {
-    return Status(ErrorCode::kInvalidValue, "read beyond buffer end");
-  }
-  if (!buffer.host_valid) {
-    HAOCL_RETURN_IF_ERROR(FetchToHost(id, buffer));
-  }
-  std::memcpy(data, buffer.shadow.data() + offset, size);
-  return Status::Ok();
-}
-
 Status ClusterRuntime::ReleaseBuffer(BufferId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Never blocks: the handle disappears from the table immediately, and
+  // remote teardown runs as a graph command ordered (weakly) after the
+  // buffer's in-flight users — safe to call while commands are gated on
+  // an unresolved marker.
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) {
     return Status(ErrorCode::kInvalidMemObject, "no such buffer");
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!it->second.allocated_on[i]) continue;
-    net::ReleaseBufferRequest request;
-    request.buffer_id = id;
-    auto reply = nodes_[i]->Call(MsgType::kReleaseBuffer, options_.session_id,                                 request.Encode(), options_.rpc_timeout);
-    Status status = CheckReply(reply, MsgType::kStatusReply);
-    if (!status.ok()) {
-      HAOCL_WARN << "release of buffer " << id << " on node " << i
-                 << " failed: " << status.ToString();
-    }
+  BufferPtr buffer = it->second;
+  std::vector<CommandId> pending;
+  if (buffer->last_writer != kNullCommand) {
+    pending.push_back(buffer->last_writer);
   }
+  pending.insert(pending.end(), buffer->readers_since_write.begin(),
+                 buffer->readers_since_write.end());
   buffers_.erase(it);
+  if (disconnected_) return Status::Ok();  // Nodes are shutting down.
+  graph_->Submit(
+      [this, id, buffer](CommandGraph::Execution&) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (!buffer->allocated_on[i]) continue;
+          net::ReleaseBufferRequest request;
+          request.buffer_id = id;
+          auto reply = CallNode(i, MsgType::kReleaseBuffer, request.Encode());
+          Status status = CheckReply(reply, MsgType::kStatusReply);
+          if (!status.ok()) {
+            HAOCL_WARN << "release of buffer " << id << " on node " << i
+                       << " failed: " << status.ToString();
+          }
+        }
+        return Status::Ok();
+      },
+      {}, "release:buf" + std::to_string(id), std::move(pending));
   return Status::Ok();
 }
 
 Expected<std::uint64_t> ClusterRuntime::BufferSize(BufferId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) {
     return Status(ErrorCode::kInvalidMemObject, "no such buffer");
   }
-  return it->second.size;
+  return it->second->size;
 }
 
-Status ClusterRuntime::EnsureBufferOnNode(BufferId id, LogicalBuffer& buffer,
-                                          std::size_t node,
-                                          std::uint64_t* bytes_shipped) {
+Status ClusterRuntime::EnsureBufferOnNodeLocked(BufferId id,
+                                                LogicalBuffer& buffer,
+                                                std::size_t node,
+                                                std::uint64_t* bytes_shipped) {
   if (!buffer.allocated_on[node]) {
     net::CreateBufferRequest request;
     request.buffer_id = id;
     request.size = buffer.size;
-    auto reply = nodes_[node]->Call(MsgType::kCreateBuffer,
-                                    options_.session_id, request.Encode(), options_.rpc_timeout);
+    auto reply = CallNode(node, MsgType::kCreateBuffer, request.Encode());
     HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
     buffer.allocated_on[node] = true;
   }
   if (buffer.valid_on[node]) return Status::Ok();
   if (!buffer.host_valid) {
-    HAOCL_RETURN_IF_ERROR(FetchToHost(id, buffer));
+    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, buffer));
   }
   // Nodes already holding the replica can relay it peer-to-peer (modeled
   // in the timeline); the functional bytes still flow through this star
@@ -246,7 +498,7 @@ Status ClusterRuntime::EnsureBufferOnNode(BufferId id, LogicalBuffer& buffer,
   request.buffer_id = id;
   request.offset = 0;
   request.data = buffer.shadow;
-  auto reply = nodes_[node]->Call(MsgType::kWriteBuffer, options_.session_id,                                  request.Encode(), options_.rpc_timeout);
+  auto reply = CallNode(node, MsgType::kWriteBuffer, request.Encode());
   HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
   buffer.valid_on[node] = true;
   if (bytes_shipped != nullptr) *bytes_shipped += buffer.size;
@@ -264,13 +516,14 @@ Expected<ProgramId> ClusterRuntime::BuildProgram(const std::string& source) {
   // Host-side compile: immediate diagnostics + kernel signatures for
   // clSetKernelArg validation and the coherence protocol's constness.
   oclc::CompileResult compiled = oclc::CompileWithLog(source);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const ProgramId id = next_program_id_++;
-  ProgramState& program = programs_[id];
-  program.source = source;
-  program.module = compiled.module;
-  program.build_log = compiled.build_log;
-  program.built_on.assign(nodes_.size(), false);
+  auto program = std::make_shared<ProgramState>();
+  program->source = source;
+  program->module = compiled.module;
+  program->build_log = compiled.build_log;
+  program->built_on.assign(nodes_.size(), false);
+  programs_.emplace(id, std::move(program));
   if (compiled.module == nullptr) {
     return Status(ErrorCode::kBuildProgramFailure, compiled.build_log);
   }
@@ -278,20 +531,20 @@ Expected<ProgramId> ClusterRuntime::BuildProgram(const std::string& source) {
 }
 
 std::string ClusterRuntime::BuildLog(ProgramId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto it = programs_.find(id);
-  return it == programs_.end() ? "" : it->second.build_log;
+  return it == programs_.end() ? "" : it->second->build_log;
 }
 
 Expected<const oclc::CompiledFunction*> ClusterRuntime::FindKernel(
     ProgramId id, const std::string& kernel_name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto it = programs_.find(id);
-  if (it == programs_.end() || it->second.module == nullptr) {
+  if (it == programs_.end() || it->second->module == nullptr) {
     return Status(ErrorCode::kInvalidProgram, "no such program");
   }
   const oclc::CompiledFunction* kernel =
-      it->second.module->FindKernel(kernel_name);
+      it->second->module->FindKernel(kernel_name);
   if (kernel == nullptr) {
     return Status(ErrorCode::kInvalidKernelName,
                   "no kernel '" + kernel_name + "'");
@@ -300,35 +553,49 @@ Expected<const oclc::CompiledFunction*> ClusterRuntime::FindKernel(
 }
 
 Status ClusterRuntime::ReleaseProgram(ProgramId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Like ReleaseBuffer: non-blocking, remote teardown ordered after EVERY
+  // in-flight launch of this program (independent launches are unordered
+  // among themselves, so the latest alone would not be enough).
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto it = programs_.find(id);
   if (it == programs_.end()) {
     return Status(ErrorCode::kInvalidProgram, "no such program");
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!it->second.built_on[i]) continue;
-    net::ReleaseProgramRequest request;
-    request.program_id = id;
-    auto reply = nodes_[i]->Call(MsgType::kReleaseProgram,
-                                 options_.session_id, request.Encode(), options_.rpc_timeout);
-    Status status = CheckReply(reply, MsgType::kStatusReply);
-    if (!status.ok()) {
-      HAOCL_WARN << "release of program " << id << " on node " << i
-                 << " failed: " << status.ToString();
-    }
-  }
+  ProgramPtr program = it->second;
+  std::vector<CommandId> pending = std::move(program->uses);
+  program->uses.clear();
   programs_.erase(it);
+  if (disconnected_) return Status::Ok();
+  graph_->Submit(
+      [this, id, program](CommandGraph::Execution&) {
+        std::lock_guard<std::mutex> program_lock(program->mutex);
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (!program->built_on[i]) continue;
+          net::ReleaseProgramRequest request;
+          request.program_id = id;
+          auto reply = CallNode(i, MsgType::kReleaseProgram,
+                                request.Encode());
+          Status status = CheckReply(reply, MsgType::kStatusReply);
+          if (!status.ok()) {
+            HAOCL_WARN << "release of program " << id << " on node " << i
+                       << " failed: " << status.ToString();
+          }
+        }
+        return Status::Ok();
+      },
+      {}, "release:prog" + std::to_string(id), std::move(pending));
   return Status::Ok();
 }
 
 Status ClusterRuntime::EnsureProgramOnNode(ProgramId id,
                                            ProgramState& program,
                                            std::size_t node) {
+  std::lock_guard<std::mutex> lock(program.mutex);
   if (program.built_on[node]) return Status::Ok();
   net::BuildProgramRequest request;
   request.program_id = id;
   request.source = program.source;
-  auto reply = nodes_[node]->Call(MsgType::kBuildProgram, options_.session_id,                                  request.Encode(), options_.rpc_timeout);
+  auto reply = CallNode(node, MsgType::kBuildProgram, request.Encode());
   HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kBuildReply));
   auto decoded = net::BuildProgramReply::Decode(reply->payload);
   if (!decoded.ok()) return decoded.status();
@@ -344,28 +611,67 @@ Status ClusterRuntime::EnsureProgramOnNode(ProgramId id,
 
 // --------------------------------------------------------------- Launch
 
-Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+// The queryable residue of a launch command. Everything heavy (buffer
+// pins, program module, arg payloads) lives in LaunchWork, which only the
+// command body owns — so it is freed when the command retires through ANY
+// path, including dependency failure where the body never runs.
+struct ClusterRuntime::LaunchPlan {
+  // Written by the command body before retirement; readable once the
+  // command is terminal (the graph's retirement is the synchronization).
+  LaunchResult result;
+  bool has_result = false;
+};
+
+// Everything a launch needs, resolved and validated at submit time so the
+// graph worker never touches the object tables for lookups. Owned solely
+// by the command body's closure.
+struct ClusterRuntime::LaunchWork {
+  LaunchSpec spec;
+  ProgramId program_id = 0;
+  ProgramPtr program;
+  const oclc::CompiledFunction* kernel = nullptr;
+  struct BufferArg {
+    std::size_t arg_index = 0;
+    BufferId id = 0;
+    BufferPtr buffer;
+    bool written = false;  // Bound to a non-const pointer parameter.
+  };
+  std::vector<BufferArg> buffers;
+  sched::TaskInfo task;
+  std::shared_ptr<LaunchPlan> plan;
+};
+
+Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
+    const LaunchSpec& spec, std::vector<CommandHandle> deps,
+    std::vector<CommandHandle> order_after) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (disconnected_) {
+    return Status(ErrorCode::kInvalidOperation, "runtime disconnected");
+  }
   auto program_it = programs_.find(spec.program);
-  if (program_it == programs_.end() || program_it->second.module == nullptr) {
+  if (program_it == programs_.end() ||
+      program_it->second->module == nullptr) {
     return Status(ErrorCode::kInvalidProgram, "no such program");
   }
-  ProgramState& program = program_it->second;
-  const oclc::CompiledFunction* kernel =
-      program.module->FindKernel(spec.kernel_name);
-  if (kernel == nullptr) {
+  auto work = std::make_shared<LaunchWork>();
+  work->plan = std::make_shared<LaunchPlan>();
+  work->spec = spec;
+  work->program_id = spec.program;
+  work->program = program_it->second;
+  work->kernel = work->program->module->FindKernel(spec.kernel_name);
+  if (work->kernel == nullptr) {
     return Status(ErrorCode::kInvalidKernelName,
                   "no kernel '" + spec.kernel_name + "' in program");
   }
-  if (kernel->params.size() != spec.args.size()) {
+  if (work->kernel->params.size() != spec.args.size()) {
     return Status(ErrorCode::kInvalidKernelArgs,
                   "kernel '" + spec.kernel_name + "' takes " +
-                      std::to_string(kernel->params.size()) + " args, got " +
-                      std::to_string(spec.args.size()));
+                      std::to_string(work->kernel->params.size()) +
+                      " args, got " + std::to_string(spec.args.size()));
   }
 
-  // ---- Schedule ----------------------------------------------------------
-  sched::TaskInfo task;
+  // Task profile for the scheduling policy (the NMP refines it later).
+  sched::TaskInfo& task = work->task;
   task.kernel_name = spec.kernel_name;
   task.user_id = options_.session_id;
   task.preferred_node = spec.preferred_node;
@@ -379,54 +685,137 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
     range.local[d] = spec.local[d];
   }
   range.local_specified = spec.local_specified;
-  {
-    // Cost estimate for the policy's model (the NMP refines it later).
-    std::vector<oclc::ArgBinding> fake_bindings;
-    for (std::size_t i = 0; i < spec.args.size(); ++i) {
-      const KernelArgValue& arg = spec.args[i];
-      if (arg.kind == KernelArgValue::Kind::kBuffer) {
-        auto it = buffers_.find(arg.buffer);
-        if (it == buffers_.end()) {
-          return Status(ErrorCode::kInvalidMemObject,
-                        "arg " + std::to_string(i) + ": no such buffer");
-        }
-        task.input_bytes += it->second.size;
-        oclc::ArgBinding binding;
-        binding.kind = oclc::ArgBinding::Kind::kBuffer;
-        binding.size = it->second.size;
-        fake_bindings.push_back(binding);
-      } else {
-        fake_bindings.push_back(oclc::ArgBinding{});
+  std::vector<oclc::ArgBinding> fake_bindings;
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    const KernelArgValue& arg = spec.args[i];
+    if (arg.kind == KernelArgValue::Kind::kBuffer) {
+      auto it = buffers_.find(arg.buffer);
+      if (it == buffers_.end()) {
+        return Status(ErrorCode::kInvalidMemObject,
+                      "arg " + std::to_string(i) + ": no such buffer");
       }
+      LaunchWork::BufferArg buffer_arg;
+      buffer_arg.arg_index = i;
+      buffer_arg.id = arg.buffer;
+      buffer_arg.buffer = it->second;
+      buffer_arg.written = !work->kernel->params[i].pointee_const;
+      work->buffers.push_back(std::move(buffer_arg));
+      task.input_bytes += it->second->size;
+      oclc::ArgBinding binding;
+      binding.kind = oclc::ArgBinding::Kind::kBuffer;
+      binding.size = it->second->size;
+      fake_bindings.push_back(binding);
+    } else {
+      fake_bindings.push_back(oclc::ArgBinding{});
     }
-    if (!spec.cost_hint.has_value()) {
-      task.cost = driver::EstimateKernelCost(*program.module, *kernel,
-                                             fake_bindings, range);
-    }
+  }
+  if (!spec.cost_hint.has_value()) {
+    task.cost = driver::EstimateKernelCost(*work->program->module,
+                                           *work->kernel, fake_bindings,
+                                           range);
   }
 
-  sched::ClusterView view;
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    sched::NodeView node;
-    node.name = devices_[i].name;
-    node.type = devices_[i].type;
-    node.spec = sim::SpecForType(devices_[i].type);
-    node.link = options_.link;
-    node.busy_seconds_ahead = node_busy_ahead_[i];
-    node.observed_seconds_per_flop = observed_sec_per_flop_[i];
-    view.nodes.push_back(std::move(node));
+  // Implicit hazards: order after everything that conflicts on the bound
+  // buffers, then register this launch as their next reader/writer.
+  std::vector<CommandId> dep_ids;
+  std::vector<CommandId> hazards;
+  CollectDepIds(deps, &dep_ids);
+  CollectDepIds(order_after, &hazards);
+  // Local copies for post-Submit hazard registration: the body may start
+  // (and drop the plan's pins) the moment Submit returns.
+  struct HazardTarget {
+    BufferPtr buffer;
+    bool written;
+  };
+  std::vector<HazardTarget> targets;
+  targets.reserve(work->buffers.size());
+  for (const auto& buffer_arg : work->buffers) {
+    targets.push_back({buffer_arg.buffer, buffer_arg.written});
+    if (buffer_arg.written) {
+      AddWriteHazardLocked(*buffer_arg.buffer, &hazards);
+    } else {
+      AddReadHazardLocked(*buffer_arg.buffer, &hazards);
+    }
   }
-  auto selected = policy_->SelectNode(task, view);
+  ProgramPtr program = work->program;
+  std::shared_ptr<LaunchPlan> plan = work->plan;
+  // The body's closure is the sole owner of `work` (and thus of every
+  // buffer/program pin); the graph drops the body on ANY retirement path
+  // — completion, failure, dependency failure, shutdown — so pins never
+  // outlive the command.
+  const CommandId cmd = graph_->Submit(
+      [this, work = std::move(work)](CommandGraph::Execution& e) {
+        return ExecLaunch(work, e);
+      },
+      std::move(dep_ids), "launch:" + spec.kernel_name, std::move(hazards));
+  // The async shim never queries LaunchResultOf, so bound the result map:
+  // once it grows past the window, drop retired entries. Callers who want
+  // a launch's result query it promptly after Wait (documented).
+  if (launch_plans_.size() >= kLaunchResultWindow) {
+    for (auto it = launch_plans_.begin(); it != launch_plans_.end();) {
+      auto state = graph_->QueryState(it->first);
+      if (state.ok() && IsTerminal(*state)) {
+        it = launch_plans_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  launch_plans_.emplace(cmd, std::move(plan));
+  for (const auto& target : targets) {
+    if (target.written) {
+      target.buffer->last_writer = cmd;
+      target.buffer->readers_since_write.clear();
+    } else {
+      target.buffer->readers_since_write.push_back(cmd);
+    }
+  }
+  // Prune retired launches so long-lived programs do not accumulate one
+  // id per launch forever (mirrors PruneRetiredReadersLocked).
+  auto& uses = program->uses;
+  uses.erase(std::remove_if(uses.begin(), uses.end(),
+                            [this](CommandId id) {
+                              auto state = graph_->QueryState(id);
+                              return state.ok() && IsTerminal(*state);
+                            }),
+             uses.end());
+  uses.push_back(cmd);
+  return CommandHandle{cmd};
+}
+
+Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
+                                  CommandGraph::Execution& e) {
+  const LaunchSpec& spec = work->spec;
+
+  // ---- Schedule (sees the live in-flight depth per node) -----------------
+  Expected<std::size_t> selected(ErrorCode::kSchedulerError, "unset");
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    sched::ClusterView view;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      sched::NodeView node;
+      node.name = devices_[i].name;
+      node.type = devices_[i].type;
+      node.spec = sim::SpecForType(devices_[i].type);
+      node.link = options_.link;
+      node.queue_depth = in_flight_[i];
+      node.busy_seconds_ahead = node_busy_ahead_[i];
+      node.observed_seconds_per_flop = observed_sec_per_flop_[i];
+      view.nodes.push_back(std::move(node));
+    }
+    selected = policy_->SelectNode(work->task, view);
+  }
   if (!selected.ok()) return selected.status();
   const std::size_t node = *selected;
 
-  // ---- Stage program + data ----------------------------------------------
-  HAOCL_RETURN_IF_ERROR(EnsureProgramOnNode(spec.program, program, node));
+  // ---- Stage program + data (per-command prologue, per-object locks) -----
+  HAOCL_RETURN_IF_ERROR(
+      EnsureProgramOnNode(work->program_id, *work->program, node));
 
   LaunchResult result;
   result.node = node;
   net::LaunchKernelRequest request;
-  request.program_id = spec.program;
+  request.program_id = work->program_id;
   request.kernel_name = spec.kernel_name;
   request.work_dim = spec.work_dim;
   for (int d = 0; d < 3; ++d) {
@@ -435,20 +824,19 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
   }
   request.local_specified = spec.local_specified;
 
+  auto buffer_arg_it = work->buffers.begin();
   for (std::size_t i = 0; i < spec.args.size(); ++i) {
     const KernelArgValue& arg = spec.args[i];
     net::WireKernelArg wire;
     switch (arg.kind) {
       case KernelArgValue::Kind::kBuffer: {
-        auto it = buffers_.find(arg.buffer);
-        if (it == buffers_.end()) {
-          return Status(ErrorCode::kInvalidMemObject,
-                        "arg " + std::to_string(i) + ": no such buffer");
-        }
-        HAOCL_RETURN_IF_ERROR(EnsureBufferOnNode(arg.buffer, it->second, node,
-                                                 &result.bytes_shipped));
+        LaunchWork::BufferArg& buffer_arg = *buffer_arg_it++;
+        std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
+        HAOCL_RETURN_IF_ERROR(
+            EnsureBufferOnNodeLocked(buffer_arg.id, *buffer_arg.buffer, node,
+                                     &result.bytes_shipped));
         wire.kind = net::WireKernelArg::Kind::kBuffer;
-        wire.buffer_id = arg.buffer;
+        wire.buffer_id = buffer_arg.id;
         break;
       }
       case KernelArgValue::Kind::kScalar:
@@ -463,8 +851,8 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
     request.args.push_back(std::move(wire));
   }
 
-  // ---- Execute ------------------------------------------------------------
-  auto reply = nodes_[node]->Call(MsgType::kLaunchKernel, options_.session_id,                                  request.Encode(), options_.rpc_timeout);
+  // ---- Execute (overlapped RPC: only this command's worker blocks) -------
+  auto reply = CallNode(node, MsgType::kLaunchKernel, request.Encode());
   HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kLaunchReply));
   auto decoded = net::LaunchKernelReply::Decode(reply->payload);
   if (!decoded.ok()) return decoded.status();
@@ -473,17 +861,15 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
                   decoded->error_message);
   }
 
-  // ---- Post-launch bookkeeping --------------------------------------------
+  // ---- Post-launch bookkeeping -------------------------------------------
   // Buffers bound to non-const pointer params are now owned by `node`.
-  for (std::size_t i = 0; i < spec.args.size(); ++i) {
-    if (spec.args[i].kind != KernelArgValue::Kind::kBuffer) continue;
-    if (kernel->params[i].pointee_const) continue;
-    auto it = buffers_.find(spec.args[i].buffer);
-    if (it == buffers_.end()) continue;
-    LogicalBuffer& buffer = it->second;
-    std::fill(buffer.valid_on.begin(), buffer.valid_on.end(), false);
-    buffer.valid_on[node] = true;
-    buffer.host_valid = false;
+  for (const auto& buffer_arg : work->buffers) {
+    if (!buffer_arg.written) continue;
+    std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
+    std::fill(buffer_arg.buffer->valid_on.begin(),
+              buffer_arg.buffer->valid_on.end(), false);
+    buffer_arg.buffer->valid_on[node] = true;
+    buffer_arg.buffer->host_valid = false;
   }
 
   result.modeled_seconds = decoded->modeled_seconds;
@@ -507,14 +893,127 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
   }
   result.virtual_completion =
       timeline_->RecordKernel(node, result.modeled_seconds);
-  node_busy_ahead_[node] += result.modeled_seconds;
-  if (decoded->flops > 0) {
-    // Exponential moving average of the runtime profile.
-    const double sample =
-        decoded->modeled_seconds / static_cast<double>(decoded->flops);
-    double& avg = observed_sec_per_flop_[node];
-    avg = avg == 0.0 ? sample : 0.7 * avg + 0.3 * sample;
+  e.SetSpan(result.virtual_completion - result.modeled_seconds,
+            result.virtual_completion);
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    node_busy_ahead_[node] += result.modeled_seconds;
+    if (decoded->flops > 0) {
+      // Exponential moving average of the runtime profile.
+      const double sample =
+          decoded->modeled_seconds / static_cast<double>(decoded->flops);
+      double& avg = observed_sec_per_flop_[node];
+      avg = avg == 0.0 ? sample : 0.7 * avg + 0.3 * sample;
+    }
   }
+  work->plan->result = result;
+  work->plan->has_result = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------- Waits and queries
+
+Status ClusterRuntime::Wait(CommandHandle handle) {
+  if (!handle.valid()) {
+    return Status(ErrorCode::kInvalidValue, "null command handle");
+  }
+  return graph_->Wait(handle.id);
+}
+
+Status ClusterRuntime::Finish() { return graph_->WaitAll(); }
+
+Expected<CommandState> ClusterRuntime::CommandStateOf(
+    CommandHandle handle) const {
+  if (!handle.valid()) {
+    return Status(ErrorCode::kInvalidValue, "null command handle");
+  }
+  return graph_->QueryState(handle.id);
+}
+
+Expected<CommandProfile> ClusterRuntime::CommandProfileOf(
+    CommandHandle handle) const {
+  if (!handle.valid()) {
+    return Status(ErrorCode::kInvalidValue, "null command handle");
+  }
+  return graph_->QueryProfile(handle.id);
+}
+
+Expected<LaunchResult> ClusterRuntime::LaunchResultOf(
+    CommandHandle handle) const {
+  std::shared_ptr<LaunchPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = launch_plans_.find(handle.id);
+    if (it == launch_plans_.end()) {
+      return Status(ErrorCode::kInvalidValue,
+                    "command " + std::to_string(handle.id) +
+                        " is not a launch");
+    }
+    plan = it->second;
+  }
+  auto state = graph_->QueryState(handle.id);  // Synchronizes with retire.
+  if (!state.ok()) return state.status();
+  if (*state != CommandState::kComplete || !plan->has_result) {
+    return Status(ErrorCode::kInvalidOperation,
+                  "launch " + std::to_string(handle.id) +
+                      " has not completed");
+  }
+  return plan->result;
+}
+
+std::uint32_t ClusterRuntime::InFlightOn(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  return node < in_flight_.size() ? in_flight_[node] : 0;
+}
+
+Expected<CommandHandle> ClusterRuntime::SubmitMarker(
+    std::vector<CommandHandle> deps) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (disconnected_) {
+    return Status(ErrorCode::kInvalidOperation, "runtime disconnected");
+  }
+  std::vector<CommandId> dep_ids;
+  CollectDepIds(deps, &dep_ids);
+  return CommandHandle{graph_->SubmitManual(std::move(dep_ids))};
+}
+
+Status ClusterRuntime::CompleteMarker(CommandHandle handle, Status status) {
+  if (!handle.valid()) {
+    return Status(ErrorCode::kInvalidValue, "null command handle");
+  }
+  return graph_->Complete(handle.id, std::move(status));
+}
+
+// ------------------------------------------- Blocking convenience wrappers
+
+Status ClusterRuntime::WriteBuffer(BufferId id, std::uint64_t offset,
+                                   const void* data, std::uint64_t size) {
+  // Blocking: the caller's memory outlives the command, so skip the
+  // submit-time snapshot and write straight from it.
+  auto handle = SubmitWriteImpl(id, offset, data, size, {}, {},
+                                /*snapshot_data=*/false);
+  if (!handle.ok()) return handle.status();
+  return Wait(*handle);
+}
+
+Status ClusterRuntime::ReadBuffer(BufferId id, std::uint64_t offset,
+                                  void* data, std::uint64_t size) {
+  auto handle = SubmitRead(id, offset, data, size);
+  if (!handle.ok()) return handle.status();
+  return Wait(*handle);
+}
+
+Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
+  auto handle = SubmitLaunch(spec);
+  if (!handle.ok()) return handle.status();
+  const Status wait_status = Wait(*handle);
+  Expected<LaunchResult> result =
+      wait_status.ok() ? LaunchResultOf(*handle)
+                       : Expected<LaunchResult>(wait_status);
+  // Synchronous callers consume the result here; drop the bookkeeping
+  // (success or failure) so tight launch loops don't accumulate records.
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  launch_plans_.erase(handle->id);
   return result;
 }
 
@@ -523,27 +1022,38 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
 Status ClusterRuntime::SetScheduler(const std::string& policy_name) {
   auto policy = sched::MakePolicyByName(policy_name);
   if (!policy.ok()) return policy.status();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(sched_mutex_);
   policy_ = *std::move(policy);
   scheduler_name_ = policy_name;
   return Status::Ok();
 }
 
 Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
+  // Poll all nodes in parallel (overlapped RPC), then merge with the
+  // host-side scheduler accounting.
+  std::vector<net::RpcClient::ReplyFuture> futures;
+  futures.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    futures.push_back(nodes_[i]->CallAsync(MsgType::kQueryLoad,
+                                           options_.session_id, {}));
+  }
   sched::ClusterView view;
-  std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     sched::NodeView node;
     node.name = devices_[i].name;
     node.type = devices_[i].type;
     node.spec = sim::SpecForType(devices_[i].type);
     node.link = options_.link;
-    auto reply = nodes_[i]->Call(MsgType::kQueryLoad, options_.session_id, {}, options_.rpc_timeout);
-    Status status = CheckReply(reply, MsgType::kLoadReply);
+    const auto* reply = futures[i]->WaitFor(options_.rpc_timeout);
+    Status status =
+        reply == nullptr
+            ? Status(ErrorCode::kNetworkError, "load query timeout")
+            : CheckReply(*reply, MsgType::kLoadReply);
     if (status.ok()) {
-      auto load = net::LoadReply::Decode(reply->payload);
+      auto load = net::LoadReply::Decode((*reply)->payload);
       if (load.ok()) {
-        node.queue_depth = load->queue_depth;
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        node.queue_depth = load->queue_depth + in_flight_[i];
         node.busy_seconds_ahead = node_busy_ahead_[i];
         node.kernels_executed = load->kernels_executed;
       }
@@ -562,9 +1072,13 @@ std::uint64_t ClusterRuntime::TotalBytesSent() const {
 }
 
 void ClusterRuntime::Disconnect() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (disconnected_) return;
-  disconnected_ = true;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (disconnected_) return;
+    disconnected_ = true;
+  }
+  // Drain or fail every in-flight command before the wires go away.
+  if (graph_ != nullptr) graph_->Shutdown();
   for (auto& node : nodes_) {
     (void)node->Notify(MsgType::kShutdown, options_.session_id, {});
     node->Close();

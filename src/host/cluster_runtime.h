@@ -6,6 +6,15 @@
 // kernel dispatch through the pluggable scheduler. The OpenCL Wrapper Lib
 // (src/api) is a thin C shim over this class.
 //
+// Dispatch model: every operation is a command in an asynchronous command
+// graph (host/command_graph.h). The Submit* surface returns CommandHandle
+// futures with explicit dependency lists; the runtime adds the implicit
+// read-after-write / write-after-read hazards per buffer, so independent
+// commands run concurrently — node RPCs go through RpcClient::CallAsync
+// and transfers/kernels targeting distinct nodes are in flight
+// simultaneously. The classic blocking calls (WriteBuffer, ReadBuffer,
+// LaunchKernel) are submit-then-wait wrappers over the same graph.
+//
 // Buffer coherence: a logical buffer has a host shadow plus per-node
 // replicas. Writes from the application land in the shadow and invalidate
 // replicas. A launch sends stale inputs to the target node just-in-time
@@ -13,6 +22,8 @@
 // been called in this API and sends it to the specified compute node",
 // paper §III-B). After a launch, buffers bound to non-const pointer
 // parameters are owned by the executing node; reads gather them back.
+// The bookkeeping lives in per-command prologues under per-buffer locks,
+// ordered by the graph — not under a runtime-wide lock.
 #pragma once
 
 #include <chrono>
@@ -26,6 +37,7 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "host/command_graph.h"
 #include "host/virtual_timeline.h"
 #include "net/protocol.h"
 #include "net/rpc.h"
@@ -92,6 +104,14 @@ struct RuntimeOptions {
   std::string host_name = "haocl-host";
   // Per-RPC deadline; a silent node turns into kNodeUnreachable.
   std::chrono::milliseconds rpc_timeout{30000};
+  // Command-graph worker pool size; 0 picks max(4, nodes + 2).
+  std::size_t dispatch_workers = 0;
+};
+
+// Future onto a command in the runtime's graph. Plain value; copy freely.
+struct CommandHandle {
+  CommandId id = kNullCommand;
+  [[nodiscard]] bool valid() const { return id != kNullCommand; }
 };
 
 class ClusterRuntime {
@@ -115,10 +135,9 @@ class ClusterRuntime {
 
   // ---- Buffers -----------------------------------------------------------
   Expected<BufferId> CreateBuffer(std::uint64_t size);
-  Status WriteBuffer(BufferId id, std::uint64_t offset, const void* data,
-                     std::uint64_t size);
-  Status ReadBuffer(BufferId id, std::uint64_t offset, void* data,
-                    std::uint64_t size);
+  // Returns immediately; remote teardown runs as a graph command ordered
+  // after the buffer's in-flight users (never blocks the caller, so a
+  // release while commands are gated on an unresolved marker is safe).
   Status ReleaseBuffer(BufferId id);
   [[nodiscard]] Expected<std::uint64_t> BufferSize(BufferId id) const;
 
@@ -129,7 +148,7 @@ class ClusterRuntime {
   [[nodiscard]] std::string BuildLog(ProgramId id) const;
   [[nodiscard]] Expected<const oclc::CompiledFunction*> FindKernel(
       ProgramId id, const std::string& kernel_name) const;
-  Status ReleaseProgram(ProgramId id);
+  Status ReleaseProgram(ProgramId id);  // Deferred past in-flight launches.
 
   // ---- Kernel dispatch ---------------------------------------------------
   struct LaunchSpec {
@@ -148,6 +167,59 @@ class ClusterRuntime {
     // use the hint instead of the static estimate.
     std::optional<sim::KernelCost> cost_hint;
   };
+
+  // ---- Asynchronous command-graph dispatch -------------------------------
+  // Each Submit* validates its operands, enqueues a graph command ordered
+  // after `deps` plus the implicit per-buffer hazards, and returns without
+  // touching the network. Wait()/Finish() block on completion; failures
+  // (including failed dependencies) surface as the command's status.
+  // `deps` are strong (a failed predecessor fails this command);
+  // `order_after` only sequences (a failed predecessor merely unblocks) —
+  // the shim's in-order queue chaining uses the latter.
+  //
+  // SubmitWrite snapshots `data` at submit time, so the caller's memory may
+  // be reused immediately. SubmitRead scribbles into `data` when the
+  // command *executes*; the pointer must stay valid until it completes.
+  Expected<CommandHandle> SubmitWrite(BufferId id, std::uint64_t offset,
+                                      const void* data, std::uint64_t size,
+                                      std::vector<CommandHandle> deps = {},
+                                      std::vector<CommandHandle> order_after = {});
+  Expected<CommandHandle> SubmitRead(BufferId id, std::uint64_t offset,
+                                     void* data, std::uint64_t size,
+                                     std::vector<CommandHandle> deps = {},
+                                     std::vector<CommandHandle> order_after = {});
+  Expected<CommandHandle> SubmitCopy(BufferId src, std::uint64_t src_offset,
+                                     BufferId dst, std::uint64_t dst_offset,
+                                     std::uint64_t size,
+                                     std::vector<CommandHandle> deps = {},
+                                     std::vector<CommandHandle> order_after = {});
+  Expected<CommandHandle> SubmitLaunch(const LaunchSpec& spec,
+                                       std::vector<CommandHandle> deps = {},
+                                       std::vector<CommandHandle> order_after = {});
+  // Marker (user event / barrier): completes only via CompleteMarker.
+  Expected<CommandHandle> SubmitMarker(std::vector<CommandHandle> deps = {});
+  Status CompleteMarker(CommandHandle handle, Status status = Status::Ok());
+
+  Status Wait(CommandHandle handle);
+  Status Finish();  // Drains every submitted command (markers included).
+  [[nodiscard]] Expected<CommandState> CommandStateOf(
+      CommandHandle handle) const;
+  [[nodiscard]] Expected<CommandProfile> CommandProfileOf(
+      CommandHandle handle) const;
+  // LaunchResult of a completed SubmitLaunch command. Query promptly
+  // after Wait: results of retired launches are reclaimed lazily once
+  // more than ~1k launches have been submitted since.
+  [[nodiscard]] Expected<LaunchResult> LaunchResultOf(
+      CommandHandle handle) const;
+  // Commands dispatched to `node` whose RPCs have not completed yet.
+  [[nodiscard]] std::uint32_t InFlightOn(std::size_t node) const;
+  [[nodiscard]] CommandGraph& graph() { return *graph_; }
+
+  // ---- Blocking convenience wrappers (submit + wait) ---------------------
+  Status WriteBuffer(BufferId id, std::uint64_t offset, const void* data,
+                     std::uint64_t size);
+  Status ReadBuffer(BufferId id, std::uint64_t offset, void* data,
+                    std::uint64_t size);
   Expected<LaunchResult> LaunchKernel(const LaunchSpec& spec);
 
   // ---- Scheduling / monitoring -------------------------------------------
@@ -155,7 +227,8 @@ class ClusterRuntime {
   [[nodiscard]] const std::string& scheduler_name() const {
     return scheduler_name_;
   }
-  // Polls every node's load counters (the runtime resource monitor).
+  // Polls every node's load counters (the runtime resource monitor) and
+  // merges the host-side in-flight depth per node.
   Expected<sched::ClusterView> QueryClusterView();
 
   // ---- Virtual time ------------------------------------------------------
@@ -170,27 +243,79 @@ class ClusterRuntime {
   ClusterRuntime(Options options);
 
   struct LogicalBuffer {
-    std::uint64_t size = 0;
+    // Guards the coherence fields and serializes transfers of this buffer;
+    // commands touching different buffers proceed in parallel.
+    std::mutex mutex;
+    std::uint64_t size = 0;  // Immutable after creation.
     std::vector<std::uint8_t> shadow;    // Host copy.
     bool host_valid = true;
     std::vector<bool> valid_on;          // Replica validity per node.
     std::vector<bool> allocated_on;      // Remote allocation exists.
+    // Hazard tracking for implicit ordering; guarded by state_mutex_ and
+    // only touched on the submit path.
+    CommandId last_writer = kNullCommand;
+    std::vector<CommandId> readers_since_write;
   };
+  using BufferPtr = std::shared_ptr<LogicalBuffer>;
 
   struct ProgramState {
+    std::mutex mutex;  // Guards built_on and serializes remote builds.
     std::string source;
     std::shared_ptr<const oclc::Module> module;  // Host-side metadata.
     std::string build_log;
     std::vector<bool> built_on;
+    // Every launch command of this program (release is ordered after ALL
+    // of them, not just the latest). Guarded by state_mutex_.
+    std::vector<CommandId> uses;
   };
+  using ProgramPtr = std::shared_ptr<ProgramState>;
 
-  Status EnsureBufferOnNode(BufferId id, LogicalBuffer& buffer,
-                            std::size_t node, std::uint64_t* bytes_shipped);
-  Status EnsureProgramOnNode(ProgramId id, ProgramState& program,
-                             std::size_t node);
-  Status FetchToHost(BufferId id, LogicalBuffer& buffer);
+  // RAII in-flight accounting around a node RPC (feeds the scheduler).
+  class InFlightGuard;
+
+  // Sends `payload` through CallAsync and awaits the reply with the
+  // configured timeout, counting the command against `node`'s depth.
+  Expected<net::Message> CallNode(std::size_t node, net::MsgType type,
+                                  std::vector<std::uint8_t> payload);
   Status CheckReply(const Expected<net::Message>& reply,
                     net::MsgType expected_type) const;
+
+  // Command bodies (run on graph workers). *Locked variants require the
+  // buffer's own mutex held.
+  Expected<CommandHandle> SubmitWriteImpl(BufferId id, std::uint64_t offset,
+                                          const void* data,
+                                          std::uint64_t size,
+                                          std::vector<CommandHandle> deps,
+                                          std::vector<CommandHandle> order_after,
+                                          bool snapshot_data);
+  Status ExecWrite(BufferId id, const BufferPtr& buffer, std::uint64_t offset,
+                   const std::uint8_t* data, std::uint64_t size);
+  Status ExecRead(BufferId id, const BufferPtr& buffer, std::uint64_t offset,
+                  void* out, std::uint64_t size, CommandGraph::Execution& e);
+  Status ExecCopy(BufferId src_id, const BufferPtr& src,
+                  std::uint64_t src_offset, BufferId dst_id,
+                  const BufferPtr& dst, std::uint64_t dst_offset,
+                  std::uint64_t size);
+  struct LaunchPlan;  // Queryable residue (LaunchResult) per launch.
+  struct LaunchWork;  // Heavy captures owned by the command body.
+  Status ExecLaunch(const std::shared_ptr<LaunchWork>& work,
+                    CommandGraph::Execution& e);
+
+  Status FetchToHostLocked(BufferId id, LogicalBuffer& buffer);
+  Status EnsureBufferOnNodeLocked(BufferId id, LogicalBuffer& buffer,
+                                  std::size_t node,
+                                  std::uint64_t* bytes_shipped);
+  Status EnsureProgramOnNode(ProgramId id, ProgramState& program,
+                             std::size_t node);
+
+  // Hazard helpers; require state_mutex_ held.
+  void CollectDepIds(const std::vector<CommandHandle>& deps,
+                     std::vector<CommandId>* out) const;
+  void PruneRetiredReadersLocked(LogicalBuffer& buffer);
+  void AddReadHazardLocked(LogicalBuffer& buffer,
+                           std::vector<CommandId>* deps);
+  void AddWriteHazardLocked(LogicalBuffer& buffer,
+                            std::vector<CommandId>* deps);
 
   Options options_;
   std::vector<std::unique_ptr<net::RpcClient>> nodes_;
@@ -198,14 +323,23 @@ class ClusterRuntime {
   std::unique_ptr<sched::SchedulingPolicy> policy_;
   std::string scheduler_name_;
   std::unique_ptr<VirtualTimeline> timeline_;
+  std::unique_ptr<CommandGraph> graph_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<BufferId, LogicalBuffer> buffers_;
-  std::unordered_map<ProgramId, ProgramState> programs_;
+  // Lock hierarchy: state_mutex_ > graph mutex > VirtualTimeline's own
+  // lock; buffer/program mutexes are leaf-adjacent (they may take
+  // sched_mutex_ or the timeline's, never state_mutex_ or the graph's).
+  mutable std::mutex state_mutex_;  // Object tables + hazards + ids.
+  mutable std::mutex sched_mutex_;  // Scheduler accounting + in-flight.
+
+  std::unordered_map<BufferId, BufferPtr> buffers_;
+  std::unordered_map<ProgramId, ProgramPtr> programs_;
+  // Launch commands keep their plan (and its LaunchResult) queryable.
+  std::unordered_map<CommandId, std::shared_ptr<LaunchPlan>> launch_plans_;
   BufferId next_buffer_id_ = 1;
   ProgramId next_program_id_ = 1;
   std::vector<double> node_busy_ahead_;  // Scheduler backlog estimate.
   std::vector<double> observed_sec_per_flop_;
+  std::vector<std::uint32_t> in_flight_;  // RPCs outstanding per node.
   bool disconnected_ = false;
 };
 

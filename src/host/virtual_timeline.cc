@@ -5,6 +5,7 @@
 namespace haocl::host {
 
 void VirtualTimeline::RecordDataCreate(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Data creation is proportional to the input volume, so the paper-scale
   // projection amplifies it with the transfer factor.
   const double scaled = seconds * transfer_amp_;
@@ -12,8 +13,8 @@ void VirtualTimeline::RecordDataCreate(double seconds) {
   phases_.Add(kPhaseDataCreate, scaled);
 }
 
-sim::SimTime VirtualTimeline::RecordTransferToNode(std::size_t node,
-                                                   std::uint64_t bytes) {
+sim::SimTime VirtualTimeline::RecordTransferToNodeLocked(std::size_t node,
+                                                         std::uint64_t bytes) {
   const sim::SimTime start = std::max(host_ready_, node_ready_[node]);
   const sim::SimTime arrival = topo_.HostToNode(node, AmpBytes(bytes), start);
   phases_.Add(kPhaseDataTransfer, arrival - start);
@@ -21,9 +22,16 @@ sim::SimTime VirtualTimeline::RecordTransferToNode(std::size_t node,
   return arrival;
 }
 
+sim::SimTime VirtualTimeline::RecordTransferToNode(std::size_t node,
+                                                   std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RecordTransferToNodeLocked(node, bytes);
+}
+
 sim::SimTime VirtualTimeline::RecordReplicationToNode(
     std::size_t node, std::uint64_t bytes,
     const std::vector<std::size_t>& replica_holders) {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Pick the source whose NIC is free earliest; the host uplink competes
   // as one more candidate.
   sim::SimTime best_free = topo_.host_nic().busy_until();
@@ -37,7 +45,7 @@ sim::SimTime VirtualTimeline::RecordReplicationToNode(
     }
   }
   if (best_src == topo_.size()) {
-    return RecordTransferToNode(node, bytes);
+    return RecordTransferToNodeLocked(node, bytes);
   }
   // Only the destination's command chain gates the transfer: the source
   // relays from its NIC (DMA) while its accelerator keeps computing. The
@@ -52,6 +60,7 @@ sim::SimTime VirtualTimeline::RecordReplicationToNode(
 
 sim::SimTime VirtualTimeline::RecordTransferFromNode(std::size_t node,
                                                      std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const sim::SimTime start = node_ready_[node];
   const sim::SimTime arrival = topo_.NodeToHost(node, AmpBytes(bytes), start);
   phases_.Add(kPhaseDataTransfer, arrival - start);
@@ -63,6 +72,7 @@ sim::SimTime VirtualTimeline::RecordTransferFromNode(std::size_t node,
 sim::SimTime VirtualTimeline::RecordTransferBetween(std::size_t from,
                                                     std::size_t to,
                                                     std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const sim::SimTime start = std::max(node_ready_[from], node_ready_[to]);
   const sim::SimTime arrival =
       topo_.NodeToNode(from, to, AmpBytes(bytes), start);
@@ -74,6 +84,7 @@ sim::SimTime VirtualTimeline::RecordTransferBetween(std::size_t from,
 
 sim::SimTime VirtualTimeline::RecordKernel(std::size_t node,
                                            double modeled_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Compute amplification is applied by the caller against the kernel's
   // COST (flops/bytes), not here: a flat multiplier would also inflate
   // constant per-launch overheads, which do not grow with problem size.
@@ -86,6 +97,7 @@ sim::SimTime VirtualTimeline::RecordKernel(std::size_t node,
 }
 
 void VirtualTimeline::RecordControlMessage(std::size_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
   // A control frame is ~100 bytes; latency-dominated.
   const sim::SimTime start = std::max(host_ready_, node_ready_[node]);
   const sim::SimTime arrival = topo_.HostToNode(node, 100, start);
@@ -94,12 +106,14 @@ void VirtualTimeline::RecordControlMessage(std::size_t node) {
 }
 
 sim::SimTime VirtualTimeline::Makespan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   sim::SimTime makespan = host_ready_;
   for (sim::SimTime t : node_ready_) makespan = std::max(makespan, t);
   return makespan;
 }
 
 void VirtualTimeline::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   topo_.ResetTime();
   phases_.Clear();
   std::fill(node_ready_.begin(), node_ready_.end(), 0.0);

@@ -9,6 +9,7 @@
 // is negligible and omits).
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,11 +37,18 @@ class VirtualTimeline {
   // compute x (10000/256)^3). Survives Reset(); EXPERIMENTS.md documents
   // the factors per figure.
   void SetAmplification(double transfer_factor, double compute_factor) {
+    std::lock_guard<std::mutex> lock(mutex_);
     transfer_amp_ = transfer_factor;
     compute_amp_ = compute_factor;
   }
-  [[nodiscard]] double transfer_amplification() const { return transfer_amp_; }
-  [[nodiscard]] double compute_amplification() const { return compute_amp_; }
+  [[nodiscard]] double transfer_amplification() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return transfer_amp_;
+  }
+  [[nodiscard]] double compute_amplification() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compute_amp_;
+  }
 
   // ---- Recording (called by the cluster runtime) -------------------------
 
@@ -78,8 +86,11 @@ class VirtualTimeline {
   // virtual makespan).
   [[nodiscard]] sim::SimTime Makespan() const;
 
+  // The reference accessors are not internally synchronized: drain the
+  // runtime (Finish / clFinish) before reading them.
   [[nodiscard]] const PhaseAccumulator& phases() const { return phases_; }
   [[nodiscard]] double TotalEnergyJoules() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return topo_.TotalEnergyJoules();
   }
   [[nodiscard]] const sim::ClusterTopology& topology() const { return topo_; }
@@ -87,11 +98,16 @@ class VirtualTimeline {
   void Reset();
 
  private:
+  // Recording happens from command-graph workers concurrently with host
+  // threads reading Makespan(); every mutating/scalar entry point locks.
+  sim::SimTime RecordTransferToNodeLocked(std::size_t node,
+                                          std::uint64_t bytes);
   [[nodiscard]] std::uint64_t AmpBytes(std::uint64_t bytes) const {
     return static_cast<std::uint64_t>(static_cast<double>(bytes) *
                                       transfer_amp_);
   }
 
+  mutable std::mutex mutex_;
   sim::ClusterTopology topo_;
   PhaseAccumulator phases_;
   std::vector<sim::SimTime> node_ready_;  // In-order chain per node.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -391,6 +392,355 @@ TEST_F(HaoClApiTest, RetainReleaseRefcounts) {
     EXPECT_EQ(clReleaseMemObject(mem), CL_SUCCESS);
     clReleaseContext(c2);
   }
+}
+
+// ---- Deferred queues, real events, async semantics -----------------------
+
+class HaoClAsyncTest : public HaoClApiTest {
+ protected:
+  void SetUpPipeline() {
+    cl_int err;
+    ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_,
+                             nullptr),
+              CL_SUCCESS);
+    context_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    queue_ = clCreateCommandQueue(context_, device_,
+                                  CL_QUEUE_PROFILING_ENABLE, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+  }
+  void TearDownPipeline() {
+    if (queue_ != nullptr) clReleaseCommandQueue(queue_);
+    if (context_ != nullptr) clReleaseContext(context_);
+  }
+
+  cl_device_id device_ = nullptr;
+  cl_context context_ = nullptr;
+  cl_command_queue queue_ = nullptr;
+};
+
+TEST_F(HaoClAsyncTest, UserEventGateDefersNonBlockingRead) {
+  SetUpPipeline();
+  cl_int err;
+  std::vector<std::int32_t> init(8, 123);
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_COPY_HOST_PTR, 32,
+                              init.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  cl_event gate = clCreateUserEvent(context_, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_int gate_status = -1;
+  ASSERT_EQ(clGetEventInfo(gate, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof(gate_status), &gate_status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(gate_status, CL_SUBMITTED);
+
+  // Non-blocking read gated on the user event: the enqueue returns
+  // immediately and the destination must stay untouched — the node RPC
+  // cannot even start until the gate resolves.
+  std::vector<std::int32_t> sink(8, -1);
+  cl_event read_event = nullptr;
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, mem, CL_FALSE, 0, 32, sink.data(), 1,
+                                &gate, &read_event),
+            CL_SUCCESS);
+  cl_int read_status = -1;
+  ASSERT_EQ(clGetEventInfo(read_event, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof(read_status), &read_status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(read_status, CL_QUEUED);
+  EXPECT_EQ(sink[0], -1);
+
+  ASSERT_EQ(clSetUserEventStatus(gate, CL_COMPLETE), CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &read_event), CL_SUCCESS);
+  EXPECT_EQ(sink[0], 123);
+  ASSERT_EQ(clGetEventInfo(read_event, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof(read_status), &read_status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(read_status, CL_COMPLETE);
+
+  // Setting a resolved user event again is rejected.
+  EXPECT_EQ(clSetUserEventStatus(gate, CL_COMPLETE), CL_INVALID_OPERATION);
+
+  clReleaseEvent(read_event);
+  clReleaseEvent(gate);
+  clReleaseMemObject(mem);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, NonBlockingWriteSnapshotsSourceAtEnqueue) {
+  SetUpPipeline();
+  cl_int err;
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_READ_WRITE, 32, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_event gate = clCreateUserEvent(context_, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  std::vector<std::int32_t> source(8, 55);
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_FALSE, 0, 32, source.data(),
+                                 1, &gate, nullptr),
+            CL_SUCCESS);
+  // Mutate the source AFTER the enqueue but BEFORE execution: the deferred
+  // write must have captured the original contents.
+  std::fill(source.begin(), source.end(), -999);
+  ASSERT_EQ(clSetUserEventStatus(gate, CL_COMPLETE), CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+
+  std::vector<std::int32_t> got(8, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, mem, CL_TRUE, 0, 32, got.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(got[0], 55);
+  EXPECT_EQ(got[7], 55);
+
+  clReleaseEvent(gate);
+  clReleaseMemObject(mem);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, WaitListOrdersCommandsAcrossQueues) {
+  SetUpPipeline();
+  cl_int err;
+  cl_command_queue other_queue =
+      clCreateCommandQueue(context_, device_, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  const char* source = R"(
+    __kernel void fill7(__global int* data) {
+      data[get_global_id(0)] = 7;
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context_, 1, &source, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "fill7", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_READ_WRITE, 64 * 4, nullptr,
+                              &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &mem), CL_SUCCESS);
+
+  // Gate the producer kernel on queue 1; consumer read lives on queue 2
+  // and is ordered ONLY by its wait list (queues are independent).
+  cl_event gate = clCreateUserEvent(context_, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  const size_t global = 64;
+  cl_event kernel_event = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                   nullptr, 1, &gate, &kernel_event),
+            CL_SUCCESS);
+  std::vector<std::int32_t> got(64, 0);
+  cl_event read_event = nullptr;
+  ASSERT_EQ(clEnqueueReadBuffer(other_queue, mem, CL_FALSE, 0, 64 * 4,
+                                got.data(), 1, &kernel_event, &read_event),
+            CL_SUCCESS);
+
+  // Whole pipeline is still gated.
+  cl_int status = -1;
+  ASSERT_EQ(clGetEventInfo(read_event, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof(status), &status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(status, CL_QUEUED);
+
+  ASSERT_EQ(clSetUserEventStatus(gate, CL_COMPLETE), CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &read_event), CL_SUCCESS);
+  for (int v : got) ASSERT_EQ(v, 7);
+
+  clReleaseEvent(gate);
+  clReleaseEvent(kernel_event);
+  clReleaseEvent(read_event);
+  clReleaseMemObject(mem);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  clReleaseCommandQueue(other_queue);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, FinishDrainsDeferredPipeline) {
+  SetUpPipeline();
+  cl_int err;
+  const char* source = R"(
+    __kernel void doubler(__global int* data, int n) {
+      int i = get_global_id(0);
+      if (i < n) data[i] = data[i] * 2;
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context_, 1, &source, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "doubler", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  const int n = 256;
+  std::vector<std::int32_t> data(n, 3);
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_READ_WRITE, n * 4, nullptr,
+                              &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &mem), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof(int), &n), CL_SUCCESS);
+
+  // Everything non-blocking: write, two chained launches, read. clFinish
+  // is the only synchronization point.
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_FALSE, 0, n * 4,
+                                 data.data(), 0, nullptr, nullptr),
+            CL_SUCCESS);
+  const size_t global = n;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  std::vector<std::int32_t> got(n, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, mem, CL_FALSE, 0, n * 4, got.data(),
+                                0, nullptr, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  for (int v : got) ASSERT_EQ(v, 12);  // 3 * 2 * 2.
+
+  clReleaseMemObject(mem);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, ProfilingStampsFollowLifecycleOrder) {
+  SetUpPipeline();
+  cl_int err;
+  const char* source = R"(
+    __kernel void inc(__global int* data) {
+      data[get_global_id(0)] += 1;
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context_, 1, &source, nullptr, &err);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "inc", &err);
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_READ_WRITE, 64 * 4, nullptr,
+                              &err);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(cl_mem), &mem), CL_SUCCESS);
+
+  const size_t global = 64;
+  cl_event event = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                   nullptr, 0, nullptr, &event),
+            CL_SUCCESS);
+
+  // Profiling info is unavailable while the command may still be in
+  // flight... (the event resolves lazily, so probe once drained).
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+  cl_ulong queued = 0, submit = 0, start = 0, end = 0;
+  ASSERT_EQ(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_QUEUED,
+                                    sizeof(queued), &queued, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_SUBMIT,
+                                    sizeof(submit), &submit, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_START,
+                                    sizeof(start), &start, nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clGetEventProfilingInfo(event, CL_PROFILING_COMMAND_END,
+                                    sizeof(end), &end, nullptr),
+            CL_SUCCESS);
+  // The satellite contract: QUEUED < SUBMIT <= START <= END, END > START
+  // for a real kernel.
+  EXPECT_LT(queued, submit);
+  EXPECT_LE(submit, start);
+  EXPECT_LT(start, end);
+
+  clReleaseEvent(event);
+  clReleaseMemObject(mem);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, EnqueueBoundsAreValidated) {
+  SetUpPipeline();
+  cl_int err;
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  cl_mem other = clCreateBuffer(context_, CL_MEM_READ_WRITE, 32, nullptr,
+                                &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  std::vector<std::uint8_t> host(128, 0);
+
+  // offset + size beyond the buffer: CL_INVALID_VALUE from the shim, for
+  // reads, writes, and both ends of a copy.
+  EXPECT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_TRUE, 32, 64, host.data(),
+                                 0, nullptr, nullptr),
+            CL_INVALID_VALUE);
+  EXPECT_EQ(clEnqueueReadBuffer(queue_, mem, CL_TRUE, 60, 8, host.data(), 0,
+                                nullptr, nullptr),
+            CL_INVALID_VALUE);
+  EXPECT_EQ(clEnqueueCopyBuffer(queue_, mem, other, 0, 0, 48, 0, nullptr,
+                                nullptr),
+            CL_INVALID_VALUE);  // dst too small.
+  EXPECT_EQ(clEnqueueCopyBuffer(queue_, mem, other, 48, 0, 32, 0, nullptr,
+                                nullptr),
+            CL_INVALID_VALUE);  // src over-read.
+  // Zero-size transfers are invalid too.
+  EXPECT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_TRUE, 0, 0, host.data(), 0,
+                                 nullptr, nullptr),
+            CL_INVALID_VALUE);
+  // offset + size wrapping around size_t must not sneak past the check.
+  EXPECT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_TRUE,
+                                 std::numeric_limits<size_t>::max() - 4, 8,
+                                 host.data(), 0, nullptr, nullptr),
+            CL_INVALID_VALUE);
+  // In-range still works.
+  EXPECT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_TRUE, 32, 32, host.data(),
+                                 0, nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(clEnqueueCopyBuffer(queue_, mem, other, 32, 0, 32, 0, nullptr,
+                                nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+
+  clReleaseMemObject(mem);
+  clReleaseMemObject(other);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, FailedUserEventFailsDependentsAndFinish) {
+  SetUpPipeline();
+  cl_int err;
+  std::vector<std::int32_t> init(8, 5);
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_COPY_HOST_PTR, 32,
+                              init.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_event gate = clCreateUserEvent(context_, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  std::vector<std::int32_t> sink(8, -1);
+  cl_event read_event = nullptr;
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, mem, CL_FALSE, 0, 32, sink.data(), 1,
+                                &gate, &read_event),
+            CL_SUCCESS);
+  ASSERT_EQ(clSetUserEventStatus(gate, -1), CL_SUCCESS);
+
+  EXPECT_EQ(clWaitForEvents(1, &read_event),
+            CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
+  cl_int status = 0;
+  ASSERT_EQ(clGetEventInfo(read_event, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof(status), &status, nullptr),
+            CL_SUCCESS);
+  EXPECT_LT(status, 0);
+  EXPECT_EQ(sink[0], -1);  // The gated read never ran.
+  // The queue's tail failed; clFinish reports it.
+  EXPECT_EQ(clFinish(queue_), CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
+
+  // One failed command does NOT poison the in-order queue: a subsequent
+  // independent enqueue still executes (queue chaining is ordering-only).
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, mem, CL_TRUE, 0, 32, sink.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(sink[0], 5);
+  EXPECT_EQ(clFinish(queue_), CL_SUCCESS);
+
+  clReleaseEvent(gate);
+  clReleaseEvent(read_event);
+  clReleaseMemObject(mem);
+  TearDownPipeline();
 }
 
 TEST(HaoClUnboundTest, NoPlatformWithoutCluster) {

@@ -1,0 +1,249 @@
+// The asynchronous command graph: dependency ordering, concurrent
+// execution with out-of-order completion (the distinct-node overlap the
+// dispatch redesign exists for), manual (user-event) gating, failure
+// propagation to transitive dependents, and monotonic profiling stamps.
+#include "host/command_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace haocl::host {
+namespace {
+
+using Exec = CommandGraph::Execution;
+
+TEST(CommandGraphTest, DependencyChainRunsInOrder) {
+  CommandGraph graph;
+  std::mutex mutex;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    return [&, tag](Exec&) {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(tag);
+      return Status::Ok();
+    };
+  };
+  const CommandId a = graph.Submit(record(1), {}, "a");
+  const CommandId b = graph.Submit(record(2), {a}, "b");
+  const CommandId c = graph.Submit(record(3), {b}, "c");
+  ASSERT_TRUE(graph.Wait(c).ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(*graph.QueryState(a), CommandState::kComplete);
+  EXPECT_EQ(*graph.QueryState(b), CommandState::kComplete);
+  EXPECT_EQ(graph.CommandsRetired(), 3u);
+}
+
+TEST(CommandGraphTest, DiamondWaitsForBothBranches) {
+  CommandGraph graph;
+  std::atomic<int> done{0};
+  auto tick = [&](Exec&) {
+    ++done;
+    return Status::Ok();
+  };
+  const CommandId root = graph.Submit(tick, {}, "root");
+  const CommandId left = graph.Submit(tick, {root}, "left");
+  const CommandId right = graph.Submit(tick, {root}, "right");
+  int seen_at_join = -1;
+  const CommandId join = graph.Submit(
+      [&](Exec&) {
+        seen_at_join = done.load();
+        return Status::Ok();
+      },
+      {left, right}, "join");
+  ASSERT_TRUE(graph.Wait(join).ok());
+  EXPECT_EQ(seen_at_join, 3);  // Root + both branches retired first.
+}
+
+// Two independent commands must execute CONCURRENTLY and may retire out of
+// submission order. Each body waits for the other to reach a checkpoint;
+// serialized execution would deadlock (bounded by the timeout), and the
+// second-submitted command provably finishes first.
+TEST(CommandGraphTest, IndependentCommandsOverlapAndRetireOutOfOrder) {
+  CommandGraph graph;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool a_started = false;
+  bool release_a = false;
+
+  const CommandId a = graph.Submit(
+      [&](Exec&) {
+        std::unique_lock<std::mutex> lock(mutex);
+        a_started = true;
+        cv.notify_all();
+        // A holds its worker until the test releases it, so B provably
+        // starts, runs, and retires while A is mid-flight.
+        if (!cv.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return release_a; })) {
+          return Status(ErrorCode::kInternal, "test never released A");
+        }
+        return Status::Ok();
+      },
+      {}, "a");
+  const CommandId b = graph.Submit(
+      [&](Exec&) {
+        std::unique_lock<std::mutex> lock(mutex);
+        // B cannot finish before A is running: overlap is mandatory.
+        if (!cv.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return a_started; })) {
+          return Status(ErrorCode::kInternal, "no overlap: A never started");
+        }
+        return Status::Ok();
+      },
+      {}, "b");
+
+  // B (submitted second) retires while A is still running.
+  ASSERT_TRUE(graph.Wait(b).ok());
+  EXPECT_EQ(*graph.QueryState(a), CommandState::kRunning);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release_a = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(graph.Wait(a).ok());
+  EXPECT_GE(graph.PeakRunning(), 2u);
+}
+
+TEST(CommandGraphTest, FailurePropagatesToTransitiveDependents) {
+  CommandGraph graph;
+  bool downstream_ran = false;
+  const CommandId bad = graph.Submit(
+      [](Exec&) { return Status(ErrorCode::kNetworkError, "boom"); }, {},
+      "bad");
+  const CommandId child = graph.Submit(
+      [&](Exec&) {
+        downstream_ran = true;
+        return Status::Ok();
+      },
+      {bad}, "child");
+  const CommandId grandchild = graph.Submit(
+      [&](Exec&) {
+        downstream_ran = true;
+        return Status::Ok();
+      },
+      {child}, "grandchild");
+  const CommandId independent =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {}, "independent");
+
+  EXPECT_EQ(graph.Wait(bad).code(), ErrorCode::kNetworkError);
+  EXPECT_EQ(graph.Wait(child).code(), ErrorCode::kDependencyFailed);
+  EXPECT_EQ(graph.Wait(grandchild).code(), ErrorCode::kDependencyFailed);
+  EXPECT_TRUE(graph.Wait(independent).ok());
+  EXPECT_FALSE(downstream_ran);
+  EXPECT_EQ(*graph.QueryState(child), CommandState::kFailed);
+}
+
+TEST(CommandGraphTest, ManualCommandGatesDependents) {
+  CommandGraph graph;
+  bool ran = false;
+  const CommandId gate = graph.SubmitManual({}, "gate");
+  const CommandId gated = graph.Submit(
+      [&](Exec&) {
+        ran = true;
+        return Status::Ok();
+      },
+      {gate}, "gated");
+
+  // Deterministic: the dependent cannot leave kQueued before the gate
+  // resolves, no matter how long the workers spin.
+  EXPECT_EQ(*graph.QueryState(gated), CommandState::kQueued);
+  EXPECT_FALSE(ran);
+
+  ASSERT_TRUE(graph.Complete(gate).ok());
+  ASSERT_TRUE(graph.Wait(gated).ok());
+  EXPECT_TRUE(ran);
+  // Resolving twice is an error.
+  EXPECT_EQ(graph.Complete(gate).code(), ErrorCode::kInvalidOperation);
+}
+
+TEST(CommandGraphTest, ManualFailureFailsDependents) {
+  CommandGraph graph;
+  const CommandId gate = graph.SubmitManual({}, "gate");
+  const CommandId gated =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {gate}, "gated");
+  ASSERT_TRUE(
+      graph.Complete(gate, Status(ErrorCode::kInternal, "aborted")).ok());
+  EXPECT_EQ(graph.Wait(gated).code(), ErrorCode::kDependencyFailed);
+}
+
+TEST(CommandGraphTest, ProfileStampsAreMonotonic) {
+  CommandGraph graph;
+  const CommandId a = graph.Submit([](Exec&) { return Status::Ok(); }, {});
+  const CommandId b =
+      graph.Submit([](Exec& e) {
+        e.SetSpan(0.5, 0.75);  // Modeled work interval.
+        return Status::Ok();
+      }, {a});
+  ASSERT_TRUE(graph.Wait(b).ok());
+
+  for (CommandId id : {a, b}) {
+    auto profile = graph.QueryProfile(id);
+    ASSERT_TRUE(profile.ok());
+    EXPECT_LT(profile->queued_at, profile->submitted_at);
+    EXPECT_LE(profile->submitted_at, profile->started_at);
+    EXPECT_LE(profile->started_at, profile->finished_at);
+  }
+  auto b_profile = graph.QueryProfile(b);
+  EXPECT_DOUBLE_EQ(b_profile->started_at, 0.5);
+  EXPECT_DOUBLE_EQ(b_profile->finished_at, 0.75);
+}
+
+TEST(CommandGraphTest, UnknownDependencyFailsTheCommand) {
+  CommandGraph graph;
+  const CommandId cmd =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {9999}, "orphan");
+  EXPECT_EQ(graph.Wait(cmd).code(), ErrorCode::kInvalidValue);
+}
+
+TEST(CommandGraphTest, UnknownIdQueriesError) {
+  CommandGraph graph;
+  EXPECT_EQ(graph.Wait(42).code(), ErrorCode::kInvalidValue);
+  EXPECT_FALSE(graph.QueryState(42).ok());
+  EXPECT_FALSE(graph.QueryProfile(42).ok());
+  EXPECT_EQ(graph.Complete(42).code(), ErrorCode::kInvalidValue);
+}
+
+TEST(CommandGraphTest, QueryStatusPeeksWithoutBlocking) {
+  CommandGraph graph;
+  const CommandId gate = graph.SubmitManual({}, "gate");
+  EXPECT_EQ(graph.QueryStatus(gate).code(), ErrorCode::kInvalidOperation);
+  ASSERT_TRUE(graph.Complete(gate).ok());
+  EXPECT_TRUE(graph.QueryStatus(gate).ok());
+}
+
+TEST(CommandGraphTest, ShutdownFailsPendingCommands) {
+  CommandGraph graph;
+  const CommandId gate = graph.SubmitManual({}, "gate");
+  const CommandId gated =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {gate}, "gated");
+  graph.Shutdown();
+  EXPECT_EQ(*graph.QueryState(gate), CommandState::kFailed);
+  EXPECT_EQ(*graph.QueryState(gated), CommandState::kFailed);
+  // Submitting after shutdown fails immediately instead of hanging.
+  const CommandId late =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {}, "late");
+  EXPECT_EQ(graph.Wait(late).code(), ErrorCode::kInternal);
+}
+
+TEST(CommandGraphTest, WaitAllDrainsEverything) {
+  CommandGraph graph;
+  std::atomic<int> done{0};
+  std::vector<CommandId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(graph.Submit(
+        [&](Exec&) {
+          ++done;
+          return Status::Ok();
+        },
+        i == 0 ? std::vector<CommandId>{} : std::vector<CommandId>{ids[0]}));
+  }
+  ASSERT_TRUE(graph.WaitAll().ok());
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_EQ(graph.RunningCount(), 0u);
+}
+
+}  // namespace
+}  // namespace haocl::host

@@ -4,7 +4,11 @@
 //   - MatrixMul: the same kernel everywhere, different data portions;
 //   - SpMV: stage-partitioned — the data-partition kernel on the GPUs and
 //     the compute kernel on the FPGAs.
+//   - Co-execution: ONE partitioned matmul launch split by the
+//     "hetero_split" placement plan vs the best single-node placement;
+//     emits machine-readable BENCH_coexec.json for the perf trajectory.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/spmv_staged.h"
@@ -13,6 +17,56 @@ namespace {
 
 using haocl::bench::Amplification;
 using haocl::bench::PaperScale;
+
+// One whole-matrix matmul launch, rows annotated kPartitionedDim0; the
+// active policy decides whether it runs on one node or co-executes.
+double RunMatmulOnce(haocl::host::SimCluster::Shape shape,
+                     const char* policy, std::uint32_t* shards) {
+  using namespace haocl;
+  constexpr int kN = 128;
+  auto cluster = host::SimCluster::Create(shape);
+  if (!cluster.ok()) std::exit(1);
+  auto& runtime = (*cluster)->runtime();
+  if (!runtime.SetScheduler(policy).ok()) std::exit(1);
+  const double ratio = 10000.0 / kN;  // Model the paper's N=10000.
+  runtime.timeline().SetAmplification(ratio * ratio, ratio * ratio * ratio);
+
+  auto workload = workloads::MakeMatrixMul();
+  auto program = runtime.BuildProgram(workload->kernel_source());
+  if (!program.ok()) std::exit(1);
+  std::vector<float> a(static_cast<std::size_t>(kN) * kN, 0.5f);
+  auto a_buf = runtime.CreateBuffer(a.size() * 4);
+  auto b_buf = runtime.CreateBuffer(a.size() * 4);
+  auto c_buf = runtime.CreateBuffer(a.size() * 4);
+  if (!a_buf.ok() || !b_buf.ok() || !c_buf.ok()) std::exit(1);
+  if (!runtime.WriteBuffer(*a_buf, 0, a.data(), a.size() * 4).ok() ||
+      !runtime.WriteBuffer(*b_buf, 0, a.data(), a.size() * 4).ok()) {
+    std::exit(1);
+  }
+
+  host::ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "matmul_partition";
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(kN) * 4;
+  spec.args = {host::KernelArgValue::PartitionedBuffer(*a_buf, row_bytes),
+               host::KernelArgValue::Buffer(*b_buf),
+               host::KernelArgValue::PartitionedBuffer(*c_buf, row_bytes),
+               host::KernelArgValue::Scalar<std::int32_t>(kN),
+               host::KernelArgValue::Scalar<std::int32_t>(kN)};
+  spec.work_dim = 2;
+  spec.global[0] = kN;
+  spec.global[1] = kN;
+  sim::KernelCost cost;
+  cost.flops = 2.0 * kN * static_cast<double>(kN) * kN;
+  cost.bytes = cost.flops * 4.0;
+  cost.work_items = static_cast<std::uint64_t>(kN) * kN;
+  spec.cost_hint = cost;
+
+  auto result = runtime.LaunchKernel(spec);
+  if (!result.ok()) std::exit(1);
+  if (shards != nullptr) *shards = result->shard_count;
+  return result->virtual_completion;
+}
 
 double RunSpmvStagedSeconds(std::size_t gpus, std::size_t fpgas,
                             double scale, const Amplification& amp) {
@@ -114,5 +168,45 @@ int main() {
       "pipelines close most of the gap to the GPU, so hybrid clusters use\n"
       "both device classes productively — the paper's takeaway that \"the\n"
       "heterogeneity of the devices in the cluster is well utilized\".\n");
+
+  // ---- Co-execution: one launch split across the cluster ---------------
+  std::printf("\nMatrixMul co-execution (ONE launch, hetero_split placement"
+              " plan)\n");
+  std::printf("%-12s %14s %14s %9s %7s\n", "cluster", "1-node(s)",
+              "co-exec(s)", "speedup", "shards");
+  struct CoexecShape {
+    const char* label;
+    haocl::host::SimCluster::Shape shape;
+  };
+  const CoexecShape coexec_shapes[] = {
+      {"1G+1C", {.gpu_nodes = 1, .cpu_nodes = 1}},
+      {"2G+1C", {.gpu_nodes = 2, .cpu_nodes = 1}},
+      {"2G+2F", {.gpu_nodes = 2, .fpga_nodes = 2}},
+      {"4G+4F", {.gpu_nodes = 4, .fpga_nodes = 4}},
+  };
+  FILE* json = std::fopen("BENCH_coexec.json", "w");
+  if (json != nullptr) std::fprintf(json, "{\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < std::size(coexec_shapes); ++i) {
+    const CoexecShape& shape = coexec_shapes[i];
+    const double single = RunMatmulOnce(shape.shape, "hetero", nullptr);
+    std::uint32_t shards = 0;
+    const double coexec =
+        RunMatmulOnce(shape.shape, "hetero_split", &shards);
+    std::printf("%-12s %14.3f %14.3f %8.2fx %7u\n", shape.label, single,
+                coexec, single / coexec, shards);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "    {\"cluster\": \"%s\", \"single_node_seconds\": %.6f,"
+                   " \"coexec_seconds\": %.6f, \"speedup\": %.4f,"
+                   " \"shards\": %u}%s\n",
+                   shape.label, single, coexec, single / coexec, shards,
+                   i + 1 < std::size(coexec_shapes) ? "," : "");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_coexec.json\n");
+  }
   return 0;
 }

@@ -97,6 +97,14 @@ struct _cl_kernel {
   std::string name;
   const haocl::oclc::CompiledFunction* info = nullptr;
   std::vector<std::optional<haocl::host::KernelArgValue>> args;
+  // Sticky per-arg access annotations (clSetKernelArgAccessPatternHAOCL);
+  // applied to buffer args at enqueue time.
+  struct ArgAccess {
+    haocl::host::KernelArgValue::Access access =
+        haocl::host::KernelArgValue::Access::kReplicated;
+    std::uint64_t stride = 0;
+  };
+  std::vector<ArgAccess> access;
 };
 
 struct _cl_event {
@@ -331,6 +339,11 @@ haocl::host::ClusterRuntime* RuntimeFor(const _cl_event* e) {
 // blocking flag. The out-event is only produced on success, after any
 // blocking wait, per the spec. `submit` is called with (runtime, deps,
 // order_after) and returns Expected<CommandHandle>.
+//
+// Record lifetime: the queue's tail owns the command's creation reference
+// and releases the predecessor it replaces; an out-event takes its own
+// reference (dropped by clReleaseEvent). This is what bounds the graph's
+// record count over million-enqueue sessions.
 template <typename SubmitFn>
 cl_int EnqueueCommand(cl_command_queue queue, cl_uint num_events,
                       const cl_event* wait_list, cl_bool blocking,
@@ -347,13 +360,29 @@ cl_int EnqueueCommand(cl_command_queue queue, cl_uint num_events,
   if (queue->tail.valid()) after.push_back(queue->tail);
   auto handle = submit(runtime, std::move(deps), std::move(after));
   if (!handle.ok()) return ToClError(handle.status());
+  const CommandHandle replaced = queue->tail;
   queue->tail = *handle;
+  // Retain inside the queue lock for the out-event AND for a blocking
+  // wait: a racing enqueue could otherwise advance the tail, drop the
+  // record's only reference, and a failed blocking command whose record
+  // was reclaimed mid-Wait would report success.
+  const bool extra_ref = event != nullptr || blocking != CL_FALSE;
+  if (extra_ref) (void)runtime->RetainCommand(*handle);
   order.unlock();
+  if (replaced.valid()) (void)runtime->ReleaseCommand(replaced);
   if (blocking != CL_FALSE) {
     haocl::Status status = runtime->Wait(*handle);
-    if (!status.ok()) return ToClError(status);
+    if (!status.ok()) {
+      // No event on failure: give back the guard reference.
+      (void)runtime->ReleaseCommand(*handle);
+      return ToClError(status);
+    }
   }
-  EmitEvent(event, *handle);
+  if (event != nullptr) {
+    EmitEvent(event, *handle);  // The event owns the extra reference.
+  } else if (extra_ref) {
+    (void)runtime->ReleaseCommand(*handle);  // Blocking-only guard.
+  }
   return CL_SUCCESS;
 }
 
@@ -589,6 +618,13 @@ cl_int clRetainCommandQueue(cl_command_queue queue) {
 cl_int clReleaseCommandQueue(cl_command_queue queue) {
   if (!Valid(queue, kQueueMagic)) return CL_INVALID_COMMAND_QUEUE;
   if (queue->refs.fetch_sub(1) == 1) {
+    // Drop the tail's record reference (the queue owned it for ordering
+    // and clFinish).
+    auto* runtime = BoundRuntime();
+    if (runtime != nullptr && queue->origin == runtime &&
+        queue->tail.valid()) {
+      (void)runtime->ReleaseCommand(queue->tail);
+    }
     queue->magic = kDeadMagic;
     delete queue;
   }
@@ -760,6 +796,7 @@ cl_kernel clCreateKernel(cl_program program, const char* kernel_name,
   kernel->name = kernel_name;
   kernel->info = *info;
   kernel->args.resize((*info)->params.size());
+  kernel->access.resize((*info)->params.size());
   program->refs.fetch_add(1);
   if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
   return kernel;
@@ -799,6 +836,29 @@ cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
   return CL_SUCCESS;
 }
 
+cl_int clSetKernelArgAccessPatternHAOCL(cl_kernel kernel, cl_uint arg_index,
+                                        cl_haocl_arg_access access,
+                                        size_t partition_stride) {
+  if (!Valid(kernel, kKernelMagic)) return CL_INVALID_KERNEL;
+  if (arg_index >= kernel->access.size()) return CL_INVALID_ARG_INDEX;
+  if (!kernel->info->params[arg_index].IsBuffer()) {
+    return CL_INVALID_ARG_VALUE;  // Only buffer args have access patterns.
+  }
+  switch (access) {
+    case CL_HAOCL_ARG_ACCESS_REPLICATED:
+      kernel->access[arg_index] = {};
+      return CL_SUCCESS;
+    case CL_HAOCL_ARG_ACCESS_PARTITIONED_DIM0:
+      if (partition_stride == 0) return CL_INVALID_ARG_VALUE;
+      kernel->access[arg_index] = {
+          haocl::host::KernelArgValue::Access::kPartitionedDim0,
+          partition_stride};
+      return CL_SUCCESS;
+    default:
+      return CL_INVALID_VALUE;
+  }
+}
+
 cl_int clRetainKernel(cl_kernel kernel) {
   if (!Valid(kernel, kKernelMagic)) return CL_INVALID_KERNEL;
   kernel->refs.fetch_add(1);
@@ -832,8 +892,15 @@ cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
   return EnqueueCommand(
       queue, num_events_in_wait_list, event_wait_list, blocking_write, event,
       [&](auto* runtime, auto deps, auto after) {
-        return runtime->SubmitWrite(buffer->buffer, offset, ptr, size,
-                                    std::move(deps), std::move(after));
+        // Blocking writes outlive the command on the caller's side; skip
+        // the submit-time snapshot copy.
+        return blocking_write != CL_FALSE
+                   ? runtime->SubmitWriteBorrowed(buffer->buffer, offset,
+                                                  ptr, size, std::move(deps),
+                                                  std::move(after))
+                   : runtime->SubmitWrite(buffer->buffer, offset, ptr, size,
+                                          std::move(deps),
+                                          std::move(after));
       });
 }
 
@@ -890,11 +957,6 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
   if (!Valid(kernel, kKernelMagic)) return CL_INVALID_KERNEL;
   if (work_dim < 1 || work_dim > 3) return CL_INVALID_WORK_DIMENSION;
   if (global_work_size == nullptr) return CL_INVALID_VALUE;
-  if (global_work_offset != nullptr) {
-    for (cl_uint d = 0; d < work_dim; ++d) {
-      if (global_work_offset[d] != 0) return CL_INVALID_VALUE;  // 1.0 rule.
-    }
-  }
   for (const auto& arg : kernel->args) {
     if (!arg.has_value()) return CL_INVALID_KERNEL_ARGS;
   }
@@ -902,11 +964,21 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
   haocl::host::ClusterRuntime::LaunchSpec spec;
   spec.program = kernel->program->program;
   spec.kernel_name = kernel->name;
-  for (const auto& arg : kernel->args) spec.args.push_back(*arg);
+  for (std::size_t i = 0; i < kernel->args.size(); ++i) {
+    haocl::host::KernelArgValue value = *kernel->args[i];
+    if (value.kind == haocl::host::KernelArgValue::Kind::kBuffer) {
+      value.access = kernel->access[i].access;
+      value.partition_stride = kernel->access[i].stride;
+    }
+    spec.args.push_back(std::move(value));
+  }
   spec.work_dim = work_dim;
   for (cl_uint d = 0; d < work_dim; ++d) {
     spec.global[d] = global_work_size[d];
     if (local_work_size != nullptr) spec.local[d] = local_work_size[d];
+    if (global_work_offset != nullptr) {
+      spec.global_offset[d] = global_work_offset[d];
+    }
   }
   spec.local_specified = local_work_size != nullptr;
   spec.preferred_node = queue->device->node_index;  // -1 = scheduler picks.
@@ -934,12 +1006,16 @@ cl_int clFinish(cl_command_queue queue) {
   {
     std::lock_guard<std::mutex> order(queue->mutex);
     tail = queue->tail;
+    // Hold the record across the wait: a racing enqueue advancing the
+    // tail would otherwise release it mid-Wait and mask a failure.
+    if (tail.valid()) (void)runtime->RetainCommand(tail);
   }
   if (!tail.valid()) return CL_SUCCESS;
   // In-order queue: the tail completing means everything before it did.
   // Note: commands gated on unresolved user events keep clFinish blocked
   // until the application sets them — the standard's semantics.
   Status status = runtime->Wait(tail);
+  (void)runtime->ReleaseCommand(tail);
   return status.ok() ? CL_SUCCESS : ToClError(status);
 }
 
@@ -1071,6 +1147,11 @@ cl_int clRetainEvent(cl_event event) {
 cl_int clReleaseEvent(cl_event event) {
   if (!Valid(event, kEventMagic)) return CL_INVALID_EVENT;
   if (event->refs.fetch_sub(1) == 1) {
+    // Drop the event's record reference so the graph can reclaim the
+    // command's bookkeeping (clReleaseEvent is what keeps long event
+    // streams bounded).
+    auto* runtime = RuntimeFor(event);
+    if (runtime != nullptr) (void)runtime->ReleaseCommand(event->cmd);
     event->magic = kDeadMagic;
     delete event;
   }

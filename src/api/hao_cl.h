@@ -137,6 +137,19 @@ inline constexpr cl_int CL_RUNNING = 0x1;
 inline constexpr cl_int CL_SUBMITTED = 0x2;
 inline constexpr cl_int CL_QUEUED = 0x3;
 
+// ---- HaoCL extension: kernel-arg access patterns ------------------------
+// Annotates how a kernel's work-items touch a buffer argument, enabling
+// the scheduler to split one clEnqueueNDRangeKernel across several device
+// nodes (see docs/scheduling.md). REPLICATED (the default) ships the whole
+// buffer to every node the launch lands on; PARTITIONED_DIM0 declares the
+// work-item with global id g touches only bytes [g*stride, (g+1)*stride),
+// so each shard moves just its slice. A launch is eligible for multi-node
+// splitting only when every buffer it writes is PARTITIONED_DIM0.
+using cl_haocl_arg_access = cl_uint;
+inline constexpr cl_haocl_arg_access CL_HAOCL_ARG_ACCESS_REPLICATED = 0;
+inline constexpr cl_haocl_arg_access CL_HAOCL_ARG_ACCESS_PARTITIONED_DIM0 =
+    1;
+
 // ------------------------------------------------------------- Entry points
 
 extern "C" {
@@ -191,6 +204,13 @@ cl_kernel clCreateKernel(cl_program program, const char* kernel_name,
                          cl_int* errcode_ret);
 cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
                       const void* arg_value);
+// HaoCL extension: declares the access pattern of a buffer argument.
+// `partition_stride` is the bytes one dim-0 global index touches (required
+// non-zero for PARTITIONED_DIM0, ignored for REPLICATED). Sticky across
+// clSetKernelArg calls on the same index.
+cl_int clSetKernelArgAccessPatternHAOCL(cl_kernel kernel, cl_uint arg_index,
+                                        cl_haocl_arg_access access,
+                                        size_t partition_stride);
 cl_int clRetainKernel(cl_kernel kernel);
 cl_int clReleaseKernel(cl_kernel kernel);
 

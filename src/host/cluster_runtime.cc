@@ -2,19 +2,54 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/log.h"
 #include "driver/device_driver.h"
 #include "driver/native_registry.h"
+#include "oclc/builtins.h"
+#include "oclc/bytecode.h"
 
 namespace haocl::host {
 
 using net::Message;
 using net::MsgType;
 
-// Completed-launch results are retained for at least this many launches;
-// past the window, retired entries are reclaimed lazily at submit.
-constexpr std::size_t kLaunchResultWindow = 1024;
+namespace {
+
+// True when the kernel may query launch-wide geometry that turns
+// shard-local under a split — get_global_size / get_num_groups (the
+// shard's extent, not the launch's: a grid-stride loop would walk the
+// wrong stride), get_group_id (group ids restart at 0 per shard, so the
+// canonical group_id*local_size+local_id index reconstruction collapses
+// onto the first slice), or get_global_offset (reports the
+// shard-composed offset). Such kernels run whole. Calls into helper
+// functions are treated conservatively (their bodies are not scanned).
+bool KernelMayQueryLaunchRange(const oclc::Module& module,
+                               const oclc::CompiledFunction& kernel) {
+  auto end_pc = static_cast<std::uint32_t>(module.code.size());
+  for (const auto& fn : module.functions) {
+    if (fn.entry_pc > kernel.entry_pc && fn.entry_pc < end_pc) {
+      end_pc = fn.entry_pc;
+    }
+  }
+  for (std::uint32_t pc = kernel.entry_pc; pc < end_pc; ++pc) {
+    const oclc::Instruction& instr = module.code[pc];
+    if (instr.op == oclc::Opcode::kCall) return true;
+    if (instr.op == oclc::Opcode::kCallBuiltin) {
+      const auto id = static_cast<oclc::BuiltinId>(instr.a);
+      if (id == oclc::BuiltinId::kGetGlobalSize ||
+          id == oclc::BuiltinId::kGetNumGroups ||
+          id == oclc::BuiltinId::kGetGroupId ||
+          id == oclc::BuiltinId::kGetGlobalOffset) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 // RAII in-flight accounting: the scheduler's queue_depth per node.
 class ClusterRuntime::InFlightGuard {
@@ -163,12 +198,13 @@ void ClusterRuntime::CollectDepIds(const std::vector<CommandHandle>& deps,
 
 void ClusterRuntime::PruneRetiredReadersLocked(LogicalBuffer& buffer) {
   // Read-mostly buffers would otherwise grow this list until the next
-  // write; retired readers impose no ordering anymore.
+  // write; retired readers impose no ordering anymore. Reclaimed records
+  // (released handles, !ok query) retired by definition.
   auto& readers = buffer.readers_since_write;
   readers.erase(std::remove_if(readers.begin(), readers.end(),
                                [this](CommandId id) {
                                  auto state = graph_->QueryState(id);
-                                 return state.ok() && IsTerminal(*state);
+                                 return !state.ok() || IsTerminal(*state);
                                }),
                 readers.end());
 }
@@ -210,6 +246,13 @@ Expected<CommandHandle> ClusterRuntime::SubmitWrite(
     std::vector<CommandHandle> deps, std::vector<CommandHandle> order_after) {
   return SubmitWriteImpl(id, offset, data, size, std::move(deps),
                          std::move(order_after), /*snapshot_data=*/true);
+}
+
+Expected<CommandHandle> ClusterRuntime::SubmitWriteBorrowed(
+    BufferId id, std::uint64_t offset, const void* data, std::uint64_t size,
+    std::vector<CommandHandle> deps, std::vector<CommandHandle> order_after) {
+  return SubmitWriteImpl(id, offset, data, size, std::move(deps),
+                         std::move(order_after), /*snapshot_data=*/false);
 }
 
 Expected<CommandHandle> ClusterRuntime::SubmitWriteImpl(
@@ -442,7 +485,7 @@ Status ClusterRuntime::ReleaseBuffer(BufferId id) {
                  buffer->readers_since_write.end());
   buffers_.erase(it);
   if (disconnected_) return Status::Ok();  // Nodes are shutting down.
-  graph_->Submit(
+  const CommandId teardown = graph_->Submit(
       [this, id, buffer](CommandGraph::Execution&) {
         std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -459,6 +502,9 @@ Status ClusterRuntime::ReleaseBuffer(BufferId id) {
         return Status::Ok();
       },
       {}, "release:buf" + std::to_string(id), std::move(pending));
+  // Fire-and-forget: nobody queries teardown commands, so drop the record
+  // reference now and let the graph reclaim it at retirement.
+  graph_->Release(teardown);
   return Status::Ok();
 }
 
@@ -507,6 +553,64 @@ Status ClusterRuntime::EnsureBufferOnNodeLocked(BufferId id,
   } else {
     timeline_->RecordReplicationToNode(node, buffer.size, replica_holders);
   }
+  return Status::Ok();
+}
+
+Status ClusterRuntime::EnsureSliceOnNodeLocked(BufferId id,
+                                               LogicalBuffer& buffer,
+                                               std::size_t node,
+                                               std::uint64_t begin,
+                                               std::uint64_t size,
+                                               std::uint64_t* bytes_shipped) {
+  if (!buffer.allocated_on[node]) {
+    // Full-size remote allocation: the kernel indexes with its global ids,
+    // so the slice must live at its natural offset.
+    net::CreateBufferRequest create;
+    create.buffer_id = id;
+    create.size = buffer.size;
+    auto reply = CallNode(node, MsgType::kCreateBuffer, create.Encode());
+    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+    buffer.allocated_on[node] = true;
+  }
+  // Validate the host shadow BEFORE the replica short-circuit: the first
+  // shard prologue to run must repopulate a stale shadow even if its own
+  // node already holds the replica — a sibling shard's gather epilogue
+  // marks host_valid once it merges its slice, and by then every other
+  // shard must be shipping real bytes, not stale shadow.
+  if (!buffer.host_valid) {
+    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, buffer));
+  }
+  if (buffer.valid_on[node]) return Status::Ok();  // Full replica covers it.
+  net::WriteBufferRequest request;
+  request.buffer_id = id;
+  request.offset = begin;
+  request.data.assign(buffer.shadow.begin() + begin,
+                      buffer.shadow.begin() + begin + size);
+  auto reply = CallNode(node, MsgType::kWriteBuffer, request.Encode());
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+  // Deliberately NOT marking valid_on: the node holds one slice, not a
+  // replica.
+  if (bytes_shipped != nullptr) *bytes_shipped += size;
+  timeline_->RecordTransferToNode(node, size);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::GatherSliceLocked(BufferId id, LogicalBuffer& buffer,
+                                         std::size_t node,
+                                         std::uint64_t begin,
+                                         std::uint64_t size) {
+  net::ReadBufferRequest request;
+  request.buffer_id = id;
+  request.offset = begin;
+  request.size = size;
+  auto reply = CallNode(node, MsgType::kReadBuffer, request.Encode());
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
+  if (reply->payload.size() != size) {
+    return Status(ErrorCode::kProtocolError, "short slice read");
+  }
+  std::copy(reply->payload.begin(), reply->payload.end(),
+            buffer.shadow.begin() + begin);
+  timeline_->RecordTransferFromNode(node, size);
   return Status::Ok();
 }
 
@@ -566,7 +670,7 @@ Status ClusterRuntime::ReleaseProgram(ProgramId id) {
   program->uses.clear();
   programs_.erase(it);
   if (disconnected_) return Status::Ok();
-  graph_->Submit(
+  const CommandId teardown = graph_->Submit(
       [this, id, program](CommandGraph::Execution&) {
         std::lock_guard<std::mutex> program_lock(program->mutex);
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -584,6 +688,7 @@ Status ClusterRuntime::ReleaseProgram(ProgramId id) {
         return Status::Ok();
       },
       {}, "release:prog" + std::to_string(id), std::move(pending));
+  graph_->Release(teardown);
   return Status::Ok();
 }
 
@@ -622,11 +727,12 @@ struct ClusterRuntime::LaunchPlan {
   bool has_result = false;
 };
 
-// Everything a launch needs, resolved and validated at submit time so the
-// graph worker never touches the object tables for lookups. Owned solely
-// by the command body's closure.
+// Everything one shard of a launch needs, resolved and validated at submit
+// time so the graph worker never touches the object tables for lookups.
+// Owned solely by the command body's closure.
 struct ClusterRuntime::LaunchWork {
-  LaunchSpec spec;
+  LaunchSpec spec;  // Shard geometry: global[0] = shard count and
+                    // global_offset[0] includes the shard offset.
   ProgramId program_id = 0;
   ProgramPtr program;
   const oclc::CompiledFunction* kernel = nullptr;
@@ -635,9 +741,12 @@ struct ClusterRuntime::LaunchWork {
     BufferId id = 0;
     BufferPtr buffer;
     bool written = false;  // Bound to a non-const pointer parameter.
+    bool partitioned = false;  // kPartitionedDim0 annotation.
+    std::uint64_t stride = 0;  // Bytes per dim-0 index (partitioned).
   };
   std::vector<BufferArg> buffers;
-  sched::TaskInfo task;
+  std::size_t node = 0;      // Placement decided at submit.
+  bool region_mode = false;  // Multi-shard plan: slice ship + gather-back.
   std::shared_ptr<LaunchPlan> plan;
 };
 
@@ -653,144 +762,109 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       program_it->second->module == nullptr) {
     return Status(ErrorCode::kInvalidProgram, "no such program");
   }
-  auto work = std::make_shared<LaunchWork>();
-  work->plan = std::make_shared<LaunchPlan>();
-  work->spec = spec;
-  work->program_id = spec.program;
-  work->program = program_it->second;
-  work->kernel = work->program->module->FindKernel(spec.kernel_name);
-  if (work->kernel == nullptr) {
+  const ProgramPtr program = program_it->second;
+  const oclc::CompiledFunction* kernel =
+      program->module->FindKernel(spec.kernel_name);
+  if (kernel == nullptr) {
     return Status(ErrorCode::kInvalidKernelName,
                   "no kernel '" + spec.kernel_name + "' in program");
   }
-  if (work->kernel->params.size() != spec.args.size()) {
+  if (kernel->params.size() != spec.args.size()) {
     return Status(ErrorCode::kInvalidKernelArgs,
                   "kernel '" + spec.kernel_name + "' takes " +
-                      std::to_string(work->kernel->params.size()) +
+                      std::to_string(kernel->params.size()) +
                       " args, got " + std::to_string(spec.args.size()));
   }
 
-  // Task profile for the scheduling policy (the NMP refines it later).
-  sched::TaskInfo& task = work->task;
+  // Resolve buffer args once; every shard shares the pins and metadata.
+  std::vector<LaunchWork::BufferArg> buffer_args;
+  std::vector<oclc::ArgBinding> fake_bindings;
+  sched::TaskInfo task;
   task.kernel_name = spec.kernel_name;
   task.user_id = options_.session_id;
   task.preferred_node = spec.preferred_node;
   task.fpga_binary_available =
       driver::NativeKernelRegistry::Instance().Contains(spec.kernel_name);
-  if (spec.cost_hint.has_value()) task.cost = *spec.cost_hint;
-  oclc::NDRange range;
-  range.work_dim = spec.work_dim;
-  for (int d = 0; d < 3; ++d) {
-    range.global[d] = spec.global[d];
-    range.local[d] = spec.local[d];
-  }
-  range.local_specified = spec.local_specified;
-  std::vector<oclc::ArgBinding> fake_bindings;
+  task.dim0_extent = spec.global[0];
+  task.dim0_align = spec.local_specified ? std::max<std::uint64_t>(
+                                               1, spec.local[0])
+                                         : 1;
+  // Kernels that query the launch-wide range would see shard-local
+  // values; keep them whole.
+  task.splittable = spec.work_dim >= 1 && spec.global[0] > 0 &&
+                    !KernelMayQueryLaunchRange(*program->module, *kernel);
   for (std::size_t i = 0; i < spec.args.size(); ++i) {
     const KernelArgValue& arg = spec.args[i];
-    if (arg.kind == KernelArgValue::Kind::kBuffer) {
-      auto it = buffers_.find(arg.buffer);
-      if (it == buffers_.end()) {
-        return Status(ErrorCode::kInvalidMemObject,
-                      "arg " + std::to_string(i) + ": no such buffer");
-      }
-      LaunchWork::BufferArg buffer_arg;
-      buffer_arg.arg_index = i;
-      buffer_arg.id = arg.buffer;
-      buffer_arg.buffer = it->second;
-      buffer_arg.written = !work->kernel->params[i].pointee_const;
-      work->buffers.push_back(std::move(buffer_arg));
-      task.input_bytes += it->second->size;
-      oclc::ArgBinding binding;
-      binding.kind = oclc::ArgBinding::Kind::kBuffer;
-      binding.size = it->second->size;
-      fake_bindings.push_back(binding);
-    } else {
+    if (arg.kind != KernelArgValue::Kind::kBuffer) {
       fake_bindings.push_back(oclc::ArgBinding{});
+      continue;
     }
-  }
-  if (!spec.cost_hint.has_value()) {
-    task.cost = driver::EstimateKernelCost(*work->program->module,
-                                           *work->kernel, fake_bindings,
-                                           range);
-  }
-
-  // Implicit hazards: order after everything that conflicts on the bound
-  // buffers, then register this launch as their next reader/writer.
-  std::vector<CommandId> dep_ids;
-  std::vector<CommandId> hazards;
-  CollectDepIds(deps, &dep_ids);
-  CollectDepIds(order_after, &hazards);
-  // Local copies for post-Submit hazard registration: the body may start
-  // (and drop the plan's pins) the moment Submit returns.
-  struct HazardTarget {
-    BufferPtr buffer;
-    bool written;
-  };
-  std::vector<HazardTarget> targets;
-  targets.reserve(work->buffers.size());
-  for (const auto& buffer_arg : work->buffers) {
-    targets.push_back({buffer_arg.buffer, buffer_arg.written});
-    if (buffer_arg.written) {
-      AddWriteHazardLocked(*buffer_arg.buffer, &hazards);
-    } else {
-      AddReadHazardLocked(*buffer_arg.buffer, &hazards);
+    auto it = buffers_.find(arg.buffer);
+    if (it == buffers_.end()) {
+      return Status(ErrorCode::kInvalidMemObject,
+                    "arg " + std::to_string(i) + ": no such buffer");
     }
-  }
-  ProgramPtr program = work->program;
-  std::shared_ptr<LaunchPlan> plan = work->plan;
-  // The body's closure is the sole owner of `work` (and thus of every
-  // buffer/program pin); the graph drops the body on ANY retirement path
-  // — completion, failure, dependency failure, shutdown — so pins never
-  // outlive the command.
-  const CommandId cmd = graph_->Submit(
-      [this, work = std::move(work)](CommandGraph::Execution& e) {
-        return ExecLaunch(work, e);
-      },
-      std::move(dep_ids), "launch:" + spec.kernel_name, std::move(hazards));
-  // The async shim never queries LaunchResultOf, so bound the result map:
-  // once it grows past the window, drop retired entries. Callers who want
-  // a launch's result query it promptly after Wait (documented).
-  if (launch_plans_.size() >= kLaunchResultWindow) {
-    for (auto it = launch_plans_.begin(); it != launch_plans_.end();) {
-      auto state = graph_->QueryState(it->first);
-      if (state.ok() && IsTerminal(*state)) {
-        it = launch_plans_.erase(it);
-      } else {
-        ++it;
+    LaunchWork::BufferArg buffer_arg;
+    buffer_arg.arg_index = i;
+    buffer_arg.id = arg.buffer;
+    buffer_arg.buffer = it->second;
+    buffer_arg.written = !kernel->params[i].pointee_const;
+    buffer_arg.partitioned =
+        arg.access == KernelArgValue::Access::kPartitionedDim0;
+    buffer_arg.stride = arg.partition_stride;
+    if (buffer_arg.partitioned) {
+      if (buffer_arg.stride == 0) {
+        return Status(ErrorCode::kInvalidValue,
+                      "arg " + std::to_string(i) +
+                          ": partitioned access needs a non-zero stride");
+      }
+      // The full partition range must fit the buffer, or shard slices
+      // would run past its end. Division form: offset + count and the
+      // byte product can both wrap uint64 for hostile global_work_offset
+      // values.
+      const std::uint64_t max_indices =
+          it->second->size / buffer_arg.stride;
+      if (spec.global[0] > max_indices ||
+          spec.global_offset[0] > max_indices - spec.global[0]) {
+        return Status(ErrorCode::kInvalidValue,
+                      "arg " + std::to_string(i) + ": partition range (" +
+                          std::to_string(spec.global_offset[0]) + " + " +
+                          std::to_string(spec.global[0]) + " x stride " +
+                          std::to_string(buffer_arg.stride) +
+                          ") exceeds buffer size " +
+                          std::to_string(it->second->size));
       }
     }
-  }
-  launch_plans_.emplace(cmd, std::move(plan));
-  for (const auto& target : targets) {
-    if (target.written) {
-      target.buffer->last_writer = cmd;
-      target.buffer->readers_since_write.clear();
-    } else {
-      target.buffer->readers_since_write.push_back(cmd);
+    if (buffer_arg.written && !buffer_arg.partitioned) {
+      task.splittable = false;  // Whole-buffer writes pin the launch.
     }
+    task.input_bytes += it->second->size;
+    buffer_args.push_back(std::move(buffer_arg));
+    oclc::ArgBinding binding;
+    binding.kind = oclc::ArgBinding::Kind::kBuffer;
+    binding.size = it->second->size;
+    fake_bindings.push_back(binding);
   }
-  // Prune retired launches so long-lived programs do not accumulate one
-  // id per launch forever (mirrors PruneRetiredReadersLocked).
-  auto& uses = program->uses;
-  uses.erase(std::remove_if(uses.begin(), uses.end(),
-                            [this](CommandId id) {
-                              auto state = graph_->QueryState(id);
-                              return state.ok() && IsTerminal(*state);
-                            }),
-             uses.end());
-  uses.push_back(cmd);
-  return CommandHandle{cmd};
-}
+  if (spec.cost_hint.has_value()) {
+    task.cost = *spec.cost_hint;
+  } else {
+    oclc::NDRange range;
+    range.work_dim = spec.work_dim;
+    for (int d = 0; d < 3; ++d) {
+      range.global[d] = spec.global[d];
+      range.local[d] = spec.local[d];
+      range.offset[d] = spec.global_offset[d];
+    }
+    range.local_specified = spec.local_specified;
+    task.cost = driver::EstimateKernelCost(*program->module, *kernel,
+                                           fake_bindings, range);
+  }
 
-Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
-                                  CommandGraph::Execution& e) {
-  const LaunchSpec& spec = work->spec;
-
-  // ---- Schedule (sees the live in-flight depth per node) -----------------
-  Expected<std::size_t> selected(ErrorCode::kSchedulerError, "unset");
+  // Ask the policy for the placement plan (live in-flight depth feeds the
+  // view, so the decision sees the cluster as of this submit).
+  sched::PlacementPlan placement;
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    std::lock_guard<std::mutex> sched_lock(sched_mutex_);
     sched::ClusterView view;
     for (std::size_t i = 0; i < devices_.size(); ++i) {
       sched::NodeView node;
@@ -803,10 +877,208 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
       node.observed_seconds_per_flop = observed_sec_per_flop_[i];
       view.nodes.push_back(std::move(node));
     }
-    selected = policy_->SelectNode(work->task, view);
+    auto planned = policy_->PlanLaunch(task, view);
+    if (!planned.ok()) return planned.status();
+    HAOCL_RETURN_IF_ERROR(sched::ValidatePlan(*planned, task, view));
+    placement = *std::move(planned);
   }
-  if (!selected.ok()) return selected.status();
-  const std::size_t node = *selected;
+  const std::size_t shard_total = placement.shards.size();
+  const bool region_mode = shard_total > 1;
+
+  // Shared dependency context for every shard.
+  std::vector<CommandId> dep_ids;
+  std::vector<CommandId> hazards;
+  CollectDepIds(deps, &dep_ids);
+  CollectDepIds(order_after, &hazards);
+  struct HazardTarget {
+    BufferPtr buffer;
+    bool written;
+  };
+  std::vector<HazardTarget> targets;
+  targets.reserve(buffer_args.size());
+  for (const auto& buffer_arg : buffer_args) {
+    targets.push_back({buffer_arg.buffer, buffer_arg.written});
+    if (buffer_arg.written) {
+      AddWriteHazardLocked(*buffer_arg.buffer, &hazards);
+    } else {
+      AddReadHazardLocked(*buffer_arg.buffer, &hazards);
+    }
+  }
+
+  // Fan out one sub-launch per shard. Shards are mutually independent (the
+  // plan guarantees disjoint slices); each orders after the same hazards.
+  std::vector<CommandId> shard_ids;
+  std::vector<std::shared_ptr<LaunchPlan>> shard_plans;
+  shard_ids.reserve(shard_total);
+  shard_plans.reserve(shard_total);
+  const double extent = static_cast<double>(std::max<std::uint64_t>(
+      1, spec.global[0]));
+  for (std::size_t s = 0; s < shard_total; ++s) {
+    const sched::PlacementShard& shard = placement.shards[s];
+    auto work = std::make_shared<LaunchWork>();
+    work->spec = spec;
+    work->spec.global[0] = shard.global_count;
+    work->spec.global_offset[0] = spec.global_offset[0] + shard.global_offset;
+    if (spec.cost_hint.has_value()) {
+      // Scale the analytic hint to the shard's share of the range.
+      const double fraction =
+          static_cast<double>(shard.global_count) / extent;
+      sim::KernelCost cost = *spec.cost_hint;
+      cost.flops *= fraction;
+      cost.bytes *= fraction;
+      cost.work_items = static_cast<std::uint64_t>(
+          static_cast<double>(cost.work_items) * fraction);
+      work->spec.cost_hint = cost;
+    }
+    work->program_id = spec.program;
+    work->program = program;
+    work->kernel = kernel;
+    work->buffers = buffer_args;
+    work->node = shard.node;
+    work->region_mode = region_mode;
+    work->plan = std::make_shared<LaunchPlan>();
+    shard_plans.push_back(work->plan);
+    const std::string label =
+        region_mode ? "launch:" + spec.kernel_name + "[" +
+                          std::to_string(s + 1) + "/" +
+                          std::to_string(shard_total) + "]"
+                    : "launch:" + spec.kernel_name;
+    // The body's closure is the sole owner of `work` (and thus of every
+    // buffer/program pin); the graph drops the body on ANY retirement
+    // path — completion, failure, dependency failure, shutdown — so pins
+    // never outlive the command.
+    shard_ids.push_back(graph_->Submit(
+        [this, work = std::move(work)](CommandGraph::Execution& e) {
+          return ExecLaunch(work, e);
+        },
+        dep_ids, label, hazards));
+  }
+
+  CommandId cmd = shard_ids[0];
+  if (region_mode) {
+    // Join: one aggregate result, one handle for the caller. The shard
+    // edges are WEAK (the join runs after every shard retires, success or
+    // failure) so the join body can surface the first shard's own error —
+    // a caller waiting on the fan-out sees the root cause, not a generic
+    // kDependencyFailed.
+    auto join_plan = std::make_shared<LaunchPlan>();
+    const std::uint32_t shard_count = static_cast<std::uint32_t>(shard_total);
+    std::vector<std::uint64_t> counts;
+    counts.reserve(shard_total);
+    for (const auto& shard : placement.shards) {
+      counts.push_back(shard.global_count);
+    }
+    std::vector<std::size_t> shard_nodes;
+    shard_nodes.reserve(shard_total);
+    for (const auto& shard : placement.shards) {
+      shard_nodes.push_back(shard.node);
+    }
+    cmd = graph_->Submit(
+        [this, shards = shard_ids, plans = shard_plans,
+         counts = std::move(counts), nodes = std::move(shard_nodes),
+         shard_count, join_plan](CommandGraph::Execution& e) {
+          // All shards are terminal (weak edges resolved); fail with the
+          // most specific shard error, if any. Success is read from the
+          // shared plan (the body's last write before returning OK), NOT
+          // from the graph record — an early ReleaseCommand on the launch
+          // handle may have reclaimed shard records already.
+          Status failure = Status::Ok();
+          for (std::size_t i = 0; i < plans.size(); ++i) {
+            if (plans[i]->has_result) continue;  // Shard completed.
+            // Reclaimed records (unknown to QueryState) lost their
+            // status; live records report their genuine failure, whatever
+            // its code.
+            Status status =
+                graph_->QueryState(shards[i]).ok()
+                    ? graph_->QueryStatus(shards[i])
+                    : Status(ErrorCode::kInternal,
+                             "launch shard failed (record released)");
+            if (status.ok()) {
+              status = Status(ErrorCode::kInternal, "launch shard failed");
+            }
+            if (failure.ok() ||
+                (failure.code() == ErrorCode::kDependencyFailed &&
+                 status.code() != ErrorCode::kDependencyFailed)) {
+              failure = status;
+            }
+          }
+          if (!failure.ok()) return failure;
+          LaunchResult agg;
+          agg.shard_count = shard_count;
+          double span_start = std::numeric_limits<double>::infinity();
+          std::uint64_t largest = 0;
+          for (std::size_t i = 0; i < plans.size(); ++i) {
+            const LaunchResult& r = plans[i]->result;
+            agg.modeled_seconds = std::max(agg.modeled_seconds,
+                                           r.modeled_seconds);
+            agg.modeled_joules += r.modeled_joules;
+            agg.bytes_shipped += r.bytes_shipped;
+            agg.virtual_completion = std::max(agg.virtual_completion,
+                                              r.virtual_completion);
+            span_start = std::min(span_start,
+                                  r.virtual_completion - r.modeled_seconds);
+            if (counts[i] > largest) {
+              largest = counts[i];
+              agg.node = nodes[i];
+            }
+          }
+          e.SetSpan(span_start, agg.virtual_completion);
+          join_plan->result = agg;
+          join_plan->has_result = true;
+          return Status::Ok();
+        },
+        {}, "launch:" + spec.kernel_name + ":join", shard_ids);
+    fan_outs_.emplace(cmd, shard_ids);
+    for (std::size_t s = 0; s < shard_ids.size(); ++s) {
+      launch_plans_.emplace(shard_ids[s], shard_plans[s]);
+    }
+    launch_plans_.emplace(cmd, std::move(join_plan));
+  } else {
+    launch_plans_.emplace(cmd, shard_plans[0]);
+  }
+
+  // Register the whole fan-out as one unit in the hazard chains: later
+  // conflicting commands order after the join (and thus every shard). The
+  // shards also register individually — a failed sibling makes the join
+  // terminal while other shards still run, and teardown/write hazards
+  // must not overtake them.
+  for (const auto& target : targets) {
+    if (target.written) {
+      target.buffer->last_writer = cmd;
+      target.buffer->readers_since_write.clear();
+    } else {
+      target.buffer->readers_since_write.push_back(cmd);
+    }
+    if (region_mode) {
+      auto& readers = target.buffer->readers_since_write;
+      readers.insert(readers.end(), shard_ids.begin(), shard_ids.end());
+    }
+  }
+  // Prune retired launches so long-lived programs do not accumulate one
+  // id per launch forever (mirrors PruneRetiredReadersLocked). Reclaimed
+  // records (!ok) retired by definition.
+  auto& uses = program->uses;
+  uses.erase(std::remove_if(uses.begin(), uses.end(),
+                            [this](CommandId id) {
+                              auto state = graph_->QueryState(id);
+                              return !state.ok() || IsTerminal(*state);
+                            }),
+             uses.end());
+  if (region_mode) {
+    uses.insert(uses.end(), shard_ids.begin(), shard_ids.end());
+  }
+  uses.push_back(cmd);
+  return CommandHandle{cmd};
+}
+
+Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
+                                  CommandGraph::Execution& e) {
+  const LaunchSpec& spec = work->spec;
+  const std::size_t node = work->node;  // Placement decided at submit.
+  // Byte range of this shard's slice in partitioned buffers: dim-0
+  // indices [global_offset[0], global_offset[0] + global[0]).
+  const std::uint64_t slice_first = spec.global_offset[0];
+  const std::uint64_t slice_count = spec.global[0];
 
   // ---- Stage program + data (per-command prologue, per-object locks) -----
   HAOCL_RETURN_IF_ERROR(
@@ -821,6 +1093,7 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   for (int d = 0; d < 3; ++d) {
     request.global[d] = spec.global[d];
     request.local[d] = spec.local[d];
+    request.global_offset[d] = spec.global_offset[d];
   }
   request.local_specified = spec.local_specified;
 
@@ -832,9 +1105,16 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
       case KernelArgValue::Kind::kBuffer: {
         LaunchWork::BufferArg& buffer_arg = *buffer_arg_it++;
         std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
-        HAOCL_RETURN_IF_ERROR(
-            EnsureBufferOnNodeLocked(buffer_arg.id, *buffer_arg.buffer, node,
-                                     &result.bytes_shipped));
+        if (work->region_mode && buffer_arg.partitioned) {
+          HAOCL_RETURN_IF_ERROR(EnsureSliceOnNodeLocked(
+              buffer_arg.id, *buffer_arg.buffer, node,
+              slice_first * buffer_arg.stride,
+              slice_count * buffer_arg.stride, &result.bytes_shipped));
+        } else {
+          HAOCL_RETURN_IF_ERROR(
+              EnsureBufferOnNodeLocked(buffer_arg.id, *buffer_arg.buffer,
+                                       node, &result.bytes_shipped));
+        }
         wire.kind = net::WireKernelArg::Kind::kBuffer;
         wire.buffer_id = buffer_arg.id;
         break;
@@ -862,14 +1142,28 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   }
 
   // ---- Post-launch bookkeeping -------------------------------------------
-  // Buffers bound to non-const pointer params are now owned by `node`.
   for (const auto& buffer_arg : work->buffers) {
     if (!buffer_arg.written) continue;
     std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
-    std::fill(buffer_arg.buffer->valid_on.begin(),
-              buffer_arg.buffer->valid_on.end(), false);
-    buffer_arg.buffer->valid_on[node] = true;
-    buffer_arg.buffer->host_valid = false;
+    if (work->region_mode) {
+      // Partitioned output (region mode allows nothing else): gather this
+      // shard's slice straight back into the host shadow. The union over
+      // all shards reassembles the buffer; replicas are left stale (each
+      // node only computed its own slice).
+      HAOCL_RETURN_IF_ERROR(GatherSliceLocked(
+          buffer_arg.id, *buffer_arg.buffer, node,
+          slice_first * buffer_arg.stride,
+          slice_count * buffer_arg.stride));
+      std::fill(buffer_arg.buffer->valid_on.begin(),
+                buffer_arg.buffer->valid_on.end(), false);
+      buffer_arg.buffer->host_valid = true;
+    } else {
+      // Classic single-node launch: the node now owns the buffer.
+      std::fill(buffer_arg.buffer->valid_on.begin(),
+                buffer_arg.buffer->valid_on.end(), false);
+      buffer_arg.buffer->valid_on[node] = true;
+      buffer_arg.buffer->host_valid = false;
+    }
   }
 
   result.modeled_seconds = decoded->modeled_seconds;
@@ -961,6 +1255,53 @@ Expected<LaunchResult> ClusterRuntime::LaunchResultOf(
   return plan->result;
 }
 
+Expected<std::vector<CommandHandle>> ClusterRuntime::LaunchShardsOf(
+    CommandHandle handle) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto fan = fan_outs_.find(handle.id);
+  if (fan != fan_outs_.end()) {
+    std::vector<CommandHandle> shards;
+    shards.reserve(fan->second.size());
+    for (CommandId id : fan->second) shards.push_back(CommandHandle{id});
+    return shards;
+  }
+  if (launch_plans_.count(handle.id) != 0) {
+    return std::vector<CommandHandle>{handle};  // Single-shard launch.
+  }
+  return Status(ErrorCode::kInvalidValue,
+                "command " + std::to_string(handle.id) + " is not a launch");
+}
+
+Status ClusterRuntime::RetainCommand(CommandHandle handle) {
+  if (!handle.valid()) {
+    return Status(ErrorCode::kInvalidValue, "null command handle");
+  }
+  graph_->Retain(handle.id);
+  return Status::Ok();
+}
+
+Status ClusterRuntime::ReleaseCommand(CommandHandle handle) {
+  if (!handle.valid()) {
+    return Status(ErrorCode::kInvalidValue, "null command handle");
+  }
+  if (!graph_->Release(handle.id)) return Status::Ok();  // Still retained.
+  // Last reference gone: drop the launch bookkeeping, including the
+  // runtime-held references on a fan-out's shard commands.
+  std::vector<CommandId> shards;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    launch_plans_.erase(handle.id);
+    auto fan = fan_outs_.find(handle.id);
+    if (fan != fan_outs_.end()) {
+      shards = std::move(fan->second);
+      fan_outs_.erase(fan);
+    }
+    for (CommandId shard : shards) launch_plans_.erase(shard);
+  }
+  for (CommandId shard : shards) graph_->Release(shard);
+  return Status::Ok();
+}
+
 std::uint32_t ClusterRuntime::InFlightOn(std::size_t node) const {
   std::lock_guard<std::mutex> lock(sched_mutex_);
   return node < in_flight_.size() ? in_flight_[node] : 0;
@@ -990,17 +1331,20 @@ Status ClusterRuntime::WriteBuffer(BufferId id, std::uint64_t offset,
                                    const void* data, std::uint64_t size) {
   // Blocking: the caller's memory outlives the command, so skip the
   // submit-time snapshot and write straight from it.
-  auto handle = SubmitWriteImpl(id, offset, data, size, {}, {},
-                                /*snapshot_data=*/false);
+  auto handle = SubmitWriteBorrowed(id, offset, data, size);
   if (!handle.ok()) return handle.status();
-  return Wait(*handle);
+  Status status = Wait(*handle);
+  (void)ReleaseCommand(*handle);  // Consumed here; reclaim the record.
+  return status;
 }
 
 Status ClusterRuntime::ReadBuffer(BufferId id, std::uint64_t offset,
                                   void* data, std::uint64_t size) {
   auto handle = SubmitRead(id, offset, data, size);
   if (!handle.ok()) return handle.status();
-  return Wait(*handle);
+  Status status = Wait(*handle);
+  (void)ReleaseCommand(*handle);
+  return status;
 }
 
 Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
@@ -1012,8 +1356,7 @@ Expected<LaunchResult> ClusterRuntime::LaunchKernel(const LaunchSpec& spec) {
                        : Expected<LaunchResult>(wait_status);
   // Synchronous callers consume the result here; drop the bookkeeping
   // (success or failure) so tight launch loops don't accumulate records.
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  launch_plans_.erase(handle->id);
+  (void)ReleaseCommand(*handle);
   return result;
 }
 

@@ -24,6 +24,15 @@
 // parameters are owned by the executing node; reads gather them back.
 // The bookkeeping lives in per-command prologues under per-buffer locks,
 // ordered by the graph — not under a runtime-wide lock.
+//
+// Placement plans: SubmitLaunch asks the policy's PlanLaunch for an
+// ordered list of {node, offset, count} shards over dimension 0 of the
+// NDRange and fans out one sub-launch per shard (single-shard plans are
+// the classic one-node path). For multi-shard plans, coherence turns
+// region-granular on kPartitionedDim0 args: each shard ships only its
+// input slice and gathers its output slice back into the host shadow, so
+// one kernel co-executes across heterogeneous nodes bit-identically to
+// the single-node run.
 #pragma once
 
 #include <chrono>
@@ -61,15 +70,38 @@ struct DeviceInfo {
 // One kernel argument as the application binds it (clSetKernelArg).
 struct KernelArgValue {
   enum class Kind : std::uint8_t { kBuffer, kScalar, kLocalSize };
+  // How the kernel's work-items touch a buffer argument, which decides
+  // what a partitioned (multi-shard) launch ships:
+  //   kReplicated      - any work-item may touch any byte; the whole
+  //                      buffer goes to every shard's node (the classic
+  //                      behaviour, and the default).
+  //   kPartitionedDim0 - work-item with global id g touches only bytes
+  //                      [g*stride, (g+1)*stride): each shard ships and
+  //                      gathers just its slice. A launch is splittable
+  //                      across nodes only when every buffer the kernel
+  //                      WRITES carries this annotation.
+  enum class Access : std::uint8_t { kReplicated = 0, kPartitionedDim0 = 1 };
   Kind kind = Kind::kScalar;
   BufferId buffer = 0;
   std::vector<std::uint8_t> scalar_bytes;
   std::uint64_t local_size = 0;
+  Access access = Access::kReplicated;
+  std::uint64_t partition_stride = 0;  // Bytes per dim-0 index.
 
   static KernelArgValue Buffer(BufferId id) {
     KernelArgValue v;
     v.kind = Kind::kBuffer;
     v.buffer = id;
+    return v;
+  }
+  // Buffer whose rows follow dimension 0 of the NDRange: `stride_bytes`
+  // per global index (e.g. a row-partitioned N x N float matrix launched
+  // over N rows has stride 4*N).
+  static KernelArgValue PartitionedBuffer(BufferId id,
+                                          std::uint64_t stride_bytes) {
+    KernelArgValue v = Buffer(id);
+    v.access = Access::kPartitionedDim0;
+    v.partition_stride = stride_bytes;
     return v;
   }
   template <typename T>
@@ -90,11 +122,15 @@ struct KernelArgValue {
 };
 
 struct LaunchResult {
-  std::size_t node = 0;            // Where the scheduler placed the task.
-  double modeled_seconds = 0.0;    // Device-model kernel time.
-  double modeled_joules = 0.0;
+  std::size_t node = 0;            // Shard's node; for aggregates of a
+                                   // multi-shard launch, the node that ran
+                                   // the largest shard.
+  double modeled_seconds = 0.0;    // Device-model kernel time (aggregate:
+                                   // slowest shard — they run in parallel).
+  double modeled_joules = 0.0;     // Aggregate: summed over shards.
   std::uint64_t bytes_shipped = 0; // Input data moved for this launch.
-  sim::SimTime virtual_completion = 0.0;
+  sim::SimTime virtual_completion = 0.0;  // Aggregate: last shard done.
+  std::uint32_t shard_count = 1;   // Placement-plan shards (1 = classic).
 };
 
 struct RuntimeOptions {
@@ -158,6 +194,9 @@ class ClusterRuntime {
     std::uint32_t work_dim = 1;
     std::uint64_t global[3] = {1, 1, 1};
     std::uint64_t local[3] = {1, 1, 1};
+    // clEnqueueNDRangeKernel's global_work_offset: shifts get_global_id
+    // without changing the range. Shard offsets compose on top of it.
+    std::uint64_t global_offset[3] = {0, 0, 0};
     bool local_specified = false;
     int preferred_node = -1;  // User instruction; -1 lets the policy pick.
     // Analytic work estimate. The driver's static estimator cannot see
@@ -184,6 +223,15 @@ class ClusterRuntime {
                                       const void* data, std::uint64_t size,
                                       std::vector<CommandHandle> deps = {},
                                       std::vector<CommandHandle> order_after = {});
+  // As SubmitWrite but WITHOUT the submit-time snapshot: the caller
+  // guarantees `data` stays valid and unmodified until the command
+  // completes. This is the right call when the submitter waits anyway
+  // (blocking clEnqueueWriteBuffer) — it skips a full copy of the
+  // payload.
+  Expected<CommandHandle> SubmitWriteBorrowed(
+      BufferId id, std::uint64_t offset, const void* data,
+      std::uint64_t size, std::vector<CommandHandle> deps = {},
+      std::vector<CommandHandle> order_after = {});
   Expected<CommandHandle> SubmitRead(BufferId id, std::uint64_t offset,
                                      void* data, std::uint64_t size,
                                      std::vector<CommandHandle> deps = {},
@@ -193,6 +241,12 @@ class ClusterRuntime {
                                      std::uint64_t size,
                                      std::vector<CommandHandle> deps = {},
                                      std::vector<CommandHandle> order_after = {});
+  // Asks the scheduling policy for a PlacementPlan and fans out one
+  // sub-launch command per shard (plus an aggregating join for multi-shard
+  // plans). The returned handle always behaves like one launch: Wait()
+  // blocks until every shard finished, LaunchResultOf() reports the
+  // aggregate, and buffer hazards order later commands after the whole
+  // fan-out. Per-shard commands are queryable via LaunchShardsOf.
   Expected<CommandHandle> SubmitLaunch(const LaunchSpec& spec,
                                        std::vector<CommandHandle> deps = {},
                                        std::vector<CommandHandle> order_after = {});
@@ -206,11 +260,27 @@ class ClusterRuntime {
       CommandHandle handle) const;
   [[nodiscard]] Expected<CommandProfile> CommandProfileOf(
       CommandHandle handle) const;
-  // LaunchResult of a completed SubmitLaunch command. Query promptly
-  // after Wait: results of retired launches are reclaimed lazily once
-  // more than ~1k launches have been submitted since.
+  // LaunchResult of a completed SubmitLaunch command; for multi-shard
+  // launches, the aggregate over all shards. Available until the handle
+  // is released (ReleaseCommand / the blocking wrappers).
   [[nodiscard]] Expected<LaunchResult> LaunchResultOf(
       CommandHandle handle) const;
+  // The per-shard commands behind a launch handle, in plan (offset)
+  // order; a single-shard launch returns the handle itself. Shard handles
+  // stay valid while the launch handle is retained, and each supports
+  // CommandStateOf / CommandProfileOf / LaunchResultOf.
+  [[nodiscard]] Expected<std::vector<CommandHandle>> LaunchShardsOf(
+      CommandHandle handle) const;
+  // Record lifetime (the clRetainEvent/clReleaseEvent analogue): every
+  // Submit* handle is born holding one reference; releasing the last one
+  // reclaims the command's bookkeeping once it retires, keeping
+  // million-enqueue sessions bounded. Querying a released handle
+  // (CommandStateOf / CommandProfileOf / LaunchResultOf) is an error;
+  // Wait on one returns Ok once the command retired — releasing forfeits
+  // its failure status along with the record. The blocking wrappers
+  // release internally.
+  Status RetainCommand(CommandHandle handle);
+  Status ReleaseCommand(CommandHandle handle);
   // Commands dispatched to `node` whose RPCs have not completed yet.
   [[nodiscard]] std::uint32_t InFlightOn(std::size_t node) const;
   [[nodiscard]] CommandGraph& graph() { return *graph_; }
@@ -305,6 +375,18 @@ class ClusterRuntime {
   Status EnsureBufferOnNodeLocked(BufferId id, LogicalBuffer& buffer,
                                   std::size_t node,
                                   std::uint64_t* bytes_shipped);
+  // Region-granular coherence for partitioned args: ships only the byte
+  // range [begin, begin+size) of the host shadow to `node` (allocating
+  // the full buffer remotely on first touch), without claiming the node
+  // holds a valid full replica.
+  Status EnsureSliceOnNodeLocked(BufferId id, LogicalBuffer& buffer,
+                                 std::size_t node, std::uint64_t begin,
+                                 std::uint64_t size,
+                                 std::uint64_t* bytes_shipped);
+  // Gathers the shard's output slice back into the host shadow.
+  Status GatherSliceLocked(BufferId id, LogicalBuffer& buffer,
+                           std::size_t node, std::uint64_t begin,
+                           std::uint64_t size);
   Status EnsureProgramOnNode(ProgramId id, ProgramState& program,
                              std::size_t node);
 
@@ -325,16 +407,21 @@ class ClusterRuntime {
   std::unique_ptr<VirtualTimeline> timeline_;
   std::unique_ptr<CommandGraph> graph_;
 
-  // Lock hierarchy: state_mutex_ > graph mutex > VirtualTimeline's own
-  // lock; buffer/program mutexes are leaf-adjacent (they may take
-  // sched_mutex_ or the timeline's, never state_mutex_ or the graph's).
+  // Lock hierarchy: state_mutex_ > {sched_mutex_, graph mutex} >
+  // VirtualTimeline's own lock; buffer/program mutexes are leaf-adjacent
+  // (they may take sched_mutex_ or the timeline's, never state_mutex_ or
+  // the graph's). Planning happens on the submit path under state_mutex_
+  // then sched_mutex_.
   mutable std::mutex state_mutex_;  // Object tables + hazards + ids.
   mutable std::mutex sched_mutex_;  // Scheduler accounting + in-flight.
 
   std::unordered_map<BufferId, BufferPtr> buffers_;
   std::unordered_map<ProgramId, ProgramPtr> programs_;
-  // Launch commands keep their plan (and its LaunchResult) queryable.
+  // Launch commands keep their plan (and its LaunchResult) queryable
+  // until released; fan_outs_ maps a multi-shard launch's join command to
+  // its shard commands (whose creation references the runtime holds).
   std::unordered_map<CommandId, std::shared_ptr<LaunchPlan>> launch_plans_;
+  std::unordered_map<CommandId, std::vector<CommandId>> fan_outs_;
   BufferId next_buffer_id_ = 1;
   ProgramId next_program_id_ = 1;
   std::vector<double> node_busy_ahead_;  // Scheduler backlog estimate.

@@ -1,6 +1,8 @@
 #include "host/command_graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 namespace haocl::host {
@@ -36,7 +38,15 @@ CommandGraph::~CommandGraph() { Shutdown(); }
 
 double CommandGraph::NextStampLocked() {
   const double now = options_.clock ? options_.clock() : 0.0;
-  last_stamp_ = std::max(now, last_stamp_ + kStampEpsilon);
+  double next = std::max(now, last_stamp_ + kStampEpsilon);
+  if (next <= last_stamp_) {
+    // The fixed epsilon underflows once the stamp magnitude eats it
+    // (amplified timelines reach ~1e7 virtual seconds); fall back to the
+    // next representable double to keep QUEUED < SUBMIT strict.
+    next = std::nextafter(last_stamp_,
+                          std::numeric_limits<double>::infinity());
+  }
+  last_stamp_ = next;
   return last_stamp_;
 }
 
@@ -75,6 +85,9 @@ void CommandGraph::FinalizeLocked(Command& command, Status status,
       MarkReadyLocked(next);
     }
   }
+  // Every reference was released before retirement: reclaim the record now
+  // that the dependents are notified. `command` dangles past this point.
+  if (command.refs == 0) commands_.erase(command.id);
 }
 
 void CommandGraph::DrainFailuresLocked(FailureWork work) {
@@ -143,6 +156,11 @@ CommandId CommandGraph::Submit(Body body, std::vector<CommandId> deps,
     if (dep == id) continue;
     auto it = commands_.find(dep);
     if (it == commands_.end()) {
+      // Ids below next_id_ were issued and later reclaimed through
+      // Release: the command retired, and releasing the handle forfeited
+      // its failure status — treat as retired OK. Anything else was never
+      // issued by this graph.
+      if (dep != kNullCommand && dep < next_id_) continue;
       early_failure = Status(ErrorCode::kInvalidValue,
                              "unknown dependency id " + std::to_string(dep));
       break;
@@ -236,14 +254,42 @@ void CommandGraph::WorkerLoop() {
 
 Status CommandGraph::Wait(CommandId id) {
   std::unique_lock<std::mutex> lock(mutex_);
-  auto it = commands_.find(id);
-  if (it == commands_.end()) {
-    return Status(ErrorCode::kInvalidValue,
-                  "unknown command id " + std::to_string(id));
+  // Re-resolve the record on every wakeup: a concurrent Release may
+  // reclaim it the moment the command retires.
+  while (true) {
+    auto it = commands_.find(id);
+    if (it == commands_.end()) {
+      if (id != kNullCommand && id < next_id_) {
+        return Status::Ok();  // Released-and-reclaimed: it retired.
+      }
+      return Status(ErrorCode::kInvalidValue,
+                    "unknown command id " + std::to_string(id));
+    }
+    if (IsTerminal(it->second->state)) return it->second->status;
+    retired_cv_.wait(lock);
   }
-  Command* command = it->second.get();
-  retired_cv_.wait(lock, [command] { return IsTerminal(command->state); });
-  return command->status;
+}
+
+void CommandGraph::Retain(CommandId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = commands_.find(id);
+  if (it != commands_.end()) ++it->second->refs;
+}
+
+bool CommandGraph::Release(CommandId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = commands_.find(id);
+  if (it == commands_.end()) return true;  // Already reclaimed.
+  Command& command = *it->second;
+  if (command.refs == 0 || --command.refs > 0) return command.refs == 0;
+  // Live commands are reclaimed at retirement (FinalizeLocked).
+  if (IsTerminal(command.state)) commands_.erase(it);
+  return true;
+}
+
+std::size_t CommandGraph::LiveRecords() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commands_.size();
 }
 
 Status CommandGraph::WaitAll() {
@@ -307,10 +353,17 @@ void CommandGraph::Shutdown() {
     if (shutting_down_) return;
     shutting_down_ = true;
     const Status cause(ErrorCode::kInternal, "command graph shut down");
-    for (auto& [id, command] : commands_) {
+    // Snapshot the ids: failing a zero-ref command reclaims its record,
+    // which would invalidate a live iterator over commands_.
+    std::vector<CommandId> ids;
+    ids.reserve(commands_.size());
+    for (const auto& [id, command] : commands_) ids.push_back(id);
+    for (CommandId id : ids) {
+      auto it = commands_.find(id);
+      if (it == commands_.end()) continue;
       // Running commands retire through their worker; fail the rest.
-      if (command->state != CommandState::kRunning) {
-        FailBranchLocked(*command, cause);
+      if (it->second->state != CommandState::kRunning) {
+        FailBranchLocked(*it->second, cause);
       }
     }
   }

@@ -20,9 +20,17 @@
 // Failure is sticky: a failed command fails every transitive dependent with
 // ErrorCode::kDependencyFailed before they run.
 //
-// Retired commands keep their state, status, and profile (the body is
-// dropped) so handles stay queryable for the lifetime of the graph — the
-// OpenCL event objects in the wrapper lib rely on this.
+// Record retention is reference-counted: every command is born with one
+// reference (owned by whoever called Submit); Retain/Release adjust it.
+// A record whose count reaches zero is reclaimed once the command retires
+// — its state, status, and profile (the body is dropped at retirement
+// regardless) stay queryable only while a reference is held. This is what
+// keeps million-enqueue sessions bounded: the OpenCL shim releases its
+// reference from clReleaseEvent and when a queue's tail advances, and the
+// cluster runtime's blocking wrappers release after consuming results.
+// Dependency edges on reclaimed ids resolve as "already retired OK" (a
+// reclaimed command's failure status is gone with its record; releasing a
+// handle declares you no longer care).
 #pragma once
 
 #include <condition_variable>
@@ -106,9 +114,10 @@ class CommandGraph {
   // kDependencyFailed. `order_after` are weak edges — scheduling order
   // only; a failed predecessor merely unblocks this command (the runtime's
   // implicit buffer hazards use these, so one failed writer does not
-  // poison every later user of the buffer). Unknown dependency ids fail
-  // the command immediately (never silently dropped). Returns the
-  // command's id; the graph owns the body.
+  // poison every later user of the buffer). Dependency ids this graph
+  // never issued fail the command immediately (never silently dropped);
+  // ids whose records were released-and-reclaimed count as retired OK.
+  // Returns the command's id; the graph owns the body.
   CommandId Submit(Body body, std::vector<CommandId> deps = {},
                    std::string label = {},
                    std::vector<CommandId> order_after = {});
@@ -125,6 +134,15 @@ class CommandGraph {
 
   // Blocks until the command retires; returns its terminal status.
   Status Wait(CommandId id);
+
+  // Record reference counting (see the file comment). Retain on an
+  // unknown id is a no-op; Release returns true once the record is gone —
+  // immediately when the command already retired, else at retirement.
+  void Retain(CommandId id);
+  bool Release(CommandId id);
+  // Records currently held (live commands + retained retirees); the bound
+  // the release protocol maintains.
+  [[nodiscard]] std::size_t LiveRecords() const;
 
   // Blocks until every submitted command has retired. Pending manual
   // commands must be Complete()d first or this deadlocks by design.
@@ -156,6 +174,7 @@ class CommandGraph {
     CommandState state = CommandState::kQueued;
     Status status;
     CommandProfile profile;
+    std::uint32_t refs = 1;         // Record references (creation ref).
     std::size_t blocking_deps = 0;  // Unresolved predecessors.
     struct Dependent {
       CommandId id = kNullCommand;
@@ -171,6 +190,8 @@ class CommandGraph {
   void MarkReadyLocked(Command& command);
   // Shared retirement core: stamps defaults, marks terminal, notifies
   // dependents; strong dependents of a failure land in `failures`.
+  // Reclaims the record when no references remain — `command` is dangling
+  // after the call; callers must not touch it again.
   void FinalizeLocked(Command& command, Status status, FailureWork* failures);
   void DrainFailuresLocked(FailureWork work);
   void RetireLocked(Command& command, Status status, const Execution& exec);

@@ -264,6 +264,7 @@ std::vector<std::uint8_t> LaunchKernelRequest::Encode() const {
   w.WriteU32(work_dim);
   for (int d = 0; d < 3; ++d) w.WriteU64(global[d]);
   for (int d = 0; d < 3; ++d) w.WriteU64(local[d]);
+  for (int d = 0; d < 3; ++d) w.WriteU64(global_offset[d]);
   w.WriteBool(local_specified);
   return std::move(w).Take();
 }
@@ -319,6 +320,11 @@ Expected<LaunchKernelRequest> LaunchKernelRequest::Decode(
     auto l = r.ReadU64();
     if (!l.ok()) return Malformed("LaunchKernel range");
     out.local[d] = *l;
+  }
+  for (int d = 0; d < 3; ++d) {
+    auto o = r.ReadU64();
+    if (!o.ok()) return Malformed("LaunchKernel range");
+    out.global_offset[d] = *o;
   }
   auto spec = r.ReadBool();
   if (!spec.ok()) return Malformed("LaunchKernel range");

@@ -135,6 +135,9 @@ struct LaunchKernelRequest {
   std::uint32_t work_dim = 1;
   std::uint64_t global[3] = {1, 1, 1};
   std::uint64_t local[3] = {1, 1, 1};
+  // get_global_id(d) on the node returns global_offset[d] + linear id —
+  // how one shard of a partitioned launch runs its slice of the NDRange.
+  std::uint64_t global_offset[3] = {0, 0, 0};
   bool local_specified = false;
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;

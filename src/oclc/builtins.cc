@@ -17,6 +17,7 @@ constexpr NameEntry kNames[] = {
     {"get_global_size", BuiltinId::kGetGlobalSize},
     {"get_local_size", BuiltinId::kGetLocalSize},
     {"get_num_groups", BuiltinId::kGetNumGroups},
+    {"get_global_offset", BuiltinId::kGetGlobalOffset},
     {"get_work_dim", BuiltinId::kGetWorkDim},
     {"sqrt", BuiltinId::kSqrt},
     {"rsqrt", BuiltinId::kRsqrt},
@@ -111,6 +112,7 @@ std::optional<BuiltinSignature> ResolveBuiltin(
     case BuiltinId::kGetGlobalSize:
     case BuiltinId::kGetLocalSize:
     case BuiltinId::kGetNumGroups:
+    case BuiltinId::kGetGlobalOffset:
       if (argc != 1 || !arg_types[0].IsNumeric()) return std::nullopt;
       return sig(Type::Scalar(ScalarType::kU64));  // size_t
     case BuiltinId::kGetWorkDim:

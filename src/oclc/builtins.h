@@ -21,6 +21,7 @@ enum class BuiltinId : std::int32_t {
   kGetGlobalSize,
   kGetLocalSize,
   kGetNumGroups,
+  kGetGlobalOffset,
   kGetWorkDim,
   // Math (float/double).
   kSqrt, kRsqrt, kFabs, kExp, kLog, kLog2, kSin, kCos, kTan,

@@ -596,7 +596,8 @@ Expected<Value> EvalBuiltinCall(BuiltinId id, ScalarType result, Value* args,
     case BuiltinId::kGetGroupId:
     case BuiltinId::kGetGlobalSize:
     case BuiltinId::kGetLocalSize:
-    case BuiltinId::kGetNumGroups: {
+    case BuiltinId::kGetNumGroups:
+    case BuiltinId::kGetGlobalOffset: {
       const auto dim = static_cast<std::uint32_t>(args[0].u);
       if (dim >= 3) {
         out.u = id == BuiltinId::kGetGlobalSize ||
@@ -613,6 +614,9 @@ Expected<Value> EvalBuiltinCall(BuiltinId id, ScalarType result, Value* args,
         case BuiltinId::kGetGlobalSize: out.u = grp.range.global[dim]; break;
         case BuiltinId::kGetLocalSize: out.u = grp.range.local[dim]; break;
         case BuiltinId::kGetNumGroups: out.u = grp.num_groups[dim]; break;
+        case BuiltinId::kGetGlobalOffset:
+          out.u = grp.range.offset[dim];
+          break;
         default: break;
       }
       return out;
@@ -956,7 +960,8 @@ void InitItem(ItemState& st, const CompiledFunction& kernel,
   st.local_id[1] = (local_linear / local[0]) % local[1];
   st.local_id[2] = local_linear / (local[0] * local[1]);
   for (int d = 0; d < 3; ++d) {
-    st.global_id[d] = grp.group_id[d] * local[d] + st.local_id[d];
+    st.global_id[d] =
+        grp.range.offset[d] + grp.group_id[d] * local[d] + st.local_id[d];
   }
 
   // Private arrays.

@@ -22,6 +22,10 @@ struct NDRange {
   std::uint32_t work_dim = 1;
   std::uint64_t global[3] = {1, 1, 1};
   std::uint64_t local[3] = {1, 1, 1};
+  // clEnqueueNDRangeKernel's global_work_offset: get_global_id(d) returns
+  // offset[d] + linear id, while get_global_size(d) stays global[d]. The
+  // host runtime uses this to run one shard of a partitioned launch.
+  std::uint64_t offset[3] = {0, 0, 0};
   bool local_specified = false;
 };
 

@@ -217,6 +217,7 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   for (int d = 0; d < 3; ++d) {
     range.global[d] = request.global[d];
     range.local[d] = request.local[d];
+    range.offset[d] = request.global_offset[d];
   }
   range.local_specified = request.local_specified;
 

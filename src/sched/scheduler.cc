@@ -98,6 +98,73 @@ class HeterogeneityAwarePolicy : public SchedulingPolicy {
   }
 };
 
+// Co-executes one launch across the cluster: shard sizes follow each
+// node's predicted rate (1 / predicted completion seconds for the whole
+// task), so a device twice as fast gets twice the rows — EngineCL-style
+// static load balancing from the cost model.
+class HeterogeneityAwareSplitPolicy : public HeterogeneityAwarePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "hetero_split"; }
+
+  Expected<PlacementPlan> PlanLaunch(const TaskInfo& task,
+                                     const ClusterView& cluster) override {
+    const auto eligible = cluster.EligibleFor(task);
+    if (eligible.empty()) return NoEligibleNode(task);
+    const std::uint64_t align = std::max<std::uint64_t>(1, task.dim0_align);
+    if (!task.splittable || eligible.size() < 2 ||
+        task.dim0_extent < 2 * align) {
+      auto node = SelectNode(task, cluster);
+      if (!node.ok()) return node.status();
+      return PlacementPlan::SingleNode(*node, task.dim0_extent);
+    }
+
+    // Per-node rates from the COMPUTE part of the cost model (plus
+    // backlog), normalized into fractional weights. The transfer term is
+    // deliberately excluded: a shard's compute scales with its share
+    // while fixed per-node transfer does not, so including it would pull
+    // every split toward uniform and overload the slow devices.
+    std::vector<double> rates(eligible.size());
+    double total_rate = 0.0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      const NodeView& node = cluster.nodes[eligible[i]];
+      const double seconds =
+          node.busy_seconds_ahead + PredictComputeSeconds(task, node);
+      rates[i] = 1.0 / std::max(seconds, 1e-12);
+      total_rate += rates[i];
+    }
+
+    // Shard counts proportional to rate, rounded down to the alignment.
+    const std::uint64_t units = task.dim0_extent / align;
+    std::vector<std::uint64_t> counts(eligible.size(), 0);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      counts[i] = static_cast<std::uint64_t>(
+                      static_cast<double>(units) * rates[i] / total_rate) *
+                  align;
+      assigned += counts[i];
+    }
+
+    PlacementPlan plan;
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      if (counts[i] == 0) continue;
+      plan.shards.push_back(
+          {eligible[i], offset, counts[i], rates[i] / total_rate});
+      offset += counts[i];
+    }
+    if (plan.shards.empty()) {  // Degenerate extent; fall back.
+      auto node = SelectNode(task, cluster);
+      if (!node.ok()) return node.status();
+      return PlacementPlan::SingleNode(*node, task.dim0_extent);
+    }
+    // Rounding leftover (< shards * align + align) rides the last shard:
+    // growing the tail is the only spot that keeps every preceding
+    // offset aligned.
+    plan.shards.back().global_count += task.dim0_extent - assigned;
+    return plan;
+  }
+};
+
 class PowerAwarePolicy : public SchedulingPolicy {
  public:
   explicit PowerAwarePolicy(double max_slowdown)
@@ -148,12 +215,61 @@ PolicyRegistry& Registry() {
     registry->factories["roundrobin"] = MakeRoundRobinPolicy;
     registry->factories["leastloaded"] = MakeLeastLoadedPolicy;
     registry->factories["hetero"] = MakeHeterogeneityAwarePolicy;
+    registry->factories["hetero_split"] = MakeHeterogeneityAwareSplitPolicy;
     registry->factories["power"] = [] { return MakePowerAwarePolicy(); };
   });
   return *registry;
 }
 
 }  // namespace
+
+Status ValidatePlan(const PlacementPlan& plan, const TaskInfo& task,
+                    const ClusterView& cluster) {
+  auto bad = [&task](const std::string& what) {
+    return Status(ErrorCode::kSchedulerError,
+                  "invalid placement plan for kernel '" + task.kernel_name +
+                      "': " + what);
+  };
+  if (plan.shards.empty()) return bad("no shards");
+  if (plan.shards.size() > 1 && !task.splittable) {
+    return bad("multi-shard plan for a non-splittable task (annotate every "
+               "written buffer kPartitionedDim0)");
+  }
+  const std::uint64_t align = std::max<std::uint64_t>(1, task.dim0_align);
+  std::uint64_t expected_offset = 0;
+  for (const PlacementShard& shard : plan.shards) {
+    if (shard.global_count == 0) return bad("empty shard");
+    if (shard.node >= cluster.nodes.size()) {
+      return bad("shard node " + std::to_string(shard.node) +
+                 " out of range");
+    }
+    if (!cluster.nodes[shard.node].alive) {
+      return bad("shard node '" + cluster.nodes[shard.node].name +
+                 "' is not alive");
+    }
+    if (shard.global_offset != expected_offset) {
+      return bad(shard.global_offset < expected_offset
+                     ? "overlapping shards"
+                     : "gap before offset " +
+                           std::to_string(shard.global_offset));
+    }
+    if (shard.global_offset + shard.global_count > task.dim0_extent) {
+      return bad("shard exceeds the NDRange (offset " +
+                 std::to_string(shard.global_offset) + " + count " +
+                 std::to_string(shard.global_count) + " > extent " +
+                 std::to_string(task.dim0_extent) + ")");
+    }
+    if (plan.shards.size() > 1 && shard.global_offset % align != 0) {
+      return bad("shard offset not aligned to the work-group size");
+    }
+    expected_offset = shard.global_offset + shard.global_count;
+  }
+  if (expected_offset != task.dim0_extent) {
+    return bad("shards cover " + std::to_string(expected_offset) + " of " +
+               std::to_string(task.dim0_extent) + " dim-0 indices");
+  }
+  return Status::Ok();
+}
 
 std::vector<std::size_t> ClusterView::EligibleFor(const TaskInfo& task) const {
   std::vector<std::size_t> out;
@@ -167,28 +283,24 @@ std::vector<std::size_t> ClusterView::EligibleFor(const TaskInfo& task) const {
   return out;
 }
 
+double PredictComputeSeconds(const TaskInfo& task, const NodeView& node) {
+  if (node.observed_seconds_per_flop > 0.0 && task.cost.flops > 0.0) {
+    // Runtime profile beats the static model once available.
+    return node.observed_seconds_per_flop * task.cost.flops;
+  }
+  return sim::ModelKernelTime(node.spec, task.cost);
+}
+
 double PredictCompletionSeconds(const TaskInfo& task, const NodeView& node) {
   const double transfer =
       node.link.TransferTime(task.input_bytes) +
       node.link.TransferTime(task.output_bytes);
-  double compute;
-  if (node.observed_seconds_per_flop > 0.0 && task.cost.flops > 0.0) {
-    // Runtime profile beats the static model once available.
-    compute = node.observed_seconds_per_flop * task.cost.flops;
-  } else {
-    compute = sim::ModelKernelTime(node.spec, task.cost);
-  }
-  return node.busy_seconds_ahead + transfer + compute;
+  return node.busy_seconds_ahead + transfer +
+         PredictComputeSeconds(task, node);
 }
 
 double PredictEnergyJoules(const TaskInfo& task, const NodeView& node) {
-  double compute;
-  if (node.observed_seconds_per_flop > 0.0 && task.cost.flops > 0.0) {
-    compute = node.observed_seconds_per_flop * task.cost.flops;
-  } else {
-    compute = sim::ModelKernelTime(node.spec, task.cost);
-  }
-  return compute * node.spec.power_watts;
+  return PredictComputeSeconds(task, node) * node.spec.power_watts;
 }
 
 std::unique_ptr<SchedulingPolicy> MakeUserDirectedPolicy() {
@@ -205,6 +317,9 @@ std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwarePolicy() {
 }
 std::unique_ptr<SchedulingPolicy> MakePowerAwarePolicy(double max_slowdown) {
   return std::make_unique<PowerAwarePolicy>(max_slowdown);
+}
+std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwareSplitPolicy() {
+  return std::make_unique<HeterogeneityAwareSplitPolicy>();
 }
 
 void RegisterPolicy(const std::string& name, PolicyFactory factory) {

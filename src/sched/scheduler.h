@@ -15,7 +15,14 @@
 //                        fed by the runtime profiles the NMPs report.
 //   PowerAware         - minimize energy (modeled joules) subject to a
 //                        slowdown cap, for the paper's power-efficiency goal.
+//   HeterogeneityAwareSplit - co-execution: partitions one splittable
+//                        launch across all eligible nodes, shard sizes
+//                        proportional to each node's predicted rate.
 // Applications register custom policies with RegisterPolicy().
+//
+// Policies produce a PlacementPlan (PlanLaunch); the classic SelectNode
+// surface still works — the default PlanLaunch wraps it in a single
+// full-range shard.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +47,13 @@ struct TaskInfo {
   std::uint64_t output_bytes = 0;    // Bytes coming back.
   int preferred_node = -1;           // User instruction, -1 = none.
   bool fpga_binary_available = true; // Can this kernel run on an FPGA?
+  // Partitioning surface along dimension 0 of the NDRange. A task is
+  // splittable when every buffer the kernel writes carries a
+  // kPartitionedDim0 annotation, so shards touch disjoint slices.
+  std::uint64_t dim0_extent = 1;     // global[0] of the launch.
+  std::uint64_t dim0_align = 1;      // Shard counts must be multiples
+                                     // (local[0] when specified).
+  bool splittable = false;
 };
 
 // What the scheduler knows about one device node, refreshed by the
@@ -63,6 +77,37 @@ struct ClusterView {
       const TaskInfo& task) const;
 };
 
+// One shard of a placement plan: `global_count` dim-0 indices starting at
+// `global_offset`, executed on `node`. `weight` records the fraction of
+// the range the policy intended for the node (diagnostics only).
+struct PlacementShard {
+  std::size_t node = 0;
+  std::uint64_t global_offset = 0;
+  std::uint64_t global_count = 0;
+  double weight = 1.0;
+};
+
+// Where one kernel launch runs: an ordered list of shards tiling
+// [0, dim0_extent) of the NDRange's dimension 0. A single-shard plan is
+// exactly the classic "pick one node" decision.
+struct PlacementPlan {
+  std::vector<PlacementShard> shards;
+
+  static PlacementPlan SingleNode(std::size_t node, std::uint64_t count) {
+    PlacementPlan plan;
+    plan.shards.push_back({node, 0, count, 1.0});
+    return plan;
+  }
+  [[nodiscard]] bool single() const { return shards.size() == 1; }
+};
+
+// Checks a plan against the task and cluster: shards must be non-empty,
+// aligned to task.dim0_align, target alive in-range nodes, and tile
+// [0, task.dim0_extent) in order with no gaps or overlaps. Multi-shard
+// plans additionally require task.splittable.
+Status ValidatePlan(const PlacementPlan& plan, const TaskInfo& task,
+                    const ClusterView& cluster);
+
 class SchedulingPolicy {
  public:
   virtual ~SchedulingPolicy() = default;
@@ -72,6 +117,18 @@ class SchedulingPolicy {
   // error; the runtime turns errors into kSchedulerError for the caller.
   virtual Expected<std::size_t> SelectNode(const TaskInfo& task,
                                            const ClusterView& cluster) = 0;
+
+  // Produces the placement plan the runtime dispatches. The default
+  // adapter wraps SelectNode in a single full-range shard, so policies
+  // written against the node-picking API (including user-registered ones)
+  // run unchanged. Splitting policies override this to co-execute one
+  // launch across several nodes.
+  virtual Expected<PlacementPlan> PlanLaunch(const TaskInfo& task,
+                                             const ClusterView& cluster) {
+    auto node = SelectNode(task, cluster);
+    if (!node.ok()) return node.status();
+    return PlacementPlan::SingleNode(*node, task.dim0_extent);
+  }
 };
 
 std::unique_ptr<SchedulingPolicy> MakeUserDirectedPolicy();
@@ -82,6 +139,11 @@ std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwarePolicy();
 // accept in exchange for lower energy (1.0 = never slower).
 std::unique_ptr<SchedulingPolicy> MakePowerAwarePolicy(
     double max_slowdown = 2.0);
+// Co-execution ("hetero_split"): partitions a splittable launch across
+// every eligible node, sizing each shard inversely to the cost model's
+// predicted completion seconds on that node. Falls back to the
+// heterogeneity-aware single-node choice for non-splittable tasks.
+std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwareSplitPolicy();
 
 // Policy registry: user-defined schedulers plug in by name (the paper's
 // "designers can design and illustrate their own scheduling algorithms and
@@ -94,7 +156,10 @@ std::vector<std::string> RegisteredPolicyNames();
 
 // Predicted completion time of `task` on `node` if dispatched now; the
 // cost model HeterogeneityAware/PowerAware share (exposed for tests and
-// the ablation bench).
+// the ablation bench). PredictComputeSeconds is the kernel-time term
+// alone (no transfer/backlog) — what HeterogeneityAwareSplit sizes
+// shards by.
+double PredictComputeSeconds(const TaskInfo& task, const NodeView& node);
 double PredictCompletionSeconds(const TaskInfo& task, const NodeView& node);
 double PredictEnergyJoules(const TaskInfo& task, const NodeView& node);
 

@@ -20,16 +20,19 @@ namespace haocl::workloads {
 namespace {
 
 constexpr char kSource[] = R"(
-// Expands frontier vertices owned by this node ([v_begin, v_end)). For
-// each discovered neighbour anywhere in the graph, sets next[u] = 1 and
-// levels[u] = depth (benign write races: all writers store equal values).
+// Expands frontier vertices owned by this node: the vertex range rides
+// the NDRange itself (global_work_offset = v_begin), so get_global_id(0)
+// IS the vertex id. For each discovered neighbour anywhere in the graph,
+// sets next[u] = 1 and levels[u] = depth (benign write races: all writers
+// store equal values — and why next/levels stay kReplicated: writes land
+// at arbitrary vertices, not this node's slice).
 __kernel void bfs_expand(__global const int* row_ptr,
                          __global const int* adj,
                          __global const int* frontier,
                          __global int* next,
                          __global int* levels,
-                         int v_begin, int v_end, int depth) {
-  int v = v_begin + get_global_id(0);
+                         int v_end, int depth) {
+  int v = get_global_id(0);
   if (v >= v_end) return;
   if (frontier[v] == 0) return;
   for (int e = row_ptr[v]; e < row_ptr[v + 1]; e++) {
@@ -49,11 +52,11 @@ Status NativeBfsExpand(const std::vector<oclc::ArgBinding>& args,
   const auto* frontier = reinterpret_cast<const std::int32_t*>(args[2].data);
   auto* next = reinterpret_cast<std::int32_t*>(args[3].data);
   auto* levels = reinterpret_cast<std::int32_t*>(args[4].data);
-  const auto v_begin = static_cast<int>(args[5].scalar.i);
-  const auto v_end = static_cast<int>(args[6].scalar.i);
-  const auto depth = static_cast<int>(args[7].scalar.i);
-  for (std::uint64_t g = 0; g < range.global[0]; ++g) {
-    const int v = v_begin + static_cast<int>(g);
+  const auto v_end = static_cast<int>(args[5].scalar.i);
+  const auto depth = static_cast<int>(args[6].scalar.i);
+  const std::uint64_t first = range.offset[0];
+  for (std::uint64_t g = first; g < first + range.global[0]; ++g) {
+    const int v = static_cast<int>(g);
     if (v >= v_end || frontier[v] == 0) continue;
     for (std::int32_t e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
       const std::int32_t u = adj[e];
@@ -207,11 +210,12 @@ class Bfs : public Workload {
                      host::KernelArgValue::Buffer(st.frontier),
                      host::KernelArgValue::Buffer(st.next),
                      host::KernelArgValue::Buffer(st.levels),
-                     host::KernelArgValue::Scalar<std::int32_t>(st.v_begin),
                      host::KernelArgValue::Scalar<std::int32_t>(st.v_end),
                      host::KernelArgValue::Scalar<std::int32_t>(depth)};
         spec.work_dim = 1;
         spec.global[0] = static_cast<std::uint64_t>(st.v_end - st.v_begin);
+        // The vertex range partition rides the NDRange offset.
+        spec.global_offset[0] = static_cast<std::uint64_t>(st.v_begin);
         spec.preferred_node = static_cast<int>(st.node);
         // Frontier expansion: random adjacency gathers, heavy divergence.
         const double range_vertices =

@@ -14,13 +14,15 @@ namespace haocl::workloads {
 namespace {
 
 constexpr char kSource[] = R"(
-// One work-item per output element of the partition's C chunk.
+// One work-item per output element; rows ride dimension 0 so the runtime
+// can shard the launch row-wise across nodes (a and c are annotated
+// kPartitionedDim0 with one matrix row per global index).
 __kernel void matmul_partition(__global const float* a,
                                __global const float* b,
                                __global float* c,
                                int n, int rows) {
-  int col = get_global_id(0);
-  int row = get_global_id(1);
+  int row = get_global_id(0);
+  int col = get_global_id(1);
   if (row >= rows || col >= n) return;
   float acc = 0.0f;
   for (int k = 0; k < n; k++) {
@@ -32,7 +34,8 @@ __kernel void matmul_partition(__global const float* a,
 
 // Native "bitstream": blocked row-major matmul over the same bindings the
 // VM would receive. Must be numerically identical to the interpreted
-// kernel: plain float accumulation in the same k-order.
+// kernel: plain float accumulation in the same k-order, honoring the
+// NDRange offset exactly like get_global_id does.
 Status NativeMatmul(const std::vector<oclc::ArgBinding>& args,
                     const oclc::NDRange& range) {
   const auto* a = reinterpret_cast<const float*>(args[0].data);
@@ -40,11 +43,13 @@ Status NativeMatmul(const std::vector<oclc::ArgBinding>& args,
   auto* c = reinterpret_cast<float*>(args[2].data);
   const auto n = static_cast<int>(args[3].scalar.i);
   const auto rows = static_cast<int>(args[4].scalar.i);
-  const auto gcols = static_cast<std::int64_t>(range.global[0]);
-  const auto grows = static_cast<std::int64_t>(range.global[1]);
-  for (std::int64_t row = 0; row < grows; ++row) {
+  const auto row0 = static_cast<std::int64_t>(range.offset[0]);
+  const auto col0 = static_cast<std::int64_t>(range.offset[1]);
+  const auto grows = static_cast<std::int64_t>(range.global[0]);
+  const auto gcols = static_cast<std::int64_t>(range.global[1]);
+  for (std::int64_t row = row0; row < row0 + grows; ++row) {
     if (row >= rows) continue;
-    for (std::int64_t col = 0; col < gcols; ++col) {
+    for (std::int64_t col = col0; col < col0 + gcols; ++col) {
       if (col >= n) continue;
       float acc = 0.0f;
       for (int k = 0; k < n; ++k) {
@@ -160,15 +165,19 @@ class MatrixMul : public Workload {
       host::ClusterRuntime::LaunchSpec spec;
       spec.program = *program;
       spec.kernel_name = "matmul_partition";
-      spec.args = {host::KernelArgValue::Buffer(chunk.a_buffer),
-                   host::KernelArgValue::Buffer(*b_buffer),
-                   host::KernelArgValue::Buffer(chunk.c_buffer),
-                   host::KernelArgValue::Scalar<std::int32_t>(n),
-                   host::KernelArgValue::Scalar<std::int32_t>(
-                       chunk.row_count)};
+      // Row-partitioned args (one n-float row per dim-0 index): under
+      // planning policies each chunk launch is itself splittable; b stays
+      // replicated (const).
+      const std::uint64_t row_bytes = static_cast<std::uint64_t>(n) * 4;
+      spec.args = {
+          host::KernelArgValue::PartitionedBuffer(chunk.a_buffer, row_bytes),
+          host::KernelArgValue::Buffer(*b_buffer),
+          host::KernelArgValue::PartitionedBuffer(chunk.c_buffer, row_bytes),
+          host::KernelArgValue::Scalar<std::int32_t>(n),
+          host::KernelArgValue::Scalar<std::int32_t>(chunk.row_count)};
       spec.work_dim = 2;
-      spec.global[0] = static_cast<std::uint64_t>(n);
-      spec.global[1] = static_cast<std::uint64_t>(chunk.row_count);
+      spec.global[0] = static_cast<std::uint64_t>(chunk.row_count);
+      spec.global[1] = static_cast<std::uint64_t>(n);
       spec.preferred_node = static_cast<int>(chunk.node);
       // Naive kernel: 2 flops per MAC, ~4 bytes of global traffic per flop
       // (the column walk over B defeats caching/coalescing).

@@ -52,7 +52,8 @@ Status NativeSpmvPartition(const std::vector<oclc::ArgBinding>& args,
   auto* chunk_nnz = reinterpret_cast<std::int32_t*>(args[1].data);
   const auto rows = static_cast<int>(args[2].scalar.i);
   const auto chunk = static_cast<int>(args[3].scalar.i);
-  for (std::uint64_t c = 0; c < range.global[0]; ++c) {
+  const std::uint64_t first = range.offset[0];
+  for (std::uint64_t c = first; c < first + range.global[0]; ++c) {
     const int begin = static_cast<int>(c) * chunk;
     if (begin >= rows) continue;
     const int end = std::min(begin + chunk, rows);
@@ -69,7 +70,8 @@ Status NativeSpmvCompute(const std::vector<oclc::ArgBinding>& args,
   const auto* x = reinterpret_cast<const float*>(args[3].data);
   auto* y = reinterpret_cast<float*>(args[4].data);
   const auto rows = static_cast<int>(args[5].scalar.i);
-  for (std::uint64_t r = 0; r < range.global[0]; ++r) {
+  const std::uint64_t first = range.offset[0];
+  for (std::uint64_t r = first; r < first + range.global[0]; ++r) {
     if (static_cast<int>(r) >= rows) continue;
     float acc = 0.0f;
     for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
@@ -188,8 +190,11 @@ class Spmv : public Workload {
       host::ClusterRuntime::LaunchSpec spec;
       spec.program = *program;
       spec.kernel_name = "spmv_partition";
+      // chunk_nnz[c] is written only by global id c: row-partitioned with
+      // a 4-byte stride. row_ptr is read across chunk boundaries
+      // (row_ptr[end]), so it stays replicated.
       spec.args = {host::KernelArgValue::Buffer(*row_buf),
-                   host::KernelArgValue::Buffer(*nnz_buf),
+                   host::KernelArgValue::PartitionedBuffer(*nnz_buf, 4),
                    host::KernelArgValue::Scalar<std::int32_t>(rows),
                    host::KernelArgValue::Scalar<std::int32_t>(kChunkRows)};
       spec.work_dim = 1;
@@ -263,11 +268,14 @@ class Spmv : public Workload {
       host::ClusterRuntime::LaunchSpec spec;
       spec.program = *program;
       spec.kernel_name = "spmv_compute";
+      // Only y is row-partitioned (y[r] written by global id r); the CSR
+      // arrays are gathered irregularly (row_ptr[r+1], col_idx-indexed x)
+      // and stay replicated.
       spec.args = {host::KernelArgValue::Buffer(*lp_buf),
                    host::KernelArgValue::Buffer(*lc_buf),
                    host::KernelArgValue::Buffer(*lv_buf),
                    host::KernelArgValue::Buffer(*x_buf),
-                   host::KernelArgValue::Buffer(*y_buf),
+                   host::KernelArgValue::PartitionedBuffer(*y_buf, 4),
                    host::KernelArgValue::Scalar<std::int32_t>(brows)};
       spec.work_dim = 1;
       spec.global[0] = static_cast<std::uint64_t>(brows);

@@ -743,6 +743,114 @@ TEST_F(HaoClAsyncTest, FailedUserEventFailsDependentsAndFinish) {
   TearDownPipeline();
 }
 
+TEST_F(HaoClAsyncTest, GlobalWorkOffsetShiftsGlobalIds) {
+  // clEnqueueNDRangeKernel's global_work_offset (OpenCL 1.1+) maps through
+  // the wire protocol: only ids [16, 48) run, so only that slice changes.
+  SetUpPipeline();
+  const char* source = R"(
+    __kernel void mark(__global int* data) {
+      data[get_global_id(0)] = (int)get_global_id(0) + 1;
+    })";
+  cl_int err;
+  cl_program program =
+      clCreateProgramWithSource(context_, 1, &source, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "mark", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  std::vector<cl_int> zeros(64, 0);
+  cl_mem buffer = clCreateBuffer(context_, CL_MEM_COPY_HOST_PTR,
+                                 zeros.size() * 4, zeros.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(buffer), &buffer), CL_SUCCESS);
+
+  const size_t offset = 16;
+  const size_t size = 32;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel, 1, &offset, &size,
+                                   nullptr, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  std::vector<cl_int> got(64, -1);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, buffer, CL_TRUE, 0, got.size() * 4,
+                                got.data(), 0, nullptr, nullptr),
+            CL_SUCCESS);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(got[i], i >= 16 && i < 48 ? i + 1 : 0) << i;
+  }
+  clReleaseMemObject(buffer);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClAsyncTest, PartitionedAnnotationSplitsAcrossNodes) {
+  // The HaoCL extension end-to-end: annotate the output buffer as
+  // row-partitioned, schedule on the virtual cluster device with the
+  // splitting policy, and the single enqueue co-executes across nodes
+  // while producing exactly the sequential result.
+  cl_int err;
+  cl_device_id cluster_device = nullptr;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_DEFAULT, 1,
+                           &cluster_device, nullptr),
+            CL_SUCCESS);
+  context_ = clCreateContext(nullptr, 1, &cluster_device, nullptr, nullptr,
+                             &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  queue_ = clCreateCommandQueue(context_, cluster_device, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_TRUE(haocl::api::BoundRuntime()
+                  ->SetScheduler("hetero_split")
+                  .ok());
+
+  const char* source = R"(
+    __kernel void fill(__global int* data, int n) {
+      int i = get_global_id(0);
+      if (i < n) data[i] = 3 * i + 7;
+    })";
+  cl_program program =
+      clCreateProgramWithSource(context_, 1, &source, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clBuildProgram(program, 0, nullptr, nullptr, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_kernel kernel = clCreateKernel(program, "fill", &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+
+  const cl_int n = 1024;
+  cl_mem buffer =
+      clCreateBuffer(context_, CL_MEM_READ_WRITE, n * 4, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 0, sizeof(buffer), &buffer), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArg(kernel, 1, sizeof(n), &n), CL_SUCCESS);
+  ASSERT_EQ(clSetKernelArgAccessPatternHAOCL(
+                kernel, 0, CL_HAOCL_ARG_ACCESS_PARTITIONED_DIM0, 4),
+            CL_SUCCESS);
+  // Misuse is rejected: scalar args carry no access pattern, and
+  // PARTITIONED needs a stride.
+  EXPECT_EQ(clSetKernelArgAccessPatternHAOCL(
+                kernel, 1, CL_HAOCL_ARG_ACCESS_PARTITIONED_DIM0, 4),
+            CL_INVALID_ARG_VALUE);
+  EXPECT_EQ(clSetKernelArgAccessPatternHAOCL(
+                kernel, 0, CL_HAOCL_ARG_ACCESS_PARTITIONED_DIM0, 0),
+            CL_INVALID_ARG_VALUE);
+
+  const size_t size = n;
+  cl_event done = nullptr;
+  ASSERT_EQ(clEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &size,
+                                   nullptr, 0, nullptr, &done),
+            CL_SUCCESS);
+  std::vector<cl_int> got(n, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, buffer, CL_TRUE, 0, n * 4,
+                                got.data(), 1, &done, nullptr),
+            CL_SUCCESS);
+  for (cl_int i = 0; i < n; ++i) ASSERT_EQ(got[i], 3 * i + 7);
+  clReleaseEvent(done);
+  clReleaseMemObject(buffer);
+  clReleaseKernel(kernel);
+  clReleaseProgram(program);
+  TearDownPipeline();
+}
+
 TEST(HaoClUnboundTest, NoPlatformWithoutCluster) {
   UnbindRuntime();
   cl_uint num_platforms = 99;

@@ -460,6 +460,433 @@ TEST_F(ClusterRuntimeTest, IndependentLaunchesOverlapAcrossNodes) {
   EXPECT_EQ(runtime().InFlightOn(1), 0u);
 }
 
+// ---- Placement-plan fan-out ----------------------------------------------
+
+// One matmul kernel over whole matrices, rows on dimension 0 (the
+// dimension placement plans shard). Reuses the MatrixMul workload's
+// kernel so the FPGA node is eligible through its native "bitstream".
+std::string MatmulSource() {
+  return workloads::MakeMatrixMul()->kernel_source();
+}
+
+ClusterRuntime::LaunchSpec MatmulSpec(ProgramId program, int n,
+                                      BufferId a, BufferId b, BufferId c) {
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = program;
+  spec.kernel_name = "matmul_partition";
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(n) * 4;
+  spec.args = {KernelArgValue::PartitionedBuffer(a, row_bytes),
+               KernelArgValue::Buffer(b),
+               KernelArgValue::PartitionedBuffer(c, row_bytes),
+               KernelArgValue::Scalar<std::int32_t>(n),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.work_dim = 2;
+  spec.global[0] = static_cast<std::uint64_t>(n);  // Rows.
+  spec.global[1] = static_cast<std::uint64_t>(n);
+  return spec;
+}
+
+TEST_F(ClusterRuntimeTest, PartitionedMatmulBitIdenticalToSingleNode) {
+  const int n = 96;
+  auto program = runtime().BuildProgram(MatmulSource());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i * 37 % 200) - 100) / 50.0f;
+    b[i] = static_cast<float>((i * 53 % 200) - 100) / 50.0f;
+  }
+  auto a_buf = runtime().CreateBuffer(a.size() * 4);
+  auto b_buf = runtime().CreateBuffer(b.size() * 4);
+  auto c_single = runtime().CreateBuffer(a.size() * 4);
+  auto c_split = runtime().CreateBuffer(a.size() * 4);
+  ASSERT_TRUE(a_buf.ok() && b_buf.ok() && c_single.ok() && c_split.ok());
+  ASSERT_TRUE(runtime().WriteBuffer(*a_buf, 0, a.data(), a.size() * 4).ok());
+  ASSERT_TRUE(runtime().WriteBuffer(*b_buf, 0, b.data(), b.size() * 4).ok());
+
+  // Reference: the classic single-node path (user-directed, node 0).
+  ClusterRuntime::LaunchSpec spec =
+      MatmulSpec(*program, n, *a_buf, *b_buf, *c_single);
+  spec.preferred_node = 0;
+  auto single = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single->shard_count, 1u);
+
+  // Co-executed: one launch split across the 3-node cluster.
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  spec = MatmulSpec(*program, n, *a_buf, *b_buf, *c_split);
+  auto handle = runtime().SubmitLaunch(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  ASSERT_TRUE(runtime().Wait(*handle).ok());
+  auto aggregate = runtime().LaunchResultOf(*handle);
+  auto shards = runtime().LaunchShardsOf(*handle);
+  ASSERT_TRUE(aggregate.ok() && shards.ok());
+  EXPECT_GE(aggregate->shard_count, 2u);
+  EXPECT_EQ(shards->size(), aggregate->shard_count);
+  std::set<std::size_t> nodes_used;
+  for (const CommandHandle& shard : *shards) {
+    auto result = runtime().LaunchResultOf(shard);
+    ASSERT_TRUE(result.ok());
+    nodes_used.insert(result->node);
+  }
+  EXPECT_GE(nodes_used.size(), 2u);
+
+  std::vector<float> got_single(a.size());
+  std::vector<float> got_split(a.size());
+  ASSERT_TRUE(runtime()
+                  .ReadBuffer(*c_single, 0, got_single.data(),
+                              got_single.size() * 4)
+                  .ok());
+  ASSERT_TRUE(runtime()
+                  .ReadBuffer(*c_split, 0, got_split.data(),
+                              got_split.size() * 4)
+                  .ok());
+  EXPECT_EQ(std::memcmp(got_single.data(), got_split.data(),
+                        got_single.size() * 4),
+            0);
+  ASSERT_TRUE(runtime().ReleaseCommand(*handle).ok());
+}
+
+TEST_F(ClusterRuntimeTest, PartitionedSpmvBitIdenticalToSingleNode) {
+  auto spmv = workloads::MakeSpmv();
+  auto program = runtime().BuildProgram(spmv->kernel_source());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const int rows = 512;
+  // Deterministic CSR: 4 nonzeros per row.
+  std::vector<std::int32_t> row_ptr(rows + 1);
+  std::vector<std::int32_t> col_idx;
+  std::vector<float> values;
+  std::vector<float> x(rows);
+  for (int r = 0; r < rows; ++r) {
+    row_ptr[r + 1] = row_ptr[r] + 4;
+    for (int i = 0; i < 4; ++i) {
+      col_idx.push_back((r * 7 + i * 131) % rows);
+      values.push_back(static_cast<float>((r + i) % 17) / 8.0f - 1.0f);
+    }
+    x[r] = static_cast<float>(r % 29) / 14.0f - 1.0f;
+  }
+  auto rp = runtime().CreateBuffer(row_ptr.size() * 4);
+  auto ci = runtime().CreateBuffer(col_idx.size() * 4);
+  auto va = runtime().CreateBuffer(values.size() * 4);
+  auto xb = runtime().CreateBuffer(x.size() * 4);
+  auto y_single = runtime().CreateBuffer(static_cast<std::uint64_t>(rows) * 4);
+  auto y_split = runtime().CreateBuffer(static_cast<std::uint64_t>(rows) * 4);
+  ASSERT_TRUE(rp.ok() && ci.ok() && va.ok() && xb.ok() && y_single.ok() &&
+              y_split.ok());
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*rp, 0, row_ptr.data(), row_ptr.size() * 4).ok());
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*ci, 0, col_idx.data(), col_idx.size() * 4).ok());
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*va, 0, values.data(), values.size() * 4).ok());
+  ASSERT_TRUE(runtime().WriteBuffer(*xb, 0, x.data(), x.size() * 4).ok());
+
+  auto make_spec = [&](BufferId y) {
+    ClusterRuntime::LaunchSpec spec;
+    spec.program = *program;
+    spec.kernel_name = "spmv_compute";
+    spec.args = {KernelArgValue::Buffer(*rp), KernelArgValue::Buffer(*ci),
+                 KernelArgValue::Buffer(*va), KernelArgValue::Buffer(*xb),
+                 KernelArgValue::PartitionedBuffer(y, 4),
+                 KernelArgValue::Scalar<std::int32_t>(rows)};
+    spec.work_dim = 1;
+    spec.global[0] = static_cast<std::uint64_t>(rows);
+    return spec;
+  };
+
+  ClusterRuntime::LaunchSpec spec = make_spec(*y_single);
+  spec.preferred_node = 1;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());
+
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  auto split = runtime().LaunchKernel(make_spec(*y_split));
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_GE(split->shard_count, 2u);
+
+  std::vector<float> got_single(rows);
+  std::vector<float> got_split(rows);
+  ASSERT_TRUE(
+      runtime().ReadBuffer(*y_single, 0, got_single.data(), rows * 4).ok());
+  ASSERT_TRUE(
+      runtime().ReadBuffer(*y_split, 0, got_split.data(), rows * 4).ok());
+  EXPECT_EQ(std::memcmp(got_single.data(), got_split.data(), rows * 4), 0);
+}
+
+TEST_F(ClusterRuntimeTest, PartitionedRmwAfterRemoteOwnershipStaysCoherent) {
+  // Launch 1 (classic, node 0) takes ownership of the buffer: host shadow
+  // stale, valid replica on node 0. Launch 2 is a partitioned
+  // read-modify-write split across nodes — every shard must see launch
+  // 1's values, including shards whose slice has to be repopulated from
+  // node 0's replica while the node-0 shard skips its own slice ship.
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 1024;
+  auto buffer = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n);
+  for (int i = 0; i < n; ++i) values[i] = i + 1;
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::PartitionedBuffer(*buffer, 4),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = static_cast<std::uint64_t>(n);
+  spec.preferred_node = 0;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());  // Node 0 owns the data.
+
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  spec.preferred_node = -1;
+  auto split = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_GE(split->shard_count, 2u);
+
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], 4 * (i + 1)) << i;
+}
+
+TEST_F(ClusterRuntimeTest, CoexecutionBeatsBestSingleNodePlacement) {
+  // Compute-dominated matmul on a heterogeneous 3-node cluster: the
+  // hetero_split plan must finish (virtual time) strictly earlier than
+  // the best single-node placement. Fresh cluster per run so one run's
+  // modeled backlog cannot skew the next.
+  const int n = 64;
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> b(a.size(), 0.25f);
+  sim::KernelCost cost;
+  cost.flops = 5e10;  // Dwarfs the transfer terms.
+  cost.bytes = 4e10;
+  cost.work_items = static_cast<std::uint64_t>(n) * n;
+
+  auto run = [&](const std::string& policy, int preferred,
+                 double* completion) {
+    auto cluster = SimCluster::Create({.gpu_nodes = 2, .cpu_nodes = 1});
+    ASSERT_TRUE(cluster.ok());
+    auto& rt = (*cluster)->runtime();
+    ASSERT_TRUE(rt.SetScheduler(policy).ok());
+    auto program = rt.BuildProgram(MatmulSource());
+    ASSERT_TRUE(program.ok());
+    auto a_buf = rt.CreateBuffer(a.size() * 4);
+    auto b_buf = rt.CreateBuffer(b.size() * 4);
+    auto c_buf = rt.CreateBuffer(a.size() * 4);
+    ASSERT_TRUE(a_buf.ok() && b_buf.ok() && c_buf.ok());
+    ASSERT_TRUE(rt.WriteBuffer(*a_buf, 0, a.data(), a.size() * 4).ok());
+    ASSERT_TRUE(rt.WriteBuffer(*b_buf, 0, b.data(), b.size() * 4).ok());
+    ClusterRuntime::LaunchSpec spec =
+        MatmulSpec(*program, n, *a_buf, *b_buf, *c_buf);
+    spec.preferred_node = preferred;
+    spec.cost_hint = cost;
+    auto result = rt.LaunchKernel(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    *completion = result->virtual_completion;
+  };
+
+  double best_single = std::numeric_limits<double>::infinity();
+  for (int node = 0; node < 3; ++node) {
+    double completion = 0.0;
+    run("user", node, &completion);
+    best_single = std::min(best_single, completion);
+  }
+  double split_completion = 0.0;
+  run("hetero_split", -1, &split_completion);
+  EXPECT_LT(split_completion, best_single);
+}
+
+TEST_F(ClusterRuntimeTest, ShardsOfOneLaunchOverlapAcrossNodes) {
+  // The co-execution acceptance: shards of ONE launch are in flight on
+  // distinct nodes concurrently — overlapping modeled spans and at least
+  // two graph workers running at once.
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  auto program = runtime().BuildProgram(MatmulSource());
+  ASSERT_TRUE(program.ok());
+  const int n = 64;
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.0f);
+  auto a_buf = runtime().CreateBuffer(a.size() * 4);
+  auto b_buf = runtime().CreateBuffer(a.size() * 4);
+  auto c_buf = runtime().CreateBuffer(a.size() * 4);
+  ASSERT_TRUE(a_buf.ok() && b_buf.ok() && c_buf.ok());
+  ASSERT_TRUE(runtime().WriteBuffer(*a_buf, 0, a.data(), a.size() * 4).ok());
+  ASSERT_TRUE(runtime().WriteBuffer(*b_buf, 0, a.data(), a.size() * 4).ok());
+
+  ClusterRuntime::LaunchSpec spec =
+      MatmulSpec(*program, n, *a_buf, *b_buf, *c_buf);
+  sim::KernelCost cost;
+  cost.flops = 5e10;  // Long modeled kernels relative to their transfers.
+  cost.bytes = 4e10;
+  cost.work_items = static_cast<std::uint64_t>(n) * n;
+  spec.cost_hint = cost;
+  auto handle = runtime().SubmitLaunch(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  ASSERT_TRUE(runtime().Wait(*handle).ok());
+
+  auto shards = runtime().LaunchShardsOf(*handle);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_GE(shards->size(), 2u);
+  EXPECT_GE(runtime().graph().PeakRunning(), 2u);
+  std::vector<LaunchResult> results;
+  std::set<std::size_t> nodes_used;
+  for (const CommandHandle& shard : *shards) {
+    auto result = runtime().LaunchResultOf(shard);
+    ASSERT_TRUE(result.ok());
+    nodes_used.insert(result->node);
+    results.push_back(*result);
+  }
+  EXPECT_EQ(nodes_used.size(), shards->size());  // Distinct nodes.
+  // Every pair of shard spans overlaps in virtual time.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = i + 1; j < results.size(); ++j) {
+      const double start_i =
+          results[i].virtual_completion - results[i].modeled_seconds;
+      const double start_j =
+          results[j].virtual_completion - results[j].modeled_seconds;
+      EXPECT_LT(start_i, results[j].virtual_completion);
+      EXPECT_LT(start_j, results[i].virtual_completion);
+    }
+  }
+  ASSERT_TRUE(runtime().ReleaseCommand(*handle).ok());
+}
+
+TEST_F(ClusterRuntimeTest, RangeQueryingKernelsAreNeverSplit) {
+  // A grid-stride kernel reads get_global_size(0); under a shard its
+  // value would be shard-local and the stride wrong, so the runtime must
+  // keep such launches whole even with partitioned annotations.
+  constexpr char kGridStride[] = R"(
+    __kernel void stride_fill(__global int* data, int n) {
+      for (int i = (int)get_global_id(0); i < n;
+           i += (int)get_global_size(0)) {
+        data[i] = i + 1;
+      }
+    })";
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  auto program = runtime().BuildProgram(kGridStride);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const int n = 256;
+  auto buffer = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "stride_fill";
+  spec.args = {KernelArgValue::PartitionedBuffer(*buffer, 4),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = 64;  // Fewer items than n: the loop must cover the rest.
+  auto result = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->shard_count, 1u);
+
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], i + 1) << i;
+
+  // The canonical group-id index reconstruction is equally shard-hostile
+  // (group ids restart at 0 per shard): must also run whole.
+  constexpr char kGroupIndex[] = R"(
+    __kernel void group_fill(__global int* data, int n) {
+      int i = (int)(get_group_id(0) * get_local_size(0) + get_local_id(0));
+      if (i < n) data[i] = i + 1;
+    })";
+  auto program2 = runtime().BuildProgram(kGroupIndex);
+  ASSERT_TRUE(program2.ok()) << program2.status().ToString();
+  const int m = 1024;
+  auto buffer2 = runtime().CreateBuffer(static_cast<std::uint64_t>(m) * 4);
+  ASSERT_TRUE(buffer2.ok());
+  ClusterRuntime::LaunchSpec spec2;
+  spec2.program = *program2;
+  spec2.kernel_name = "group_fill";
+  spec2.args = {KernelArgValue::PartitionedBuffer(*buffer2, 4),
+                KernelArgValue::Scalar<std::int32_t>(m)};
+  spec2.global[0] = static_cast<std::uint64_t>(m);
+  spec2.local[0] = 64;
+  spec2.local_specified = true;
+  auto result2 = runtime().LaunchKernel(spec2);
+  ASSERT_TRUE(result2.ok()) << result2.status().ToString();
+  EXPECT_EQ(result2->shard_count, 1u);
+  std::vector<std::int32_t> got2(m);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer2, 0, got2.data(), m * 4).ok());
+  for (int i = 0; i < m; ++i) ASSERT_EQ(got2[i], i + 1) << i;
+}
+
+TEST_F(ClusterRuntimeTest, InvalidPlacementPlansAreRejectedAtSubmit) {
+  // A policy producing overlapping shards must fail the submit, not
+  // corrupt buffers at execution time.
+  class OverlappingPolicy : public sched::SchedulingPolicy {
+   public:
+    [[nodiscard]] std::string name() const override { return "overlap"; }
+    Expected<std::size_t> SelectNode(const sched::TaskInfo&,
+                                     const sched::ClusterView&) override {
+      return 0;
+    }
+    Expected<sched::PlacementPlan> PlanLaunch(
+        const sched::TaskInfo& task, const sched::ClusterView&) override {
+      sched::PlacementPlan plan;
+      plan.shards = {{0, 0, task.dim0_extent, 0.5},
+                     {1, task.dim0_extent / 2, task.dim0_extent / 2, 0.5}};
+      return plan;
+    }
+  };
+  sched::RegisterPolicy("overlap", [] {
+    return std::unique_ptr<sched::SchedulingPolicy>(new OverlappingPolicy());
+  });
+  ASSERT_TRUE(runtime().SetScheduler("overlap").ok());
+
+  auto program = runtime().BuildProgram(MatmulSource());
+  ASSERT_TRUE(program.ok());
+  const int n = 32;
+  auto a_buf = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * n * 4);
+  auto b_buf = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * n * 4);
+  auto c_buf = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * n * 4);
+  ASSERT_TRUE(a_buf.ok() && b_buf.ok() && c_buf.ok());
+  ClusterRuntime::LaunchSpec spec =
+      MatmulSpec(*program, n, *a_buf, *b_buf, *c_buf);
+  EXPECT_EQ(runtime().SubmitLaunch(spec).code(), ErrorCode::kSchedulerError);
+
+  // And a partitioned annotation whose range overruns the buffer is
+  // caught before any plan is made.
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  spec = MatmulSpec(*program, n, *a_buf, *b_buf, *c_buf);
+  spec.global[0] = static_cast<std::uint64_t>(2 * n);  // Past a's rows.
+  EXPECT_EQ(runtime().SubmitLaunch(spec).code(), ErrorCode::kInvalidValue);
+}
+
+TEST_F(ClusterRuntimeTest, ReleasedCommandRecordsAreReclaimed) {
+  auto buffer = runtime().CreateBuffer(256);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::uint8_t> payload(256, 7);
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*buffer, 0, payload.data(), 256).ok());
+  ASSERT_TRUE(runtime().Finish().ok());
+  const std::size_t baseline = runtime().graph().LiveRecords();
+
+  // The blocking wrappers release internally: a long launch/write loop
+  // must not grow the graph's record table (the million-enqueue bound).
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(64)};
+  spec.global[0] = 64;
+  spec.preferred_node = 0;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        runtime().WriteBuffer(*buffer, 0, payload.data(), 256).ok());
+    ASSERT_TRUE(runtime().LaunchKernel(spec).ok());
+  }
+  ASSERT_TRUE(runtime().Finish().ok());
+  EXPECT_LE(runtime().graph().LiveRecords(), baseline + 4);
+
+  // Explicit handles: queryable while held, gone after release.
+  auto write = runtime().SubmitWrite(*buffer, 0, payload.data(), 256);
+  ASSERT_TRUE(write.ok());
+  ASSERT_TRUE(runtime().Wait(*write).ok());
+  EXPECT_TRUE(runtime().CommandStateOf(*write).ok());
+  ASSERT_TRUE(runtime().ReleaseCommand(*write).ok());
+  EXPECT_FALSE(runtime().CommandStateOf(*write).ok());
+}
+
 TEST(ClusterRuntimeErrorsTest, EmptyConnectionListRejected) {
   auto runtime = ClusterRuntime::Connect({});
   EXPECT_FALSE(runtime.ok());

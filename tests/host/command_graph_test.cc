@@ -206,6 +206,56 @@ TEST(CommandGraphTest, UnknownIdQueriesError) {
   EXPECT_EQ(graph.Complete(42).code(), ErrorCode::kInvalidValue);
 }
 
+TEST(CommandGraphTest, ReleaseReclaimsRetiredRecords) {
+  CommandGraph graph;
+  const CommandId cmd = graph.Submit([](Exec&) { return Status::Ok(); });
+  ASSERT_TRUE(graph.Wait(cmd).ok());
+  EXPECT_EQ(graph.LiveRecords(), 1u);
+  EXPECT_TRUE(graph.Release(cmd));
+  EXPECT_EQ(graph.LiveRecords(), 0u);
+  // The record is gone; queries error, Wait resolves as retired-OK.
+  EXPECT_FALSE(graph.QueryState(cmd).ok());
+  EXPECT_TRUE(graph.Wait(cmd).ok());
+  // Ids the graph never issued stay errors.
+  EXPECT_FALSE(graph.Wait(cmd + 1000).ok());
+}
+
+TEST(CommandGraphTest, RetainKeepsRecordAcrossOneRelease) {
+  CommandGraph graph;
+  const CommandId cmd = graph.Submit([](Exec&) { return Status::Ok(); });
+  graph.Retain(cmd);
+  ASSERT_TRUE(graph.Wait(cmd).ok());
+  EXPECT_FALSE(graph.Release(cmd));  // One reference left.
+  EXPECT_TRUE(graph.QueryState(cmd).ok());
+  EXPECT_TRUE(graph.Release(cmd));
+  EXPECT_FALSE(graph.QueryState(cmd).ok());
+}
+
+TEST(CommandGraphTest, ReleaseBeforeRetirementReclaimsAtRetire) {
+  CommandGraph graph;
+  const CommandId gate = graph.SubmitManual({}, "gate");
+  const CommandId cmd =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {gate}, "after");
+  EXPECT_TRUE(graph.Release(cmd));  // Queued; reclaimed once it retires.
+  EXPECT_EQ(graph.LiveRecords(), 2u);  // Still live until the gate opens.
+  ASSERT_TRUE(graph.Complete(gate).ok());
+  ASSERT_TRUE(graph.Wait(cmd).ok());  // Retired-OK (record may be gone).
+  graph.Release(gate);
+  EXPECT_EQ(graph.LiveRecords(), 0u);
+}
+
+TEST(CommandGraphTest, DependenciesOnReclaimedIdsResolveAsRetired) {
+  CommandGraph graph;
+  const CommandId a = graph.Submit([](Exec&) { return Status::Ok(); });
+  ASSERT_TRUE(graph.Wait(a).ok());
+  ASSERT_TRUE(graph.Release(a));
+  // Strong and weak edges on the reclaimed id behave like edges on any
+  // retired-OK command: the dependent simply runs.
+  const CommandId b =
+      graph.Submit([](Exec&) { return Status::Ok(); }, {a}, "b", {a});
+  EXPECT_TRUE(graph.Wait(b).ok());
+}
+
 TEST(CommandGraphTest, QueryStatusPeeksWithoutBlocking) {
   CommandGraph graph;
   const CommandId gate = graph.SubmitManual({}, "gate");

@@ -231,6 +231,170 @@ TEST(RegistryTest, UserPolicyPlugsIn) {
   EXPECT_EQ(*node, 2u);
 }
 
+// ---- Placement plans ------------------------------------------------------
+
+TaskInfo SplittableTask(std::uint64_t extent, double gflops = 100.0) {
+  TaskInfo task = RegularTask(gflops);
+  task.dim0_extent = extent;
+  task.splittable = true;
+  return task;
+}
+
+TEST(PlanValidationTest, AcceptsSingleFullRangeShard) {
+  ClusterView cluster = MakeCluster(2, 0);
+  TaskInfo task = RegularTask();
+  task.dim0_extent = 128;
+  auto plan = PlacementPlan::SingleNode(1, 128);
+  EXPECT_TRUE(ValidatePlan(plan, task, cluster).ok());
+}
+
+TEST(PlanValidationTest, RejectsEmptyPlanAndEmptyShard) {
+  ClusterView cluster = MakeCluster(2, 0);
+  TaskInfo task = SplittableTask(128);
+  PlacementPlan plan;
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+  plan.shards = {{0, 0, 128, 1.0}, {1, 128, 0, 0.0}};
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+}
+
+TEST(PlanValidationTest, RejectsOverlapGapAndShortCoverage) {
+  ClusterView cluster = MakeCluster(2, 0);
+  TaskInfo task = SplittableTask(128);
+  PlacementPlan plan;
+  plan.shards = {{0, 0, 80, 0.5}, {1, 64, 64, 0.5}};  // Overlap at 64..80.
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+  plan.shards = {{0, 0, 32, 0.5}, {1, 64, 64, 0.5}};  // Gap 32..64.
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+  plan.shards = {{0, 0, 64, 0.5}, {1, 64, 32, 0.5}};  // Covers 96 of 128.
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+}
+
+TEST(PlanValidationTest, RejectsOutOfRangeShards) {
+  ClusterView cluster = MakeCluster(2, 0);
+  TaskInfo task = SplittableTask(128);
+  PlacementPlan plan;
+  plan.shards = {{0, 0, 64, 0.5}, {1, 64, 128, 0.5}};  // Past the extent.
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+  plan.shards = {{7, 0, 128, 1.0}};  // No such node.
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+  cluster.nodes[1].alive = false;
+  plan.shards = {{0, 0, 64, 0.5}, {1, 64, 64, 0.5}};  // Dead node.
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+}
+
+TEST(PlanValidationTest, MultiShardNeedsSplittableTask) {
+  ClusterView cluster = MakeCluster(2, 0);
+  TaskInfo task = RegularTask();
+  task.dim0_extent = 128;
+  task.splittable = false;
+  PlacementPlan plan;
+  plan.shards = {{0, 0, 64, 0.5}, {1, 64, 64, 0.5}};
+  EXPECT_FALSE(ValidatePlan(plan, task, cluster).ok());
+  task.splittable = true;
+  EXPECT_TRUE(ValidatePlan(plan, task, cluster).ok());
+}
+
+TEST(PlanAdapterTest, SelectNodeOnlyPoliciesPlanOneFullShard) {
+  // A policy written against the old node-picking API — including
+  // user-registered ones — must plan exactly the shard SelectNode implies.
+  class AlwaysSecond : public SchedulingPolicy {
+   public:
+    [[nodiscard]] std::string name() const override { return "alwayssecond"; }
+    Expected<std::size_t> SelectNode(const TaskInfo&,
+                                     const ClusterView&) override {
+      return 1;
+    }
+  };
+  AlwaysSecond policy;
+  ClusterView cluster = MakeCluster(3, 0);
+  TaskInfo task = SplittableTask(1000);
+  auto plan = policy.PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->shards.size(), 1u);
+  EXPECT_EQ(plan->shards[0].node, 1u);
+  EXPECT_EQ(plan->shards[0].global_offset, 0u);
+  EXPECT_EQ(plan->shards[0].global_count, 1000u);
+  EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+
+  // Built-in single-node policies go through the same adapter.
+  auto builtin = MakeLeastLoadedPolicy();
+  auto builtin_plan = builtin->PlanLaunch(task, cluster);
+  auto builtin_node = builtin->SelectNode(task, cluster);
+  ASSERT_TRUE(builtin_plan.ok() && builtin_node.ok());
+  ASSERT_EQ(builtin_plan->shards.size(), 1u);
+  EXPECT_EQ(builtin_plan->shards[0].node, *builtin_node);
+  EXPECT_EQ(builtin_plan->shards[0].global_count, 1000u);
+}
+
+TEST(HeteroSplitTest, ShardsTileTheRangeAcrossEligibleNodes) {
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  ClusterView cluster = MakeCluster(2, 0, 1);
+  TaskInfo task = SplittableTask(4096);
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+  EXPECT_GE(plan->shards.size(), 2u);
+  std::uint64_t covered = 0;
+  for (const auto& shard : plan->shards) covered += shard.global_count;
+  EXPECT_EQ(covered, 4096u);
+}
+
+TEST(HeteroSplitTest, FasterNodesGetLargerShards) {
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  ClusterView cluster = MakeCluster(1, 0, 1);  // GPU + CPU.
+  TaskInfo task = SplittableTask(4096, /*gflops=*/500.0);
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->shards.size(), 2u);
+  std::uint64_t gpu_rows = 0;
+  std::uint64_t cpu_rows = 0;
+  for (const auto& shard : plan->shards) {
+    if (cluster.nodes[shard.node].type == NodeType::kGpu) {
+      gpu_rows = shard.global_count;
+    } else {
+      cpu_rows = shard.global_count;
+    }
+  }
+  EXPECT_GT(gpu_rows, cpu_rows);
+  // Shares follow the compute model: rows_i ~ 1 / compute_seconds_i.
+  const double gpu_seconds =
+      PredictComputeSeconds(task, cluster.nodes[0]);
+  const double cpu_seconds =
+      PredictComputeSeconds(task, cluster.nodes[1]);
+  const double want_ratio = cpu_seconds / gpu_seconds;
+  const double got_ratio =
+      static_cast<double>(gpu_rows) / static_cast<double>(cpu_rows);
+  EXPECT_NEAR(got_ratio, want_ratio, 0.25 * want_ratio);
+}
+
+TEST(HeteroSplitTest, NonSplittableFallsBackToBestSingleNode) {
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  ClusterView cluster = MakeCluster(2, 0, 1);
+  TaskInfo task = RegularTask(500.0);
+  task.dim0_extent = 4096;
+  task.splittable = false;
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->shards.size(), 1u);
+  EXPECT_EQ(plan->shards[0].global_count, 4096u);
+  auto best = MakeHeterogeneityAwarePolicy()->SelectNode(task, cluster);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(plan->shards[0].node, *best);
+}
+
+TEST(HeteroSplitTest, RespectsWorkGroupAlignment) {
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  ClusterView cluster = MakeCluster(2, 0, 1);
+  TaskInfo task = SplittableTask(1024);
+  task.dim0_align = 64;
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+  for (const auto& shard : plan->shards) {
+    EXPECT_EQ(shard.global_offset % 64, 0u);
+  }
+}
+
 // Parameterized sweep: for every policy, selections are always eligible.
 class AllPoliciesTest : public ::testing::TestWithParam<std::string> {};
 

@@ -7,6 +7,11 @@
 //   - Co-execution: ONE partitioned matmul launch split by the
 //     "hetero_split" placement plan vs the best single-node placement;
 //     emits machine-readable BENCH_coexec.json for the perf trajectory.
+//   - Chained partitioned launches: producer/consumer ping-pong over one
+//     buffer with node-to-node slice exchange vs the gather-through-host
+//     star (peer transfers disabled); emits BENCH_p2p.json with the host
+//     payload bytes moved and the modeled walltimes.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -89,6 +94,84 @@ double RunSpmvStagedSeconds(std::size_t gpus, std::size_t fpgas,
     std::exit(1);
   }
   return haocl::bench::SteadyStateSeconds(*report, amp);
+}
+
+// Chained partitioned launches over ONE buffer: even iterations run the
+// whole kernel on node 0 (user-directed), odd iterations co-execute it
+// split across the cluster — every iteration after the first moves slices
+// between nodes, never new data from the host. Returns the steady-state
+// metrics (warmup iterations, which legitimately scatter from the host,
+// excluded).
+struct ChainedResult {
+  double virtual_seconds = 0.0;     // Modeled makespan of the steady state.
+  double wall_seconds = 0.0;
+  std::uint64_t host_payload = 0;   // Bytes through the host, steady state.
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t relay_bytes = 0;
+};
+
+ChainedResult RunChainedOnce(haocl::host::SimCluster::Shape shape,
+                             bool peer_transfers) {
+  using namespace haocl;
+  constexpr int kN = 64 << 10;  // 256 KiB of int32.
+  constexpr int kIterations = 8;
+  constexpr int kWarmup = 2;
+  host::RuntimeOptions options;
+  options.peer_transfers = peer_transfers;
+  auto cluster = host::SimCluster::Create(shape, options);
+  if (!cluster.ok()) std::exit(1);
+  auto& runtime = (*cluster)->runtime();
+  auto program = runtime.BuildProgram(R"(
+    __kernel void doubler(__global int* data, int n) {
+      int i = get_global_id(0);
+      if (i < n) data[i] = data[i] * 2;
+    })");
+  if (!program.ok()) std::exit(1);
+  auto buffer = runtime.CreateBuffer(static_cast<std::uint64_t>(kN) * 4);
+  if (!buffer.ok()) std::exit(1);
+  std::vector<std::int32_t> values(kN, 1);
+  if (!runtime.WriteBuffer(*buffer, 0, values.data(), values.size() * 4)
+           .ok()) {
+    std::exit(1);
+  }
+
+  ChainedResult result;
+  double virtual_start = 0.0;
+  host::TransferStats start_stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int iter = 0; iter < kIterations; ++iter) {
+    if (iter == kWarmup) {
+      virtual_start = runtime.timeline().Makespan();
+      auto snapshot = runtime.DirectorySnapshotOf(*buffer);
+      if (!snapshot.ok()) std::exit(1);
+      start_stats = snapshot->stats;
+    }
+    const bool whole = iter % 2 == 0;
+    if (!runtime.SetScheduler(whole ? "user" : "hetero_split").ok()) {
+      std::exit(1);
+    }
+    host::ClusterRuntime::LaunchSpec spec;
+    spec.program = *program;
+    spec.kernel_name = "doubler";
+    spec.args = {host::KernelArgValue::PartitionedBuffer(*buffer, 4),
+                 host::KernelArgValue::Scalar<std::int32_t>(kN)};
+    spec.global[0] = kN;
+    spec.preferred_node = whole ? 0 : -1;
+    auto launched = runtime.LaunchKernel(spec);
+    if (!launched.ok()) std::exit(1);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.virtual_seconds = runtime.timeline().Makespan() - virtual_start;
+  auto snapshot = runtime.DirectorySnapshotOf(*buffer);
+  if (!snapshot.ok()) std::exit(1);
+  result.host_payload = snapshot->stats.host_payload_bytes() -
+                        start_stats.host_payload_bytes();
+  result.p2p_bytes = snapshot->stats.p2p_bytes - start_stats.p2p_bytes;
+  result.relay_bytes = snapshot->stats.relay_bytes - start_stats.relay_bytes;
+  return result;
 }
 
 }  // namespace
@@ -207,6 +290,48 @@ int main() {
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_coexec.json\n");
+  }
+
+  // ---- Chained partitioned launches: P2P slice exchange vs host star ----
+  std::printf("\nChained partitioned launches (steady state: host payload"
+              " bytes and modeled seconds)\n");
+  std::printf("%-12s %12s %12s %12s %12s %8s\n", "cluster", "p2p:hostB",
+              "p2p:moved", "star:hostB", "p2p(s)", "speedup");
+  FILE* p2p_json = std::fopen("BENCH_p2p.json", "w");
+  if (p2p_json != nullptr) std::fprintf(p2p_json, "{\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < std::size(coexec_shapes); ++i) {
+    const CoexecShape& shape = coexec_shapes[i];
+    const ChainedResult p2p = RunChainedOnce(shape.shape, true);
+    const ChainedResult star = RunChainedOnce(shape.shape, false);
+    std::printf("%-12s %12llu %12llu %12llu %12.4f %7.2fx\n", shape.label,
+                static_cast<unsigned long long>(p2p.host_payload),
+                static_cast<unsigned long long>(p2p.p2p_bytes),
+                static_cast<unsigned long long>(star.host_payload),
+                p2p.virtual_seconds,
+                star.virtual_seconds / p2p.virtual_seconds);
+    if (p2p_json != nullptr) {
+      std::fprintf(
+          p2p_json,
+          "    {\"cluster\": \"%s\", \"p2p_host_payload_bytes\": %llu,"
+          " \"p2p_bytes\": %llu, \"star_host_payload_bytes\": %llu,"
+          " \"star_relay_bytes\": %llu, \"p2p_virtual_seconds\": %.6f,"
+          " \"star_virtual_seconds\": %.6f, \"p2p_wall_seconds\": %.6f,"
+          " \"star_wall_seconds\": %.6f, \"speedup\": %.4f}%s\n",
+          shape.label,
+          static_cast<unsigned long long>(p2p.host_payload),
+          static_cast<unsigned long long>(p2p.p2p_bytes),
+          static_cast<unsigned long long>(star.host_payload),
+          static_cast<unsigned long long>(star.relay_bytes),
+          p2p.virtual_seconds, star.virtual_seconds, p2p.wall_seconds,
+          star.wall_seconds,
+          star.virtual_seconds / p2p.virtual_seconds,
+          i + 1 < std::size(coexec_shapes) ? "," : "");
+    }
+  }
+  if (p2p_json != nullptr) {
+    std::fprintf(p2p_json, "  ]\n}\n");
+    std::fclose(p2p_json);
+    std::printf("\nwrote BENCH_p2p.json\n");
   }
   return 0;
 }

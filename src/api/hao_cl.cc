@@ -991,6 +991,67 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
       });
 }
 
+cl_int clEnqueueMigrateMemObjects(cl_command_queue queue,
+                                  cl_uint num_mem_objects,
+                                  const cl_mem* mem_objects,
+                                  cl_mem_migration_flags flags,
+                                  cl_uint num_events_in_wait_list,
+                                  const cl_event* event_wait_list,
+                                  cl_event* event) {
+  if (!Valid(queue, kQueueMagic)) return CL_INVALID_COMMAND_QUEUE;
+  if (num_mem_objects == 0 || mem_objects == nullptr) return CL_INVALID_VALUE;
+  constexpr cl_mem_migration_flags kKnownFlags =
+      CL_MIGRATE_MEM_OBJECT_HOST | CL_MIGRATE_MEM_OBJECT_CONTENT_UNDEFINED;
+  if ((flags & ~kKnownFlags) != 0) return CL_INVALID_VALUE;
+  for (cl_uint i = 0; i < num_mem_objects; ++i) {
+    if (!Valid(mem_objects[i], kMemMagic)) return CL_INVALID_MEM_OBJECT;
+  }
+  const bool to_host = (flags & CL_MIGRATE_MEM_OBJECT_HOST) != 0;
+  const bool discard =
+      (flags & CL_MIGRATE_MEM_OBJECT_CONTENT_UNDEFINED) != 0;
+  const int node = queue->device->node_index;  // -1 = virtual cluster device.
+  // On the virtual cluster device the scheduler owns placement, so a
+  // device-directed migration has no fixed destination: treat it as the
+  // legal no-op hint (still an in-order command, so the event semantics
+  // hold) unless the HOST flag names the host shadow explicitly.
+  const bool no_op = !to_host && node < 0;
+  // One runtime command per mem object, chained in-order. The wait list
+  // gates the FIRST command (validated before anything enqueues; in-order
+  // chaining extends the gate to the rest); the out-event tracks the
+  // LAST, which completes only after all of them.
+  for (cl_uint i = 0; i < num_mem_objects; ++i) {
+    cl_mem mem = mem_objects[i];
+    const bool first = i == 0;
+    const bool last = i + 1 == num_mem_objects;
+    cl_int status = EnqueueCommand(
+        queue, first ? num_events_in_wait_list : 0,
+        first ? event_wait_list : nullptr, CL_FALSE, last ? event : nullptr,
+        [&](auto* runtime, auto deps, auto after) {
+          using Handle = haocl::Expected<haocl::host::CommandHandle>;
+          if (no_op) {
+            // Empty-bodied command: carries the ordering and the event,
+            // moves nothing.
+            std::vector<haocl::host::CommandId> dep_ids;
+            std::vector<haocl::host::CommandId> order_ids;
+            for (const CommandHandle& h : deps) dep_ids.push_back(h.id);
+            for (const CommandHandle& h : after) order_ids.push_back(h.id);
+            const haocl::host::CommandId cmd = runtime->graph().Submit(
+                [](haocl::host::CommandGraph::Execution&) {
+                  return haocl::Status::Ok();
+                },
+                std::move(dep_ids), "migrate:noop", std::move(order_ids));
+            return Handle(haocl::host::CommandHandle{cmd});
+          }
+          return Handle(runtime->SubmitMigrate(
+              mem->buffer, {},
+              to_host ? haocl::host::ClusterRuntime::kMigrateToHost : node,
+              discard, std::move(deps), std::move(after)));
+        });
+    if (status != CL_SUCCESS) return status;
+  }
+  return CL_SUCCESS;
+}
+
 cl_int clFlush(cl_command_queue queue) {
   // Every enqueue submits into the command graph immediately; there is
   // nothing left to push.

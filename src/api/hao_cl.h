@@ -107,6 +107,11 @@ inline constexpr cl_mem_flags CL_MEM_COPY_HOST_PTR = 1 << 5;
 inline constexpr cl_command_queue_properties CL_QUEUE_PROFILING_ENABLE = 1
                                                                          << 1;
 
+using cl_mem_migration_flags = cl_bitfield;
+inline constexpr cl_mem_migration_flags CL_MIGRATE_MEM_OBJECT_HOST = 1 << 0;
+inline constexpr cl_mem_migration_flags
+    CL_MIGRATE_MEM_OBJECT_CONTENT_UNDEFINED = 1 << 1;
+
 inline constexpr cl_platform_info CL_PLATFORM_PROFILE = 0x0900;
 inline constexpr cl_platform_info CL_PLATFORM_VERSION = 0x0901;
 inline constexpr cl_platform_info CL_PLATFORM_NAME = 0x0902;
@@ -236,6 +241,18 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
                               cl_uint num_events_in_wait_list,
                               const cl_event* event_wait_list,
                               cl_event* event);
+// Migrates the mem objects toward the queue's device (or the host with
+// CL_MIGRATE_MEM_OBJECT_HOST) ahead of use — the standard OpenCL 1.2
+// prefetch, mapped onto the region directory: peer-owned ranges move
+// node-to-node and never transit the host. On the virtual cluster device
+// the scheduler owns placement, so only the HOST flag moves data there.
+cl_int clEnqueueMigrateMemObjects(cl_command_queue queue,
+                                  cl_uint num_mem_objects,
+                                  const cl_mem* mem_objects,
+                                  cl_mem_migration_flags flags,
+                                  cl_uint num_events_in_wait_list,
+                                  const cl_event* event_wait_list,
+                                  cl_event* event);
 
 cl_int clFlush(cl_command_queue queue);
 cl_int clFinish(cl_command_queue queue);

@@ -43,6 +43,7 @@ const char* ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kDependencyFailed: return "DEPENDENCY_FAILED";
+    case ErrorCode::kPeerUnreachable: return "PEER_UNREACHABLE";
   }
   return "UNKNOWN";
 }

@@ -54,6 +54,9 @@ enum class ErrorCode : std::int32_t {
   kUnimplemented = -1006,
   // A predecessor in the command graph failed, so this command never ran.
   kDependencyFailed = -1007,
+  // A node was asked to exchange a slice with a peer it has no link to
+  // (the host falls back to relaying the bytes itself).
+  kPeerUnreachable = -1008,
 };
 
 const char* ErrorCodeName(ErrorCode code) noexcept;

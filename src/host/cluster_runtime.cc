@@ -196,31 +196,76 @@ void ClusterRuntime::CollectDepIds(const std::vector<CommandHandle>& deps,
   }
 }
 
-void ClusterRuntime::PruneRetiredReadersLocked(LogicalBuffer& buffer) {
-  // Read-mostly buffers would otherwise grow this list until the next
-  // write; retired readers impose no ordering anymore. Reclaimed records
-  // (released handles, !ok query) retired by definition.
-  auto& readers = buffer.readers_since_write;
-  readers.erase(std::remove_if(readers.begin(), readers.end(),
-                               [this](CommandId id) {
-                                 auto state = graph_->QueryState(id);
-                                 return !state.ok() || IsTerminal(*state);
-                               }),
+namespace {
+
+bool RangesOverlap(std::uint64_t a_begin, std::uint64_t a_end,
+                   std::uint64_t b_begin, std::uint64_t b_end) {
+  return a_begin < b_end && b_begin < a_end;
+}
+
+}  // namespace
+
+void ClusterRuntime::PruneRetiredHazardsLocked(LogicalBuffer& buffer) {
+  // Retired commands impose no ordering anymore; without pruning, bursts
+  // of in-flight commands would grow these lists unboundedly. Reclaimed
+  // records (released handles, !ok query) retired by definition.
+  auto retired = [this](const LogicalBuffer::RangeHazard& hazard) {
+    auto state = graph_->QueryState(hazard.cmd);
+    return !state.ok() || IsTerminal(*state);
+  };
+  auto& writers = buffer.writers;
+  writers.erase(std::remove_if(writers.begin(), writers.end(), retired),
+                writers.end());
+  auto& readers = buffer.readers;
+  readers.erase(std::remove_if(readers.begin(), readers.end(), retired),
                 readers.end());
 }
 
 void ClusterRuntime::AddReadHazardLocked(LogicalBuffer& buffer,
+                                         std::uint64_t begin,
+                                         std::uint64_t end,
                                          std::vector<CommandId>* deps) {
-  PruneRetiredReadersLocked(buffer);
-  if (buffer.last_writer != kNullCommand) deps->push_back(buffer.last_writer);
+  PruneRetiredHazardsLocked(buffer);
+  for (const auto& writer : buffer.writers) {
+    if (RangesOverlap(begin, end, writer.begin, writer.end)) {
+      deps->push_back(writer.cmd);
+    }
+  }
 }
 
 void ClusterRuntime::AddWriteHazardLocked(LogicalBuffer& buffer,
+                                          std::uint64_t begin,
+                                          std::uint64_t end,
                                           std::vector<CommandId>* deps) {
-  PruneRetiredReadersLocked(buffer);
-  if (buffer.last_writer != kNullCommand) deps->push_back(buffer.last_writer);
-  deps->insert(deps->end(), buffer.readers_since_write.begin(),
-               buffer.readers_since_write.end());
+  PruneRetiredHazardsLocked(buffer);
+  for (const auto& writer : buffer.writers) {
+    if (RangesOverlap(begin, end, writer.begin, writer.end)) {
+      deps->push_back(writer.cmd);
+    }
+  }
+  for (const auto& reader : buffer.readers) {
+    if (RangesOverlap(begin, end, reader.begin, reader.end)) {
+      deps->push_back(reader.cmd);
+    }
+  }
+}
+
+void ClusterRuntime::RecordReadLocked(LogicalBuffer& buffer,
+                                      std::uint64_t begin, std::uint64_t end,
+                                      CommandId cmd) {
+  buffer.readers.push_back({begin, end, cmd});
+}
+
+void ClusterRuntime::RecordWriteLocked(LogicalBuffer& buffer,
+                                       std::uint64_t begin, std::uint64_t end,
+                                       CommandId cmd) {
+  // Deliberately NO covered-hazard erasure: a covering command can turn
+  // terminal before the commands it covers (a strong dependency failing
+  // finalizes it while weakly-ordered predecessors still run), and a
+  // terminal command imposes no order — transitive ordering through it
+  // evaporates. Live entries are cheap (pruned once retired); dropping
+  // them early is how torn reads happen.
+  buffer.writers.push_back({begin, end, cmd});
 }
 
 // --------------------------------------------------------------- Buffers
@@ -234,8 +279,11 @@ Expected<BufferId> ClusterRuntime::CreateBuffer(std::uint64_t size) {
   auto buffer = std::make_shared<LogicalBuffer>();
   buffer->size = size;
   buffer->shadow.assign(size, 0);
-  buffer->host_valid = true;
-  buffer->valid_on.assign(nodes_.size(), false);
+  // Owner universe: the device nodes plus the host shadow, which starts as
+  // the sole owner of the zero-filled buffer.
+  buffer->dir = RegionDirectory(
+      size, static_cast<RegionDirectory::Owner>(nodes_.size() + 1),
+      HostOwner());
   buffer->allocated_on.assign(nodes_.size(), false);
   buffers_.emplace(id, std::move(buffer));
   return id;
@@ -290,7 +338,7 @@ Expected<CommandHandle> ClusterRuntime::SubmitWriteImpl(
   std::vector<CommandId> hazards;
   CollectDepIds(deps, &dep_ids);
   CollectDepIds(order_after, &hazards);
-  AddWriteHazardLocked(*buffer, &hazards);
+  AddWriteHazardLocked(*buffer, offset, offset + size, &hazards);
   const CommandId cmd = graph_->Submit(
       [this, id, buffer, offset, src, size,
        snapshot](CommandGraph::Execution&) {
@@ -298,8 +346,7 @@ Expected<CommandHandle> ClusterRuntime::SubmitWriteImpl(
       },
       std::move(dep_ids), "write:buf" + std::to_string(id),
       std::move(hazards));
-  buffer->last_writer = cmd;
-  buffer->readers_since_write.clear();
+  RecordWriteLocked(*buffer, offset, offset + size, cmd);
   return CommandHandle{cmd};
 }
 
@@ -322,14 +369,14 @@ Expected<CommandHandle> ClusterRuntime::SubmitRead(
   std::vector<CommandId> hazards;
   CollectDepIds(deps, &dep_ids);
   CollectDepIds(order_after, &hazards);
-  AddReadHazardLocked(*buffer, &hazards);
+  AddReadHazardLocked(*buffer, offset, offset + size, &hazards);
   const CommandId cmd = graph_->Submit(
       [this, id, buffer, offset, data, size](CommandGraph::Execution& e) {
         return ExecRead(id, buffer, offset, data, size, e);
       },
       std::move(dep_ids), "read:buf" + std::to_string(id),
       std::move(hazards));
-  buffer->readers_since_write.push_back(cmd);
+  RecordReadLocked(*buffer, offset, offset + size, cmd);
   return CommandHandle{cmd};
 }
 
@@ -356,8 +403,8 @@ Expected<CommandHandle> ClusterRuntime::SubmitCopy(
   std::vector<CommandId> hazards;
   CollectDepIds(deps, &dep_ids);
   CollectDepIds(order_after, &hazards);
-  AddReadHazardLocked(*src_buffer, &hazards);
-  AddWriteHazardLocked(*dst_buffer, &hazards);
+  AddReadHazardLocked(*src_buffer, src_offset, src_offset + size, &hazards);
+  AddWriteHazardLocked(*dst_buffer, dst_offset, dst_offset + size, &hazards);
   const CommandId cmd = graph_->Submit(
       [this, src, src_buffer, src_offset, dst, dst_buffer, dst_offset,
        size](CommandGraph::Execution&) {
@@ -367,9 +414,8 @@ Expected<CommandHandle> ClusterRuntime::SubmitCopy(
       std::move(dep_ids),
       "copy:buf" + std::to_string(src) + ">buf" + std::to_string(dst),
       std::move(hazards));
-  src_buffer->readers_since_write.push_back(cmd);
-  dst_buffer->last_writer = cmd;
-  dst_buffer->readers_since_write.clear();
+  RecordReadLocked(*src_buffer, src_offset, src_offset + size, cmd);
+  RecordWriteLocked(*dst_buffer, dst_offset, dst_offset + size, cmd);
   return CommandHandle{cmd};
 }
 
@@ -377,15 +423,13 @@ Status ClusterRuntime::ExecWrite(BufferId id, const BufferPtr& buffer,
                                  std::uint64_t offset,
                                  const std::uint8_t* data,
                                  std::uint64_t size) {
+  (void)id;
   std::lock_guard<std::mutex> lock(buffer->mutex);
-  // Partial write to a host-stale buffer must first gather the current
-  // contents, or the unwritten part of the shadow would be garbage.
-  if (!buffer->host_valid && !(offset == 0 && size == buffer->size)) {
-    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, *buffer));
-  }
+  // Region-granular: only the written range changes owner. The rest of the
+  // buffer keeps its current owners — a partial write to a remote-owned
+  // buffer no longer forces a full gather.
   std::memcpy(buffer->shadow.data() + offset, data, size);
-  buffer->host_valid = true;
-  std::fill(buffer->valid_on.begin(), buffer->valid_on.end(), false);
+  buffer->dir.MarkWritten(offset, offset + size, HostOwner());
   return Status::Ok();
 }
 
@@ -395,9 +439,10 @@ Status ClusterRuntime::ExecRead(BufferId id, const BufferPtr& buffer,
                                 CommandGraph::Execution& e) {
   (void)e;
   std::lock_guard<std::mutex> lock(buffer->mutex);
-  if (!buffer->host_valid) {
-    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, *buffer));
-  }
+  // The lazy gather: fetch exactly the stale sub-ranges of the read window
+  // from their current owners.
+  HAOCL_RETURN_IF_ERROR(EnsureHostRangeLocked(id, *buffer, offset,
+                                              offset + size));
   std::memcpy(out, buffer->shadow.data() + offset, size);
   return Status::Ok();
 }
@@ -409,61 +454,227 @@ Status ClusterRuntime::ExecCopy(BufferId src_id, const BufferPtr& src,
                                 std::uint64_t size) {
   if (src.get() == dst.get()) {
     std::lock_guard<std::mutex> lock(src->mutex);
-    if (!src->host_valid) {
-      HAOCL_RETURN_IF_ERROR(FetchToHostLocked(src_id, *src));
-    }
+    HAOCL_RETURN_IF_ERROR(EnsureHostRangeLocked(src_id, *src, src_offset,
+                                                src_offset + size));
     std::memmove(src->shadow.data() + dst_offset,
                  src->shadow.data() + src_offset, size);
-    src->host_valid = true;
-    std::fill(src->valid_on.begin(), src->valid_on.end(), false);
+    src->dir.MarkWritten(dst_offset, dst_offset + size, HostOwner());
     return Status::Ok();
   }
-  // Host-mediated copy: stage src, overlay dst (coherence keeps this
-  // correct wherever the replicas live). One buffer lock at a time.
+  // Host-mediated copy: stage the source range, overlay the destination
+  // range (only those ranges move). One buffer lock at a time.
   std::vector<std::uint8_t> staging(size);
   {
     std::lock_guard<std::mutex> lock(src->mutex);
-    if (!src->host_valid) {
-      HAOCL_RETURN_IF_ERROR(FetchToHostLocked(src_id, *src));
-    }
+    HAOCL_RETURN_IF_ERROR(EnsureHostRangeLocked(src_id, *src, src_offset,
+                                                src_offset + size));
     std::memcpy(staging.data(), src->shadow.data() + src_offset, size);
   }
   std::lock_guard<std::mutex> lock(dst->mutex);
-  if (!dst->host_valid && !(dst_offset == 0 && size == dst->size)) {
-    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(dst_id, *dst));
-  }
+  (void)dst_id;
   std::memcpy(dst->shadow.data() + dst_offset, staging.data(), size);
-  dst->host_valid = true;
-  std::fill(dst->valid_on.begin(), dst->valid_on.end(), false);
+  dst->dir.MarkWritten(dst_offset, dst_offset + size, HostOwner());
   return Status::Ok();
 }
 
-Status ClusterRuntime::FetchToHostLocked(BufferId id, LogicalBuffer& buffer) {
-  // Find any node holding a valid replica.
-  std::size_t owner = nodes_.size();
-  for (std::size_t i = 0; i < buffer.valid_on.size(); ++i) {
-    if (buffer.valid_on[i]) {
-      owner = i;
-      break;
+void ClusterRuntime::AccountTransfer(LogicalBuffer& buffer,
+                                     std::uint64_t TransferStats::*counter,
+                                     std::uint64_t delta) {
+  buffer.stats.*counter += delta;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.*counter += delta;
+}
+
+Status ClusterRuntime::TransferMissingRunsLocked(
+    BufferId id, LogicalBuffer& buffer, RegionDirectory::Owner dst,
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<std::size_t(const RegionDirectory::Region&)>&
+        pick_source,
+    const std::function<Status(std::size_t source, std::uint64_t begin,
+                               std::uint64_t end)>& transfer) {
+  for (const RegionDirectory::Span& span :
+       buffer.dir.MissingFor(dst, begin, end)) {
+    std::size_t source = nodes_.size() + 1;  // Sentinel: none yet.
+    std::uint64_t run_begin = span.begin;
+    std::uint64_t run_end = span.begin;
+    auto flush = [&]() -> Status {
+      if (run_begin == run_end) return Status::Ok();
+      HAOCL_RETURN_IF_ERROR(transfer(source, run_begin, run_end));
+      run_begin = run_end;
+      return Status::Ok();
+    };
+    for (const RegionDirectory::Region& region :
+         buffer.dir.Query(span.begin, span.end)) {
+      if (region.owners.empty()) {
+        return Status(ErrorCode::kInternal,
+                      "buffer " + std::to_string(id) +
+                          " range has no owner");
+      }
+      // Keep the previous run's source while it still owns this region
+      // (owner index nodes_.size() is the host shadow).
+      const bool keep =
+          source <= nodes_.size() &&
+          std::binary_search(region.owners.begin(), region.owners.end(),
+                             static_cast<RegionDirectory::Owner>(source));
+      if (!keep) {
+        HAOCL_RETURN_IF_ERROR(flush());
+        source = pick_source(region);
+        run_begin = region.begin;
+      }
+      run_end = region.end;
     }
+    HAOCL_RETURN_IF_ERROR(flush());
+    buffer.dir.AddOwner(span.begin, span.end, dst);
   }
-  if (owner == nodes_.size()) {
-    return Status(ErrorCode::kInternal,
-                  "buffer " + std::to_string(id) + " has no valid copy");
-  }
-  net::ReadBufferRequest request;
-  request.buffer_id = id;
-  request.offset = 0;
-  request.size = buffer.size;
-  auto reply = CallNode(owner, MsgType::kReadBuffer, request.Encode());
-  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
-  if (reply->payload.size() != buffer.size) {
-    return Status(ErrorCode::kProtocolError, "short buffer read");
-  }
-  buffer.shadow = reply->payload;
-  buffer.host_valid = true;
-  timeline_->RecordTransferFromNode(owner, buffer.size);
   return Status::Ok();
+}
+
+Status ClusterRuntime::EnsureHostRangeLocked(BufferId id,
+                                             LogicalBuffer& buffer,
+                                             std::uint64_t begin,
+                                             std::uint64_t end) {
+  return TransferMissingRunsLocked(
+      id, buffer, HostOwner(), begin, end,
+      [](const RegionDirectory::Region& region) -> std::size_t {
+        // The host is missing here by construction, so every owner is a
+        // node; any of them is fresh.
+        return region.owners.front();
+      },
+      [&](std::size_t source, std::uint64_t run_begin,
+          std::uint64_t run_end) -> Status {
+        net::ReadBufferRequest request;
+        request.buffer_id = id;
+        request.offset = run_begin;
+        request.size = run_end - run_begin;
+        auto reply = CallNode(source, MsgType::kReadBuffer,
+                              request.Encode());
+        HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
+        if (reply->payload.size() != request.size) {
+          return Status(ErrorCode::kProtocolError, "short slice read");
+        }
+        std::copy(reply->payload.begin(), reply->payload.end(),
+                  buffer.shadow.begin() + run_begin);
+        AccountTransfer(buffer, &TransferStats::host_bytes_in,
+                        request.size);
+        timeline_->RecordTransferFromNode(source, request.size);
+        return Status::Ok();
+      });
+}
+
+Status ClusterRuntime::PeerTransferLocked(BufferId id, std::size_t src,
+                                          std::size_t dst,
+                                          std::uint64_t begin,
+                                          std::uint64_t end, PeerMode mode) {
+  if (mode == PeerMode::kPull) {
+    net::PullSliceRequest request;
+    request.buffer_id = id;
+    request.offset = begin;
+    request.size = end - begin;
+    request.source_node = static_cast<std::uint32_t>(src);
+    auto reply = CallNode(dst, MsgType::kPullSlice, request.Encode());
+    return CheckReply(reply, MsgType::kStatusReply);
+  }
+  net::PushSliceRequest request;
+  request.buffer_id = id;
+  request.offset = begin;
+  request.size = end - begin;
+  request.target_node = static_cast<std::uint32_t>(dst);
+  auto reply = CallNode(src, MsgType::kPushSlice, request.Encode());
+  return CheckReply(reply, MsgType::kStatusReply);
+}
+
+
+Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
+                                               LogicalBuffer& buffer,
+                                               std::size_t node,
+                                               std::uint64_t begin,
+                                               std::uint64_t end,
+                                               std::uint64_t* bytes_shipped,
+                                               PeerMode mode) {
+  if (!buffer.allocated_on[node]) {
+    // Full-size remote allocation: the kernel indexes with its global ids,
+    // so every slice must live at its natural offset.
+    net::CreateBufferRequest create;
+    create.buffer_id = id;
+    create.size = buffer.size;
+    auto reply = CallNode(node, MsgType::kCreateBuffer, create.Encode());
+    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+    buffer.allocated_on[node] = true;
+  }
+  // Ship a run from the host shadow when it is fresh (one hop, no peer
+  // round-trip), else node-to-node from an owning peer with a host-relay
+  // fallback.
+  auto ship_from_host = [&](std::uint64_t run_begin,
+                            std::uint64_t run_end) -> Status {
+    const std::uint64_t len = run_end - run_begin;
+    net::WriteBufferRequest request;
+    request.buffer_id = id;
+    request.offset = run_begin;
+    request.data.assign(buffer.shadow.begin() + run_begin,
+                        buffer.shadow.begin() + run_end);
+    auto reply = CallNode(node, MsgType::kWriteBuffer, request.Encode());
+    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+    AccountTransfer(buffer, &TransferStats::host_bytes_out, len);
+    // Nodes already co-owning the run can relay replicas peer-to-peer, so
+    // broadcasts build a multicast tree instead of serializing on the
+    // host uplink (modeled; the functional bytes took this wire).
+    std::vector<std::size_t> co_owners;
+    for (const RegionDirectory::Region& r :
+         buffer.dir.Query(run_begin, run_end)) {
+      for (RegionDirectory::Owner o : r.owners) {
+        if (o < nodes_.size() &&
+            std::find(co_owners.begin(), co_owners.end(), o) ==
+                co_owners.end()) {
+          co_owners.push_back(o);
+        }
+      }
+    }
+    if (co_owners.empty()) {
+      timeline_->RecordTransferToNode(node, len);
+    } else {
+      timeline_->RecordReplicationToNode(node, len, co_owners);
+    }
+    return Status::Ok();
+  };
+  return TransferMissingRunsLocked(
+      id, buffer, static_cast<RegionDirectory::Owner>(node), begin, end,
+      [this](const RegionDirectory::Region& region) -> std::size_t {
+        return std::binary_search(region.owners.begin(),
+                                  region.owners.end(), HostOwner())
+                   ? nodes_.size()
+                   : region.owners.front();
+      },
+      [&](std::size_t source, std::uint64_t run_begin,
+          std::uint64_t run_end) -> Status {
+        const std::uint64_t len = run_end - run_begin;
+        if (source == nodes_.size()) {
+          HAOCL_RETURN_IF_ERROR(ship_from_host(run_begin, run_end));
+        } else {
+          Status peer = options_.peer_transfers
+                            ? PeerTransferLocked(id, source, node,
+                                                 run_begin, run_end, mode)
+                            : Status(ErrorCode::kPeerUnreachable,
+                                     "peer transfers disabled");
+          if (peer.ok()) {
+            AccountTransfer(buffer, &TransferStats::p2p_transfers, 1);
+            AccountTransfer(buffer, &TransferStats::p2p_bytes, len);
+            timeline_->RecordTransferBetween(source, node, len);
+          } else {
+            if (options_.peer_transfers) {
+              HAOCL_WARN << "peer transfer buf" << id << " node " << source
+                         << "->" << node << " failed (" << peer.ToString()
+                         << "); relaying through host";
+            }
+            HAOCL_RETURN_IF_ERROR(
+                EnsureHostRangeLocked(id, buffer, run_begin, run_end));
+            HAOCL_RETURN_IF_ERROR(ship_from_host(run_begin, run_end));
+            AccountTransfer(buffer, &TransferStats::relay_transfers, 1);
+            AccountTransfer(buffer, &TransferStats::relay_bytes, len);
+          }
+        }
+        if (bytes_shipped != nullptr) *bytes_shipped += len;
+        return Status::Ok();
+      });
 }
 
 Status ClusterRuntime::ReleaseBuffer(BufferId id) {
@@ -478,11 +689,8 @@ Status ClusterRuntime::ReleaseBuffer(BufferId id) {
   }
   BufferPtr buffer = it->second;
   std::vector<CommandId> pending;
-  if (buffer->last_writer != kNullCommand) {
-    pending.push_back(buffer->last_writer);
-  }
-  pending.insert(pending.end(), buffer->readers_since_write.begin(),
-                 buffer->readers_since_write.end());
+  for (const auto& writer : buffer->writers) pending.push_back(writer.cmd);
+  for (const auto& reader : buffer->readers) pending.push_back(reader.cmd);
   buffers_.erase(it);
   if (disconnected_) return Status::Ok();  // Nodes are shutting down.
   const CommandId teardown = graph_->Submit(
@@ -515,103 +723,6 @@ Expected<std::uint64_t> ClusterRuntime::BufferSize(BufferId id) const {
     return Status(ErrorCode::kInvalidMemObject, "no such buffer");
   }
   return it->second->size;
-}
-
-Status ClusterRuntime::EnsureBufferOnNodeLocked(BufferId id,
-                                                LogicalBuffer& buffer,
-                                                std::size_t node,
-                                                std::uint64_t* bytes_shipped) {
-  if (!buffer.allocated_on[node]) {
-    net::CreateBufferRequest request;
-    request.buffer_id = id;
-    request.size = buffer.size;
-    auto reply = CallNode(node, MsgType::kCreateBuffer, request.Encode());
-    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
-    buffer.allocated_on[node] = true;
-  }
-  if (buffer.valid_on[node]) return Status::Ok();
-  if (!buffer.host_valid) {
-    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, buffer));
-  }
-  // Nodes already holding the replica can relay it peer-to-peer (modeled
-  // in the timeline); the functional bytes still flow through this star
-  // topology, which the coherence protocol keeps equivalent.
-  std::vector<std::size_t> replica_holders;
-  for (std::size_t i = 0; i < buffer.valid_on.size(); ++i) {
-    if (buffer.valid_on[i]) replica_holders.push_back(i);
-  }
-  net::WriteBufferRequest request;
-  request.buffer_id = id;
-  request.offset = 0;
-  request.data = buffer.shadow;
-  auto reply = CallNode(node, MsgType::kWriteBuffer, request.Encode());
-  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
-  buffer.valid_on[node] = true;
-  if (bytes_shipped != nullptr) *bytes_shipped += buffer.size;
-  if (replica_holders.empty()) {
-    timeline_->RecordTransferToNode(node, buffer.size);
-  } else {
-    timeline_->RecordReplicationToNode(node, buffer.size, replica_holders);
-  }
-  return Status::Ok();
-}
-
-Status ClusterRuntime::EnsureSliceOnNodeLocked(BufferId id,
-                                               LogicalBuffer& buffer,
-                                               std::size_t node,
-                                               std::uint64_t begin,
-                                               std::uint64_t size,
-                                               std::uint64_t* bytes_shipped) {
-  if (!buffer.allocated_on[node]) {
-    // Full-size remote allocation: the kernel indexes with its global ids,
-    // so the slice must live at its natural offset.
-    net::CreateBufferRequest create;
-    create.buffer_id = id;
-    create.size = buffer.size;
-    auto reply = CallNode(node, MsgType::kCreateBuffer, create.Encode());
-    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
-    buffer.allocated_on[node] = true;
-  }
-  // Validate the host shadow BEFORE the replica short-circuit: the first
-  // shard prologue to run must repopulate a stale shadow even if its own
-  // node already holds the replica — a sibling shard's gather epilogue
-  // marks host_valid once it merges its slice, and by then every other
-  // shard must be shipping real bytes, not stale shadow.
-  if (!buffer.host_valid) {
-    HAOCL_RETURN_IF_ERROR(FetchToHostLocked(id, buffer));
-  }
-  if (buffer.valid_on[node]) return Status::Ok();  // Full replica covers it.
-  net::WriteBufferRequest request;
-  request.buffer_id = id;
-  request.offset = begin;
-  request.data.assign(buffer.shadow.begin() + begin,
-                      buffer.shadow.begin() + begin + size);
-  auto reply = CallNode(node, MsgType::kWriteBuffer, request.Encode());
-  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
-  // Deliberately NOT marking valid_on: the node holds one slice, not a
-  // replica.
-  if (bytes_shipped != nullptr) *bytes_shipped += size;
-  timeline_->RecordTransferToNode(node, size);
-  return Status::Ok();
-}
-
-Status ClusterRuntime::GatherSliceLocked(BufferId id, LogicalBuffer& buffer,
-                                         std::size_t node,
-                                         std::uint64_t begin,
-                                         std::uint64_t size) {
-  net::ReadBufferRequest request;
-  request.buffer_id = id;
-  request.offset = begin;
-  request.size = size;
-  auto reply = CallNode(node, MsgType::kReadBuffer, request.Encode());
-  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
-  if (reply->payload.size() != size) {
-    return Status(ErrorCode::kProtocolError, "short slice read");
-  }
-  std::copy(reply->payload.begin(), reply->payload.end(),
-            buffer.shadow.begin() + begin);
-  timeline_->RecordTransferFromNode(node, size);
-  return Status::Ok();
 }
 
 // -------------------------------------------------------------- Programs
@@ -745,8 +856,7 @@ struct ClusterRuntime::LaunchWork {
     std::uint64_t stride = 0;  // Bytes per dim-0 index (partitioned).
   };
   std::vector<BufferArg> buffers;
-  std::size_t node = 0;      // Placement decided at submit.
-  bool region_mode = false;  // Multi-shard plan: slice ship + gather-back.
+  std::size_t node = 0;  // Placement decided at submit.
   std::shared_ptr<LaunchPlan> plan;
 };
 
@@ -790,9 +900,13 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
                                                1, spec.local[0])
                                          : 1;
   // Kernels that query the launch-wide range would see shard-local
-  // values; keep them whole.
-  task.splittable = spec.work_dim >= 1 && spec.global[0] > 0 &&
-                    !KernelMayQueryLaunchRange(*program->module, *kernel);
+  // values; keep them whole. Their work-items can also roam past their
+  // nominal slice (grid-stride loops), so partitioned annotations are not
+  // trustworthy for region-granular coherence either — degrade every
+  // buffer arg to whole-buffer treatment below.
+  const bool range_free =
+      !KernelMayQueryLaunchRange(*program->module, *kernel);
+  task.splittable = spec.work_dim >= 1 && spec.global[0] > 0 && range_free;
   for (std::size_t i = 0; i < spec.args.size(); ++i) {
     const KernelArgValue& arg = spec.args[i];
     if (arg.kind != KernelArgValue::Kind::kBuffer) {
@@ -810,9 +924,9 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     buffer_arg.buffer = it->second;
     buffer_arg.written = !kernel->params[i].pointee_const;
     buffer_arg.partitioned =
-        arg.access == KernelArgValue::Access::kPartitionedDim0;
+        arg.access == KernelArgValue::Access::kPartitionedDim0 && range_free;
     buffer_arg.stride = arg.partition_stride;
-    if (buffer_arg.partitioned) {
+    if (arg.access == KernelArgValue::Access::kPartitionedDim0) {
       if (buffer_arg.stride == 0) {
         return Status(ErrorCode::kInvalidValue,
                       "arg " + std::to_string(i) +
@@ -838,7 +952,12 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     if (buffer_arg.written && !buffer_arg.partitioned) {
       task.splittable = false;  // Whole-buffer writes pin the launch.
     }
-    task.input_bytes += it->second->size;
+    // Partitioned args ship only the launch's partition window — count
+    // that, not the whole buffer, so the cost model's transfer term and
+    // the residency discount below measure the same bytes.
+    task.input_bytes += buffer_arg.partitioned
+                            ? spec.global[0] * buffer_arg.stride
+                            : it->second->size;
     buffer_args.push_back(std::move(buffer_arg));
     oclc::ArgBinding binding;
     binding.kind = oclc::ArgBinding::Kind::kBuffer;
@@ -860,6 +979,41 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
                                            fake_bindings, range);
   }
 
+  // Locality hints from the region directories: how many of this launch's
+  // input bytes each node already owns, and the first dim-0 index of
+  // partitioned input resident there. Policies use these to source shards
+  // from data instead of dragging data to shards (brief per-buffer locks;
+  // the reads are advisory — the transfer engine re-checks at execution).
+  std::vector<std::uint64_t> resident_bytes(nodes_.size(), 0);
+  std::vector<std::uint64_t> resident_begin(
+      nodes_.size(), std::numeric_limits<std::uint64_t>::max());
+  for (const auto& buffer_arg : buffer_args) {
+    std::uint64_t begin = 0;
+    std::uint64_t end = buffer_arg.buffer->size;
+    if (buffer_arg.partitioned) {
+      begin = spec.global_offset[0] * buffer_arg.stride;
+      end = begin + spec.global[0] * buffer_arg.stride;
+    }
+    // try_lock, never block: this runs under state_mutex_, and a buffer
+    // amid a slice transfer holds its mutex across node RPCs — waiting
+    // here would stall every other submit in the runtime. A missed hint
+    // just means no locality credit for this arg this time.
+    std::unique_lock<std::mutex> buffer_lock(buffer_arg.buffer->mutex,
+                                             std::try_to_lock);
+    if (!buffer_lock.owns_lock()) continue;
+    for (const RegionDirectory::Region& region :
+         buffer_arg.buffer->dir.Query(begin, end)) {
+      for (RegionDirectory::Owner owner : region.owners) {
+        if (owner >= nodes_.size()) continue;
+        resident_bytes[owner] += region.end - region.begin;
+        if (buffer_arg.partitioned) {
+          resident_begin[owner] = std::min(
+              resident_begin[owner], region.begin / buffer_arg.stride);
+        }
+      }
+    }
+  }
+
   // Ask the policy for the placement plan (live in-flight depth feeds the
   // view, so the decision sees the cluster as of this submit).
   sched::PlacementPlan placement;
@@ -875,6 +1029,8 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       node.queue_depth = in_flight_[i];
       node.busy_seconds_ahead = node_busy_ahead_[i];
       node.observed_seconds_per_flop = observed_sec_per_flop_[i];
+      node.resident_input_bytes = resident_bytes[i];
+      node.resident_dim0_begin = resident_begin[i];
       view.nodes.push_back(std::move(node));
     }
     auto planned = policy_->PlanLaunch(task, view);
@@ -890,19 +1046,39 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
   std::vector<CommandId> hazards;
   CollectDepIds(deps, &dep_ids);
   CollectDepIds(order_after, &hazards);
+  // Hazard ranges are region-granular: a partitioned arg conflicts only on
+  // the launch's partition window, so launches over disjoint windows of
+  // one buffer pipeline freely.
   struct HazardTarget {
     BufferPtr buffer;
     bool written;
+    bool partitioned;
+    std::uint64_t stride;
+    std::uint64_t begin;
+    std::uint64_t end;
   };
   std::vector<HazardTarget> targets;
   targets.reserve(buffer_args.size());
   for (const auto& buffer_arg : buffer_args) {
-    targets.push_back({buffer_arg.buffer, buffer_arg.written});
-    if (buffer_arg.written) {
-      AddWriteHazardLocked(*buffer_arg.buffer, &hazards);
-    } else {
-      AddReadHazardLocked(*buffer_arg.buffer, &hazards);
+    HazardTarget target;
+    target.buffer = buffer_arg.buffer;
+    target.written = buffer_arg.written;
+    target.partitioned = buffer_arg.partitioned;
+    target.stride = buffer_arg.stride;
+    target.begin = 0;
+    target.end = buffer_arg.buffer->size;
+    if (buffer_arg.partitioned) {
+      target.begin = spec.global_offset[0] * buffer_arg.stride;
+      target.end = target.begin + spec.global[0] * buffer_arg.stride;
     }
+    if (buffer_arg.written) {
+      AddWriteHazardLocked(*buffer_arg.buffer, target.begin, target.end,
+                           &hazards);
+    } else {
+      AddReadHazardLocked(*buffer_arg.buffer, target.begin, target.end,
+                          &hazards);
+    }
+    targets.push_back(std::move(target));
   }
 
   // Fan out one sub-launch per shard. Shards are mutually independent (the
@@ -935,7 +1111,6 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     work->kernel = kernel;
     work->buffers = buffer_args;
     work->node = shard.node;
-    work->region_mode = region_mode;
     work->plan = std::make_shared<LaunchPlan>();
     shard_plans.push_back(work->plan);
     const std::string label =
@@ -1044,14 +1219,32 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
   // must not overtake them.
   for (const auto& target : targets) {
     if (target.written) {
-      target.buffer->last_writer = cmd;
-      target.buffer->readers_since_write.clear();
+      RecordWriteLocked(*target.buffer, target.begin, target.end, cmd);
     } else {
-      target.buffer->readers_since_write.push_back(cmd);
+      RecordReadLocked(*target.buffer, target.begin, target.end, cmd);
     }
     if (region_mode) {
-      auto& readers = target.buffer->readers_since_write;
-      readers.insert(readers.end(), shard_ids.begin(), shard_ids.end());
+      // Each shard registers over its own slice of partitioned args (its
+      // full range for replicated ones) — as a WRITER where it writes —
+      // so a later conflicting command cannot overtake a still-running
+      // shard even after a failed sibling made the join terminal early
+      // (reads collect only writers, and terminal commands impose no
+      // order).
+      for (std::size_t s = 0; s < shard_ids.size(); ++s) {
+        std::uint64_t begin = target.begin;
+        std::uint64_t end = target.end;
+        if (target.partitioned) {
+          begin = (spec.global_offset[0] +
+                   placement.shards[s].global_offset) *
+                  target.stride;
+          end = begin + placement.shards[s].global_count * target.stride;
+        }
+        if (target.written) {
+          RecordWriteLocked(*target.buffer, begin, end, shard_ids[s]);
+        } else {
+          RecordReadLocked(*target.buffer, begin, end, shard_ids[s]);
+        }
+      }
     }
   }
   // Prune retired launches so long-lived programs do not accumulate one
@@ -1105,16 +1298,19 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
       case KernelArgValue::Kind::kBuffer: {
         LaunchWork::BufferArg& buffer_arg = *buffer_arg_it++;
         std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
-        if (work->region_mode && buffer_arg.partitioned) {
-          HAOCL_RETURN_IF_ERROR(EnsureSliceOnNodeLocked(
-              buffer_arg.id, *buffer_arg.buffer, node,
-              slice_first * buffer_arg.stride,
-              slice_count * buffer_arg.stride, &result.bytes_shipped));
-        } else {
-          HAOCL_RETURN_IF_ERROR(
-              EnsureBufferOnNodeLocked(buffer_arg.id, *buffer_arg.buffer,
-                                       node, &result.bytes_shipped));
+        // Partitioned args need only this shard's slice on the node (a
+        // single-shard launch's "slice" is its whole partition window);
+        // replicated args need the full buffer. The directory ships just
+        // the stale sub-ranges, sourcing peers directly where possible.
+        std::uint64_t begin = 0;
+        std::uint64_t end = buffer_arg.buffer->size;
+        if (buffer_arg.partitioned) {
+          begin = slice_first * buffer_arg.stride;
+          end = begin + slice_count * buffer_arg.stride;
         }
+        HAOCL_RETURN_IF_ERROR(EnsureRangeOnNodeLocked(
+            buffer_arg.id, *buffer_arg.buffer, node, begin, end,
+            &result.bytes_shipped));
         wire.kind = net::WireKernelArg::Kind::kBuffer;
         wire.buffer_id = buffer_arg.id;
         break;
@@ -1142,28 +1338,24 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   }
 
   // ---- Post-launch bookkeeping -------------------------------------------
+  // No gather: outputs stay on the executing node and only the directory
+  // changes. A partitioned output marks this shard's slice written here
+  // (the union over shards tiles the buffer across the cluster); a
+  // whole-buffer output (classic launches only) marks the full range. The
+  // host shadow and every other replica are stale for those ranges until a
+  // read, a migration, or a downstream launch pulls them — which a chained
+  // consumer does node-to-node, without touching the host.
   for (const auto& buffer_arg : work->buffers) {
     if (!buffer_arg.written) continue;
     std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
-    if (work->region_mode) {
-      // Partitioned output (region mode allows nothing else): gather this
-      // shard's slice straight back into the host shadow. The union over
-      // all shards reassembles the buffer; replicas are left stale (each
-      // node only computed its own slice).
-      HAOCL_RETURN_IF_ERROR(GatherSliceLocked(
-          buffer_arg.id, *buffer_arg.buffer, node,
-          slice_first * buffer_arg.stride,
-          slice_count * buffer_arg.stride));
-      std::fill(buffer_arg.buffer->valid_on.begin(),
-                buffer_arg.buffer->valid_on.end(), false);
-      buffer_arg.buffer->host_valid = true;
-    } else {
-      // Classic single-node launch: the node now owns the buffer.
-      std::fill(buffer_arg.buffer->valid_on.begin(),
-                buffer_arg.buffer->valid_on.end(), false);
-      buffer_arg.buffer->valid_on[node] = true;
-      buffer_arg.buffer->host_valid = false;
+    std::uint64_t begin = 0;
+    std::uint64_t end = buffer_arg.buffer->size;
+    if (buffer_arg.partitioned) {
+      begin = slice_first * buffer_arg.stride;
+      end = begin + slice_count * buffer_arg.stride;
     }
+    buffer_arg.buffer->dir.MarkWritten(
+        begin, end, static_cast<RegionDirectory::Owner>(node));
   }
 
   result.modeled_seconds = decoded->modeled_seconds;
@@ -1203,6 +1395,153 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   work->plan->result = result;
   work->plan->has_result = true;
   return Status::Ok();
+}
+
+// -------------------------------------------------------------- Migration
+
+Expected<CommandHandle> ClusterRuntime::SubmitMigrate(
+    BufferId id, std::vector<MigrateRegion> regions, int target_node,
+    bool discard_contents, std::vector<CommandHandle> deps,
+    std::vector<CommandHandle> order_after) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (disconnected_) {
+    return Status(ErrorCode::kInvalidOperation, "runtime disconnected");
+  }
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+  }
+  BufferPtr buffer = it->second;
+  if (target_node != kMigrateToHost &&
+      (target_node < 0 ||
+       static_cast<std::size_t>(target_node) >= nodes_.size())) {
+    return Status(ErrorCode::kInvalidValue,
+                  "migration target node " + std::to_string(target_node) +
+                      " out of range");
+  }
+  if (regions.empty()) regions.push_back({0, buffer->size});
+  for (const MigrateRegion& region : regions) {
+    if (region.size == 0 ||
+        RangeExceeds(region.offset, region.size, buffer->size)) {
+      return Status(ErrorCode::kInvalidValue,
+                    "migration region beyond buffer end");
+    }
+  }
+  std::vector<CommandId> dep_ids;
+  std::vector<CommandId> hazards;
+  CollectDepIds(deps, &dep_ids);
+  CollectDepIds(order_after, &hazards);
+  for (const MigrateRegion& region : regions) {
+    // Content-preserving migration reads the regions (write-after-migrate
+    // must wait, migrate-after-write must see the write); discarding
+    // contents WRITES them (everyone else's copy goes stale).
+    if (discard_contents) {
+      AddWriteHazardLocked(*buffer, region.offset,
+                           region.offset + region.size, &hazards);
+    } else {
+      AddReadHazardLocked(*buffer, region.offset,
+                          region.offset + region.size, &hazards);
+    }
+  }
+  const CommandId cmd = graph_->Submit(
+      [this, id, buffer, regions, target_node,
+       discard_contents](CommandGraph::Execution&) {
+        return ExecMigrate(id, buffer, regions, target_node,
+                           discard_contents);
+      },
+      std::move(dep_ids), "migrate:buf" + std::to_string(id),
+      std::move(hazards));
+  for (const MigrateRegion& region : regions) {
+    if (discard_contents) {
+      RecordWriteLocked(*buffer, region.offset, region.offset + region.size,
+                        cmd);
+    } else {
+      RecordReadLocked(*buffer, region.offset, region.offset + region.size,
+                       cmd);
+    }
+  }
+  return CommandHandle{cmd};
+}
+
+Status ClusterRuntime::ExecMigrate(BufferId id, const BufferPtr& buffer,
+                                   const std::vector<MigrateRegion>& regions,
+                                   int target_node, bool discard_contents) {
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  for (const MigrateRegion& region : regions) {
+    const std::uint64_t begin = region.offset;
+    const std::uint64_t end = region.offset + region.size;
+    if (discard_contents) {
+      // No bytes move: the target simply becomes the exclusive owner of
+      // whatever its local allocation holds (contents undefined, per
+      // CL_MIGRATE_MEM_OBJECT_CONTENT_UNDEFINED).
+      if (target_node == kMigrateToHost) {
+        buffer->dir.MarkWritten(begin, end, HostOwner());
+      } else {
+        const auto node = static_cast<std::size_t>(target_node);
+        if (!buffer->allocated_on[node]) {
+          net::CreateBufferRequest create;
+          create.buffer_id = id;
+          create.size = buffer->size;
+          auto reply = CallNode(node, MsgType::kCreateBuffer,
+                                create.Encode());
+          HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+          buffer->allocated_on[node] = true;
+        }
+        buffer->dir.MarkWritten(begin, end,
+                                static_cast<RegionDirectory::Owner>(node));
+      }
+      continue;
+    }
+    if (target_node == kMigrateToHost) {
+      HAOCL_RETURN_IF_ERROR(EnsureHostRangeLocked(id, *buffer, begin, end));
+    } else {
+      // Prefer pushes (the owner sends) for migrations: the prefetch's
+      // cost lands on the node already holding the data, symmetric with
+      // the pull-based launch prologue.
+      HAOCL_RETURN_IF_ERROR(EnsureRangeOnNodeLocked(
+          id, *buffer, static_cast<std::size_t>(target_node), begin, end,
+          nullptr, PeerMode::kPush));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------- Directory introspection
+
+Expected<BufferDirectorySnapshot> ClusterRuntime::DirectorySnapshotOf(
+    BufferId id) const {
+  BufferPtr buffer;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = buffers_.find(id);
+    if (it == buffers_.end()) {
+      return Status(ErrorCode::kInvalidMemObject, "no such buffer");
+    }
+    buffer = it->second;
+  }
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  BufferDirectorySnapshot snapshot;
+  snapshot.size = buffer->size;
+  snapshot.epoch = buffer->dir.epoch();
+  snapshot.stats = buffer->stats;
+  for (const RegionDirectory::Region& region : buffer->dir.regions()) {
+    BufferDirectorySnapshot::Region out;
+    out.begin = region.begin;
+    out.end = region.end;
+    out.epoch = region.epoch;
+    for (RegionDirectory::Owner owner : region.owners) {
+      out.owners.push_back(owner == HostOwner()
+                               ? -1
+                               : static_cast<std::int32_t>(owner));
+    }
+    snapshot.regions.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+TransferStats ClusterRuntime::transfer_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
 }
 
 // ---------------------------------------------------- Waits and queries

@@ -15,15 +15,20 @@
 // simultaneously. The classic blocking calls (WriteBuffer, ReadBuffer,
 // LaunchKernel) are submit-then-wait wrappers over the same graph.
 //
-// Buffer coherence: a logical buffer has a host shadow plus per-node
-// replicas. Writes from the application land in the shadow and invalidate
-// replicas. A launch sends stale inputs to the target node just-in-time
-// ("creates data packages containing all data in OpenCL buffers that have
-// been called in this API and sends it to the specified compute node",
-// paper §III-B). After a launch, buffers bound to non-const pointer
-// parameters are owned by the executing node; reads gather them back.
-// The bookkeeping lives in per-command prologues under per-buffer locks,
-// ordered by the graph — not under a runtime-wide lock.
+// Buffer coherence: a region directory per logical buffer maps every byte
+// range to the set of participants holding a fresh copy (device nodes plus
+// the host shadow, which is just another peer) and the dirty epoch of the
+// write that produced it. A launch prologue sources each missing input
+// range from whichever owner is freshest: straight from the host shadow
+// when the host owns it, otherwise node-to-node (kPullSlice) with a
+// host-relay fallback when the nodes have no direct link. Launch epilogues
+// only update the directory — outputs stay on the executing nodes and the
+// host shadow goes stale until a read (or host-targeted migration) forces
+// a lazy, range-granular gather. Chained partitioned launches therefore
+// move zero payload bytes through the host between producer and consumer
+// (docs/memory_model.md). The bookkeeping lives in per-command prologues
+// under per-buffer locks, ordered by the graph — not under a runtime-wide
+// lock.
 //
 // Placement plans: SubmitLaunch asks the policy's PlanLaunch for an
 // ordered list of {node, offset, count} shards over dimension 0 of the
@@ -37,6 +42,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -47,6 +53,7 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "host/command_graph.h"
+#include "host/region_directory.h"
 #include "host/virtual_timeline.h"
 #include "net/protocol.h"
 #include "net/rpc.h"
@@ -135,6 +142,11 @@ struct LaunchResult {
 
 struct RuntimeOptions {
   std::string scheduler = "user";   // Policy name (sched registry).
+  // Node-to-node slice exchange: when true (default), launch prologues and
+  // migrations source peer-owned ranges with kPullSlice/kPushSlice and only
+  // relay through the host when a node link is missing or fails. False
+  // forces the classic gather-through-host star (the bench baseline).
+  bool peer_transfers = true;
   sim::LinkSpec link = sim::GigabitEthernet();
   std::uint64_t session_id = 1;
   std::string host_name = "haocl-host";
@@ -148,6 +160,52 @@ struct RuntimeOptions {
 struct CommandHandle {
   CommandId id = kNullCommand;
   [[nodiscard]] bool valid() const { return id != kNullCommand; }
+};
+
+// One byte range of a migration request (SubmitMigrate).
+struct MigrateRegion {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+// Cumulative payload movement, runtime-wide or per buffer. "Host payload"
+// is every byte that crossed the host NIC as data (writes/reads the app
+// asked for are excluded — these count only coherence traffic).
+struct TransferStats {
+  std::uint64_t host_bytes_out = 0;  // Host shadow -> node.
+  std::uint64_t host_bytes_in = 0;   // Node -> host shadow (lazy gathers).
+  std::uint64_t p2p_bytes = 0;       // Node -> node direct (pull/push).
+  std::uint64_t relay_bytes = 0;     // Peer miss relayed through the host.
+  std::uint64_t p2p_transfers = 0;
+  std::uint64_t relay_transfers = 0;
+  [[nodiscard]] std::uint64_t host_payload_bytes() const {
+    return host_bytes_out + host_bytes_in;
+  }
+};
+
+// Point-in-time view of one buffer's region directory (tests/bench).
+struct BufferDirectorySnapshot {
+  struct Region {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t epoch = 0;          // Dirty epoch of the producing write.
+    // Fresh-copy holders: node indices ascending, then -1 for the host
+    // shadow (when it co-owns).
+    std::vector<std::int32_t> owners;
+  };
+  std::uint64_t size = 0;
+  std::uint64_t epoch = 0;     // Buffer-wide dirty epoch counter.
+  std::vector<Region> regions;  // Ordered, gap-free tiling of [0, size).
+  TransferStats stats;          // Movement attributed to this buffer.
+  [[nodiscard]] bool HostOwns(std::uint64_t begin, std::uint64_t end) const {
+    for (const Region& r : regions) {
+      if (r.end <= begin || r.begin >= end) continue;
+      bool host = false;
+      for (std::int32_t owner : r.owners) host |= owner < 0;
+      if (!host) return false;
+    }
+    return true;
+  }
 };
 
 class ClusterRuntime {
@@ -250,6 +308,22 @@ class ClusterRuntime {
   Expected<CommandHandle> SubmitLaunch(const LaunchSpec& spec,
                                        std::vector<CommandHandle> deps = {},
                                        std::vector<CommandHandle> order_after = {});
+  // Migrates `regions` of the buffer (empty = the whole buffer) so that
+  // `target_node` holds a fresh copy: a prefetch that moves coherence
+  // traffic off the critical path (clEnqueueMigrateMemObjects). Content is
+  // preserved — the target joins each region's owner set; existing owners
+  // stay valid. `target_node` == kMigrateToHost gathers into the host
+  // shadow (the lazy gather, forced early). Peer-owned ranges move
+  // node-to-node via kPushSlice when possible, relaying through the host
+  // otherwise. With `discard_contents` no bytes move at all: the target
+  // becomes the exclusive owner and prior contents become undefined
+  // (CL_MIGRATE_MEM_OBJECT_CONTENT_UNDEFINED).
+  static constexpr int kMigrateToHost = -1;
+  Expected<CommandHandle> SubmitMigrate(
+      BufferId id, std::vector<MigrateRegion> regions, int target_node,
+      bool discard_contents = false, std::vector<CommandHandle> deps = {},
+      std::vector<CommandHandle> order_after = {});
+
   // Marker (user event / barrier): completes only via CompleteMarker.
   Expected<CommandHandle> SubmitMarker(std::vector<CommandHandle> deps = {});
   Status CompleteMarker(CommandHandle handle, Status status = Status::Ok());
@@ -307,24 +381,43 @@ class ClusterRuntime {
   // Total bytes sent over all channels (functional, not modeled).
   [[nodiscard]] std::uint64_t TotalBytesSent() const;
 
+  // ---- Region directory introspection ------------------------------------
+  // Snapshot of one buffer's directory + per-buffer transfer counters.
+  // Drain in-flight users of the buffer first (Wait/Finish) for a stable
+  // picture; the snapshot itself is internally consistent either way.
+  [[nodiscard]] Expected<BufferDirectorySnapshot> DirectorySnapshotOf(
+      BufferId id) const;
+  // Runtime-wide cumulative coherence movement.
+  [[nodiscard]] TransferStats transfer_stats() const;
+
   void Disconnect();
 
  private:
   ClusterRuntime(Options options);
 
   struct LogicalBuffer {
-    // Guards the coherence fields and serializes transfers of this buffer;
-    // commands touching different buffers proceed in parallel.
+    // Guards the coherence fields (shadow, dir, allocated_on, stats) and
+    // serializes transfers of this buffer; commands touching different
+    // buffers proceed in parallel.
     std::mutex mutex;
     std::uint64_t size = 0;  // Immutable after creation.
-    std::vector<std::uint8_t> shadow;    // Host copy.
-    bool host_valid = true;
-    std::vector<bool> valid_on;          // Replica validity per node.
-    std::vector<bool> allocated_on;      // Remote allocation exists.
-    // Hazard tracking for implicit ordering; guarded by state_mutex_ and
-    // only touched on the submit path.
-    CommandId last_writer = kNullCommand;
-    std::vector<CommandId> readers_since_write;
+    std::vector<std::uint8_t> shadow;  // Host copy (fresh only where the
+                                       // directory says the host owns).
+    // Region directory: owners 0..nodes-1 are device nodes, owner `nodes`
+    // is the host shadow.
+    RegionDirectory dir;
+    std::vector<bool> allocated_on;  // Remote allocation exists.
+    TransferStats stats;             // Coherence movement, this buffer.
+    // Region-granular hazard tracking for implicit ordering: live commands
+    // with the byte ranges they write/read. Guarded by state_mutex_ and
+    // only touched on the submit path; retired entries pruned lazily.
+    struct RangeHazard {
+      std::uint64_t begin = 0;
+      std::uint64_t end = 0;
+      CommandId cmd = kNullCommand;
+    };
+    std::vector<RangeHazard> writers;
+    std::vector<RangeHazard> readers;
   };
   using BufferPtr = std::shared_ptr<LogicalBuffer>;
 
@@ -370,34 +463,71 @@ class ClusterRuntime {
   struct LaunchWork;  // Heavy captures owned by the command body.
   Status ExecLaunch(const std::shared_ptr<LaunchWork>& work,
                     CommandGraph::Execution& e);
+  Status ExecMigrate(BufferId id, const BufferPtr& buffer,
+                     const std::vector<MigrateRegion>& regions,
+                     int target_node, bool discard_contents);
 
-  Status FetchToHostLocked(BufferId id, LogicalBuffer& buffer);
-  Status EnsureBufferOnNodeLocked(BufferId id, LogicalBuffer& buffer,
-                                  std::size_t node,
-                                  std::uint64_t* bytes_shipped);
-  // Region-granular coherence for partitioned args: ships only the byte
-  // range [begin, begin+size) of the host shadow to `node` (allocating
-  // the full buffer remotely on first touch), without claiming the node
-  // holds a valid full replica.
-  Status EnsureSliceOnNodeLocked(BufferId id, LogicalBuffer& buffer,
+  // ---- Region-directory transfer engine (require buffer.mutex held) ------
+  // The host's owner index in a buffer's directory.
+  [[nodiscard]] RegionDirectory::Owner HostOwner() const {
+    return static_cast<RegionDirectory::Owner>(nodes_.size());
+  }
+  // The core transfer planner both Ensure* entry points share: segments
+  // every sub-range of [begin, end) that `dst` lacks into maximal runs
+  // with a single transfer source — adjacent missing regions whose owner
+  // sets share a source coalesce into one wire transfer — invokes
+  // `transfer(source, run_begin, run_end)` per run, and records `dst` as
+  // a fresh owner of what arrived. `pick_source` chooses a region's
+  // source (node index, or nodes_.size() for the host shadow) whenever
+  // the previous run's source no longer covers it.
+  Status TransferMissingRunsLocked(
+      BufferId id, LogicalBuffer& buffer, RegionDirectory::Owner dst,
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<std::size_t(const RegionDirectory::Region&)>&
+          pick_source,
+      const std::function<Status(std::size_t source, std::uint64_t begin,
+                                 std::uint64_t end)>& transfer);
+  // Gathers every range of [begin, end) the host shadow does not own from
+  // a current owner node (the lazy gather).
+  Status EnsureHostRangeLocked(BufferId id, LogicalBuffer& buffer,
+                               std::uint64_t begin, std::uint64_t end);
+  // How peer-owned ranges reach the destination of a transfer.
+  enum class PeerMode { kPull, kPush };
+  // Makes `node` a fresh owner of [begin, end): allocates the full buffer
+  // remotely on first touch, then sources each missing range — host shadow
+  // ranges ship host->node; peer-owned ranges move node-to-node (pull by
+  // the destination or push by the source per `mode`), falling back to a
+  // host relay when the peer path is unavailable. Adjacent missing ranges
+  // with a common source coalesce into single wire transfers.
+  Status EnsureRangeOnNodeLocked(BufferId id, LogicalBuffer& buffer,
                                  std::size_t node, std::uint64_t begin,
-                                 std::uint64_t size,
-                                 std::uint64_t* bytes_shipped);
-  // Gathers the shard's output slice back into the host shadow.
-  Status GatherSliceLocked(BufferId id, LogicalBuffer& buffer,
-                           std::size_t node, std::uint64_t begin,
-                           std::uint64_t size);
+                                 std::uint64_t end,
+                                 std::uint64_t* bytes_shipped,
+                                 PeerMode mode = PeerMode::kPull);
+  // One node-to-node transfer attempt (no fallback).
+  Status PeerTransferLocked(BufferId id, std::size_t src, std::size_t dst,
+                            std::uint64_t begin, std::uint64_t end,
+                            PeerMode mode);
+  // Folds a per-buffer counter delta into the runtime-wide totals.
+  void AccountTransfer(LogicalBuffer& buffer, std::uint64_t TransferStats::*counter,
+                       std::uint64_t delta);
+
   Status EnsureProgramOnNode(ProgramId id, ProgramState& program,
                              std::size_t node);
 
-  // Hazard helpers; require state_mutex_ held.
+  // Region-granular hazard helpers; require state_mutex_ held. Overlap is
+  // on byte ranges: a write to [0, k) and one to [k, 2k) do not conflict.
   void CollectDepIds(const std::vector<CommandHandle>& deps,
                      std::vector<CommandId>* out) const;
-  void PruneRetiredReadersLocked(LogicalBuffer& buffer);
-  void AddReadHazardLocked(LogicalBuffer& buffer,
-                           std::vector<CommandId>* deps);
-  void AddWriteHazardLocked(LogicalBuffer& buffer,
-                            std::vector<CommandId>* deps);
+  void PruneRetiredHazardsLocked(LogicalBuffer& buffer);
+  void AddReadHazardLocked(LogicalBuffer& buffer, std::uint64_t begin,
+                           std::uint64_t end, std::vector<CommandId>* deps);
+  void AddWriteHazardLocked(LogicalBuffer& buffer, std::uint64_t begin,
+                            std::uint64_t end, std::vector<CommandId>* deps);
+  void RecordReadLocked(LogicalBuffer& buffer, std::uint64_t begin,
+                        std::uint64_t end, CommandId cmd);
+  void RecordWriteLocked(LogicalBuffer& buffer, std::uint64_t begin,
+                         std::uint64_t end, CommandId cmd);
 
   Options options_;
   std::vector<std::unique_ptr<net::RpcClient>> nodes_;
@@ -427,6 +557,10 @@ class ClusterRuntime {
   std::vector<double> node_busy_ahead_;  // Scheduler backlog estimate.
   std::vector<double> observed_sec_per_flop_;
   std::vector<std::uint32_t> in_flight_;  // RPCs outstanding per node.
+  // Runtime-wide coherence movement totals (guarded by stats_mutex_, a
+  // leaf lock taken briefly under buffer mutexes).
+  mutable std::mutex stats_mutex_;
+  TransferStats stats_;
   bool disconnected_ = false;
 };
 

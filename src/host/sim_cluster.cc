@@ -33,12 +33,13 @@ ClusterConfig ShapeToConfig(const SimCluster::Shape& shape) {
 }  // namespace
 
 Expected<std::unique_ptr<SimCluster>> SimCluster::Create(
-    Shape shape, ClusterRuntime::Options options) {
-  return CreateFromConfig(ShapeToConfig(shape), std::move(options));
+    Shape shape, ClusterRuntime::Options options, PeerTopology peers) {
+  return CreateFromConfig(ShapeToConfig(shape), std::move(options), peers);
 }
 
 Expected<std::unique_ptr<SimCluster>> SimCluster::CreateFromConfig(
-    const ClusterConfig& config, ClusterRuntime::Options options) {
+    const ClusterConfig& config, ClusterRuntime::Options options,
+    PeerTopology peers) {
   if (config.nodes().empty()) {
     return Status(ErrorCode::kInvalidValue, "cluster has no nodes");
   }
@@ -47,6 +48,20 @@ Expected<std::unique_ptr<SimCluster>> SimCluster::CreateFromConfig(
 
   std::unique_ptr<SimCluster> cluster(new SimCluster());
   cluster->servers_ = *std::move(servers);
+
+  // Node-to-node links: one channel per ordered pair, so node i can pull
+  // from / push to node j directly (the cloud deployment's intra-rack
+  // links; the TCP deployment would dial these from the cluster config).
+  if (peers == PeerTopology::kFullMesh) {
+    for (std::size_t i = 0; i < cluster->servers_.size(); ++i) {
+      for (std::size_t j = 0; j < cluster->servers_.size(); ++j) {
+        if (i == j) continue;
+        auto [client_end, server_end] = net::CreateSimChannel();
+        cluster->servers_[i]->ConnectPeer(j, std::move(client_end));
+        cluster->servers_[j]->Serve(std::move(server_end));
+      }
+    }
+  }
 
   std::vector<net::ConnectionPtr> host_ends;
   for (auto& server : cluster->servers_) {

@@ -24,13 +24,22 @@ class SimCluster {
     std::size_t cpu_nodes = 0;
   };
 
+  // How device nodes are linked to each other for node-to-node slice
+  // exchange. kFullMesh (default) registers a peer link per ordered node
+  // pair; kNone leaves nodes peerless, so every pull fails with
+  // kPeerUnreachable and the host relays — the degraded-network scenario
+  // (and the gather-through-host baseline the P2P bench compares against).
+  enum class PeerTopology { kFullMesh, kNone };
+
   // Builds the cluster and connects a runtime with `options`.
   static Expected<std::unique_ptr<SimCluster>> Create(
-      Shape shape, RuntimeOptions options = {});
+      Shape shape, RuntimeOptions options = {},
+      PeerTopology peers = PeerTopology::kFullMesh);
 
   // As above but node types/names from a configuration file.
   static Expected<std::unique_ptr<SimCluster>> CreateFromConfig(
-      const ClusterConfig& config, RuntimeOptions options = {});
+      const ClusterConfig& config, RuntimeOptions options = {},
+      PeerTopology peers = PeerTopology::kFullMesh);
 
   ~SimCluster();
 

@@ -76,6 +76,8 @@ const char* MsgTypeName(MsgType type) noexcept {
     case MsgType::kReadBuffer: return "ReadBuffer";
     case MsgType::kReleaseBuffer: return "ReleaseBuffer";
     case MsgType::kCopyBuffer: return "CopyBuffer";
+    case MsgType::kPullSlice: return "PullSlice";
+    case MsgType::kPushSlice: return "PushSlice";
     case MsgType::kBuildProgram: return "BuildProgram";
     case MsgType::kReleaseProgram: return "ReleaseProgram";
     case MsgType::kLaunchKernel: return "LaunchKernel";

@@ -25,6 +25,10 @@ enum class MsgType : std::uint16_t {
   kReadBuffer = 12,
   kReleaseBuffer = 13,
   kCopyBuffer = 14,
+  // Node-to-node slice exchange (region directory): the host instructs a
+  // node to pull a byte range from a peer / push one to a peer.
+  kPullSlice = 15,
+  kPushSlice = 16,
   // Program / kernel management.
   kBuildProgram = 20,
   kReleaseProgram = 21,

@@ -176,6 +176,62 @@ Expected<CopyBufferRequest> CopyBufferRequest::Decode(
   return out;
 }
 
+// ------------------------------------------------- Node-to-node exchange
+
+std::vector<std::uint8_t> PullSliceRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(buffer_id);
+  w.WriteU64(offset);
+  w.WriteU64(size);
+  w.WriteU32(source_node);
+  return std::move(w).Take();
+}
+
+Expected<PullSliceRequest> PullSliceRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  PullSliceRequest out;
+  auto id = r.ReadU64();
+  auto offset = r.ReadU64();
+  auto size = r.ReadU64();
+  auto source = r.ReadU32();
+  if (!id.ok() || !offset.ok() || !size.ok() || !source.ok()) {
+    return Malformed("PullSlice");
+  }
+  out.buffer_id = *id;
+  out.offset = *offset;
+  out.size = *size;
+  out.source_node = *source;
+  return out;
+}
+
+std::vector<std::uint8_t> PushSliceRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(buffer_id);
+  w.WriteU64(offset);
+  w.WriteU64(size);
+  w.WriteU32(target_node);
+  return std::move(w).Take();
+}
+
+Expected<PushSliceRequest> PushSliceRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  PushSliceRequest out;
+  auto id = r.ReadU64();
+  auto offset = r.ReadU64();
+  auto size = r.ReadU64();
+  auto target = r.ReadU32();
+  if (!id.ok() || !offset.ok() || !size.ok() || !target.ok()) {
+    return Malformed("PushSlice");
+  }
+  out.buffer_id = *id;
+  out.offset = *offset;
+  out.size = *size;
+  out.target_node = *target;
+  return out;
+}
+
 // ----------------------------------------------------------------- Programs
 
 std::vector<std::uint8_t> BuildProgramRequest::Encode() const {

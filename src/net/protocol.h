@@ -87,6 +87,37 @@ struct CopyBufferRequest {
       const std::vector<std::uint8_t>& bytes);
 };
 
+// ------------------------------------------------- Node-to-node exchange
+
+// Host -> node: fetch [offset, offset+size) of `buffer_id` from peer node
+// `source_node` into the local replica. The payload never touches the host;
+// a node without a link to the peer replies kPeerUnreachable and the host
+// falls back to relaying the bytes itself.
+struct PullSliceRequest {
+  std::uint64_t buffer_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t source_node = 0;  // Host-assigned peer index.
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<PullSliceRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+// Host -> node: send [offset, offset+size) of the local replica of
+// `buffer_id` to peer node `target_node` (which must already hold an
+// allocation of the buffer). Mirror image of PullSliceRequest.
+struct PushSliceRequest {
+  std::uint64_t buffer_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t target_node = 0;  // Host-assigned peer index.
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<PushSliceRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
 // ----------------------------------------------------------------- Programs
 
 struct BuildProgramRequest {

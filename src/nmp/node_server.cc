@@ -63,6 +63,18 @@ void NodeServer::WorkerLoop(Channel* channel) {
   }
 }
 
+void NodeServer::ConnectPeer(std::size_t peer_index,
+                             net::ConnectionPtr connection) {
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  peers_[peer_index] = std::make_unique<net::RpcClient>(std::move(connection));
+}
+
+net::RpcClient* NodeServer::PeerClient(std::size_t peer_index) {
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  auto it = peers_.find(peer_index);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
 runtime::DeviceSession& NodeServer::SessionFor(std::uint64_t session_id) {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   auto& slot = sessions_[session_id];
@@ -148,6 +160,81 @@ Message NodeServer::HandleMessage(const Message& request) {
       status_reply(session.CopyBuffer(*decoded));
       break;
     }
+    case MsgType::kPullSlice: {
+      auto decoded = net::PullSliceRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      // The fetch reuses the ordinary ReadBuffer protocol against the peer,
+      // carrying the requesting session id so the peer resolves the same
+      // logical buffer namespace.
+      const std::uint64_t session_id = request.session;
+      auto fetch = [this, session_id](
+                       std::uint32_t peer, std::uint64_t buffer_id,
+                       std::uint64_t offset, std::uint64_t size)
+          -> Expected<std::vector<std::uint8_t>> {
+        net::RpcClient* client = PeerClient(peer);
+        if (client == nullptr) {
+          return Status(ErrorCode::kPeerUnreachable,
+                        name_ + " has no link to peer node " +
+                            std::to_string(peer));
+        }
+        net::ReadBufferRequest read;
+        read.buffer_id = buffer_id;
+        read.offset = offset;
+        read.size = size;
+        auto reply = client->Call(MsgType::kReadBuffer, session_id,
+                                  read.Encode());
+        if (!reply.ok()) return reply.status();
+        if (reply->type == MsgType::kStatusReply) {
+          auto status = net::StatusReply::Decode(reply->payload);
+          if (!status.ok()) return status.status();
+          Status s = status->ToStatus();
+          return s.ok() ? Status(ErrorCode::kProtocolError,
+                                 "peer sent OK status for a slice read")
+                        : s;
+        }
+        if (reply->type != MsgType::kReadReply) {
+          return Status(ErrorCode::kProtocolError,
+                        "unexpected peer reply to slice read");
+        }
+        return std::move(reply->payload);
+      };
+      status_reply(session.PullSlice(*decoded, fetch));
+      break;
+    }
+    case MsgType::kPushSlice: {
+      auto decoded = net::PushSliceRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      const std::uint64_t session_id = request.session;
+      auto store = [this, session_id](std::uint32_t peer,
+                                      std::uint64_t buffer_id,
+                                      std::uint64_t offset,
+                                      std::vector<std::uint8_t> data) {
+        net::RpcClient* client = PeerClient(peer);
+        if (client == nullptr) {
+          return Status(ErrorCode::kPeerUnreachable,
+                        name_ + " has no link to peer node " +
+                            std::to_string(peer));
+        }
+        net::WriteBufferRequest write;
+        write.buffer_id = buffer_id;
+        write.offset = offset;
+        write.data = std::move(data);
+        auto reply = client->Call(MsgType::kWriteBuffer, session_id,
+                                  write.Encode());
+        if (!reply.ok()) return reply.status();
+        auto status = net::StatusReply::Decode(reply->payload);
+        if (!status.ok()) return status.status();
+        return status->ToStatus();
+      };
+      status_reply(session.PushSlice(*decoded, store));
+      break;
+    }
     case MsgType::kReleaseBuffer: {
       auto decoded = net::ReleaseBufferRequest::Decode(request.payload);
       if (!decoded.ok()) {
@@ -224,6 +311,12 @@ std::uint64_t NodeServer::kernels_executed() const {
 
 void NodeServer::Shutdown() {
   if (shutting_down_.exchange(true)) return;
+  {
+    // Close peer links first: a worker blocked inside a pull/push fails
+    // fast instead of waiting out its RPC timeout.
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    for (auto& [index, client] : peers_) client->Close();
+  }
   std::vector<std::unique_ptr<Channel>> channels;
   {
     std::lock_guard<std::mutex> lock(channels_mutex_);

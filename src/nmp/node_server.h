@@ -24,6 +24,7 @@
 #include "common/config.h"
 #include "common/sync.h"
 #include "driver/device_driver.h"
+#include "net/rpc.h"
 #include "net/transport.h"
 #include "runtime/device_session.h"
 
@@ -47,6 +48,13 @@ class NodeServer {
   // hosts sharing the node: the "shared device" flag in the paper).
   void Serve(net::ConnectionPtr connection);
 
+  // Registers a direct link to peer node `peer_index` (the host's node
+  // numbering) used to serve kPullSlice / kPushSlice without routing the
+  // payload through the host. The other end of the connection is Serve()d
+  // by the peer. Pull/push requests naming an unregistered peer fail with
+  // kPeerUnreachable, which makes the host fall back to relaying.
+  void ConnectPeer(std::size_t peer_index, net::ConnectionPtr connection);
+
   // Stops all workers and closes all connections.
   void Shutdown();
 
@@ -63,6 +71,8 @@ class NodeServer {
   void WorkerLoop(Channel* channel);
   net::Message HandleMessage(const net::Message& request);
   runtime::DeviceSession& SessionFor(std::uint64_t session_id);
+  // The RPC client for `peer_index`, or nullptr when no link exists.
+  net::RpcClient* PeerClient(std::size_t peer_index);
 
   std::string name_;
   NodeType type_;
@@ -74,6 +84,8 @@ class NodeServer {
 
   std::mutex channels_mutex_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::mutex peers_mutex_;
+  std::unordered_map<std::size_t, std::unique_ptr<net::RpcClient>> peers_;
   std::atomic<bool> shutting_down_{false};
   std::atomic<std::uint32_t> queue_depth_{0};
 };

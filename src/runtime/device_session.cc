@@ -14,6 +14,7 @@ Status NoSuchBuffer(std::uint64_t id) {
 
 Status DeviceSession::CreateBuffer(std::uint64_t buffer_id,
                                    std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (size == 0) {
     return Status(ErrorCode::kInvalidBufferSize, "zero-sized buffer");
   }
@@ -37,6 +38,13 @@ Status DeviceSession::CreateBuffer(std::uint64_t buffer_id,
 Status DeviceSession::WriteBuffer(std::uint64_t buffer_id,
                                   std::uint64_t offset,
                                   const std::vector<std::uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return WriteBufferLocked(buffer_id, offset, data);
+}
+
+Status DeviceSession::WriteBufferLocked(
+    std::uint64_t buffer_id, std::uint64_t offset,
+    const std::vector<std::uint8_t>& data) {
   auto it = buffers_.find(buffer_id);
   if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
   if (offset + data.size() > it->second.size()) {
@@ -51,6 +59,12 @@ Status DeviceSession::WriteBuffer(std::uint64_t buffer_id,
 
 Expected<std::vector<std::uint8_t>> DeviceSession::ReadBuffer(
     std::uint64_t buffer_id, std::uint64_t offset, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ReadBufferLocked(buffer_id, offset, size);
+}
+
+Expected<std::vector<std::uint8_t>> DeviceSession::ReadBufferLocked(
+    std::uint64_t buffer_id, std::uint64_t offset, std::uint64_t size) {
   auto it = buffers_.find(buffer_id);
   if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
   if (offset + size > it->second.size()) {
@@ -61,6 +75,7 @@ Expected<std::vector<std::uint8_t>> DeviceSession::ReadBuffer(
 }
 
 Status DeviceSession::CopyBuffer(const net::CopyBufferRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto src = buffers_.find(request.src_buffer_id);
   if (src == buffers_.end()) return NoSuchBuffer(request.src_buffer_id);
   auto dst = buffers_.find(request.dst_buffer_id);
@@ -75,6 +90,7 @@ Status DeviceSession::CopyBuffer(const net::CopyBufferRequest& request) {
 }
 
 Status DeviceSession::ReleaseBuffer(std::uint64_t buffer_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = buffers_.find(buffer_id);
   if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
   bytes_allocated_ -= it->second.size();
@@ -84,6 +100,7 @@ Status DeviceSession::ReleaseBuffer(std::uint64_t buffer_id) {
 
 net::BuildProgramReply DeviceSession::BuildProgram(std::uint64_t program_id,
                                                    const std::string& source) {
+  std::lock_guard<std::mutex> lock(mutex_);
   net::BuildProgramReply reply;
   std::string build_log;
   auto module = driver_->Build(source, &build_log);
@@ -102,6 +119,7 @@ net::BuildProgramReply DeviceSession::BuildProgram(std::uint64_t program_id,
 }
 
 Status DeviceSession::ReleaseProgram(std::uint64_t program_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (programs_.erase(program_id) == 0) {
     return Status(ErrorCode::kInvalidProgram,
                   "no program with id " + std::to_string(program_id));
@@ -111,6 +129,7 @@ Status DeviceSession::ReleaseProgram(std::uint64_t program_id) {
 
 net::LaunchKernelReply DeviceSession::LaunchKernel(
     const net::LaunchKernelRequest& request) {
+  std::unique_lock<std::mutex> lock(mutex_);
   net::LaunchKernelReply reply;
   auto fail = [&reply](const Status& status) {
     reply.status_code = static_cast<std::int32_t>(status.code());
@@ -222,8 +241,17 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   range.local_specified = request.local_specified;
 
   driver::LaunchProfile profile;
-  Status launched = driver_->Launch(module, request.kernel_name, bindings,
+  // Execute WITHOUT the session lock: peer slice exchange (and any other
+  // channel sharing this session) must not stall behind a long kernel.
+  // The bindings' buffer pointers stay valid — unordered_map nodes are
+  // stable, and the host's hazard ordering keeps the buffers this kernel
+  // uses alive and unwritten until the launch reply. The module is pinned
+  // by the shared_ptr copy below.
+  const std::shared_ptr<const oclc::Module> pinned = program->second.module;
+  lock.unlock();
+  Status launched = driver_->Launch(*pinned, request.kernel_name, bindings,
                                     range, &profile);
+  lock.lock();
   if (!launched.ok()) return fail(launched);
 
   reply.modeled_seconds = profile.modeled_seconds;
@@ -235,7 +263,50 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   return reply;
 }
 
+Status DeviceSession::PullSlice(const net::PullSliceRequest& request,
+                                const PeerFetch& fetch) {
+  // Phase 1: validate the local replica before going to the peer, so a
+  // missing allocation fails fast without a network round-trip.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buffers_.find(request.buffer_id);
+    if (it == buffers_.end()) return NoSuchBuffer(request.buffer_id);
+    if (request.offset + request.size > it->second.size()) {
+      return Status(ErrorCode::kInvalidValue, "pull slice out of range");
+    }
+  }
+  // Phase 2: fetch WITHOUT the session lock. Two nodes cross-pulling from
+  // each other would otherwise each hold their own lock while waiting for
+  // the peer's ReadBuffer, which needs that lock — a distributed deadlock.
+  auto bytes = fetch(request.source_node, request.buffer_id, request.offset,
+                     request.size);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() != request.size) {
+    return Status(ErrorCode::kProtocolError, "short peer slice");
+  }
+  // Phase 3: re-validate (the buffer may have been released mid-fetch) and
+  // store.
+  std::lock_guard<std::mutex> lock(mutex_);
+  return WriteBufferLocked(request.buffer_id, request.offset, *bytes);
+}
+
+Status DeviceSession::PushSlice(const net::PushSliceRequest& request,
+                                const PeerStore& store) {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto local = ReadBufferLocked(request.buffer_id, request.offset,
+                                  request.size);
+    if (!local.ok()) return local.status();
+    bytes = *std::move(local);
+  }
+  // Lock dropped across the peer store (see PullSlice).
+  return store(request.target_node, request.buffer_id, request.offset,
+               std::move(bytes));
+}
+
 net::LoadReply DeviceSession::Load() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   net::LoadReply reply;
   reply.queue_depth = 0;  // Filled by the NMP, which owns the queue.
   reply.buffers_held = buffers_.size();

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,11 +49,41 @@ class DeviceSession {
   // ---- Kernels ----------------------------------------------------------
   net::LaunchKernelReply LaunchKernel(const net::LaunchKernelRequest& request);
 
+  // ---- Node-to-node slice exchange --------------------------------------
+  // Transport hooks the NMP supplies: fetch a byte range of a buffer from a
+  // peer node / store one on a peer node. The session itself stays
+  // transport-free.
+  using PeerFetch = std::function<Expected<std::vector<std::uint8_t>>(
+      std::uint32_t peer, std::uint64_t buffer_id, std::uint64_t offset,
+      std::uint64_t size)>;
+  using PeerStore =
+      std::function<Status(std::uint32_t peer, std::uint64_t buffer_id,
+                           std::uint64_t offset,
+                           std::vector<std::uint8_t> data)>;
+
+  // Pulls [offset, offset+size) of `buffer_id` from the request's source
+  // peer into the local replica. The session lock is NOT held across the
+  // peer fetch, so two nodes cross-pulling from each other cannot deadlock
+  // — the slice range is validated before and re-validated after the
+  // fetch.
+  Status PullSlice(const net::PullSliceRequest& request,
+                   const PeerFetch& fetch);
+  // Sends [offset, offset+size) of the local replica to the request's
+  // target peer (lock dropped during the store, mirroring PullSlice).
+  Status PushSlice(const net::PushSliceRequest& request,
+                   const PeerStore& store);
+
   // ---- Introspection ----------------------------------------------------
   [[nodiscard]] net::LoadReply Load() const;
   [[nodiscard]] const sim::DeviceSpec& spec() const { return driver_->spec(); }
-  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
-  [[nodiscard]] std::size_t program_count() const { return programs_.size(); }
+  [[nodiscard]] std::size_t buffer_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffers_.size();
+  }
+  [[nodiscard]] std::size_t program_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return programs_.size();
+  }
 
  private:
   struct ProgramEntry {
@@ -59,7 +91,18 @@ class DeviceSession {
     std::string build_log;
   };
 
+  // Require mutex_ held.
+  Status WriteBufferLocked(std::uint64_t buffer_id, std::uint64_t offset,
+                           const std::vector<std::uint8_t>& data);
+  Expected<std::vector<std::uint8_t>> ReadBufferLocked(std::uint64_t buffer_id,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t size);
+
   driver::DeviceDriver* driver_;
+  // One session is now reachable from several connections at once (the
+  // host's channel plus peer slice-exchange channels), so every public
+  // entry point locks.
+  mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> buffers_;
   std::unordered_map<std::uint64_t, ProgramEntry> programs_;
 

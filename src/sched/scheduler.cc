@@ -118,15 +118,28 @@ class HeterogeneityAwareSplitPolicy : public HeterogeneityAwarePolicy {
       return PlacementPlan::SingleNode(*node, task.dim0_extent);
     }
 
+    // Shard order follows data placement: nodes already holding a slice of
+    // the task's partitioned input (region-directory hint) come first,
+    // ordered by where their resident slice starts, so a repeat or chained
+    // launch lines its shards up with the producer's and re-ships nothing.
+    // Nodes with no resident slice keep their relative order after them.
+    std::vector<std::size_t> ordered = eligible;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&cluster](std::size_t a, std::size_t b) {
+                       return cluster.nodes[a].resident_dim0_begin <
+                              cluster.nodes[b].resident_dim0_begin;
+                     });
+    const std::vector<std::size_t>& eligible_ordered = ordered;
+
     // Per-node rates from the COMPUTE part of the cost model (plus
     // backlog), normalized into fractional weights. The transfer term is
     // deliberately excluded: a shard's compute scales with its share
     // while fixed per-node transfer does not, so including it would pull
     // every split toward uniform and overload the slow devices.
-    std::vector<double> rates(eligible.size());
+    std::vector<double> rates(eligible_ordered.size());
     double total_rate = 0.0;
-    for (std::size_t i = 0; i < eligible.size(); ++i) {
-      const NodeView& node = cluster.nodes[eligible[i]];
+    for (std::size_t i = 0; i < eligible_ordered.size(); ++i) {
+      const NodeView& node = cluster.nodes[eligible_ordered[i]];
       const double seconds =
           node.busy_seconds_ahead + PredictComputeSeconds(task, node);
       rates[i] = 1.0 / std::max(seconds, 1e-12);
@@ -135,9 +148,9 @@ class HeterogeneityAwareSplitPolicy : public HeterogeneityAwarePolicy {
 
     // Shard counts proportional to rate, rounded down to the alignment.
     const std::uint64_t units = task.dim0_extent / align;
-    std::vector<std::uint64_t> counts(eligible.size(), 0);
+    std::vector<std::uint64_t> counts(eligible_ordered.size(), 0);
     std::uint64_t assigned = 0;
-    for (std::size_t i = 0; i < eligible.size(); ++i) {
+    for (std::size_t i = 0; i < eligible_ordered.size(); ++i) {
       counts[i] = static_cast<std::uint64_t>(
                       static_cast<double>(units) * rates[i] / total_rate) *
                   align;
@@ -146,10 +159,10 @@ class HeterogeneityAwareSplitPolicy : public HeterogeneityAwarePolicy {
 
     PlacementPlan plan;
     std::uint64_t offset = 0;
-    for (std::size_t i = 0; i < eligible.size(); ++i) {
+    for (std::size_t i = 0; i < eligible_ordered.size(); ++i) {
       if (counts[i] == 0) continue;
       plan.shards.push_back(
-          {eligible[i], offset, counts[i], rates[i] / total_rate});
+          {eligible_ordered[i], offset, counts[i], rates[i] / total_rate});
       offset += counts[i];
     }
     if (plan.shards.empty()) {  // Degenerate extent; fall back.
@@ -292,9 +305,15 @@ double PredictComputeSeconds(const TaskInfo& task, const NodeView& node) {
 }
 
 double PredictCompletionSeconds(const TaskInfo& task, const NodeView& node) {
-  const double transfer =
-      node.link.TransferTime(task.input_bytes) +
-      node.link.TransferTime(task.output_bytes);
+  // Input bytes already resident on the node never cross a wire (region
+  // directory locality): dispatching to the data beats dragging the data
+  // to the dispatch.
+  const std::uint64_t moving =
+      task.input_bytes > node.resident_input_bytes
+          ? task.input_bytes - node.resident_input_bytes
+          : 0;
+  const double transfer = node.link.TransferTime(moving) +
+                          node.link.TransferTime(task.output_bytes);
   return node.busy_seconds_ahead + transfer +
          PredictComputeSeconds(task, node);
 }

@@ -68,6 +68,16 @@ struct NodeView {
   double observed_seconds_per_flop = 0.0;  // Runtime profile (0 = none yet).
   std::uint64_t kernels_executed = 0;
   bool alive = true;
+  // ---- Per-launch locality hints (filled by the runtime from the region
+  // directory when planning a specific task; zero/unset otherwise) ----
+  // Bytes of THIS task's input buffers already fresh on the node — they
+  // will not cross a wire, so the cost model discounts them.
+  std::uint64_t resident_input_bytes = 0;
+  // First dim-0 index of the task's partitioned input resident here
+  // (UINT64_MAX when none): splitting policies order their shards to line
+  // up with where the data already sits, so a chained partitioned launch
+  // re-uses the producer's placement instead of reshuffling slices.
+  std::uint64_t resident_dim0_begin = ~0ull;
 };
 
 struct ClusterView {

@@ -61,8 +61,10 @@ Status NativeCfdStep(const std::vector<oclc::ArgBinding>& args,
   const auto* face_area = reinterpret_cast<const float*>(args[3].data);
   const float dt = static_cast<float>(args[4].scalar.f);
   const auto cells = static_cast<int>(args[5].scalar.i);
+  // range.offset shifts the cell ids: one shard of a partitioned launch
+  // integrates only its slice of the mesh.
   for (std::uint64_t g = 0; g < range.global[0]; ++g) {
-    const int c = static_cast<int>(g);
+    const int c = static_cast<int>(range.offset[0] + g);
     if (c >= cells) continue;
     const float u = state[c];
     float flux = 0.0f;
@@ -222,11 +224,15 @@ class Cfd : public Workload {
         spec.program = *program;
         spec.kernel_name = "cfd_step";
         const bool forward = iter % 2 == 0;
+        // Cell c writes only next_state[c] (4 bytes per dim-0 index), so
+        // the output is kPartitionedDim0 and the launch co-executes under
+        // hetero_split. The state/connectivity inputs stay replicated:
+        // flux accumulation reads arbitrary neighbours within the block.
         spec.args = {
             host::KernelArgValue::Buffer(forward ? block.state_a
                                                  : block.state_b),
-            host::KernelArgValue::Buffer(forward ? block.state_b
-                                                 : block.state_a),
+            host::KernelArgValue::PartitionedBuffer(
+                forward ? block.state_b : block.state_a, 4),
             host::KernelArgValue::Buffer(block.neighbors),
             host::KernelArgValue::Buffer(block.areas),
             host::KernelArgValue::Scalar<float>(dt),

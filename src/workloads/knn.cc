@@ -74,7 +74,10 @@ Status NativeKnnDistances(const std::vector<oclc::ArgBinding>& args,
   const float qx = static_cast<float>(args[2].scalar.f);
   const float qy = static_cast<float>(args[3].scalar.f);
   const auto n = static_cast<int>(args[4].scalar.i);
-  for (std::uint64_t i = 0; i < range.global[0]; ++i) {
+  // Honor the shard's global offset: under a placement plan this native
+  // runs one slice [offset, offset + count) of the point set.
+  for (std::uint64_t g = 0; g < range.global[0]; ++g) {
+    const std::uint64_t i = range.offset[0] + g;
     if (static_cast<int>(i) >= n) continue;
     const float dx = points[2 * i] - qx;
     const float dy = points[2 * i + 1] - qy;
@@ -180,14 +183,17 @@ class Knn : public Workload {
       host::ClusterRuntime::LaunchSpec spec;
       spec.program = *program;
       spec.kernel_name = "knn_distances";
-      spec.args = {host::KernelArgValue::Buffer(*p_buf),
-                   host::KernelArgValue::Buffer(*d_buf),
+      // Point i touches points[2i..2i+1] (8 bytes) and writes dist[i]
+      // (4 bytes): both partition on dim 0, so the distance stage
+      // co-executes under hetero_split. The exact extent (no work-group
+      // round-up) keeps the partition windows inside the buffers.
+      spec.args = {host::KernelArgValue::PartitionedBuffer(*p_buf, 8),
+                   host::KernelArgValue::PartitionedBuffer(*d_buf, 4),
                    host::KernelArgValue::Scalar<float>(qx),
                    host::KernelArgValue::Scalar<float>(qy),
                    host::KernelArgValue::Scalar<std::int32_t>(count)};
       spec.work_dim = 1;
-      // Round up to a friendly multiple for work-group choice.
-      spec.global[0] = static_cast<std::uint64_t>((count + 63) / 64) * 64;
+      spec.global[0] = static_cast<std::uint64_t>(count);
       spec.preferred_node = static_cast<int>(nodes[ni]);
       sim::KernelCost dist_cost;
       dist_cost.flops = 5.0 * count;   // 2 subs, 2 muls, 1 add.

@@ -655,6 +655,108 @@ TEST_F(HaoClAsyncTest, ProfilingStampsFollowLifecycleOrder) {
   TearDownPipeline();
 }
 
+TEST_F(HaoClAsyncTest, MigrateMemObjectsPrefetchesAndChains) {
+  SetUpPipeline();
+  cl_int err;
+  cl_mem mem = clCreateBuffer(context_, CL_MEM_READ_WRITE, 256, nullptr,
+                              &err);
+  cl_mem other = clCreateBuffer(context_, CL_MEM_READ_WRITE, 256, nullptr,
+                                &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  std::vector<std::int32_t> init(64, 11);
+  ASSERT_EQ(clEnqueueWriteBuffer(queue_, mem, CL_FALSE, 0, 256, init.data(),
+                                 0, nullptr, nullptr),
+            CL_SUCCESS);
+
+  // Device-directed migration of both buffers, one event for the batch;
+  // it chains on the in-order queue behind the write.
+  cl_mem mems[2] = {mem, other};
+  cl_event event = nullptr;
+  ASSERT_EQ(clEnqueueMigrateMemObjects(queue_, 2, mems, 0, 0, nullptr,
+                                       &event),
+            CL_SUCCESS);
+  ASSERT_NE(event, nullptr);
+  ASSERT_EQ(clWaitForEvents(1, &event), CL_SUCCESS);
+  cl_int exec_status = CL_QUEUED;
+  ASSERT_EQ(clGetEventInfo(event, CL_EVENT_COMMAND_EXECUTION_STATUS,
+                           sizeof exec_status, &exec_status, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(exec_status, CL_COMPLETE);
+  clReleaseEvent(event);
+
+  // Migrating back to the host (the explicit lazy gather) and reading
+  // still sees the written values.
+  ASSERT_EQ(clEnqueueMigrateMemObjects(queue_, 1, &mem,
+                                       CL_MIGRATE_MEM_OBJECT_HOST, 0,
+                                       nullptr, nullptr),
+            CL_SUCCESS);
+  std::vector<std::int32_t> got(64, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(queue_, mem, CL_TRUE, 0, 256, got.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(got, init);
+
+  // CONTENT_UNDEFINED is accepted (pure ownership move).
+  ASSERT_EQ(clEnqueueMigrateMemObjects(
+                queue_, 1, &other,
+                CL_MIGRATE_MEM_OBJECT_CONTENT_UNDEFINED, 0, nullptr,
+                nullptr),
+            CL_SUCCESS);
+  ASSERT_EQ(clFinish(queue_), CL_SUCCESS);
+
+  // Misuse: no mem objects, bad handle, unknown flag bits.
+  EXPECT_EQ(clEnqueueMigrateMemObjects(queue_, 0, nullptr, 0, 0, nullptr,
+                                       nullptr),
+            CL_INVALID_VALUE);
+  cl_mem bogus = nullptr;
+  EXPECT_EQ(clEnqueueMigrateMemObjects(queue_, 1, &bogus, 0, 0, nullptr,
+                                       nullptr),
+            CL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(clEnqueueMigrateMemObjects(queue_, 1, &mem, 1u << 7, 0, nullptr,
+                                       nullptr),
+            CL_INVALID_VALUE);
+
+  clReleaseMemObject(mem);
+  clReleaseMemObject(other);
+  TearDownPipeline();
+}
+
+TEST_F(HaoClApiTest, MigrateOnClusterDeviceIsAnOrderedNoOp) {
+  // The virtual cluster device has no fixed placement: a device-directed
+  // migration is the legal no-op hint, but it must still behave as an
+  // in-order command (event completes after the queue's earlier work).
+  cl_int err;
+  cl_device_id device;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_DEFAULT, 1, &device,
+                           nullptr),
+            CL_SUCCESS);
+  cl_context context =
+      clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_command_queue queue = clCreateCommandQueue(context, device, 0, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  cl_mem mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  std::vector<std::uint8_t> data(64, 42);
+  ASSERT_EQ(clEnqueueWriteBuffer(queue, mem, CL_FALSE, 0, 64, data.data(),
+                                 0, nullptr, nullptr),
+            CL_SUCCESS);
+  cl_event event = nullptr;
+  ASSERT_EQ(clEnqueueMigrateMemObjects(queue, 1, &mem, 0, 0, nullptr,
+                                       &event),
+            CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &event), CL_SUCCESS);
+  std::vector<std::uint8_t> got(64, 0);
+  ASSERT_EQ(clEnqueueReadBuffer(queue, mem, CL_TRUE, 0, 64, got.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(got, data);
+  clReleaseEvent(event);
+  clReleaseMemObject(mem);
+  clReleaseCommandQueue(queue);
+  clReleaseContext(context);
+}
+
 TEST_F(HaoClAsyncTest, EnqueueBoundsAreValidated) {
   SetUpPipeline();
   cl_int err;

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
+#include <random>
 
 #include "host/sim_cluster.h"
 #include "net/sim_transport.h"
@@ -885,6 +887,410 @@ TEST_F(ClusterRuntimeTest, ReleasedCommandRecordsAreReclaimed) {
   EXPECT_TRUE(runtime().CommandStateOf(*write).ok());
   ASSERT_TRUE(runtime().ReleaseCommand(*write).ok());
   EXPECT_FALSE(runtime().CommandStateOf(*write).ok());
+}
+
+// ---- Region directory + node-to-node slice exchange ----------------------
+
+TEST_F(ClusterRuntimeTest, DirectorySnapshotTracksOwnership) {
+  const int n = 256;
+  auto buffer = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  auto snapshot = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->regions.size(), 1u);
+  EXPECT_EQ(snapshot->regions[0].owners, std::vector<std::int32_t>{-1});
+  EXPECT_TRUE(snapshot->HostOwns(0, n * 4));
+
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  std::vector<std::int32_t> values(n, 1);
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 1;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());
+
+  // The launch's output lives on node 1 only; the host shadow is stale
+  // (lazy gather) and the directory says so.
+  snapshot = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->regions.size(), 1u);
+  EXPECT_EQ(snapshot->regions[0].owners, std::vector<std::int32_t>{1});
+  EXPECT_FALSE(snapshot->HostOwns(0, 4));
+  const std::uint64_t epoch_after_launch = snapshot->epoch;
+
+  // A partial read gathers just that range; the rest stays remote-only.
+  std::int32_t head[8];
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, head, sizeof head).ok());
+  EXPECT_EQ(head[0], 2);
+  snapshot = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(snapshot->HostOwns(0, sizeof head));
+  EXPECT_FALSE(snapshot->HostOwns(0, n * 4));
+  EXPECT_EQ(snapshot->epoch, epoch_after_launch);  // Transfers don't dirty.
+  EXPECT_EQ(snapshot->stats.host_bytes_in, sizeof head);
+}
+
+// THE acceptance scenario: a chained pair of partitioned launches over the
+// same buffer moves ZERO payload bytes through the host between producer
+// and consumer, and the multi-node result is bit-identical to the
+// single-node chain.
+TEST_F(ClusterRuntimeTest, ChainedPartitionedLaunchesMoveZeroHostBytes) {
+  auto program_rmw = runtime().BuildProgram(kDoubler);
+  auto program_map = runtime().BuildProgram(kScaleConst);
+  ASSERT_TRUE(program_rmw.ok() && program_map.ok());
+  const int n = 1024;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * 4;
+  std::vector<std::int32_t> values(n);
+  for (int i = 0; i < n; ++i) values[i] = i - n / 2;
+
+  auto chain = [&](BufferId mid, BufferId out, int preferred) {
+    ClusterRuntime::LaunchSpec producer;
+    producer.program = *program_rmw;
+    producer.kernel_name = "doubler";
+    producer.args = {KernelArgValue::PartitionedBuffer(mid, 4),
+                     KernelArgValue::Scalar<std::int32_t>(n)};
+    producer.global[0] = n;
+    producer.preferred_node = preferred;
+    auto first = runtime().LaunchKernel(producer);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+    // Snapshot between the launches: every later host byte on `mid` is a
+    // violation of the node-to-node exchange.
+    auto between = runtime().DirectorySnapshotOf(mid);
+    ASSERT_TRUE(between.ok());
+    const std::uint64_t host_payload_between =
+        between->stats.host_payload_bytes();
+
+    ClusterRuntime::LaunchSpec consumer;
+    consumer.program = *program_map;
+    consumer.kernel_name = "scale";
+    consumer.args = {KernelArgValue::PartitionedBuffer(mid, 4),
+                     KernelArgValue::PartitionedBuffer(out, 4),
+                     KernelArgValue::Scalar<std::int32_t>(n)};
+    consumer.global[0] = n;
+    consumer.preferred_node = preferred;
+    auto second = runtime().LaunchKernel(consumer);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+    auto after = runtime().DirectorySnapshotOf(mid);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->stats.host_payload_bytes(), host_payload_between)
+        << "consumer moved chained-buffer payload through the host";
+  };
+
+  // Reference: the whole chain on one node.
+  auto mid_single = runtime().CreateBuffer(bytes);
+  auto out_single = runtime().CreateBuffer(bytes);
+  ASSERT_TRUE(mid_single.ok() && out_single.ok());
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*mid_single, 0, values.data(), bytes).ok());
+  chain(*mid_single, *out_single, /*preferred=*/0);
+
+  // Co-executed: both launches split across the cluster.
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  auto mid_split = runtime().CreateBuffer(bytes);
+  auto out_split = runtime().CreateBuffer(bytes);
+  ASSERT_TRUE(mid_split.ok() && out_split.ok());
+  ASSERT_TRUE(
+      runtime().WriteBuffer(*mid_split, 0, values.data(), bytes).ok());
+  chain(*mid_split, *out_split, /*preferred=*/-1);
+
+  std::vector<std::int32_t> got_single(n);
+  std::vector<std::int32_t> got_split(n);
+  ASSERT_TRUE(
+      runtime().ReadBuffer(*out_single, 0, got_single.data(), bytes).ok());
+  ASSERT_TRUE(
+      runtime().ReadBuffer(*out_split, 0, got_split.data(), bytes).ok());
+  EXPECT_EQ(std::memcmp(got_single.data(), got_split.data(), bytes), 0);
+  EXPECT_EQ(got_split[0], 6 * (0 - n / 2));
+}
+
+TEST_F(ClusterRuntimeTest, ConsumerShardsPullProducerSlicesPeerToPeer) {
+  // Producer runs whole on node 0; the split consumer's shards on other
+  // nodes must fetch their input slices FROM node 0 directly — p2p bytes
+  // move, zero additional host payload.
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 1024;
+  auto buffer = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n);
+  for (int i = 0; i < n; ++i) values[i] = i + 1;
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::PartitionedBuffer(*buffer, 4),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 0;
+  ASSERT_TRUE(runtime().LaunchKernel(spec).ok());  // Node 0 owns everything.
+
+  auto before = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(runtime().SetScheduler("hetero_split").ok());
+  spec.preferred_node = -1;
+  auto split = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_GE(split->shard_count, 2u);
+
+  auto after = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->stats.p2p_bytes, before->stats.p2p_bytes);
+  EXPECT_EQ(after->stats.relay_bytes, 0u);
+  EXPECT_EQ(after->stats.host_payload_bytes(),
+            before->stats.host_payload_bytes());
+
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], 4 * (i + 1)) << i;
+}
+
+TEST(ClusterRuntimePeerlessTest, HostRelayFallbackWhenNodesHaveNoLinks) {
+  // Same chained scenario on a cluster whose nodes cannot reach each
+  // other: pulls fail with kPeerUnreachable, the host relays every slice,
+  // and the results stay correct.
+  workloads::RegisterAllNativeKernels();
+  auto cluster = SimCluster::Create({.gpu_nodes = 2, .fpga_nodes = 1}, {},
+                                    SimCluster::PeerTopology::kNone);
+  ASSERT_TRUE(cluster.ok());
+  auto& rt = (*cluster)->runtime();
+  auto program = rt.BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 512;
+  auto buffer = rt.CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n, 3);
+  ASSERT_TRUE(rt.WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::PartitionedBuffer(*buffer, 4),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 0;
+  ASSERT_TRUE(rt.LaunchKernel(spec).ok());
+  ASSERT_TRUE(rt.SetScheduler("hetero_split").ok());
+  spec.preferred_node = -1;
+  auto split = rt.LaunchKernel(spec);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_GE(split->shard_count, 2u);
+
+  auto snapshot = rt.DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->stats.p2p_bytes, 0u);
+  EXPECT_GT(snapshot->stats.relay_bytes, 0u);
+
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(rt.ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], 12) << i;
+}
+
+TEST_F(ClusterRuntimeTest, MigratePrefetchesSoTheLaunchShipsNothing) {
+  auto program = runtime().BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 256;
+  auto buffer = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n, 7);
+  ASSERT_TRUE(runtime().WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  auto migrate = runtime().SubmitMigrate(*buffer, {}, /*target_node=*/1);
+  ASSERT_TRUE(migrate.ok());
+  ASSERT_TRUE(runtime().Wait(*migrate).ok());
+  ASSERT_TRUE(runtime().ReleaseCommand(*migrate).ok());
+  auto snapshot = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->regions.size(), 1u);
+  EXPECT_EQ(snapshot->regions[0].owners,
+            (std::vector<std::int32_t>{1, -1}));  // Node 1 AND the host.
+
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 1;
+  auto result = runtime().LaunchKernel(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bytes_shipped, 0u);  // Prefetch already placed it.
+
+  // Migrating node 1's output back to the host IS the gather; the later
+  // read finds everything fresh and moves nothing further.
+  auto gather = runtime().SubmitMigrate(*buffer, {},
+                                        ClusterRuntime::kMigrateToHost);
+  ASSERT_TRUE(gather.ok());
+  ASSERT_TRUE(runtime().Wait(*gather).ok());
+  ASSERT_TRUE(runtime().ReleaseCommand(*gather).ok());
+  auto before = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(before.ok());
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(runtime().ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  EXPECT_EQ(got[0], 14);
+  auto after = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.host_bytes_in, before->stats.host_bytes_in);
+}
+
+TEST_F(ClusterRuntimeTest, MigrateDiscardTransfersNothingAndValidates) {
+  const int n = 64;
+  auto buffer = runtime().CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  // Validation.
+  EXPECT_EQ(runtime().SubmitMigrate(999, {}, 0).code(),
+            ErrorCode::kInvalidMemObject);
+  EXPECT_EQ(runtime().SubmitMigrate(*buffer, {}, 7).code(),
+            ErrorCode::kInvalidValue);
+  EXPECT_EQ(
+      runtime().SubmitMigrate(*buffer, {{0, 0}}, 0).code(),
+      ErrorCode::kInvalidValue);
+  EXPECT_EQ(
+      runtime()
+          .SubmitMigrate(*buffer, {{static_cast<std::uint64_t>(n) * 4, 4}}, 0)
+          .code(),
+      ErrorCode::kInvalidValue);
+
+  // CONTENT_UNDEFINED: ownership moves, no bytes do.
+  auto migrate = runtime().SubmitMigrate(*buffer, {{0, 128}}, 0,
+                                         /*discard_contents=*/true);
+  ASSERT_TRUE(migrate.ok());
+  ASSERT_TRUE(runtime().Wait(*migrate).ok());
+  ASSERT_TRUE(runtime().ReleaseCommand(*migrate).ok());
+  auto snapshot = runtime().DirectorySnapshotOf(*buffer);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_FALSE(snapshot->HostOwns(0, 128));
+  EXPECT_TRUE(snapshot->HostOwns(128, n * 4));
+  EXPECT_EQ(snapshot->stats.host_bytes_out, 0u);
+  EXPECT_EQ(snapshot->stats.p2p_bytes, 0u);
+}
+
+// Satellite property test: randomized writes / copies / partitioned
+// launches / migrations / reads, checked bit-identical against a host-only
+// oracle after every read.
+TEST_F(ClusterRuntimeTest, RandomizedOpsMatchHostOnlyOracle) {
+  constexpr char kBump[] = R"(
+    __kernel void bump(__global int* data, int n) {
+      int i = get_global_id(0);
+      if (i < n) data[i] = data[i] + 1;
+    })";
+  auto program = runtime().BuildProgram(kBump);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  constexpr std::size_t kBuffers = 3;
+  constexpr std::uint64_t kBytes = 1024;  // 256 ints each.
+  constexpr std::uint64_t kInts = kBytes / 4;
+  std::vector<BufferId> ids;
+  std::vector<std::vector<std::uint8_t>> oracle(
+      kBuffers, std::vector<std::uint8_t>(kBytes, 0));
+  for (std::size_t b = 0; b < kBuffers; ++b) {
+    auto id = runtime().CreateBuffer(kBytes);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  std::mt19937 rng(0xD17EC70);
+  auto range_in = [&rng](std::uint64_t limit) {
+    return std::uniform_int_distribution<std::uint64_t>(0, limit)(rng);
+  };
+  const char* policies[] = {"user", "hetero_split"};
+  for (int op = 0; op < 250; ++op) {
+    const std::size_t b = range_in(kBuffers - 1);
+    switch (range_in(5)) {
+      case 0: case 1: {  // Byte-granular write.
+        const std::uint64_t offset = range_in(kBytes - 1);
+        const std::uint64_t size = 1 + range_in(kBytes - offset - 1);
+        std::vector<std::uint8_t> data(size);
+        for (auto& byte : data) byte = static_cast<std::uint8_t>(rng());
+        ASSERT_TRUE(
+            runtime().WriteBuffer(ids[b], offset, data.data(), size).ok());
+        std::copy(data.begin(), data.end(), oracle[b].begin() + offset);
+        break;
+      }
+      case 2: {  // Copy between (possibly identical) buffers.
+        const std::size_t b2 = range_in(kBuffers - 1);
+        const std::uint64_t src = range_in(kBytes - 1);
+        const std::uint64_t dst = range_in(kBytes - 1);
+        const std::uint64_t size =
+            1 + range_in(std::min(kBytes - src, kBytes - dst) - 1);
+        auto copy = runtime().SubmitCopy(ids[b], src, ids[b2], dst, size);
+        ASSERT_TRUE(copy.ok());
+        ASSERT_TRUE(runtime().Wait(*copy).ok());
+        ASSERT_TRUE(runtime().ReleaseCommand(*copy).ok());
+        std::vector<std::uint8_t> staged(
+            oracle[b].begin() + src, oracle[b].begin() + src + size);
+        std::copy(staged.begin(), staged.end(), oracle[b2].begin() + dst);
+        break;
+      }
+      case 3: {  // Partitioned launch over a random index window.
+        const std::uint64_t start = range_in(kInts - 2);
+        const std::uint64_t count = 1 + range_in(kInts - start - 1);
+        ASSERT_TRUE(runtime().SetScheduler(policies[range_in(1)]).ok());
+        ClusterRuntime::LaunchSpec spec;
+        spec.program = *program;
+        spec.kernel_name = "bump";
+        spec.args = {
+            KernelArgValue::PartitionedBuffer(ids[b], 4),
+            KernelArgValue::Scalar<std::int32_t>(
+                static_cast<std::int32_t>(start + count))};
+        spec.global[0] = count;
+        spec.global_offset[0] = start;
+        // FPGA nodes run only pre-built kernels; user-directed launches of
+        // this source kernel stick to the GPU nodes.
+        spec.preferred_node =
+            runtime().scheduler_name() == "user"
+                ? static_cast<int>(range_in(1))
+                : -1;
+        auto result = runtime().LaunchKernel(spec);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        for (std::uint64_t i = start; i < start + count; ++i) {
+          std::int32_t v;
+          std::memcpy(&v, oracle[b].data() + i * 4, 4);
+          v += 1;
+          std::memcpy(oracle[b].data() + i * 4, &v, 4);
+        }
+        break;
+      }
+      case 4: {  // Content-preserving migration (oracle unchanged).
+        const std::uint64_t offset = range_in(kBytes - 1);
+        const std::uint64_t size = 1 + range_in(kBytes - offset - 1);
+        const int target =
+            range_in(runtime().devices().size()) == 0
+                ? ClusterRuntime::kMigrateToHost
+                : static_cast<int>(range_in(runtime().devices().size() - 1));
+        auto migrate =
+            runtime().SubmitMigrate(ids[b], {{offset, size}}, target);
+        ASSERT_TRUE(migrate.ok());
+        ASSERT_TRUE(runtime().Wait(*migrate).ok());
+        ASSERT_TRUE(runtime().ReleaseCommand(*migrate).ok());
+        break;
+      }
+      case 5: {  // Read-back a window and compare against the oracle.
+        const std::uint64_t offset = range_in(kBytes - 1);
+        const std::uint64_t size = 1 + range_in(kBytes - offset - 1);
+        std::vector<std::uint8_t> got(size);
+        ASSERT_TRUE(
+            runtime().ReadBuffer(ids[b], offset, got.data(), size).ok());
+        ASSERT_EQ(std::memcmp(got.data(), oracle[b].data() + offset, size),
+                  0)
+            << "divergence at op " << op;
+        break;
+      }
+    }
+  }
+  // Final full sweep: every buffer bit-identical to the oracle.
+  for (std::size_t b = 0; b < kBuffers; ++b) {
+    std::vector<std::uint8_t> got(kBytes);
+    ASSERT_TRUE(runtime().ReadBuffer(ids[b], 0, got.data(), kBytes).ok());
+    ASSERT_EQ(got, oracle[b]) << "buffer " << b;
+  }
 }
 
 TEST(ClusterRuntimeErrorsTest, EmptyConnectionListRejected) {

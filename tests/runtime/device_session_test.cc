@@ -79,6 +79,91 @@ TEST_F(DeviceSessionTest, CopyBuffer) {
   EXPECT_FALSE(session_->CopyBuffer(copy).ok());
 }
 
+TEST_F(DeviceSessionTest, PullSliceStoresPeerBytes) {
+  ASSERT_TRUE(session_->CreateBuffer(1, 16).ok());
+  net::PullSliceRequest pull;
+  pull.buffer_id = 1;
+  pull.offset = 4;
+  pull.size = 4;
+  pull.source_node = 2;
+  int fetches = 0;
+  auto fetch = [&fetches](std::uint32_t peer, std::uint64_t buffer,
+                          std::uint64_t offset, std::uint64_t size)
+      -> Expected<std::vector<std::uint8_t>> {
+    ++fetches;
+    EXPECT_EQ(peer, 2u);
+    EXPECT_EQ(buffer, 1u);
+    EXPECT_EQ(offset, 4u);
+    EXPECT_EQ(size, 4u);
+    return std::vector<std::uint8_t>{9, 8, 7, 6};
+  };
+  ASSERT_TRUE(session_->PullSlice(pull, fetch).ok());
+  EXPECT_EQ(fetches, 1);
+  auto read = session_->ReadBuffer(1, 4, 4);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, (std::vector<std::uint8_t>{9, 8, 7, 6}));
+
+  // Out-of-range and missing-buffer pulls fail BEFORE fetching from the
+  // peer; fetch failures and short slices propagate.
+  pull.offset = 14;
+  EXPECT_EQ(session_->PullSlice(pull, fetch).code(),
+            ErrorCode::kInvalidValue);
+  pull.buffer_id = 99;
+  pull.offset = 0;
+  EXPECT_EQ(session_->PullSlice(pull, fetch).code(),
+            ErrorCode::kInvalidMemObject);
+  EXPECT_EQ(fetches, 1);
+  pull.buffer_id = 1;
+  auto unreachable = [](std::uint32_t, std::uint64_t, std::uint64_t,
+                        std::uint64_t) -> Expected<std::vector<std::uint8_t>> {
+    return Status(ErrorCode::kPeerUnreachable, "no link");
+  };
+  EXPECT_EQ(session_->PullSlice(pull, unreachable).code(),
+            ErrorCode::kPeerUnreachable);
+  auto truncated = [](std::uint32_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t) -> Expected<std::vector<std::uint8_t>> {
+    return std::vector<std::uint8_t>{1};
+  };
+  EXPECT_EQ(session_->PullSlice(pull, truncated).code(),
+            ErrorCode::kProtocolError);
+}
+
+TEST_F(DeviceSessionTest, PushSliceSendsLocalBytes) {
+  ASSERT_TRUE(session_->CreateBuffer(1, 16).ok());
+  ASSERT_TRUE(session_->WriteBuffer(1, 8, {5, 6, 7, 8}).ok());
+  net::PushSliceRequest push;
+  push.buffer_id = 1;
+  push.offset = 8;
+  push.size = 4;
+  push.target_node = 1;
+  std::vector<std::uint8_t> stored;
+  auto store = [&stored](std::uint32_t peer, std::uint64_t buffer,
+                         std::uint64_t offset,
+                         std::vector<std::uint8_t> data) {
+    EXPECT_EQ(peer, 1u);
+    EXPECT_EQ(buffer, 1u);
+    EXPECT_EQ(offset, 8u);
+    stored = std::move(data);
+    return Status::Ok();
+  };
+  ASSERT_TRUE(session_->PushSlice(push, store).ok());
+  EXPECT_EQ(stored, (std::vector<std::uint8_t>{5, 6, 7, 8}));
+
+  push.buffer_id = 99;
+  EXPECT_EQ(session_->PushSlice(push, store).code(),
+            ErrorCode::kInvalidMemObject);
+  push.buffer_id = 1;
+  push.offset = 14;
+  EXPECT_FALSE(session_->PushSlice(push, store).ok());
+  auto rejecting = [](std::uint32_t, std::uint64_t, std::uint64_t,
+                      std::vector<std::uint8_t>) {
+    return Status(ErrorCode::kPeerUnreachable, "no link");
+  };
+  push.offset = 0;
+  EXPECT_EQ(session_->PushSlice(push, rejecting).code(),
+            ErrorCode::kPeerUnreachable);
+}
+
 TEST_F(DeviceSessionTest, BuildAndLaunch) {
   auto build = session_->BuildProgram(5, R"(
     __kernel void doubler(__global int* data, int n) {

@@ -64,6 +64,27 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.fpga_nodes);
     });
 
+// The partitioned annotations on CFD (next_state) and kNN (points/dist)
+// make their launches splittable: under hetero_split one application-level
+// launch co-executes across the cluster and still verifies. kNN's top-k
+// stage additionally reassembles node-sliced distance buffers through
+// node-to-node slice exchange.
+TEST(CoExecutionTest, CfdAndKnnVerifyUnderHeteroSplit) {
+  RegisterAllNativeKernels();
+  for (const char* app : {"CFD", "kNN"}) {
+    auto cluster = host::SimCluster::Create(
+        {.gpu_nodes = 2, .fpga_nodes = 1, .cpu_nodes = 1});
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    ASSERT_TRUE((*cluster)->runtime().SetScheduler("hetero_split").ok());
+    auto workload = MakeByName(app);
+    ASSERT_NE(workload, nullptr);
+    // One application-level block; the placement plan does the splitting.
+    auto report = workload->Run((*cluster)->runtime(), {0}, /*scale=*/0.05);
+    ASSERT_TRUE(report.ok()) << app << ": " << report.status().ToString();
+    EXPECT_TRUE(report->verified) << app << " diverged under hetero_split";
+  }
+}
+
 TEST(WorkloadCatalogTest, TableOneMetadata) {
   auto all = AllWorkloads();
   ASSERT_EQ(all.size(), 5u);

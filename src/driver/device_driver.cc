@@ -94,7 +94,8 @@ class SimulatedDriver : public DeviceDriver {
 
   Status Launch(const oclc::Module& module, const std::string& kernel_name,
                 const std::vector<oclc::ArgBinding>& args,
-                const oclc::NDRange& range, LaunchProfile* profile) override {
+                const oclc::NDRange& range, LaunchProfile* profile,
+                const sim::KernelCost* cost_hint) override {
     const oclc::CompiledFunction* kernel = module.FindKernel(kernel_name);
     if (kernel == nullptr) {
       return Status(ErrorCode::kInvalidKernelName,
@@ -125,7 +126,9 @@ class SimulatedDriver : public DeviceDriver {
 
     if (profile != nullptr) {
       const sim::KernelCost cost =
-          EstimateKernelCost(module, *kernel, args, range);
+          cost_hint != nullptr ? *cost_hint
+                               : EstimateKernelCost(module, *kernel, args,
+                                                    range);
       profile->modeled_seconds = sim::ModelKernelTime(spec_, cost);
       profile->modeled_joules = profile->modeled_seconds * spec_.power_watts;
       profile->flops = static_cast<std::uint64_t>(cost.flops);
@@ -222,6 +225,12 @@ std::unique_ptr<DeviceDriver> MakeGpuDriver() {
 std::unique_ptr<DeviceDriver> MakeFpgaDriver() {
   return std::make_unique<SimulatedDriver>(sim::XilinxVU9P(), HostThreads(),
                                            /*require_native_binary=*/true);
+}
+
+std::unique_ptr<DeviceDriver> MakeSimulatedDriver(sim::DeviceSpec spec,
+                                                  bool require_native_binary) {
+  return std::make_unique<SimulatedDriver>(std::move(spec), HostThreads(),
+                                           require_native_binary);
 }
 
 }  // namespace haocl::driver

@@ -40,12 +40,16 @@ class DeviceDriver {
   virtual Expected<std::shared_ptr<const oclc::Module>> Build(
       const std::string& source, std::string* build_log) = 0;
 
-  // Executes `kernel_name` and fills `profile`.
+  // Executes `kernel_name` and fills `profile`. `cost_hint`, when
+  // non-null, is the caller's analytic work estimate (already scaled to
+  // this launch's range); the timing model uses it instead of the static
+  // instruction-mix estimate, which cannot see data-dependent trip
+  // counts. Functional execution never depends on it.
   virtual Status Launch(const oclc::Module& module,
                         const std::string& kernel_name,
                         const std::vector<oclc::ArgBinding>& args,
-                        const oclc::NDRange& range,
-                        LaunchProfile* profile) = 0;
+                        const oclc::NDRange& range, LaunchProfile* profile,
+                        const sim::KernelCost* cost_hint = nullptr) = 0;
 };
 
 // Estimates the work a launch performs, for the device timing model. Uses
@@ -60,5 +64,10 @@ sim::KernelCost EstimateKernelCost(const oclc::Module& module,
 std::unique_ptr<DeviceDriver> MakeCpuDriver();
 std::unique_ptr<DeviceDriver> MakeGpuDriver();
 std::unique_ptr<DeviceDriver> MakeFpgaDriver();
+// The simulated driver with an explicit spec — how tests and benches
+// model silicon whose real throughput diverges from the stock presets
+// (e.g. a node 3x off its spec sheet for scheduler-convergence runs).
+std::unique_ptr<DeviceDriver> MakeSimulatedDriver(
+    sim::DeviceSpec spec, bool require_native_binary = false);
 
 }  // namespace haocl::driver

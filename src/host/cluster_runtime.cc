@@ -128,7 +128,8 @@ Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
   runtime->timeline_ = std::make_unique<VirtualTimeline>(
       sim::ClusterTopology::FromConfig(topo_config, runtime->options_.link));
   runtime->node_busy_ahead_.assign(runtime->nodes_.size(), 0.0);
-  runtime->observed_sec_per_flop_.assign(runtime->nodes_.size(), 0.0);
+  runtime->rate_table_ =
+      std::make_unique<sched::KernelRateTable>(runtime->nodes_.size());
   runtime->in_flight_.assign(runtime->nodes_.size(), 0);
 
   CommandGraph::Options graph_options;
@@ -858,7 +859,26 @@ struct ClusterRuntime::LaunchWork {
   std::vector<BufferArg> buffers;
   std::size_t node = 0;  // Placement decided at submit.
   std::shared_ptr<LaunchPlan> plan;
+  // Scheduler backlog charged for this shard at submit; consumed exactly
+  // once. The destructor refund covers every retirement path where the
+  // epilogue never ran (shard failure, dependency failure, shutdown) —
+  // the graph drops the body closure, and with it this struct, on all of
+  // them. `owner` outlives the graph (Disconnect drains it first).
+  ClusterRuntime* owner = nullptr;
+  double backlog_charge = 0.0;
+  LaunchWork() = default;
+  LaunchWork(const LaunchWork&) = delete;
+  LaunchWork& operator=(const LaunchWork&) = delete;
+  ~LaunchWork() {
+    if (owner != nullptr) owner->RefundBacklogCharge(node, backlog_charge);
+  }
 };
+
+void ClusterRuntime::RefundBacklogCharge(std::size_t node, double seconds) {
+  if (seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  node_busy_ahead_[node] = std::max(0.0, node_busy_ahead_[node] - seconds);
+}
 
 Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     const LaunchSpec& spec, std::vector<CommandHandle> deps,
@@ -1017,6 +1037,7 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
   // Ask the policy for the placement plan (live in-flight depth feeds the
   // view, so the decision sees the cluster as of this submit).
   sched::PlacementPlan placement;
+  std::vector<double> shard_charges;
   {
     std::lock_guard<std::mutex> sched_lock(sched_mutex_);
     sched::ClusterView view;
@@ -1028,7 +1049,11 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       node.link = options_.link;
       node.queue_depth = in_flight_[i];
       node.busy_seconds_ahead = node_busy_ahead_[i];
-      node.observed_seconds_per_flop = observed_sec_per_flop_[i];
+      node.observed_seconds_per_flop = rate_table_->NodeAverage(i);
+      const sched::KernelRateTable::Rate rate =
+          rate_table_->Lookup(i, spec.kernel_name);
+      node.kernel_seconds_per_flop = rate.seconds_per_flop;
+      node.kernel_rate_samples = rate.samples;
       node.resident_input_bytes = resident_bytes[i];
       node.resident_dim0_begin = resident_begin[i];
       view.nodes.push_back(std::move(node));
@@ -1037,6 +1062,23 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     if (!planned.ok()) return planned.status();
     HAOCL_RETURN_IF_ERROR(sched::ValidatePlan(*planned, task, view));
     placement = *std::move(planned);
+    // Charge each shard's predicted compute seconds against its node's
+    // backlog estimate NOW, so load-aware policies see work that is
+    // submitted but not yet complete; the shard refunds the same amount
+    // when it retires. (The old code instead accumulated completed
+    // seconds forever, starving the historically-fast node.)
+    const double extent_units = static_cast<double>(
+        std::max<std::uint64_t>(1, task.dim0_extent));
+    shard_charges.reserve(placement.shards.size());
+    for (const sched::PlacementShard& shard : placement.shards) {
+      sched::TaskInfo shard_task = task;
+      shard_task.cost = task.cost.Scaled(
+          static_cast<double>(shard.global_count) / extent_units);
+      const double charge =
+          sched::PredictComputeSeconds(shard_task, view.nodes[shard.node]);
+      shard_charges.push_back(charge);
+      node_busy_ahead_[shard.node] += charge;
+    }
   }
   const std::size_t shard_total = placement.shards.size();
   const bool region_mode = shard_total > 1;
@@ -1097,20 +1139,16 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     work->spec.global_offset[0] = spec.global_offset[0] + shard.global_offset;
     if (spec.cost_hint.has_value()) {
       // Scale the analytic hint to the shard's share of the range.
-      const double fraction =
-          static_cast<double>(shard.global_count) / extent;
-      sim::KernelCost cost = *spec.cost_hint;
-      cost.flops *= fraction;
-      cost.bytes *= fraction;
-      cost.work_items = static_cast<std::uint64_t>(
-          static_cast<double>(cost.work_items) * fraction);
-      work->spec.cost_hint = cost;
+      work->spec.cost_hint = spec.cost_hint->Scaled(
+          static_cast<double>(shard.global_count) / extent);
     }
     work->program_id = spec.program;
     work->program = program;
     work->kernel = kernel;
     work->buffers = buffer_args;
     work->node = shard.node;
+    work->owner = this;
+    work->backlog_charge = shard_charges[s];
     work->plan = std::make_shared<LaunchPlan>();
     shard_plans.push_back(work->plan);
     const std::string label =
@@ -1279,6 +1317,7 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
 
   LaunchResult result;
   result.node = node;
+  const double compute_amp = timeline_->compute_amplification();
   net::LaunchKernelRequest request;
   request.program_id = work->program_id;
   request.kernel_name = spec.kernel_name;
@@ -1289,6 +1328,18 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
     request.global_offset[d] = spec.global_offset[d];
   }
   request.local_specified = spec.local_specified;
+  if (spec.cost_hint.has_value()) {
+    // Ship the analytic hint (shard-scaled at submit) so the node's
+    // timing model profiles the work the scheduler accounts — the static
+    // instruction-mix estimate cannot see data-dependent trip counts.
+    // Paper-scale amplification applies to the WORK (flops/bytes), so
+    // fixed launch overheads stay constant on the node.
+    request.has_cost_hint = true;
+    request.hint_flops = spec.cost_hint->flops * compute_amp;
+    request.hint_bytes = spec.cost_hint->bytes * compute_amp;
+    request.hint_work_items = spec.cost_hint->work_items;
+    request.hint_irregular = spec.cost_hint->irregular;
+  }
 
   auto buffer_arg_it = work->buffers.begin();
   for (std::size_t i = 0; i < spec.args.size(); ++i) {
@@ -1358,22 +1409,14 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
         begin, end, static_cast<RegionDirectory::Owner>(node));
   }
 
+  // With a cost hint the node already modeled the (amplified) analytic
+  // work on ITS spec — which may legitimately differ from the host's
+  // static preset; that difference is exactly what the observed-rate
+  // feedback measures. Without one, the node modeled the unamplified
+  // static estimate: approximate paper scale by scaling the modeled time.
   result.modeled_seconds = decoded->modeled_seconds;
   result.modeled_joules = decoded->modeled_joules;
-  const double compute_amp = timeline_->compute_amplification();
-  if (spec.cost_hint.has_value()) {
-    // The analytic hint beats the driver's static instruction-mix
-    // estimate (it knows the data-dependent trip counts). Paper-scale
-    // amplification applies to the WORK, so fixed launch overheads stay
-    // constant.
-    sim::KernelCost cost = *spec.cost_hint;
-    cost.flops *= compute_amp;
-    cost.bytes *= compute_amp;
-    const sim::DeviceSpec device_spec = sim::SpecForType(devices_[node].type);
-    result.modeled_seconds = sim::ModelKernelTime(device_spec, cost);
-    result.modeled_joules = result.modeled_seconds * device_spec.power_watts;
-  } else if (compute_amp != 1.0) {
-    // Static-estimate path: approximate by scaling the modeled time.
+  if (!spec.cost_hint.has_value() && compute_amp != 1.0) {
     result.modeled_seconds *= compute_amp;
     result.modeled_joules *= compute_amp;
   }
@@ -1381,17 +1424,28 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
       timeline_->RecordKernel(node, result.modeled_seconds);
   e.SetSpan(result.virtual_completion - result.modeled_seconds,
             result.virtual_completion);
-  {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
-    node_busy_ahead_[node] += result.modeled_seconds;
-    if (decoded->flops > 0) {
-      // Exponential moving average of the runtime profile.
-      const double sample =
-          decoded->modeled_seconds / static_cast<double>(decoded->flops);
-      double& avg = observed_sec_per_flop_[node];
-      avg = avg == 0.0 ? sample : 0.7 * avg + 0.3 * sample;
-    }
+  // Per-shard observed rate: this shard's modeled seconds over the flops
+  // the COST MODEL charges it — the (unamplified) shard-scaled hint when
+  // present, the node's static estimate otherwise. Dividing amplified
+  // seconds by amplified flops keeps the rate in unamplified cost-model
+  // units, so rate x task.cost.flops predicts compute seconds, and a
+  // sharded and an unsplit launch of one kernel converge to the same
+  // observed_seconds_per_flop. (The old sample divided the node's static
+  // estimate pair regardless of the hint, so the learned rate was in
+  // different units than the flops predictions multiplied it by.)
+  const double sample_flops =
+      (spec.cost_hint.has_value() ? spec.cost_hint->flops
+                                  : static_cast<double>(decoded->flops)) *
+      compute_amp;
+  if (sample_flops > 0.0) {
+    rate_table_->Observe(node, spec.kernel_name,
+                         result.modeled_seconds / sample_flops);
   }
+  // The shard is complete: refund its submit-time backlog charge (the
+  // refund happens-before the command retires, so a waiter that observed
+  // completion also observes the drained estimate).
+  RefundBacklogCharge(node, work->backlog_charge);
+  work->backlog_charge = 0.0;
   work->plan->result = result;
   work->plan->has_result = true;
   return Status::Ok();
@@ -1738,6 +1792,7 @@ Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
         node.queue_depth = load->queue_depth + in_flight_[i];
         node.busy_seconds_ahead = node_busy_ahead_[i];
         node.kernels_executed = load->kernels_executed;
+        node.observed_seconds_per_flop = rate_table_->NodeAverage(i);
       }
     } else {
       node.alive = false;
@@ -1745,6 +1800,16 @@ Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
     view.nodes.push_back(std::move(node));
   }
   return view;
+}
+
+double ClusterRuntime::SchedulerBacklogSeconds(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  return node < node_busy_ahead_.size() ? node_busy_ahead_[node] : 0.0;
+}
+
+sched::KernelRateTable::Rate ClusterRuntime::ObservedKernelRate(
+    std::size_t node, const std::string& kernel_name) const {
+  return rate_table_->Lookup(node, kernel_name);
 }
 
 std::uint64_t ClusterRuntime::TotalBytesSent() const {

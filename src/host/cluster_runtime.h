@@ -58,6 +58,7 @@
 #include "net/protocol.h"
 #include "net/rpc.h"
 #include "oclc/program.h"
+#include "sched/rate_table.h"
 #include "sched/scheduler.h"
 
 namespace haocl::host {
@@ -374,6 +375,18 @@ class ClusterRuntime {
   // Polls every node's load counters (the runtime resource monitor) and
   // merges the host-side in-flight depth per node.
   Expected<sched::ClusterView> QueryClusterView();
+  // Modeled seconds of launch work submitted to `node` and not yet
+  // completed — the backlog estimate load-aware policies steer on.
+  // Charged at submit from the cost model's prediction, refunded when the
+  // shard completes (or retires through any failure path), so a drained
+  // runtime reads ~0 on every node.
+  [[nodiscard]] double SchedulerBacklogSeconds(std::size_t node) const;
+  // Observed per-(node, kernel) runtime profile: EWMA seconds-per-flop
+  // fed by every completed launch shard (samples == 0 until the kernel
+  // has completed a shard on the node). What `adaptive_split` re-plans
+  // shard boundaries from between chained launches.
+  [[nodiscard]] sched::KernelRateTable::Rate ObservedKernelRate(
+      std::size_t node, const std::string& kernel_name) const;
 
   // ---- Virtual time ------------------------------------------------------
   [[nodiscard]] VirtualTimeline& timeline() { return *timeline_; }
@@ -463,6 +476,10 @@ class ClusterRuntime {
   struct LaunchWork;  // Heavy captures owned by the command body.
   Status ExecLaunch(const std::shared_ptr<LaunchWork>& work,
                     CommandGraph::Execution& e);
+  // Subtracts a shard's submit-time backlog charge from the node's
+  // estimate (clamped at zero). Called from the launch epilogue on
+  // success and from ~LaunchWork for every other retirement path.
+  void RefundBacklogCharge(std::size_t node, double seconds);
   Status ExecMigrate(BufferId id, const BufferPtr& buffer,
                      const std::vector<MigrateRegion>& regions,
                      int target_node, bool discard_contents);
@@ -554,8 +571,12 @@ class ClusterRuntime {
   std::unordered_map<CommandId, std::vector<CommandId>> fan_outs_;
   BufferId next_buffer_id_ = 1;
   ProgramId next_program_id_ = 1;
-  std::vector<double> node_busy_ahead_;  // Scheduler backlog estimate.
-  std::vector<double> observed_sec_per_flop_;
+  // Scheduler backlog estimate: modeled seconds of in-flight launch work
+  // per node. Charged under sched_mutex_ at submit, refunded at
+  // retirement — never a cumulative history.
+  std::vector<double> node_busy_ahead_;
+  // Observed per-(node, kernel) rates (internally synchronized).
+  std::unique_ptr<sched::KernelRateTable> rate_table_;
   std::vector<std::uint32_t> in_flight_;  // RPCs outstanding per node.
   // Runtime-wide coherence movement totals (guarded by stats_mutex_, a
   // leaf lock taken briefly under buffer mutexes).

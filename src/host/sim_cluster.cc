@@ -6,12 +6,30 @@ namespace haocl::host {
 namespace {
 
 Expected<std::vector<std::unique_ptr<nmp::NodeServer>>> SpawnServers(
-    const ClusterConfig& config) {
+    const ClusterConfig& config, const std::vector<double>& speed_factors) {
   std::vector<std::unique_ptr<nmp::NodeServer>> servers;
-  for (const NodeEntry& entry : config.nodes()) {
-    auto server = nmp::NodeServer::Create(entry.name, entry.type);
-    if (!server.ok()) return server.status();
-    servers.push_back(*std::move(server));
+  for (std::size_t i = 0; i < config.nodes().size(); ++i) {
+    const NodeEntry& entry = config.nodes()[i];
+    const double factor =
+        i < speed_factors.size() && speed_factors[i] > 0.0 ? speed_factors[i]
+                                                           : 1.0;
+    if (factor == 1.0) {
+      auto server = nmp::NodeServer::Create(entry.name, entry.type);
+      if (!server.ok()) return server.status();
+      servers.push_back(*std::move(server));
+      continue;
+    }
+    // Mis-calibrated silicon: the node's driver times kernels with the
+    // scaled spec, while the host's static model keeps the stock preset —
+    // only the observed-rate feedback can see the difference.
+    sim::DeviceSpec spec = sim::SpecForType(entry.type);
+    spec.compute_gflops *= factor;
+    spec.mem_bandwidth_gbps *= factor;
+    servers.push_back(std::make_unique<nmp::NodeServer>(
+        entry.name, entry.type,
+        driver::MakeSimulatedDriver(
+            std::move(spec),
+            /*require_native_binary=*/entry.type == NodeType::kFpga)));
   }
   return servers;
 }
@@ -33,17 +51,19 @@ ClusterConfig ShapeToConfig(const SimCluster::Shape& shape) {
 }  // namespace
 
 Expected<std::unique_ptr<SimCluster>> SimCluster::Create(
-    Shape shape, ClusterRuntime::Options options, PeerTopology peers) {
-  return CreateFromConfig(ShapeToConfig(shape), std::move(options), peers);
+    Shape shape, ClusterRuntime::Options options, PeerTopology peers,
+    std::vector<double> speed_factors) {
+  return CreateFromConfig(ShapeToConfig(shape), std::move(options), peers,
+                          std::move(speed_factors));
 }
 
 Expected<std::unique_ptr<SimCluster>> SimCluster::CreateFromConfig(
     const ClusterConfig& config, ClusterRuntime::Options options,
-    PeerTopology peers) {
+    PeerTopology peers, std::vector<double> speed_factors) {
   if (config.nodes().empty()) {
     return Status(ErrorCode::kInvalidValue, "cluster has no nodes");
   }
-  auto servers = SpawnServers(config);
+  auto servers = SpawnServers(config, speed_factors);
   if (!servers.ok()) return servers.status();
 
   std::unique_ptr<SimCluster> cluster(new SimCluster());

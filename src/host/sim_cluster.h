@@ -32,14 +32,22 @@ class SimCluster {
   enum class PeerTopology { kFullMesh, kNone };
 
   // Builds the cluster and connects a runtime with `options`.
+  // `speed_factors`, when non-empty, scales node i's REAL silicon (the
+  // node-side driver's compute and memory rates) by speed_factors[i]
+  // while the host's static cost model keeps believing the stock
+  // SpecForType spec — the mis-calibrated-device scenario the adaptive
+  // scheduler's observed-rate feedback is tested against. Entries beyond
+  // the list (or a 1.0) leave the node stock.
   static Expected<std::unique_ptr<SimCluster>> Create(
       Shape shape, RuntimeOptions options = {},
-      PeerTopology peers = PeerTopology::kFullMesh);
+      PeerTopology peers = PeerTopology::kFullMesh,
+      std::vector<double> speed_factors = {});
 
   // As above but node types/names from a configuration file.
   static Expected<std::unique_ptr<SimCluster>> CreateFromConfig(
       const ClusterConfig& config, RuntimeOptions options = {},
-      PeerTopology peers = PeerTopology::kFullMesh);
+      PeerTopology peers = PeerTopology::kFullMesh,
+      std::vector<double> speed_factors = {});
 
   ~SimCluster();
 

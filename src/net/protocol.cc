@@ -322,6 +322,13 @@ std::vector<std::uint8_t> LaunchKernelRequest::Encode() const {
   for (int d = 0; d < 3; ++d) w.WriteU64(local[d]);
   for (int d = 0; d < 3; ++d) w.WriteU64(global_offset[d]);
   w.WriteBool(local_specified);
+  w.WriteBool(has_cost_hint);
+  if (has_cost_hint) {
+    w.WriteF64(hint_flops);
+    w.WriteF64(hint_bytes);
+    w.WriteU64(hint_work_items);
+    w.WriteBool(hint_irregular);
+  }
   return std::move(w).Take();
 }
 
@@ -385,6 +392,22 @@ Expected<LaunchKernelRequest> LaunchKernelRequest::Decode(
   auto spec = r.ReadBool();
   if (!spec.ok()) return Malformed("LaunchKernel range");
   out.local_specified = *spec;
+  auto has_hint = r.ReadBool();
+  if (!has_hint.ok()) return Malformed("LaunchKernel hint");
+  out.has_cost_hint = *has_hint;
+  if (out.has_cost_hint) {
+    auto flops = r.ReadF64();
+    auto bytes = r.ReadF64();
+    auto items = r.ReadU64();
+    auto irregular = r.ReadBool();
+    if (!flops.ok() || !bytes.ok() || !items.ok() || !irregular.ok()) {
+      return Malformed("LaunchKernel hint");
+    }
+    out.hint_flops = *flops;
+    out.hint_bytes = *bytes;
+    out.hint_work_items = *items;
+    out.hint_irregular = *irregular;
+  }
   return out;
 }
 

@@ -170,6 +170,18 @@ struct LaunchKernelRequest {
   // how one shard of a partitioned launch runs its slice of the NDRange.
   std::uint64_t global_offset[3] = {0, 0, 0};
   bool local_specified = false;
+  // Analytic cost hint for the node's timing model, already scaled to
+  // this shard's share of the range (and to any host-side paper-scale
+  // amplification). The driver's static instruction-mix estimator cannot
+  // see data-dependent trip counts; when the host knows better, the node
+  // models THIS work — so the reply's modeled_seconds/flops describe the
+  // same work the host's scheduler accounts, and the observed rate fed
+  // back per shard is consistent with the cost model's predictions.
+  bool has_cost_hint = false;
+  double hint_flops = 0.0;
+  double hint_bytes = 0.0;
+  std::uint64_t hint_work_items = 0;
+  bool hint_irregular = false;
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static Expected<LaunchKernelRequest> Decode(

@@ -241,6 +241,17 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   range.local_specified = request.local_specified;
 
   driver::LaunchProfile profile;
+  // Host-supplied analytic work estimate (shard-scaled): the timing model
+  // profiles the work the host accounts, not the static guess.
+  sim::KernelCost hint_cost;
+  const sim::KernelCost* cost_hint = nullptr;
+  if (request.has_cost_hint) {
+    hint_cost.flops = request.hint_flops;
+    hint_cost.bytes = request.hint_bytes;
+    hint_cost.work_items = request.hint_work_items;
+    hint_cost.irregular = request.hint_irregular;
+    cost_hint = &hint_cost;
+  }
   // Execute WITHOUT the session lock: peer slice exchange (and any other
   // channel sharing this session) must not stall behind a long kernel.
   // The bindings' buffer pointers stay valid — unordered_map nodes are
@@ -250,7 +261,7 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   const std::shared_ptr<const oclc::Module> pinned = program->second.module;
   lock.unlock();
   Status launched = driver_->Launch(*pinned, request.kernel_name, bindings,
-                                    range, &profile);
+                                    range, &profile, cost_hint);
   lock.lock();
   if (!launched.ok()) return fail(launched);
 

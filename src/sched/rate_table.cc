@@ -1,0 +1,39 @@
+#include "sched/rate_table.h"
+
+namespace haocl::sched {
+
+KernelRateTable::KernelRateTable(std::size_t nodes)
+    : per_kernel_(nodes), per_node_(nodes) {}
+
+void KernelRateTable::Observe(std::size_t node, const std::string& kernel,
+                              double seconds_per_flop) {
+  if (seconds_per_flop <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= per_node_.size()) return;
+  per_kernel_[node][kernel].Fold(seconds_per_flop);
+  per_node_[node].Fold(seconds_per_flop);
+}
+
+KernelRateTable::Rate KernelRateTable::Lookup(std::size_t node,
+                                              const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= per_kernel_.size()) return {};
+  const auto& kernels = per_kernel_[node];
+  auto it = kernels.find(kernel);
+  if (it == kernels.end()) return {};
+  return {it->second.value, it->second.samples};
+}
+
+double KernelRateTable::NodeAverage(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= per_node_.size()) return 0.0;
+  return per_node_[node].value;
+}
+
+void KernelRateTable::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& kernels : per_kernel_) kernels.clear();
+  for (auto& node : per_node_) node = {};
+}
+
+}  // namespace haocl::sched

@@ -1,0 +1,65 @@
+// Per-(node, kernel) runtime-profile table: the scheduler feedback store.
+//
+// Every completed launch shard reports one observed rate sample —
+// modeled seconds per flop as the cost model counts them — and the table
+// folds it into an exponential moving average keyed by (node, kernel),
+// plus a kernel-agnostic per-node aggregate. Policies consume the rates
+// through sched::NodeView (`kernel_seconds_per_flop` for the task's own
+// kernel, `observed_seconds_per_flop` for the aggregate): a device whose
+// real throughput is 3x off its static spec converges to its true rate
+// within a few samples, which is what `adaptive_split` re-plans from
+// (EngineCL-style adaptive load balancing).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace haocl::sched {
+
+class KernelRateTable {
+ public:
+  // One (node, kernel) entry. `seconds_per_flop` is 0.0 until the first
+  // sample lands; `samples` counts completed shards folded in.
+  struct Rate {
+    double seconds_per_flop = 0.0;
+    std::uint64_t samples = 0;
+  };
+
+  explicit KernelRateTable(std::size_t nodes);
+
+  // Folds one completed shard's rate into the (node, kernel) EWMA and the
+  // node's kernel-agnostic aggregate. Non-positive samples are ignored
+  // (a zero-flop launch carries no rate information).
+  void Observe(std::size_t node, const std::string& kernel,
+               double seconds_per_flop);
+
+  [[nodiscard]] Rate Lookup(std::size_t node, const std::string& kernel) const;
+
+  // Kernel-agnostic EWMA for the node (0.0 = no samples yet) — the
+  // classic single-number runtime profile, kept for policies planning a
+  // kernel the node has never run.
+  [[nodiscard]] double NodeAverage(std::size_t node) const;
+
+  void Reset();
+
+ private:
+  struct Ewma {
+    double value = 0.0;
+    std::uint64_t samples = 0;
+    void Fold(double sample) {
+      // First sample seeds the average; later samples smooth with the
+      // same alpha the runtime has always used for observed rates.
+      value = samples == 0 ? sample : 0.7 * value + 0.3 * sample;
+      ++samples;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::unordered_map<std::string, Ewma>> per_kernel_;
+  std::vector<Ewma> per_node_;
+};
+
+}  // namespace haocl::sched

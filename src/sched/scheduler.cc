@@ -98,10 +98,99 @@ class HeterogeneityAwarePolicy : public SchedulingPolicy {
   }
 };
 
+// Proportional split shared by the splitting policies: orders eligible
+// nodes by where the task's partitioned input already sits, sizes each
+// shard proportionally to `seconds_for`'s inverse, and tiles the range
+// aligned. Returns an empty plan (no shards) when every proportional
+// count rounds to zero — the caller falls back to a single node.
+PlacementPlan ProportionalSplit(
+    const TaskInfo& task, const ClusterView& cluster,
+    const std::vector<std::size_t>& eligible,
+    const std::function<double(const NodeView&)>& seconds_for,
+    PlacementPlan::Provenance provenance) {
+  const std::uint64_t align = std::max<std::uint64_t>(1, task.dim0_align);
+
+  // Shard order follows data placement: nodes already holding a slice of
+  // the task's partitioned input (region-directory hint) come first,
+  // ordered by where their resident slice starts, so a repeat or chained
+  // launch lines its shards up with the producer's and re-ships nothing.
+  // Nodes with no resident slice keep their relative order after them.
+  std::vector<std::size_t> ordered = eligible;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&cluster](std::size_t a, std::size_t b) {
+                     return cluster.nodes[a].resident_dim0_begin <
+                            cluster.nodes[b].resident_dim0_begin;
+                   });
+
+  // Per-node rates from the COMPUTE term (plus backlog), normalized into
+  // fractional weights. The transfer term is deliberately excluded: a
+  // shard's compute scales with its share while fixed per-node transfer
+  // does not, so including it would pull every split toward uniform and
+  // overload the slow devices.
+  std::vector<double> rates(ordered.size());
+  double total_rate = 0.0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const NodeView& node = cluster.nodes[ordered[i]];
+    const double seconds = node.busy_seconds_ahead + seconds_for(node);
+    rates[i] = 1.0 / std::max(seconds, 1e-12);
+    total_rate += rates[i];
+  }
+
+  // Shard counts proportional to rate, rounded down to the alignment.
+  const std::uint64_t units = task.dim0_extent / align;
+  std::vector<std::uint64_t> counts(ordered.size(), 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    counts[i] = static_cast<std::uint64_t>(
+                    static_cast<double>(units) * rates[i] / total_rate) *
+                align;
+    assigned += counts[i];
+  }
+
+  // Rounding leftover: the whole-alignment part goes to the HIGHEST-RATE
+  // shard — growing a shard by a multiple of the alignment shifts every
+  // later offset by that same multiple, so alignment is preserved — and
+  // only the sub-alignment tail (dim0_extent % align) must ride the last
+  // shard, the one spot with no following offsets to knock askew. Routing
+  // the bulk to the fastest device matters after residency ordering,
+  // where the last shard may belong to the slowest one.
+  std::uint64_t leftover = task.dim0_extent - assigned;
+  std::size_t fastest = ordered.size();
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (fastest == ordered.size() || rates[i] > rates[fastest]) fastest = i;
+  }
+  PlacementPlan plan;
+  plan.provenance = provenance;
+  if (fastest == ordered.size()) return plan;  // All rounded to zero.
+  if (leftover >= align) {
+    counts[fastest] += (leftover / align) * align;
+    leftover %= align;
+  }
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (counts[i] == 0) continue;
+    plan.shards.push_back({ordered[i], offset, counts[i],
+                           rates[i] / total_rate});
+    offset += counts[i];
+  }
+  plan.shards.back().global_count += leftover;
+  return plan;
+}
+
+// True when the node carries a usable observed rate for THIS kernel —
+// the signal adaptive re-splitting plans from.
+bool HasObservedRate(const TaskInfo& task, const NodeView& node) {
+  return node.kernel_rate_samples > 0 && node.kernel_seconds_per_flop > 0.0 &&
+         task.cost.flops > 0.0;
+}
+
 // Co-executes one launch across the cluster: shard sizes follow each
-// node's predicted rate (1 / predicted completion seconds for the whole
-// task), so a device twice as fast gets twice the rows — EngineCL-style
-// static load balancing from the cost model.
+// node's STATIC predicted rate, so a device the spec sheet says is twice
+// as fast gets twice the rows — EngineCL-style static load balancing
+// from the cost model. The subclass re-plans from observed rates by
+// overriding the ShardSeconds/PlanProvenance hooks; the guard, fallback,
+// and proportional tiling live here only.
 class HeterogeneityAwareSplitPolicy : public HeterogeneityAwarePolicy {
  public:
   [[nodiscard]] std::string name() const override { return "hetero_split"; }
@@ -113,68 +202,64 @@ class HeterogeneityAwareSplitPolicy : public HeterogeneityAwarePolicy {
     const std::uint64_t align = std::max<std::uint64_t>(1, task.dim0_align);
     if (!task.splittable || eligible.size() < 2 ||
         task.dim0_extent < 2 * align) {
-      auto node = SelectNode(task, cluster);
-      if (!node.ok()) return node.status();
-      return PlacementPlan::SingleNode(*node, task.dim0_extent);
+      return SingleNodeFallback(task, cluster);
     }
-
-    // Shard order follows data placement: nodes already holding a slice of
-    // the task's partitioned input (region-directory hint) come first,
-    // ordered by where their resident slice starts, so a repeat or chained
-    // launch lines its shards up with the producer's and re-ships nothing.
-    // Nodes with no resident slice keep their relative order after them.
-    std::vector<std::size_t> ordered = eligible;
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [&cluster](std::size_t a, std::size_t b) {
-                       return cluster.nodes[a].resident_dim0_begin <
-                              cluster.nodes[b].resident_dim0_begin;
-                     });
-    const std::vector<std::size_t>& eligible_ordered = ordered;
-
-    // Per-node rates from the COMPUTE part of the cost model (plus
-    // backlog), normalized into fractional weights. The transfer term is
-    // deliberately excluded: a shard's compute scales with its share
-    // while fixed per-node transfer does not, so including it would pull
-    // every split toward uniform and overload the slow devices.
-    std::vector<double> rates(eligible_ordered.size());
-    double total_rate = 0.0;
-    for (std::size_t i = 0; i < eligible_ordered.size(); ++i) {
-      const NodeView& node = cluster.nodes[eligible_ordered[i]];
-      const double seconds =
-          node.busy_seconds_ahead + PredictComputeSeconds(task, node);
-      rates[i] = 1.0 / std::max(seconds, 1e-12);
-      total_rate += rates[i];
-    }
-
-    // Shard counts proportional to rate, rounded down to the alignment.
-    const std::uint64_t units = task.dim0_extent / align;
-    std::vector<std::uint64_t> counts(eligible_ordered.size(), 0);
-    std::uint64_t assigned = 0;
-    for (std::size_t i = 0; i < eligible_ordered.size(); ++i) {
-      counts[i] = static_cast<std::uint64_t>(
-                      static_cast<double>(units) * rates[i] / total_rate) *
-                  align;
-      assigned += counts[i];
-    }
-
-    PlacementPlan plan;
-    std::uint64_t offset = 0;
-    for (std::size_t i = 0; i < eligible_ordered.size(); ++i) {
-      if (counts[i] == 0) continue;
-      plan.shards.push_back(
-          {eligible_ordered[i], offset, counts[i], rates[i] / total_rate});
-      offset += counts[i];
-    }
-    if (plan.shards.empty()) {  // Degenerate extent; fall back.
-      auto node = SelectNode(task, cluster);
-      if (!node.ok()) return node.status();
-      return PlacementPlan::SingleNode(*node, task.dim0_extent);
-    }
-    // Rounding leftover (< shards * align + align) rides the last shard:
-    // growing the tail is the only spot that keeps every preceding
-    // offset aligned.
-    plan.shards.back().global_count += task.dim0_extent - assigned;
+    PlacementPlan plan = ProportionalSplit(
+        task, cluster, eligible,
+        [this, &task](const NodeView& node) {
+          return ShardSeconds(task, node);
+        },
+        PlanProvenance(task, cluster, eligible));
+    if (plan.shards.empty()) return SingleNodeFallback(task, cluster);
     return plan;
+  }
+
+ protected:
+  // Per-node compute seconds the shard weights derive from.
+  virtual double ShardSeconds(const TaskInfo& task, const NodeView& node) {
+    return StaticComputeSeconds(task, node);
+  }
+  virtual PlacementPlan::Provenance PlanProvenance(
+      const TaskInfo&, const ClusterView&, const std::vector<std::size_t>&) {
+    return PlacementPlan::Provenance::kStaticModel;
+  }
+
+  Expected<PlacementPlan> SingleNodeFallback(const TaskInfo& task,
+                                             const ClusterView& cluster) {
+    auto node = SelectNode(task, cluster);
+    if (!node.ok()) return node.status();
+    return PlacementPlan::SingleNode(*node, task.dim0_extent);
+  }
+};
+
+// Closes the scheduler feedback loop: shard sizes follow each node's
+// OBSERVED per-(node, kernel) rate once the kernel has completed shards
+// there, the static model until then. Between chained launches of one
+// kernel the plan therefore re-splits toward the rates the previous
+// launch measured.
+class AdaptiveSplitPolicy : public HeterogeneityAwareSplitPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "adaptive_split"; }
+
+ protected:
+  double ShardSeconds(const TaskInfo& task, const NodeView& node) override {
+    if (HasObservedRate(task, node)) {
+      return node.kernel_seconds_per_flop * task.cost.flops;
+    }
+    return StaticComputeSeconds(task, node);
+  }
+
+  PlacementPlan::Provenance PlanProvenance(
+      const TaskInfo& task, const ClusterView& cluster,
+      const std::vector<std::size_t>& eligible) override {
+    std::size_t observed = 0;
+    for (std::size_t index : eligible) {
+      if (HasObservedRate(task, cluster.nodes[index])) ++observed;
+    }
+    if (observed == 0) return PlacementPlan::Provenance::kStaticModel;
+    return observed == eligible.size()
+               ? PlacementPlan::Provenance::kObservedRates
+               : PlacementPlan::Provenance::kBlended;
   }
 };
 
@@ -229,6 +314,7 @@ PolicyRegistry& Registry() {
     registry->factories["leastloaded"] = MakeLeastLoadedPolicy;
     registry->factories["hetero"] = MakeHeterogeneityAwarePolicy;
     registry->factories["hetero_split"] = MakeHeterogeneityAwareSplitPolicy;
+    registry->factories["adaptive_split"] = MakeAdaptiveSplitPolicy;
     registry->factories["power"] = [] { return MakePowerAwarePolicy(); };
   });
   return *registry;
@@ -297,10 +383,21 @@ std::vector<std::size_t> ClusterView::EligibleFor(const TaskInfo& task) const {
 }
 
 double PredictComputeSeconds(const TaskInfo& task, const NodeView& node) {
-  if (node.observed_seconds_per_flop > 0.0 && task.cost.flops > 0.0) {
-    // Runtime profile beats the static model once available.
-    return node.observed_seconds_per_flop * task.cost.flops;
+  if (task.cost.flops > 0.0) {
+    // Most specific runtime profile first: the rate observed from this
+    // kernel's own completed shards on this node, then the node's
+    // kernel-agnostic average. The static model is the cold-start floor.
+    if (node.kernel_rate_samples > 0 && node.kernel_seconds_per_flop > 0.0) {
+      return node.kernel_seconds_per_flop * task.cost.flops;
+    }
+    if (node.observed_seconds_per_flop > 0.0) {
+      return node.observed_seconds_per_flop * task.cost.flops;
+    }
   }
+  return sim::ModelKernelTime(node.spec, task.cost);
+}
+
+double StaticComputeSeconds(const TaskInfo& task, const NodeView& node) {
   return sim::ModelKernelTime(node.spec, task.cost);
 }
 
@@ -339,6 +436,9 @@ std::unique_ptr<SchedulingPolicy> MakePowerAwarePolicy(double max_slowdown) {
 }
 std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwareSplitPolicy() {
   return std::make_unique<HeterogeneityAwareSplitPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeAdaptiveSplitPolicy() {
+  return std::make_unique<AdaptiveSplitPolicy>();
 }
 
 void RegisterPolicy(const std::string& name, PolicyFactory factory) {

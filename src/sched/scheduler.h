@@ -64,8 +64,13 @@ struct NodeView {
   sim::DeviceSpec spec;
   sim::LinkSpec link = sim::GigabitEthernet();
   std::uint32_t queue_depth = 0;       // Outstanding commands.
-  double busy_seconds_ahead = 0.0;     // Modeled backlog.
-  double observed_seconds_per_flop = 0.0;  // Runtime profile (0 = none yet).
+  // Modeled seconds of work submitted to the node and not yet completed
+  // (charged at submit, refunded at completion — drains to ~0 on an idle
+  // node; it is NOT a cumulative history).
+  double busy_seconds_ahead = 0.0;
+  // Kernel-agnostic runtime profile: EWMA of observed seconds per flop
+  // across every kernel the node completed (0 = none yet).
+  double observed_seconds_per_flop = 0.0;
   std::uint64_t kernels_executed = 0;
   bool alive = true;
   // ---- Per-launch locality hints (filled by the runtime from the region
@@ -78,6 +83,12 @@ struct NodeView {
   // up with where the data already sits, so a chained partitioned launch
   // re-uses the producer's placement instead of reshuffling slices.
   std::uint64_t resident_dim0_begin = ~0ull;
+  // Observed rate for THIS task's kernel on this node, from the runtime's
+  // per-(node, kernel) rate table (sched/rate_table.h): EWMA seconds per
+  // flop fed by per-shard completion times. 0 until the kernel completed
+  // at least one shard here — the signal `adaptive_split` re-plans from.
+  double kernel_seconds_per_flop = 0.0;
+  std::uint64_t kernel_rate_samples = 0;
 };
 
 struct ClusterView {
@@ -101,7 +112,18 @@ struct PlacementShard {
 // [0, dim0_extent) of the NDRange's dimension 0. A single-shard plan is
 // exactly the classic "pick one node" decision.
 struct PlacementPlan {
+  // Where the shard sizes came from (plan provenance — diagnostics and
+  // convergence tests): the static cost model, the observed per-(node,
+  // kernel) rates, or a blend (some nodes had samples, some did not).
+  enum class Provenance : std::uint8_t {
+    kUnspecified = 0,
+    kStaticModel = 1,
+    kObservedRates = 2,
+    kBlended = 3,
+  };
+
   std::vector<PlacementShard> shards;
+  Provenance provenance = Provenance::kUnspecified;
 
   static PlacementPlan SingleNode(std::size_t node, std::uint64_t count) {
     PlacementPlan plan;
@@ -150,10 +172,21 @@ std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwarePolicy();
 std::unique_ptr<SchedulingPolicy> MakePowerAwarePolicy(
     double max_slowdown = 2.0);
 // Co-execution ("hetero_split"): partitions a splittable launch across
-// every eligible node, sizing each shard inversely to the cost model's
-// predicted completion seconds on that node. Falls back to the
-// heterogeneity-aware single-node choice for non-splittable tasks.
+// every eligible node, sizing each shard inversely to the STATIC cost
+// model's predicted compute seconds on that node (plus backlog). Falls
+// back to the heterogeneity-aware single-node choice for non-splittable
+// tasks. Deliberately ignores observed rates — the static baseline
+// `adaptive_split` is measured against.
 std::unique_ptr<SchedulingPolicy> MakeHeterogeneityAwareSplitPolicy();
+// Adaptive co-execution ("adaptive_split"): like hetero_split, but a
+// node that has completed shards of this kernel is sized by its OBSERVED
+// per-(node, kernel) rate instead of the spec sheet. The first launch of
+// a kernel plans exactly like hetero_split; each subsequent launch
+// re-splits from the rates its predecessors measured, so a device whose
+// real throughput is far off its static spec converges to its fair share
+// within a few chained launches. Re-splits stay aligned and
+// residency-ordered, so the region directory re-ships minimal bytes.
+std::unique_ptr<SchedulingPolicy> MakeAdaptiveSplitPolicy();
 
 // Policy registry: user-defined schedulers plug in by name (the paper's
 // "designers can design and illustrate their own scheduling algorithms and
@@ -167,9 +200,14 @@ std::vector<std::string> RegisteredPolicyNames();
 // Predicted completion time of `task` on `node` if dispatched now; the
 // cost model HeterogeneityAware/PowerAware share (exposed for tests and
 // the ablation bench). PredictComputeSeconds is the kernel-time term
-// alone (no transfer/backlog) — what HeterogeneityAwareSplit sizes
-// shards by.
+// alone (no transfer/backlog); it prefers the most specific runtime
+// profile available — the per-(node, kernel) observed rate, then the
+// node's kernel-agnostic average, then the static device model.
 double PredictComputeSeconds(const TaskInfo& task, const NodeView& node);
+// The static device-model kernel time alone, ignoring observed rates —
+// what hetero_split sizes shards by (the baseline adaptive_split is
+// measured against).
+double StaticComputeSeconds(const TaskInfo& task, const NodeView& node);
 double PredictCompletionSeconds(const TaskInfo& task, const NodeView& node);
 double PredictEnergyJoules(const TaskInfo& task, const NodeView& node);
 

@@ -42,7 +42,7 @@ TEST(IcdTest, CustomDriverInstallAndDispatch) {
     }
     Status Launch(const oclc::Module&, const std::string&,
                   const std::vector<oclc::ArgBinding>&, const oclc::NDRange&,
-                  LaunchProfile*) override {
+                  LaunchProfile*, const sim::KernelCost*) override {
       return Status(ErrorCode::kUnimplemented, "null driver");
     }
 

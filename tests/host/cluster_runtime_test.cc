@@ -1293,6 +1293,212 @@ TEST_F(ClusterRuntimeTest, RandomizedOpsMatchHostOnlyOracle) {
   }
 }
 
+// ---- Scheduler feedback loop ---------------------------------------------
+
+TEST(SchedulerFeedbackTest, BacklogDrainsAndLeastLoadedAlternatesAfter10k) {
+  // Regression for the poisoned backlog signal: node_busy_ahead_ used to
+  // only ever grow, so after a long session load-aware policies steered
+  // on cumulative history instead of actual in-flight work. After 10k
+  // COMPLETED launches the estimate must be back at ~0 and `leastloaded`
+  // must still spread concurrent submissions across both nodes.
+  workloads::RegisterAllNativeKernels();
+  auto cluster = SimCluster::Create({.cpu_nodes = 2});
+  ASSERT_TRUE(cluster.ok());
+  auto& rt = (*cluster)->runtime();
+  ASSERT_TRUE(rt.SetScheduler("leastloaded").ok());
+  auto program = rt.BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 4;
+  auto buffer0 = rt.CreateBuffer(n * 4);
+  auto buffer1 = rt.CreateBuffer(n * 4);
+  ASSERT_TRUE(buffer0.ok() && buffer1.ok());
+  std::vector<std::int32_t> values(n, 1);
+  ASSERT_TRUE(rt.WriteBuffer(*buffer0, 0, values.data(), n * 4).ok());
+  ASSERT_TRUE(rt.WriteBuffer(*buffer1, 0, values.data(), n * 4).ok());
+
+  auto spec_for = [&](BufferId id) {
+    ClusterRuntime::LaunchSpec spec;
+    spec.program = *program;
+    spec.kernel_name = "doubler";
+    spec.args = {KernelArgValue::Buffer(id),
+                 KernelArgValue::Scalar<std::int32_t>(n)};
+    spec.global[0] = n;
+    return spec;
+  };
+
+  // Age the session: 10,000 completed launches.
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(rt.LaunchKernel(spec_for(i % 2 == 0 ? *buffer0 : *buffer1))
+                    .ok())
+        << "launch " << i;
+  }
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_NEAR(rt.SchedulerBacklogSeconds(0), 0.0, 1e-9);
+  EXPECT_NEAR(rt.SchedulerBacklogSeconds(1), 0.0, 1e-9);
+
+  // Concurrent pairs on independent buffers must still alternate: the
+  // submit-time charge makes the second submit see the first one's node
+  // as loaded. A marker gates execution so both placement decisions
+  // happen while the pair is genuinely pending. (With the
+  // monotonic-growth bug, whichever node had the smaller historical
+  // total got BOTH launches of every pair.)
+  for (int pair = 0; pair < 20; ++pair) {
+    auto gate = rt.SubmitMarker();
+    ASSERT_TRUE(gate.ok());
+    auto a = rt.SubmitLaunch(spec_for(*buffer0), {*gate});
+    auto b = rt.SubmitLaunch(spec_for(*buffer1), {*gate});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(rt.CompleteMarker(*gate).ok());
+    ASSERT_TRUE(rt.ReleaseCommand(*gate).ok());
+    ASSERT_TRUE(rt.Wait(*a).ok());
+    ASSERT_TRUE(rt.Wait(*b).ok());
+    auto ra = rt.LaunchResultOf(*a);
+    auto rb = rt.LaunchResultOf(*b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_NE(ra->node, rb->node) << "pair " << pair;
+    ASSERT_TRUE(rt.ReleaseCommand(*a).ok());
+    ASSERT_TRUE(rt.ReleaseCommand(*b).ok());
+  }
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_NEAR(rt.SchedulerBacklogSeconds(0), 0.0, 1e-9);
+  EXPECT_NEAR(rt.SchedulerBacklogSeconds(1), 0.0, 1e-9);
+}
+
+TEST(SchedulerFeedbackTest, ShardedAndUnsplitLaunchesConvergeToSameRate) {
+  // The per-shard rate sample divides each shard's modeled seconds by the
+  // flops the cost model charges THAT shard — so a 2-shard co-execution
+  // and an unsplit launch of the same kernel must learn the same
+  // observed_seconds_per_flop. (The old sample divided the node's static
+  // instruction-mix pair regardless of the analytic hint, biasing every
+  // prediction that multiplied the rate by hint flops.)
+  workloads::RegisterAllNativeKernels();
+  const int n = 4096;
+  sim::KernelCost hint;
+  hint.flops = 1e9;  // Compute-bound: launch overhead stays negligible.
+  hint.bytes = 4e6;
+  hint.work_items = n;
+
+  auto launch = [&](ClusterRuntime& rt, ProgramId program, BufferId buffer,
+                    int preferred) {
+    ClusterRuntime::LaunchSpec spec;
+    spec.program = program;
+    spec.kernel_name = "doubler";
+    spec.args = {KernelArgValue::PartitionedBuffer(buffer, 4),
+                 KernelArgValue::Scalar<std::int32_t>(n)};
+    spec.global[0] = n;
+    spec.preferred_node = preferred;
+    spec.cost_hint = hint;
+    return rt.LaunchKernel(spec);
+  };
+  auto prepare = [&](ClusterRuntime& rt, ProgramId* program,
+                     BufferId* buffer) {
+    auto p = rt.BuildProgram(kDoubler);
+    ASSERT_TRUE(p.ok());
+    auto b = rt.CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+    ASSERT_TRUE(b.ok());
+    std::vector<std::int32_t> values(n, 1);
+    ASSERT_TRUE(rt.WriteBuffer(*b, 0, values.data(), n * 4).ok());
+    *program = *p;
+    *buffer = *b;
+  };
+
+  // Unsplit reference on a single-node cluster.
+  auto single = SimCluster::Create({.cpu_nodes = 1});
+  ASSERT_TRUE(single.ok());
+  ProgramId program = 0;
+  BufferId buffer = 0;
+  prepare((*single)->runtime(), &program, &buffer);
+  auto result = launch((*single)->runtime(), program, buffer, 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->shard_count, 1u);
+  const auto unsplit = (*single)->runtime().ObservedKernelRate(0, "doubler");
+  ASSERT_EQ(unsplit.samples, 1u);
+  ASSERT_GT(unsplit.seconds_per_flop, 0.0);
+
+  // The same kernel co-executed as 2 shards on two identical nodes.
+  auto split = SimCluster::Create({.cpu_nodes = 2});
+  ASSERT_TRUE(split.ok());
+  auto& rt = (*split)->runtime();
+  ASSERT_TRUE(rt.SetScheduler("hetero_split").ok());
+  prepare(rt, &program, &buffer);
+  result = launch(rt, program, buffer, -1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->shard_count, 2u);
+  for (std::size_t node = 0; node < 2; ++node) {
+    const auto sharded = rt.ObservedKernelRate(node, "doubler");
+    ASSERT_EQ(sharded.samples, 1u) << "node " << node;
+    EXPECT_NEAR(sharded.seconds_per_flop, unsplit.seconds_per_flop,
+                0.01 * unsplit.seconds_per_flop)
+        << "node " << node;
+  }
+}
+
+TEST(SchedulerFeedbackTest, AdaptiveSplitConvergesOnMiscalibratedNode) {
+  // Acceptance scenario: two spec-identical CPU nodes, but node 1's REAL
+  // silicon runs at 1/3 of the spec sheet. The static hetero_split plan
+  // stays 50/50 forever; adaptive_split must re-split from the observed
+  // shard rates and reach a makespan within 10% of the oracle split
+  // within 4 chained launches.
+  workloads::RegisterAllNativeKernels();
+  auto cluster = SimCluster::Create({.cpu_nodes = 2}, {},
+                                    SimCluster::PeerTopology::kFullMesh,
+                                    {1.0, 1.0 / 3.0});
+  ASSERT_TRUE(cluster.ok());
+  auto& rt = (*cluster)->runtime();
+  ASSERT_TRUE(rt.SetScheduler("adaptive_split").ok());
+  auto program = rt.BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 4096;
+  auto buffer = rt.CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n, 1);
+  ASSERT_TRUE(rt.WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  sim::KernelCost hint;
+  hint.flops = 2e9;
+  hint.bytes = 1e6;
+  hint.work_items = n;
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::PartitionedBuffer(*buffer, 4),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.cost_hint = hint;
+
+  std::vector<double> makespans;
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    auto result = rt.LaunchKernel(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->shard_count, 2u) << "iteration " << iteration;
+    makespans.push_back(result->modeled_seconds);
+  }
+
+  // Oracle from the CONVERGED observed rates: the ideal split finishes
+  // both shards together, total throughput = sum of node speeds.
+  const auto rate0 = rt.ObservedKernelRate(0, "doubler");
+  const auto rate1 = rt.ObservedKernelRate(1, "doubler");
+  ASSERT_GT(rate0.samples, 0u);
+  ASSERT_GT(rate1.samples, 0u);
+  // The mis-calibration is visible in the observed rates (~3x apart).
+  EXPECT_NEAR(rate1.seconds_per_flop / rate0.seconds_per_flop, 3.0, 0.45);
+  const double oracle = hint.flops / (1.0 / rate0.seconds_per_flop +
+                                      1.0 / rate1.seconds_per_flop);
+  // First (static-model) launch split 50/50, so the slow node straggled
+  // at ~1.5x the oracle makespan; the converged plan is within 10%.
+  EXPECT_GT(makespans.front(), 1.4 * oracle);
+  EXPECT_LE(makespans.back(), 1.1 * oracle);
+  // And the feedback drained cleanly.
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_NEAR(rt.SchedulerBacklogSeconds(0), 0.0, 1e-9);
+  EXPECT_NEAR(rt.SchedulerBacklogSeconds(1), 0.0, 1e-9);
+
+  // Functional correctness survived every re-split: 4 doublings.
+  std::vector<std::int32_t> got(n);
+  ASSERT_TRUE(rt.ReadBuffer(*buffer, 0, got.data(), n * 4).ok());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], 16) << i;
+}
+
 TEST(ClusterRuntimeErrorsTest, EmptyConnectionListRejected) {
   auto runtime = ClusterRuntime::Connect({});
   EXPECT_FALSE(runtime.ok());

@@ -146,6 +146,21 @@ TEST(ProtocolTest, LaunchKernelRoundTrip) {
   EXPECT_EQ(decoded->args[2].local_size, 1024u);
   EXPECT_EQ(decoded->global[1], 128u);
   EXPECT_TRUE(decoded->local_specified);
+  EXPECT_FALSE(decoded->has_cost_hint);  // None set: none decoded.
+
+  // The analytic cost hint (shard-scaled work estimate) rides along.
+  req.has_cost_hint = true;
+  req.hint_flops = 2.5e9;
+  req.hint_bytes = 1e6;
+  req.hint_work_items = 256;
+  req.hint_irregular = true;
+  auto hinted = LaunchKernelRequest::Decode(req.Encode());
+  ASSERT_TRUE(hinted.ok()) << hinted.status().ToString();
+  ASSERT_TRUE(hinted->has_cost_hint);
+  EXPECT_DOUBLE_EQ(hinted->hint_flops, 2.5e9);
+  EXPECT_DOUBLE_EQ(hinted->hint_bytes, 1e6);
+  EXPECT_EQ(hinted->hint_work_items, 256u);
+  EXPECT_TRUE(hinted->hint_irregular);
 }
 
 TEST(ProtocolTest, TruncatedPayloadsRejected) {

@@ -1,0 +1,87 @@
+// Per-(node, kernel) runtime-profile table: EWMA folding, keying, and
+// the kernel-agnostic aggregate.
+#include "sched/rate_table.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace haocl::sched {
+namespace {
+
+TEST(RateTableTest, EmptyTableHasNoRates) {
+  KernelRateTable table(2);
+  EXPECT_EQ(table.Lookup(0, "matmul").samples, 0u);
+  EXPECT_DOUBLE_EQ(table.Lookup(0, "matmul").seconds_per_flop, 0.0);
+  EXPECT_DOUBLE_EQ(table.NodeAverage(1), 0.0);
+  // Out-of-range nodes answer empty instead of crashing.
+  EXPECT_EQ(table.Lookup(7, "matmul").samples, 0u);
+  EXPECT_DOUBLE_EQ(table.NodeAverage(7), 0.0);
+}
+
+TEST(RateTableTest, FirstSampleSeedsThenEwmaSmooths) {
+  KernelRateTable table(1);
+  table.Observe(0, "matmul", 1e-12);
+  auto rate = table.Lookup(0, "matmul");
+  EXPECT_EQ(rate.samples, 1u);
+  EXPECT_DOUBLE_EQ(rate.seconds_per_flop, 1e-12);
+
+  table.Observe(0, "matmul", 2e-12);
+  rate = table.Lookup(0, "matmul");
+  EXPECT_EQ(rate.samples, 2u);
+  EXPECT_DOUBLE_EQ(rate.seconds_per_flop, 0.7 * 1e-12 + 0.3 * 2e-12);
+}
+
+TEST(RateTableTest, KeysAreIndependentPerNodeAndKernel) {
+  KernelRateTable table(2);
+  table.Observe(0, "matmul", 1e-12);
+  table.Observe(0, "spmv", 5e-12);
+  table.Observe(1, "matmul", 9e-12);
+  EXPECT_DOUBLE_EQ(table.Lookup(0, "matmul").seconds_per_flop, 1e-12);
+  EXPECT_DOUBLE_EQ(table.Lookup(0, "spmv").seconds_per_flop, 5e-12);
+  EXPECT_DOUBLE_EQ(table.Lookup(1, "matmul").seconds_per_flop, 9e-12);
+  EXPECT_EQ(table.Lookup(1, "spmv").samples, 0u);
+  // The agnostic aggregate folds every kernel on the node.
+  EXPECT_DOUBLE_EQ(table.NodeAverage(0), 0.7 * 1e-12 + 0.3 * 5e-12);
+  EXPECT_DOUBLE_EQ(table.NodeAverage(1), 9e-12);
+}
+
+TEST(RateTableTest, NonPositiveSamplesAreIgnored) {
+  KernelRateTable table(1);
+  table.Observe(0, "matmul", 0.0);
+  table.Observe(0, "matmul", -1.0);
+  EXPECT_EQ(table.Lookup(0, "matmul").samples, 0u);
+}
+
+TEST(RateTableTest, ResetClearsEverything) {
+  KernelRateTable table(1);
+  table.Observe(0, "matmul", 1e-12);
+  table.Reset();
+  EXPECT_EQ(table.Lookup(0, "matmul").samples, 0u);
+  EXPECT_DOUBLE_EQ(table.NodeAverage(0), 0.0);
+}
+
+TEST(RateTableTest, ConcurrentObserversStayConsistent) {
+  // Shard epilogues feed the table from parallel graph workers; samples
+  // must never be lost or torn.
+  KernelRateTable table(4);
+  std::vector<std::thread> threads;
+  constexpr int kPerThread = 500;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        table.Observe(static_cast<std::size_t>(t), "stream", 1e-12);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t node = 0; node < 4; ++node) {
+    auto rate = table.Lookup(node, "stream");
+    EXPECT_EQ(rate.samples, static_cast<std::uint64_t>(kPerThread));
+    EXPECT_DOUBLE_EQ(rate.seconds_per_flop, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace haocl::sched

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <random>
 
 namespace haocl::sched {
 namespace {
@@ -136,6 +138,25 @@ TEST(HeteroTest, AccountsForBacklogAndTransfers) {
   EXPECT_EQ(*node, 1u);
 }
 
+TEST(PredictTest, KernelRateBeatsAgnosticBeatsStatic) {
+  // The cost model prefers the most specific runtime profile: this
+  // kernel's own observed rate on the node, then the node's agnostic
+  // average, then the static device model.
+  NodeView node = MakeNode("gpu0", NodeType::kGpu);
+  TaskInfo task = RegularTask(100.0);
+  const double static_seconds = PredictComputeSeconds(task, node);
+  EXPECT_DOUBLE_EQ(static_seconds, StaticComputeSeconds(task, node));
+
+  node.observed_seconds_per_flop = 2.0 * static_seconds / task.cost.flops;
+  EXPECT_DOUBLE_EQ(PredictComputeSeconds(task, node), 2.0 * static_seconds);
+
+  node.kernel_seconds_per_flop = 4.0 * static_seconds / task.cost.flops;
+  node.kernel_rate_samples = 1;
+  EXPECT_DOUBLE_EQ(PredictComputeSeconds(task, node), 4.0 * static_seconds);
+  // StaticComputeSeconds never consults the profiles.
+  EXPECT_DOUBLE_EQ(StaticComputeSeconds(task, node), static_seconds);
+}
+
 TEST(HeteroTest, RuntimeProfileOverridesStaticModel) {
   ClusterView cluster = MakeCluster(2, 0);
   TaskInfo task = RegularTask(100.0);
@@ -199,7 +220,8 @@ TEST(PredictTest, EnergyTracksPower) {
 TEST(RegistryTest, BuiltinsPresent) {
   auto names = RegisteredPolicyNames();
   for (const char* want :
-       {"user", "roundrobin", "leastloaded", "hetero", "power"}) {
+       {"user", "roundrobin", "leastloaded", "hetero", "hetero_split",
+        "adaptive_split", "power"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
         << want;
   }
@@ -395,6 +417,145 @@ TEST(HeteroSplitTest, RespectsWorkGroupAlignment) {
   }
 }
 
+TEST(HeteroSplitTest, RoundingLeftoverGoesToTheFastestShard) {
+  // Skewed cluster, residency-ordered so the SLOWEST device owns the last
+  // shard: the whole-alignment part of the rounding leftover must land on
+  // the fastest shard, not blindly on the tail, while offsets stay
+  // aligned and the sub-alignment tail rides the last shard.
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  ClusterView cluster = MakeCluster(1, 0, 1);  // GPU (fast) + CPU (slow).
+  TaskInfo task = SplittableTask(1000 * 64 + 17, /*gflops=*/500.0);
+  task.dim0_align = 64;
+  // Residency hints force the CPU's shard LAST (GPU holds the front).
+  cluster.nodes[0].resident_dim0_begin = 0;
+  cluster.nodes[1].resident_dim0_begin = 1;
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+  ASSERT_EQ(plan->shards.size(), 2u);
+  EXPECT_EQ(plan->provenance, PlacementPlan::Provenance::kStaticModel);
+  ASSERT_EQ(plan->shards[0].node, 0u);  // GPU first by residency.
+  ASSERT_EQ(plan->shards[1].node, 1u);
+  for (const auto& shard : plan->shards) {
+    EXPECT_EQ(shard.global_offset % 64, 0u);
+  }
+  // The GPU shard must exceed its pure proportional floor by at least the
+  // whole-align leftover it absorbed, and the CPU tail carries ONLY its
+  // floor plus the sub-align remainder (17) — the old code dumped the
+  // whole leftover on the tail, growing the slowest device's share.
+  const std::uint64_t units = task.dim0_extent / 64;
+  const double gpu_rate = 1.0 / StaticComputeSeconds(task, cluster.nodes[0]);
+  const double cpu_rate = 1.0 / StaticComputeSeconds(task, cluster.nodes[1]);
+  const auto cpu_floor = static_cast<std::uint64_t>(
+                             static_cast<double>(units) * cpu_rate /
+                             (gpu_rate + cpu_rate)) *
+                         64;
+  EXPECT_EQ(plan->shards[1].global_count, cpu_floor + 17);
+}
+
+TEST(AdaptiveSplitTest, NoSamplesPlansLikeHeteroSplit) {
+  // First launch of a kernel: no observed rates anywhere, so the adaptive
+  // policy must produce exactly the static policy's plan.
+  auto adaptive = MakeAdaptiveSplitPolicy();
+  auto baseline = MakeHeterogeneityAwareSplitPolicy();
+  ClusterView cluster = MakeCluster(2, 0, 1);
+  TaskInfo task = SplittableTask(4096, /*gflops=*/500.0);
+  auto got = adaptive->PlanLaunch(task, cluster);
+  auto want = baseline->PlanLaunch(task, cluster);
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(got->provenance, PlacementPlan::Provenance::kStaticModel);
+  ASSERT_EQ(got->shards.size(), want->shards.size());
+  for (std::size_t i = 0; i < got->shards.size(); ++i) {
+    EXPECT_EQ(got->shards[i].node, want->shards[i].node);
+    EXPECT_EQ(got->shards[i].global_offset, want->shards[i].global_offset);
+    EXPECT_EQ(got->shards[i].global_count, want->shards[i].global_count);
+  }
+}
+
+TEST(AdaptiveSplitTest, ObservedRatesReplanTheSplit) {
+  // Two spec-identical GPUs, but the observed rate table says node 0 is
+  // really 3x slower: the re-split must give node 1 ~3x the rows while
+  // the static policy still splits ~50/50.
+  auto adaptive = MakeAdaptiveSplitPolicy();
+  ClusterView cluster = MakeCluster(2, 0);
+  TaskInfo task = SplittableTask(4096, /*gflops=*/500.0);
+  const double spec_rate =
+      StaticComputeSeconds(task, cluster.nodes[0]) / task.cost.flops;
+  cluster.nodes[0].kernel_seconds_per_flop = 3.0 * spec_rate;
+  cluster.nodes[0].kernel_rate_samples = 2;
+  cluster.nodes[1].kernel_seconds_per_flop = spec_rate;
+  cluster.nodes[1].kernel_rate_samples = 2;
+  auto plan = adaptive->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+  EXPECT_EQ(plan->provenance, PlacementPlan::Provenance::kObservedRates);
+  ASSERT_EQ(plan->shards.size(), 2u);
+  std::uint64_t slow_rows = 0;
+  std::uint64_t fast_rows = 0;
+  for (const auto& shard : plan->shards) {
+    (shard.node == 0 ? slow_rows : fast_rows) = shard.global_count;
+  }
+  const double ratio =
+      static_cast<double>(fast_rows) / static_cast<double>(slow_rows);
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+
+  // The static baseline ignores the table entirely.
+  auto baseline = MakeHeterogeneityAwareSplitPolicy()->PlanLaunch(task,
+                                                                  cluster);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->shards.size(), 2u);
+  EXPECT_EQ(baseline->shards[0].global_count,
+            baseline->shards[1].global_count);
+
+  // Mixed knowledge (one node sampled, one not) is flagged as blended.
+  cluster.nodes[1].kernel_rate_samples = 0;
+  cluster.nodes[1].kernel_seconds_per_flop = 0.0;
+  auto blended = adaptive->PlanLaunch(task, cluster);
+  ASSERT_TRUE(blended.ok());
+  EXPECT_EQ(blended->provenance, PlacementPlan::Provenance::kBlended);
+}
+
+TEST(AdaptiveSplitTest, ValidatePlanHoldsUnderRandomizedResplits) {
+  // Property test: whatever the extents, alignments, backlogs, residency
+  // hints, and observed-rate perturbations, every adaptive re-split must
+  // pass the coverage/overlap/alignment validator.
+  auto policy = MakeAdaptiveSplitPolicy();
+  std::mt19937 rng(20260730);
+  std::uniform_int_distribution<int> node_count(2, 5);
+  std::uniform_int_distribution<int> align_pick(0, 3);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const std::uint64_t aligns[] = {1, 16, 64, 128};
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    const int n = node_count(rng);
+    ClusterView cluster = MakeCluster(n / 2, 0, n - n / 2);
+    TaskInfo task = SplittableTask(
+        1 + static_cast<std::uint64_t>(unit(rng) * 100000.0),
+        /*gflops=*/1.0 + unit(rng) * 500.0);
+    task.dim0_align = aligns[align_pick(rng)];
+    for (NodeView& node : cluster.nodes) {
+      node.busy_seconds_ahead = unit(rng) * 0.1;
+      if (unit(rng) < 0.7) {
+        const double spec_rate =
+            StaticComputeSeconds(task, node) / task.cost.flops;
+        // Observed rate off the spec by up to 8x either way.
+        node.kernel_seconds_per_flop =
+            spec_rate * std::pow(8.0, 2.0 * unit(rng) - 1.0);
+        node.kernel_rate_samples = 1 + static_cast<std::uint64_t>(
+                                           unit(rng) * 10.0);
+      }
+      if (unit(rng) < 0.5) {
+        node.resident_dim0_begin = static_cast<std::uint64_t>(
+            unit(rng) * static_cast<double>(task.dim0_extent));
+      }
+    }
+    auto plan = policy->PlanLaunch(task, cluster);
+    ASSERT_TRUE(plan.ok()) << "iteration " << iteration;
+    EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok())
+        << "iteration " << iteration << ": "
+        << ValidatePlan(*plan, task, cluster).ToString();
+  }
+}
+
 // Parameterized sweep: for every policy, selections are always eligible.
 class AllPoliciesTest : public ::testing::TestWithParam<std::string> {};
 
@@ -418,7 +579,9 @@ TEST_P(AllPoliciesTest, SelectionsAreAlwaysEligible) {
 
 INSTANTIATE_TEST_SUITE_P(Policies, AllPoliciesTest,
                          ::testing::Values("user", "roundrobin",
-                                           "leastloaded", "hetero", "power"));
+                                           "leastloaded", "hetero",
+                                           "hetero_split", "adaptive_split",
+                                           "power"));
 
 }  // namespace
 }  // namespace haocl::sched

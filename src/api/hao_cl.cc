@@ -52,6 +52,11 @@ struct _cl_device_id {
   int node_index = kClusterDeviceIndex;
   cl_device_type type = CL_DEVICE_TYPE_CUSTOM;
   std::string name;
+  // Honest memory sizes from the tiered-memory subsystem: the node's
+  // reported device capacity (the virtual cluster device reports the
+  // cluster-wide sum). 0 = the node never reported one.
+  std::uint64_t global_mem_bytes = 0;
+  std::uint64_t max_alloc_bytes = 0;
 };
 
 struct _cl_context {
@@ -156,6 +161,21 @@ void RebuildDeviceTable() {
   cluster->type = CL_DEVICE_TYPE_DEFAULT;
   cluster->name = "HaoCL Cluster (" +
                   std::to_string(state.runtime->devices().size()) + " nodes)";
+  // The cluster device's global memory is the sum of the node capacities
+  // (any node without a reported capacity makes it unbounded — reported
+  // as the legacy 8 GiB placeholder so queries stay sane).
+  std::uint64_t cluster_bytes = 0;
+  bool bounded = !state.runtime->devices().empty();
+  for (const host::DeviceInfo& info : state.runtime->devices()) {
+    if (info.mem_capacity_bytes == 0) {
+      bounded = false;
+      break;
+    }
+    cluster_bytes += info.mem_capacity_bytes;
+  }
+  cluster->global_mem_bytes = bounded ? cluster_bytes : 8ull << 30;
+  cluster->max_alloc_bytes = cluster->global_mem_bytes;
+  _cl_device_id* cluster_raw = cluster.get();
   state.devices.push_back(std::move(cluster));
   for (std::size_t i = 0; i < state.runtime->devices().size(); ++i) {
     const host::DeviceInfo& info = state.runtime->devices()[i];
@@ -167,6 +187,10 @@ void RebuildDeviceTable() {
       case NodeType::kFpga: device->type = CL_DEVICE_TYPE_ACCELERATOR; break;
     }
     device->name = info.name + " (" + info.model + ")";
+    device->global_mem_bytes = info.mem_capacity_bytes != 0
+                                   ? info.mem_capacity_bytes
+                                   : cluster_raw->global_mem_bytes;
+    device->max_alloc_bytes = device->global_mem_bytes;
     state.devices.push_back(std::move(device));
   }
 }
@@ -544,7 +568,14 @@ cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param_name,
                         param_value_size_ret);
     }
     case CL_DEVICE_GLOBAL_MEM_SIZE: {
-      cl_ulong bytes = 8ull << 30;
+      // Honest capacity from the tiered-memory subsystem: the node's
+      // reported device memory; the cluster device reports the sum.
+      cl_ulong bytes = device->global_mem_bytes;
+      return ReturnInfo(&bytes, sizeof(bytes), param_value_size, param_value,
+                        param_value_size_ret);
+    }
+    case CL_DEVICE_MAX_MEM_ALLOC_SIZE: {
+      cl_ulong bytes = device->max_alloc_bytes;
       return ReturnInfo(&bytes, sizeof(bytes), param_value_size, param_value,
                         param_value_size_ret);
     }

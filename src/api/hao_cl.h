@@ -120,6 +120,7 @@ inline constexpr cl_platform_info CL_PLATFORM_VENDOR = 0x0903;
 inline constexpr cl_device_info CL_DEVICE_TYPE = 0x1000;
 inline constexpr cl_device_info CL_DEVICE_MAX_COMPUTE_UNITS = 0x1002;
 inline constexpr cl_device_info CL_DEVICE_MAX_WORK_GROUP_SIZE = 0x1004;
+inline constexpr cl_device_info CL_DEVICE_MAX_MEM_ALLOC_SIZE = 0x1010;
 inline constexpr cl_device_info CL_DEVICE_GLOBAL_MEM_SIZE = 0x101F;
 inline constexpr cl_device_info CL_DEVICE_NAME = 0x102B;
 inline constexpr cl_device_info CL_DEVICE_VENDOR = 0x102C;

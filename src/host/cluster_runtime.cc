@@ -121,7 +121,12 @@ Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
     info.model = decoded->device_model;
     info.compute_gflops = decoded->compute_gflops;
     info.mem_bandwidth_gbps = decoded->mem_bandwidth_gbps;
+    info.mem_capacity_bytes = decoded->mem_capacity_bytes;
     runtime->devices_.push_back(std::move(info));
+    // One memory-pool ledger per node, budgeting the capacity the node
+    // reported (0 = unbounded for nodes predating capacity reporting).
+    runtime->node_pools_.push_back(
+        std::make_unique<runtime::MemoryPool>(decoded->mem_capacity_bytes));
     topo_config.AddNode(NodeEntry{decoded->node_name, decoded->device_type,
                                   "sim", 0});
   }
@@ -275,6 +280,25 @@ Expected<BufferId> ClusterRuntime::CreateBuffer(std::uint64_t size) {
   if (size == 0) {
     return Status(ErrorCode::kInvalidBufferSize, "zero-sized buffer");
   }
+  // Honest cluster-wide capacity: a buffer no combination of device
+  // memories could ever hold fails up front (the OpenCL shim surfaces
+  // this as CL_MEM_OBJECT_ALLOCATION_FAILURE). Any node without a
+  // reported capacity makes the cluster unbounded.
+  std::uint64_t cluster_capacity = 0;
+  bool bounded = !node_pools_.empty();
+  for (const auto& pool : node_pools_) {
+    if (!pool->bounded()) {
+      bounded = false;
+      break;
+    }
+    cluster_capacity += pool->capacity();
+  }
+  if (bounded && size > cluster_capacity) {
+    return Status(ErrorCode::kMemObjectAllocationFailure,
+                  "buffer of " + std::to_string(size) +
+                      " bytes exceeds the cluster-wide device capacity (" +
+                      std::to_string(cluster_capacity) + " bytes)");
+  }
   std::lock_guard<std::mutex> lock(state_mutex_);
   const BufferId id = next_buffer_id_++;
   auto buffer = std::make_shared<LogicalBuffer>();
@@ -286,6 +310,14 @@ Expected<BufferId> ClusterRuntime::CreateBuffer(std::uint64_t size) {
       size, static_cast<RegionDirectory::Owner>(nodes_.size() + 1),
       HostOwner());
   buffer->allocated_on.assign(nodes_.size(), false);
+  buffer->pinned_on =
+      std::make_unique<std::atomic<std::uint32_t>[]>(nodes_.size());
+  buffer->last_use_epoch =
+      std::make_unique<std::atomic<std::uint64_t>[]>(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    buffer->pinned_on[i].store(0, std::memory_order_relaxed);
+    buffer->last_use_epoch[i].store(0, std::memory_order_relaxed);
+  }
   buffers_.emplace(id, std::move(buffer));
   return id;
 }
@@ -591,7 +623,9 @@ Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
                                                std::uint64_t begin,
                                                std::uint64_t end,
                                                std::uint64_t* bytes_shipped,
-                                               PeerMode mode) {
+                                               PeerMode mode,
+                                               TransferTiming timing,
+                                               sim::SimTime* ready_at) {
   if (!buffer.allocated_on[node]) {
     // Full-size remote allocation: the kernel indexes with its global ids,
     // so every slice must live at its natural offset.
@@ -605,6 +639,9 @@ Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
   // Ship a run from the host shadow when it is fresh (one hop, no peer
   // round-trip), else node-to-node from an owning peer with a host-relay
   // fallback.
+  auto note_arrival = [&](sim::SimTime arrival) {
+    if (ready_at != nullptr) *ready_at = std::max(*ready_at, arrival);
+  };
   auto ship_from_host = [&](std::uint64_t run_begin,
                             std::uint64_t run_end) -> Status {
     const std::uint64_t len = run_end - run_begin;
@@ -616,6 +653,13 @@ Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
     auto reply = CallNode(node, MsgType::kWriteBuffer, request.Encode());
     HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
     AccountTransfer(buffer, &TransferStats::host_bytes_out, len);
+    if (timing == TransferTiming::kPrefetch) {
+      // Staged-pipeline DMA: lands while the node computes the previous
+      // stage; the consuming stage gates on the arrival, not the NIC on
+      // the accelerator.
+      note_arrival(timeline_->RecordPrefetchToNode(node, len));
+      return Status::Ok();
+    }
     // Nodes already co-owning the run can relay replicas peer-to-peer, so
     // broadcasts build a multicast tree instead of serializing on the
     // host uplink (modeled; the functional bytes took this wire).
@@ -631,9 +675,9 @@ Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
       }
     }
     if (co_owners.empty()) {
-      timeline_->RecordTransferToNode(node, len);
+      note_arrival(timeline_->RecordTransferToNode(node, len));
     } else {
-      timeline_->RecordReplicationToNode(node, len, co_owners);
+      note_arrival(timeline_->RecordReplicationToNode(node, len, co_owners));
     }
     return Status::Ok();
   };
@@ -659,7 +703,7 @@ Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
           if (peer.ok()) {
             AccountTransfer(buffer, &TransferStats::p2p_transfers, 1);
             AccountTransfer(buffer, &TransferStats::p2p_bytes, len);
-            timeline_->RecordTransferBetween(source, node, len);
+            note_arrival(timeline_->RecordTransferBetween(source, node, len));
           } else {
             if (options_.peer_transfers) {
               HAOCL_WARN << "peer transfer buf" << id << " node " << source
@@ -676,6 +720,223 @@ Status ClusterRuntime::EnsureRangeOnNodeLocked(BufferId id,
         if (bytes_shipped != nullptr) *bytes_shipped += len;
         return Status::Ok();
       });
+}
+
+// ------------------------------------------------------- Tiered memory
+
+// RAII eviction exclusion: while alive, the pinned buffers cannot be
+// chosen as eviction victims on `node` — a launch is between reserving
+// and consuming their ranges. Pins are atomic counters, taken without the
+// buffer mutex; the LRU stamp rides along.
+class ClusterRuntime::WorkingSetPin {
+ public:
+  WorkingSetPin() = default;
+  WorkingSetPin(const WorkingSetPin&) = delete;
+  WorkingSetPin& operator=(const WorkingSetPin&) = delete;
+  ~WorkingSetPin() { Release(); }
+
+  void Pin(const BufferPtr& buffer, std::size_t node, std::uint64_t epoch) {
+    {
+      // The pin must be mutex-synchronized with the eviction policy's
+      // pinned check (which holds the victim's mutex across the whole
+      // eviction): a pin either lands before the check and excludes the
+      // buffer, or blocks until the eviction finishes — after which the
+      // pinner's reservation re-charges and its transfers re-ship. A
+      // lock-free pin could slip between the check and the pool release,
+      // letting the evictor release bytes the pinner just reserved and
+      // desynchronizing the host and node ledgers.
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      buffer->pinned_on[node].fetch_add(1, std::memory_order_relaxed);
+      buffer->last_use_epoch[node].store(epoch, std::memory_order_relaxed);
+    }
+    pinned_.emplace_back(buffer, node);
+  }
+  void Release() {
+    for (auto& [buffer, node] : pinned_) {
+      buffer->pinned_on[node].fetch_sub(1, std::memory_order_relaxed);
+    }
+    pinned_.clear();
+  }
+
+ private:
+  std::vector<std::pair<BufferPtr, std::size_t>> pinned_;
+};
+
+Status ClusterRuntime::SpillSoleRangesToHostLocked(BufferId id,
+                                                   LogicalBuffer& buffer,
+                                                   std::size_t node,
+                                                   std::uint64_t begin,
+                                                   std::uint64_t end) {
+  // Only ranges whose LAST fresh copy sits on the node need wire traffic;
+  // adjacent sole-owner regions coalesce into one read.
+  const auto owner = static_cast<RegionDirectory::Owner>(node);
+  std::uint64_t run_begin = 0;
+  std::uint64_t run_end = 0;
+  auto flush = [&]() -> Status {
+    if (run_begin == run_end) return Status::Ok();
+    net::ReadBufferRequest request;
+    request.buffer_id = id;
+    request.offset = run_begin;
+    request.size = run_end - run_begin;
+    auto reply = CallNode(node, MsgType::kReadBuffer, request.Encode());
+    HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kReadReply));
+    if (reply->payload.size() != request.size) {
+      return Status(ErrorCode::kProtocolError, "short spill read");
+    }
+    std::copy(reply->payload.begin(), reply->payload.end(),
+              buffer.shadow.begin() + run_begin);
+    buffer.dir.AddOwner(run_begin, run_end, HostOwner());
+    AccountTransfer(buffer, &TransferStats::spill_bytes, request.size);
+    AccountTransfer(buffer, &TransferStats::spill_transfers, 1);
+    timeline_->RecordSpillFromNode(node, request.size);
+    run_begin = run_end = 0;
+    return Status::Ok();
+  };
+  for (const RegionDirectory::Region& region : buffer.dir.Query(begin, end)) {
+    const bool sole = region.owners.size() == 1 && region.owners[0] == owner;
+    if (!sole) {
+      HAOCL_RETURN_IF_ERROR(flush());
+      continue;
+    }
+    if (run_end == region.begin && run_end != run_begin) {
+      run_end = region.end;
+    } else {
+      HAOCL_RETURN_IF_ERROR(flush());
+      run_begin = region.begin;
+      run_end = region.end;
+    }
+  }
+  return flush();
+}
+
+void ClusterRuntime::NotifyMemory(
+    std::size_t node, BufferId id, bool reserve,
+    const std::vector<runtime::MemoryPool::Span>& spans) {
+  if (spans.empty()) return;
+  net::MemoryNoticeRequest notice;
+  notice.buffer_id = id;
+  notice.reserve = reserve;
+  notice.regions.reserve(spans.size());
+  for (const runtime::MemoryPool::Span& span : spans) {
+    notice.regions.push_back({span.begin, span.end - span.begin});
+  }
+  auto reply = CallNode(node, MsgType::kMemoryNotice, notice.Encode());
+  Status status = CheckReply(reply, MsgType::kStatusReply);
+  if (!status.ok()) {
+    HAOCL_WARN << "memory notice for buffer " << id << " on node " << node
+               << " failed: " << status.ToString();
+  }
+}
+
+Status ClusterRuntime::EvictRangeFromNodeLocked(BufferId id,
+                                                LogicalBuffer& buffer,
+                                                std::size_t node,
+                                                std::uint64_t begin,
+                                                std::uint64_t end) {
+  // Work on what is actually materialized: the ledger's resident spans of
+  // the range, not the whole request.
+  std::vector<runtime::MemoryPool::Span> victims;
+  for (const runtime::MemoryPool::Span& span :
+       node_pools_[node]->ResidentSpansOf(id)) {
+    const std::uint64_t b = std::max(begin, span.begin);
+    const std::uint64_t e = std::min(end, span.end);
+    if (b < e) victims.push_back({b, e});
+  }
+  if (victims.empty()) return Status::Ok();
+  const auto owner = static_cast<RegionDirectory::Owner>(node);
+  std::uint64_t released = 0;
+  for (const runtime::MemoryPool::Span& span : victims) {
+    // Demote ownership: spill any last-copy sub-range to the host shadow
+    // first so the directory's gap-free invariant survives the removal.
+    HAOCL_RETURN_IF_ERROR(
+        SpillSoleRangesToHostLocked(id, buffer, node, span.begin, span.end));
+    const std::size_t refused =
+        buffer.dir.RemoveOwner(span.begin, span.end, owner);
+    if (refused != 0) {
+      return Status(ErrorCode::kInternal,
+                    "eviction would drop the last fresh copy of buffer " +
+                        std::to_string(id));
+    }
+    released += node_pools_[node]->Release(id, span.begin, span.end);
+  }
+  AccountTransfer(buffer, &TransferStats::evicted_bytes, released);
+  NotifyMemory(node, id, /*reserve=*/false, victims);
+  return Status::Ok();
+}
+
+std::uint64_t ClusterRuntime::EvictFromNode(std::size_t node,
+                                            std::uint64_t needed) {
+  // Victims in LRU-by-launch-epoch order. The snapshot is advisory: stamps
+  // move and buffers get released concurrently; each victim is re-checked
+  // under its own mutex.
+  struct Victim {
+    std::uint64_t epoch;
+    BufferId id;
+    BufferPtr buffer;
+  };
+  std::vector<Victim> victims;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& [buffer_id, bytes] :
+         node_pools_[node]->ResidentBuffers()) {
+      auto it = buffers_.find(buffer_id);
+      if (it == buffers_.end()) continue;  // Released; teardown reclaims.
+      victims.push_back(
+          {it->second->last_use_epoch[node].load(std::memory_order_relaxed),
+           buffer_id, it->second});
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.epoch < b.epoch; });
+  std::uint64_t freed = 0;
+  for (const Victim& victim : victims) {
+    if (freed >= needed) break;
+    // try_lock only: a buffer amid a transfer holds its mutex across node
+    // RPCs, and blocking here from inside another launch's prologue could
+    // deadlock two launches evicting each other's buffers.
+    std::unique_lock<std::mutex> buffer_lock(victim.buffer->mutex,
+                                             std::try_to_lock);
+    if (!buffer_lock.owns_lock()) continue;
+    if (victim.buffer->pinned_on[node].load(std::memory_order_relaxed) > 0) {
+      continue;  // A live working set; never evict under a launch.
+    }
+    const std::uint64_t before = node_pools_[node]->ResidentOf(victim.id);
+    Status evicted = EvictRangeFromNodeLocked(victim.id, *victim.buffer, node,
+                                              0, victim.buffer->size);
+    if (!evicted.ok()) {
+      HAOCL_WARN << "eviction of buffer " << victim.id << " from node "
+                 << node << " failed: " << evicted.ToString();
+      continue;
+    }
+    freed += before - node_pools_[node]->ResidentOf(victim.id);
+  }
+  return freed;
+}
+
+Status ClusterRuntime::ReserveWorkingSet(
+    std::size_t node,
+    const std::vector<runtime::MemoryPool::BufferRange>& ranges) {
+  runtime::MemoryPool& pool = *node_pools_[node];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Status reserved = pool.ReserveAll(ranges);
+    if (reserved.ok()) return reserved;
+    const std::uint64_t needed = pool.NewBytesIn(ranges);
+    if (needed > pool.capacity()) {
+      return Status(ErrorCode::kMemObjectAllocationFailure,
+                    "working set of " + std::to_string(needed) +
+                        " new bytes exceeds node " + std::to_string(node) +
+                        "'s device capacity (" +
+                        std::to_string(pool.capacity()) + " bytes)");
+    }
+    const std::uint64_t free = pool.free_bytes();
+    const std::uint64_t shortfall = needed > free ? needed - free : 0;
+    if (shortfall == 0) continue;  // A concurrent release already helped.
+    if (EvictFromNode(node, shortfall) == 0) break;  // No progress.
+  }
+  return Status(ErrorCode::kMemObjectAllocationFailure,
+                "cannot free enough device memory on node " +
+                    std::to_string(node) +
+                    " (working sets of concurrent launches are pinned)");
 }
 
 Status ClusterRuntime::ReleaseBuffer(BufferId id) {
@@ -698,6 +959,9 @@ Status ClusterRuntime::ReleaseBuffer(BufferId id) {
       [this, id, buffer](CommandGraph::Execution&) {
         std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          // The node's session pool releases in its ReleaseBuffer handler;
+          // mirror it in the host ledger whether or not the RPC succeeds.
+          node_pools_[i]->ReleaseBuffer(id);
           if (!buffer->allocated_on[i]) continue;
           net::ReleaseBufferRequest request;
           request.buffer_id = id;
@@ -859,6 +1123,13 @@ struct ClusterRuntime::LaunchWork {
   std::vector<BufferArg> buffers;
   std::size_t node = 0;  // Placement decided at submit.
   std::shared_ptr<LaunchPlan> plan;
+  // Staged out-of-core execution: non-null when this command is one stage
+  // of an oversubscribed shard. The prefetch command reserved and pinned
+  // the stage's working set and recorded its slice's DMA arrival here; the
+  // compute gates its virtual start on that arrival (pipelined mode) and
+  // drains/evicts its slices in the epilogue.
+  std::shared_ptr<StageLink> stage_link;
+  bool stage_pipelined = true;
   // Scheduler backlog charged for this shard at submit; consumed exactly
   // once. The destructor refund covers every retirement path where the
   // epilogue never ran (shard failure, dependency failure, shutdown) —
@@ -878,6 +1149,63 @@ void ClusterRuntime::RefundBacklogCharge(std::size_t node, double seconds) {
   if (seconds <= 0.0) return;
   std::lock_guard<std::mutex> lock(sched_mutex_);
   node_busy_ahead_[node] = std::max(0.0, node_busy_ahead_[node] - seconds);
+}
+
+// Prefetch -> compute handoff of one out-of-core stage. Owned jointly by
+// the stage's two command closures; the pins release when the last one is
+// dropped (any retirement path), so a stage whose compute never runs does
+// not leave its buffers eviction-exempt forever.
+struct ClusterRuntime::StageLink {
+  std::mutex mutex;
+  sim::SimTime ready_at = 0.0;          // DMA arrival of the stage slices.
+  std::uint64_t prefetched_bytes = 0;
+  WorkingSetPin pins;
+};
+
+// Captures of one stage's prefetch command.
+struct ClusterRuntime::StagePrefetchWork {
+  ClusterRuntime* owner = nullptr;
+  std::size_t node = 0;
+  struct Range {
+    BufferId id = 0;
+    BufferPtr buffer;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  std::vector<Range> ranges;  // Stage slices + replicated args.
+  bool pipelined = true;
+  std::shared_ptr<StageLink> link;
+};
+
+Status ClusterRuntime::ExecStagePrefetch(
+    const std::shared_ptr<StagePrefetchWork>& work) {
+  const std::size_t node = work->node;
+  const std::uint64_t epoch =
+      launch_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::vector<runtime::MemoryPool::BufferRange> ranges;
+  ranges.reserve(work->ranges.size());
+  for (const StagePrefetchWork::Range& range : work->ranges) {
+    work->link->pins.Pin(range.buffer, node, epoch);
+    ranges.push_back({range.id, range.begin, range.end});
+  }
+  // Inputs AND outputs reserve up front: the stage's writes materialize
+  // device memory too, and failing before any transfer beats failing with
+  // half a stage shipped.
+  HAOCL_RETURN_IF_ERROR(ReserveWorkingSet(node, ranges));
+  sim::SimTime ready = 0.0;
+  std::uint64_t shipped = 0;
+  for (const StagePrefetchWork::Range& range : work->ranges) {
+    std::lock_guard<std::mutex> lock(range.buffer->mutex);
+    HAOCL_RETURN_IF_ERROR(EnsureRangeOnNodeLocked(
+        range.id, *range.buffer, node, range.begin, range.end, &shipped,
+        PeerMode::kPull,
+        work->pipelined ? TransferTiming::kPrefetch : TransferTiming::kDemand,
+        &ready));
+  }
+  std::lock_guard<std::mutex> link_lock(work->link->mutex);
+  work->link->ready_at = ready;
+  work->link->prefetched_bytes = shipped;
+  return Status::Ok();
 }
 
 Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
@@ -978,6 +1306,14 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     task.input_bytes += buffer_arg.partitioned
                             ? spec.global[0] * buffer_arg.stride
                             : it->second->size;
+    // Memory-footprint decomposition for the capacity checks: replicated
+    // args cost every shard their full size; partitioned args cost their
+    // stride per dim-0 index.
+    if (buffer_arg.partitioned) {
+      task.bytes_per_index += buffer_arg.stride;
+    } else {
+      task.replicated_bytes += it->second->size;
+    }
     buffer_args.push_back(std::move(buffer_arg));
     oclc::ArgBinding binding;
     binding.kind = oclc::ArgBinding::Kind::kBuffer;
@@ -1056,6 +1392,8 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       node.kernel_rate_samples = rate.samples;
       node.resident_input_bytes = resident_bytes[i];
       node.resident_dim0_begin = resident_begin[i];
+      node.mem_capacity_bytes = node_pools_[i]->capacity();
+      node.mem_free_bytes = node_pools_[i]->free_bytes();
       view.nodes.push_back(std::move(node));
     }
     auto planned = policy_->PlanLaunch(task, view);
@@ -1081,7 +1419,62 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     }
   }
   const std::size_t shard_total = placement.shards.size();
-  const bool region_mode = shard_total > 1;
+
+  // Decompose oversubscribed shards into out-of-core stages: a shard
+  // whose working set exceeds its node's device capacity runs as a
+  // serial chain of sub-range launches with a double-buffered stage
+  // budget, so two stages fit at once and stage k+1's slice prefetch can
+  // overlap stage k's compute (libhclooc's staging pattern, expressed as
+  // command-graph edges below).
+  struct SubLaunch {
+    std::size_t shard = 0;     // Index into placement.shards.
+    std::uint64_t offset = 0;  // Plan-relative dim-0 offset.
+    std::uint64_t count = 0;
+    std::uint32_t stage = 0;         // Stage index within the shard.
+    std::uint32_t stage_total = 1;   // 1 = runs in-core, unstaged.
+  };
+  std::vector<SubLaunch> subs;
+  const std::uint64_t stage_align =
+      std::max<std::uint64_t>(1, task.dim0_align);
+  for (std::size_t s = 0; s < shard_total; ++s) {
+    const sched::PlacementShard& shard = placement.shards[s];
+    const std::uint64_t capacity = node_pools_[shard.node]->capacity();
+    std::uint64_t stage_rows = shard.global_count;
+    if (capacity != 0 && task.splittable && task.bytes_per_index > 0) {
+      const std::uint64_t working_set =
+          task.replicated_bytes + shard.global_count * task.bytes_per_index;
+      if (working_set > capacity) {
+        const std::uint64_t budget =
+            capacity > task.replicated_bytes
+                ? (capacity - task.replicated_bytes) / 2
+                : 0;
+        stage_rows =
+            budget / task.bytes_per_index / stage_align * stage_align;
+        if (stage_rows == 0) {
+          // ValidatePlan admits only stageable shards, but a policy could
+          // hand us a hand-built plan through a custom registry entry.
+          return Status(ErrorCode::kMemObjectAllocationFailure,
+                        "kernel '" + spec.kernel_name +
+                            "': no double-buffered stage fits node " +
+                            std::to_string(shard.node) + "'s capacity");
+        }
+      }
+    }
+    const auto stages = static_cast<std::uint32_t>(
+        (shard.global_count + stage_rows - 1) / stage_rows);
+    for (std::uint32_t k = 0; k < stages; ++k) {
+      SubLaunch sub;
+      sub.shard = s;
+      sub.offset = shard.global_offset + k * stage_rows;
+      sub.count = std::min<std::uint64_t>(
+          stage_rows, shard.global_offset + shard.global_count - sub.offset);
+      sub.stage = k;
+      sub.stage_total = stages;
+      subs.push_back(sub);
+    }
+  }
+  const std::size_t launch_total = subs.size();
+  const bool region_mode = launch_total > 1;
 
   // Shared dependency context for every shard.
   std::vector<CommandId> dep_ids;
@@ -1123,24 +1516,36 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     targets.push_back(std::move(target));
   }
 
-  // Fan out one sub-launch per shard. Shards are mutually independent (the
-  // plan guarantees disjoint slices); each orders after the same hazards.
-  std::vector<CommandId> shard_ids;
+  // Fan out the sub-launch commands. Shards are mutually independent (the
+  // plan guarantees disjoint slices) and order after the same hazards; a
+  // staged shard's stages chain serially on its node, fronted by prefetch
+  // commands wired so stage k+1's transfer overlaps stage k's compute
+  // (with a one-stage lookahead, matching the double-buffered budget).
+  std::vector<CommandId> shard_ids;   // One COMPUTE command per sub-launch.
   std::vector<std::shared_ptr<LaunchPlan>> shard_plans;
-  shard_ids.reserve(shard_total);
-  shard_plans.reserve(shard_total);
+  std::vector<std::uint32_t> group_of;  // Plan-shard index per command.
+  std::vector<CommandId> prefetch_ids;  // Released once dependents exist.
+  shard_ids.reserve(launch_total);
+  shard_plans.reserve(launch_total);
+  group_of.reserve(launch_total);
   const double extent = static_cast<double>(std::max<std::uint64_t>(
       1, spec.global[0]));
-  for (std::size_t s = 0; s < shard_total; ++s) {
-    const sched::PlacementShard& shard = placement.shards[s];
+  CommandId prev_launch = kNullCommand;
+  CommandId prev_prev_launch = kNullCommand;
+  CommandId prev_prefetch = kNullCommand;
+  for (const SubLaunch& sub : subs) {
+    if (sub.stage == 0) {
+      prev_launch = prev_prev_launch = prev_prefetch = kNullCommand;
+    }
+    const sched::PlacementShard& shard = placement.shards[sub.shard];
     auto work = std::make_shared<LaunchWork>();
     work->spec = spec;
-    work->spec.global[0] = shard.global_count;
-    work->spec.global_offset[0] = spec.global_offset[0] + shard.global_offset;
+    work->spec.global[0] = sub.count;
+    work->spec.global_offset[0] = spec.global_offset[0] + sub.offset;
     if (spec.cost_hint.has_value()) {
-      // Scale the analytic hint to the shard's share of the range.
+      // Scale the analytic hint to the sub-launch's share of the range.
       work->spec.cost_hint = spec.cost_hint->Scaled(
-          static_cast<double>(shard.global_count) / extent);
+          static_cast<double>(sub.count) / extent);
     }
     work->program_id = spec.program;
     work->program = program;
@@ -1148,23 +1553,93 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     work->buffers = buffer_args;
     work->node = shard.node;
     work->owner = this;
-    work->backlog_charge = shard_charges[s];
+    work->backlog_charge =
+        shard_charges[sub.shard] *
+        (static_cast<double>(sub.count) /
+         static_cast<double>(shard.global_count));
     work->plan = std::make_shared<LaunchPlan>();
     shard_plans.push_back(work->plan);
-    const std::string label =
-        region_mode ? "launch:" + spec.kernel_name + "[" +
-                          std::to_string(s + 1) + "/" +
-                          std::to_string(shard_total) + "]"
-                    : "launch:" + spec.kernel_name;
+    group_of.push_back(static_cast<std::uint32_t>(sub.shard));
+
+    std::string label = "launch:" + spec.kernel_name;
+    if (shard_total > 1) {
+      label += "[" + std::to_string(sub.shard + 1) + "/" +
+               std::to_string(shard_total) + "]";
+    }
+    std::vector<CommandId> launch_deps;
+    if (sub.stage_total > 1) {
+      label += ":stage" + std::to_string(sub.stage + 1) + "/" +
+               std::to_string(sub.stage_total);
+      // Prefetch command: reserves + pins the stage's working set and
+      // ships its slices ahead of the compute. Pipelined wiring lets
+      // prefetch k+1 run while compute k is still in flight, gated on
+      // compute k-1 so at most two stages are ever resident; the serial
+      // baseline chains each prefetch behind the previous compute.
+      auto link = std::make_shared<StageLink>();
+      auto prefetch = std::make_shared<StagePrefetchWork>();
+      prefetch->owner = this;
+      prefetch->node = shard.node;
+      prefetch->pipelined = options_.stage_pipeline;
+      prefetch->link = link;
+      for (const auto& buffer_arg : buffer_args) {
+        StagePrefetchWork::Range range;
+        range.id = buffer_arg.id;
+        range.buffer = buffer_arg.buffer;
+        range.begin = 0;
+        range.end = buffer_arg.buffer->size;
+        if (buffer_arg.partitioned) {
+          range.begin = work->spec.global_offset[0] * buffer_arg.stride;
+          range.end = range.begin + sub.count * buffer_arg.stride;
+        }
+        prefetch->ranges.push_back(std::move(range));
+      }
+      std::vector<CommandId> prefetch_deps;
+      if (sub.stage == 0) {
+        prefetch_deps = dep_ids;
+      } else if (options_.stage_pipeline) {
+        prefetch_deps.push_back(prev_prefetch);
+        if (prev_prev_launch != kNullCommand) {
+          prefetch_deps.push_back(prev_prev_launch);
+        }
+      } else {
+        prefetch_deps.push_back(prev_launch);
+      }
+      const CommandId prefetch_cmd = graph_->Submit(
+          [this, prefetch](CommandGraph::Execution&) {
+            return ExecStagePrefetch(prefetch);
+          },
+          std::move(prefetch_deps), label + ":prefetch", hazards);
+      // Later writers of the fetched ranges must not overtake the
+      // prefetch. Its record reference is dropped only after EVERY
+      // dependent is submitted (end of this function): a fast-failing
+      // prefetch reclaimed before its compute's Submit would resolve the
+      // dependency edge as "already retired OK" and swallow the failure.
+      for (const StagePrefetchWork::Range& range : prefetch->ranges) {
+        RecordReadLocked(*range.buffer, range.begin, range.end,
+                         prefetch_cmd);
+      }
+      prefetch_ids.push_back(prefetch_cmd);
+      work->stage_link = link;
+      work->stage_pipelined = options_.stage_pipeline;
+      launch_deps.push_back(prefetch_cmd);
+      if (prev_launch != kNullCommand) launch_deps.push_back(prev_launch);
+      prev_prev_launch = prev_launch;
+      prev_prefetch = prefetch_cmd;
+    } else {
+      launch_deps = dep_ids;
+    }
     // The body's closure is the sole owner of `work` (and thus of every
     // buffer/program pin); the graph drops the body on ANY retirement
     // path — completion, failure, dependency failure, shutdown — so pins
     // never outlive the command.
-    shard_ids.push_back(graph_->Submit(
+    const CommandId launch_cmd = graph_->Submit(
         [this, work = std::move(work)](CommandGraph::Execution& e) {
           return ExecLaunch(work, e);
         },
-        dep_ids, label, hazards));
+        std::move(launch_deps), label,
+        sub.stage_total > 1 ? std::vector<CommandId>{} : hazards);
+    prev_launch = launch_cmd;
+    shard_ids.push_back(launch_cmd);
   }
 
   CommandId cmd = shard_ids[0];
@@ -1175,29 +1650,29 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     // a caller waiting on the fan-out sees the root cause, not a generic
     // kDependencyFailed.
     auto join_plan = std::make_shared<LaunchPlan>();
-    const std::uint32_t shard_count = static_cast<std::uint32_t>(shard_total);
-    std::vector<std::uint64_t> counts;
-    counts.reserve(shard_total);
+    const auto shard_count = static_cast<std::uint32_t>(shard_total);
+    const auto stage_count = static_cast<std::uint32_t>(launch_total);
+    // The aggregate reports the node that ran the largest plan shard.
+    std::size_t agg_node = placement.shards[0].node;
+    std::uint64_t largest = 0;
     for (const auto& shard : placement.shards) {
-      counts.push_back(shard.global_count);
-    }
-    std::vector<std::size_t> shard_nodes;
-    shard_nodes.reserve(shard_total);
-    for (const auto& shard : placement.shards) {
-      shard_nodes.push_back(shard.node);
+      if (shard.global_count > largest) {
+        largest = shard.global_count;
+        agg_node = shard.node;
+      }
     }
     cmd = graph_->Submit(
         [this, shards = shard_ids, plans = shard_plans,
-         counts = std::move(counts), nodes = std::move(shard_nodes),
-         shard_count, join_plan](CommandGraph::Execution& e) {
-          // All shards are terminal (weak edges resolved); fail with the
-          // most specific shard error, if any. Success is read from the
+         groups = group_of, shard_count, stage_count, agg_node,
+         join_plan](CommandGraph::Execution& e) {
+          // All sub-launches are terminal (weak edges resolved); fail with
+          // the most specific error, if any. Success is read from the
           // shared plan (the body's last write before returning OK), NOT
           // from the graph record — an early ReleaseCommand on the launch
           // handle may have reclaimed shard records already.
           Status failure = Status::Ok();
           for (std::size_t i = 0; i < plans.size(); ++i) {
-            if (plans[i]->has_result) continue;  // Shard completed.
+            if (plans[i]->has_result) continue;  // Sub-launch completed.
             // Reclaimed records (unknown to QueryState) lost their
             // status; live records report their genuine failure, whatever
             // its code.
@@ -1218,22 +1693,24 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
           if (!failure.ok()) return failure;
           LaunchResult agg;
           agg.shard_count = shard_count;
+          agg.stage_count = stage_count;
+          agg.node = agg_node;
           double span_start = std::numeric_limits<double>::infinity();
-          std::uint64_t largest = 0;
+          // A shard's stages serialize on its device, so modeled seconds
+          // sum within a shard and the slowest shard bounds the launch.
+          std::vector<double> shard_seconds(shard_count, 0.0);
           for (std::size_t i = 0; i < plans.size(); ++i) {
             const LaunchResult& r = plans[i]->result;
-            agg.modeled_seconds = std::max(agg.modeled_seconds,
-                                           r.modeled_seconds);
+            shard_seconds[groups[i]] += r.modeled_seconds;
             agg.modeled_joules += r.modeled_joules;
             agg.bytes_shipped += r.bytes_shipped;
             agg.virtual_completion = std::max(agg.virtual_completion,
                                               r.virtual_completion);
             span_start = std::min(span_start,
                                   r.virtual_completion - r.modeled_seconds);
-            if (counts[i] > largest) {
-              largest = counts[i];
-              agg.node = nodes[i];
-            }
+          }
+          for (double seconds : shard_seconds) {
+            agg.modeled_seconds = std::max(agg.modeled_seconds, seconds);
           }
           e.SetSpan(span_start, agg.virtual_completion);
           join_plan->result = agg;
@@ -1262,20 +1739,18 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       RecordReadLocked(*target.buffer, target.begin, target.end, cmd);
     }
     if (region_mode) {
-      // Each shard registers over its own slice of partitioned args (its
-      // full range for replicated ones) — as a WRITER where it writes —
-      // so a later conflicting command cannot overtake a still-running
-      // shard even after a failed sibling made the join terminal early
-      // (reads collect only writers, and terminal commands impose no
-      // order).
+      // Each sub-launch registers over its own slice of partitioned args
+      // (its full range for replicated ones) — as a WRITER where it
+      // writes — so a later conflicting command cannot overtake a
+      // still-running shard or stage even after a failed sibling made the
+      // join terminal early (reads collect only writers, and terminal
+      // commands impose no order).
       for (std::size_t s = 0; s < shard_ids.size(); ++s) {
         std::uint64_t begin = target.begin;
         std::uint64_t end = target.end;
         if (target.partitioned) {
-          begin = (spec.global_offset[0] +
-                   placement.shards[s].global_offset) *
-                  target.stride;
-          end = begin + placement.shards[s].global_count * target.stride;
+          begin = (spec.global_offset[0] + subs[s].offset) * target.stride;
+          end = begin + subs[s].count * target.stride;
         }
         if (target.written) {
           RecordWriteLocked(*target.buffer, begin, end, shard_ids[s]);
@@ -1299,6 +1774,10 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
     uses.insert(uses.end(), shard_ids.begin(), shard_ids.end());
   }
   uses.push_back(cmd);
+  // Every dependent of the prefetches is submitted (edges registered on
+  // live records, so failures still propagate); nobody queries prefetch
+  // records, so drop their references now.
+  for (CommandId prefetch : prefetch_ids) graph_->Release(prefetch);
   return CommandHandle{cmd};
 }
 
@@ -1310,6 +1789,31 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   // indices [global_offset[0], global_offset[0] + global[0]).
   const std::uint64_t slice_first = spec.global_offset[0];
   const std::uint64_t slice_count = spec.global[0];
+
+  // ---- Working-set reservation (tiered memory) ---------------------------
+  // Pin + LRU-stamp the working set so the eviction policy cannot reclaim
+  // it mid-launch, then reserve its ranges in the node's ledger — evicting
+  // colder buffers when the pool is full. A staged launch's prefetch
+  // command already reserved and pinned (its StageLink holds the pins);
+  // the compute side re-pins cheaply and skips the reservation.
+  WorkingSetPin pins;
+  const std::uint64_t epoch =
+      launch_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::vector<runtime::MemoryPool::BufferRange> working_set;
+  working_set.reserve(work->buffers.size());
+  for (const auto& buffer_arg : work->buffers) {
+    std::uint64_t begin = 0;
+    std::uint64_t end = buffer_arg.buffer->size;
+    if (buffer_arg.partitioned) {
+      begin = slice_first * buffer_arg.stride;
+      end = begin + slice_count * buffer_arg.stride;
+    }
+    working_set.push_back({buffer_arg.id, begin, end});
+    pins.Pin(buffer_arg.buffer, node, epoch);
+  }
+  if (work->stage_link == nullptr) {
+    HAOCL_RETURN_IF_ERROR(ReserveWorkingSet(node, working_set));
+  }
 
   // ---- Stage program + data (per-command prologue, per-object locks) -----
   HAOCL_RETURN_IF_ERROR(
@@ -1364,6 +1868,12 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
             &result.bytes_shipped));
         wire.kind = net::WireKernelArg::Kind::kBuffer;
         wire.buffer_id = buffer_arg.id;
+        if (buffer_arg.written) {
+          // The node's session pool charges the written range at launch —
+          // the same range this epilogue charges in the host ledger.
+          wire.written_begin = begin;
+          wire.written_end = end;
+        }
         break;
       }
       case KernelArgValue::Kind::kScalar:
@@ -1420,10 +1930,36 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
     result.modeled_seconds *= compute_amp;
     result.modeled_joules *= compute_amp;
   }
+  // A pipelined stage's compute gates on its slice's DMA arrival instead
+  // of the transfer chaining ahead of the accelerator — this is where the
+  // staged pipeline's overlap materializes in virtual time.
+  sim::SimTime stage_ready = 0.0;
+  if (work->stage_link != nullptr) {
+    std::lock_guard<std::mutex> link_lock(work->stage_link->mutex);
+    stage_ready = work->stage_link->ready_at;
+    result.bytes_shipped += work->stage_link->prefetched_bytes;
+  }
   result.virtual_completion =
-      timeline_->RecordKernel(node, result.modeled_seconds);
+      work->stage_link != nullptr && work->stage_pipelined
+          ? timeline_->RecordKernelAfter(node, result.modeled_seconds,
+                                         stage_ready)
+          : timeline_->RecordKernel(node, result.modeled_seconds);
   e.SetSpan(result.virtual_completion - result.modeled_seconds,
             result.virtual_completion);
+  // Staged launches drain and evict their stage slices immediately: the
+  // written slice's only fresh copy is this node, so eviction spills it
+  // to the host shadow (the out-of-core writeback, spill-bucketed), and
+  // input slices just drop ownership — at most two stages stay resident.
+  if (work->stage_link != nullptr) {
+    for (const auto& buffer_arg : work->buffers) {
+      if (!buffer_arg.partitioned) continue;
+      std::lock_guard<std::mutex> lock(buffer_arg.buffer->mutex);
+      const std::uint64_t begin = slice_first * buffer_arg.stride;
+      const std::uint64_t end = begin + slice_count * buffer_arg.stride;
+      HAOCL_RETURN_IF_ERROR(EvictRangeFromNodeLocked(
+          buffer_arg.id, *buffer_arg.buffer, node, begin, end));
+    }
+  }
   // Per-shard observed rate: this shard's modeled seconds over the flops
   // the COST MODEL charges it — the (unamplified) shard-scaled hint when
   // present, the node's static estimate otherwise. Dividing amplified
@@ -1520,6 +2056,22 @@ Expected<CommandHandle> ClusterRuntime::SubmitMigrate(
 Status ClusterRuntime::ExecMigrate(BufferId id, const BufferPtr& buffer,
                                    const std::vector<MigrateRegion>& regions,
                                    int target_node, bool discard_contents) {
+  // Node-bound migrations reserve their regions in the target's ledger
+  // first (evicting colder buffers as needed), exactly like a launch
+  // prologue — a prefetch must not overflow the tier it prefetches into.
+  WorkingSetPin pins;
+  if (target_node != kMigrateToHost) {
+    const auto node = static_cast<std::size_t>(target_node);
+    const std::uint64_t epoch =
+        launch_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    pins.Pin(buffer, node, epoch);
+    std::vector<runtime::MemoryPool::BufferRange> ranges;
+    ranges.reserve(regions.size());
+    for (const MigrateRegion& region : regions) {
+      ranges.push_back({id, region.offset, region.offset + region.size});
+    }
+    HAOCL_RETURN_IF_ERROR(ReserveWorkingSet(node, ranges));
+  }
   std::lock_guard<std::mutex> lock(buffer->mutex);
   for (const MigrateRegion& region : regions) {
     const std::uint64_t begin = region.offset;
@@ -1543,6 +2095,9 @@ Status ClusterRuntime::ExecMigrate(BufferId id, const BufferPtr& buffer,
         }
         buffer->dir.MarkWritten(begin, end,
                                 static_cast<RegionDirectory::Owner>(node));
+        // No payload made this residency change visible to the node:
+        // send an explicit reservation notice so its ledger follows.
+        NotifyMemory(node, id, /*reserve=*/true, {{begin, end}});
       }
       continue;
     }
@@ -1596,6 +2151,19 @@ Expected<BufferDirectorySnapshot> ClusterRuntime::DirectorySnapshotOf(
 TransferStats ClusterRuntime::transfer_stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+Expected<NodeMemoryStats> ClusterRuntime::NodeMemoryStatsOf(
+    std::size_t node) const {
+  if (node >= node_pools_.size()) {
+    return Status(ErrorCode::kInvalidValue,
+                  "node " + std::to_string(node) + " out of range");
+  }
+  NodeMemoryStats stats;
+  stats.capacity_bytes = node_pools_[node]->capacity();
+  stats.resident_bytes = node_pools_[node]->resident_bytes();
+  stats.free_bytes = node_pools_[node]->free_bytes();
+  return stats;
 }
 
 // ---------------------------------------------------- Waits and queries
@@ -1780,6 +2348,8 @@ Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
     node.type = devices_[i].type;
     node.spec = sim::SpecForType(devices_[i].type);
     node.link = options_.link;
+    node.mem_capacity_bytes = node_pools_[i]->capacity();
+    node.mem_free_bytes = node_pools_[i]->free_bytes();
     const auto* reply = futures[i]->WaitFor(options_.rpc_timeout);
     Status status =
         reply == nullptr

@@ -40,6 +40,7 @@
 // the single-node run.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -58,6 +59,7 @@
 #include "net/protocol.h"
 #include "net/rpc.h"
 #include "oclc/program.h"
+#include "runtime/memory_pool.h"
 #include "sched/rate_table.h"
 #include "sched/scheduler.h"
 
@@ -73,6 +75,9 @@ struct DeviceInfo {
   std::string model;
   double compute_gflops = 0.0;
   double mem_bandwidth_gbps = 0.0;
+  // Device memory capacity from the handshake (0 = unbounded): the budget
+  // the node's memory tier is managed against.
+  std::uint64_t mem_capacity_bytes = 0;
 };
 
 // One kernel argument as the application binds it (clSetKernelArg).
@@ -134,11 +139,16 @@ struct LaunchResult {
                                    // multi-shard launch, the node that ran
                                    // the largest shard.
   double modeled_seconds = 0.0;    // Device-model kernel time (aggregate:
-                                   // slowest shard — they run in parallel).
+                                   // slowest shard — shards run in
+                                   // parallel; a shard's serial stages sum).
   double modeled_joules = 0.0;     // Aggregate: summed over shards.
   std::uint64_t bytes_shipped = 0; // Input data moved for this launch.
   sim::SimTime virtual_completion = 0.0;  // Aggregate: last shard done.
   std::uint32_t shard_count = 1;   // Placement-plan shards (1 = classic).
+  // Total sub-launch commands executed: == shard_count when every shard
+  // ran in-core, larger when oversubscribed shards were decomposed into
+  // pipelined out-of-core stages.
+  std::uint32_t stage_count = 1;
 };
 
 struct RuntimeOptions {
@@ -148,6 +158,12 @@ struct RuntimeOptions {
   // relay through the host when a node link is missing or fails. False
   // forces the classic gather-through-host star (the bench baseline).
   bool peer_transfers = true;
+  // Out-of-core staging: when true (default), an oversubscribed shard's
+  // stage k+1 slice transfer is expressed as a DMA prefetch overlapping
+  // stage k's compute (libhclooc's pipeline, as command-graph edges).
+  // False serializes each stage's transfer behind the previous stage's
+  // compute — the naive-staging baseline BENCH_ooc.json compares against.
+  bool stage_pipeline = true;
   sim::LinkSpec link = sim::GigabitEthernet();
   std::uint64_t session_id = 1;
   std::string host_name = "haocl-host";
@@ -179,9 +195,25 @@ struct TransferStats {
   std::uint64_t relay_bytes = 0;     // Peer miss relayed through the host.
   std::uint64_t p2p_transfers = 0;
   std::uint64_t relay_transfers = 0;
+  // Tiered-memory traffic, counted apart from the coherence buckets above
+  // so capacity pressure does not pollute the host-payload metric the P2P
+  // benches assert on: spill_bytes is node -> host-shadow writeback of a
+  // sole fresh copy (eviction of a last owner, staged-launch output
+  // drain); evicted_bytes counts every byte released from a node's pool,
+  // with or without wire traffic.
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_transfers = 0;
+  std::uint64_t evicted_bytes = 0;
   [[nodiscard]] std::uint64_t host_payload_bytes() const {
     return host_bytes_out + host_bytes_in;
   }
+};
+
+// Point-in-time view of one node's memory tier (host-side ledger).
+struct NodeMemoryStats {
+  std::uint64_t capacity_bytes = 0;  // 0 = unbounded.
+  std::uint64_t resident_bytes = 0;  // Accounted materialized regions.
+  std::uint64_t free_bytes = 0;      // capacity - resident (~0 unbounded).
 };
 
 // Point-in-time view of one buffer's region directory (tests/bench).
@@ -394,6 +426,13 @@ class ClusterRuntime {
   // Total bytes sent over all channels (functional, not modeled).
   [[nodiscard]] std::uint64_t TotalBytesSent() const;
 
+  // ---- Tiered memory introspection ---------------------------------------
+  // The host-side ledger of one node's memory tier. The node keeps its own
+  // pool fed by the transfers it observes plus explicit notices; the two
+  // agree whenever the runtime is drained (LoadReply.bytes_resident).
+  [[nodiscard]] Expected<NodeMemoryStats> NodeMemoryStatsOf(
+      std::size_t node) const;
+
   // ---- Region directory introspection ------------------------------------
   // Snapshot of one buffer's directory + per-buffer transfer counters.
   // Drain in-flight users of the buffer first (Wait/Finish) for a stable
@@ -421,6 +460,14 @@ class ClusterRuntime {
     RegionDirectory dir;
     std::vector<bool> allocated_on;  // Remote allocation exists.
     TransferStats stats;             // Coherence movement, this buffer.
+    // Tiered-memory metadata, per node. Atomics: the launch path stamps
+    // and pins without taking the buffer mutex, and the eviction policy
+    // reads them advisorily while holding only the victim's mutex.
+    // pinned_on > 0 excludes the buffer from eviction on that node (a
+    // launch/stage is between reserving and consuming its ranges);
+    // last_use_epoch orders eviction victims (LRU by launch epoch).
+    std::unique_ptr<std::atomic<std::uint32_t>[]> pinned_on;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> last_use_epoch;
     // Region-granular hazard tracking for implicit ordering: live commands
     // with the byte ranges they write/read. Guarded by state_mutex_ and
     // only touched on the submit path; retired entries pruned lazily.
@@ -474,8 +521,12 @@ class ClusterRuntime {
                   std::uint64_t size);
   struct LaunchPlan;  // Queryable residue (LaunchResult) per launch.
   struct LaunchWork;  // Heavy captures owned by the command body.
+  struct StageLink;   // Prefetch -> compute handoff of one OOC stage.
+  struct StagePrefetchWork;  // Captures of a stage's prefetch command.
+  class WorkingSetPin;       // RAII eviction exclusion for a working set.
   Status ExecLaunch(const std::shared_ptr<LaunchWork>& work,
                     CommandGraph::Execution& e);
+  Status ExecStagePrefetch(const std::shared_ptr<StagePrefetchWork>& work);
   // Subtracts a shard's submit-time backlog charge from the node's
   // estimate (clamped at zero). Called from the launch epilogue on
   // success and from ~LaunchWork for every other retirement path.
@@ -483,6 +534,35 @@ class ClusterRuntime {
   Status ExecMigrate(BufferId id, const BufferPtr& buffer,
                      const std::vector<MigrateRegion>& regions,
                      int target_node, bool discard_contents);
+
+  // ---- Tiered memory (per-node pools, spill/evict, staging) ---------------
+  // Reserves `ranges` in `node`'s pool, evicting cold buffers (LRU by
+  // launch epoch, pinned working sets excluded) until they fit. Fails
+  // with kMemObjectAllocationFailure when the ranges can never fit or
+  // eviction stops making progress. Call WITHOUT any buffer mutex held.
+  Status ReserveWorkingSet(std::size_t node,
+                           const std::vector<runtime::MemoryPool::BufferRange>&
+                               ranges);
+  // Evicts least-recently-launched buffers from `node` until ~`needed`
+  // bytes are freed; returns the bytes actually freed.
+  std::uint64_t EvictFromNode(std::size_t node, std::uint64_t needed);
+  // Demotes `node`'s copy of [begin, end) of the buffer: sub-ranges where
+  // it holds the last fresh copy are spilled to the host shadow first
+  // (spill_bytes bucket), ownership is dropped, the pool releases the
+  // materialized bytes, and the node is notified so its ledger follows.
+  // Requires buffer.mutex held.
+  Status EvictRangeFromNodeLocked(BufferId id, LogicalBuffer& buffer,
+                                  std::size_t node, std::uint64_t begin,
+                                  std::uint64_t end);
+  // Gathers the sub-ranges of [begin, end) whose ONLY fresh copy is on
+  // `node` into the host shadow, accounted as spill traffic. Requires
+  // buffer.mutex held.
+  Status SpillSoleRangesToHostLocked(BufferId id, LogicalBuffer& buffer,
+                                     std::size_t node, std::uint64_t begin,
+                                     std::uint64_t end);
+  // Best-effort reservation/eviction notice to the node's session pool.
+  void NotifyMemory(std::size_t node, BufferId id, bool reserve,
+                    const std::vector<runtime::MemoryPool::Span>& spans);
 
   // ---- Region-directory transfer engine (require buffer.mutex held) ------
   // The host's owner index in a buffer's directory.
@@ -510,6 +590,11 @@ class ClusterRuntime {
                                std::uint64_t begin, std::uint64_t end);
   // How peer-owned ranges reach the destination of a transfer.
   enum class PeerMode { kPull, kPush };
+  // How a transfer charges virtual time: kDemand chains on the node's
+  // command order (the classic prologue transfer); kPrefetch rides the
+  // DMA chain so it overlaps the node's compute — the staged pipeline's
+  // stage-(k+1)-transfer-during-stage-k-compute edge.
+  enum class TransferTiming { kDemand, kPrefetch };
   // Makes `node` a fresh owner of [begin, end): allocates the full buffer
   // remotely on first touch, then sources each missing range — host shadow
   // ranges ship host->node; peer-owned ranges move node-to-node (pull by
@@ -520,7 +605,9 @@ class ClusterRuntime {
                                  std::size_t node, std::uint64_t begin,
                                  std::uint64_t end,
                                  std::uint64_t* bytes_shipped,
-                                 PeerMode mode = PeerMode::kPull);
+                                 PeerMode mode = PeerMode::kPull,
+                                 TransferTiming timing = TransferTiming::kDemand,
+                                 sim::SimTime* ready_at = nullptr);
   // One node-to-node transfer attempt (no fallback).
   Status PeerTransferLocked(BufferId id, std::size_t src, std::size_t dst,
                             std::uint64_t begin, std::uint64_t end,
@@ -571,6 +658,13 @@ class ClusterRuntime {
   std::unordered_map<CommandId, std::vector<CommandId>> fan_outs_;
   BufferId next_buffer_id_ = 1;
   ProgramId next_program_id_ = 1;
+  // Per-node device-memory ledgers (internally synchronized; the
+  // authoritative budget the eviction policy and the scheduler's
+  // mem_free_bytes read). Sized at Connect, capacity from the handshake.
+  std::vector<std::unique_ptr<runtime::MemoryPool>> node_pools_;
+  // Monotonic launch counter stamping per-(buffer, node) last use — the
+  // clock the LRU eviction policy orders victims by.
+  std::atomic<std::uint64_t> launch_epoch_{0};
   // Scheduler backlog estimate: modeled seconds of in-flight launch work
   // per node. Charged under sched_mutex_ at submit, refunded at
   // retirement — never a cumulative history.

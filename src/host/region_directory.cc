@@ -84,6 +84,28 @@ void RegionDirectory::AddOwner(std::uint64_t begin, std::uint64_t end,
   Coalesce();
 }
 
+std::size_t RegionDirectory::RemoveOwner(std::uint64_t begin,
+                                         std::uint64_t end, Owner owner) {
+  assert(owner < owner_count_);
+  assert(begin < end && end <= size_);
+  SplitAt(begin);
+  SplitAt(end);
+  std::size_t sole = 0;
+  for (std::size_t i = RegionAt(begin);
+       i < regions_.size() && regions_[i].begin < end; ++i) {
+    auto& owners = regions_[i].owners;
+    auto it = std::lower_bound(owners.begin(), owners.end(), owner);
+    if (it == owners.end() || *it != owner) continue;
+    if (owners.size() == 1) {
+      ++sole;  // Never empty an owner set.
+      continue;
+    }
+    owners.erase(it);
+  }
+  Coalesce();
+  return sole;
+}
+
 bool RegionDirectory::Covers(Owner owner, std::uint64_t begin,
                              std::uint64_t end) const {
   if (begin >= end) return true;

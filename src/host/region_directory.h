@@ -60,6 +60,13 @@ class RegionDirectory {
   // a current owner and joins each region's owner set (epochs unchanged).
   void AddOwner(std::uint64_t begin, std::uint64_t end, Owner owner);
 
+  // Eviction demoted `owner`'s copy of [begin, end): drops it from each
+  // region's owner set where it is NOT the sole owner. Regions where it is
+  // the last fresh copy are left untouched (the tiling stays gap-free —
+  // spill such ranges to another owner first), and their count is
+  // returned so callers can detect a demotion that was refused.
+  std::size_t RemoveOwner(std::uint64_t begin, std::uint64_t end, Owner owner);
+
   // True when `owner` holds fresh bytes for EVERY byte of [begin, end).
   [[nodiscard]] bool Covers(Owner owner, std::uint64_t begin,
                             std::uint64_t end) const;

@@ -6,14 +6,17 @@ namespace haocl::host {
 namespace {
 
 Expected<std::vector<std::unique_ptr<nmp::NodeServer>>> SpawnServers(
-    const ClusterConfig& config, const std::vector<double>& speed_factors) {
+    const ClusterConfig& config, const std::vector<double>& speed_factors,
+    const std::vector<std::uint64_t>& mem_capacities) {
   std::vector<std::unique_ptr<nmp::NodeServer>> servers;
   for (std::size_t i = 0; i < config.nodes().size(); ++i) {
     const NodeEntry& entry = config.nodes()[i];
     const double factor =
         i < speed_factors.size() && speed_factors[i] > 0.0 ? speed_factors[i]
                                                            : 1.0;
-    if (factor == 1.0) {
+    const std::uint64_t capacity =
+        i < mem_capacities.size() ? mem_capacities[i] : 0;
+    if (factor == 1.0 && capacity == 0) {
       auto server = nmp::NodeServer::Create(entry.name, entry.type);
       if (!server.ok()) return server.status();
       servers.push_back(*std::move(server));
@@ -21,10 +24,13 @@ Expected<std::vector<std::unique_ptr<nmp::NodeServer>>> SpawnServers(
     }
     // Mis-calibrated silicon: the node's driver times kernels with the
     // scaled spec, while the host's static model keeps the stock preset —
-    // only the observed-rate feedback can see the difference.
+    // only the observed-rate feedback can see the difference. Capacity
+    // overrides, by contrast, ARE reported honestly in the handshake: the
+    // tiered-memory ledger budgets against what the device really holds.
     sim::DeviceSpec spec = sim::SpecForType(entry.type);
     spec.compute_gflops *= factor;
     spec.mem_bandwidth_gbps *= factor;
+    if (capacity != 0) spec.mem_capacity_bytes = capacity;
     servers.push_back(std::make_unique<nmp::NodeServer>(
         entry.name, entry.type,
         driver::MakeSimulatedDriver(
@@ -52,18 +58,21 @@ ClusterConfig ShapeToConfig(const SimCluster::Shape& shape) {
 
 Expected<std::unique_ptr<SimCluster>> SimCluster::Create(
     Shape shape, ClusterRuntime::Options options, PeerTopology peers,
-    std::vector<double> speed_factors) {
+    std::vector<double> speed_factors,
+    std::vector<std::uint64_t> mem_capacities) {
   return CreateFromConfig(ShapeToConfig(shape), std::move(options), peers,
-                          std::move(speed_factors));
+                          std::move(speed_factors),
+                          std::move(mem_capacities));
 }
 
 Expected<std::unique_ptr<SimCluster>> SimCluster::CreateFromConfig(
     const ClusterConfig& config, ClusterRuntime::Options options,
-    PeerTopology peers, std::vector<double> speed_factors) {
+    PeerTopology peers, std::vector<double> speed_factors,
+    std::vector<std::uint64_t> mem_capacities) {
   if (config.nodes().empty()) {
     return Status(ErrorCode::kInvalidValue, "cluster has no nodes");
   }
-  auto servers = SpawnServers(config, speed_factors);
+  auto servers = SpawnServers(config, speed_factors, mem_capacities);
   if (!servers.ok()) return servers.status();
 
   std::unique_ptr<SimCluster> cluster(new SimCluster());

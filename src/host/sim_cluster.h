@@ -38,16 +38,23 @@ class SimCluster {
   // SpecForType spec — the mis-calibrated-device scenario the adaptive
   // scheduler's observed-rate feedback is tested against. Entries beyond
   // the list (or a 1.0) leave the node stock.
+  // `mem_capacities`, when non-empty, overrides node i's device-memory
+  // capacity in bytes (0 or beyond the list = the stock preset) — how
+  // tests and benches build capacity-starved nodes for the tiered-memory
+  // spill/eviction and out-of-core staging scenarios without allocating
+  // real gigabytes.
   static Expected<std::unique_ptr<SimCluster>> Create(
       Shape shape, RuntimeOptions options = {},
       PeerTopology peers = PeerTopology::kFullMesh,
-      std::vector<double> speed_factors = {});
+      std::vector<double> speed_factors = {},
+      std::vector<std::uint64_t> mem_capacities = {});
 
   // As above but node types/names from a configuration file.
   static Expected<std::unique_ptr<SimCluster>> CreateFromConfig(
       const ClusterConfig& config, RuntimeOptions options = {},
       PeerTopology peers = PeerTopology::kFullMesh,
-      std::vector<double> speed_factors = {});
+      std::vector<double> speed_factors = {},
+      std::vector<std::uint64_t> mem_capacities = {});
 
   ~SimCluster();
 

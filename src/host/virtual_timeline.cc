@@ -96,6 +96,43 @@ sim::SimTime VirtualTimeline::RecordKernel(std::size_t node,
   return done;
 }
 
+sim::SimTime VirtualTimeline::RecordPrefetchToNode(std::size_t node,
+                                                   std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // DMA: contends for the NICs (inside topo_'s serial resources) and the
+  // per-node DMA chain, but NOT for the accelerator — the whole point is
+  // that stage k+1's slice lands while stage k computes.
+  const sim::SimTime start = std::max(host_ready_, dma_ready_[node]);
+  const sim::SimTime arrival = topo_.HostToNode(node, AmpBytes(bytes), start);
+  phases_.Add(kPhaseDataTransfer, arrival - start);
+  dma_ready_[node] = arrival;
+  return arrival;
+}
+
+sim::SimTime VirtualTimeline::RecordSpillFromNode(std::size_t node,
+                                                  std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const sim::SimTime start = dma_ready_[node];
+  const sim::SimTime arrival = topo_.NodeToHost(node, AmpBytes(bytes), start);
+  phases_.Add(kPhaseDataTransfer, arrival - start);
+  dma_ready_[node] = arrival;
+  // The host shadow copy is usable once it lands, but the host's own
+  // command chain is not blocked by a background spill.
+  return arrival;
+}
+
+sim::SimTime VirtualTimeline::RecordKernelAfter(std::size_t node,
+                                                double modeled_seconds,
+                                                sim::SimTime not_before) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const sim::SimTime start = std::max(node_ready_[node], not_before);
+  const sim::SimTime done =
+      topo_.node(node).compute.Acquire(start, modeled_seconds);
+  phases_.Add(kPhaseCompute, modeled_seconds);
+  node_ready_[node] = done;
+  return done;
+}
+
 void VirtualTimeline::RecordControlMessage(std::size_t node) {
   std::lock_guard<std::mutex> lock(mutex_);
   // A control frame is ~100 bytes; latency-dominated.
@@ -109,6 +146,7 @@ sim::SimTime VirtualTimeline::Makespan() const {
   std::lock_guard<std::mutex> lock(mutex_);
   sim::SimTime makespan = host_ready_;
   for (sim::SimTime t : node_ready_) makespan = std::max(makespan, t);
+  for (sim::SimTime t : dma_ready_) makespan = std::max(makespan, t);
   return makespan;
 }
 
@@ -117,6 +155,7 @@ void VirtualTimeline::Reset() {
   topo_.ResetTime();
   phases_.Clear();
   std::fill(node_ready_.begin(), node_ready_.end(), 0.0);
+  std::fill(dma_ready_.begin(), dma_ready_.end(), 0.0);
   host_ready_ = 0.0;
 }
 

@@ -28,6 +28,7 @@ class VirtualTimeline {
   explicit VirtualTimeline(sim::ClusterTopology topology)
       : topo_(std::move(topology)),
         node_ready_(topo_.size(), 0.0),
+        dma_ready_(topo_.size(), 0.0),
         host_ready_(0.0) {}
 
   // Paper-scale projection: the functional run uses laptop-scale inputs,
@@ -77,6 +78,21 @@ class VirtualTimeline {
   // Kernel execution of `modeled_seconds` on `node`.
   sim::SimTime RecordKernel(std::size_t node, double modeled_seconds);
 
+  // ---- Staged out-of-core pipelining -------------------------------------
+  // A prefetch rides the NICs as DMA, overlapping the node's compute: it
+  // chains on the node's DMA engine, NOT on node_ready_. Returns the
+  // arrival time; the consuming stage passes it to RecordKernelAfter so
+  // compute starts only once its slice has landed — libhclooc's
+  // transfer/compute overlap, expressed in virtual time.
+  sim::SimTime RecordPrefetchToNode(std::size_t node, std::uint64_t bytes);
+  // Stage writeback / eviction spill node -> host shadow: DMA out,
+  // overlapping the next stage's compute (same DMA chain).
+  sim::SimTime RecordSpillFromNode(std::size_t node, std::uint64_t bytes);
+  // Kernel execution that must not start before `not_before` (its
+  // prefetched slice's arrival) in addition to the node's compute chain.
+  sim::SimTime RecordKernelAfter(std::size_t node, double modeled_seconds,
+                                 sim::SimTime not_before);
+
   // Small control message (API-call forwarding overhead).
   void RecordControlMessage(std::size_t node);
 
@@ -111,6 +127,7 @@ class VirtualTimeline {
   sim::ClusterTopology topo_;
   PhaseAccumulator phases_;
   std::vector<sim::SimTime> node_ready_;  // In-order chain per node.
+  std::vector<sim::SimTime> dma_ready_;   // Prefetch/spill DMA chain.
   sim::SimTime host_ready_;
   double transfer_amp_ = 1.0;
   double compute_amp_ = 1.0;

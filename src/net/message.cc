@@ -78,6 +78,7 @@ const char* MsgTypeName(MsgType type) noexcept {
     case MsgType::kCopyBuffer: return "CopyBuffer";
     case MsgType::kPullSlice: return "PullSlice";
     case MsgType::kPushSlice: return "PushSlice";
+    case MsgType::kMemoryNotice: return "MemoryNotice";
     case MsgType::kBuildProgram: return "BuildProgram";
     case MsgType::kReleaseProgram: return "ReleaseProgram";
     case MsgType::kLaunchKernel: return "LaunchKernel";

@@ -29,6 +29,11 @@ enum class MsgType : std::uint16_t {
   // node to pull a byte range from a peer / push one to a peer.
   kPullSlice = 15,
   kPushSlice = 16,
+  // Tiered-memory reservation/eviction notice: keeps the node's memory
+  // pool in lock-step with the host's per-node ledger for residency
+  // changes no data transfer makes visible (evictions, discard
+  // migrations).
+  kMemoryNotice = 17,
   // Program / kernel management.
   kBuildProgram = 20,
   kReleaseProgram = 21,

@@ -38,6 +38,7 @@ std::vector<std::uint8_t> HelloReply::Encode() const {
   w.WriteString(device_model);
   w.WriteF64(compute_gflops);
   w.WriteF64(mem_bandwidth_gbps);
+  w.WriteU64(mem_capacity_bytes);
   w.WriteU32(protocol_version);
   return std::move(w).Take();
 }
@@ -51,9 +52,10 @@ Expected<HelloReply> HelloReply::Decode(
   auto model = r.ReadString();
   auto gflops = r.ReadF64();
   auto bw = r.ReadF64();
+  auto capacity = r.ReadU64();
   auto version = r.ReadU32();
   if (!name.ok() || !type.ok() || !model.ok() || !gflops.ok() || !bw.ok() ||
-      !version.ok() || *type > 2) {
+      !capacity.ok() || !version.ok() || *type > 2) {
     return Malformed("HelloReply");
   }
   out.node_name = *std::move(name);
@@ -61,6 +63,7 @@ Expected<HelloReply> HelloReply::Decode(
   out.device_model = *std::move(model);
   out.compute_gflops = *gflops;
   out.mem_bandwidth_gbps = *bw;
+  out.mem_capacity_bytes = *capacity;
   out.protocol_version = *version;
   return out;
 }
@@ -232,6 +235,41 @@ Expected<PushSliceRequest> PushSliceRequest::Decode(
   return out;
 }
 
+// ------------------------------------------------------------ Memory notices
+
+std::vector<std::uint8_t> MemoryNoticeRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(buffer_id);
+  w.WriteBool(reserve);
+  w.WriteU32(static_cast<std::uint32_t>(regions.size()));
+  for (const MemoryRegion& region : regions) {
+    w.WriteU64(region.offset);
+    w.WriteU64(region.size);
+  }
+  return std::move(w).Take();
+}
+
+Expected<MemoryNoticeRequest> MemoryNoticeRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  MemoryNoticeRequest out;
+  auto id = r.ReadU64();
+  auto reserve = r.ReadBool();
+  auto count = r.ReadU32();
+  if (!id.ok() || !reserve.ok() || !count.ok()) {
+    return Malformed("MemoryNotice");
+  }
+  out.buffer_id = *id;
+  out.reserve = *reserve;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto offset = r.ReadU64();
+    auto size = r.ReadU64();
+    if (!offset.ok() || !size.ok()) return Malformed("MemoryNotice");
+    out.regions.push_back({*offset, *size});
+  }
+  return out;
+}
+
 // ----------------------------------------------------------------- Programs
 
 std::vector<std::uint8_t> BuildProgramRequest::Encode() const {
@@ -308,6 +346,8 @@ std::vector<std::uint8_t> LaunchKernelRequest::Encode() const {
     switch (arg.kind) {
       case WireKernelArg::Kind::kBuffer:
         w.WriteU64(arg.buffer_id);
+        w.WriteU64(arg.written_begin);
+        w.WriteU64(arg.written_end);
         break;
       case WireKernelArg::Kind::kScalar:
         w.WriteByteVector(arg.scalar_bytes);
@@ -352,8 +392,14 @@ Expected<LaunchKernelRequest> LaunchKernelRequest::Decode(
     switch (arg.kind) {
       case WireKernelArg::Kind::kBuffer: {
         auto id = r.ReadU64();
-        if (!id.ok()) return Malformed("LaunchKernel arg");
+        auto wbegin = r.ReadU64();
+        auto wend = r.ReadU64();
+        if (!id.ok() || !wbegin.ok() || !wend.ok()) {
+          return Malformed("LaunchKernel arg");
+        }
         arg.buffer_id = *id;
+        arg.written_begin = *wbegin;
+        arg.written_end = *wend;
         break;
       }
       case WireKernelArg::Kind::kScalar: {
@@ -452,6 +498,8 @@ std::vector<std::uint8_t> LoadReply::Encode() const {
   w.WriteU32(queue_depth);
   w.WriteU64(buffers_held);
   w.WriteU64(bytes_allocated);
+  w.WriteU64(bytes_resident);
+  w.WriteU64(mem_capacity_bytes);
   w.WriteF64(busy_seconds_total);
   w.WriteU64(kernels_executed);
   return std::move(w).Take();
@@ -463,15 +511,19 @@ Expected<LoadReply> LoadReply::Decode(const std::vector<std::uint8_t>& bytes) {
   auto depth = r.ReadU32();
   auto buffers = r.ReadU64();
   auto alloc = r.ReadU64();
+  auto resident = r.ReadU64();
+  auto capacity = r.ReadU64();
   auto busy = r.ReadF64();
   auto kernels = r.ReadU64();
-  if (!depth.ok() || !buffers.ok() || !alloc.ok() || !busy.ok() ||
-      !kernels.ok()) {
+  if (!depth.ok() || !buffers.ok() || !alloc.ok() || !resident.ok() ||
+      !capacity.ok() || !busy.ok() || !kernels.ok()) {
     return Malformed("LoadReply");
   }
   out.queue_depth = *depth;
   out.buffers_held = *buffers;
   out.bytes_allocated = *alloc;
+  out.bytes_resident = *resident;
+  out.mem_capacity_bytes = *capacity;
   out.busy_seconds_total = *busy;
   out.kernels_executed = *kernels;
   return out;

@@ -30,6 +30,9 @@ struct HelloReply {
   std::string device_model;
   double compute_gflops = 0.0;
   double mem_bandwidth_gbps = 0.0;
+  // Device memory capacity; the host budget for resident regions on this
+  // node (0 = unbounded).
+  std::uint64_t mem_capacity_bytes = 0;
   std::uint32_t protocol_version = 1;
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
@@ -118,6 +121,30 @@ struct PushSliceRequest {
       const std::vector<std::uint8_t>& bytes);
 };
 
+// ------------------------------------------------------------ Memory notices
+
+// One byte range of a memory notice.
+struct MemoryRegion {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+// Host -> node: align the node's memory-pool ledger with the host's
+// per-node accounting. `reserve` charges the regions (a residency change
+// with no accompanying payload, e.g. a discard migration); otherwise the
+// regions are evicted — the node releases the accounted bytes (the host
+// already demoted ownership in the region directory, spilling any sole
+// copy to its shadow first).
+struct MemoryNoticeRequest {
+  std::uint64_t buffer_id = 0;
+  bool reserve = false;
+  std::vector<MemoryRegion> regions;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<MemoryNoticeRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
 // ----------------------------------------------------------------- Programs
 
 struct BuildProgramRequest {
@@ -157,6 +184,12 @@ struct WireKernelArg {
   std::vector<std::uint8_t> scalar_bytes;     // kScalar (raw, as from
                                               // clSetKernelArg)
   std::uint64_t local_size = 0;               // kLocalSize
+  // Byte range of the buffer this launch WRITES (begin == end: read-only).
+  // Kernel outputs materialize device memory without any transfer the node
+  // could observe, so the node's memory pool charges this range at launch —
+  // the same range the host charges in its per-node ledger.
+  std::uint64_t written_begin = 0;            // kBuffer
+  std::uint64_t written_end = 0;              // kBuffer
 };
 
 struct LaunchKernelRequest {
@@ -207,6 +240,10 @@ struct LoadReply {
   std::uint32_t queue_depth = 0;       // Commands waiting on the node.
   std::uint64_t buffers_held = 0;
   std::uint64_t bytes_allocated = 0;
+  // Memory-pool ledger: bytes of buffer regions materialized in device
+  // memory, and the capacity they budget against (0 = unbounded).
+  std::uint64_t bytes_resident = 0;
+  std::uint64_t mem_capacity_bytes = 0;
   double busy_seconds_total = 0.0;     // Modeled device busy time.
   std::uint64_t kernels_executed = 0;
 

@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "driver/icd.h"
 #include "net/protocol.h"
+#include "net/tcp_transport.h"
 
 namespace haocl::nmp {
 
@@ -112,6 +113,7 @@ Message NodeServer::HandleMessage(const Message& request) {
       hello.device_model = driver_->spec().model_name;
       hello.compute_gflops = driver_->spec().compute_gflops;
       hello.mem_bandwidth_gbps = driver_->spec().mem_bandwidth_gbps;
+      hello.mem_capacity_bytes = driver_->spec().mem_capacity_bytes;
       reply.type = MsgType::kHelloReply;
       reply.payload = hello.Encode();
       break;
@@ -235,6 +237,15 @@ Message NodeServer::HandleMessage(const Message& request) {
       status_reply(session.PushSlice(*decoded, store));
       break;
     }
+    case MsgType::kMemoryNotice: {
+      auto decoded = net::MemoryNoticeRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      status_reply(session.MemoryNotice(*decoded));
+      break;
+    }
     case MsgType::kReleaseBuffer: {
       auto decoded = net::ReleaseBufferRequest::Decode(request.payload);
       if (!decoded.ok()) {
@@ -307,6 +318,44 @@ std::uint64_t NodeServer::kernels_executed() const {
     total += session->Load().kernels_executed;
   }
   return total;
+}
+
+std::uint64_t NodeServer::bytes_resident() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(
+      const_cast<std::mutex&>(sessions_mutex_));
+  for (const auto& [id, session] : sessions_) {
+    total += session->resident_bytes();
+  }
+  return total;
+}
+
+Status ConnectPeersFromConfig(NodeServer& server, std::size_t self_index,
+                              const ClusterConfig& config) {
+  if (self_index >= config.nodes().size()) {
+    return Status(ErrorCode::kInvalidValue,
+                  "self index " + std::to_string(self_index) +
+                      " out of range for a " +
+                      std::to_string(config.nodes().size()) +
+                      "-node cluster config");
+  }
+  for (std::size_t peer = 0; peer < config.nodes().size(); ++peer) {
+    if (peer == self_index) continue;
+    const NodeEntry& entry = config.nodes()[peer];
+    if (entry.address.empty() || entry.address == "sim" || entry.port == 0) {
+      continue;  // Not dialable; pulls from this peer fall back to relay.
+    }
+    auto connection = net::TcpConnect(entry.address, entry.port);
+    if (!connection.ok()) {
+      return Status(ErrorCode::kPeerUnreachable,
+                    server.name() + " cannot dial peer node " +
+                        std::to_string(peer) + " (" + entry.address + ":" +
+                        std::to_string(entry.port) +
+                        "): " + connection.status().message());
+    }
+    server.ConnectPeer(peer, *std::move(connection));
+  }
+  return Status::Ok();
 }
 
 void NodeServer::Shutdown() {

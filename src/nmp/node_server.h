@@ -64,6 +64,8 @@ class NodeServer {
 
   // Test hook: total kernels run across all sessions.
   [[nodiscard]] std::uint64_t kernels_executed() const;
+  // Test hook: bytes resident across all sessions' memory-pool ledgers.
+  [[nodiscard]] std::uint64_t bytes_resident() const;
 
  private:
   struct Channel;  // One served connection.
@@ -89,5 +91,17 @@ class NodeServer {
   std::atomic<bool> shutting_down_{false};
   std::atomic<std::uint32_t> queue_depth_{0};
 };
+
+// Dials every OTHER node of `config` over TCP and registers the links as
+// peer channels on `server` (which is config.nodes()[self_index]), so a
+// multi-machine deployment gets real node-to-node slice exchange instead
+// of the host-relay fallback. Nodes whose address is not a dialable
+// host:port (the "sim" placeholder, an empty address, or port 0) are
+// skipped — their pulls keep failing with kPeerUnreachable and the host
+// relays, exactly the degraded-network behaviour. Each NMP process calls
+// this once after its own listener is up; the dialed connection arrives at
+// the peer as one more Serve()d channel.
+Status ConnectPeersFromConfig(NodeServer& server, std::size_t self_index,
+                              const ClusterConfig& config);
 
 }  // namespace haocl::nmp

@@ -53,6 +53,12 @@ Status DeviceSession::WriteBufferLocked(
                       " + " + std::to_string(data.size()) + " > " +
                       std::to_string(it->second.size()));
   }
+  // Arriving bytes materialize device memory: charge the pool before
+  // touching the replica. The host's per-node ledger charges the same
+  // range around this transfer, so a failure here means the host
+  // mis-budgeted — surface it as the device OOM it models.
+  HAOCL_RETURN_IF_ERROR(
+      pool_.Reserve(buffer_id, offset, offset + data.size()));
   std::memcpy(it->second.data() + offset, data.data(), data.size());
   return Status::Ok();
 }
@@ -84,6 +90,9 @@ Status DeviceSession::CopyBuffer(const net::CopyBufferRequest& request) {
       request.dst_offset + request.size > dst->second.size()) {
     return Status(ErrorCode::kInvalidValue, "copy out of range");
   }
+  HAOCL_RETURN_IF_ERROR(pool_.Reserve(request.dst_buffer_id,
+                                      request.dst_offset,
+                                      request.dst_offset + request.size));
   std::memmove(dst->second.data() + request.dst_offset,
                src->second.data() + request.src_offset, request.size);
   return Status::Ok();
@@ -94,7 +103,29 @@ Status DeviceSession::ReleaseBuffer(std::uint64_t buffer_id) {
   auto it = buffers_.find(buffer_id);
   if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
   bytes_allocated_ -= it->second.size();
+  pool_.ReleaseBuffer(buffer_id);
   buffers_.erase(it);
+  return Status::Ok();
+}
+
+Status DeviceSession::MemoryNotice(const net::MemoryNoticeRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(request.buffer_id);
+  if (it == buffers_.end()) return NoSuchBuffer(request.buffer_id);
+  for (const net::MemoryRegion& region : request.regions) {
+    if (region.size == 0 ||
+        region.offset + region.size > it->second.size()) {
+      return Status(ErrorCode::kInvalidValue,
+                    "memory notice region beyond buffer end");
+    }
+    if (request.reserve) {
+      HAOCL_RETURN_IF_ERROR(pool_.Reserve(request.buffer_id, region.offset,
+                                          region.offset + region.size));
+    } else {
+      pool_.Release(request.buffer_id, region.offset,
+                    region.offset + region.size);
+    }
+  }
   return Status::Ok();
 }
 
@@ -168,6 +199,18 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
         auto it = buffers_.find(arg.buffer_id);
         if (it == buffers_.end()) {
           return fail(NoSuchBuffer(arg.buffer_id));
+        }
+        // Kernel outputs materialize device memory with no transfer this
+        // session could observe: charge the written range now, mirroring
+        // the host ledger's launch-epilogue charge.
+        if (arg.written_end > arg.written_begin) {
+          if (arg.written_end > it->second.size()) {
+            return fail(Status(ErrorCode::kInvalidValue,
+                               "written range beyond buffer end"));
+          }
+          Status reserved = pool_.Reserve(arg.buffer_id, arg.written_begin,
+                                          arg.written_end);
+          if (!reserved.ok()) return fail(reserved);
         }
         bindings.push_back(oclc::ArgBinding::Buffer(it->second.data(),
                                                     it->second.size()));
@@ -322,6 +365,8 @@ net::LoadReply DeviceSession::Load() const {
   reply.queue_depth = 0;  // Filled by the NMP, which owns the queue.
   reply.buffers_held = buffers_.size();
   reply.bytes_allocated = bytes_allocated_;
+  reply.bytes_resident = pool_.resident_bytes();
+  reply.mem_capacity_bytes = pool_.capacity();
   reply.busy_seconds_total = busy_seconds_total_;
   reply.kernels_executed = kernels_executed_;
   return reply;

@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "driver/device_driver.h"
 #include "net/protocol.h"
+#include "runtime/memory_pool.h"
 
 namespace haocl::runtime {
 
@@ -26,7 +27,12 @@ class DeviceSession {
  public:
   // The driver is shared with other sessions on the same node (a "shared"
   // device in the paper's terms); the session only owns its own objects.
-  explicit DeviceSession(driver::DeviceDriver* driver) : driver_(driver) {}
+  // The session's memory pool budgets against the driver's device
+  // capacity: every byte range that materializes here (host writes, peer
+  // slices, kernel outputs) is charged, and host eviction notices release
+  // it — the node-side half of the tiered-memory ledger.
+  explicit DeviceSession(driver::DeviceDriver* driver)
+      : driver_(driver), pool_(driver->spec().mem_capacity_bytes) {}
 
   DeviceSession(const DeviceSession&) = delete;
   DeviceSession& operator=(const DeviceSession&) = delete;
@@ -73,6 +79,11 @@ class DeviceSession {
   Status PushSlice(const net::PushSliceRequest& request,
                    const PeerStore& store);
 
+  // ---- Tiered memory ----------------------------------------------------
+  // Applies a host reservation/eviction notice to the session's memory
+  // pool (see net::MemoryNoticeRequest).
+  Status MemoryNotice(const net::MemoryNoticeRequest& request);
+
   // ---- Introspection ----------------------------------------------------
   [[nodiscard]] net::LoadReply Load() const;
   [[nodiscard]] const sim::DeviceSpec& spec() const { return driver_->spec(); }
@@ -84,6 +95,12 @@ class DeviceSession {
     std::lock_guard<std::mutex> lock(mutex_);
     return programs_.size();
   }
+  // Bytes of buffer regions materialized in device memory per the pool's
+  // ledger (what LoadReply.bytes_resident reports).
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    return pool_.resident_bytes();
+  }
+  [[nodiscard]] const MemoryPool& pool() const { return pool_; }
 
  private:
   struct ProgramEntry {
@@ -99,6 +116,9 @@ class DeviceSession {
                                                        std::uint64_t size);
 
   driver::DeviceDriver* driver_;
+  // Device-memory ledger (internally synchronized; safe under mutex_,
+  // which never nests inside it).
+  MemoryPool pool_;
   // One session is now reachable from several connections at once (the
   // host's channel plus peer slice-exchange channels), so every public
   // entry point locks.

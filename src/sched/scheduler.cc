@@ -167,6 +167,52 @@ PlacementPlan ProportionalSplit(
     counts[fastest] += (leftover / align) * align;
     leftover %= align;
   }
+
+  // Memory-capacity caps: clamp each shard to the rows that fit in-core
+  // on its node and hand the excess (in whole alignment units, so later
+  // offsets stay aligned) to the fastest nodes with headroom — a
+  // small-memory node gets a smaller shard, not an infeasible one. When
+  // the whole cluster lacks in-core room, the remainder returns to the
+  // fastest node and the runtime stages it out-of-core there.
+  if (task.bytes_per_index > 0) {
+    // The sub-alignment tail (attached below, after capping) must ride
+    // the LAST shard wherever that lands, so every bounded node's cap
+    // leaves room for it — otherwise the tail could push a shard clamped
+    // exactly to its capacity back over it.
+    const std::uint64_t tail = task.dim0_extent % align;
+    auto cap_rows = [&](std::size_t i) -> std::uint64_t {
+      const NodeView& node = cluster.nodes[ordered[i]];
+      if (node.mem_capacity_bytes == 0) return ~0ull;
+      if (node.mem_capacity_bytes <= task.replicated_bytes) return 0;
+      const std::uint64_t rows =
+          (node.mem_capacity_bytes - task.replicated_bytes) /
+          task.bytes_per_index;
+      if (rows <= tail) return 0;
+      return (rows - tail) / align * align;
+    };
+    std::uint64_t excess = 0;
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      const std::uint64_t cap = cap_rows(i);
+      if (counts[i] > cap) {
+        excess += counts[i] - cap;
+        counts[i] = cap;
+      }
+    }
+    while (excess >= align) {
+      std::size_t best = ordered.size();
+      for (std::size_t i = 0; i < ordered.size(); ++i) {
+        if (cap_rows(i) <= counts[i]) continue;  // No headroom.
+        if (best == ordered.size() || rates[i] > rates[best]) best = i;
+      }
+      if (best == ordered.size()) break;  // Cluster-wide in-core room gone.
+      const std::uint64_t grant = std::min(
+          excess / align * align, cap_rows(best) - counts[best]);
+      counts[best] += grant;
+      excess -= grant;
+    }
+    if (excess > 0) counts[fastest] += excess;  // Staged out-of-core.
+  }
+
   std::uint64_t offset = 0;
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     if (counts[i] == 0) continue;
@@ -361,6 +407,15 @@ Status ValidatePlan(const PlacementPlan& plan, const TaskInfo& task,
     if (plan.shards.size() > 1 && shard.global_offset % align != 0) {
       return bad("shard offset not aligned to the work-group size");
     }
+    if (!ShardFitsOrStages(task, cluster.nodes[shard.node],
+                           shard.global_count)) {
+      return bad("shard of " + std::to_string(shard.global_count) +
+                 " indices cannot fit or stage on node '" +
+                 cluster.nodes[shard.node].name + "' (capacity " +
+                 std::to_string(cluster.nodes[shard.node].mem_capacity_bytes) +
+                 " bytes, minimal working set " +
+                 std::to_string(task.MinStageBytes()) + ")");
+    }
     expected_offset = shard.global_offset + shard.global_count;
   }
   if (expected_offset != task.dim0_extent) {
@@ -368,6 +423,19 @@ Status ValidatePlan(const PlacementPlan& plan, const TaskInfo& task,
                std::to_string(task.dim0_extent) + " dim-0 indices");
   }
   return Status::Ok();
+}
+
+bool ShardFitsOrStages(const TaskInfo& task, const NodeView& node,
+                       std::uint64_t count) {
+  if (node.mem_capacity_bytes == 0) return true;  // Unbounded/unknown.
+  const std::uint64_t working_set =
+      task.replicated_bytes + count * task.bytes_per_index;
+  if (working_set <= node.mem_capacity_bytes) return true;
+  // Oversubscribed: the runtime can decompose the shard into pipelined
+  // sub-range stages only along the partitioned dimension, and only when
+  // one double-buffered minimal stage fits beside the replicated args.
+  if (!task.splittable || task.bytes_per_index == 0) return false;
+  return task.MinStageBytes() <= node.mem_capacity_bytes;
 }
 
 std::vector<std::size_t> ClusterView::EligibleFor(const TaskInfo& task) const {

@@ -54,6 +54,26 @@ struct TaskInfo {
   std::uint64_t dim0_align = 1;      // Shard counts must be multiples
                                      // (local[0] when specified).
   bool splittable = false;
+  // Memory footprint decomposition for the tiered-memory feasibility
+  // checks: bytes every shard must hold regardless of its size
+  // (replicated buffer args) and bytes per dim-0 index (sum of the
+  // partitioned args' strides). A shard of C indices needs
+  // replicated_bytes + C * bytes_per_index resident; when that exceeds the
+  // node's capacity a splittable task is staged out-of-core instead.
+  std::uint64_t replicated_bytes = 0;
+  std::uint64_t bytes_per_index = 0;
+
+  // Smallest working set any launch of this task can have on one node: a
+  // single double-buffered stage of one alignment unit (or the whole
+  // range when it cannot be staged). A shard on a node with less free
+  // capacity than this can NEVER run there.
+  [[nodiscard]] std::uint64_t MinStageBytes() const {
+    const std::uint64_t align = dim0_align == 0 ? 1 : dim0_align;
+    if (!splittable || bytes_per_index == 0) {
+      return replicated_bytes + dim0_extent * bytes_per_index;
+    }
+    return replicated_bytes + 2 * align * bytes_per_index;
+  }
 };
 
 // What the scheduler knows about one device node, refreshed by the
@@ -73,6 +93,13 @@ struct NodeView {
   double observed_seconds_per_flop = 0.0;
   std::uint64_t kernels_executed = 0;
   bool alive = true;
+  // Device memory tier: total capacity (0 = unknown/unbounded — every
+  // working set "fits") and bytes currently unclaimed by resident buffer
+  // regions. Splitting policies cap shard sizes so a small-memory node
+  // gets a smaller in-core shard instead of an infeasible one;
+  // ValidatePlan rejects shards that could not even stage.
+  std::uint64_t mem_capacity_bytes = 0;
+  std::uint64_t mem_free_bytes = ~0ull;
   // ---- Per-launch locality hints (filled by the runtime from the region
   // directory when planning a specific task; zero/unset otherwise) ----
   // Bytes of THIS task's input buffers already fresh on the node — they
@@ -136,9 +163,18 @@ struct PlacementPlan {
 // Checks a plan against the task and cluster: shards must be non-empty,
 // aligned to task.dim0_align, target alive in-range nodes, and tile
 // [0, task.dim0_extent) in order with no gaps or overlaps. Multi-shard
-// plans additionally require task.splittable.
+// plans additionally require task.splittable. A shard whose working set
+// exceeds its node's mem_capacity_bytes must be STAGEABLE there (the
+// task is splittable and a minimal double-buffered stage fits) — the
+// runtime then pipelines it out-of-core; otherwise the plan is rejected.
 Status ValidatePlan(const PlacementPlan& plan, const TaskInfo& task,
                     const ClusterView& cluster);
+
+// True when a shard of `count` dim-0 indices can run on `node`: either
+// its whole working set fits the capacity, or the task can be staged
+// there. Capacity 0 (unknown) always fits.
+bool ShardFitsOrStages(const TaskInfo& task, const NodeView& node,
+                       std::uint64_t count);
 
 class SchedulingPolicy {
  public:

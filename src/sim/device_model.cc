@@ -32,6 +32,7 @@ DeviceSpec XeonE52686() {
   spec.launch_overhead_s = 5e-6;
   spec.power_watts = 145.0;
   spec.irregular_efficiency = 0.55;  // OoO cores tolerate divergence well.
+  spec.mem_capacity_bytes = 64ull << 30;  // Host DRAM share.
   return spec;
 }
 
@@ -44,6 +45,7 @@ DeviceSpec TeslaP4() {
   spec.launch_overhead_s = 10e-6;
   spec.power_watts = 75.0;
   spec.irregular_efficiency = 0.12;  // Divergence + uncoalesced access hurt.
+  spec.mem_capacity_bytes = 8ull << 30;  // 8 GB GDDR5.
   return spec;
 }
 
@@ -60,6 +62,7 @@ DeviceSpec XilinxVU9P() {
   spec.irregular_efficiency = 0.85;  // Streaming pipelines mask irregularity.
   spec.pipeline_fill_s = 50e-6;
   spec.reconfigure_s = 0.8;          // Partial reconfiguration of a region.
+  spec.mem_capacity_bytes = 16ull << 30;  // 4x DDR4 channels on the shell.
   return spec;
 }
 

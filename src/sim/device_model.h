@@ -29,6 +29,12 @@ struct DeviceSpec {
   double mem_bandwidth_gbps = 1.0; // Device memory bandwidth, GB/s.
   double launch_overhead_s = 0.0;  // Per-kernel-launch fixed cost.
   double power_watts = 0.0;        // Active power draw.
+  // Device memory capacity. This is what the tiered memory subsystem
+  // budgets against: resident buffer regions on a node may never exceed
+  // it, and launches whose working set does not fit are staged
+  // out-of-core. 0 = unbounded (legacy behaviour, and the host's view of
+  // a node that predates capacity reporting).
+  std::uint64_t mem_capacity_bytes = 0;
 
   // Fraction of peak reachable by irregular (branchy / gather-scatter)
   // kernels. GPUs degrade sharply on divergent code; FPGAs keep pipelines

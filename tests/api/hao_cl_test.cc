@@ -33,6 +33,48 @@ class HaoClApiTest : public ::testing::Test {
   cl_platform_id platform_ = nullptr;
 };
 
+TEST_F(HaoClApiTest, DeviceMemorySizesAreHonest) {
+  // Devices report the capacities the tiered-memory subsystem manages:
+  // each node its own device memory, the virtual cluster device the
+  // cluster-wide sum — and allocations past that sum fail.
+  cl_device_id cluster = nullptr;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_DEFAULT, 1, &cluster,
+                           nullptr),
+            CL_SUCCESS);
+  cl_ulong cluster_bytes = 0;
+  ASSERT_EQ(clGetDeviceInfo(cluster, CL_DEVICE_GLOBAL_MEM_SIZE,
+                            sizeof(cluster_bytes), &cluster_bytes, nullptr),
+            CL_SUCCESS);
+  // 2 GPUs (8 GiB each) + 1 FPGA (16 GiB).
+  EXPECT_EQ(cluster_bytes, 32ull << 30);
+
+  cl_device_id gpu = nullptr;
+  ASSERT_EQ(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &gpu, nullptr),
+            CL_SUCCESS);
+  cl_ulong gpu_bytes = 0;
+  ASSERT_EQ(clGetDeviceInfo(gpu, CL_DEVICE_GLOBAL_MEM_SIZE,
+                            sizeof(gpu_bytes), &gpu_bytes, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(gpu_bytes, 8ull << 30);
+  cl_ulong max_alloc = 0;
+  ASSERT_EQ(clGetDeviceInfo(gpu, CL_DEVICE_MAX_MEM_ALLOC_SIZE,
+                            sizeof(max_alloc), &max_alloc, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(max_alloc, 8ull << 30);
+
+  cl_int err = CL_SUCCESS;
+  cl_context context =
+      clCreateContext(nullptr, 1, &cluster, nullptr, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  // Beyond the cluster-wide capacity: an honest allocation failure
+  // instead of a buffer no device set could ever hold.
+  cl_mem too_big = clCreateBuffer(context, 0, (32ull << 30) + 1, nullptr,
+                                  &err);
+  EXPECT_EQ(too_big, nullptr);
+  EXPECT_EQ(err, CL_MEM_OBJECT_ALLOCATION_FAILURE);
+  clReleaseContext(context);
+}
+
 TEST_F(HaoClApiTest, PlatformAndDeviceDiscovery) {
   cl_uint num_platforms = 0;
   ASSERT_EQ(clGetPlatformIDs(0, nullptr, &num_platforms), CL_SUCCESS);

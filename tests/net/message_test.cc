@@ -123,6 +123,8 @@ TEST(ProtocolTest, LaunchKernelRoundTrip) {
   WireKernelArg buf;
   buf.kind = WireKernelArg::Kind::kBuffer;
   buf.buffer_id = 17;
+  buf.written_begin = 128;
+  buf.written_end = 640;
   WireKernelArg scalar;
   scalar.kind = WireKernelArg::Kind::kScalar;
   scalar.scalar_bytes = {0, 1, 0, 0};
@@ -142,6 +144,8 @@ TEST(ProtocolTest, LaunchKernelRoundTrip) {
   EXPECT_EQ(decoded->kernel_name, "matmul_partition");
   ASSERT_EQ(decoded->args.size(), 3u);
   EXPECT_EQ(decoded->args[0].buffer_id, 17u);
+  EXPECT_EQ(decoded->args[0].written_begin, 128u);
+  EXPECT_EQ(decoded->args[0].written_end, 640u);
   EXPECT_EQ(decoded->args[1].scalar_bytes.size(), 4u);
   EXPECT_EQ(decoded->args[2].local_size, 1024u);
   EXPECT_EQ(decoded->global[1], 128u);
@@ -161,6 +165,47 @@ TEST(ProtocolTest, LaunchKernelRoundTrip) {
   EXPECT_DOUBLE_EQ(hinted->hint_bytes, 1e6);
   EXPECT_EQ(hinted->hint_work_items, 256u);
   EXPECT_TRUE(hinted->hint_irregular);
+}
+
+TEST(ProtocolTest, MemoryNoticeRoundTrip) {
+  MemoryNoticeRequest notice;
+  notice.buffer_id = 9;
+  notice.reserve = true;
+  notice.regions = {{0, 4096}, {8192, 1024}};
+  auto decoded = MemoryNoticeRequest::Decode(notice.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->buffer_id, 9u);
+  EXPECT_TRUE(decoded->reserve);
+  ASSERT_EQ(decoded->regions.size(), 2u);
+  EXPECT_EQ(decoded->regions[1].offset, 8192u);
+  EXPECT_EQ(decoded->regions[1].size, 1024u);
+
+  notice.reserve = false;
+  notice.regions.clear();
+  auto evict = MemoryNoticeRequest::Decode(notice.Encode());
+  ASSERT_TRUE(evict.ok());
+  EXPECT_FALSE(evict->reserve);
+  EXPECT_TRUE(evict->regions.empty());
+
+  EXPECT_FALSE(MemoryNoticeRequest::Decode({1, 2, 3}).ok());
+}
+
+TEST(ProtocolTest, HelloAndLoadCarryMemoryCapacity) {
+  HelloReply hello;
+  hello.node_name = "gpu0";
+  hello.device_type = NodeType::kGpu;
+  hello.mem_capacity_bytes = 8ull << 30;
+  auto decoded = HelloReply::Decode(hello.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->mem_capacity_bytes, 8ull << 30);
+
+  LoadReply load;
+  load.bytes_resident = 12345;
+  load.mem_capacity_bytes = 65536;
+  auto load_decoded = LoadReply::Decode(load.Encode());
+  ASSERT_TRUE(load_decoded.ok());
+  EXPECT_EQ(load_decoded->bytes_resident, 12345u);
+  EXPECT_EQ(load_decoded->mem_capacity_bytes, 65536u);
 }
 
 TEST(ProtocolTest, TruncatedPayloadsRejected) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/sync.h"
+#include "host/cluster_runtime.h"
 #include "net/protocol.h"
 #include "net/rpc.h"
 #include "net/sim_transport.h"
@@ -170,6 +171,81 @@ TEST(NodeServerTcpTest, FullProtocolOverRealSockets) {
   client.Close();
   (*server)->Shutdown();
   listener.Stop();
+}
+
+TEST(NodeServerTcpTest, PeersDialedFromClusterConfigExchangeSlices) {
+  // Two NMP daemons on real TCP sockets dial each other from the cluster
+  // configuration (the multi-machine deployment path), so a host-driven
+  // pull moves the payload node-to-node instead of relaying.
+  auto s0 = NodeServer::Create("gpu0", NodeType::kGpu);
+  auto s1 = NodeServer::Create("cpu0", NodeType::kCpu);
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  net::TcpListener l0(0);
+  net::TcpListener l1(0);
+  ASSERT_TRUE(
+      l0.Start([&](net::ConnectionPtr c) { (*s0)->Serve(std::move(c)); })
+          .ok());
+  ASSERT_TRUE(
+      l1.Start([&](net::ConnectionPtr c) { (*s1)->Serve(std::move(c)); })
+          .ok());
+  ClusterConfig config;
+  config.AddNode({"gpu0", NodeType::kGpu, "127.0.0.1", l0.port()});
+  config.AddNode({"cpu0", NodeType::kCpu, "127.0.0.1", l1.port()});
+  ASSERT_TRUE(ConnectPeersFromConfig(**s0, 0, config).ok());
+  ASSERT_TRUE(ConnectPeersFromConfig(**s1, 1, config).ok());
+  // Self index out of range is rejected.
+  EXPECT_FALSE(ConnectPeersFromConfig(**s0, 5, config).ok());
+
+  // The host connects over TCP too and drives a producer/consumer chain:
+  // node 0 produces the buffer, node 1's launch prologue pulls it
+  // directly over the dialed peer link.
+  std::vector<net::ConnectionPtr> connections;
+  for (std::uint16_t port : {l0.port(), l1.port()}) {
+    auto connection = net::TcpConnect("127.0.0.1", port);
+    ASSERT_TRUE(connection.ok());
+    connections.push_back(*std::move(connection));
+  }
+  auto runtime = host::ClusterRuntime::Connect(std::move(connections), {});
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  auto program = (*runtime)->BuildProgram(R"(
+    __kernel void bump(__global int* data, int n) {
+      int i = get_global_id(0);
+      if (i < n) data[i] = data[i] + 1;
+    })");
+  ASSERT_TRUE(program.ok());
+  constexpr int kN = 512;
+  auto buffer = (*runtime)->CreateBuffer(kN * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(kN, 1);
+  ASSERT_TRUE(
+      (*runtime)->WriteBuffer(*buffer, 0, values.data(), kN * 4).ok());
+  for (int node = 0; node < 2; ++node) {
+    host::ClusterRuntime::LaunchSpec spec;
+    spec.program = *program;
+    spec.kernel_name = "bump";
+    spec.args = {host::KernelArgValue::Buffer(*buffer),
+                 host::KernelArgValue::Scalar<std::int32_t>(kN)};
+    spec.global[0] = kN;
+    spec.preferred_node = node;
+    auto result = (*runtime)->LaunchKernel(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  std::vector<std::int32_t> readback(kN);
+  ASSERT_TRUE(
+      (*runtime)->ReadBuffer(*buffer, 0, readback.data(), kN * 4).ok());
+  for (std::int32_t v : readback) ASSERT_EQ(v, 3);
+  // The second launch's input moved node 0 -> node 1 over the peer link:
+  // real P2P payload, zero relay fallbacks.
+  const host::TransferStats stats = (*runtime)->transfer_stats();
+  EXPECT_EQ(stats.p2p_bytes, static_cast<std::uint64_t>(kN) * 4);
+  EXPECT_EQ(stats.relay_bytes, 0u);
+  EXPECT_EQ(stats.relay_transfers, 0u);
+
+  (*runtime)->Disconnect();
+  (*s0)->Shutdown();
+  (*s1)->Shutdown();
+  l0.Stop();
+  l1.Stop();
 }
 
 TEST(NodeServerLifecycleTest, ShutdownIsIdempotentAndServesMultiple) {

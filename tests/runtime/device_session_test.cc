@@ -294,6 +294,81 @@ TEST_F(DeviceSessionTest, ScalarSignExtension) {
   EXPECT_EQ(out[1], -7);
 }
 
+TEST(DeviceSessionMemoryTest, PoolTracksResidencyAndEnforcesCapacity) {
+  // A 1 KiB device: writes materialize regions, the ledger charges them,
+  // and a write that would not fit fails as the device OOM it models.
+  sim::DeviceSpec spec = sim::TeslaP4();
+  spec.mem_capacity_bytes = 1024;
+  auto driver = driver::MakeSimulatedDriver(spec);
+  DeviceSession session(driver.get());
+  ASSERT_TRUE(session.CreateBuffer(1, 4096).ok());  // Address space only.
+  EXPECT_EQ(session.resident_bytes(), 0u);
+  std::vector<std::uint8_t> chunk(512, 0xAB);
+  ASSERT_TRUE(session.WriteBuffer(1, 0, chunk).ok());
+  EXPECT_EQ(session.resident_bytes(), 512u);
+  // Rewriting the same region charges nothing new.
+  ASSERT_TRUE(session.WriteBuffer(1, 0, chunk).ok());
+  EXPECT_EQ(session.resident_bytes(), 512u);
+  ASSERT_TRUE(session.WriteBuffer(1, 512, chunk).ok());
+  EXPECT_EQ(session.resident_bytes(), 1024u);
+  // One more byte range would exceed the device.
+  EXPECT_EQ(session.WriteBuffer(1, 1024, chunk).code(),
+            ErrorCode::kMemObjectAllocationFailure);
+  EXPECT_EQ(session.resident_bytes(), 1024u);
+  EXPECT_EQ(session.Load().bytes_resident, 1024u);
+  EXPECT_EQ(session.Load().mem_capacity_bytes, 1024u);
+
+  // A host eviction notice releases the accounted bytes; a reservation
+  // notice charges them back (discard migrations).
+  net::MemoryNoticeRequest evict;
+  evict.buffer_id = 1;
+  evict.reserve = false;
+  evict.regions = {{0, 512}};
+  ASSERT_TRUE(session.MemoryNotice(evict).ok());
+  EXPECT_EQ(session.resident_bytes(), 512u);
+  net::MemoryNoticeRequest reserve;
+  reserve.buffer_id = 1;
+  reserve.reserve = true;
+  reserve.regions = {{0, 256}};
+  ASSERT_TRUE(session.MemoryNotice(reserve).ok());
+  EXPECT_EQ(session.resident_bytes(), 768u);
+  // Releasing the buffer frees its whole ledger.
+  ASSERT_TRUE(session.ReleaseBuffer(1).ok());
+  EXPECT_EQ(session.resident_bytes(), 0u);
+}
+
+TEST(DeviceSessionMemoryTest, KernelWritesChargeTheLedger) {
+  sim::DeviceSpec spec = sim::TeslaP4();
+  spec.mem_capacity_bytes = 1024;
+  auto driver = driver::MakeSimulatedDriver(spec);
+  DeviceSession session(driver.get());
+  auto build = session.BuildProgram(1, R"(
+    __kernel void fill(__global int* o) { o[get_global_id(0)] = 7; })");
+  ASSERT_EQ(build.status_code, 0) << build.build_log;
+  ASSERT_TRUE(session.CreateBuffer(1, 512).ok());
+  net::LaunchKernelRequest launch;
+  launch.program_id = 1;
+  launch.kernel_name = "fill";
+  net::WireKernelArg arg;
+  arg.kind = net::WireKernelArg::Kind::kBuffer;
+  arg.buffer_id = 1;
+  arg.written_begin = 0;
+  arg.written_end = 512;
+  launch.args = {arg};
+  launch.global[0] = 128;
+  auto reply = session.LaunchKernel(launch);
+  ASSERT_EQ(reply.status_code, 0) << reply.error_message;
+  EXPECT_EQ(session.resident_bytes(), 512u);
+  // A written range past the buffer end is rejected before execution.
+  ASSERT_TRUE(session.CreateBuffer(2, 64).ok());
+  arg.buffer_id = 2;
+  arg.written_end = 128;
+  launch.args = {arg};
+  auto bad = session.LaunchKernel(launch);
+  EXPECT_EQ(bad.status_code,
+            static_cast<std::int32_t>(ErrorCode::kInvalidValue));
+}
+
 TEST(FpgaSessionTest, RequiresPrebuiltBitstream) {
   auto driver = driver::IcdRegistry::Instance().Create(NodeType::kFpga);
   ASSERT_TRUE(driver.ok());

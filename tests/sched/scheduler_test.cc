@@ -583,5 +583,87 @@ INSTANTIATE_TEST_SUITE_P(Policies, AllPoliciesTest,
                                            "hetero_split", "adaptive_split",
                                            "power"));
 
+// ---- Tiered memory: capacity-aware plans ----------------------------------
+
+// 1 KiB per dim-0 index, no replicated args, splittable over 1000 indices.
+TaskInfo MemoryBoundTask() {
+  TaskInfo task = RegularTask();
+  task.splittable = true;
+  task.dim0_extent = 1000;
+  task.bytes_per_index = 1024;
+  task.replicated_bytes = 0;
+  return task;
+}
+
+TEST(PlanValidationTest, ShardFitsOrStagesHonorsCapacity) {
+  TaskInfo task = MemoryBoundTask();
+  NodeView node = MakeNode("gpu0", NodeType::kGpu);
+  node.mem_capacity_bytes = 0;  // Unknown: everything fits.
+  EXPECT_TRUE(ShardFitsOrStages(task, node, 1000));
+  node.mem_capacity_bytes = 1 << 20;  // Holds the whole shard.
+  EXPECT_TRUE(ShardFitsOrStages(task, node, 1000));
+  node.mem_capacity_bytes = 64 << 10;  // Oversubscribed but stageable.
+  EXPECT_TRUE(ShardFitsOrStages(task, node, 1000));
+  task.splittable = false;  // Cannot stage: must fit whole.
+  EXPECT_FALSE(ShardFitsOrStages(task, node, 1000));
+  task.splittable = true;
+  task.replicated_bytes = 63 << 10;  // Replicated args crowd out stages.
+  EXPECT_FALSE(ShardFitsOrStages(task, node, 1000));
+}
+
+TEST(PlanValidationTest, RejectsShardsThatCannotStage) {
+  ClusterView cluster = MakeCluster(1, 0);
+  cluster.nodes[0].mem_capacity_bytes = 64 << 10;
+  TaskInfo task = MemoryBoundTask();
+  task.splittable = false;  // 1000 KiB working set, 64 KiB device.
+  PlacementPlan plan = PlacementPlan::SingleNode(0, task.dim0_extent);
+  Status status = ValidatePlan(plan, task, cluster);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cannot fit or stage"), std::string::npos);
+  task.splittable = true;  // Staging makes the same plan feasible.
+  EXPECT_TRUE(ValidatePlan(plan, task, cluster).ok());
+}
+
+TEST(HeteroSplitTest, CapacityCapsShardSizes) {
+  // Two identical GPUs, but one can hold only 100 indices in-core: the
+  // static rate split (50/50) must shift the excess to the roomy node so
+  // the small-memory node gets a smaller, feasible shard.
+  ClusterView cluster = MakeCluster(2, 0);
+  cluster.nodes[0].mem_capacity_bytes = 100 * 1024;
+  cluster.nodes[1].mem_capacity_bytes = 0;  // Unbounded.
+  TaskInfo task = MemoryBoundTask();
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+  ASSERT_EQ(plan->shards.size(), 2u);
+  for (const PlacementShard& shard : plan->shards) {
+    if (shard.node == 0) {
+      EXPECT_LE(shard.global_count, 100u);
+    } else {
+      EXPECT_GE(shard.global_count, 900u);
+    }
+  }
+}
+
+TEST(HeteroSplitTest, ClusterWideShortfallLeavesStagedRemainder) {
+  // Neither node holds its half in-core; the capped excess lands on the
+  // fastest node, whose shard then stages out-of-core — the plan is still
+  // valid because the task is splittable.
+  ClusterView cluster = MakeCluster(2, 0);
+  cluster.nodes[0].mem_capacity_bytes = 100 * 1024;
+  cluster.nodes[1].mem_capacity_bytes = 100 * 1024;
+  TaskInfo task = MemoryBoundTask();
+  auto policy = MakeHeterogeneityAwareSplitPolicy();
+  auto plan = policy->PlanLaunch(task, cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidatePlan(*plan, task, cluster).ok());
+  std::uint64_t total = 0;
+  for (const PlacementShard& shard : plan->shards) {
+    total += shard.global_count;
+  }
+  EXPECT_EQ(total, task.dim0_extent);
+}
+
 }  // namespace
 }  // namespace haocl::sched

@@ -44,6 +44,7 @@ const char* ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kDependencyFailed: return "DEPENDENCY_FAILED";
     case ErrorCode::kPeerUnreachable: return "PEER_UNREACHABLE";
+    case ErrorCode::kBackpressure: return "BACKPRESSURE";
   }
   return "UNKNOWN";
 }

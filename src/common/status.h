@@ -57,6 +57,11 @@ enum class ErrorCode : std::int32_t {
   // A node was asked to exchange a slice with a peer it has no link to
   // (the host falls back to relaying the bytes itself).
   kPeerUnreachable = -1008,
+  // The node's broker refused to admit a launch: the node is saturated
+  // (admission backlog limit exceeded) and the submitting tenant is over
+  // its fair share of the backlog. Transient — resubmit later or steer
+  // to another node.
+  kBackpressure = -1009,
 };
 
 const char* ErrorCodeName(ErrorCode code) noexcept;

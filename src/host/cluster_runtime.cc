@@ -133,9 +133,46 @@ Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
   runtime->timeline_ = std::make_unique<VirtualTimeline>(
       sim::ClusterTopology::FromConfig(topo_config, runtime->options_.link));
   runtime->node_busy_ahead_.assign(runtime->nodes_.size(), 0.0);
+  runtime->node_broker_backlog_.assign(runtime->nodes_.size(), 0.0);
+  runtime->node_active_weight_.assign(runtime->nodes_.size(), 0.0);
   runtime->rate_table_ =
       std::make_unique<sched::KernelRateTable>(runtime->nodes_.size());
   runtime->in_flight_.assign(runtime->nodes_.size(), 0);
+
+  // Register this session's tenant identity with every node's broker, and
+  // seed the rate table from the rates the broker already learned from
+  // other sessions — a fresh session's first adaptive launch then plans
+  // from its neighbours' observations instead of flying blind. Both are
+  // best-effort against nodes predating the broker protocol: an error
+  // reply or missing fields just leaves the defaults.
+  net::ConfigureSessionRequest tenant;
+  tenant.tenant_name = runtime->options_.tenant_name.empty()
+                           ? runtime->options_.host_name
+                           : runtime->options_.tenant_name;
+  tenant.weight = runtime->options_.tenant_weight;
+  tenant.mem_quota_bytes = runtime->options_.tenant_mem_quota_bytes;
+  for (std::size_t i = 0; i < runtime->nodes_.size(); ++i) {
+    auto configured = runtime->nodes_[i]->Call(
+        MsgType::kConfigureSession, runtime->options_.session_id,
+        tenant.Encode(), runtime->options_.rpc_timeout);
+    if (!configured.ok()) {
+      return Status(ErrorCode::kNodeUnreachable,
+                    "tenant registration with node " + std::to_string(i) +
+                        " failed: " + configured.status().message());
+    }
+    auto load = runtime->nodes_[i]->Call(MsgType::kQueryLoad,
+                                         runtime->options_.session_id, {},
+                                         runtime->options_.rpc_timeout);
+    if (!load.ok() || load->type != MsgType::kLoadReply) continue;
+    auto decoded = net::LoadReply::Decode(load->payload);
+    if (!decoded.ok()) continue;
+    for (const net::WireKernelRate& rate : decoded->kernel_rates) {
+      runtime->rate_table_->Seed(i, rate.kernel, rate.seconds_per_flop,
+                                 rate.samples);
+    }
+    runtime->node_broker_backlog_[i] = decoded->node_backlog_seconds;
+    runtime->node_active_weight_[i] = decoded->active_weight;
+  }
 
   CommandGraph::Options graph_options;
   graph_options.workers =
@@ -1394,6 +1431,9 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       node.resident_dim0_begin = resident_begin[i];
       node.mem_capacity_bytes = node_pools_[i]->capacity();
       node.mem_free_bytes = node_pools_[i]->free_bytes();
+      node.node_backlog_seconds = node_broker_backlog_[i];
+      node.tenant_weight = options_.tenant_weight;
+      node.active_weight = node_active_weight_[i];
       view.nodes.push_back(std::move(node));
     }
     auto planned = policy_->PlanLaunch(task, view);
@@ -1893,6 +1933,14 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kLaunchReply));
   auto decoded = net::LaunchKernelReply::Decode(reply->payload);
   if (!decoded.ok()) return decoded.status();
+  // Cache the broker snapshot piggybacked on every launch reply (also on
+  // failed/backpressured ones — a rejection is exactly when the view of
+  // the neighbours' backlog matters).
+  {
+    std::lock_guard<std::mutex> sched_lock(sched_mutex_);
+    node_broker_backlog_[node] = decoded->node_backlog_seconds;
+    node_active_weight_[node] = decoded->active_weight;
+  }
   if (decoded->status_code != 0) {
     return Status(static_cast<ErrorCode>(decoded->status_code),
                   decoded->error_message);
@@ -2358,11 +2406,23 @@ Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
     if (status.ok()) {
       auto load = net::LoadReply::Decode((*reply)->payload);
       if (load.ok()) {
+        // Fold the broker's shared rates in first (only seeds kernels this
+        // session has no local samples for) so the view below reflects
+        // them.
+        for (const net::WireKernelRate& rate : load->kernel_rates) {
+          rate_table_->Seed(i, rate.kernel, rate.seconds_per_flop,
+                            rate.samples);
+        }
         std::lock_guard<std::mutex> lock(sched_mutex_);
         node.queue_depth = load->queue_depth + in_flight_[i];
         node.busy_seconds_ahead = node_busy_ahead_[i];
         node.kernels_executed = load->kernels_executed;
         node.observed_seconds_per_flop = rate_table_->NodeAverage(i);
+        node_broker_backlog_[i] = load->node_backlog_seconds;
+        node_active_weight_[i] = load->active_weight;
+        node.node_backlog_seconds = node_broker_backlog_[i];
+        node.tenant_weight = options_.tenant_weight;
+        node.active_weight = node_active_weight_[i];
       }
     } else {
       node.alive = false;
@@ -2370,6 +2430,17 @@ Expected<sched::ClusterView> ClusterRuntime::QueryClusterView() {
     view.nodes.push_back(std::move(node));
   }
   return view;
+}
+
+Expected<net::BrokerStatsReply> ClusterRuntime::QueryBrokerStats(
+    std::size_t node) {
+  if (node >= nodes_.size()) {
+    return Status(ErrorCode::kInvalidValue,
+                  "no node " + std::to_string(node));
+  }
+  auto reply = CallNode(node, MsgType::kQueryBroker, {});
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kBrokerReply));
+  return net::BrokerStatsReply::Decode(reply->payload);
 }
 
 double ClusterRuntime::SchedulerBacklogSeconds(std::size_t node) const {

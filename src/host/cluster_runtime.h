@@ -171,6 +171,15 @@ struct RuntimeOptions {
   std::chrono::milliseconds rpc_timeout{30000};
   // Command-graph worker pool size; 0 picks max(4, nodes + 2).
   std::size_t dispatch_workers = 0;
+  // ---- Multi-tenant serving (node broker) ----
+  // Tenant identity registered with every node's broker at Connect
+  // (empty = host_name). Weight is the relative fair-share service rate
+  // the broker's arbitration grants this session under contention;
+  // mem_quota_bytes caps this session's resident device bytes per node
+  // (0 = only the shared device capacity applies).
+  std::string tenant_name;
+  double tenant_weight = 1.0;
+  std::uint64_t tenant_mem_quota_bytes = 0;
 };
 
 // Future onto a command in the runtime's graph. Plain value; copy freely.
@@ -419,6 +428,10 @@ class ClusterRuntime {
   // shard boundaries from between chained launches.
   [[nodiscard]] sched::KernelRateTable::Rate ObservedKernelRate(
       std::size_t node, const std::string& kernel_name) const;
+  // Snapshot of `node`'s broker: the shared ledger, every tenant's
+  // serving stats (all sessions, not just this one), and the shared
+  // kernel-rate table. One RPC.
+  Expected<net::BrokerStatsReply> QueryBrokerStats(std::size_t node);
 
   // ---- Virtual time ------------------------------------------------------
   [[nodiscard]] VirtualTimeline& timeline() { return *timeline_; }
@@ -669,6 +682,12 @@ class ClusterRuntime {
   // per node. Charged under sched_mutex_ at submit, refunded at
   // retirement — never a cumulative history.
   std::vector<double> node_busy_ahead_;
+  // Last broker snapshot per node (guarded by sched_mutex_): total
+  // admitted backlog across ALL sessions and the active fair-share
+  // weight, piggybacked on every launch reply and refreshed by load
+  // queries — how this session's scheduler sees its neighbours.
+  std::vector<double> node_broker_backlog_;
+  std::vector<double> node_active_weight_;
   // Observed per-(node, kernel) rates (internally synchronized).
   std::unique_ptr<sched::KernelRateTable> rate_table_;
   std::vector<std::uint32_t> in_flight_;  // RPCs outstanding per node.

@@ -40,10 +40,16 @@ enum class MsgType : std::uint16_t {
   kLaunchKernel = 22,
   // Monitoring (scheduler's runtime information).
   kQueryLoad = 30,
+  // Broker introspection: the node's shared ledger, per-tenant serving
+  // stats, and shared kernel rates (multi-tenant fairness surface).
+  kQueryBroker = 31,
   // Session control.
   kOpenSession = 40,
   kCloseSession = 41,
   kShutdown = 42,
+  // Tenant registration at session connect: fair-share weight and memory
+  // quota the node broker serves this session under.
+  kConfigureSession = 43,
   // Replies.
   kStatusReply = 100,  // status only
   kHelloReplyData = 101,
@@ -51,6 +57,7 @@ enum class MsgType : std::uint16_t {
   kBuildReply = 103,   // status + build log + kernel names
   kLaunchReply = 104,  // status + modeled timing
   kLoadReply = 105,    // monitor counters
+  kBrokerReply = 106,  // broker ledger + tenant stats + shared rates
 };
 
 struct Message {

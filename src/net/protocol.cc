@@ -465,6 +465,8 @@ std::vector<std::uint8_t> LaunchKernelReply::Encode() const {
   w.WriteF64(modeled_joules);
   w.WriteU64(flops);
   w.WriteU64(bytes_accessed);
+  w.WriteF64(node_backlog_seconds);
+  w.WriteF64(active_weight);
   return std::move(w).Take();
 }
 
@@ -478,8 +480,10 @@ Expected<LaunchKernelReply> LaunchKernelReply::Decode(
   auto joules = r.ReadF64();
   auto flops = r.ReadU64();
   auto accessed = r.ReadU64();
+  auto node_backlog = r.ReadF64();
+  auto active = r.ReadF64();
   if (!code.ok() || !message.ok() || !seconds.ok() || !joules.ok() ||
-      !flops.ok() || !accessed.ok()) {
+      !flops.ok() || !accessed.ok() || !node_backlog.ok() || !active.ok()) {
     return Malformed("LaunchReply");
   }
   out.status_code = *code;
@@ -488,10 +492,43 @@ Expected<LaunchKernelReply> LaunchKernelReply::Decode(
   out.modeled_joules = *joules;
   out.flops = *flops;
   out.bytes_accessed = *accessed;
+  out.node_backlog_seconds = *node_backlog;
+  out.active_weight = *active;
   return out;
 }
 
 // --------------------------------------------------------------- Monitoring
+
+namespace {
+
+void EncodeKernelRates(WireWriter& w,
+                       const std::vector<WireKernelRate>& rates) {
+  w.WriteU32(static_cast<std::uint32_t>(rates.size()));
+  for (const WireKernelRate& rate : rates) {
+    w.WriteString(rate.kernel);
+    w.WriteF64(rate.seconds_per_flop);
+    w.WriteU64(rate.samples);
+  }
+}
+
+Expected<std::vector<WireKernelRate>> DecodeKernelRates(WireReader& r) {
+  auto count = r.ReadU32();
+  if (!count.ok()) return Malformed("kernel rates");
+  std::vector<WireKernelRate> rates;
+  rates.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto kernel = r.ReadString();
+    auto rate = r.ReadF64();
+    auto samples = r.ReadU64();
+    if (!kernel.ok() || !rate.ok() || !samples.ok()) {
+      return Malformed("kernel rate entry");
+    }
+    rates.push_back({*std::move(kernel), *rate, *samples});
+  }
+  return rates;
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> LoadReply::Encode() const {
   WireWriter w;
@@ -502,6 +539,11 @@ std::vector<std::uint8_t> LoadReply::Encode() const {
   w.WriteU64(mem_capacity_bytes);
   w.WriteF64(busy_seconds_total);
   w.WriteU64(kernels_executed);
+  w.WriteU64(node_resident_bytes);
+  w.WriteF64(node_backlog_seconds);
+  w.WriteF64(tenant_backlog_seconds);
+  w.WriteF64(active_weight);
+  EncodeKernelRates(w, kernel_rates);
   return std::move(w).Take();
 }
 
@@ -515,10 +557,17 @@ Expected<LoadReply> LoadReply::Decode(const std::vector<std::uint8_t>& bytes) {
   auto capacity = r.ReadU64();
   auto busy = r.ReadF64();
   auto kernels = r.ReadU64();
+  auto node_resident = r.ReadU64();
+  auto node_backlog = r.ReadF64();
+  auto tenant_backlog = r.ReadF64();
+  auto active = r.ReadF64();
   if (!depth.ok() || !buffers.ok() || !alloc.ok() || !resident.ok() ||
-      !capacity.ok() || !busy.ok() || !kernels.ok()) {
+      !capacity.ok() || !busy.ok() || !kernels.ok() || !node_resident.ok() ||
+      !node_backlog.ok() || !tenant_backlog.ok() || !active.ok()) {
     return Malformed("LoadReply");
   }
+  auto rates = DecodeKernelRates(r);
+  if (!rates.ok()) return rates.status();
   out.queue_depth = *depth;
   out.buffers_held = *buffers;
   out.bytes_allocated = *alloc;
@@ -526,6 +575,116 @@ Expected<LoadReply> LoadReply::Decode(const std::vector<std::uint8_t>& bytes) {
   out.mem_capacity_bytes = *capacity;
   out.busy_seconds_total = *busy;
   out.kernels_executed = *kernels;
+  out.node_resident_bytes = *node_resident;
+  out.node_backlog_seconds = *node_backlog;
+  out.tenant_backlog_seconds = *tenant_backlog;
+  out.active_weight = *active;
+  out.kernel_rates = *std::move(rates);
+  return out;
+}
+
+// ------------------------------------------------------------ Multi-tenancy
+
+std::vector<std::uint8_t> ConfigureSessionRequest::Encode() const {
+  WireWriter w;
+  w.WriteString(tenant_name);
+  w.WriteF64(weight);
+  w.WriteU64(mem_quota_bytes);
+  return std::move(w).Take();
+}
+
+Expected<ConfigureSessionRequest> ConfigureSessionRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  ConfigureSessionRequest out;
+  auto name = r.ReadString();
+  auto weight = r.ReadF64();
+  auto quota = r.ReadU64();
+  if (!name.ok() || !weight.ok() || !quota.ok()) {
+    return Malformed("ConfigureSession");
+  }
+  out.tenant_name = *std::move(name);
+  out.weight = *weight;
+  out.mem_quota_bytes = *quota;
+  return out;
+}
+
+std::vector<std::uint8_t> BrokerStatsReply::Encode() const {
+  WireWriter w;
+  w.WriteU64(mem_capacity_bytes);
+  w.WriteU64(resident_bytes);
+  w.WriteF64(backlog_seconds);
+  w.WriteF64(active_weight);
+  w.WriteF64(max_backlog_seconds);
+  w.WriteU32(static_cast<std::uint32_t>(tenants.size()));
+  for (const BrokerTenantEntry& t : tenants) {
+    w.WriteU64(t.session);
+    w.WriteString(t.name);
+    w.WriteF64(t.weight);
+    w.WriteU64(t.mem_quota_bytes);
+    w.WriteU64(t.resident_bytes);
+    w.WriteF64(t.backlog_seconds);
+    w.WriteF64(t.served_seconds);
+    w.WriteU64(t.launches_admitted);
+    w.WriteU64(t.launches_rejected);
+    w.WriteU64(t.kernels_completed);
+  }
+  EncodeKernelRates(w, kernel_rates);
+  return std::move(w).Take();
+}
+
+Expected<BrokerStatsReply> BrokerStatsReply::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  BrokerStatsReply out;
+  auto capacity = r.ReadU64();
+  auto resident = r.ReadU64();
+  auto backlog = r.ReadF64();
+  auto active = r.ReadF64();
+  auto limit = r.ReadF64();
+  auto count = r.ReadU32();
+  if (!capacity.ok() || !resident.ok() || !backlog.ok() || !active.ok() ||
+      !limit.ok() || !count.ok()) {
+    return Malformed("BrokerStats");
+  }
+  out.mem_capacity_bytes = *capacity;
+  out.resident_bytes = *resident;
+  out.backlog_seconds = *backlog;
+  out.active_weight = *active;
+  out.max_backlog_seconds = *limit;
+  out.tenants.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    BrokerTenantEntry t;
+    auto session = r.ReadU64();
+    auto name = r.ReadString();
+    auto weight = r.ReadF64();
+    auto quota = r.ReadU64();
+    auto tenant_resident = r.ReadU64();
+    auto tenant_backlog = r.ReadF64();
+    auto served = r.ReadF64();
+    auto admitted = r.ReadU64();
+    auto rejected = r.ReadU64();
+    auto completed = r.ReadU64();
+    if (!session.ok() || !name.ok() || !weight.ok() || !quota.ok() ||
+        !tenant_resident.ok() || !tenant_backlog.ok() || !served.ok() ||
+        !admitted.ok() || !rejected.ok() || !completed.ok()) {
+      return Malformed("BrokerStats tenant");
+    }
+    t.session = *session;
+    t.name = *std::move(name);
+    t.weight = *weight;
+    t.mem_quota_bytes = *quota;
+    t.resident_bytes = *tenant_resident;
+    t.backlog_seconds = *tenant_backlog;
+    t.served_seconds = *served;
+    t.launches_admitted = *admitted;
+    t.launches_rejected = *rejected;
+    t.kernels_completed = *completed;
+    out.tenants.push_back(std::move(t));
+  }
+  auto rates = DecodeKernelRates(r);
+  if (!rates.ok()) return rates.status();
+  out.kernel_rates = *std::move(rates);
   return out;
 }
 

@@ -228,6 +228,11 @@ struct LaunchKernelReply {
   double modeled_joules = 0.0;    // Energy for the scheduler's power policy.
   std::uint64_t flops = 0;        // Profiled work (heterogeneity-aware
   std::uint64_t bytes_accessed = 0;  // scheduling feeds on these).
+  // Broker snapshot piggybacked on every launch reply so the host's
+  // fair-share view of the node (ALL tenants' backlog, not just its own)
+  // stays fresh without extra monitoring round-trips.
+  double node_backlog_seconds = 0.0;  // Admitted-but-unfinished, all tenants.
+  double active_weight = 0.0;         // Σ weights of backlogged tenants.
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static Expected<LaunchKernelReply> Decode(
@@ -236,19 +241,81 @@ struct LaunchKernelReply {
 
 // --------------------------------------------------------------- Monitoring
 
+// One shared observed kernel rate exported by the node broker: the EWMA
+// seconds-per-flop folded from EVERY session's completed launches on the
+// node, so a freshly connected session can seed its own rate table from
+// its neighbours' experience.
+struct WireKernelRate {
+  std::string kernel;
+  double seconds_per_flop = 0.0;
+  std::uint64_t samples = 0;
+};
+
 struct LoadReply {
   std::uint32_t queue_depth = 0;       // Commands waiting on the node.
   std::uint64_t buffers_held = 0;
   std::uint64_t bytes_allocated = 0;
-  // Memory-pool ledger: bytes of buffer regions materialized in device
-  // memory, and the capacity they budget against (0 = unbounded).
+  // Memory-pool ledger: bytes of buffer regions THIS session has
+  // materialized in device memory, and the capacity they budget against
+  // (0 = unbounded).
   std::uint64_t bytes_resident = 0;
   std::uint64_t mem_capacity_bytes = 0;
   double busy_seconds_total = 0.0;     // Modeled device busy time.
   std::uint64_t kernels_executed = 0;
+  // ---- Node-broker fields (node-wide, across ALL sessions) ----
+  std::uint64_t node_resident_bytes = 0;   // Shared-ledger resident total.
+  double node_backlog_seconds = 0.0;       // All tenants' admitted backlog.
+  double tenant_backlog_seconds = 0.0;     // The querying session's share.
+  double active_weight = 0.0;              // Σ weights, backlogged tenants.
+  std::vector<WireKernelRate> kernel_rates;  // Shared observed rates.
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static Expected<LoadReply> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// ------------------------------------------------------------ Multi-tenancy
+
+// Host -> node at session connect: registers the session as a tenant of
+// the node broker with its fair-share weight and memory quota. A session
+// that never configures runs with weight 1 and no quota.
+struct ConfigureSessionRequest {
+  std::string tenant_name;
+  double weight = 1.0;
+  std::uint64_t mem_quota_bytes = 0;  // 0 = no per-tenant cap.
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<ConfigureSessionRequest> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+// One tenant's serving stats in a BrokerStatsReply.
+struct BrokerTenantEntry {
+  std::uint64_t session = 0;
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t mem_quota_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  double backlog_seconds = 0.0;
+  double served_seconds = 0.0;
+  std::uint64_t launches_admitted = 0;
+  std::uint64_t launches_rejected = 0;
+  std::uint64_t kernels_completed = 0;
+};
+
+// Reply to kQueryBroker: the node's shared ledger, admission state,
+// per-tenant serving stats, and the shared kernel-rate table.
+struct BrokerStatsReply {
+  std::uint64_t mem_capacity_bytes = 0;
+  std::uint64_t resident_bytes = 0;    // All sessions.
+  double backlog_seconds = 0.0;        // All tenants.
+  double active_weight = 0.0;
+  double max_backlog_seconds = 0.0;    // Admission limit (0 = off).
+  std::vector<BrokerTenantEntry> tenants;
+  std::vector<WireKernelRate> kernel_rates;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<BrokerStatsReply> Decode(
+      const std::vector<std::uint8_t>& bytes);
 };
 
 // ------------------------------------------------------------ Status replies

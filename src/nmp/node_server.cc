@@ -27,7 +27,10 @@ Expected<std::unique_ptr<NodeServer>> NodeServer::Create(std::string name,
 
 NodeServer::NodeServer(std::string name, NodeType type,
                        std::unique_ptr<driver::DeviceDriver> driver)
-    : name_(std::move(name)), type_(type), driver_(std::move(driver)) {}
+    : name_(std::move(name)),
+      type_(type),
+      driver_(std::move(driver)),
+      broker_(driver_->spec().mem_capacity_bytes) {}
 
 NodeServer::~NodeServer() { Shutdown(); }
 
@@ -35,10 +38,6 @@ void NodeServer::Serve(net::ConnectionPtr connection) {
   auto channel = std::make_unique<Channel>();
   channel->connection = std::move(connection);
   Channel* raw = channel.get();
-  {
-    std::lock_guard<std::mutex> lock(channels_mutex_);
-    channels_.push_back(std::move(channel));
-  }
   // Asynchronous listener: enqueue and return to listening, exactly the
   // paper's accept-then-listen-again loop.
   raw->connection->Start([this, raw](Message msg) {
@@ -46,6 +45,19 @@ void NodeServer::Serve(net::ConnectionPtr connection) {
     raw->inbox.Push(std::move(msg));
   });
   raw->worker = std::thread([this, raw] { WorkerLoop(raw); });
+  // Publish only the fully-initialized channel: Shutdown swaps the list
+  // out and touches `worker`, so the thread must be assigned before the
+  // channel is reachable. If shutdown already swapped, nobody will ever
+  // join this channel — tear it down here instead of publishing.
+  std::unique_lock<std::mutex> lock(channels_mutex_);
+  if (shutting_down_.load()) {
+    lock.unlock();
+    raw->inbox.Close();
+    raw->connection->Close();
+    raw->worker.join();
+    return;
+  }
+  channels_.push_back(std::move(channel));
 }
 
 void NodeServer::WorkerLoop(Channel* channel) {
@@ -80,7 +92,11 @@ runtime::DeviceSession& NodeServer::SessionFor(std::uint64_t session_id) {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   auto& slot = sessions_[session_id];
   if (slot == nullptr) {
-    slot = std::make_unique<runtime::DeviceSession>(driver_.get());
+    // Every session charges the node's ONE shared ledger through its own
+    // broker view — capacity is enforced across all tenants, not per
+    // session.
+    slot = std::make_unique<runtime::DeviceSession>(
+        driver_.get(), broker_.LedgerFor(session_id));
   }
   return *slot;
 }
@@ -281,22 +297,109 @@ Message NodeServer::HandleMessage(const Message& request) {
         protocol_error(decoded.status());
         break;
       }
+      // Every launch passes through the broker gate: admission control
+      // may reject it (kBackpressure travels back as an ordinary launch
+      // reply), and weighted fair queuing decides when an admitted launch
+      // runs relative to other tenants' backlogs.
+      const sim::DeviceSpec& spec = driver_->spec();
+      double predicted_seconds = 0.0;
+      if (decoded->has_cost_hint && spec.compute_gflops > 0.0) {
+        predicted_seconds = static_cast<double>(decoded->hint_flops) /
+                            (spec.compute_gflops * 1e9);
+      }
+      auto grant = broker_.AcquireLaunchSlot(request.session,
+                                             predicted_seconds);
+      net::LaunchKernelReply launch;
+      if (!grant.ok()) {
+        launch.status_code =
+            static_cast<std::int32_t>(grant.status().code());
+        launch.error_message = grant.status().message();
+      } else {
+        launch = session.LaunchKernel(*decoded);
+        const double sample_flops =
+            decoded->has_cost_hint ? static_cast<double>(decoded->hint_flops)
+                                   : static_cast<double>(launch.flops);
+        broker_.CompleteLaunch(request.session, *grant,
+                               launch.status_code == 0,
+                               launch.modeled_seconds, decoded->kernel_name,
+                               sample_flops);
+      }
+      launch.node_backlog_seconds = broker_.backlog_seconds();
+      launch.active_weight = broker_.active_weight();
       reply.type = MsgType::kLaunchReply;
-      reply.payload = session.LaunchKernel(*decoded).Encode();
+      reply.payload = launch.Encode();
       break;
     }
     case MsgType::kQueryLoad: {
       net::LoadReply load = session.Load();
       load.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+      load.node_resident_bytes = broker_.resident_bytes();
+      load.node_backlog_seconds = broker_.backlog_seconds();
+      load.tenant_backlog_seconds =
+          broker_.backlog_seconds_of(request.session);
+      load.active_weight = broker_.active_weight();
+      for (const broker::BrokerKernelRate& rate : broker_.KernelRates()) {
+        load.kernel_rates.push_back(
+            {rate.kernel, rate.seconds_per_flop, rate.samples});
+      }
       reply.type = MsgType::kLoadReply;
       reply.payload = load.Encode();
+      break;
+    }
+    case MsgType::kConfigureSession: {
+      auto decoded = net::ConfigureSessionRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        protocol_error(decoded.status());
+        break;
+      }
+      broker::TenantConfig config;
+      config.name = decoded->tenant_name;
+      config.weight = decoded->weight;
+      config.mem_quota_bytes = decoded->mem_quota_bytes;
+      broker_.RegisterTenant(request.session, std::move(config));
+      status_reply(Status::Ok());
+      break;
+    }
+    case MsgType::kQueryBroker: {
+      net::BrokerStatsReply stats;
+      stats.mem_capacity_bytes = broker_.capacity();
+      stats.resident_bytes = broker_.resident_bytes();
+      stats.backlog_seconds = broker_.backlog_seconds();
+      stats.active_weight = broker_.active_weight();
+      stats.max_backlog_seconds = broker_.limits().max_backlog_seconds;
+      for (const broker::TenantStats& t : broker_.AllTenants()) {
+        net::BrokerTenantEntry entry;
+        entry.session = t.session;
+        entry.name = t.name;
+        entry.weight = t.weight;
+        entry.mem_quota_bytes = t.mem_quota_bytes;
+        entry.resident_bytes = t.resident_bytes;
+        entry.backlog_seconds = t.backlog_seconds;
+        entry.served_seconds = t.served_seconds;
+        entry.launches_admitted = t.launches_admitted;
+        entry.launches_rejected = t.launches_rejected;
+        entry.kernels_completed = t.kernels_completed;
+        stats.tenants.push_back(std::move(entry));
+      }
+      for (const broker::BrokerKernelRate& rate : broker_.KernelRates()) {
+        stats.kernel_rates.push_back(
+            {rate.kernel, rate.seconds_per_flop, rate.samples});
+      }
+      reply.type = MsgType::kBrokerReply;
+      reply.payload = stats.Encode();
       break;
     }
     case MsgType::kOpenSession:
     case MsgType::kCloseSession: {
       if (request.type == MsgType::kCloseSession) {
-        std::lock_guard<std::mutex> lock(sessions_mutex_);
-        sessions_.erase(request.session);
+        {
+          std::lock_guard<std::mutex> lock(sessions_mutex_);
+          sessions_.erase(request.session);
+        }
+        // After the session (and its ledger view) is gone: its resident
+        // bytes leave the node ledger so the capacity frees up for the
+        // remaining tenants.
+        broker_.UnregisterTenant(request.session);
       }
       status_reply(Status::Ok());
       break;
@@ -360,6 +463,9 @@ Status ConnectPeersFromConfig(NodeServer& server, std::size_t self_index,
 
 void NodeServer::Shutdown() {
   if (shutting_down_.exchange(true)) return;
+  // Wake any worker blocked at the broker's launch gate so it can drain
+  // and join below.
+  broker_.Shutdown();
   {
     // Close peer links first: a worker blocked inside a pull/push fails
     // fast instead of waiting out its RPC timeout.

@@ -21,6 +21,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "broker/node_broker.h"
 #include "common/config.h"
 #include "common/sync.h"
 #include "driver/device_driver.h"
@@ -64,8 +65,15 @@ class NodeServer {
 
   // Test hook: total kernels run across all sessions.
   [[nodiscard]] std::uint64_t kernels_executed() const;
-  // Test hook: bytes resident across all sessions' memory-pool ledgers.
+  // Test hook: bytes resident across all sessions' ledger views.
   [[nodiscard]] std::uint64_t bytes_resident() const;
+
+  // The node's resource broker: shared memory ledger, launch admission +
+  // fair-share arbitration, and the cross-session kernel-rate table.
+  // Exposed so embedders (SimCluster tests, benches) can set limits and
+  // read tenant stats directly.
+  [[nodiscard]] broker::NodeBroker& broker() { return broker_; }
+  [[nodiscard]] const broker::NodeBroker& broker() const { return broker_; }
 
  private:
   struct Channel;  // One served connection.
@@ -79,6 +87,9 @@ class NodeServer {
   std::string name_;
   NodeType type_;
   std::unique_ptr<driver::DeviceDriver> driver_;
+  // Declared before sessions_: sessions (whose ledgers point into the
+  // broker) are destroyed first.
+  broker::NodeBroker broker_;
 
   std::mutex sessions_mutex_;
   std::unordered_map<std::uint64_t, std::unique_ptr<runtime::DeviceSession>>

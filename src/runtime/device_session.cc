@@ -58,7 +58,7 @@ Status DeviceSession::WriteBufferLocked(
   // range around this transfer, so a failure here means the host
   // mis-budgeted — surface it as the device OOM it models.
   HAOCL_RETURN_IF_ERROR(
-      pool_.Reserve(buffer_id, offset, offset + data.size()));
+      ledger_->Reserve(buffer_id, offset, offset + data.size()));
   std::memcpy(it->second.data() + offset, data.data(), data.size());
   return Status::Ok();
 }
@@ -90,7 +90,7 @@ Status DeviceSession::CopyBuffer(const net::CopyBufferRequest& request) {
       request.dst_offset + request.size > dst->second.size()) {
     return Status(ErrorCode::kInvalidValue, "copy out of range");
   }
-  HAOCL_RETURN_IF_ERROR(pool_.Reserve(request.dst_buffer_id,
+  HAOCL_RETURN_IF_ERROR(ledger_->Reserve(request.dst_buffer_id,
                                       request.dst_offset,
                                       request.dst_offset + request.size));
   std::memmove(dst->second.data() + request.dst_offset,
@@ -103,7 +103,7 @@ Status DeviceSession::ReleaseBuffer(std::uint64_t buffer_id) {
   auto it = buffers_.find(buffer_id);
   if (it == buffers_.end()) return NoSuchBuffer(buffer_id);
   bytes_allocated_ -= it->second.size();
-  pool_.ReleaseBuffer(buffer_id);
+  ledger_->ReleaseBuffer(buffer_id);
   buffers_.erase(it);
   return Status::Ok();
 }
@@ -119,10 +119,10 @@ Status DeviceSession::MemoryNotice(const net::MemoryNoticeRequest& request) {
                     "memory notice region beyond buffer end");
     }
     if (request.reserve) {
-      HAOCL_RETURN_IF_ERROR(pool_.Reserve(request.buffer_id, region.offset,
+      HAOCL_RETURN_IF_ERROR(ledger_->Reserve(request.buffer_id, region.offset,
                                           region.offset + region.size));
     } else {
-      pool_.Release(request.buffer_id, region.offset,
+      ledger_->Release(request.buffer_id, region.offset,
                     region.offset + region.size);
     }
   }
@@ -208,7 +208,7 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
             return fail(Status(ErrorCode::kInvalidValue,
                                "written range beyond buffer end"));
           }
-          Status reserved = pool_.Reserve(arg.buffer_id, arg.written_begin,
+          Status reserved = ledger_->Reserve(arg.buffer_id, arg.written_begin,
                                           arg.written_end);
           if (!reserved.ok()) return fail(reserved);
         }
@@ -365,8 +365,8 @@ net::LoadReply DeviceSession::Load() const {
   reply.queue_depth = 0;  // Filled by the NMP, which owns the queue.
   reply.buffers_held = buffers_.size();
   reply.bytes_allocated = bytes_allocated_;
-  reply.bytes_resident = pool_.resident_bytes();
-  reply.mem_capacity_bytes = pool_.capacity();
+  reply.bytes_resident = ledger_->resident_bytes();
+  reply.mem_capacity_bytes = ledger_->capacity();
   reply.busy_seconds_total = busy_seconds_total_;
   reply.kernels_executed = kernels_executed_;
   return reply;

@@ -19,7 +19,7 @@
 #include "common/status.h"
 #include "driver/device_driver.h"
 #include "net/protocol.h"
-#include "runtime/memory_pool.h"
+#include "runtime/memory_ledger.h"
 
 namespace haocl::runtime {
 
@@ -27,12 +27,22 @@ class DeviceSession {
  public:
   // The driver is shared with other sessions on the same node (a "shared"
   // device in the paper's terms); the session only owns its own objects.
-  // The session's memory pool budgets against the driver's device
-  // capacity: every byte range that materializes here (host writes, peer
-  // slices, kernel outputs) is charged, and host eviction notices release
-  // it — the node-side half of the tiered-memory ledger.
-  explicit DeviceSession(driver::DeviceDriver* driver)
-      : driver_(driver), pool_(driver->spec().mem_capacity_bytes) {}
+  // Every byte range that materializes here (host writes, peer slices,
+  // kernel outputs) is charged against `ledger`, and host eviction
+  // notices release it — the node-side half of the tiered-memory ledger.
+  // When the NMP supplies a ledger it is a view onto the node's shared
+  // broker ledger (capacity enforced across all sessions, quotas apply);
+  // without one, the session budgets a private pool at device capacity,
+  // the pre-broker single-tenant behaviour. A supplied ledger must
+  // outlive the session.
+  explicit DeviceSession(driver::DeviceDriver* driver,
+                         MemoryLedger* ledger = nullptr)
+      : driver_(driver),
+        owned_ledger_(ledger == nullptr
+                          ? std::make_unique<PoolLedger>(
+                                driver->spec().mem_capacity_bytes)
+                          : nullptr),
+        ledger_(ledger == nullptr ? owned_ledger_.get() : ledger) {}
 
   DeviceSession(const DeviceSession&) = delete;
   DeviceSession& operator=(const DeviceSession&) = delete;
@@ -95,12 +105,11 @@ class DeviceSession {
     std::lock_guard<std::mutex> lock(mutex_);
     return programs_.size();
   }
-  // Bytes of buffer regions materialized in device memory per the pool's
-  // ledger (what LoadReply.bytes_resident reports).
+  // Bytes of buffer regions THIS session materialized in device memory
+  // per its ledger (what LoadReply.bytes_resident reports).
   [[nodiscard]] std::uint64_t resident_bytes() const {
-    return pool_.resident_bytes();
+    return ledger_->resident_bytes();
   }
-  [[nodiscard]] const MemoryPool& pool() const { return pool_; }
 
  private:
   struct ProgramEntry {
@@ -116,9 +125,11 @@ class DeviceSession {
                                                        std::uint64_t size);
 
   driver::DeviceDriver* driver_;
+  // Fallback private ledger when none is injected (see ctor).
+  std::unique_ptr<PoolLedger> owned_ledger_;
   // Device-memory ledger (internally synchronized; safe under mutex_,
   // which never nests inside it).
-  MemoryPool pool_;
+  MemoryLedger* ledger_;
   // One session is now reachable from several connections at once (the
   // host's channel plus peer slice-exchange channels), so every public
   // entry point locks.

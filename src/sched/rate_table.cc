@@ -24,6 +24,31 @@ KernelRateTable::Rate KernelRateTable::Lookup(std::size_t node,
   return {it->second.value, it->second.samples};
 }
 
+std::vector<std::pair<std::string, KernelRateTable::Rate>>
+KernelRateTable::KernelsOf(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Rate>> out;
+  if (node >= per_kernel_.size()) return out;
+  out.reserve(per_kernel_[node].size());
+  for (const auto& [kernel, ewma] : per_kernel_[node]) {
+    out.emplace_back(kernel, Rate{ewma.value, ewma.samples});
+  }
+  return out;
+}
+
+void KernelRateTable::Seed(std::size_t node, const std::string& kernel,
+                           double seconds_per_flop, std::uint64_t samples) {
+  if (seconds_per_flop <= 0.0 || samples == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= per_kernel_.size()) return;
+  Ewma& entry = per_kernel_[node][kernel];
+  if (entry.samples == 0) entry = {seconds_per_flop, samples};
+  if (per_node_[node].samples == 0) {
+    per_node_[node] = {seconds_per_flop, samples};
+  }
+  // Entries with local samples are left untouched.
+}
+
 double KernelRateTable::NodeAverage(std::size_t node) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (node >= per_node_.size()) return 0.0;

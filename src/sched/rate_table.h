@@ -38,6 +38,19 @@ class KernelRateTable {
 
   [[nodiscard]] Rate Lookup(std::size_t node, const std::string& kernel) const;
 
+  // Every kernel the node has a rate for, with its entry (broker export /
+  // diagnostics). Order unspecified.
+  [[nodiscard]] std::vector<std::pair<std::string, Rate>> KernelsOf(
+      std::size_t node) const;
+
+  // Seeds the (node, kernel) entry from an EXTERNAL observer (another
+  // session's samples shipped through the node broker) — but only where
+  // this table has no local samples yet: locally observed rates always
+  // win over imported ones, so a session's own feedback loop is
+  // unaffected by seeding. The node aggregate is seeded the same way.
+  void Seed(std::size_t node, const std::string& kernel,
+            double seconds_per_flop, std::uint64_t samples);
+
   // Kernel-agnostic EWMA for the node (0.0 = no samples yet) — the
   // classic single-number runtime profile, kept for policies planning a
   // kernel the node has never run.

@@ -1,0 +1,181 @@
+// Shared-ledger regression: two sessions against ONE capacity-starved
+// node must budget the node's device memory JOINTLY. Before the broker,
+// each session owned a private full-capacity pool, so a second tenant
+// could materialize past what the device really holds; now the second
+// allocation past capacity fails cleanly with
+// kMemObjectAllocationFailure, and releasing the first tenant's buffer
+// frees the node for the second. Verified over both the in-process
+// transport (SimCluster) and real TCP, since the TCP node servers run
+// the same broker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.h"
+#include "driver/device_driver.h"
+#include "host/cluster_runtime.h"
+#include "host/sim_cluster.h"
+#include "net/tcp_transport.h"
+#include "nmp/node_server.h"
+
+namespace haocl::host {
+namespace {
+
+constexpr char kDoubler[] = R"(
+  __kernel void doubler(__global int* data, int n) {
+    int i = get_global_id(0);
+    if (i < n) data[i] = data[i] * 2;
+  })";
+
+// 4 KiB device: tenant A fills 3 KiB, so B's 2 KiB cannot materialize
+// until A releases — but B's 512 bytes still can.
+constexpr std::uint64_t kCapacity = 4096;
+constexpr int kBigInts = 768;    // 3072 bytes.
+constexpr int kSecondInts = 512; // 2048 bytes.
+constexpr int kSmallInts = 128;  // 512 bytes.
+
+// Builds the doubler, writes `n` ints, launches over them (which
+// materializes the buffer on node 0), and returns the launch status.
+Expected<BufferId> RunDoubler(ClusterRuntime& rt, ProgramId program, int n,
+                              Status* launch_status) {
+  auto buffer = rt.CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  if (!buffer.ok()) return buffer.status();
+  std::vector<std::int32_t> values(n, 1);
+  Status wrote = rt.WriteBuffer(*buffer, 0, values.data(), values.size() * 4);
+  if (!wrote.ok()) return wrote;
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::Buffer(*buffer),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.preferred_node = 0;
+  auto result = rt.LaunchKernel(spec);
+  *launch_status = result.ok() ? Status::Ok() : result.status();
+  return buffer;
+}
+
+void RunSharedLedgerScenario(ClusterRuntime& a, ClusterRuntime& b,
+                             const std::function<std::uint64_t()>&
+                                 node_resident) {
+  auto program_a = a.BuildProgram(kDoubler);
+  auto program_b = b.BuildProgram(kDoubler);
+  ASSERT_TRUE(program_a.ok() && program_b.ok());
+
+  // Tenant A materializes 3 KiB of the 4 KiB device.
+  Status launch_a = Status::Ok();
+  auto buffer_a = RunDoubler(a, *program_a, kBigInts, &launch_a);
+  ASSERT_TRUE(buffer_a.ok()) << buffer_a.status().ToString();
+  ASSERT_TRUE(launch_a.ok()) << launch_a.ToString();
+  EXPECT_EQ(node_resident(), static_cast<std::uint64_t>(kBigInts) * 4);
+
+  // Tenant B's 2 KiB does not fit next to A's 3 KiB — even though B's
+  // OWN view of the node is empty. The failure is clean: the launch
+  // reports the allocation failure and B's session stays usable.
+  Status launch_b = Status::Ok();
+  auto big_b = RunDoubler(b, *program_b, kSecondInts, &launch_b);
+  ASSERT_TRUE(big_b.ok());
+  ASSERT_FALSE(launch_b.ok());
+  EXPECT_EQ(launch_b.code(), ErrorCode::kMemObjectAllocationFailure)
+      << launch_b.ToString();
+
+  // B's 512 bytes still fit in the remaining 1 KiB.
+  Status launch_small = Status::Ok();
+  auto small_b = RunDoubler(b, *program_b, kSmallInts, &launch_small);
+  ASSERT_TRUE(small_b.ok());
+  ASSERT_TRUE(launch_small.ok()) << launch_small.ToString();
+
+  // A releases its buffer: the shared ledger frees 3 KiB and B's big
+  // launch (same buffer, retried) now materializes.
+  ASSERT_TRUE(a.ReleaseBuffer(*buffer_a).ok());
+  ASSERT_TRUE(a.Finish().ok());
+  EXPECT_LE(node_resident(),
+            static_cast<std::uint64_t>(kSmallInts + kSecondInts) * 4);
+
+  ClusterRuntime::LaunchSpec retry;
+  retry.program = *program_b;
+  retry.kernel_name = "doubler";
+  retry.args = {KernelArgValue::Buffer(*big_b),
+                KernelArgValue::Scalar<std::int32_t>(kSecondInts)};
+  retry.global[0] = kSecondInts;
+  retry.preferred_node = 0;
+  auto retried = b.LaunchKernel(retry);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+
+  // Contents survived the contention dance: the retried launch was B's
+  // first successful doubling of that buffer.
+  std::vector<std::int32_t> got(kSecondInts);
+  ASSERT_TRUE(b.ReadBuffer(*big_b, 0, got.data(), got.size() * 4).ok());
+  for (int i = 0; i < kSecondInts; ++i) ASSERT_EQ(got[i], 2) << i;
+  ASSERT_TRUE(b.Finish().ok());
+}
+
+TEST(SharedLedgerTest, TwoSessionsShareOneNodeLedgerSim) {
+  RuntimeOptions options_a;
+  options_a.session_id = 1;
+  options_a.tenant_name = "alpha";
+  auto cluster = SimCluster::Create({.gpu_nodes = 1}, options_a,
+                                    SimCluster::PeerTopology::kFullMesh, {},
+                                    {kCapacity});
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  RuntimeOptions options_b;
+  options_b.session_id = 2;
+  options_b.tenant_name = "beta";
+  auto second = (*cluster)->ConnectSecondSession(options_b);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  RunSharedLedgerScenario(
+      (*cluster)->runtime(), **second,
+      [&] { return (*cluster)->server(0).broker().resident_bytes(); });
+
+  // Broker bookkeeping kept the per-tenant attribution.
+  const auto tenants = (*cluster)->server(0).broker().AllTenants();
+  ASSERT_EQ(tenants.size(), 2u);
+  for (const auto& tenant : tenants) {
+    EXPECT_TRUE(tenant.name == "alpha" || tenant.name == "beta")
+        << tenant.name;
+  }
+  (*second)->Disconnect();
+}
+
+TEST(SharedLedgerTest, TwoSessionsShareOneNodeLedgerTcp) {
+  // One real NMP behind a TCP listener, capacity-starved; two hosts dial
+  // in as separate sessions.
+  sim::DeviceSpec spec = sim::SpecForType(NodeType::kGpu);
+  spec.mem_capacity_bytes = kCapacity;
+  auto server = std::make_unique<nmp::NodeServer>(
+      "gpu0", NodeType::kGpu, driver::MakeSimulatedDriver(spec));
+  net::TcpListener listener(0);
+  ASSERT_TRUE(
+      listener.Start([&](net::ConnectionPtr c) { server->Serve(std::move(c)); })
+          .ok());
+
+  auto connect_session = [&](std::uint64_t session_id, const char* tenant)
+      -> Expected<std::unique_ptr<ClusterRuntime>> {
+    auto connection = net::TcpConnect("127.0.0.1", listener.port());
+    if (!connection.ok()) return connection.status();
+    std::vector<net::ConnectionPtr> connections;
+    connections.push_back(*std::move(connection));
+    RuntimeOptions options;
+    options.session_id = session_id;
+    options.tenant_name = tenant;
+    return ClusterRuntime::Connect(std::move(connections), options);
+  };
+  auto a = connect_session(1, "alpha");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = connect_session(2, "beta");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  RunSharedLedgerScenario(**a, **b,
+                          [&] { return server->broker().resident_bytes(); });
+
+  (*a)->Disconnect();
+  (*b)->Disconnect();
+  server->Shutdown();
+  listener.Stop();
+}
+
+}  // namespace
+}  // namespace haocl::host

@@ -1,0 +1,282 @@
+// Multi-tenant serving behaviour through FULL sessions (host runtime ->
+// wire -> node server -> broker): admission control surfacing as
+// kBackpressure on the host, weighted fair-share arbitration protecting
+// a light tenant from a fleet of hogs, and cross-session kernel-rate
+// seeding (a new session plans from the rates its neighbours already
+// observed, converging in one launch).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "broker/node_broker.h"
+#include "host/cluster_runtime.h"
+#include "host/sim_cluster.h"
+
+namespace haocl::host {
+namespace {
+
+constexpr char kDoubler[] = R"(
+  __kernel void doubler(__global int* data, int n) {
+    int i = get_global_id(0);
+    if (i < n) data[i] = data[i] * 2;
+  })";
+
+// One tenant's working set: remote-built program, an n-int buffer
+// resident on node 0 (via one warm launch), and the launch spec the
+// contended phases below re-submit. The warm launch means the contended
+// traffic is pure kernel launches — no program builds or data shipping.
+struct TenantWork {
+  ProgramId program = 0;
+  BufferId buffer = 0;
+  ClusterRuntime::LaunchSpec spec;
+};
+
+TenantWork PrepareTenant(ClusterRuntime& rt, int n) {
+  TenantWork work;
+  auto program = rt.BuildProgram(kDoubler);
+  EXPECT_TRUE(program.ok());
+  work.program = *program;
+  auto buffer = rt.CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  EXPECT_TRUE(buffer.ok());
+  work.buffer = *buffer;
+  std::vector<std::int32_t> values(n, 1);
+  EXPECT_TRUE(rt.WriteBuffer(work.buffer, 0, values.data(), n * 4).ok());
+
+  work.spec.program = work.program;
+  work.spec.kernel_name = "doubler";
+  work.spec.args = {KernelArgValue::Buffer(work.buffer),
+                    KernelArgValue::Scalar<std::int32_t>(n)};
+  work.spec.global[0] = n;
+  work.spec.preferred_node = 0;
+  sim::KernelCost hint;
+  hint.flops = 1e9;
+  hint.bytes = static_cast<double>(n) * 4;
+  hint.work_items = n;
+  work.spec.cost_hint = hint;
+
+  auto warm = rt.LaunchKernel(work.spec);
+  EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+  return work;
+}
+
+TEST(TenancyTest, SaturatedNodeBackpressuresSubmit) {
+  auto cluster = SimCluster::Create({.gpu_nodes = 1});
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ClusterRuntime& rt = (*cluster)->runtime();
+  TenantWork work = PrepareTenant(rt, 64);
+
+  // Headroom: another launch is admitted.
+  ASSERT_TRUE(rt.LaunchKernel(work.spec).ok());
+
+  // Saturate: with an (absurdly) tiny backlog budget, the cost hint's
+  // predicted seconds are over the tenant's share — the node rejects the
+  // submit and the rejection travels back over the wire as
+  // kBackpressure, not as a hang or a generic failure.
+  broker::BrokerLimits limits;
+  limits.max_backlog_seconds = 1e-12;
+  (*cluster)->server(0).broker().SetLimits(limits);
+  auto rejected = rt.LaunchKernel(work.spec);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kBackpressure)
+      << rejected.status().ToString();
+  EXPECT_GE((*cluster)->server(0).broker().StatsFor(1).launches_rejected, 1u);
+
+  // Lifting the limit un-wedges the tenant: nothing leaked or jammed.
+  limits.max_backlog_seconds = 0.0;
+  (*cluster)->server(0).broker().SetLimits(limits);
+  auto retried = rt.LaunchKernel(work.spec);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_NEAR((*cluster)->server(0).broker().backlog_seconds(), 0.0, 1e-9);
+}
+
+TEST(TenancyTest, FairShareProtectsLightTenantFromHogFleet) {
+  // Four hog sessions (weight 1 each) flood the node with chained
+  // launches while one light tenant (weight 10) drains a modest batch.
+  // Each session pipelines through one connection worker, so it has at
+  // most ONE launch waiting at the broker gate at a time — a session can
+  // never take two consecutive slots while someone else waits. The
+  // arbitration question is who gets the slot when the gate frees, and
+  // weighted fair queuing must pick the light tenant every time it
+  // waits: the hog fleet collectively gets about one slot per light slot
+  // (alternation), where FIFO round-robin would give it four. We assert
+  // the fleet stays within 2x of alternation.
+  RuntimeOptions hog_options;
+  hog_options.session_id = 1;
+  hog_options.tenant_name = "hog";
+  hog_options.tenant_weight = 1.0;
+  auto cluster = SimCluster::Create({.gpu_nodes = 1}, hog_options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  std::vector<ClusterRuntime*> hogs;
+  std::vector<std::unique_ptr<ClusterRuntime>> owned;
+  hogs.push_back(&(*cluster)->runtime());
+  for (std::uint64_t session = 2; session <= 4; ++session) {
+    RuntimeOptions options;
+    options.session_id = session;
+    options.tenant_name = "hog";
+    options.tenant_weight = 1.0;
+    auto runtime = (*cluster)->ConnectSecondSession(options);
+    ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+    hogs.push_back(runtime->get());
+    owned.push_back(*std::move(runtime));
+  }
+  RuntimeOptions light_options;
+  light_options.session_id = 5;
+  light_options.tenant_name = "light";
+  light_options.tenant_weight = 10.0;
+  auto light = (*cluster)->ConnectSecondSession(light_options);
+  ASSERT_TRUE(light.ok()) << light.status().ToString();
+
+  // Kernels large enough that execution dominates the host turnaround
+  // (several thread hops per completed launch, each with scheduling
+  // latency on a loaded machine), so every saturated session is back
+  // waiting at the gate before the current launch finishes.
+  const int n = 65536;
+  std::vector<TenantWork> hog_work;
+  hog_work.reserve(hogs.size());
+  for (ClusterRuntime* hog : hogs) hog_work.push_back(PrepareTenant(*hog, n));
+  TenantWork light_work = PrepareTenant(**light, n);
+
+  constexpr int kHogSubmits = 30;
+  constexpr int kLightSubmits = 40;
+  for (std::size_t i = 0; i < hogs.size(); ++i) {
+    for (int j = 0; j < kHogSubmits; ++j) {
+      ASSERT_TRUE(hogs[i]->SubmitLaunch(hog_work[i].spec).ok());
+    }
+  }
+  for (int j = 0; j < kLightSubmits; ++j) {
+    ASSERT_TRUE((*light)->SubmitLaunch(light_work.spec).ok());
+  }
+
+  const broker::NodeBroker& broker = (*cluster)->server(0).broker();
+  auto fleet_completed = [&broker] {
+    std::uint64_t total = 0;
+    for (std::uint64_t session = 1; session <= 4; ++session) {
+      total += broker.StatsFor(session).kernels_completed;
+    }
+    return total;
+  };
+  const std::uint64_t fleet_before = fleet_completed();
+  ASSERT_TRUE((*light)->Finish().ok());
+  const std::uint64_t fleet_during = fleet_completed() - fleet_before;
+
+  EXPECT_EQ(broker.StatsFor(5).kernels_completed,
+            static_cast<std::uint64_t>(kLightSubmits) + 1);  // + warm.
+  // Alternation bound: ~1 hog slot per light slot; 2x margin absorbs
+  // snapshot skew and warm-up races. FIFO would sit near 4x.
+  EXPECT_LE(fleet_during, static_cast<std::uint64_t>(2 * kLightSubmits))
+      << "hog fleet was served " << fleet_during
+      << " launches while the light tenant drained " << kLightSubmits;
+  // Work-conserving: the fleet is throttled, not starved.
+  EXPECT_GE(fleet_during, static_cast<std::uint64_t>(kLightSubmits / 4));
+
+  // The wire-level stats snapshot agrees with the in-process broker.
+  auto stats = (*light)->QueryBrokerStats(0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tenants.size(), 5u);
+  double light_weight = 0.0;
+  for (const auto& tenant : stats->tenants) {
+    if (tenant.session == 5) light_weight = tenant.weight;
+  }
+  EXPECT_EQ(light_weight, 10.0);
+
+  // Drain the flood: nothing deadlocked, every admitted launch ran.
+  for (ClusterRuntime* hog : hogs) ASSERT_TRUE(hog->Finish().ok());
+  EXPECT_EQ(fleet_completed(),
+            hogs.size() * (static_cast<std::uint64_t>(kHogSubmits) + 1));
+  EXPECT_NEAR(broker.backlog_seconds(), 0.0, 1e-9);
+  (*light)->Disconnect();
+  for (auto& runtime : owned) runtime->Disconnect();
+}
+
+TEST(TenancyTest, SecondSessionSeedsRatesFromBroker) {
+  // Node 1's real silicon runs at 1/4 of its spec sheet. Session A's
+  // adaptive_split launches converge onto the observed rates, which fold
+  // into the node broker's SHARED rate table. A second session
+  // connecting afterwards is seeded from that table at connect — so its
+  // very FIRST partitioned launch plans the converged split instead of
+  // re-living A's 50/50 straggler phase.
+  auto cluster = SimCluster::Create({.gpu_nodes = 2}, {},
+                                    SimCluster::PeerTopology::kFullMesh,
+                                    {1.0, 0.25});
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ClusterRuntime& a = (*cluster)->runtime();
+  ASSERT_TRUE(a.SetScheduler("adaptive_split").ok());
+
+  auto program = a.BuildProgram(kDoubler);
+  ASSERT_TRUE(program.ok());
+  const int n = 4096;
+  auto buffer = a.CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::int32_t> values(n, 1);
+  ASSERT_TRUE(a.WriteBuffer(*buffer, 0, values.data(), n * 4).ok());
+
+  sim::KernelCost hint;
+  hint.flops = 2e9;
+  hint.bytes = 1e6;
+  hint.work_items = n;
+  ClusterRuntime::LaunchSpec spec;
+  spec.program = *program;
+  spec.kernel_name = "doubler";
+  spec.args = {KernelArgValue::PartitionedBuffer(*buffer, 4),
+               KernelArgValue::Scalar<std::int32_t>(n)};
+  spec.global[0] = n;
+  spec.cost_hint = hint;
+
+  double a_first = 0.0;
+  double a_converged = 0.0;
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    auto result = a.LaunchKernel(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->shard_count, 2u);
+    if (iteration == 0) a_first = result->modeled_seconds;
+    a_converged = result->modeled_seconds;
+  }
+  const auto a_rate0 = a.ObservedKernelRate(0, "doubler");
+  const auto a_rate1 = a.ObservedKernelRate(1, "doubler");
+  ASSERT_GT(a_rate0.samples, 0u);
+  ASSERT_GT(a_rate1.samples, 0u);
+  // A's static 50/50 first launch straggled on the slow node.
+  ASSERT_GT(a_first, 1.4 * a_converged);
+
+  // Session B: its rate table is seeded during Connect, BEFORE it has
+  // launched anything.
+  RuntimeOptions options_b;
+  options_b.session_id = 2;
+  options_b.tenant_name = "beta";
+  auto b = (*cluster)->ConnectSecondSession(options_b);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_TRUE((*b)->SetScheduler("adaptive_split").ok());
+  const auto b_rate0 = (*b)->ObservedKernelRate(0, "doubler");
+  const auto b_rate1 = (*b)->ObservedKernelRate(1, "doubler");
+  ASSERT_GT(b_rate0.samples, 0u);
+  ASSERT_GT(b_rate1.samples, 0u);
+  // The seeded rates carry A's observation: node 1 is ~4x slower.
+  EXPECT_NEAR(b_rate1.seconds_per_flop / b_rate0.seconds_per_flop, 4.0, 1.2);
+
+  // B's FIRST launch already splits from the shared rates: makespan near
+  // A's converged plan, nowhere near A's straggler first launch.
+  auto b_program = (*b)->BuildProgram(kDoubler);
+  ASSERT_TRUE(b_program.ok());
+  auto b_buffer = (*b)->CreateBuffer(static_cast<std::uint64_t>(n) * 4);
+  ASSERT_TRUE(b_buffer.ok());
+  ASSERT_TRUE((*b)->WriteBuffer(*b_buffer, 0, values.data(), n * 4).ok());
+  ClusterRuntime::LaunchSpec b_spec = spec;
+  b_spec.program = *b_program;
+  b_spec.args = {KernelArgValue::PartitionedBuffer(*b_buffer, 4),
+                 KernelArgValue::Scalar<std::int32_t>(n)};
+  auto first = (*b)->LaunchKernel(b_spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->shard_count, 2u);
+  EXPECT_LE(first->modeled_seconds, 1.25 * a_converged)
+      << "seeded session did not plan from the shared rates";
+  EXPECT_LE(first->modeled_seconds, 0.75 * a_first);
+  ASSERT_TRUE((*b)->Finish().ok());
+  (*b)->Disconnect();
+}
+
+}  // namespace
+}  // namespace haocl::host

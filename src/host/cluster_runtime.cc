@@ -133,6 +133,7 @@ Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
   runtime->timeline_ = std::make_unique<VirtualTimeline>(
       sim::ClusterTopology::FromConfig(topo_config, runtime->options_.link));
   runtime->node_busy_ahead_.assign(runtime->nodes_.size(), 0.0);
+  runtime->node_dead_.assign(runtime->nodes_.size(), false);
   runtime->node_broker_backlog_.assign(runtime->nodes_.size(), 0.0);
   runtime->node_active_weight_.assign(runtime->nodes_.size(), 0.0);
   runtime->rate_table_ =
@@ -1434,12 +1435,35 @@ Expected<CommandHandle> ClusterRuntime::SubmitLaunch(
       node.node_backlog_seconds = node_broker_backlog_[i];
       node.tenant_weight = options_.tenant_weight;
       node.active_weight = node_active_weight_[i];
+      node.alive = !node_dead_[i];
       view.nodes.push_back(std::move(node));
     }
-    auto planned = policy_->PlanLaunch(task, view);
-    if (!planned.ok()) return planned.status();
-    HAOCL_RETURN_IF_ERROR(sched::ValidatePlan(*planned, task, view));
-    placement = *std::move(planned);
+    if (spec.force_node >= 0) {
+      // Elastic chunk sub-launch: placement was decided chunk-by-chunk by
+      // the coordinator, so bypass the policy — one shard, that node.
+      const auto forced = static_cast<std::size_t>(spec.force_node);
+      if (forced >= devices_.size()) {
+        return Status(ErrorCode::kInvalidValue,
+                      "force_node " + std::to_string(spec.force_node) +
+                          " out of range");
+      }
+      if (node_dead_[forced]) {
+        return Status(ErrorCode::kNodeLost,
+                      "node " + std::to_string(forced) +
+                          " is marked dead; chunk must be re-queued");
+      }
+      sched::PlacementShard shard;
+      shard.node = forced;
+      shard.global_offset = 0;
+      shard.global_count = task.dim0_extent;
+      placement.shards.push_back(shard);
+      HAOCL_RETURN_IF_ERROR(sched::ValidatePlan(placement, task, view));
+    } else {
+      auto planned = policy_->PlanLaunch(task, view);
+      if (!planned.ok()) return planned.status();
+      HAOCL_RETURN_IF_ERROR(sched::ValidatePlan(*planned, task, view));
+      placement = *std::move(planned);
+    }
     // Charge each shard's predicted compute seconds against its node's
     // backlog estimate NOW, so load-aware policies see work that is
     // submitted but not yet complete; the shard refunds the same amount
@@ -1872,6 +1896,10 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
     request.global_offset[d] = spec.global_offset[d];
   }
   request.local_specified = spec.local_specified;
+  // Elastic tag: lets the node skip this chunk if it was revoked between
+  // submit and execution (stolen by a peer / re-queued after a failure).
+  request.elastic_launch_id = spec.elastic_launch_id;
+  request.elastic_chunk_id = spec.elastic_chunk_id;
   if (spec.cost_hint.has_value()) {
     // Ship the analytic hint (shard-scaled at submit) so the node's
     // timing model profiles the work the scheduler accounts — the static
@@ -2024,6 +2052,13 @@ Status ClusterRuntime::ExecLaunch(const std::shared_ptr<LaunchWork>& work,
   if (sample_flops > 0.0) {
     rate_table_->Observe(node, spec.kernel_name,
                          result.modeled_seconds / sample_flops);
+  }
+  // Elastic re-executions (recovery re-runs, steal re-targets) account
+  // their input movement to the reexec bucket too: bytes a fault-free run
+  // would not have shipped.
+  if (spec.reexec && result.bytes_shipped > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.reexec_bytes += result.bytes_shipped;
   }
   // The shard is complete: refund its submit-time backlog charge (the
   // refund happens-before the command retires, so a waiter that observed
@@ -2459,6 +2494,226 @@ std::uint64_t ClusterRuntime::TotalBytesSent() const {
   return total;
 }
 
+Expected<ClusterRuntime::ElasticPreview> ClusterRuntime::PreviewPlacement(
+    const LaunchSpec& spec) {
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  auto program_it = programs_.find(spec.program);
+  if (program_it == programs_.end()) {
+    return Status(ErrorCode::kInvalidProgram,
+                  "no program " + std::to_string(spec.program));
+  }
+  const ProgramPtr program = program_it->second;
+  const oclc::CompiledFunction* kernel =
+      program->module->FindKernel(spec.kernel_name);
+  if (kernel == nullptr) {
+    return Status(ErrorCode::kInvalidKernelName,
+                  "no kernel '" + spec.kernel_name + "' in program");
+  }
+  if (kernel->params.size() != spec.args.size()) {
+    return Status(ErrorCode::kInvalidKernelArgs,
+                  "kernel '" + spec.kernel_name + "' takes " +
+                      std::to_string(kernel->params.size()) + " args, got " +
+                      std::to_string(spec.args.size()));
+  }
+  // Condensed TaskInfo build (SubmitLaunch's accounting, minus the
+  // per-buffer locality hints — the coordinator rebalances dynamically,
+  // so the initial split need not be locality-perfect).
+  sched::TaskInfo task;
+  task.kernel_name = spec.kernel_name;
+  task.user_id = options_.session_id;
+  task.preferred_node = spec.preferred_node;
+  task.fpga_binary_available =
+      driver::NativeKernelRegistry::Instance().Contains(spec.kernel_name);
+  task.dim0_extent = spec.global[0];
+  task.dim0_align =
+      spec.local_specified ? std::max<std::uint64_t>(1, spec.local[0]) : 1;
+  const bool range_free =
+      !KernelMayQueryLaunchRange(*program->module, *kernel);
+  task.splittable = spec.work_dim >= 1 && spec.global[0] > 0 && range_free;
+  std::vector<oclc::ArgBinding> fake_bindings;
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    const KernelArgValue& arg = spec.args[i];
+    if (arg.kind != KernelArgValue::Kind::kBuffer) {
+      fake_bindings.push_back(oclc::ArgBinding{});
+      continue;
+    }
+    auto it = buffers_.find(arg.buffer);
+    if (it == buffers_.end()) {
+      return Status(ErrorCode::kInvalidMemObject,
+                    "arg " + std::to_string(i) + ": no such buffer");
+    }
+    const bool written = !kernel->params[i].pointee_const;
+    const bool partitioned =
+        arg.access == KernelArgValue::Access::kPartitionedDim0 && range_free;
+    if (partitioned && arg.partition_stride == 0) {
+      return Status(ErrorCode::kInvalidValue,
+                    "arg " + std::to_string(i) +
+                        ": partitioned access needs a non-zero stride");
+    }
+    if (written && !partitioned) task.splittable = false;
+    task.input_bytes += partitioned ? spec.global[0] * arg.partition_stride
+                                    : it->second->size;
+    if (partitioned) {
+      task.bytes_per_index += arg.partition_stride;
+    } else {
+      task.replicated_bytes += it->second->size;
+    }
+    oclc::ArgBinding binding;
+    binding.kind = oclc::ArgBinding::Kind::kBuffer;
+    binding.size = it->second->size;
+    fake_bindings.push_back(binding);
+  }
+  if (!task.splittable) {
+    return Status(
+        ErrorCode::kInvalidOperation,
+        "kernel '" + spec.kernel_name +
+            "' is not splittable (elastic execution re-targets chunks "
+            "freely: the kernel must be range-free and every written "
+            "buffer annotated kPartitionedDim0)");
+  }
+  if (spec.cost_hint.has_value()) {
+    task.cost = *spec.cost_hint;
+  } else {
+    oclc::NDRange range;
+    range.work_dim = spec.work_dim;
+    for (int d = 0; d < 3; ++d) {
+      range.global[d] = spec.global[d];
+      range.local[d] = spec.local[d];
+      range.offset[d] = spec.global_offset[d];
+    }
+    range.local_specified = spec.local_specified;
+    task.cost = driver::EstimateKernelCost(*program->module, *kernel,
+                                           fake_bindings, range);
+  }
+
+  std::lock_guard<std::mutex> sched_lock(sched_mutex_);
+  sched::ClusterView view;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    sched::NodeView node;
+    node.name = devices_[i].name;
+    node.type = devices_[i].type;
+    node.spec = sim::SpecForType(devices_[i].type);
+    node.link = options_.link;
+    node.queue_depth = in_flight_[i];
+    node.busy_seconds_ahead = node_busy_ahead_[i];
+    node.observed_seconds_per_flop = rate_table_->NodeAverage(i);
+    const sched::KernelRateTable::Rate rate =
+        rate_table_->Lookup(i, spec.kernel_name);
+    node.kernel_seconds_per_flop = rate.seconds_per_flop;
+    node.kernel_rate_samples = rate.samples;
+    node.mem_capacity_bytes = node_pools_[i]->capacity();
+    node.mem_free_bytes = node_pools_[i]->free_bytes();
+    node.node_backlog_seconds = node_broker_backlog_[i];
+    node.tenant_weight = options_.tenant_weight;
+    node.active_weight = node_active_weight_[i];
+    node.alive = !node_dead_[i];
+    view.nodes.push_back(std::move(node));
+  }
+  auto planned = policy_->PlanLaunch(task, view);
+  if (!planned.ok()) return planned.status();
+  HAOCL_RETURN_IF_ERROR(sched::ValidatePlan(*planned, task, view));
+  ElasticPreview preview;
+  preview.plan = *std::move(planned);
+  preview.align = task.dim0_align;
+  preview.flops_total = task.cost.flops;
+  preview.cost = task.cost;
+  return preview;
+}
+
+Status ClusterRuntime::ProbeNode(std::size_t node) {
+  if (node >= nodes_.size()) {
+    return Status(ErrorCode::kInvalidValue,
+                  "no node " + std::to_string(node));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    if (node_dead_[node]) {
+      return Status(ErrorCode::kNodeLost,
+                    "node " + std::to_string(node) + " is marked dead");
+    }
+  }
+  // The heartbeat is answered on the node's receive path, ahead of its
+  // command queue, so a node busy with a long kernel still answers.
+  auto reply = CallNode(node, MsgType::kHeartbeat, {});
+  HAOCL_RETURN_IF_ERROR(CheckReply(reply, MsgType::kStatusReply));
+  auto decoded = net::StatusReply::Decode(reply->payload);
+  if (!decoded.ok()) return decoded.status();
+  return decoded->ToStatus();
+}
+
+bool ClusterRuntime::NodeAlive(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  return node < node_dead_.size() && !node_dead_[node];
+}
+
+Expected<std::vector<ClusterRuntime::LostRange>> ClusterRuntime::MarkNodeLost(
+    std::size_t node) {
+  if (node >= nodes_.size()) {
+    return Status(ErrorCode::kInvalidValue,
+                  "no node " + std::to_string(node));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    if (node_dead_[node]) return std::vector<LostRange>{};  // Idempotent.
+    node_dead_[node] = true;
+    // Its backlog will never drain; zero it so planners stop seeing it.
+    node_busy_ahead_[node] = 0.0;
+  }
+  // Sever the wire: every in-flight RPC to the node fails fast instead of
+  // waiting out its timeout, and nothing new can be sent.
+  nodes_[node]->Close();
+
+  // Directory fail-over. For every buffer region whose owner set contains
+  // the dead node:
+  //   - co-owned regions just drop the dead owner (a live replica keeps
+  //     the bytes fresh — the chunks that produced them must NOT re-run);
+  //   - sole-owner regions fall back to the host shadow, which physically
+  //     retains the PRE-image bytes of the range (launch epilogues only
+  //     flip directory state, they never scrub the shadow). Marking the
+  //     host fresh there restores the launch's input state, so
+  //     re-executing exactly the chunks that wrote these ranges
+  //     reproduces the lost outputs bit-identically.
+  std::vector<std::pair<BufferId, BufferPtr>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    snapshot.reserve(buffers_.size());
+    for (const auto& [id, buffer] : buffers_) snapshot.emplace_back(id, buffer);
+  }
+  const auto dead = static_cast<RegionDirectory::Owner>(node);
+  std::vector<LostRange> lost;
+  for (auto& [id, buffer] : snapshot) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    struct Pending {
+      std::uint64_t begin;
+      std::uint64_t end;
+      bool sole;
+    };
+    std::vector<Pending> pending;
+    for (const RegionDirectory::Region& region :
+         buffer->dir.Query(0, buffer->size)) {
+      bool has_dead = false;
+      for (RegionDirectory::Owner owner : region.owners) {
+        has_dead |= owner == dead;
+      }
+      if (!has_dead) continue;
+      pending.push_back({region.begin, region.end, region.owners.size() == 1});
+    }
+    for (const Pending& region : pending) {
+      if (region.sole) {
+        buffer->dir.AddOwner(region.begin, region.end, HostOwner());
+        lost.push_back({id, region.begin, region.end});
+      }
+      buffer->dir.RemoveOwner(region.begin, region.end, dead);
+    }
+    if (node < buffer->allocated_on.size()) {
+      buffer->allocated_on[node] = false;
+    }
+  }
+  HAOCL_INFO << "node " << node << " marked lost; " << lost.size()
+             << " sole-owner regions failed over to the host shadow";
+  return lost;
+}
+
 void ClusterRuntime::Disconnect() {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -2468,6 +2723,12 @@ void ClusterRuntime::Disconnect() {
   // Drain or fail every in-flight command before the wires go away.
   if (graph_ != nullptr) graph_->Shutdown();
   for (auto& node : nodes_) {
+    // Close the session FIRST so the node tears down its DeviceSession and
+    // unregisters the broker tenancy — a churny client (thousands of
+    // short-lived sessions) must not leak node-side state. kShutdown then
+    // only stops the worker; its handler cleans up again idempotently as a
+    // belt-and-braces for clients predating this ordering.
+    (void)node->Notify(MsgType::kCloseSession, options_.session_id, {});
     (void)node->Notify(MsgType::kShutdown, options_.session_id, {});
     node->Close();
   }

@@ -53,6 +53,7 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "elastic/fault_injector.h"
 #include "host/command_graph.h"
 #include "host/region_directory.h"
 #include "host/virtual_timeline.h"
@@ -213,6 +214,12 @@ struct TransferStats {
   std::uint64_t spill_bytes = 0;
   std::uint64_t spill_transfers = 0;
   std::uint64_t evicted_bytes = 0;
+  // Elastic-execution buckets: bytes shipped for chunk RE-executions
+  // (recovery re-runs and steal re-targets — movement a fault-free oracle
+  // run would not have paid), and chunks that changed owner via the steal
+  // or recovery path.
+  std::uint64_t reexec_bytes = 0;
+  std::uint64_t stolen_chunks = 0;
   [[nodiscard]] std::uint64_t host_payload_bytes() const {
     return host_bytes_out + host_bytes_in;
   }
@@ -249,6 +256,8 @@ struct BufferDirectorySnapshot {
     return true;
   }
 };
+
+class RuntimeChunkExecutor;  // host/elastic_launch.cc adapter.
 
 class ClusterRuntime {
  public:
@@ -299,6 +308,16 @@ class ClusterRuntime {
     std::uint64_t global_offset[3] = {0, 0, 0};
     bool local_specified = false;
     int preferred_node = -1;  // User instruction; -1 lets the policy pick.
+    // Elastic sub-launch plumbing. force_node >= 0 bypasses the policy
+    // entirely: the whole range runs on that node as one shard (the
+    // coordinator already decided placement chunk by chunk). The tags ride
+    // the wire so the node can skip the chunk if it was revoked after
+    // submit; reexec marks a recovery/steal re-run whose input bytes are
+    // accounted to TransferStats.reexec_bytes.
+    int force_node = -1;
+    std::uint64_t elastic_launch_id = 0;
+    std::uint64_t elastic_chunk_id = 0;
+    bool reexec = false;
     // Analytic work estimate. The driver's static estimator cannot see
     // data-dependent loop trip counts (e.g. the N-iteration dot product in
     // naive matmul), so workloads that know their exact flop/byte counts
@@ -408,6 +427,56 @@ class ClusterRuntime {
                     std::uint64_t size);
   Expected<LaunchResult> LaunchKernel(const LaunchSpec& spec);
 
+  // ---- Elastic execution (src/elastic) -----------------------------------
+  // LaunchElastic runs one splittable kernel launch as a ledger of
+  // steal-able chunks driven by a StealCoordinator: the plan's shards are
+  // cut into chunks, each chunk runs as a force_node sub-launch, drained
+  // nodes steal tail chunks from the slowest peer, and a node that dies
+  // mid-launch has its chunks re-queued onto survivors from directory
+  // state — the launch completes bit-identical either way.
+  struct ElasticOptions {
+    // Dim-0 indices per chunk (aligned up to the launch's dim0_align);
+    // 0 = cut each shard into kDefaultChunksPerShard chunks.
+    std::uint64_t chunk_rows = 0;
+    static constexpr std::uint64_t kDefaultChunksPerShard = 4;
+    bool stealing = true;              // Loop 1 (off = static plan).
+    std::size_t max_steal_chunks = 2;  // Tail chunks per steal.
+    bool heartbeat = false;            // Probe nodes between dispatches.
+    std::chrono::milliseconds heartbeat_interval{50};
+    // Deterministic scripted faults (tests/bench); not owned, may be null.
+    elastic::FaultInjector* fault_injector = nullptr;
+  };
+  struct ElasticResult {
+    LaunchResult launch;  // Aggregate, same meaning as LaunchKernel's.
+    std::uint64_t chunks_total = 0;
+    std::uint64_t chunks_stolen = 0;
+    std::uint64_t chunks_reexecuted = 0;
+    double makespan_seconds = 0.0;  // Max per-node modeled busy-seconds.
+    std::vector<double> node_busy_seconds;
+    std::vector<std::size_t> dead_nodes;  // Nodes that died mid-launch.
+  };
+  Expected<ElasticResult> LaunchElastic(const LaunchSpec& spec,
+                                        const ElasticOptions& options);
+  Expected<ElasticResult> LaunchElastic(const LaunchSpec& spec);
+
+  // ---- Node liveness ------------------------------------------------------
+  // One heartbeat round-trip to `node`; Ok = alive. A node already marked
+  // dead fails immediately with kNodeLost.
+  Status ProbeNode(std::size_t node);
+  // Declares `node` dead: excluded from future plans (NodeView.alive),
+  // launches forced onto it fail with kNodeLost, and every buffer region
+  // whose ONLY fresh copy lived there falls back to the host shadow's
+  // retained pre-image. Returns those sole-owner regions — the data that
+  // was actually lost (recovery re-executes exactly the chunks that
+  // produced it).
+  struct LostRange {
+    BufferId buffer = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  Expected<std::vector<LostRange>> MarkNodeLost(std::size_t node);
+  [[nodiscard]] bool NodeAlive(std::size_t node) const;
+
   // ---- Scheduling / monitoring -------------------------------------------
   Status SetScheduler(const std::string& policy_name);
   [[nodiscard]] const std::string& scheduler_name() const {
@@ -459,6 +528,9 @@ class ClusterRuntime {
 
  private:
   ClusterRuntime(Options options);
+  // Bridges the StealCoordinator's ChunkExecutor onto this runtime
+  // (host/elastic_launch.cc).
+  friend class RuntimeChunkExecutor;
 
   struct LogicalBuffer {
     // Guards the coherence fields (shadow, dir, allocated_on, stats) and
@@ -532,6 +604,22 @@ class ClusterRuntime {
                   std::uint64_t src_offset, BufferId dst_id,
                   const BufferPtr& dst, std::uint64_t dst_offset,
                   std::uint64_t size);
+  // Elastic planning: asks the policy for the initial shard split the
+  // chunk ledger is cut from, without submitting anything. Fails unless
+  // the launch is splittable (range-free kernel, every written buffer
+  // kPartitionedDim0) — elastic execution re-targets chunks freely, which
+  // only a splittable launch tolerates.
+  struct ElasticPreview {
+    sched::PlacementPlan plan;
+    std::uint64_t align = 1;
+    double flops_total = 0.0;   // Cost-model flops for the whole launch.
+    sim::KernelCost cost;       // Full-launch analytic cost; chunks carry
+                                // this (row-scaled) as their hint so a
+                                // chunk is billed its rows, not a cold
+                                // pass over the node's whole allocation.
+  };
+  Expected<ElasticPreview> PreviewPlacement(const LaunchSpec& spec);
+
   struct LaunchPlan;  // Queryable residue (LaunchResult) per launch.
   struct LaunchWork;  // Heavy captures owned by the command body.
   struct StageLink;   // Prefetch -> compute handoff of one OOC stage.
@@ -682,6 +770,9 @@ class ClusterRuntime {
   // per node. Charged under sched_mutex_ at submit, refunded at
   // retirement — never a cumulative history.
   std::vector<double> node_busy_ahead_;
+  // Liveness: nodes declared dead by MarkNodeLost (guarded by
+  // sched_mutex_; read into NodeView.alive at planning time).
+  std::vector<bool> node_dead_;
   // Last broker snapshot per node (guarded by sched_mutex_): total
   // admitted backlog across ALL sessions and the active fair-share
   // weight, piggybacked on every launch reply and refreshed by load

@@ -1,0 +1,331 @@
+// Elastic launch: ClusterRuntime::LaunchElastic and the adapter that
+// bridges the StealCoordinator's ChunkExecutor interface onto the runtime.
+//
+// The flow: PreviewPlacement asks the session's scheduling policy for the
+// initial shard split; the ChunkLedger cuts it into steal-able chunks;
+// the StealCoordinator drains the ledger, running each chunk as an
+// ordinary force_node sub-launch through the full coherence machinery
+// (slice prologue, directory epilogue, rate feedback). Work stealing and
+// failure recovery are entirely ledger-side re-targeting — the chunk
+// sub-launch path is oblivious to both, which is what keeps the result
+// bit-identical to the single-node run.
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <string>
+
+#include "common/log.h"
+#include "elastic/steal_coordinator.h"
+#include "host/cluster_runtime.h"
+
+namespace haocl::host {
+
+// The coordinator's window onto this runtime. All state it touches is
+// either public API or read under the runtime's own locks (friend).
+class RuntimeChunkExecutor : public elastic::ChunkExecutor {
+ public:
+  // Per-buffer-arg facts the executor needs for locality ranking and
+  // lost-row conversion (precomputed by LaunchElastic from kernel params).
+  struct PartArg {
+    BufferId id = 0;
+    std::uint64_t stride = 0;
+    bool written = false;
+  };
+
+  RuntimeChunkExecutor(ClusterRuntime* runtime,
+                       const ClusterRuntime::LaunchSpec& spec,
+                       std::uint64_t launch_id, double flops_total,
+                       std::vector<PartArg> part_args,
+                       elastic::FaultInjector* faults)
+      : runtime_(runtime),
+        spec_(spec),
+        launch_id_(launch_id),
+        faults_(faults),
+        part_args_(std::move(part_args)),
+        flops_total_(flops_total),
+        rows_total_(static_cast<double>(
+            std::max<std::uint64_t>(1, spec.global[0]))),
+        seconds_per_row_(runtime->devices_.size(), 0.0) {}
+
+  Expected<elastic::ChunkOutcome> Execute(const elastic::Chunk& chunk,
+                                          std::size_t node) override {
+    if (faults_ != nullptr) {
+      Status scripted = faults_->BeforeExecute(node);
+      if (!scripted.ok()) return scripted;
+    }
+    ClusterRuntime::LaunchSpec sub = spec_;
+    sub.global[0] = chunk.count;
+    sub.global_offset[0] = spec_.global_offset[0] + chunk.offset;
+    sub.preferred_node = -1;
+    sub.force_node = static_cast<int>(node);
+    sub.elastic_launch_id = launch_id_;
+    sub.elastic_chunk_id = chunk.id;
+    sub.reexec = chunk.stolen || chunk.attempts > 1;
+    if (spec_.cost_hint.has_value()) {
+      sub.cost_hint = spec_.cost_hint->Scaled(
+          static_cast<double>(chunk.count) / rows_total_);
+    }
+    auto result = runtime_->LaunchKernel(sub);
+    if (!result.ok()) return result.status();
+    double seconds = result->modeled_seconds;
+    if (faults_ != nullptr) seconds += faults_->AfterExecute(node);
+    {
+      // Learn the node's per-row rate from its own completed chunks (EWMA
+      // 0.5): the mis-calibration a straggler hides from the static model
+      // shows up here after its first chunk.
+      std::lock_guard<std::mutex> lock(mutex_);
+      const double per_row =
+          seconds / static_cast<double>(std::max<std::uint64_t>(1, chunk.count));
+      double& slot = seconds_per_row_[node];
+      slot = slot == 0.0 ? per_row : 0.5 * slot + 0.5 * per_row;
+    }
+    elastic::ChunkOutcome outcome;
+    outcome.modeled_seconds = seconds;
+    outcome.bytes_shipped = result->bytes_shipped;
+    return outcome;
+  }
+
+  void Revoke(std::size_t node, std::uint64_t launch_id,
+              const std::vector<std::uint64_t>& chunk_ids) override {
+    net::RevokeChunkRequest request;
+    request.launch_id = launch_id;
+    request.chunk_ids = chunk_ids;
+    // Best-effort: a failed revoke only risks wasted duplicate work on a
+    // node we may be about to declare dead anyway.
+    (void)runtime_->CallNode(node, net::MsgType::kRevokeChunk,
+                             request.Encode());
+  }
+
+  Status Probe(std::size_t node) override {
+    return runtime_->ProbeNode(node);
+  }
+
+  double SecondsPerRow(std::size_t node) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (node < seconds_per_row_.size() && seconds_per_row_[node] > 0.0) {
+        return seconds_per_row_[node];
+      }
+    }
+    // Cold start: the cross-launch learned rate table, scaled to rows.
+    const sched::KernelRateTable::Rate rate =
+        runtime_->ObservedKernelRate(node, spec_.kernel_name);
+    if (rate.samples > 0 && rate.seconds_per_flop > 0.0 &&
+        flops_total_ > 0.0) {
+      return rate.seconds_per_flop * (flops_total_ / rows_total_);
+    }
+    return 0.0;
+  }
+
+  double BacklogSeconds(std::size_t node) override {
+    std::lock_guard<std::mutex> lock(runtime_->sched_mutex_);
+    if (node >= runtime_->node_busy_ahead_.size()) return 0.0;
+    return runtime_->node_busy_ahead_[node] +
+           runtime_->node_broker_backlog_[node];
+  }
+
+  std::uint64_t ResidentRowsOn(std::size_t node, std::uint64_t offset,
+                               std::uint64_t count) override {
+    // The first partitioned arg stands in for the chunk's input locality.
+    for (const PartArg& arg : part_args_) {
+      if (arg.stride == 0) continue;
+      ClusterRuntime::BufferPtr buffer;
+      {
+        std::lock_guard<std::mutex> state_lock(runtime_->state_mutex_);
+        auto it = runtime_->buffers_.find(arg.id);
+        if (it == runtime_->buffers_.end()) return 0;
+        buffer = it->second;
+      }
+      const std::uint64_t begin =
+          (spec_.global_offset[0] + offset) * arg.stride;
+      const std::uint64_t end = begin + count * arg.stride;
+      // Advisory only — never block on a buffer amid a transfer.
+      std::unique_lock<std::mutex> buffer_lock(buffer->mutex,
+                                               std::try_to_lock);
+      if (!buffer_lock.owns_lock()) return 0;
+      std::uint64_t bytes = 0;
+      for (const RegionDirectory::Region& region :
+           buffer->dir.Query(begin, end)) {
+        for (RegionDirectory::Owner owner : region.owners) {
+          if (owner == node) bytes += region.end - region.begin;
+        }
+      }
+      return bytes / arg.stride;
+    }
+    return 0;
+  }
+
+  Expected<std::vector<elastic::ChunkLedger::RowSpan>> OnNodeDead(
+      std::size_t node) override {
+    auto lost = runtime_->MarkNodeLost(node);
+    if (!lost.ok()) return lost.status();
+    // Byte ranges -> plan-relative dim-0 row spans, via the WRITTEN
+    // partitioned args only: a lost input replica re-ships from its
+    // surviving owners for free, but a lost OUTPUT range means the chunk
+    // that produced it must re-run.
+    std::vector<elastic::ChunkLedger::RowSpan> spans;
+    const std::uint64_t first = spec_.global_offset[0];
+    const std::uint64_t extent = spec_.global[0];
+    for (const ClusterRuntime::LostRange& range : *lost) {
+      for (const PartArg& arg : part_args_) {
+        if (!arg.written || arg.id != range.buffer || arg.stride == 0) {
+          continue;
+        }
+        std::uint64_t row_begin = range.begin / arg.stride;
+        std::uint64_t row_end = (range.end + arg.stride - 1) / arg.stride;
+        row_begin = std::max(row_begin, first);
+        row_end = std::min(row_end, first + extent);
+        if (row_begin >= row_end) continue;
+        spans.push_back({row_begin - first, row_end - first});
+      }
+    }
+    return spans;
+  }
+
+ private:
+  ClusterRuntime* runtime_;
+  const ClusterRuntime::LaunchSpec spec_;
+  const std::uint64_t launch_id_;
+  elastic::FaultInjector* faults_;
+  const std::vector<PartArg> part_args_;
+  const double flops_total_;
+  const double rows_total_;
+  std::mutex mutex_;
+  std::vector<double> seconds_per_row_;  // Learned this launch, per node.
+};
+
+Expected<ClusterRuntime::ElasticResult> ClusterRuntime::LaunchElastic(
+    const LaunchSpec& spec) {
+  return LaunchElastic(spec, ElasticOptions{});
+}
+
+Expected<ClusterRuntime::ElasticResult> ClusterRuntime::LaunchElastic(
+    const LaunchSpec& spec, const ElasticOptions& options) {
+  if (spec.force_node >= 0 || spec.elastic_launch_id != 0) {
+    return Status(ErrorCode::kInvalidValue,
+                  "LaunchElastic drives its own chunk placement; do not set "
+                  "force_node or elastic tags on the spec");
+  }
+  auto preview = PreviewPlacement(spec);
+  if (!preview.ok()) return preview.status();
+
+  // Chunk granularity: explicit rows, or cut the largest shard into
+  // kDefaultChunksPerShard pieces so even a one-node plan yields work the
+  // peers can steal.
+  std::uint64_t chunk_rows = options.chunk_rows;
+  if (chunk_rows == 0) {
+    std::uint64_t max_shard = 0;
+    for (const sched::PlacementShard& shard : preview->plan.shards) {
+      max_shard = std::max(max_shard, shard.global_count);
+    }
+    chunk_rows = std::max<std::uint64_t>(
+        preview->align,
+        (max_shard + ElasticOptions::kDefaultChunksPerShard - 1) /
+            ElasticOptions::kDefaultChunksPerShard);
+  }
+
+  elastic::ChunkLedger ledger;
+  HAOCL_RETURN_IF_ERROR(ledger.Init(preview->plan, preview->align, chunk_rows));
+
+  static std::atomic<std::uint64_t> next_launch_id{1};
+  const std::uint64_t launch_id =
+      next_launch_id.fetch_add(1, std::memory_order_relaxed);
+
+  // Partitioned-arg metadata for the executor (written-ness from the
+  // kernel's parameter constness, as SubmitLaunch determines it).
+  std::vector<RuntimeChunkExecutor::PartArg> part_args;
+  {
+    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    auto program_it = programs_.find(spec.program);
+    if (program_it == programs_.end()) {
+      return Status(ErrorCode::kInvalidProgram,
+                    "no program " + std::to_string(spec.program));
+    }
+    const oclc::CompiledFunction* kernel =
+        program_it->second->module->FindKernel(spec.kernel_name);
+    if (kernel == nullptr) {
+      return Status(ErrorCode::kInvalidKernelName,
+                    "no kernel '" + spec.kernel_name + "'");
+    }
+    for (std::size_t i = 0; i < spec.args.size(); ++i) {
+      const KernelArgValue& arg = spec.args[i];
+      if (arg.kind != KernelArgValue::Kind::kBuffer ||
+          arg.access != KernelArgValue::Access::kPartitionedDim0) {
+        continue;
+      }
+      RuntimeChunkExecutor::PartArg part;
+      part.id = arg.buffer;
+      part.stride = arg.partition_stride;
+      part.written = !kernel->params[i].pointee_const;
+      part_args.push_back(part);
+    }
+  }
+
+  // Chunks carry the full launch's analytic cost scaled to their rows: a
+  // re-chunked device-side estimate would re-charge every chunk a cold
+  // pass over the node's whole resident allocation, billing ~N chunks at
+  // full-buffer memory time and drowning the real per-row rates the
+  // steal loop needs to see.
+  ClusterRuntime::LaunchSpec chunk_spec = spec;
+  if (!chunk_spec.cost_hint.has_value()) {
+    chunk_spec.cost_hint = preview->cost;
+  }
+  RuntimeChunkExecutor executor(this, chunk_spec, launch_id,
+                                preview->flops_total, std::move(part_args),
+                                options.fault_injector);
+
+  // Every live node participates — idle nodes outside the plan start with
+  // zero chunks and immediately steal, which is the point of elasticity.
+  std::vector<std::size_t> participants;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (NodeAlive(i)) participants.push_back(i);
+  }
+  if (participants.empty()) {
+    return Status(ErrorCode::kNodeLost, "no live nodes for elastic launch");
+  }
+
+  elastic::CoordinatorOptions coordinator_options;
+  coordinator_options.stealing = options.stealing;
+  coordinator_options.max_steal_chunks = options.max_steal_chunks;
+  coordinator_options.heartbeat = options.heartbeat;
+  coordinator_options.heartbeat_interval = options.heartbeat_interval;
+  coordinator_options.launch_id = launch_id;
+  elastic::StealCoordinator coordinator(&ledger, &executor, participants,
+                                        coordinator_options);
+  elastic::CoordinatorReport report = coordinator.Run();
+  HAOCL_RETURN_IF_ERROR(report.status);
+
+  if (report.chunks_stolen > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.stolen_chunks += report.chunks_stolen;
+  }
+
+  ElasticResult result;
+  result.chunks_total = report.chunks_total;
+  result.chunks_stolen = report.chunks_stolen;
+  result.chunks_reexecuted = report.chunks_reexecuted;
+  result.makespan_seconds = report.makespan_seconds;
+  result.node_busy_seconds = report.node_busy_seconds;
+  result.dead_nodes = report.dead_nodes;
+  result.launch.modeled_seconds = report.makespan_seconds;
+  result.launch.bytes_shipped = report.bytes_shipped;
+  result.launch.shard_count =
+      static_cast<std::uint32_t>(preview->plan.shards.size());
+  result.launch.stage_count = static_cast<std::uint32_t>(report.chunks_total);
+  // Report the busiest node as "the" node, like a multi-shard aggregate.
+  double busiest = -1.0;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (i < report.node_busy_seconds.size() &&
+        report.node_busy_seconds[i] > busiest) {
+      busiest = report.node_busy_seconds[i];
+      result.launch.node = participants[i];
+    }
+  }
+  HAOCL_DEBUG << "elastic launch " << launch_id << ": "
+              << report.chunks_total << " chunks, " << report.chunks_stolen
+              << " stolen, " << report.chunks_reexecuted << " re-executed, "
+              << report.dead_nodes.size() << " nodes lost";
+  return result;
+}
+
+}  // namespace haocl::host

@@ -38,11 +38,21 @@ enum class MsgType : std::uint16_t {
   kBuildProgram = 20,
   kReleaseProgram = 21,
   kLaunchKernel = 22,
+  // Elastic execution: host -> node cancellation of chunk sub-launches the
+  // coordinator re-targeted (stolen by a peer, or re-queued after their
+  // owner died). Intercepted on the node's receive path so revocation
+  // overtakes launches already queued behind long-running work.
+  kRevokeChunk = 23,
   // Monitoring (scheduler's runtime information).
   kQueryLoad = 30,
   // Broker introspection: the node's shared ledger, per-tenant serving
   // stats, and shared kernel rates (multi-tenant fairness surface).
   kQueryBroker = 31,
+  // Liveness probe: answered immediately on the node's receive path (never
+  // queued behind data-plane work), so a timely reply means the node is
+  // alive even when its command queue is deep. Paired with the RPC call
+  // deadline, a missed reply marks the node dead (kNodeLost).
+  kHeartbeat = 32,
   // Session control.
   kOpenSession = 40,
   kCloseSession = 41,

@@ -369,6 +369,8 @@ std::vector<std::uint8_t> LaunchKernelRequest::Encode() const {
     w.WriteU64(hint_work_items);
     w.WriteBool(hint_irregular);
   }
+  w.WriteU64(elastic_launch_id);
+  w.WriteU64(elastic_chunk_id);
   return std::move(w).Take();
 }
 
@@ -454,6 +456,13 @@ Expected<LaunchKernelRequest> LaunchKernelRequest::Decode(
     out.hint_work_items = *items;
     out.hint_irregular = *irregular;
   }
+  auto elastic_launch = r.ReadU64();
+  auto elastic_chunk = r.ReadU64();
+  if (!elastic_launch.ok() || !elastic_chunk.ok()) {
+    return Malformed("LaunchKernel elastic tag");
+  }
+  out.elastic_launch_id = *elastic_launch;
+  out.elastic_chunk_id = *elastic_chunk;
   return out;
 }
 
@@ -494,6 +503,31 @@ Expected<LaunchKernelReply> LaunchKernelReply::Decode(
   out.bytes_accessed = *accessed;
   out.node_backlog_seconds = *node_backlog;
   out.active_weight = *active;
+  return out;
+}
+
+std::vector<std::uint8_t> RevokeChunkRequest::Encode() const {
+  WireWriter w;
+  w.WriteU64(launch_id);
+  w.WriteU32(static_cast<std::uint32_t>(chunk_ids.size()));
+  for (std::uint64_t id : chunk_ids) w.WriteU64(id);
+  return std::move(w).Take();
+}
+
+Expected<RevokeChunkRequest> RevokeChunkRequest::Decode(
+    const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  RevokeChunkRequest out;
+  auto launch = r.ReadU64();
+  auto count = r.ReadU32();
+  if (!launch.ok() || !count.ok()) return Malformed("RevokeChunk");
+  out.launch_id = *launch;
+  out.chunk_ids.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.ReadU64();
+    if (!id.ok()) return Malformed("RevokeChunk");
+    out.chunk_ids.push_back(*id);
+  }
   return out;
 }
 

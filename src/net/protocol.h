@@ -215,6 +215,12 @@ struct LaunchKernelRequest {
   double hint_bytes = 0.0;
   std::uint64_t hint_work_items = 0;
   bool hint_irregular = false;
+  // Elastic-execution tag: non-zero launch id marks this request as one
+  // chunk of a host-coordinated elastic launch. A node checks the pair
+  // against its revoked-chunk set before running — a revoked chunk is
+  // skipped with kChunkRevoked instead of executed twice.
+  std::uint64_t elastic_launch_id = 0;
+  std::uint64_t elastic_chunk_id = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static Expected<LaunchKernelRequest> Decode(
@@ -236,6 +242,20 @@ struct LaunchKernelReply {
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static Expected<LaunchKernelReply> Decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+// Host -> node: the steal coordinator re-targeted these chunks of an
+// elastic launch (a peer stole them, or their owner died and survivors
+// take over). The node must not run them even if their kLaunchKernel
+// requests are already queued; it skips each with kChunkRevoked. The NMP
+// answers this on its receive path, ahead of queued data-plane work.
+struct RevokeChunkRequest {
+  std::uint64_t launch_id = 0;
+  std::vector<std::uint64_t> chunk_ids;
+
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static Expected<RevokeChunkRequest> Decode(
       const std::vector<std::uint8_t>& bytes);
 };
 

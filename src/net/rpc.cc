@@ -1,15 +1,24 @@
 #include "net/rpc.h"
 
+#include <string>
+#include <vector>
+
 #include "common/log.h"
 
 namespace haocl::net {
 
 RpcClient::RpcClient(ConnectionPtr connection)
     : connection_(std::move(connection)) {
+  monitor_ = std::thread([this] { MonitorLoop(); });
   connection_->Start([this](Message msg) { OnMessage(std::move(msg)); });
 }
 
 RpcClient::~RpcClient() { Close(); }
+
+void RpcClient::SetCallTimeout(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  call_timeout_ = timeout;
+}
 
 RpcClient::ReplyFuture RpcClient::CallAsync(MsgType type,
                                             std::uint64_t session,
@@ -20,10 +29,20 @@ RpcClient::ReplyFuture RpcClient::CallAsync(MsgType type,
   msg.session = session;
   msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   msg.payload = std::move(payload);
+  bool armed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    pending_[msg.seq] = future;
+    PendingCall call;
+    call.future = future;
+    call.type = type;
+    if (call_timeout_.count() > 0) {
+      call.has_deadline = true;
+      call.deadline = std::chrono::steady_clock::now() + call_timeout_;
+      armed = true;
+    }
+    pending_[msg.seq] = std::move(call);
   }
+  if (armed) monitor_cv_.notify_one();
   Status sent = connection_->Send(msg);
   if (!sent.ok()) {
     {
@@ -67,25 +86,68 @@ void RpcClient::OnMessage(Message msg) {
                   << MsgTypeName(msg.type);
       return;
     }
-    future = it->second;
+    future = std::move(it->second.future);
     pending_.erase(it);
   }
   future->Set(Expected<Message>(std::move(msg)));
 }
 
+void RpcClient::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_monitor_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    std::vector<std::pair<ReplyFuture, MsgType>> expired;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.has_deadline && it->second.deadline <= now) {
+        expired.emplace_back(std::move(it->second.future), it->second.type);
+        it = pending_.erase(it);
+      } else {
+        if (it->second.has_deadline) {
+          earliest = std::min(earliest, it->second.deadline);
+        }
+        ++it;
+      }
+    }
+    if (!expired.empty()) {
+      // Fail outside the lock: a waiter's continuation may call back in.
+      lock.unlock();
+      for (auto& [future, type] : expired) {
+        future->Set(Expected<Message>(Status(
+            ErrorCode::kNodeLost,
+            std::string("RPC deadline expired for ") + MsgTypeName(type) +
+                ": node presumed lost")));
+      }
+      lock.lock();
+      continue;
+    }
+    if (earliest == std::chrono::steady_clock::time_point::max()) {
+      monitor_cv_.wait(lock);
+    } else {
+      monitor_cv_.wait_until(lock, earliest);
+    }
+  }
+}
+
 void RpcClient::FailAllPending(const Status& status) {
-  std::unordered_map<std::uint64_t, ReplyFuture> orphaned;
+  std::unordered_map<std::uint64_t, PendingCall> orphaned;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     orphaned.swap(pending_);
   }
-  for (auto& [seq, future] : orphaned) {
-    future->Set(Expected<Message>(status));
+  for (auto& [seq, call] : orphaned) {
+    call.future->Set(Expected<Message>(status));
   }
 }
 
 void RpcClient::Close() {
   if (closed_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_monitor_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
   connection_->Close();
   FailAllPending(Status(ErrorCode::kNodeUnreachable, "client closed"));
 }

@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "common/sync.h"
@@ -30,8 +32,17 @@ class RpcClient {
   using ReplyFuture = std::shared_ptr<Promise<Expected<Message>>>;
 
   // Sends a request and returns a future the caller can Wait() on.
+  // When a call timeout is configured (SetCallTimeout), the future fails
+  // with kNodeLost if no reply arrives within the deadline — a hung or
+  // dead peer can no longer park a CallAsync waiter forever.
   ReplyFuture CallAsync(MsgType type, std::uint64_t session,
                         std::vector<std::uint8_t> payload);
+
+  // Arms a per-call deadline on every subsequent CallAsync/Call: a pending
+  // RPC unanswered for `timeout` fails with kNodeLost (the liveness
+  // layer's signal that the peer is gone). Zero disables (the default, the
+  // legacy wait-forever behaviour for async callers).
+  void SetCallTimeout(std::chrono::milliseconds timeout);
 
   // Synchronous convenience: send and wait (with timeout).
   Expected<Message> Call(MsgType type, std::uint64_t session,
@@ -53,12 +64,26 @@ class RpcClient {
   }
 
  private:
+  struct PendingCall {
+    ReplyFuture future;
+    MsgType type = MsgType::kStatusReply;  // For the timeout diagnostic.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
   void OnMessage(Message msg);
   void FailAllPending(const Status& status);
+  // Deadline monitor: sleeps until the earliest pending deadline and fails
+  // expired calls with kNodeLost. Parked when nothing has a deadline.
+  void MonitorLoop();
 
   ConnectionPtr connection_;
   std::mutex mutex_;
-  std::unordered_map<std::uint64_t, ReplyFuture> pending_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::chrono::milliseconds call_timeout_{0};  // Guarded by mutex_.
+  bool stop_monitor_ = false;                  // Guarded by mutex_.
+  std::condition_variable monitor_cv_;
+  std::thread monitor_;
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<bool> closed_{false};
 };

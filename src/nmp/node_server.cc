@@ -39,8 +39,19 @@ void NodeServer::Serve(net::ConnectionPtr connection) {
   channel->connection = std::move(connection);
   Channel* raw = channel.get();
   // Asynchronous listener: enqueue and return to listening, exactly the
-  // paper's accept-then-listen-again loop.
+  // paper's accept-then-listen-again loop. Control-plane messages —
+  // chunk revocations and heartbeats — are handled right here on the
+  // receive path, BEFORE the inbox: a revocation must overtake the queued
+  // launches it revokes, and a heartbeat must get answered even while the
+  // worker is busy executing a long kernel.
   raw->connection->Start([this, raw](Message msg) {
+    if (msg.type == MsgType::kRevokeChunk || msg.type == MsgType::kHeartbeat) {
+      Message reply = HandleControlMessage(msg);
+      reply.seq = msg.seq;
+      reply.session = msg.session;
+      if (msg.seq != 0) (void)raw->connection->Send(reply);
+      return;
+    }
     queue_depth_.fetch_add(1, std::memory_order_relaxed);
     raw->inbox.Push(std::move(msg));
   });
@@ -63,7 +74,16 @@ void NodeServer::Serve(net::ConnectionPtr connection) {
 void NodeServer::WorkerLoop(Channel* channel) {
   while (auto msg = channel->inbox.Pop()) {
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
-    if (msg->type == MsgType::kShutdown) break;
+    if (msg->type == MsgType::kShutdown) {
+      // A client that vanishes with kShutdown but never kCloseSession must
+      // not leak its session or its broker tenancy (session-churn fix).
+      {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        sessions_.erase(msg->session);
+      }
+      broker_.UnregisterTenant(msg->session);
+      break;
+    }
     Message reply = HandleMessage(*msg);
     reply.seq = msg->seq;
     reply.session = msg->session;
@@ -99,6 +119,39 @@ runtime::DeviceSession& NodeServer::SessionFor(std::uint64_t session_id) {
         driver_.get(), broker_.LedgerFor(session_id));
   }
   return *slot;
+}
+
+Message NodeServer::HandleControlMessage(const Message& request) {
+  Message reply;
+  reply.type = MsgType::kStatusReply;
+  switch (request.type) {
+    case MsgType::kHeartbeat: {
+      // Liveness only: answering at all is the signal.
+      reply.payload = net::StatusReply::FromStatus(Status::Ok()).Encode();
+      break;
+    }
+    case MsgType::kRevokeChunk: {
+      auto decoded = net::RevokeChunkRequest::Decode(request.payload);
+      if (!decoded.ok()) {
+        reply.payload = net::StatusReply::FromStatus(decoded.status()).Encode();
+        break;
+      }
+      SessionFor(request.session)
+          .RevokeChunks(decoded->launch_id, decoded->chunk_ids);
+      reply.payload = net::StatusReply::FromStatus(Status::Ok()).Encode();
+      break;
+    }
+    default: {
+      reply.payload =
+          net::StatusReply::FromStatus(
+              Status(ErrorCode::kProtocolError,
+                     std::string("not a control message: ") +
+                         net::MsgTypeName(request.type)))
+              .Encode();
+      break;
+    }
+  }
+  return reply;
 }
 
 Message NodeServer::HandleMessage(const Message& request) {

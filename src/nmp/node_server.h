@@ -80,6 +80,10 @@ class NodeServer {
 
   void WorkerLoop(Channel* channel);
   net::Message HandleMessage(const net::Message& request);
+  // Control-plane messages (kRevokeChunk, kHeartbeat) answered on the
+  // receive path, ahead of the per-connection inbox, so they overtake
+  // queued launches and get through while the worker is busy.
+  net::Message HandleControlMessage(const net::Message& request);
   runtime::DeviceSession& SessionFor(std::uint64_t session_id);
   // The RPC client for `peer_index`, or nullptr when no link exists.
   net::RpcClient* PeerClient(std::size_t peer_index);

@@ -492,6 +492,30 @@ bool ShardFitsOrStages(const TaskInfo& task, const NodeView& node,
   return task.MinStageBytes() <= node.mem_capacity_bytes;
 }
 
+std::vector<ChunkSpan> ChunkifyPlan(const PlacementPlan& plan,
+                                    std::uint64_t align,
+                                    std::uint64_t chunk_rows) {
+  if (align == 0) align = 1;
+  // Round the chunk size up to the alignment so every chunk boundary is a
+  // legal shard boundary.
+  std::uint64_t rows = chunk_rows == 0 ? 0 : (chunk_rows + align - 1) /
+                                                 align * align;
+  std::vector<ChunkSpan> chunks;
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    const PlacementShard& shard = plan.shards[s];
+    const std::uint64_t step =
+        rows == 0 ? std::max<std::uint64_t>(1, shard.global_count) : rows;
+    for (std::uint64_t off = 0; off < shard.global_count; off += step) {
+      ChunkSpan chunk;
+      chunk.shard = s;
+      chunk.offset = shard.global_offset + off;
+      chunk.count = std::min(step, shard.global_count - off);
+      chunks.push_back(chunk);
+    }
+  }
+  return chunks;
+}
+
 std::vector<std::size_t> ClusterView::EligibleFor(const TaskInfo& task) const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < nodes.size(); ++i) {

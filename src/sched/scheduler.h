@@ -189,6 +189,26 @@ Status ValidatePlan(const PlacementPlan& plan, const TaskInfo& task,
 bool ShardFitsOrStages(const TaskInfo& task, const NodeView& node,
                        std::uint64_t count);
 
+// One steal-able chunk of a placement plan: `count` dim-0 indices starting
+// at plan-relative `offset`, initially owned by `plan.shards[shard].node`.
+// The elastic runtime's ChunkLedger tracks these pending -> running ->
+// done; a chunk is the revocation granule work stealing and failure
+// recovery re-target.
+struct ChunkSpan {
+  std::size_t shard = 0;      // Index into plan.shards.
+  std::uint64_t offset = 0;   // Plan-relative dim-0 offset.
+  std::uint64_t count = 0;
+};
+
+// Decomposes every shard of `plan` into chunks of at most `chunk_rows`
+// dim-0 indices (rounded up to a multiple of `align`; the last chunk of a
+// shard is the short remainder). Chunks tile each shard in offset order, so
+// [shard begin, shard end) == the union of its chunks, gap-free. A zero
+// `chunk_rows` yields one chunk per shard (chunking disabled).
+std::vector<ChunkSpan> ChunkifyPlan(const PlacementPlan& plan,
+                                    std::uint64_t align,
+                                    std::uint64_t chunk_rows);
+
 class SchedulingPolicy {
  public:
   virtual ~SchedulingPolicy() = default;

@@ -1,0 +1,383 @@
+// StealCoordinator unit tests against a scripted mock executor: virtual-time
+// dispatch, straggler stealing with revocation, transient-vs-fatal failure
+// triage, mid-launch death recovery, and the all-dead terminal case.
+#include "elastic/steal_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "elastic/fault_injector.h"
+
+namespace haocl::elastic {
+namespace {
+
+sched::PlacementPlan PlanFor(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& shards) {
+  sched::PlacementPlan plan;
+  std::uint64_t offset = 0;
+  for (const auto& [node, rows] : shards) {
+    plan.shards.push_back(
+        {.node = node, .global_offset = offset, .global_count = rows});
+    offset += rows;
+  }
+  return plan;
+}
+
+// Executor with per-node scripted seconds-per-row, failure scripts, and a
+// full audit trail of what ran where.
+class MockExecutor : public ChunkExecutor {
+ public:
+  struct Exec {
+    std::uint64_t chunk_id;
+    std::size_t node;
+    std::uint64_t offset;
+    std::uint64_t count;
+  };
+
+  explicit MockExecutor(std::vector<double> seconds_per_row)
+      : seconds_per_row_(std::move(seconds_per_row)) {}
+
+  Expected<ChunkOutcome> Execute(const Chunk& chunk,
+                                 std::size_t node) override {
+    auto transient = fail_times_.find(node);
+    if (transient != fail_times_.end() && transient->second > 0) {
+      --transient->second;
+      return Status(fail_code_, "scripted transient failure");
+    }
+    if (fail_after_.count(node) != 0 && executed_on_[node] >= fail_after_[node]) {
+      return Status(fail_code_, "scripted failure");
+    }
+    ++executed_on_[node];
+    executions_.push_back({chunk.id, node, chunk.offset, chunk.count});
+    ChunkOutcome outcome;
+    outcome.modeled_seconds =
+        static_cast<double>(chunk.count) * seconds_per_row_[node];
+    outcome.bytes_shipped = chunk.count * 4;
+    return outcome;
+  }
+
+  void Revoke(std::size_t node, std::uint64_t launch_id,
+              const std::vector<std::uint64_t>& chunk_ids) override {
+    for (std::uint64_t id : chunk_ids) revokes_[node].insert(id);
+    revoke_order_.push_back(node);
+    last_revoke_launch_ = launch_id;
+  }
+
+  Status Probe(std::size_t node) override {
+    if (dead_to_probe_.count(node) != 0) {
+      return Status(ErrorCode::kNodeLost, "probe: dead");
+    }
+    return Status::Ok();
+  }
+
+  double SecondsPerRow(std::size_t node) override {
+    return seconds_per_row_[node];
+  }
+  double BacklogSeconds(std::size_t node) override {
+    auto it = backlog_.find(node);
+    return it == backlog_.end() ? 0.0 : it->second;
+  }
+  std::uint64_t ResidentRowsOn(std::size_t node, std::uint64_t offset,
+                               std::uint64_t count) override {
+    auto it = resident_.find(node);
+    if (it == resident_.end()) return 0;
+    const auto [begin, end] = it->second;
+    const std::uint64_t lo = std::max(offset, begin);
+    const std::uint64_t hi = std::min(offset + count, end);
+    return hi > lo ? hi - lo : 0;
+  }
+
+  Expected<std::vector<ChunkLedger::RowSpan>> OnNodeDead(
+      std::size_t node) override {
+    dead_declared_.insert(node);
+    auto it = lost_rows_.find(node);
+    if (it == lost_rows_.end()) return std::vector<ChunkLedger::RowSpan>{};
+    return it->second;
+  }
+
+  std::vector<double> seconds_per_row_;
+  std::map<std::size_t, double> backlog_;
+  // Node -> resident row window [begin, end) for locality ranking.
+  std::map<std::size_t, std::pair<std::uint64_t, std::uint64_t>> resident_;
+  // Node -> fail every Execute once `executed_on_` reaches this count.
+  std::map<std::size_t, std::uint64_t> fail_after_;
+  // Node -> fail the next N Executes, then recover (transient faults).
+  std::map<std::size_t, std::uint64_t> fail_times_;
+  ErrorCode fail_code_ = ErrorCode::kNodeLost;
+  std::set<std::size_t> dead_to_probe_;
+  std::map<std::size_t, std::vector<ChunkLedger::RowSpan>> lost_rows_;
+
+  std::vector<Exec> executions_;
+  std::map<std::size_t, std::uint64_t> executed_on_;
+  std::map<std::size_t, std::set<std::uint64_t>> revokes_;
+  std::vector<std::size_t> revoke_order_;  // Victims, in steal order.
+  std::uint64_t last_revoke_launch_ = 0;
+  std::set<std::size_t> dead_declared_;
+};
+
+TEST(StealCoordinatorTest, BalancedNodesKeepTheirOwnChunks) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 64}, {1, 64}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001});
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.chunks_total, 8u);
+  EXPECT_EQ(report.chunks_stolen, 0u);
+  EXPECT_EQ(report.chunks_reexecuted, 0u);
+  for (const auto& e : exec.executions_) {
+    EXPECT_EQ(e.node, e.offset < 64 ? 0u : 1u);
+  }
+  EXPECT_TRUE(ledger.AllDone());
+  // Both clocks ~0.064s; makespan is the max.
+  EXPECT_NEAR(report.makespan_seconds, 0.064, 1e-9);
+}
+
+TEST(StealCoordinatorTest, FastNodeStealsStragglerTail) {
+  // Node 0 is 5x slower than node 1 but the plan split 50/50 (the host's
+  // static model was wrong). Node 1 must steal node 0's tail.
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 64}, {1, 64}}), 1, 16).ok());
+  MockExecutor exec({0.005, 0.001});
+  CoordinatorOptions options;
+  options.launch_id = 42;
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, options);
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_GT(report.chunks_stolen, 0u);
+  EXPECT_EQ(report.chunks_reexecuted, 0u);  // Stealing never re-runs work.
+  // Stolen chunks were revoked on the victim, tagged with the launch id.
+  EXPECT_FALSE(exec.revokes_[0].empty());
+  EXPECT_EQ(exec.last_revoke_launch_, 42u);
+  // Every row ran exactly once (no dropped, no duplicated work).
+  std::set<std::uint64_t> rows;
+  for (const auto& e : exec.executions_) {
+    for (std::uint64_t r = e.offset; r < e.offset + e.count; ++r) {
+      EXPECT_TRUE(rows.insert(r).second) << "row " << r << " ran twice";
+    }
+  }
+  EXPECT_EQ(rows.size(), 128u);
+  // The makespan beats the no-steal schedule (node 0 alone: 0.32s).
+  EXPECT_LT(report.makespan_seconds, 0.32);
+}
+
+TEST(StealCoordinatorTest, StealingOffRunsStaticPlan) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 64}, {1, 64}}), 1, 16).ok());
+  MockExecutor exec({0.005, 0.001});
+  CoordinatorOptions options;
+  options.stealing = false;
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, options);
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.chunks_stolen, 0u);
+  EXPECT_NEAR(report.makespan_seconds, 0.32, 1e-9);  // The straggler's tail.
+}
+
+TEST(StealCoordinatorTest, BacklogBiasesVictimChoice) {
+  // Nodes 1 and 2 have identical pending work, but node 2 also has broker
+  // backlog queued ahead — it is the slower one to finish, so the thief
+  // must pick it.
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{1, 32}, {2, 32}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001, 0.001});
+  exec.backlog_[2] = 1.0;
+  CoordinatorOptions options;
+  options.max_steal_chunks = 1;
+  StealCoordinator coordinator(&ledger, &exec, {0, 1, 2}, options);
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok());
+  ASSERT_GT(report.chunks_stolen, 0u);
+  // The first steal hit the backlogged node.
+  ASSERT_FALSE(exec.revoke_order_.empty());
+  EXPECT_EQ(exec.revoke_order_.front(), 2u);
+}
+
+TEST(StealCoordinatorTest, LocalityBreaksVictimTies) {
+  // Two equally-loaded victims; the thief's directory already holds node
+  // 2's rows [32, 64), so node 2 is preferred within the 10% work band.
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{1, 32}, {2, 32}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001, 0.001});
+  exec.resident_[0] = {32, 64};
+  CoordinatorOptions options;
+  options.max_steal_chunks = 1;
+  StealCoordinator coordinator(&ledger, &exec, {0, 1, 2}, options);
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok());
+  ASSERT_GT(report.chunks_stolen, 0u);
+  // The FIRST steal (both victims equally loaded) chose the local one;
+  // later steals may legitimately drain the other victim too.
+  ASSERT_FALSE(exec.revoke_order_.empty());
+  EXPECT_EQ(exec.revoke_order_.front(), 2u);
+}
+
+TEST(StealCoordinatorTest, TransientErrorRetriesWithoutFailOver) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 32}, {1, 32}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001});
+  // Node 0's first two Executes fail with a network error, but the node
+  // still answers probes: transient, chunk re-queued, node stays alive and
+  // finishes its share after the retries.
+  exec.fail_times_[0] = 2;
+  exec.fail_code_ = ErrorCode::kNetworkError;
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_TRUE(report.dead_nodes.empty());
+  EXPECT_GT(exec.executed_on_[0], 0u);
+  EXPECT_TRUE(ledger.AllDone());
+}
+
+TEST(StealCoordinatorTest, FatalErrorAbortsLaunch) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 32}}), 1, 16).ok());
+  MockExecutor exec({0.001});
+  exec.fail_after_[0] = 0;
+  exec.fail_code_ = ErrorCode::kInvalidKernelName;  // Not a liveness error.
+  StealCoordinator coordinator(&ledger, &exec, {0}, {});
+  const CoordinatorReport report = coordinator.Run();
+  EXPECT_EQ(report.status.code(), ErrorCode::kInvalidKernelName);
+  EXPECT_TRUE(report.dead_nodes.empty());
+}
+
+TEST(StealCoordinatorTest, DeadNodeChunksRequeueOntoSurvivors) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 64}, {1, 64}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001});
+  // Node 0 completes 2 chunks then every Execute fails kNodeLost, and
+  // probes agree it is dead. Its outputs for rows [0,32) survived (no
+  // lost_rows_ script) so only the NOT-done chunks re-run on node 1.
+  exec.fail_after_[0] = 2;
+  exec.dead_to_probe_.insert(0);
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  ASSERT_EQ(report.dead_nodes.size(), 1u);
+  EXPECT_EQ(report.dead_nodes[0], 0u);
+  EXPECT_EQ(exec.dead_declared_.count(0), 1u);
+  EXPECT_TRUE(ledger.AllDone());
+  // Done rows [0,32) ran exactly once; everything else completed on node 1.
+  std::map<std::uint64_t, std::uint64_t> runs;
+  for (const auto& e : exec.executions_) {
+    for (std::uint64_t r = e.offset; r < e.offset + e.count; ++r) ++runs[r];
+  }
+  for (std::uint64_t r = 0; r < 128; ++r) {
+    EXPECT_EQ(runs[r], 1u) << "row " << r;
+  }
+}
+
+TEST(StealCoordinatorTest, LostOutputRowsReexecute) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 64}, {1, 64}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001});
+  exec.fail_after_[0] = 2;  // Dies with [0,32) done...
+  exec.dead_to_probe_.insert(0);
+  exec.lost_rows_[0] = {{16, 32}};  // ...but [16,32)'s output died with it.
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_TRUE(ledger.AllDone());
+  std::map<std::uint64_t, std::uint64_t> runs;
+  for (const auto& e : exec.executions_) {
+    for (std::uint64_t r = e.offset; r < e.offset + e.count; ++r) ++runs[r];
+  }
+  for (std::uint64_t r = 0; r < 128; ++r) {
+    EXPECT_EQ(runs[r], r >= 16 && r < 32 ? 2u : 1u) << "row " << r;
+  }
+  EXPECT_GE(report.chunks_reexecuted, 1u);
+}
+
+TEST(StealCoordinatorTest, AllNodesDeadReportsNodeLost) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 32}, {1, 32}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001});
+  exec.fail_after_[0] = 0;
+  exec.fail_after_[1] = 0;
+  exec.dead_to_probe_ = {0, 1};
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  const CoordinatorReport report = coordinator.Run();
+  EXPECT_EQ(report.status.code(), ErrorCode::kNodeLost);
+  EXPECT_EQ(report.dead_nodes.size(), 2u);
+}
+
+TEST(StealCoordinatorTest, NotifyNodeDeadTakesEffectBeforeDispatch) {
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 32}, {1, 32}}), 1, 16).ok());
+  MockExecutor exec({0.001, 0.001});
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  coordinator.NotifyNodeDead(0);
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok());
+  ASSERT_EQ(report.dead_nodes.size(), 1u);
+  EXPECT_EQ(report.dead_nodes[0], 0u);
+  // Node 0 never ran anything; node 1 ran all 64 rows.
+  EXPECT_EQ(exec.executed_on_[0], 0u);
+  EXPECT_TRUE(ledger.AllDone());
+}
+
+TEST(StealCoordinatorTest, RevokedExecutionRetargetsInsteadOfLooping) {
+  // An Execute that returns kChunkRevoked (device-side skip) re-queues the
+  // chunk; the launch still completes with every row run exactly once.
+  ChunkLedger ledger;
+  ASSERT_TRUE(ledger.Init(PlanFor({{0, 32}, {1, 32}}), 1, 16).ok());
+  class RevokeOnce : public MockExecutor {
+   public:
+    using MockExecutor::MockExecutor;
+    Expected<ChunkOutcome> Execute(const Chunk& chunk,
+                                   std::size_t node) override {
+      if (!tripped_ && node == 0) {
+        tripped_ = true;
+        return Status(ErrorCode::kChunkRevoked, "skipped");
+      }
+      return MockExecutor::Execute(chunk, node);
+    }
+    bool tripped_ = false;
+  } exec({0.001, 0.001});
+  StealCoordinator coordinator(&ledger, &exec, {0, 1}, {});
+  const CoordinatorReport report = coordinator.Run();
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_TRUE(report.dead_nodes.empty());
+  std::set<std::uint64_t> rows;
+  for (const auto& e : exec.executions_) {
+    for (std::uint64_t r = e.offset; r < e.offset + e.count; ++r) {
+      EXPECT_TRUE(rows.insert(r).second);
+    }
+  }
+  EXPECT_EQ(rows.size(), 64u);
+}
+
+TEST(FaultInjectorTest, ScriptedKillTripsAfterNChunks) {
+  FaultInjector faults;
+  faults.ScriptKill(0, /*after_chunks=*/2);
+  int hook_fired = 0;
+  faults.SetKillHook([&](std::size_t node) {
+    EXPECT_EQ(node, 0u);
+    ++hook_fired;
+  });
+  EXPECT_TRUE(faults.BeforeExecute(0).ok());
+  faults.AfterExecute(0);
+  EXPECT_TRUE(faults.BeforeExecute(0).ok());
+  faults.AfterExecute(0);  // Completion #2 trips the kill.
+  EXPECT_EQ(hook_fired, 1);
+  EXPECT_TRUE(faults.IsDead(0));
+  const Status dead = faults.BeforeExecute(0);
+  EXPECT_EQ(dead.code(), ErrorCode::kNodeLost);
+  EXPECT_EQ(faults.CompletedChunks(0), 2u);
+  // Other nodes are untouched.
+  EXPECT_TRUE(faults.BeforeExecute(1).ok());
+}
+
+TEST(FaultInjectorTest, ScriptedDelaySlowsLaterChunks) {
+  FaultInjector faults;
+  faults.ScriptDelay(1, /*after_chunks=*/1, /*seconds=*/0.25);
+  EXPECT_TRUE(faults.BeforeExecute(1).ok());
+  EXPECT_EQ(faults.AfterExecute(1), 0.0);   // Chunk 1: no delay yet.
+  EXPECT_EQ(faults.AfterExecute(1), 0.25);  // Chunk 2 onward: delayed.
+  EXPECT_EQ(faults.AfterExecute(1), 0.25);
+}
+
+}  // namespace
+}  // namespace haocl::elastic

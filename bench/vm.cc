@@ -1,0 +1,253 @@
+// VM engine benchmark: lane-batched execution vs the legacy per-work-item
+// interpreter on IDENTICAL bytecode, single-threaded so the number is the
+// per-group engine speedup (dispatch amortization + trace fusion), not
+// pool parallelism. Outputs are compared byte-for-byte — a speedup that
+// changes bits is a bug, and the harness exits nonzero.
+//
+// Emits BENCH_vm.json. Gate: the matmul MAC loop must run >= 10x faster
+// batched, or the exit code is nonzero (CI fails).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "oclc/program.h"
+#include "oclc/vm.h"
+
+namespace {
+
+using namespace haocl;
+using Clock = std::chrono::steady_clock;
+
+struct BenchCase {
+  std::string name;
+  std::string kernel;
+  std::string source;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::vector<oclc::ArgBinding> scalar_tail;
+  oclc::NDRange range;
+};
+
+struct BenchResult {
+  std::string name;
+  double interp_seconds = 0.0;
+  double batched_seconds = 0.0;
+  double speedup = 0.0;
+  std::uint64_t instructions = 0;
+  std::uint64_t batch_steps = 0;
+  std::uint64_t fused_steps = 0;
+  std::uint64_t bailouts = 0;
+  bool identical = false;
+};
+
+std::vector<std::uint8_t> RandomFloats(std::mt19937& rng, std::size_t count) {
+  std::uniform_real_distribution<float> val(-1.0f, 1.0f);
+  std::vector<float> v(count);
+  for (float& x : v) x = val(rng);
+  std::vector<std::uint8_t> bytes(count * 4);
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+// Runs one engine over private copies of the case's buffers; returns the
+// best-of-3 wall seconds and leaves the mutated buffers in `out`.
+double TimeEngine(const oclc::Module& module, const BenchCase& bench,
+                  oclc::VmEngine engine, oclc::VmStats* stats,
+                  std::vector<std::vector<std::uint8_t>>* out) {
+  const oclc::CompiledFunction* fn = module.FindKernel(bench.kernel);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "no kernel '%s'\n", bench.kernel.c_str());
+    std::exit(1);
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<std::vector<std::uint8_t>> buffers = bench.buffers;
+    std::vector<oclc::ArgBinding> args;
+    for (auto& b : buffers) {
+      args.push_back(oclc::ArgBinding::Buffer(b.data(), b.size()));
+    }
+    for (const auto& s : bench.scalar_tail) args.push_back(s);
+    oclc::LaunchOptions options;
+    options.num_threads = 1;
+    options.engine = engine;
+    const auto t0 = Clock::now();
+    Status s = LaunchKernel(module, *fn, args, bench.range, options, stats);
+    const double seconds = std::chrono::duration<double>(Clock::now() - t0)
+                               .count();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", bench.name.c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+    if (seconds < best) best = seconds;
+    if (rep == 2) *out = std::move(buffers);
+  }
+  return best;
+}
+
+BenchResult RunCase(const BenchCase& bench) {
+  auto module = oclc::Compile(bench.source);
+  if (!module.ok()) {
+    std::fprintf(stderr, "%s: %s\n", bench.name.c_str(),
+                 module.status().ToString().c_str());
+    std::exit(1);
+  }
+  BenchResult result;
+  result.name = bench.name;
+  std::vector<std::vector<std::uint8_t>> interp_out, batched_out;
+  oclc::VmStats interp_stats, batched_stats;
+  result.interp_seconds = TimeEngine(**module, bench,
+                                     oclc::VmEngine::kInterpreter,
+                                     &interp_stats, &interp_out);
+  result.batched_seconds = TimeEngine(**module, bench,
+                                      oclc::VmEngine::kBatched,
+                                      &batched_stats, &batched_out);
+  result.speedup = result.interp_seconds / result.batched_seconds;
+  result.instructions = batched_stats.instructions;
+  result.batch_steps = batched_stats.batch_steps;
+  result.fused_steps = batched_stats.fused_steps;
+  result.bailouts = batched_stats.bailouts;
+  result.identical = interp_out.size() == batched_out.size();
+  for (std::size_t i = 0; result.identical && i < interp_out.size(); ++i) {
+    result.identical = interp_out[i] == batched_out[i];
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937 rng(20200707);
+  std::vector<BenchCase> cases;
+
+  {
+    // The headline: the matmul MAC inner loop (acc += a[..]*b[..]), the
+    // hottest bytecode the Table I workloads run.
+    BenchCase c;
+    c.name = "matmul";
+    c.kernel = "matmul";
+    c.source = R"(
+      __kernel void matmul(__global const float* a, __global const float* b,
+                           __global float* c, int n) {
+        int row = get_global_id(0);
+        int col = get_global_id(1);
+        float acc = 0.0f;
+        for (int k = 0; k < n; k++) {
+          acc += a[row * n + k] * b[k * n + col];
+        }
+        c[row * n + col] = acc;
+      })";
+    const int n = 128;
+    c.buffers = {RandomFloats(rng, static_cast<std::size_t>(n) * n),
+                 RandomFloats(rng, static_cast<std::size_t>(n) * n),
+                 std::vector<std::uint8_t>(static_cast<std::size_t>(n) * n * 4,
+                                           0)};
+    c.scalar_tail = {oclc::ArgBinding::Int(n)};
+    c.range.work_dim = 2;
+    c.range.global[0] = n;
+    c.range.global[1] = n;
+    cases.push_back(std::move(c));
+  }
+  {
+    // Streaming stencil: uniform control flow, memory heavy.
+    BenchCase c;
+    c.name = "stencil";
+    c.kernel = "stencil";
+    c.source = R"(
+      __kernel void stencil(__global const float* in, __global float* out,
+                            int n) {
+        int i = get_global_id(0);
+        float left = i > 0 ? in[i - 1] : 0.0f;
+        float right = i < n - 1 ? in[i + 1] : 0.0f;
+        out[i] = 0.25f * left + 0.5f * in[i] + 0.25f * right;
+      })";
+    const int n = 1 << 20;
+    c.buffers = {RandomFloats(rng, n),
+                 std::vector<std::uint8_t>(static_cast<std::size_t>(n) * 4, 0)};
+    c.scalar_tail = {oclc::ArgBinding::Int(n)};
+    c.range.global[0] = n;
+    cases.push_back(std::move(c));
+  }
+  {
+    // Divergent top-K insertion: the bail-out path's worst case — the
+    // batched engine should never be much SLOWER than the interpreter.
+    BenchCase c;
+    c.name = "topk_divergent";
+    c.kernel = "topk";
+    c.source = R"(
+      __kernel void topk(__global const float* dist, __global float* best,
+                         int n) {
+        int t = get_global_id(0);
+        int stride = (int)get_global_size(0);
+        float best_d = 1.0e30f;
+        for (int i = t; i < n; i += stride) {
+          if (dist[i] < best_d) best_d = dist[i];
+        }
+        best[t] = best_d;
+      })";
+    const int n = 1 << 18;
+    c.buffers = {RandomFloats(rng, n),
+                 std::vector<std::uint8_t>(256 * 4, 0)};
+    c.scalar_tail = {oclc::ArgBinding::Int(n)};
+    c.range.global[0] = 256;
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<BenchResult> results;
+  bool all_identical = true;
+  double matmul_speedup = 0.0;
+  for (const BenchCase& bench : cases) {
+    BenchResult r = RunCase(bench);
+    std::printf("%-16s interp %8.4fs  batched %8.4fs  speedup %6.2fx  "
+                "fused %llu  bailouts %llu  %s\n",
+                r.name.c_str(), r.interp_seconds, r.batched_seconds,
+                r.speedup, static_cast<unsigned long long>(r.fused_steps),
+                static_cast<unsigned long long>(r.bailouts),
+                r.identical ? "bit-identical" : "OUTPUTS DIVERGED");
+    all_identical = all_identical && r.identical;
+    if (r.name == "matmul") matmul_speedup = r.speedup;
+    results.push_back(std::move(r));
+  }
+
+  FILE* json = std::fopen("BENCH_vm.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_vm.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"kernels\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"name\": \"%s\", \"interp_seconds\": %.6f, "
+        "\"batched_seconds\": %.6f, \"speedup\": %.2f, "
+        "\"instructions\": %llu, \"batch_steps\": %llu, "
+        "\"fused_steps\": %llu, \"bailouts\": %llu, "
+        "\"bit_identical\": %s}%s\n",
+        r.name.c_str(), r.interp_seconds, r.batched_seconds, r.speedup,
+        static_cast<unsigned long long>(r.instructions),
+        static_cast<unsigned long long>(r.batch_steps),
+        static_cast<unsigned long long>(r.fused_steps),
+        static_cast<unsigned long long>(r.bailouts),
+        r.identical ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"matmul_speedup_gate\": 10.0\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_vm.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: batched outputs diverged from interpreter\n");
+    return 1;
+  }
+  if (matmul_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: matmul batched speedup %.2fx below the 10x gate\n",
+                 matmul_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -107,9 +107,10 @@ class SimulatedDriver : public DeviceDriver {
     const NativeKernelFn* native =
         NativeKernelRegistry::Instance().Find(kernel_name);
     bool used_native = false;
+    oclc::VmStats vm_stats;
     if (native != nullptr) {
       oclc::NDRange run_range = range;
-      oclc::ChooseLocalSize(run_range);
+      oclc::ChooseLocalSize(run_range, kernel);
       HAOCL_RETURN_IF_ERROR((*native)(args, run_range));
       used_native = true;
     } else if (require_native_binary_) {
@@ -121,7 +122,7 @@ class SimulatedDriver : public DeviceDriver {
       oclc::LaunchOptions options;
       options.num_threads = exec_threads_;
       HAOCL_RETURN_IF_ERROR(
-          oclc::LaunchKernel(module, *kernel, args, range, options));
+          oclc::LaunchKernel(module, *kernel, args, range, options, &vm_stats));
     }
 
     if (profile != nullptr) {
@@ -134,6 +135,11 @@ class SimulatedDriver : public DeviceDriver {
       profile->flops = static_cast<std::uint64_t>(cost.flops);
       profile->bytes_accessed = static_cast<std::uint64_t>(cost.bytes);
       profile->used_native_binary = used_native;
+      profile->vm_instructions = vm_stats.instructions;
+      profile->vm_batch_steps = vm_stats.batch_steps;
+      profile->vm_fused_steps = vm_stats.fused_steps;
+      profile->vm_bailouts = vm_stats.bailouts;
+      profile->vm_threads_used = vm_stats.threads_used;
     }
     return Status::Ok();
   }
@@ -147,6 +153,13 @@ class SimulatedDriver : public DeviceDriver {
 int HostThreads() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 4 : static_cast<int>(hc);
+}
+
+// One host thread per simulated compute unit: the VM's work-group pool
+// stands in for the device's CU-level parallelism, clamped to the host
+// silicon actually present.
+int ExecThreadsFor(const sim::DeviceSpec& spec) {
+  return sim::ExecPoolWidth(spec, HostThreads());
 }
 
 }  // namespace
@@ -213,23 +226,30 @@ void NativeKernelRegistry::Unregister(const std::string& kernel_name) {
 }
 
 std::unique_ptr<DeviceDriver> MakeCpuDriver() {
-  return std::make_unique<SimulatedDriver>(sim::XeonE52686(), HostThreads(),
+  sim::DeviceSpec spec = sim::XeonE52686();
+  const int threads = ExecThreadsFor(spec);
+  return std::make_unique<SimulatedDriver>(std::move(spec), threads,
                                            /*require_native_binary=*/false);
 }
 
 std::unique_ptr<DeviceDriver> MakeGpuDriver() {
-  return std::make_unique<SimulatedDriver>(sim::TeslaP4(), HostThreads(),
+  sim::DeviceSpec spec = sim::TeslaP4();
+  const int threads = ExecThreadsFor(spec);
+  return std::make_unique<SimulatedDriver>(std::move(spec), threads,
                                            /*require_native_binary=*/false);
 }
 
 std::unique_ptr<DeviceDriver> MakeFpgaDriver() {
-  return std::make_unique<SimulatedDriver>(sim::XilinxVU9P(), HostThreads(),
+  sim::DeviceSpec spec = sim::XilinxVU9P();
+  const int threads = ExecThreadsFor(spec);
+  return std::make_unique<SimulatedDriver>(std::move(spec), threads,
                                            /*require_native_binary=*/true);
 }
 
 std::unique_ptr<DeviceDriver> MakeSimulatedDriver(sim::DeviceSpec spec,
                                                   bool require_native_binary) {
-  return std::make_unique<SimulatedDriver>(std::move(spec), HostThreads(),
+  const int threads = ExecThreadsFor(spec);
+  return std::make_unique<SimulatedDriver>(std::move(spec), threads,
                                            require_native_binary);
 }
 

@@ -25,6 +25,15 @@ struct LaunchProfile {
   std::uint64_t flops = 0;
   std::uint64_t bytes_accessed = 0;
   bool used_native_binary = false;
+  // VM execution counters (zero when the launch ran a native binary).
+  // `vm_instructions` is the exact retired work-item instruction count —
+  // unlike `flops`, which is a static-mix estimate — so sessions can
+  // report real dynamic work per kernel.
+  std::uint64_t vm_instructions = 0;
+  std::uint64_t vm_batch_steps = 0;   // Batched dispatches (per group).
+  std::uint64_t vm_fused_steps = 0;   // Dispatches through fused ops.
+  std::uint64_t vm_bailouts = 0;      // Groups that diverged to the oracle.
+  int vm_threads_used = 0;            // Work-group pool width.
 };
 
 class DeviceDriver {

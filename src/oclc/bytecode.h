@@ -40,11 +40,19 @@ enum class Opcode : std::uint8_t {
   kBarrier,      // work-group barrier
 };
 
+// Batchability metadata the codegen attaches to instructions. The lane-batch
+// engine (vm_batch.cc) runs a whole work-group in lockstep; a branch whose
+// condition is group-uniform (proven by codegen's conservative analysis)
+// lets the engine take lane 0's direction without scanning every lane.
+inline constexpr std::uint8_t kInstrFlagUniformBranch = 1u << 0;
+
 struct Instruction {
   Opcode op = Opcode::kNop;
   ScalarType type = ScalarType::kVoid;  // Operand type for typed ops.
   std::int32_t a = 0;                   // Primary operand (slot/target/id).
   std::int32_t b = 0;                   // Secondary operand.
+  std::uint8_t flags = 0;               // kInstrFlag* bits (last: emit sites
+                                        // brace-init the first four fields).
 };
 
 // Runtime representation of any scalar value. The static type is carried by
@@ -92,6 +100,11 @@ struct CompiledFunction {
   std::uint32_t local_slots = 0;  // Scalar slots incl. params.
   std::vector<ArrayAlloc> arrays;  // Body-declared local/private arrays.
   bool uses_barrier = false;
+  // Peak operand-stack depth of this function's own frame (exact, computed
+  // by codegen from the emitted bytecode). The lane-batch engine sizes its
+  // SoA stack from this so pushes inside the dispatch loop are unchecked.
+  // 0 means "unknown" and disables batched execution for the function.
+  std::uint32_t max_stack_slots = 0;
 };
 
 // A compiled translation unit: shared code array + literal pool + functions.

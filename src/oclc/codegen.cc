@@ -1,5 +1,6 @@
 #include "oclc/codegen.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
@@ -29,17 +30,257 @@ class FunctionGen {
     }
     next_slot_ = fn_.local_slot_count;
 
+    AnalyzeUniformity();
     CollectArrays(*fn_.body, out.arrays);
     HAOCL_RETURN_IF_ERROR(EmitStmt(*fn_.body));
     // Implicit return for void functions / fallthrough.
     Emit({Opcode::kReturn, ScalarType::kVoid, 0, 0});
 
     out.local_slots = static_cast<std::uint32_t>(next_slot_);
+    out.max_stack_slots = ComputeMaxStack(out.entry_pc);
     module_.functions.push_back(std::move(out));
     return Status::Ok();
   }
 
  private:
+  // ------------------------------------------------ Batchability analyses
+
+  // Group-uniformity of local slots, computed to a fixpoint before emission.
+  // A slot is uniform when every write to it stores a group-uniform value;
+  // the lane-batch engine then reads a uniform branch condition from lane 0
+  // alone. Conservative: memory loads, get_global_id/get_local_id, atomics,
+  // and user calls are non-uniform. Flags are a pure optimization — the
+  // engine scans every lane when a branch is unflagged.
+  void AnalyzeUniformity() {
+    slot_uniform_.assign(fn_.local_slot_count, true);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ScanStmtUniform(*fn_.body, changed);
+    }
+  }
+
+  [[nodiscard]] bool SlotUniform(int slot) const {
+    // Scratch slots (allocated during emission, beyond the analyzed range)
+    // hold addresses/memory values: non-uniform.
+    return slot >= 0 &&
+           static_cast<std::size_t>(slot) < slot_uniform_.size() &&
+           slot_uniform_[slot];
+  }
+
+  void Demote(int slot, bool& changed) {
+    if (slot >= 0 && static_cast<std::size_t>(slot) < slot_uniform_.size() &&
+        slot_uniform_[slot]) {
+      slot_uniform_[slot] = false;
+      changed = true;
+    }
+  }
+
+  [[nodiscard]] static bool IsIncDec(const Expr& e) {
+    return e.kind == ExprKind::kUnary &&
+           (e.unary_op == UnaryOp::kPreInc || e.unary_op == UnaryOp::kPreDec ||
+            e.unary_op == UnaryOp::kPostInc ||
+            e.unary_op == UnaryOp::kPostDec);
+  }
+
+  [[nodiscard]] bool ExprUniform(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kIntLiteral:
+      case ExprKind::kFloatLiteral:
+      case ExprKind::kBoolLiteral:
+        return true;
+      case ExprKind::kVarRef:
+        // Array decay pushes a constant encoded pointer: uniform.
+        return e.symbol_slot < 0 || SlotUniform(e.symbol_slot);
+      case ExprKind::kBinary:
+        return ExprUniform(*e.children[0]) && ExprUniform(*e.children[1]);
+      case ExprKind::kUnary:
+        if (IsIncDec(e)) {
+          const Expr& operand = *e.children[0];
+          return operand.kind == ExprKind::kVarRef &&
+                 SlotUniform(operand.symbol_slot);
+        }
+        return ExprUniform(*e.children[0]);
+      case ExprKind::kAssign: {
+        bool uniform = ExprUniform(*e.children[1]);
+        if (e.compound) {
+          const Expr& lhs = *e.children[0];
+          uniform = uniform && lhs.kind == ExprKind::kVarRef &&
+                    SlotUniform(lhs.symbol_slot);
+        }
+        return uniform;
+      }
+      case ExprKind::kCall: {
+        if (e.builtin_id == -2) return true;  // barrier(): void.
+        if (e.builtin_id < 0) return false;   // User calls: conservative.
+        const auto id = static_cast<BuiltinId>(e.builtin_id);
+        if (id == BuiltinId::kGetGlobalId || id == BuiltinId::kGetLocalId ||
+            IsAtomic(id)) {
+          return false;
+        }
+        // Group ids/sizes/offsets and pure math: uniform in uniform args.
+        for (const ExprPtr& arg : e.children) {
+          if (!ExprUniform(*arg)) return false;
+        }
+        return true;
+      }
+      case ExprKind::kSubscript:
+        return false;  // Memory another work-item may have written.
+      case ExprKind::kCast:
+        return ExprUniform(*e.children[0]);
+      case ExprKind::kTernary:
+        return ExprUniform(*e.children[0]) && ExprUniform(*e.children[1]) &&
+               ExprUniform(*e.children[2]);
+    }
+    return false;
+  }
+
+  void ScanExprUniform(const Expr& e, bool& changed) {
+    for (const ExprPtr& child : e.children) {
+      if (child != nullptr) ScanExprUniform(*child, changed);
+    }
+    if (e.kind == ExprKind::kAssign) {
+      const Expr& lhs = *e.children[0];
+      if (lhs.kind == ExprKind::kVarRef && lhs.symbol_slot >= 0 &&
+          !ExprUniform(e)) {
+        Demote(lhs.symbol_slot, changed);
+      }
+    }
+    // ++/-- preserves the slot's uniformity (old value +/- a literal).
+  }
+
+  void ScanStmtUniform(const Stmt& stmt, bool& changed) {
+    if (stmt.kind == StmtKind::kDecl) {
+      for (const Declarator& decl : stmt.declarators) {
+        if (decl.array_size != nullptr || decl.init == nullptr) continue;
+        if (!ExprUniform(*decl.init)) Demote(decl.slot, changed);
+      }
+    }
+    if (stmt.expr != nullptr) ScanExprUniform(*stmt.expr, changed);
+    if (stmt.cond != nullptr) ScanExprUniform(*stmt.cond, changed);
+    if (stmt.step != nullptr) ScanExprUniform(*stmt.step, changed);
+    for (const StmtPtr& child : stmt.body) {
+      if (child != nullptr) ScanStmtUniform(*child, changed);
+    }
+  }
+
+  // Tags a just-emitted conditional jump whose condition is group-uniform.
+  void FlagIfUniform(std::size_t at, const Expr& cond) {
+    if (ExprUniform(cond)) {
+      module_.code[at].flags |= kInstrFlagUniformBranch;
+    }
+  }
+
+  // Exact peak operand-stack depth of this function's own frame, from a
+  // worklist walk over the emitted bytecode's static stack effects. The
+  // lane-batch engine pre-sizes its SoA stack from this; returns 0 (meaning
+  // "unknown", batching disabled) if the walk finds an inconsistency.
+  [[nodiscard]] std::uint32_t ComputeMaxStack(std::uint32_t entry) const {
+    const auto& code = module_.code;
+    const std::size_t n = code.size();
+    if (entry >= n) return 0;
+    std::vector<std::int32_t> height(n, -1);
+    std::vector<std::uint32_t> work;
+    height[entry] = 0;
+    work.push_back(entry);
+    std::int32_t peak = 0;
+    bool ok = true;
+
+    auto visit = [&](std::size_t pc, std::int32_t h) {
+      if (pc >= n || h < 0) {
+        ok = false;
+        return;
+      }
+      if (height[pc] == -1) {
+        height[pc] = h;
+        work.push_back(static_cast<std::uint32_t>(pc));
+      } else if (height[pc] != h) {
+        ok = false;
+      }
+    };
+
+    while (ok && !work.empty()) {
+      const std::uint32_t pc = work.back();
+      work.pop_back();
+      const std::int32_t h = height[pc];
+      const Instruction& in = code[pc];
+      std::int32_t delta = 0;
+      switch (in.op) {
+        case Opcode::kPushConst:
+        case Opcode::kLoadLocal:
+        case Opcode::kDup:
+          delta = 1;
+          break;
+        case Opcode::kStoreLocal:
+        case Opcode::kPop:
+        case Opcode::kPtrAdd:
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kDiv:
+        case Opcode::kMod:
+        case Opcode::kBitAnd:
+        case Opcode::kBitOr:
+        case Opcode::kBitXor:
+        case Opcode::kShl:
+        case Opcode::kShr:
+        case Opcode::kEq:
+        case Opcode::kNe:
+        case Opcode::kLt:
+        case Opcode::kLe:
+        case Opcode::kGt:
+        case Opcode::kGe:
+          delta = -1;
+          break;
+        case Opcode::kStoreMem:
+          delta = -2;
+          break;
+        case Opcode::kCall: {
+          const FunctionDecl& callee = *unit_.functions[in.a];
+          delta = -in.b + (callee.return_type.IsVoid() ? 0 : 1);
+          break;
+        }
+        case Opcode::kCallBuiltin:
+          delta = -in.b + (in.type != ScalarType::kVoid ? 1 : 0);
+          break;
+        default:
+          // kNop, kLoadMem, kNeg, kBitNot, kLogicalNot, kConvert, jumps,
+          // kReturn, kBarrier: net zero (jumps handled below; kJumpIf* pops
+          // its condition, see successor deltas).
+          delta = 0;
+          break;
+      }
+      if (in.op == Opcode::kJumpIfFalse || in.op == Opcode::kJumpIfTrue) {
+        delta = -1;
+      }
+      const std::int32_t after = h + delta;
+      if (after < 0) {
+        ok = false;
+        break;
+      }
+      peak = std::max(peak, std::max(h, after));
+      switch (in.op) {
+        case Opcode::kReturn:
+          break;  // Terminal.
+        case Opcode::kJump:
+          visit(static_cast<std::size_t>(in.a), after);
+          break;
+        case Opcode::kJumpIfFalse:
+        case Opcode::kJumpIfTrue:
+          visit(static_cast<std::size_t>(in.a), after);
+          visit(pc + 1, after);
+          break;
+        default:
+          visit(pc + 1, after);
+          break;
+      }
+    }
+    if (!ok) return 0;
+    // 0 must mean "unknown": a trivial frame that never pushes still
+    // reports one slot so batching stays enabled.
+    return static_cast<std::uint32_t>(std::max(peak, 1));
+  }
+
   // ----------------------------------------------------------- Emit helpers
 
   std::size_t Emit(Instruction instr) {
@@ -161,6 +402,7 @@ class FunctionGen {
         HAOCL_RETURN_IF_ERROR(EmitExpr(*stmt.cond, true));
         ToBool(stmt.cond->type);
         std::size_t to_else = EmitJump(Opcode::kJumpIfFalse);
+        FlagIfUniform(to_else, *stmt.cond);
         HAOCL_RETURN_IF_ERROR(EmitStmt(*stmt.body[0]));
         if (stmt.body.size() > 1) {
           std::size_t to_end = EmitJump(Opcode::kJump);
@@ -183,6 +425,7 @@ class FunctionGen {
           HAOCL_RETURN_IF_ERROR(EmitExpr(*stmt.cond, true));
           ToBool(stmt.cond->type);
           to_end = EmitJump(Opcode::kJumpIfFalse);
+          FlagIfUniform(to_end, *stmt.cond);
         }
         loops_.push_back({});
         HAOCL_RETURN_IF_ERROR(EmitStmt(*stmt.body[1]));
@@ -206,6 +449,7 @@ class FunctionGen {
         HAOCL_RETURN_IF_ERROR(EmitExpr(*stmt.cond, true));
         ToBool(stmt.cond->type);
         std::size_t to_end = EmitJump(Opcode::kJumpIfFalse);
+        FlagIfUniform(to_end, *stmt.cond);
         loops_.push_back({});
         HAOCL_RETURN_IF_ERROR(EmitStmt(*stmt.body[0]));
         JumpTo(cond_pc);
@@ -225,8 +469,9 @@ class FunctionGen {
         std::size_t cond_pc = module_.code.size();
         HAOCL_RETURN_IF_ERROR(EmitExpr(*stmt.cond, true));
         ToBool(stmt.cond->type);
-        Emit({Opcode::kJumpIfTrue, ScalarType::kVoid,
-              static_cast<std::int32_t>(body_pc), 0});
+        std::size_t back_jump = Emit({Opcode::kJumpIfTrue, ScalarType::kVoid,
+                                      static_cast<std::int32_t>(body_pc), 0});
+        FlagIfUniform(back_jump, *stmt.cond);
         LoopContext loop = loops_.back();
         loops_.pop_back();
         for (std::size_t at : loop.breaks) PatchJump(at);
@@ -329,6 +574,7 @@ class FunctionGen {
         HAOCL_RETURN_IF_ERROR(EmitExpr(cond, true));
         ToBool(cond.type);
         std::size_t to_else = EmitJump(Opcode::kJumpIfFalse);
+        FlagIfUniform(to_else, cond);
         HAOCL_RETURN_IF_ERROR(EmitExpr(then_expr, true));
         if (!expr.type.is_pointer) {
           Convert(then_expr.type.is_pointer ? ScalarType::kU64
@@ -375,6 +621,7 @@ class FunctionGen {
       ToBool(lhs.type);
       std::size_t shortcut =
           EmitJump(is_and ? Opcode::kJumpIfFalse : Opcode::kJumpIfTrue);
+      FlagIfUniform(shortcut, lhs);
       HAOCL_RETURN_IF_ERROR(EmitExpr(rhs, true));
       ToBool(rhs.type);
       std::size_t to_end = EmitJump(Opcode::kJump);
@@ -707,6 +954,7 @@ class FunctionGen {
   Module& module_;
   std::unordered_map<std::uint64_t, std::int32_t> literal_index_;
   std::vector<LoopContext> loops_;
+  std::vector<bool> slot_uniform_;  // See AnalyzeUniformity().
   int next_slot_ = 0;
 };
 

@@ -1,998 +1,35 @@
+// Kernel launch driver: validation, local-size selection, the work-group
+// worker pool, and the legacy per-work-item interpreter (the oracle engine).
+// The default lane-batch engine lives in vm_batch.cc; everything the two
+// engines share is in vm_internal.h.
 #include "oclc/vm.h"
 
 #include <atomic>
-#include <cmath>
-#include <cstring>
 #include <mutex>
 #include <thread>
 
-#include "oclc/builtins.h"
-#include "oclc/codegen.h"
+#include "oclc/vm_internal.h"
 
 namespace haocl::oclc {
 namespace {
 
-// ----------------------------------------------------------- Value plumbing
+using vmdetail::BatchGroupStats;
+using vmdetail::BatchPlan;
+using vmdetail::GroupContext;
+using vmdetail::InitItem;
+using vmdetail::ItemState;
+using vmdetail::MakeLocalMem;
+using vmdetail::RunItem;
+using vmdetail::RunResult;
+using vmdetail::RunStatesToCompletion;
+using vmdetail::Trap;
 
-// Canonical slot representation: signed ints sign-extended into .i,
-// unsigned zero-extended into .u, floats widened into .f (every float is
-// exactly representable as double), bool as 0/1 in .i.
-
-Value LoadScalar(const std::uint8_t* src, ScalarType t) {
-  Value v;
-  v.u = 0;
-  switch (t) {
-    case ScalarType::kBool: {
-      std::uint8_t raw;
-      std::memcpy(&raw, src, 1);
-      v.i = raw != 0 ? 1 : 0;
-      break;
-    }
-    case ScalarType::kI8: {
-      std::int8_t raw;
-      std::memcpy(&raw, src, 1);
-      v.i = raw;
-      break;
-    }
-    case ScalarType::kU8: {
-      std::uint8_t raw;
-      std::memcpy(&raw, src, 1);
-      v.u = raw;
-      break;
-    }
-    case ScalarType::kI16: {
-      std::int16_t raw;
-      std::memcpy(&raw, src, 2);
-      v.i = raw;
-      break;
-    }
-    case ScalarType::kU16: {
-      std::uint16_t raw;
-      std::memcpy(&raw, src, 2);
-      v.u = raw;
-      break;
-    }
-    case ScalarType::kI32: {
-      std::int32_t raw;
-      std::memcpy(&raw, src, 4);
-      v.i = raw;
-      break;
-    }
-    case ScalarType::kU32: {
-      std::uint32_t raw;
-      std::memcpy(&raw, src, 4);
-      v.u = raw;
-      break;
-    }
-    case ScalarType::kI64:
-      std::memcpy(&v.i, src, 8);
-      break;
-    case ScalarType::kU64:
-      std::memcpy(&v.u, src, 8);
-      break;
-    case ScalarType::kF32: {
-      float raw;
-      std::memcpy(&raw, src, 4);
-      v.f = raw;
-      break;
-    }
-    case ScalarType::kF64:
-      std::memcpy(&v.f, src, 8);
-      break;
-    case ScalarType::kVoid:
-      break;
-  }
-  return v;
-}
-
-void StoreScalar(std::uint8_t* dst, ScalarType t, Value v) {
-  switch (t) {
-    case ScalarType::kBool: {
-      std::uint8_t raw = v.i != 0 ? 1 : 0;
-      std::memcpy(dst, &raw, 1);
-      break;
-    }
-    case ScalarType::kI8: {
-      auto raw = static_cast<std::int8_t>(v.i);
-      std::memcpy(dst, &raw, 1);
-      break;
-    }
-    case ScalarType::kU8: {
-      auto raw = static_cast<std::uint8_t>(v.u);
-      std::memcpy(dst, &raw, 1);
-      break;
-    }
-    case ScalarType::kI16: {
-      auto raw = static_cast<std::int16_t>(v.i);
-      std::memcpy(dst, &raw, 2);
-      break;
-    }
-    case ScalarType::kU16: {
-      auto raw = static_cast<std::uint16_t>(v.u);
-      std::memcpy(dst, &raw, 2);
-      break;
-    }
-    case ScalarType::kI32: {
-      auto raw = static_cast<std::int32_t>(v.i);
-      std::memcpy(dst, &raw, 4);
-      break;
-    }
-    case ScalarType::kU32: {
-      auto raw = static_cast<std::uint32_t>(v.u);
-      std::memcpy(dst, &raw, 4);
-      break;
-    }
-    case ScalarType::kI64:
-      std::memcpy(dst, &v.i, 8);
-      break;
-    case ScalarType::kU64:
-      std::memcpy(dst, &v.u, 8);
-      break;
-    case ScalarType::kF32: {
-      auto raw = static_cast<float>(v.f);
-      std::memcpy(dst, &raw, 4);
-      break;
-    }
-    case ScalarType::kF64:
-      std::memcpy(dst, &v.f, 8);
-      break;
-    case ScalarType::kVoid:
-      break;
-  }
-}
-
-// value-preserving conversion between canonical representations.
-Value ConvertValue(Value v, ScalarType from, ScalarType to) {
-  if (from == to) return v;
-  // Widen source to one of {i64, u64, f64}.
-  double as_f = 0.0;
-  std::int64_t as_i = 0;
-  std::uint64_t as_u = 0;
-  enum class Cat { kSigned, kUnsigned, kFloat } cat;
-  if (IsFloat(from)) {
-    as_f = v.f;
-    cat = Cat::kFloat;
-  } else if (IsUnsignedInt(from)) {
-    as_u = v.u;
-    cat = Cat::kUnsigned;
-  } else {  // signed ints and bool
-    as_i = v.i;
-    cat = Cat::kSigned;
-  }
-
-  Value out;
-  out.u = 0;
-  auto to_signed = [&](std::int64_t x) {
-    switch (to) {
-      case ScalarType::kBool: out.i = x != 0; break;
-      case ScalarType::kI8: out.i = static_cast<std::int8_t>(x); break;
-      case ScalarType::kI16: out.i = static_cast<std::int16_t>(x); break;
-      case ScalarType::kI32: out.i = static_cast<std::int32_t>(x); break;
-      default: out.i = x; break;
-    }
-  };
-  auto to_unsigned = [&](std::uint64_t x) {
-    switch (to) {
-      case ScalarType::kBool: out.i = x != 0; break;
-      case ScalarType::kU8: out.u = static_cast<std::uint8_t>(x); break;
-      case ScalarType::kU16: out.u = static_cast<std::uint16_t>(x); break;
-      case ScalarType::kU32: out.u = static_cast<std::uint32_t>(x); break;
-      default: out.u = x; break;
-    }
-  };
-
-  switch (to) {
-    case ScalarType::kF32: {
-      double wide = cat == Cat::kFloat  ? as_f
-                    : cat == Cat::kSigned ? static_cast<double>(as_i)
-                                          : static_cast<double>(as_u);
-      out.f = static_cast<float>(wide);
-      return out;
-    }
-    case ScalarType::kF64: {
-      out.f = cat == Cat::kFloat  ? as_f
-              : cat == Cat::kSigned ? static_cast<double>(as_i)
-                                    : static_cast<double>(as_u);
-      return out;
-    }
-    case ScalarType::kBool:
-      out.i = cat == Cat::kFloat ? (as_f != 0.0)
-              : cat == Cat::kSigned ? (as_i != 0)
-                                    : (as_u != 0);
-      return out;
-    default:
-      break;
-  }
-  // Integer target.
-  std::int64_t wide_i;
-  if (cat == Cat::kFloat) {
-    wide_i = static_cast<std::int64_t>(as_f);
-  } else if (cat == Cat::kUnsigned) {
-    wide_i = static_cast<std::int64_t>(as_u);
-  } else {
-    wide_i = as_i;
-  }
-  if (IsSignedInt(to)) {
-    to_signed(wide_i);
-  } else {
-    to_unsigned(static_cast<std::uint64_t>(wide_i));
-  }
-  return out;
-}
-
-// --------------------------------------------------------------- Arithmetic
-
-Status TrapDivZero() {
-  return Status(ErrorCode::kInvalidKernelArgs, "division by zero in kernel");
-}
-
-// Executes binary arithmetic/bitwise in the canonical representation with
-// C-style wrapping (no UB on overflow).
-Status EvalBinary(Opcode op, ScalarType t, Value a, Value b, Value* out) {
-  out->u = 0;
-  if (t == ScalarType::kF32) {
-    const float x = static_cast<float>(a.f);
-    const float y = static_cast<float>(b.f);
-    float r = 0.0f;
-    switch (op) {
-      case Opcode::kAdd: r = x + y; break;
-      case Opcode::kSub: r = x - y; break;
-      case Opcode::kMul: r = x * y; break;
-      case Opcode::kDiv: r = x / y; break;
-      default:
-        return Status(ErrorCode::kInternal, "bad f32 op");
-    }
-    out->f = r;
-    return Status::Ok();
-  }
-  if (t == ScalarType::kF64) {
-    switch (op) {
-      case Opcode::kAdd: out->f = a.f + b.f; break;
-      case Opcode::kSub: out->f = a.f - b.f; break;
-      case Opcode::kMul: out->f = a.f * b.f; break;
-      case Opcode::kDiv: out->f = a.f / b.f; break;
-      default:
-        return Status(ErrorCode::kInternal, "bad f64 op");
-    }
-    return Status::Ok();
-  }
-
-  const bool is_unsigned = IsUnsignedInt(t);
-  const bool is_64 = ScalarSize(t) == 8;
-  if (is_unsigned) {
-    std::uint64_t x = a.u;
-    std::uint64_t y = b.u;
-    if (!is_64) {
-      x = static_cast<std::uint32_t>(x);
-      y = static_cast<std::uint32_t>(y);
-    }
-    std::uint64_t r = 0;
-    switch (op) {
-      case Opcode::kAdd: r = x + y; break;
-      case Opcode::kSub: r = x - y; break;
-      case Opcode::kMul: r = x * y; break;
-      case Opcode::kDiv:
-        if (y == 0) return TrapDivZero();
-        r = x / y;
-        break;
-      case Opcode::kMod:
-        if (y == 0) return TrapDivZero();
-        r = x % y;
-        break;
-      case Opcode::kBitAnd: r = x & y; break;
-      case Opcode::kBitOr: r = x | y; break;
-      case Opcode::kBitXor: r = x ^ y; break;
-      case Opcode::kShl: r = x << (y & (is_64 ? 63 : 31)); break;
-      case Opcode::kShr: r = x >> (y & (is_64 ? 63 : 31)); break;
-      default:
-        return Status(ErrorCode::kInternal, "bad uint op");
-    }
-    out->u = is_64 ? r : static_cast<std::uint32_t>(r);
-    return Status::Ok();
-  }
-
-  // Signed (and bool, promoted upstream): compute in unsigned to get
-  // well-defined wrapping, then sign-extend.
-  std::int64_t x = a.i;
-  std::int64_t y = b.i;
-  if (!is_64) {
-    x = static_cast<std::int32_t>(x);
-    y = static_cast<std::int32_t>(y);
-  }
-  std::int64_t r = 0;
-  switch (op) {
-    case Opcode::kAdd:
-      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) +
-                                    static_cast<std::uint64_t>(y));
-      break;
-    case Opcode::kSub:
-      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) -
-                                    static_cast<std::uint64_t>(y));
-      break;
-    case Opcode::kMul:
-      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) *
-                                    static_cast<std::uint64_t>(y));
-      break;
-    case Opcode::kDiv:
-      if (y == 0) return TrapDivZero();
-      if (y == -1 && x == INT64_MIN) return TrapDivZero();  // Overflow trap.
-      r = x / y;
-      break;
-    case Opcode::kMod:
-      if (y == 0) return TrapDivZero();
-      if (y == -1) {
-        r = 0;
-      } else {
-        r = x % y;
-      }
-      break;
-    case Opcode::kBitAnd: r = x & y; break;
-    case Opcode::kBitOr: r = x | y; break;
-    case Opcode::kBitXor: r = x ^ y; break;
-    case Opcode::kShl:
-      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x)
-                                    << (y & (is_64 ? 63 : 31)));
-      break;
-    case Opcode::kShr: r = x >> (y & (is_64 ? 63 : 31)); break;
-    default:
-      return Status(ErrorCode::kInternal, "bad int op");
-  }
-  out->i = is_64 ? r : static_cast<std::int32_t>(r);
-  return Status::Ok();
-}
-
-bool EvalCompare(Opcode op, ScalarType t, Value a, Value b) {
-  auto cmp = [&](auto x, auto y) {
-    switch (op) {
-      case Opcode::kEq: return x == y;
-      case Opcode::kNe: return x != y;
-      case Opcode::kLt: return x < y;
-      case Opcode::kLe: return x <= y;
-      case Opcode::kGt: return x > y;
-      case Opcode::kGe: return x >= y;
-      default: return false;
-    }
-  };
-  if (t == ScalarType::kF32) {
-    return cmp(static_cast<float>(a.f), static_cast<float>(b.f));
-  }
-  if (t == ScalarType::kF64) return cmp(a.f, b.f);
-  if (IsUnsignedInt(t)) {
-    if (ScalarSize(t) == 8) return cmp(a.u, b.u);
-    return cmp(static_cast<std::uint32_t>(a.u),
-               static_cast<std::uint32_t>(b.u));
-  }
-  if (ScalarSize(t) == 8) return cmp(a.i, b.i);
-  return cmp(static_cast<std::int32_t>(a.i), static_cast<std::int32_t>(b.i));
-}
-
-// ------------------------------------------------------------- Machine state
-
-struct Frame {
-  std::uint32_t return_pc;
-  std::uint32_t prev_base;
-};
-
-struct ItemState {
-  std::uint32_t pc = 0;
-  std::uint32_t base = 0;  // Current frame's locals base.
-  std::vector<Value> stack;
-  std::vector<Value> locals;
-  std::vector<Frame> frames;
-  std::vector<std::vector<std::uint8_t>> private_mem;  // By region id.
-  std::uint64_t global_id[3] = {0, 0, 0};
-  std::uint64_t local_id[3] = {0, 0, 0};
-  std::uint64_t budget = 0;
-  bool done = false;
-};
-
-struct GroupContext {
-  const Module& module;
-  const CompiledFunction& kernel;
-  const std::vector<ArgBinding>& args;
-  const NDRange& range;
-  const LaunchOptions& options;
-  std::uint64_t group_id[3] = {0, 0, 0};
-  std::uint64_t num_groups[3] = {1, 1, 1};
-  std::vector<std::vector<std::uint8_t>>* local_mem = nullptr;  // By region.
-};
-
-Status Trap(const GroupContext& grp, std::uint32_t pc, const std::string& what) {
-  return Status(ErrorCode::kInvalidKernelArgs,
-                "kernel '" + grp.kernel.name + "' trap at pc " +
-                    std::to_string(pc) + ": " + what);
-}
-
-// Resolves an encoded pointer to raw memory, bounds-checked.
-Expected<std::uint8_t*> ResolvePtr(std::uint64_t ptr, std::uint64_t bytes,
-                                   ItemState& st, GroupContext& grp) {
-  const std::uint64_t region = PointerRegion(ptr);
-  const std::uint64_t offset = PointerOffset(ptr);
-  auto oob = [&](const char* space, std::uint64_t size) {
-    return Status(ErrorCode::kInvalidKernelArgs,
-                  "kernel '" + grp.kernel.name + "': out-of-bounds " +
-                      std::string(space) + " access: offset " +
-                      std::to_string(offset) + " + " + std::to_string(bytes) +
-                      " > size " + std::to_string(size));
-  };
-  switch (PointerSpace(ptr)) {
-    case PtrSpace::kGlobal: {
-      if (region >= grp.args.size() ||
-          grp.args[region].kind != ArgBinding::Kind::kBuffer) {
-        return Status(ErrorCode::kInvalidKernelArgs,
-                      "dangling global pointer (region " +
-                          std::to_string(region) + ")");
-      }
-      const ArgBinding& binding = grp.args[region];
-      if (offset + bytes > binding.size) return oob("global", binding.size);
-      return binding.data + offset;
-    }
-    case PtrSpace::kLocal: {
-      auto& mem = *grp.local_mem;
-      if (region >= mem.size()) {
-        return Status(ErrorCode::kInvalidKernelArgs, "bad local region");
-      }
-      if (offset + bytes > mem[region].size()) {
-        return oob("local", mem[region].size());
-      }
-      return mem[region].data() + offset;
-    }
-    case PtrSpace::kPrivate: {
-      if (region >= st.private_mem.size()) {
-        return Status(ErrorCode::kInvalidKernelArgs, "bad private region");
-      }
-      if (offset + bytes > st.private_mem[region].size()) {
-        return oob("private", st.private_mem[region].size());
-      }
-      return st.private_mem[region].data() + offset;
-    }
-  }
-  return Status(ErrorCode::kInternal, "bad pointer space");
-}
-
-// ----------------------------------------------------------------- Builtins
-
-double MathUnary(BuiltinId id, double x) {
-  switch (id) {
-    case BuiltinId::kSqrt:
-    case BuiltinId::kNativeSqrt: return std::sqrt(x);
-    case BuiltinId::kRsqrt: return 1.0 / std::sqrt(x);
-    case BuiltinId::kFabs: return std::fabs(x);
-    case BuiltinId::kExp:
-    case BuiltinId::kNativeExp: return std::exp(x);
-    case BuiltinId::kLog:
-    case BuiltinId::kNativeLog: return std::log(x);
-    case BuiltinId::kLog2: return std::log2(x);
-    case BuiltinId::kSin: return std::sin(x);
-    case BuiltinId::kCos: return std::cos(x);
-    case BuiltinId::kTan: return std::tan(x);
-    case BuiltinId::kFloor: return std::floor(x);
-    case BuiltinId::kCeil: return std::ceil(x);
-    default: return 0.0;
-  }
-}
-
-float MathUnaryF(BuiltinId id, float x) {
-  switch (id) {
-    case BuiltinId::kSqrt:
-    case BuiltinId::kNativeSqrt: return std::sqrt(x);
-    case BuiltinId::kRsqrt: return 1.0f / std::sqrt(x);
-    case BuiltinId::kFabs: return std::fabs(x);
-    case BuiltinId::kExp:
-    case BuiltinId::kNativeExp: return std::exp(x);
-    case BuiltinId::kLog:
-    case BuiltinId::kNativeLog: return std::log(x);
-    case BuiltinId::kLog2: return std::log2(x);
-    case BuiltinId::kSin: return std::sin(x);
-    case BuiltinId::kCos: return std::cos(x);
-    case BuiltinId::kTan: return std::tan(x);
-    case BuiltinId::kFloor: return std::floor(x);
-    case BuiltinId::kCeil: return std::ceil(x);
-    default: return 0.0f;
-  }
-}
-
-Expected<Value> EvalAtomic(BuiltinId id, ScalarType t, Value* args, int argc,
-                           ItemState& st, GroupContext& grp) {
-  auto mem = ResolvePtr(args[0].u, 4, st, grp);
-  if (!mem.ok()) return mem.status();
-  Value old;
-  old.u = 0;
-  // i32/u32 share representation for the atomic RMW itself; the sign only
-  // matters for min/max.
-  auto* p = reinterpret_cast<std::int32_t*>(*mem);
-  auto* pu = reinterpret_cast<std::uint32_t*>(*mem);
-  const auto vi = static_cast<std::int32_t>(args[argc > 1 ? 1 : 0].i);
-  const auto vu = static_cast<std::uint32_t>(args[argc > 1 ? 1 : 0].u);
-  const bool is_signed = t == ScalarType::kI32;
-  switch (id) {
-    case BuiltinId::kAtomicAdd:
-      old.i = __atomic_fetch_add(p, vi, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicSub:
-      old.i = __atomic_fetch_sub(p, vi, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicInc:
-      old.i = __atomic_fetch_add(p, 1, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicDec:
-      old.i = __atomic_fetch_sub(p, 1, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicOr:
-      old.i = __atomic_fetch_or(p, vi, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicAnd:
-      old.i = __atomic_fetch_and(p, vi, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicXchg:
-      old.i = __atomic_exchange_n(p, vi, __ATOMIC_RELAXED);
-      break;
-    case BuiltinId::kAtomicMin: {
-      if (is_signed) {
-        std::int32_t cur = __atomic_load_n(p, __ATOMIC_RELAXED);
-        while (vi < cur && !__atomic_compare_exchange_n(
-                               p, &cur, vi, true, __ATOMIC_RELAXED,
-                               __ATOMIC_RELAXED)) {
-        }
-        old.i = cur;
-      } else {
-        std::uint32_t cur = __atomic_load_n(pu, __ATOMIC_RELAXED);
-        while (vu < cur && !__atomic_compare_exchange_n(
-                               pu, &cur, vu, true, __ATOMIC_RELAXED,
-                               __ATOMIC_RELAXED)) {
-        }
-        old.u = cur;
-      }
-      break;
-    }
-    case BuiltinId::kAtomicMax: {
-      if (is_signed) {
-        std::int32_t cur = __atomic_load_n(p, __ATOMIC_RELAXED);
-        while (vi > cur && !__atomic_compare_exchange_n(
-                               p, &cur, vi, true, __ATOMIC_RELAXED,
-                               __ATOMIC_RELAXED)) {
-        }
-        old.i = cur;
-      } else {
-        std::uint32_t cur = __atomic_load_n(pu, __ATOMIC_RELAXED);
-        while (vu > cur && !__atomic_compare_exchange_n(
-                               pu, &cur, vu, true, __ATOMIC_RELAXED,
-                               __ATOMIC_RELAXED)) {
-        }
-        old.u = cur;
-      }
-      break;
-    }
-    case BuiltinId::kAtomicCmpxchg: {
-      std::int32_t expected = static_cast<std::int32_t>(args[1].i);
-      const std::int32_t desired = static_cast<std::int32_t>(args[2].i);
-      __atomic_compare_exchange_n(p, &expected, desired, false,
-                                  __ATOMIC_RELAXED, __ATOMIC_RELAXED);
-      old.i = expected;
-      break;
-    }
-    default:
-      return Status(ErrorCode::kInternal, "bad atomic id");
-  }
-  // Canonicalize sign extension.
-  if (is_signed) {
-    old.i = static_cast<std::int32_t>(old.i);
-  } else {
-    old.u = static_cast<std::uint32_t>(old.u);
-  }
-  return old;
-}
-
-Expected<Value> EvalBuiltinCall(BuiltinId id, ScalarType result, Value* args,
-                                int argc, ItemState& st, GroupContext& grp) {
-  Value out;
-  out.u = 0;
-  switch (id) {
-    case BuiltinId::kGetWorkDim:
-      out.u = grp.range.work_dim;
-      return out;
-    case BuiltinId::kGetGlobalId:
-    case BuiltinId::kGetLocalId:
-    case BuiltinId::kGetGroupId:
-    case BuiltinId::kGetGlobalSize:
-    case BuiltinId::kGetLocalSize:
-    case BuiltinId::kGetNumGroups:
-    case BuiltinId::kGetGlobalOffset: {
-      const auto dim = static_cast<std::uint32_t>(args[0].u);
-      if (dim >= 3) {
-        out.u = id == BuiltinId::kGetGlobalSize ||
-                        id == BuiltinId::kGetLocalSize ||
-                        id == BuiltinId::kGetNumGroups
-                    ? 1
-                    : 0;
-        return out;
-      }
-      switch (id) {
-        case BuiltinId::kGetGlobalId: out.u = st.global_id[dim]; break;
-        case BuiltinId::kGetLocalId: out.u = st.local_id[dim]; break;
-        case BuiltinId::kGetGroupId: out.u = grp.group_id[dim]; break;
-        case BuiltinId::kGetGlobalSize: out.u = grp.range.global[dim]; break;
-        case BuiltinId::kGetLocalSize: out.u = grp.range.local[dim]; break;
-        case BuiltinId::kGetNumGroups: out.u = grp.num_groups[dim]; break;
-        case BuiltinId::kGetGlobalOffset:
-          out.u = grp.range.offset[dim];
-          break;
-        default: break;
-      }
-      return out;
-    }
-    case BuiltinId::kMin:
-    case BuiltinId::kMax: {
-      const bool want_max = id == BuiltinId::kMax;
-      if (result == ScalarType::kF32) {
-        float x = static_cast<float>(args[0].f);
-        float y = static_cast<float>(args[1].f);
-        out.f = want_max ? std::fmax(x, y) : std::fmin(x, y);
-      } else if (result == ScalarType::kF64) {
-        out.f = want_max ? std::fmax(args[0].f, args[1].f)
-                         : std::fmin(args[0].f, args[1].f);
-      } else if (IsUnsignedInt(result)) {
-        out.u = want_max ? std::max(args[0].u, args[1].u)
-                         : std::min(args[0].u, args[1].u);
-      } else {
-        out.i = want_max ? std::max(args[0].i, args[1].i)
-                         : std::min(args[0].i, args[1].i);
-      }
-      return out;
-    }
-    case BuiltinId::kAbs:
-      if (result == ScalarType::kF32 || result == ScalarType::kF64) {
-        out.f = std::fabs(args[0].f);
-      } else if (IsUnsignedInt(result)) {
-        out.u = args[0].u;
-      } else {
-        out.i = args[0].i < 0 ? -args[0].i : args[0].i;
-      }
-      return out;
-    case BuiltinId::kClamp:
-      if (result == ScalarType::kF32) {
-        float x = static_cast<float>(args[0].f);
-        float lo = static_cast<float>(args[1].f);
-        float hi = static_cast<float>(args[2].f);
-        out.f = std::fmin(std::fmax(x, lo), hi);
-      } else if (result == ScalarType::kF64) {
-        out.f = std::fmin(std::fmax(args[0].f, args[1].f), args[2].f);
-      } else if (IsUnsignedInt(result)) {
-        out.u = std::min(std::max(args[0].u, args[1].u), args[2].u);
-      } else {
-        out.i = std::min(std::max(args[0].i, args[1].i), args[2].i);
-      }
-      return out;
-    case BuiltinId::kPow:
-      out.f = result == ScalarType::kF32
-                  ? static_cast<double>(std::pow(static_cast<float>(args[0].f),
-                                                 static_cast<float>(args[1].f)))
-                  : std::pow(args[0].f, args[1].f);
-      return out;
-    case BuiltinId::kFmod:
-      out.f = result == ScalarType::kF32
-                  ? static_cast<double>(std::fmod(
-                        static_cast<float>(args[0].f),
-                        static_cast<float>(args[1].f)))
-                  : std::fmod(args[0].f, args[1].f);
-      return out;
-    case BuiltinId::kFmin:
-      out.f = result == ScalarType::kF32
-                  ? static_cast<double>(std::fmin(
-                        static_cast<float>(args[0].f),
-                        static_cast<float>(args[1].f)))
-                  : std::fmin(args[0].f, args[1].f);
-      return out;
-    case BuiltinId::kFmax:
-      out.f = result == ScalarType::kF32
-                  ? static_cast<double>(std::fmax(
-                        static_cast<float>(args[0].f),
-                        static_cast<float>(args[1].f)))
-                  : std::fmax(args[0].f, args[1].f);
-      return out;
-    case BuiltinId::kMad:
-    case BuiltinId::kFma:
-      if (result == ScalarType::kF32) {
-        out.f = std::fma(static_cast<float>(args[0].f),
-                         static_cast<float>(args[1].f),
-                         static_cast<float>(args[2].f));
-      } else {
-        out.f = std::fma(args[0].f, args[1].f, args[2].f);
-      }
-      return out;
-    default:
-      break;
-  }
-  if (id >= BuiltinId::kAtomicAdd && id <= BuiltinId::kAtomicCmpxchg) {
-    return EvalAtomic(id, result, args, argc, st, grp);
-  }
-  // Remaining unary math.
-  if (result == ScalarType::kF32) {
-    out.f = MathUnaryF(id, static_cast<float>(args[0].f));
-  } else {
-    out.f = MathUnary(id, args[0].f);
-  }
-  return out;
-}
-
-// ------------------------------------------------------------ Item execution
-
-enum class RunResult { kDone, kBarrier };
-
-Expected<RunResult> RunItem(ItemState& st, GroupContext& grp) {
-  const auto& code = grp.module.code;
-  const auto& literals = grp.module.literals;
-  auto& stack = st.stack;
-
-  auto pop = [&stack]() {
-    Value v = stack.back();
-    stack.pop_back();
-    return v;
-  };
-
-  while (true) {
-    if (st.budget == 0) {
-      return Trap(grp, st.pc, "instruction budget exhausted (infinite loop?)");
-    }
-    --st.budget;
-    if (st.pc >= code.size()) return Trap(grp, st.pc, "pc out of range");
-    const Instruction& instr = code[st.pc++];
-
-    switch (instr.op) {
-      case Opcode::kNop:
-        break;
-      case Opcode::kPushConst:
-        stack.push_back(literals[instr.a]);
-        break;
-      case Opcode::kLoadLocal:
-        stack.push_back(st.locals[st.base + instr.a]);
-        break;
-      case Opcode::kStoreLocal:
-        st.locals[st.base + instr.a] = pop();
-        break;
-      case Opcode::kDup:
-        stack.push_back(stack.back());
-        break;
-      case Opcode::kPop:
-        stack.pop_back();
-        break;
-      case Opcode::kLoadMem: {
-        const Value addr = pop();
-        auto mem = ResolvePtr(addr.u, ScalarSize(instr.type), st, grp);
-        if (!mem.ok()) return mem.status();
-        stack.push_back(LoadScalar(*mem, instr.type));
-        break;
-      }
-      case Opcode::kStoreMem: {
-        const Value value = pop();
-        const Value addr = pop();
-        auto mem = ResolvePtr(addr.u, ScalarSize(instr.type), st, grp);
-        if (!mem.ok()) return mem.status();
-        StoreScalar(*mem, instr.type, value);
-        break;
-      }
-      case Opcode::kPtrAdd: {
-        const Value index = pop();
-        Value ptr = pop();
-        const std::uint64_t offset =
-            PointerOffset(ptr.u) +
-            static_cast<std::uint64_t>(index.i) *
-                static_cast<std::uint64_t>(instr.a);
-        ptr.u = (ptr.u & ~kPtrOffsetMask) | (offset & kPtrOffsetMask);
-        stack.push_back(ptr);
-        break;
-      }
-      case Opcode::kAdd:
-      case Opcode::kSub:
-      case Opcode::kMul:
-      case Opcode::kDiv:
-      case Opcode::kMod:
-      case Opcode::kBitAnd:
-      case Opcode::kBitOr:
-      case Opcode::kBitXor:
-      case Opcode::kShl:
-      case Opcode::kShr: {
-        const Value rhs = pop();
-        const Value lhs = pop();
-        Value out;
-        Status s = EvalBinary(instr.op, instr.type, lhs, rhs, &out);
-        if (!s.ok()) return s;
-        stack.push_back(out);
-        break;
-      }
-      case Opcode::kNeg: {
-        Value v = pop();
-        if (IsFloat(instr.type)) {
-          v.f = instr.type == ScalarType::kF32
-                    ? -static_cast<float>(v.f)
-                    : -v.f;
-        } else if (IsUnsignedInt(instr.type)) {
-          v.u = ScalarSize(instr.type) == 8
-                    ? 0 - v.u
-                    : static_cast<std::uint32_t>(0 - v.u);
-        } else {
-          v.i = ScalarSize(instr.type) == 8
-                    ? -v.i
-                    : static_cast<std::int32_t>(-v.i);
-        }
-        stack.push_back(v);
-        break;
-      }
-      case Opcode::kBitNot: {
-        Value v = pop();
-        if (IsUnsignedInt(instr.type)) {
-          v.u = ScalarSize(instr.type) == 8
-                    ? ~v.u
-                    : static_cast<std::uint32_t>(~v.u);
-        } else {
-          v.i = ScalarSize(instr.type) == 8
-                    ? ~v.i
-                    : static_cast<std::int32_t>(
-                          ~static_cast<std::int32_t>(v.i));
-        }
-        stack.push_back(v);
-        break;
-      }
-      case Opcode::kEq:
-      case Opcode::kNe:
-      case Opcode::kLt:
-      case Opcode::kLe:
-      case Opcode::kGt:
-      case Opcode::kGe: {
-        const Value rhs = pop();
-        const Value lhs = pop();
-        Value out;
-        out.i = EvalCompare(instr.op, instr.type, lhs, rhs) ? 1 : 0;
-        stack.push_back(out);
-        break;
-      }
-      case Opcode::kLogicalNot: {
-        Value v = pop();
-        v.i = v.i == 0 ? 1 : 0;
-        stack.push_back(v);
-        break;
-      }
-      case Opcode::kConvert: {
-        const Value v = pop();
-        stack.push_back(ConvertValue(v, instr.type,
-                                     static_cast<ScalarType>(instr.a)));
-        break;
-      }
-      case Opcode::kJump:
-        st.pc = static_cast<std::uint32_t>(instr.a);
-        break;
-      case Opcode::kJumpIfFalse: {
-        const Value v = pop();
-        if (v.i == 0) st.pc = static_cast<std::uint32_t>(instr.a);
-        break;
-      }
-      case Opcode::kJumpIfTrue: {
-        const Value v = pop();
-        if (v.i != 0) st.pc = static_cast<std::uint32_t>(instr.a);
-        break;
-      }
-      case Opcode::kCall: {
-        const CompiledFunction& callee = grp.module.functions[instr.a];
-        if (st.frames.size() >= 256) {
-          return Trap(grp, st.pc - 1, "call stack overflow");
-        }
-        st.frames.push_back(Frame{st.pc, st.base});
-        const auto new_base = static_cast<std::uint32_t>(st.locals.size());
-        st.locals.resize(new_base + callee.local_slots);
-        // Arguments were pushed left-to-right; pop right-to-left.
-        for (int i = instr.b - 1; i >= 0; --i) {
-          st.locals[new_base + i] = pop();
-        }
-        st.base = new_base;
-        st.pc = callee.entry_pc;
-        break;
-      }
-      case Opcode::kCallBuiltin: {
-        Value args[4];
-        const int argc = instr.b;
-        for (int i = argc - 1; i >= 0; --i) args[i] = pop();
-        auto result =
-            EvalBuiltinCall(static_cast<BuiltinId>(instr.a), instr.type, args,
-                            argc, st, grp);
-        if (!result.ok()) return result.status();
-        if (instr.type != ScalarType::kVoid) stack.push_back(*result);
-        break;
-      }
-      case Opcode::kReturn: {
-        Value ret;
-        ret.u = 0;
-        const bool has_value = instr.b != 0;
-        if (has_value) ret = pop();
-        if (st.frames.empty()) {
-          st.done = true;
-          return RunResult::kDone;
-        }
-        const Frame frame = st.frames.back();
-        st.frames.pop_back();
-        st.locals.resize(st.base);
-        st.base = frame.prev_base;
-        st.pc = frame.return_pc;
-        if (has_value) stack.push_back(ret);
-        break;
-      }
-      case Opcode::kBarrier:
-        return RunResult::kBarrier;
-    }
-  }
-}
-
-// ----------------------------------------------------------- Group execution
-
-// Builds the per-group local-memory table: slots [0, num_args) for __local
-// pointer arguments, then one slot per body-declared array (local entries
-// allocated here, private ones per item).
-std::vector<std::vector<std::uint8_t>> MakeLocalMem(
-    const CompiledFunction& kernel, const std::vector<ArgBinding>& args) {
-  std::vector<std::vector<std::uint8_t>> mem(kernel.params.size() +
-                                             kernel.arrays.size());
-  for (std::size_t i = 0; i < kernel.params.size(); ++i) {
-    if (kernel.params[i].IsLocalPointer()) {
-      mem[i].assign(args[i].local_size, 0);
-    }
-  }
-  for (std::size_t i = 0; i < kernel.arrays.size(); ++i) {
-    if (kernel.arrays[i].space == AddressSpace::kLocal) {
-      mem[kernel.params.size() + i].assign(kernel.arrays[i].ByteSize(), 0);
-    }
-  }
-  return mem;
-}
-
-void InitItem(ItemState& st, const CompiledFunction& kernel,
-              const std::vector<ArgBinding>& args, GroupContext& grp,
-              std::uint64_t local_linear) {
-  st.pc = kernel.entry_pc;
-  st.base = 0;
-  st.stack.clear();
-  st.frames.clear();
-  st.done = false;
-  st.budget = grp.options.max_instructions_per_item;
-  st.locals.assign(kernel.local_slots, Value{});
-
-  // Decompose the linear local index into 3D ids.
-  const auto& local = grp.range.local;
-  st.local_id[0] = local_linear % local[0];
-  st.local_id[1] = (local_linear / local[0]) % local[1];
-  st.local_id[2] = local_linear / (local[0] * local[1]);
-  for (int d = 0; d < 3; ++d) {
-    st.global_id[d] =
-        grp.range.offset[d] + grp.group_id[d] * local[d] + st.local_id[d];
-  }
-
-  // Private arrays.
-  st.private_mem.assign(kernel.params.size() + kernel.arrays.size(), {});
-  for (std::size_t i = 0; i < kernel.arrays.size(); ++i) {
-    if (kernel.arrays[i].space == AddressSpace::kPrivate) {
-      st.private_mem[kernel.params.size() + i].assign(
-          kernel.arrays[i].ByteSize(), 0);
-    }
-  }
-
-  // Bind parameters into the entry frame's slots.
-  for (std::size_t i = 0; i < kernel.params.size(); ++i) {
-    const KernelArgInfo& param = kernel.params[i];
-    Value v;
-    v.u = 0;
-    if (param.IsBuffer()) {
-      v.u = MakePointer(PtrSpace::kGlobal, i, 0);
-    } else if (param.IsLocalPointer()) {
-      v.u = MakePointer(PtrSpace::kLocal, i, 0);
-    } else {
-      v = ConvertValue(args[i].scalar, args[i].scalar_type,
-                       param.type.scalar);
-    }
-    st.locals[i] = v;
-  }
-}
-
-Status RunGroup(GroupContext& grp) {
+// Legacy engine: one work-item at a time. `instructions` accumulates the
+// number of work-item instructions retired (derived from budget drain).
+Status RunGroup(GroupContext& grp, std::uint64_t* instructions) {
   const auto& local = grp.range.local;
   const std::uint64_t group_size = local[0] * local[1] * local[2];
+  const std::uint64_t budget0 = grp.options.max_instructions_per_item;
 
   auto local_mem = MakeLocalMem(grp.kernel, grp.args);
   grp.local_mem = &local_mem;
@@ -1007,6 +44,7 @@ Status RunGroup(GroupContext& grp) {
       if (*result == RunResult::kBarrier) {
         return Trap(grp, st.pc, "barrier in kernel not marked uses_barrier");
       }
+      *instructions += budget0 - st.budget;
     }
     return Status::Ok();
   }
@@ -1016,47 +54,46 @@ Status RunGroup(GroupContext& grp) {
   for (std::uint64_t i = 0; i < group_size; ++i) {
     InitItem(states[i], grp.kernel, grp.args, grp, i);
   }
-  while (true) {
-    std::uint64_t done = 0;
-    std::uint64_t at_barrier = 0;
-    for (auto& st : states) {
-      if (st.done) {
-        ++done;
-        continue;
-      }
-      auto result = RunItem(st, grp);
-      if (!result.ok()) return result.status();
-      if (*result == RunResult::kDone) {
-        ++done;
-      } else {
-        ++at_barrier;
-      }
-    }
-    if (at_barrier == 0) return Status::Ok();
-    if (done != 0) {
-      return Status(ErrorCode::kInvalidKernelArgs,
-                    "kernel '" + grp.kernel.name +
-                        "': barrier divergence (some work-items exited while "
-                        "others wait at a barrier)");
-    }
-  }
+  Status s = RunStatesToCompletion(states, grp);
+  if (!s.ok()) return s;
+  for (const auto& st : states) *instructions += budget0 - st.budget;
+  return Status::Ok();
 }
 
 }  // namespace
 
 void ChooseLocalSize(NDRange& range) noexcept {
+  ChooseLocalSize(range, nullptr);
+}
+
+void ChooseLocalSize(NDRange& range, const CompiledFunction* kernel) noexcept {
   if (range.local_specified) return;
   for (int d = 0; d < 3; ++d) range.local[d] = 1;
-  // Largest power of two dividing global[0], capped at 64.
+  // Barrier-free kernels get wide dim-0 groups so the lane-batch engine has
+  // enough lanes to amortize dispatch; barrier kernels keep the conservative
+  // cap (a barrier group holds all its items' machine state live at once).
+  const bool wide = kernel != nullptr && !kernel->uses_barrier;
+  const std::uint64_t cap = wide ? 256 : 64;
+  // Largest power of two dividing global[0], capped.
   std::uint64_t size = 1;
-  while (size < 64 && range.global[0] % (size * 2) == 0) size *= 2;
+  while (size < cap && range.global[0] % (size * 2) == 0) size *= 2;
+  if (wide && size < cap) {
+    // Odd dim-0 extents still deserve wide batches: largest divisor <= cap.
+    for (std::uint64_t d = std::min<std::uint64_t>(cap, range.global[0]);
+         d > size; --d) {
+      if (range.global[0] % d == 0) {
+        size = d;
+        break;
+      }
+    }
+  }
   range.local[0] = size;
   range.local_specified = true;
 }
 
 Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
                     const std::vector<ArgBinding>& args, const NDRange& range,
-                    const LaunchOptions& options) {
+                    const LaunchOptions& options, VmStats* stats) {
   // ---- Validation -------------------------------------------------------
   if (args.size() != kernel.params.size()) {
     return Status(ErrorCode::kInvalidKernelArgs,
@@ -1092,7 +129,7 @@ Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
     run_range.global[d] = 1;
     run_range.local[d] = 1;
   }
-  ChooseLocalSize(run_range);
+  ChooseLocalSize(run_range, &kernel);
   std::uint64_t group_size = 1;
   for (int d = 0; d < 3; ++d) {
     if (run_range.global[d] == 0 || run_range.local[d] == 0) {
@@ -1118,23 +155,42 @@ Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
       num_groups[0] * num_groups[1] * num_groups[2];
 
   // ---- Execution --------------------------------------------------------
+  int requested = options.num_threads;
+  if (requested <= 0) {
+    // Auto: one thread per hardware thread (drivers override this with the
+    // simulated device's compute-unit count).
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw != 0 ? static_cast<int>(hw) : 4;
+  }
   const int threads =
-      std::max(1, std::min<int>(options.num_threads,
+      std::max(1, std::min<int>(requested,
                                 static_cast<int>(std::min<std::uint64_t>(
                                     total_groups, 64))));
+
+  // A function compiled before the batch metadata existed (max_stack_slots
+  // unknown) cannot be batched; run it through the oracle.
+  const bool use_batched =
+      options.engine == VmEngine::kBatched && kernel.max_stack_slots > 0;
+  const BatchPlan plan = use_batched
+                             ? vmdetail::BuildBatchPlan(module, options)
+                             : BatchPlan{};
 
   std::atomic<std::uint64_t> next_group{0};
   std::mutex error_mutex;
   Status first_error;
+  std::mutex stats_mutex;
+  VmStats totals;
+  totals.threads_used = threads;
 
   auto worker = [&] {
+    VmStats acc;
     while (true) {
       const std::uint64_t g =
           next_group.fetch_add(1, std::memory_order_relaxed);
-      if (g >= total_groups) return;
+      if (g >= total_groups) break;
       {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error.ok()) return;  // Abandon after first failure.
+        if (!first_error.ok()) break;  // Abandon after first failure.
       }
       GroupContext grp{module, kernel, args, run_range, options};
       grp.num_groups[0] = num_groups[0];
@@ -1143,13 +199,30 @@ Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
       grp.group_id[0] = g % num_groups[0];
       grp.group_id[1] = (g / num_groups[0]) % num_groups[1];
       grp.group_id[2] = g / (num_groups[0] * num_groups[1]);
-      Status s = RunGroup(grp);
+      Status s;
+      if (use_batched) {
+        BatchGroupStats gs;
+        s = vmdetail::RunGroupBatched(grp, plan, gs);
+        acc.instructions += gs.instructions;
+        acc.batch_steps += gs.batch_steps;
+        acc.fused_steps += gs.fused_steps;
+        if (gs.bailed_out) ++acc.bailouts;
+      } else {
+        s = RunGroup(grp, &acc.instructions);
+      }
+      ++acc.groups;
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.ok()) first_error = s;
-        return;
+        break;
       }
     }
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    totals.instructions += acc.instructions;
+    totals.batch_steps += acc.batch_steps;
+    totals.fused_steps += acc.fused_steps;
+    totals.bailouts += acc.bailouts;
+    totals.groups += acc.groups;
   };
 
   if (threads == 1) {
@@ -1160,6 +233,7 @@ Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
     for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  if (stats != nullptr) *stats = totals;
   return first_error;
 }
 

@@ -2,11 +2,19 @@
 //
 // Execution model: work-groups are independent and are distributed across a
 // pool of host threads (this is the "compute unit" parallelism of the
-// simulated device). Within a work-group, work-items are interpreted
-// cooperatively: each runs until it finishes or reaches a barrier(); at a
-// barrier every item's machine state (pc, operand stack, locals, frames) is
-// suspended, and all items resume only after the whole group arrived —
-// the OpenCL barrier semantics, without coroutines or OS threads per item.
+// simulated device). Within a work-group two engines exist:
+//
+//  - kBatched (default): the whole group runs in lockstep as one lane
+//    batch — each instruction is dispatched once and applied to every
+//    work-item through a contiguous-lane inner loop over SoA operand
+//    stacks. barrier() is just the end of a batch step. When a branch
+//    condition diverges across lanes the engine bails out to the
+//    interpreter for the rest of the group. See docs/vm.md.
+//  - kInterpreter: the original one-work-item-at-a-time interpreter; each
+//    item runs until it finishes or reaches a barrier(), where its machine
+//    state (pc, operand stack, locals, frames) is suspended until the whole
+//    group arrived. Kept bit-identical as the oracle for the batched
+//    engine.
 #pragma once
 
 #include <cstdint>
@@ -93,19 +101,50 @@ struct ArgBinding {
   }
 };
 
+// Which per-group execution engine LaunchKernel uses.
+enum class VmEngine : std::uint8_t {
+  kBatched,      // Lane-batch lockstep engine (falls back on divergence).
+  kInterpreter,  // Legacy per-work-item interpreter (the oracle).
+};
+
 struct LaunchOptions {
-  int num_threads = 1;  // Host threads across work-groups.
+  // Host threads across work-groups. 0 means "auto": one thread per
+  // hardware thread, capped by the number of groups. Device drivers size
+  // this from sim::DeviceSpec::compute_units instead.
+  int num_threads = 0;
   std::uint64_t max_instructions_per_item = 1ULL << 33;  // Runaway guard.
+  VmEngine engine = VmEngine::kBatched;
+  // Fuse hot straight-line bytecode sequences (indexed loads, MAC pairs,
+  // loop-counter steps) into single batched ops. Batched engine only;
+  // results are bit-identical either way.
+  bool enable_trace_fusion = true;
+};
+
+// Execution counters for one launch (filled when the caller passes a stats
+// out-param; aggregated across the worker pool).
+struct VmStats {
+  std::uint64_t instructions = 0;  // Work-item instructions executed.
+  std::uint64_t batch_steps = 0;   // Batched dispatches (1 per instruction
+                                   // per GROUP, not per item).
+  std::uint64_t fused_steps = 0;   // Batched dispatches through a fused op.
+  std::uint64_t bailouts = 0;      // Groups that diverged to the interpreter.
+  std::uint64_t groups = 0;        // Work-groups executed.
+  int threads_used = 0;            // Pool width actually used.
 };
 
 // Executes `kernel` from `module` over `range` with `args` bound in
 // declaration order. Blocking; returns once every work-group finished.
 Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
                     const std::vector<ArgBinding>& args, const NDRange& range,
-                    const LaunchOptions& options = {});
+                    const LaunchOptions& options = {},
+                    VmStats* stats = nullptr);
 
 // Fills in range.local when the caller did not specify it, mirroring the
 // OpenCL runtime's choice for clEnqueueNDRangeKernel(local_size=NULL).
+// When the kernel is known and barrier-free, prefers wider dim-0 groups
+// (up to 256 lanes) so the batched engine amortizes dispatch; barrier
+// kernels keep the conservative 64 cap.
 void ChooseLocalSize(NDRange& range) noexcept;
+void ChooseLocalSize(NDRange& range, const CompiledFunction* kernel) noexcept;
 
 }  // namespace haocl::oclc

@@ -1,0 +1,1230 @@
+// Lane-batch execution engine: runs a whole work-group in SIMT-style
+// lockstep, dispatching each bytecode instruction ONCE and applying it to
+// every work-item through a contiguous-lane inner loop.
+//
+// Layout: the operand stack and locals are SoA, slot-major —
+// `stack[slot * lanes + lane]` — so each instruction touches a contiguous
+// row of lanes (SIMD-friendly, one cache stream per operand). pc, sp, the
+// frame stack, and the instruction budget are shared scalars while control
+// flow is uniform, which is what makes a barrier() trivial: in lockstep all
+// lanes arrive at kBarrier in the same batch step, so it is a no-op
+// boundary instead of a per-item suspend/resume.
+//
+// When a branch condition disagrees across lanes (or a callee lacks batch
+// metadata) the engine bails out: it materializes one legacy ItemState per
+// lane from the SoA columns and finishes the group through the interpreter
+// sweep. Combined with both engines sharing every evaluation helper in
+// vm_internal.h, batched results are bit-identical to the interpreter.
+//
+// The runaway guard (max_instructions_per_item) is charged once per batch
+// step instead of per work-item — in lockstep every lane retires the same
+// instruction count, so one shared counter is exact, and the hot loop pays
+// the check once per GROUP instead of once per item.
+#include "oclc/vm_internal.h"
+
+namespace haocl::oclc::vmdetail {
+namespace {
+
+struct PrivateRegion {
+  std::vector<std::uint8_t> data;  // lanes * stride bytes, lane-major.
+  std::uint64_t stride = 0;        // 0 for non-private regions.
+};
+
+struct LaneBatch {
+  std::uint32_t lanes = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t sp = 0;    // Operand-stack height in slots (rows).
+  std::uint32_t base = 0;  // Current frame's locals base row.
+  std::uint64_t budget = 0;  // Shared: lockstep lanes retire in unison.
+  std::vector<Value> stack;   // stack_slots rows of `lanes` values.
+  std::uint32_t stack_slots = 0;
+  std::vector<Value> locals;  // local_rows rows of `lanes` values.
+  std::uint32_t local_rows = 0;
+  std::vector<Frame> frames;  // Shared: uniform while control is uniform.
+  std::vector<PrivateRegion> priv;
+  std::vector<std::uint64_t> gid[3];
+  std::vector<std::uint64_t> lid[3];
+};
+
+inline Value* Row(LaneBatch& b, std::uint32_t slot) {
+  return b.stack.data() + static_cast<std::size_t>(slot) * b.lanes;
+}
+
+inline Value* LocalRow(LaneBatch& b, std::uint32_t row) {
+  return b.locals.data() + static_cast<std::size_t>(row) * b.lanes;
+}
+
+void EnsureStackRows(LaneBatch& b, std::uint32_t rows) {
+  if (rows > b.stack_slots) {
+    b.stack.resize(static_cast<std::size_t>(rows) * b.lanes);
+    b.stack_slots = rows;
+  }
+}
+
+void InitBatch(LaneBatch& b, GroupContext& grp, std::uint32_t lanes) {
+  const CompiledFunction& kernel = grp.kernel;
+  b.lanes = lanes;
+  b.pc = kernel.entry_pc;
+  b.sp = 0;
+  b.base = 0;
+  b.budget = grp.options.max_instructions_per_item;
+  b.frames.clear();
+  EnsureStackRows(b, kernel.max_stack_slots);
+  b.local_rows = kernel.local_slots;
+  b.locals.assign(static_cast<std::size_t>(kernel.local_slots) * lanes,
+                  Value{});
+
+  const auto& local = grp.range.local;
+  for (int d = 0; d < 3; ++d) {
+    b.gid[d].resize(lanes);
+    b.lid[d].resize(lanes);
+  }
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    const std::uint64_t lin = l;
+    b.lid[0][l] = lin % local[0];
+    b.lid[1][l] = (lin / local[0]) % local[1];
+    b.lid[2][l] = lin / (local[0] * local[1]);
+    for (int d = 0; d < 3; ++d) {
+      b.gid[d][l] = grp.range.offset[d] + grp.group_id[d] * local[d] +
+                    b.lid[d][l];
+    }
+  }
+
+  // Private arrays: one contiguous slab per region, lane-major slices.
+  b.priv.assign(kernel.params.size() + kernel.arrays.size(), {});
+  for (std::size_t i = 0; i < kernel.arrays.size(); ++i) {
+    if (kernel.arrays[i].space == AddressSpace::kPrivate) {
+      PrivateRegion& region = b.priv[kernel.params.size() + i];
+      region.stride = kernel.arrays[i].ByteSize();
+      region.data.assign(region.stride * lanes, 0);
+    }
+  }
+
+  // Parameters are launch-uniform: compute once, broadcast the row.
+  for (std::size_t i = 0; i < kernel.params.size(); ++i) {
+    const KernelArgInfo& param = kernel.params[i];
+    Value v;
+    v.u = 0;
+    if (param.IsBuffer()) {
+      v.u = MakePointer(PtrSpace::kGlobal, i, 0);
+    } else if (param.IsLocalPointer()) {
+      v.u = MakePointer(PtrSpace::kLocal, i, 0);
+    } else {
+      v = ConvertValue(grp.args[i].scalar, grp.args[i].scalar_type,
+                       param.type.scalar);
+    }
+    Value* row = LocalRow(b, static_cast<std::uint32_t>(i));
+    for (std::uint32_t l = 0; l < lanes; ++l) row[l] = v;
+  }
+}
+
+// Lane-aware twin of ResolvePtr: identical checks and messages; private
+// pointers land in this lane's slice of the region slab.
+inline Expected<std::uint8_t*> ResolveLanePtr(std::uint64_t ptr,
+                                              std::uint64_t bytes,
+                                              std::uint32_t lane, LaneBatch& b,
+                                              GroupContext& grp) {
+  const std::uint64_t region = PointerRegion(ptr);
+  const std::uint64_t offset = PointerOffset(ptr);
+  switch (PointerSpace(ptr)) {
+    case PtrSpace::kGlobal: {
+      if (region >= grp.args.size() ||
+          grp.args[region].kind != ArgBinding::Kind::kBuffer) {
+        return Status(ErrorCode::kInvalidKernelArgs,
+                      "dangling global pointer (region " +
+                          std::to_string(region) + ")");
+      }
+      const ArgBinding& binding = grp.args[region];
+      if (offset + bytes > binding.size) {
+        return OobError(grp, "global", offset, bytes, binding.size);
+      }
+      return binding.data + offset;
+    }
+    case PtrSpace::kLocal: {
+      auto& mem = *grp.local_mem;
+      if (region >= mem.size()) {
+        return Status(ErrorCode::kInvalidKernelArgs, "bad local region");
+      }
+      if (offset + bytes > mem[region].size()) {
+        return OobError(grp, "local", offset, bytes, mem[region].size());
+      }
+      return mem[region].data() + offset;
+    }
+    case PtrSpace::kPrivate: {
+      if (region >= b.priv.size()) {
+        return Status(ErrorCode::kInvalidKernelArgs, "bad private region");
+      }
+      PrivateRegion& r = b.priv[region];
+      if (offset + bytes > r.stride) {
+        return OobError(grp, "private", offset, bytes, r.stride);
+      }
+      return r.data.data() + lane * r.stride + offset;
+    }
+  }
+  return Status(ErrorCode::kInternal, "bad pointer space");
+}
+
+// Transposes the SoA batch back into per-lane ItemStates and finishes the
+// group through the interpreter sweep. Invoked on lane divergence or when a
+// call target lacks batch metadata; the sweep's full barrier semantics also
+// cover barrier-divergence detection from here on.
+Status BailOut(LaneBatch& b, GroupContext& grp, const std::uint32_t* lane_pc,
+               BatchGroupStats& stats) {
+  stats.bailed_out = true;
+  const std::uint32_t lanes = b.lanes;
+  std::vector<ItemState> states(lanes);
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    ItemState& st = states[l];
+    st.pc = lane_pc[l];
+    st.base = b.base;
+    st.budget = b.budget;
+    st.done = false;
+    st.stack.resize(b.sp);
+    for (std::uint32_t s = 0; s < b.sp; ++s) {
+      st.stack[s] = b.stack[static_cast<std::size_t>(s) * lanes + l];
+    }
+    st.locals.resize(b.local_rows);
+    for (std::uint32_t r = 0; r < b.local_rows; ++r) {
+      st.locals[r] = b.locals[static_cast<std::size_t>(r) * lanes + l];
+    }
+    st.frames = b.frames;
+    for (int d = 0; d < 3; ++d) {
+      st.global_id[d] = b.gid[d][l];
+      st.local_id[d] = b.lid[d][l];
+    }
+    st.private_mem.resize(b.priv.size());
+    for (std::size_t r = 0; r < b.priv.size(); ++r) {
+      const PrivateRegion& region = b.priv[r];
+      if (region.stride != 0) {
+        const std::uint8_t* begin = region.data.data() + l * region.stride;
+        st.private_mem[r].assign(begin, begin + region.stride);
+      }
+    }
+  }
+  Status s = RunStatesToCompletion(states, grp);
+  if (!s.ok()) return s;
+  for (const auto& st : states) stats.instructions += b.budget - st.budget;
+  return Status::Ok();
+}
+
+Status BailOutUniform(LaneBatch& b, GroupContext& grp, std::uint32_t pc,
+                      BatchGroupStats& stats) {
+  std::vector<std::uint32_t> pcs(b.lanes, pc);
+  return BailOut(b, grp, pcs.data(), stats);
+}
+
+// Hot arithmetic with the op/type switch hoisted out of the lane loop. Each
+// body transcribes EvalBinary's exact expression for that (op, type) so
+// results stay bit-identical; every write covers the full 8-byte union.
+// Returns false for combinations left to the generic per-lane EvalBinary
+// (div/mod traps, shifts, bitwise, narrow ints).
+bool BinaryFastLoop(Opcode op, ScalarType t, Value* lhs, const Value* rhs,
+                    std::uint32_t n) {
+  switch (t) {
+    case ScalarType::kF32:
+      switch (op) {
+        case Opcode::kAdd:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            const float r = static_cast<float>(lhs[l].f) +
+                            static_cast<float>(rhs[l].f);
+            lhs[l].f = r;
+          }
+          return true;
+        case Opcode::kSub:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            const float r = static_cast<float>(lhs[l].f) -
+                            static_cast<float>(rhs[l].f);
+            lhs[l].f = r;
+          }
+          return true;
+        case Opcode::kMul:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            const float r = static_cast<float>(lhs[l].f) *
+                            static_cast<float>(rhs[l].f);
+            lhs[l].f = r;
+          }
+          return true;
+        case Opcode::kDiv:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            const float r = static_cast<float>(lhs[l].f) /
+                            static_cast<float>(rhs[l].f);
+            lhs[l].f = r;
+          }
+          return true;
+        default:
+          return false;
+      }
+    case ScalarType::kF64:
+      switch (op) {
+        case Opcode::kAdd:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].f = lhs[l].f + rhs[l].f;
+          return true;
+        case Opcode::kSub:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].f = lhs[l].f - rhs[l].f;
+          return true;
+        case Opcode::kMul:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].f = lhs[l].f * rhs[l].f;
+          return true;
+        case Opcode::kDiv:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].f = lhs[l].f / rhs[l].f;
+          return true;
+        default:
+          return false;
+      }
+    case ScalarType::kI32:
+      switch (op) {
+        case Opcode::kAdd:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].i = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(lhs[l].i) +
+                static_cast<std::uint32_t>(rhs[l].i));
+          }
+          return true;
+        case Opcode::kSub:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].i = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(lhs[l].i) -
+                static_cast<std::uint32_t>(rhs[l].i));
+          }
+          return true;
+        case Opcode::kMul:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].i = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(lhs[l].i) *
+                static_cast<std::uint32_t>(rhs[l].i));
+          }
+          return true;
+        default:
+          return false;
+      }
+    case ScalarType::kI64:
+      switch (op) {
+        case Opcode::kAdd:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].i = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(lhs[l].i) +
+                static_cast<std::uint64_t>(rhs[l].i));
+          }
+          return true;
+        case Opcode::kSub:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].i = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(lhs[l].i) -
+                static_cast<std::uint64_t>(rhs[l].i));
+          }
+          return true;
+        case Opcode::kMul:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].i = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(lhs[l].i) *
+                static_cast<std::uint64_t>(rhs[l].i));
+          }
+          return true;
+        default:
+          return false;
+      }
+    case ScalarType::kU32:
+      switch (op) {
+        case Opcode::kAdd:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].u = static_cast<std::uint32_t>(
+                static_cast<std::uint32_t>(lhs[l].u) +
+                static_cast<std::uint32_t>(rhs[l].u));
+          }
+          return true;
+        case Opcode::kSub:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].u = static_cast<std::uint32_t>(
+                static_cast<std::uint32_t>(lhs[l].u) -
+                static_cast<std::uint32_t>(rhs[l].u));
+          }
+          return true;
+        case Opcode::kMul:
+          for (std::uint32_t l = 0; l < n; ++l) {
+            lhs[l].u = static_cast<std::uint32_t>(
+                static_cast<std::uint32_t>(lhs[l].u) *
+                static_cast<std::uint32_t>(rhs[l].u));
+          }
+          return true;
+        default:
+          return false;
+      }
+    case ScalarType::kU64:
+      switch (op) {
+        case Opcode::kAdd:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].u = lhs[l].u + rhs[l].u;
+          return true;
+        case Opcode::kSub:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].u = lhs[l].u - rhs[l].u;
+          return true;
+        case Opcode::kMul:
+          for (std::uint32_t l = 0; l < n; ++l) lhs[l].u = lhs[l].u * rhs[l].u;
+          return true;
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+// One lane of an IndexedLoad: recomputes exactly what the replaced
+// bytecode would have — i32 wrap arithmetic for the two-term index, the
+// sign-extending convert, kPtrAdd's offset masking — then resolves and
+// loads. Everything reads locals; nothing touches the operand stack.
+inline Expected<Value> IndexedLoadLane(LaneBatch& b, GroupContext& grp,
+                                       const IndexedLoad& ld,
+                                       std::uint32_t lane) {
+  auto local_at = [&](std::int32_t slot) {
+    return LocalRow(b, b.base + slot)[lane];
+  };
+  Value iv;
+  if (ld.s2 >= 0) {
+    // locals[s1]*locals[s2]+locals[s3], i32 with wrap (as kMul/kAdd).
+    const std::int32_t m = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(local_at(ld.s1).i) *
+        static_cast<std::uint32_t>(local_at(ld.s2).i));
+    Value idx32;
+    idx32.i = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(m) +
+        static_cast<std::uint32_t>(local_at(ld.s3).i));
+    iv = ConvertValue(idx32, ld.idx, ScalarType::kI64);
+  } else {
+    iv = ConvertValue(local_at(ld.s1), ld.idx, ScalarType::kI64);
+  }
+  const std::uint64_t base = local_at(ld.base).u;
+  const std::uint64_t offset =
+      PointerOffset(base) +
+      static_cast<std::uint64_t>(iv.i) * static_cast<std::uint64_t>(ld.esize);
+  const std::uint64_t addr =
+      (base & ~kPtrOffsetMask) | (offset & kPtrOffsetMask);
+  auto mem = ResolveLanePtr(addr, ScalarSize(ld.elem), lane, b, grp);
+  if (!mem.ok()) return mem.status();
+  return LoadScalar(*mem, ld.elem);
+}
+
+// A dispatch-uniform global base for an IndexedLoad. The base pointer is
+// normally a broadcast kernel parameter, identical in every lane — then the
+// region resolves ONCE and the lane loop is offset + bounds check + load,
+// with no per-lane pointer decode.
+struct UniformBase {
+  const std::uint8_t* data = nullptr;
+  std::uint64_t size = 0;
+  std::uint64_t base_off = 0;
+  bool ok = false;
+};
+
+inline UniformBase ResolveUniformBase(LaneBatch& b, GroupContext& grp,
+                                      std::int32_t slot) {
+  UniformBase out;
+  const Value* row = LocalRow(b, b.base + slot);
+  const std::uint64_t base0 = row[0].u;
+  for (std::uint32_t l = 1; l < b.lanes; ++l) {
+    if (row[l].u != base0) return out;
+  }
+  if (PointerSpace(base0) != PtrSpace::kGlobal) return out;
+  const std::uint64_t region = PointerRegion(base0);
+  if (region >= grp.args.size() ||
+      grp.args[region].kind != ArgBinding::Kind::kBuffer) {
+    return out;
+  }
+  out.data = grp.args[region].data;
+  out.size = grp.args[region].size;
+  out.base_off = PointerOffset(base0);
+  out.ok = true;
+  return out;
+}
+
+// The fast path handles index slots whose canonical Value storage feeds the
+// i64 convert through `.i` unchanged (signed ints are stored sign-extended).
+inline bool FastIndexType(ScalarType t) {
+  return t == ScalarType::kI32 || t == ScalarType::kI64;
+}
+
+struct IndexRows {
+  const Value* s1 = nullptr;
+  const Value* s2 = nullptr;
+  const Value* s3 = nullptr;
+  bool two_term = false;
+};
+
+inline IndexRows RowsFor(LaneBatch& b, const IndexedLoad& ld) {
+  IndexRows r;
+  r.s1 = LocalRow(b, b.base + ld.s1);
+  if (ld.s2 >= 0) {
+    r.s2 = LocalRow(b, b.base + ld.s2);
+    r.s3 = LocalRow(b, b.base + ld.s3);
+    r.two_term = true;
+  }
+  return r;
+}
+
+// One lane's element offset: the bytecode's i32 wrap arithmetic for
+// s1*s2+s3, the sign-extending i64 convert, and kPtrAdd's offset masking.
+inline std::uint64_t LaneElemOffset(const UniformBase& ub,
+                                    const IndexRows& rows,
+                                    const IndexedLoad& ld, std::uint32_t l) {
+  std::int64_t idx;
+  if (rows.two_term) {
+    const std::int32_t m = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(rows.s1[l].i) *
+        static_cast<std::uint32_t>(rows.s2[l].i));
+    idx = static_cast<std::int32_t>(static_cast<std::uint32_t>(m) +
+                                    static_cast<std::uint32_t>(rows.s3[l].i));
+  } else {
+    idx = rows.s1[l].i;
+  }
+  return (ub.base_off + static_cast<std::uint64_t>(idx) *
+                            static_cast<std::uint64_t>(ld.esize)) &
+         kPtrOffsetMask;
+}
+
+// Executes one fused superop over all lanes. The caller already charged the
+// budget and verified the pattern applies at b.pc.
+Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
+  const std::uint32_t lanes = b.lanes;
+  switch (op.kind) {
+    case FusedOp::Kind::kLoadLocalPair: {
+      std::memcpy(Row(b, b.sp), LocalRow(b, b.base + op.a),
+                  sizeof(Value) * lanes);
+      std::memcpy(Row(b, b.sp + 1), LocalRow(b, b.base + op.b),
+                  sizeof(Value) * lanes);
+      b.sp += 2;
+      return Status::Ok();
+    }
+    case FusedOp::Kind::kMulAdd: {
+      Value* acc = Row(b, b.sp - 3);
+      const Value* x = Row(b, b.sp - 2);
+      const Value* y = Row(b, b.sp - 1);
+      if (op.type == ScalarType::kF32) {
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          // Two separate float roundings, exactly as kMul then kAdd.
+          const float m = static_cast<float>(x[l].f) *
+                          static_cast<float>(y[l].f);
+          const float r = static_cast<float>(acc[l].f) + m;
+          acc[l].f = r;
+        }
+      } else if (op.type == ScalarType::kF64) {
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          const double m = x[l].f * y[l].f;
+          const double r = acc[l].f + m;
+          acc[l].f = r;
+        }
+      } else {
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          Value m;
+          Status s = EvalBinary(Opcode::kMul, op.type, x[l], y[l], &m);
+          if (s.ok()) s = EvalBinary(Opcode::kAdd, op.type, acc[l], m, &acc[l]);
+          if (!s.ok()) return s;  // Unreachable: int mul/add never trap.
+        }
+      }
+      b.sp -= 2;
+      return Status::Ok();
+    }
+    case FusedOp::Kind::kConvertPtrAddLoad:
+    case FusedOp::Kind::kPtrAddLoad: {
+      Value* ptr = Row(b, b.sp - 2);
+      Value* idx = Row(b, b.sp - 1);
+      const bool convert = op.kind == FusedOp::Kind::kConvertPtrAddLoad;
+      const std::uint64_t bytes = ScalarSize(op.type);
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        const Value iv = convert
+                             ? ConvertValue(idx[l], op.idx_type,
+                                            ScalarType::kI64)
+                             : idx[l];
+        const std::uint64_t offset =
+            PointerOffset(ptr[l].u) +
+            static_cast<std::uint64_t>(iv.i) * static_cast<std::uint64_t>(op.a);
+        const std::uint64_t addr =
+            (ptr[l].u & ~kPtrOffsetMask) | (offset & kPtrOffsetMask);
+        auto mem = ResolveLanePtr(addr, bytes, l, b, grp);
+        if (!mem.ok()) return mem.status();
+        ptr[l] = LoadScalar(*mem, op.type);
+      }
+      --b.sp;
+      return Status::Ok();
+    }
+    case FusedOp::Kind::kLocalAddConst: {
+      Value* row = LocalRow(b, b.base + op.a);
+      // i32 +/- const (the classic k++): exact EvalBinary wrap math, no
+      // per-lane call.
+      if (op.type == ScalarType::kI32 &&
+          (op.op == Opcode::kAdd || op.op == Opcode::kSub)) {
+        const std::uint32_t c = static_cast<std::uint32_t>(op.constant.i);
+        if (op.op == Opcode::kAdd) {
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            row[l].i = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(row[l].i) + c);
+          }
+        } else {
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            row[l].i = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(row[l].i) - c);
+          }
+        }
+        return Status::Ok();
+      }
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        Status s = EvalBinary(op.op, op.type, row[l], op.constant, &row[l]);
+        if (!s.ok()) return s;  // Unreachable: add/sub never trap.
+      }
+      return Status::Ok();
+    }
+    case FusedOp::Kind::kIndexedLoad: {
+      const IndexedLoad& ld = op.ld[0];
+      Value* out = Row(b, b.sp++);
+      const UniformBase ub = ResolveUniformBase(b, grp, ld.base);
+      if (ub.ok && FastIndexType(ld.idx)) {
+        const IndexRows rows = RowsFor(b, ld);
+        const std::uint64_t bytes = ScalarSize(ld.elem);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          const std::uint64_t off = LaneElemOffset(ub, rows, ld, l);
+          if (off + bytes > ub.size) {
+            auto v = IndexedLoadLane(b, grp, ld, l);  // Exact trap message.
+            if (!v.ok()) return v.status();
+            out[l] = *v;
+            continue;
+          }
+          out[l] = LoadScalar(ub.data + off, ld.elem);
+        }
+        return Status::Ok();
+      }
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        auto v = IndexedLoadLane(b, grp, ld, l);
+        if (!v.ok()) return v.status();
+        out[l] = *v;
+      }
+      return Status::Ok();
+    }
+    case FusedOp::Kind::kMacLocal: {
+      // locals[a] += load(ld[0]) * load(ld[1]) — the entire MAC loop body
+      // in one per-lane pass, no operand-stack traffic at all.
+      Value* acc = LocalRow(b, b.base + op.a);
+      const IndexedLoad& lda = op.ld[0];
+      const IndexedLoad& ldb = op.ld[1];
+      if (op.type == ScalarType::kF32 && FastIndexType(lda.idx) &&
+          FastIndexType(ldb.idx)) {
+        const UniformBase uba = ResolveUniformBase(b, grp, lda.base);
+        const UniformBase ubb = ResolveUniformBase(b, grp, ldb.base);
+        if (uba.ok && ubb.ok) {
+          const IndexRows ra = RowsFor(b, lda);
+          const IndexRows rb = RowsFor(b, ldb);
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            const std::uint64_t offa = LaneElemOffset(uba, ra, lda, l);
+            const std::uint64_t offb = LaneElemOffset(ubb, rb, ldb, l);
+            if (offa + 4 > uba.size || offb + 4 > ubb.size) {
+              auto x = IndexedLoadLane(b, grp, lda, l);  // Exact trap.
+              if (!x.ok()) return x.status();
+              auto y = IndexedLoadLane(b, grp, ldb, l);
+              if (!y.ok()) return y.status();
+              const float m = static_cast<float>(x->f) *
+                              static_cast<float>(y->f);
+              const float r = static_cast<float>(acc[l].f) + m;
+              acc[l].f = r;
+              continue;
+            }
+            float xa;
+            float xb;
+            std::memcpy(&xa, uba.data + offa, 4);
+            std::memcpy(&xb, ubb.data + offb, 4);
+            // Two separate float roundings, exactly as kMul then kAdd.
+            const float m = xa * xb;
+            const float r = static_cast<float>(acc[l].f) + m;
+            acc[l].f = r;
+          }
+          return Status::Ok();
+        }
+      }
+      if (op.type == ScalarType::kF32) {
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          auto x = IndexedLoadLane(b, grp, op.ld[0], l);
+          if (!x.ok()) return x.status();
+          auto y = IndexedLoadLane(b, grp, op.ld[1], l);
+          if (!y.ok()) return y.status();
+          // Two separate float roundings, exactly as kMul then kAdd.
+          const float m = static_cast<float>(x->f) * static_cast<float>(y->f);
+          const float r = static_cast<float>(acc[l].f) + m;
+          acc[l].f = r;
+        }
+      } else if (op.type == ScalarType::kF64) {
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          auto x = IndexedLoadLane(b, grp, op.ld[0], l);
+          if (!x.ok()) return x.status();
+          auto y = IndexedLoadLane(b, grp, op.ld[1], l);
+          if (!y.ok()) return y.status();
+          const double m = x->f * y->f;
+          const double r = acc[l].f + m;
+          acc[l].f = r;
+        }
+      } else {
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          auto x = IndexedLoadLane(b, grp, op.ld[0], l);
+          if (!x.ok()) return x.status();
+          auto y = IndexedLoadLane(b, grp, op.ld[1], l);
+          if (!y.ok()) return y.status();
+          Value m;
+          Status s = EvalBinary(Opcode::kMul, op.type, *x, *y, &m);
+          if (s.ok()) s = EvalBinary(Opcode::kAdd, op.type, acc[l], m, &acc[l]);
+          if (!s.ok()) return s;  // Unreachable: int mul/add never trap.
+        }
+      }
+      return Status::Ok();
+    }
+    case FusedOp::Kind::kCompareLocals: {
+      const Value* lhs = LocalRow(b, b.base + op.a);
+      const Value* rhs = LocalRow(b, b.base + op.b);
+      Value* out = Row(b, b.sp++);
+      // i32 loop conditions (k < n) get op-hoisted loops; EvalCompare's i32
+      // path is cmp((int32)a.i, (int32)b.i), transcribed per opcode.
+      if (op.type == ScalarType::kI32) {
+        auto run = [&](auto cmp) {
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            out[l].i = cmp(static_cast<std::int32_t>(lhs[l].i),
+                           static_cast<std::int32_t>(rhs[l].i))
+                           ? 1
+                           : 0;
+          }
+        };
+        switch (op.op) {
+          case Opcode::kEq: run([](auto x, auto y) { return x == y; }); break;
+          case Opcode::kNe: run([](auto x, auto y) { return x != y; }); break;
+          case Opcode::kLt: run([](auto x, auto y) { return x < y; }); break;
+          case Opcode::kLe: run([](auto x, auto y) { return x <= y; }); break;
+          case Opcode::kGt: run([](auto x, auto y) { return x > y; }); break;
+          default: run([](auto x, auto y) { return x >= y; }); break;
+        }
+        return Status::Ok();
+      }
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        Value v;
+        v.i = EvalCompare(op.op, op.type, lhs[l], rhs[l]) ? 1 : 0;
+        out[l] = v;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status(ErrorCode::kInternal, "bad fused op");
+}
+
+Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
+                BatchGroupStats& stats) {
+  const auto& code = grp.module.code;
+  const auto& literals = grp.module.literals;
+  const std::uint32_t lanes = b.lanes;
+
+  while (true) {
+    // Trace-fused superop at this pc? One dispatch covers `length`
+    // instructions; fall through to single-step near budget exhaustion so
+    // the trap point matches the interpreter exactly.
+    if (b.pc < plan.fused_at.size() && plan.fused_at[b.pc] >= 0) {
+      const FusedOp& fop = plan.ops[plan.fused_at[b.pc]];
+      if (b.budget >= fop.length) {
+        b.budget -= fop.length;
+        ++stats.batch_steps;
+        ++stats.fused_steps;
+        stats.instructions += static_cast<std::uint64_t>(fop.length) * lanes;
+        Status s = RunFused(b, grp, fop);
+        if (!s.ok()) return s;
+        b.pc += fop.length;
+        continue;
+      }
+    }
+
+    if (b.budget == 0) {
+      return Trap(grp, b.pc, "instruction budget exhausted (infinite loop?)");
+    }
+    --b.budget;
+    if (b.pc >= code.size()) return Trap(grp, b.pc, "pc out of range");
+    ++stats.batch_steps;
+    stats.instructions += lanes;
+    const Instruction& instr = code[b.pc++];
+
+    switch (instr.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kPushConst: {
+        const Value v = literals[instr.a];
+        Value* row = Row(b, b.sp++);
+        for (std::uint32_t l = 0; l < lanes; ++l) row[l] = v;
+        break;
+      }
+      case Opcode::kLoadLocal:
+        std::memcpy(Row(b, b.sp++), LocalRow(b, b.base + instr.a),
+                    sizeof(Value) * lanes);
+        break;
+      case Opcode::kStoreLocal:
+        std::memcpy(LocalRow(b, b.base + instr.a), Row(b, --b.sp),
+                    sizeof(Value) * lanes);
+        break;
+      case Opcode::kDup:
+        std::memcpy(Row(b, b.sp), Row(b, b.sp - 1), sizeof(Value) * lanes);
+        ++b.sp;
+        break;
+      case Opcode::kPop:
+        --b.sp;
+        break;
+      case Opcode::kLoadMem: {
+        Value* addr = Row(b, b.sp - 1);
+        const std::uint64_t bytes = ScalarSize(instr.type);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          auto mem = ResolveLanePtr(addr[l].u, bytes, l, b, grp);
+          if (!mem.ok()) return mem.status();
+          addr[l] = LoadScalar(*mem, instr.type);
+        }
+        break;
+      }
+      case Opcode::kStoreMem: {
+        const Value* value = Row(b, b.sp - 1);
+        const Value* addr = Row(b, b.sp - 2);
+        const std::uint64_t bytes = ScalarSize(instr.type);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          auto mem = ResolveLanePtr(addr[l].u, bytes, l, b, grp);
+          if (!mem.ok()) return mem.status();
+          StoreScalar(*mem, instr.type, value[l]);
+        }
+        b.sp -= 2;
+        break;
+      }
+      case Opcode::kPtrAdd: {
+        const Value* index = Row(b, b.sp - 1);
+        Value* ptr = Row(b, b.sp - 2);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          const std::uint64_t offset =
+              PointerOffset(ptr[l].u) +
+              static_cast<std::uint64_t>(index[l].i) *
+                  static_cast<std::uint64_t>(instr.a);
+          ptr[l].u = (ptr[l].u & ~kPtrOffsetMask) | (offset & kPtrOffsetMask);
+        }
+        --b.sp;
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+      case Opcode::kBitAnd:
+      case Opcode::kBitOr:
+      case Opcode::kBitXor:
+      case Opcode::kShl:
+      case Opcode::kShr: {
+        const Value* rhs = Row(b, b.sp - 1);
+        Value* lhs = Row(b, b.sp - 2);
+        if (!BinaryFastLoop(instr.op, instr.type, lhs, rhs, lanes)) {
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            Status s = EvalBinary(instr.op, instr.type, lhs[l], rhs[l],
+                                  &lhs[l]);
+            if (!s.ok()) return s;
+          }
+        }
+        --b.sp;
+        break;
+      }
+      case Opcode::kNeg: {
+        Value* row = Row(b, b.sp - 1);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          Value v = row[l];
+          if (IsFloat(instr.type)) {
+            v.f = instr.type == ScalarType::kF32
+                      ? -static_cast<float>(v.f)
+                      : -v.f;
+          } else if (IsUnsignedInt(instr.type)) {
+            v.u = ScalarSize(instr.type) == 8
+                      ? 0 - v.u
+                      : static_cast<std::uint32_t>(0 - v.u);
+          } else {
+            v.i = ScalarSize(instr.type) == 8
+                      ? -v.i
+                      : static_cast<std::int32_t>(-v.i);
+          }
+          row[l] = v;
+        }
+        break;
+      }
+      case Opcode::kBitNot: {
+        Value* row = Row(b, b.sp - 1);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          Value v = row[l];
+          if (IsUnsignedInt(instr.type)) {
+            v.u = ScalarSize(instr.type) == 8
+                      ? ~v.u
+                      : static_cast<std::uint32_t>(~v.u);
+          } else {
+            v.i = ScalarSize(instr.type) == 8
+                      ? ~v.i
+                      : static_cast<std::int32_t>(
+                            ~static_cast<std::int32_t>(v.i));
+          }
+          row[l] = v;
+        }
+        break;
+      }
+      case Opcode::kEq:
+      case Opcode::kNe:
+      case Opcode::kLt:
+      case Opcode::kLe:
+      case Opcode::kGt:
+      case Opcode::kGe: {
+        const Value* rhs = Row(b, b.sp - 1);
+        Value* lhs = Row(b, b.sp - 2);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          Value out;
+          out.i = EvalCompare(instr.op, instr.type, lhs[l], rhs[l]) ? 1 : 0;
+          lhs[l] = out;
+        }
+        --b.sp;
+        break;
+      }
+      case Opcode::kLogicalNot: {
+        Value* row = Row(b, b.sp - 1);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          row[l].i = row[l].i == 0 ? 1 : 0;
+        }
+        break;
+      }
+      case Opcode::kConvert: {
+        Value* row = Row(b, b.sp - 1);
+        const auto to = static_cast<ScalarType>(instr.a);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          row[l] = ConvertValue(row[l], instr.type, to);
+        }
+        break;
+      }
+      case Opcode::kJump:
+        b.pc = static_cast<std::uint32_t>(instr.a);
+        break;
+      case Opcode::kJumpIfFalse:
+      case Opcode::kJumpIfTrue: {
+        const Value* cond = Row(b, --b.sp);
+        const bool want_true = instr.op == Opcode::kJumpIfTrue;
+        const bool jump0 = (cond[0].i != 0) == want_true;
+        if ((instr.flags & kInstrFlagUniformBranch) == 0) {
+          for (std::uint32_t l = 1; l < lanes; ++l) {
+            if (((cond[l].i != 0) == want_true) != jump0) {
+              // Lanes disagree: transpose and finish via the interpreter.
+              const auto target = static_cast<std::uint32_t>(instr.a);
+              std::vector<std::uint32_t> pcs(lanes);
+              for (std::uint32_t m = 0; m < lanes; ++m) {
+                pcs[m] = ((cond[m].i != 0) == want_true) ? target : b.pc;
+              }
+              return BailOut(b, grp, pcs.data(), stats);
+            }
+          }
+        }
+        if (jump0) b.pc = static_cast<std::uint32_t>(instr.a);
+        break;
+      }
+      case Opcode::kCall: {
+        const CompiledFunction& callee = grp.module.functions[instr.a];
+        if (callee.max_stack_slots == 0) {
+          // No batch metadata for the callee: refund this instruction and
+          // re-execute the call through the interpreter.
+          ++b.budget;
+          --stats.batch_steps;
+          stats.instructions -= lanes;
+          return BailOutUniform(b, grp, b.pc - 1, stats);
+        }
+        if (b.frames.size() >= 256) {
+          return Trap(grp, b.pc - 1, "call stack overflow");
+        }
+        EnsureStackRows(b, b.sp + callee.max_stack_slots);
+        b.frames.push_back(Frame{b.pc, b.base});
+        const std::uint32_t new_base = b.local_rows;
+        b.local_rows = new_base + callee.local_slots;
+        b.locals.resize(static_cast<std::size_t>(b.local_rows) * lanes);
+        const auto argc = static_cast<std::uint32_t>(instr.b);
+        for (std::uint32_t i = 0; i < argc; ++i) {
+          std::memcpy(LocalRow(b, new_base + i), Row(b, b.sp - argc + i),
+                      sizeof(Value) * lanes);
+        }
+        b.sp -= argc;
+        b.base = new_base;
+        b.pc = callee.entry_pc;
+        break;
+      }
+      case Opcode::kCallBuiltin: {
+        const auto id = static_cast<BuiltinId>(instr.a);
+        const int argc = instr.b;
+        const std::uint32_t abase = b.sp - argc;
+        const bool has_result = instr.type != ScalarType::kVoid;
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          Value args[4];
+          for (int i = 0; i < argc; ++i) {
+            args[i] = b.stack[static_cast<std::size_t>(abase + i) * lanes + l];
+          }
+          Value out;
+          if (IsWorkItemBuiltin(id)) {
+            const std::uint64_t g[3] = {b.gid[0][l], b.gid[1][l],
+                                        b.gid[2][l]};
+            const std::uint64_t lo[3] = {b.lid[0][l], b.lid[1][l],
+                                         b.lid[2][l]};
+            out = EvalWorkItemBuiltin(id, g, lo, grp, args);
+          } else if (IsAtomicBuiltin(id)) {
+            auto mem = ResolveLanePtr(args[0].u, 4, l, b, grp);
+            if (!mem.ok()) return mem.status();
+            out = EvalAtomicAt(id, instr.type, *mem, args, argc);
+          } else {
+            out = EvalPureBuiltin(id, instr.type, args);
+          }
+          if (has_result) {
+            b.stack[static_cast<std::size_t>(abase) * lanes + l] = out;
+          }
+        }
+        b.sp = abase + (has_result ? 1 : 0);
+        break;
+      }
+      case Opcode::kReturn: {
+        if (b.frames.empty()) {
+          // All lanes finish together (they are in lockstep by definition).
+          return Status::Ok();
+        }
+        // If a value is being returned its row at sp-1 simply stays in
+        // place and becomes the caller's new top of stack; sp is unchanged
+        // either way (the interpreter pops and re-pushes it).
+        const Frame frame = b.frames.back();
+        b.frames.pop_back();
+        b.local_rows = b.base;
+        b.locals.resize(static_cast<std::size_t>(b.local_rows) * lanes);
+        b.base = frame.prev_base;
+        b.pc = frame.return_pc;
+        break;
+      }
+      case Opcode::kBarrier:
+        // Lockstep means every lane is here in the same batch step: the
+        // barrier is already satisfied, no suspend/resume needed.
+        if (!grp.kernel.uses_barrier) {
+          return Trap(grp, b.pc, "barrier in kernel not marked uses_barrier");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+BatchPlan BuildBatchPlan(const Module& module, const LaunchOptions& options) {
+  BatchPlan plan;
+  if (!options.enable_trace_fusion) return plan;
+  const auto& code = module.code;
+  const auto& literals = module.literals;
+
+  // A fused superop must be straight-line: no jump may land strictly inside
+  // it. Collect every possible entry point.
+  std::vector<bool> is_target(code.size() + 1, false);
+  for (const auto& fn : module.functions) {
+    if (fn.entry_pc < is_target.size()) is_target[fn.entry_pc] = true;
+  }
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instruction& in = code[i];
+    switch (in.op) {
+      case Opcode::kJump:
+      case Opcode::kJumpIfFalse:
+      case Opcode::kJumpIfTrue:
+        if (in.a >= 0 && static_cast<std::size_t>(in.a) < is_target.size()) {
+          is_target[in.a] = true;
+        }
+        break;
+      case Opcode::kCall:
+        is_target[i + 1] = true;  // Return address.
+        break;
+      default:
+        break;
+    }
+  }
+
+  plan.fused_at.assign(code.size(), -1);
+  auto straight = [&](std::size_t p, std::uint32_t len) {
+    if (p + len > code.size()) return false;
+    for (std::uint32_t u = 1; u < len; ++u) {
+      if (is_target[p + u]) return false;
+    }
+    return true;
+  };
+
+  // Indexed load fed entirely from locals: either
+  //   [load base][load s1][load s2][mul i32][load s3][add i32]
+  //   [convert i32->i64][ptradd][loadmem]            (the a[row*n+k] shape)
+  // or the single-index form
+  //   [load base][load s1][convert ->i64][ptradd][loadmem].
+  auto match_indexed_load = [&](std::size_t p, IndexedLoad* out) {
+    if (straight(p, 9) && code[p].op == Opcode::kLoadLocal &&
+        code[p + 1].op == Opcode::kLoadLocal &&
+        code[p + 2].op == Opcode::kLoadLocal &&
+        code[p + 3].op == Opcode::kMul &&
+        code[p + 3].type == ScalarType::kI32 &&
+        code[p + 4].op == Opcode::kLoadLocal &&
+        code[p + 5].op == Opcode::kAdd &&
+        code[p + 5].type == ScalarType::kI32 &&
+        code[p + 6].op == Opcode::kConvert &&
+        code[p + 6].type == ScalarType::kI32 &&
+        static_cast<ScalarType>(code[p + 6].a) == ScalarType::kI64 &&
+        code[p + 7].op == Opcode::kPtrAdd &&
+        code[p + 8].op == Opcode::kLoadMem) {
+      out->base = code[p].a;
+      out->s1 = code[p + 1].a;
+      out->s2 = code[p + 2].a;
+      out->s3 = code[p + 4].a;
+      out->idx = ScalarType::kI32;
+      out->esize = code[p + 7].a;
+      out->elem = code[p + 8].type;
+      out->length = 9;
+      return true;
+    }
+    if (straight(p, 5) && code[p].op == Opcode::kLoadLocal &&
+        code[p + 1].op == Opcode::kLoadLocal &&
+        code[p + 2].op == Opcode::kConvert &&
+        static_cast<ScalarType>(code[p + 2].a) == ScalarType::kI64 &&
+        code[p + 3].op == Opcode::kPtrAdd &&
+        code[p + 4].op == Opcode::kLoadMem) {
+      out->base = code[p].a;
+      out->s1 = code[p + 1].a;
+      out->s2 = -1;
+      out->s3 = -1;
+      out->idx = code[p + 2].type;
+      out->esize = code[p + 3].a;
+      out->elem = code[p + 4].type;
+      out->length = 5;
+      return true;
+    }
+    return false;
+  };
+
+  std::size_t i = 0;
+  while (i < code.size()) {
+    FusedOp op;
+    bool matched = false;
+
+    // The full MAC body — locals[acc] += A-load * B-load — in one superop
+    // (up to 24 instructions: matmul's `acc += a[row*n+k] * b[k*n+col]`).
+    if (code[i].op == Opcode::kLoadLocal &&
+        match_indexed_load(i + 1, &op.ld[0]) &&
+        match_indexed_load(i + 1 + op.ld[0].length, &op.ld[1])) {
+      const std::size_t j = i + 1 + op.ld[0].length + op.ld[1].length;
+      const std::uint32_t total =
+          1 + op.ld[0].length + op.ld[1].length + 3;
+      if (straight(i, total) && j + 2 < code.size() &&
+          code[j].op == Opcode::kMul && code[j + 1].op == Opcode::kAdd &&
+          code[j + 1].type == code[j].type &&
+          code[j + 2].op == Opcode::kStoreLocal &&
+          code[j + 2].a == code[i].a) {
+        op.kind = FusedOp::Kind::kMacLocal;
+        op.type = code[j].type;
+        op.a = code[i].a;
+        op.length = total;
+        matched = true;
+      }
+    }
+    // A lone indexed load (array subscript straight from locals).
+    if (!matched && match_indexed_load(i, &op.ld[0])) {
+      op.kind = FusedOp::Kind::kIndexedLoad;
+      op.length = op.ld[0].length;
+      matched = true;
+    }
+
+    // locals[s] = locals[s] +/- const  (loop counter steps; length 5 with
+    // an intervening convert, 4 without).
+    if (!matched && straight(i, 5) && code[i].op == Opcode::kLoadLocal &&
+        code[i + 1].op == Opcode::kPushConst &&
+        code[i + 2].op == Opcode::kConvert &&
+        code[i + 2].type == code[i + 1].type &&
+        (code[i + 3].op == Opcode::kAdd || code[i + 3].op == Opcode::kSub) &&
+        code[i + 3].type == static_cast<ScalarType>(code[i + 2].a) &&
+        code[i + 4].op == Opcode::kStoreLocal &&
+        code[i + 4].a == code[i].a) {
+      op.kind = FusedOp::Kind::kLocalAddConst;
+      op.op = code[i + 3].op;
+      op.type = code[i + 3].type;
+      op.a = code[i].a;
+      op.constant = ConvertValue(literals[code[i + 1].a], code[i + 2].type,
+                                 op.type);
+      op.length = 5;
+      matched = true;
+    }
+    if (!matched && straight(i, 4) && code[i].op == Opcode::kLoadLocal &&
+        code[i + 1].op == Opcode::kPushConst &&
+        (code[i + 2].op == Opcode::kAdd || code[i + 2].op == Opcode::kSub) &&
+        code[i + 2].type == code[i + 1].type &&
+        code[i + 3].op == Opcode::kStoreLocal &&
+        code[i + 3].a == code[i].a) {
+      op.kind = FusedOp::Kind::kLocalAddConst;
+      op.op = code[i + 2].op;
+      op.type = code[i + 2].type;
+      op.a = code[i].a;
+      op.constant = literals[code[i + 1].a];
+      op.length = 4;
+      matched = true;
+    }
+    // locals[a] <cmp> locals[b]  (loop conditions: k < n).
+    if (!matched && straight(i, 3) && code[i].op == Opcode::kLoadLocal &&
+        code[i + 1].op == Opcode::kLoadLocal &&
+        code[i + 2].op >= Opcode::kEq && code[i + 2].op <= Opcode::kGe) {
+      op.kind = FusedOp::Kind::kCompareLocals;
+      op.op = code[i + 2].op;
+      op.type = code[i + 2].type;
+      op.a = code[i].a;
+      op.b = code[i + 1].a;
+      op.length = 3;
+      matched = true;
+    }
+    // load(ptr + convert(idx) * esize)  (array subscript reads).
+    if (!matched && straight(i, 3) && code[i].op == Opcode::kConvert &&
+        static_cast<ScalarType>(code[i].a) == ScalarType::kI64 &&
+        code[i + 1].op == Opcode::kPtrAdd &&
+        code[i + 2].op == Opcode::kLoadMem) {
+      op.kind = FusedOp::Kind::kConvertPtrAddLoad;
+      op.idx_type = code[i].type;
+      op.a = code[i + 1].a;
+      op.type = code[i + 2].type;
+      op.length = 3;
+      matched = true;
+    }
+    // acc, x, y -> acc + x*y  (MAC pairs).
+    if (!matched && straight(i, 2) && code[i].op == Opcode::kMul &&
+        code[i + 1].op == Opcode::kAdd &&
+        code[i + 1].type == code[i].type) {
+      op.kind = FusedOp::Kind::kMulAdd;
+      op.type = code[i].type;
+      op.length = 2;
+      matched = true;
+    }
+    if (!matched && straight(i, 2) && code[i].op == Opcode::kPtrAdd &&
+        code[i + 1].op == Opcode::kLoadMem) {
+      op.kind = FusedOp::Kind::kPtrAddLoad;
+      op.a = code[i].a;
+      op.type = code[i + 1].type;
+      op.length = 2;
+      matched = true;
+    }
+    if (!matched && straight(i, 2) && code[i].op == Opcode::kLoadLocal &&
+        code[i + 1].op == Opcode::kLoadLocal) {
+      op.kind = FusedOp::Kind::kLoadLocalPair;
+      op.a = code[i].a;
+      op.b = code[i + 1].a;
+      op.length = 2;
+      matched = true;
+    }
+
+    if (matched) {
+      plan.fused_at[i] = static_cast<std::int32_t>(plan.ops.size());
+      plan.ops.push_back(op);
+      i += op.length;
+    } else {
+      ++i;
+    }
+  }
+  return plan;
+}
+
+Status RunGroupBatched(GroupContext& grp, const BatchPlan& plan,
+                       BatchGroupStats& stats) {
+  const auto& local = grp.range.local;
+  const auto group_size =
+      static_cast<std::uint32_t>(local[0] * local[1] * local[2]);
+  auto local_mem = MakeLocalMem(grp.kernel, grp.args);
+  grp.local_mem = &local_mem;
+  LaneBatch b;
+  InitBatch(b, grp, group_size);
+  return RunBatch(b, grp, plan, stats);
+}
+
+}  // namespace haocl::oclc::vmdetail

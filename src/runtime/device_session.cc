@@ -350,6 +350,9 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   reply.bytes_accessed = profile.bytes_accessed;
   ++kernels_executed_;
   busy_seconds_total_ += profile.modeled_seconds;
+  vm_instructions_total_ += profile.vm_instructions;
+  vm_batch_steps_total_ += profile.vm_batch_steps;
+  vm_bailouts_total_ += profile.vm_bailouts;
   return reply;
 }
 

@@ -124,6 +124,23 @@ class DeviceSession {
   [[nodiscard]] std::uint64_t resident_bytes() const {
     return ledger_->resident_bytes();
   }
+  // Cumulative VM execution counters across this session's launches
+  // (exact retired work-item instructions, not the static-mix estimate;
+  // zero contribution from native-binary launches). The batch ratio —
+  // instructions per dispatch — is the amortization the lane-batch
+  // engine achieved.
+  [[nodiscard]] std::uint64_t vm_instructions_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return vm_instructions_total_;
+  }
+  [[nodiscard]] std::uint64_t vm_batch_steps_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return vm_batch_steps_total_;
+  }
+  [[nodiscard]] std::uint64_t vm_bailouts_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return vm_bailouts_total_;
+  }
 
  private:
   struct ProgramEntry {
@@ -161,6 +178,10 @@ class DeviceSession {
   std::uint64_t bytes_allocated_ = 0;
   std::uint64_t kernels_executed_ = 0;
   double busy_seconds_total_ = 0.0;
+  // VM execution totals (see the accessors above).
+  std::uint64_t vm_instructions_total_ = 0;
+  std::uint64_t vm_batch_steps_total_ = 0;
+  std::uint64_t vm_bailouts_total_ = 0;
 };
 
 }  // namespace haocl::runtime

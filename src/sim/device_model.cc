@@ -21,6 +21,11 @@ SimTime ModelKernelTime(const DeviceSpec& spec,
   return time;
 }
 
+int ExecPoolWidth(const DeviceSpec& spec, int host_threads) noexcept {
+  if (spec.compute_units <= 0) return 1;
+  return std::max(1, std::min(spec.compute_units, host_threads));
+}
+
 DeviceSpec XeonE52686() {
   DeviceSpec spec;
   spec.model_name = "Intel Xeon E5-2686 v4";
@@ -28,6 +33,7 @@ DeviceSpec XeonE52686() {
   // 16 usable cores x 2.3 GHz x AVX2 (8 FP32 FMA lanes x 2) ~= 590 GFLOPs
   // peak; we model ~40% sustained for OpenCL workloads.
   spec.compute_gflops = 235.0;
+  spec.compute_units = 16;  // Physical cores.
   spec.mem_bandwidth_gbps = 60.0;
   spec.launch_overhead_s = 5e-6;
   spec.power_watts = 145.0;
@@ -41,6 +47,7 @@ DeviceSpec TeslaP4() {
   spec.model_name = "NVIDIA Tesla P4";
   spec.type = NodeType::kGpu;
   spec.compute_gflops = 5500.0;      // 5.5 TFLOPs FP32 peak.
+  spec.compute_units = 20;           // Pascal GP104 SM count.
   spec.mem_bandwidth_gbps = 192.0;   // GDDR5.
   spec.launch_overhead_s = 10e-6;
   spec.power_watts = 75.0;
@@ -56,6 +63,7 @@ DeviceSpec XilinxVU9P() {
   // Custom dataflow pipelines: lower peak than the GPU but the pipeline
   // stays full on irregular kernels.
   spec.compute_gflops = 900.0;
+  spec.compute_units = 8;            // Replicated kernel pipelines (CUs).
   spec.mem_bandwidth_gbps = 77.0;    // 4x DDR4-2400 channels on the shell.
   spec.launch_overhead_s = 20e-6;
   spec.power_watts = 45.0;

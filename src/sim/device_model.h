@@ -27,6 +27,11 @@ struct DeviceSpec {
 
   double compute_gflops = 1.0;     // Peak sustained FP32 throughput.
   double mem_bandwidth_gbps = 1.0; // Device memory bandwidth, GB/s.
+  // Independent compute units (CPU cores / GPU SMs / FPGA kernel
+  // pipelines). The driver sizes the VM's work-group thread pool from
+  // this: one host thread stands in for one compute unit. 0 = unknown
+  // (legacy spec); the driver falls back to a single thread.
+  int compute_units = 0;
   double launch_overhead_s = 0.0;  // Per-kernel-launch fixed cost.
   double power_watts = 0.0;        // Active power draw.
   // Device memory capacity. This is what the tiered memory subsystem
@@ -67,6 +72,11 @@ struct KernelCost {
 // Virtual seconds for `cost` on `spec`, excluding reconfiguration (the
 // driver charges that separately, once per bitstream swap).
 SimTime ModelKernelTime(const DeviceSpec& spec, const KernelCost& cost) noexcept;
+
+// Work-group thread-pool width for executing on `spec`: one host thread
+// per compute unit, clamped to `host_threads` (the silicon we actually
+// have). Specs that predate compute-unit reporting get 1.
+int ExecPoolWidth(const DeviceSpec& spec, int host_threads) noexcept;
 
 // Calibrated presets matching the paper's testbed (Section IV-A).
 DeviceSpec XeonE52686();   // CPU node.

@@ -133,8 +133,10 @@ TEST(TenancyTest, FairShareProtectsLightTenantFromHogFleet) {
   // Kernels large enough that execution dominates the host turnaround
   // (several thread hops per completed launch, each with scheduling
   // latency on a loaded machine), so every saturated session is back
-  // waiting at the gate before the current launch finishes.
-  const int n = 65536;
+  // waiting at the gate before the current launch finishes. Sized for
+  // the lane-batch VM engine, which retires simple kernels like this
+  // more than an order of magnitude faster than the old interpreter.
+  const int n = 1 << 19;
   std::vector<TenantWork> hog_work;
   hog_work.reserve(hogs.size());
   for (ClusterRuntime* hog : hogs) hog_work.push_back(PrepareTenant(*hog, n));

@@ -1,0 +1,270 @@
+// Lane-batch engine specifics: dispatch amortization visible in VmStats,
+// trace fusion firing on MAC loops, divergence bail-out to the
+// interpreter, budget-trap parity between the engines, the kernel-aware
+// ChooseLocalSize widening, and the compute-unit -> pool-width mapping.
+// Bit-identity of results is covered exhaustively by vm_differential_test.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "oclc/program.h"
+#include "oclc/vm.h"
+#include "sim/device_model.h"
+
+namespace haocl::oclc {
+namespace {
+
+std::shared_ptr<const Module> MustCompile(const std::string& source) {
+  auto module = Compile(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return module.ok() ? *module : nullptr;
+}
+
+Status RunWithStats(const Module& module, const std::string& kernel,
+                    const std::vector<ArgBinding>& args, std::uint64_t global,
+                    const LaunchOptions& options, VmStats* stats) {
+  const CompiledFunction* fn = module.FindKernel(kernel);
+  if (fn == nullptr) {
+    return Status(ErrorCode::kInvalidKernelName, "no kernel " + kernel);
+  }
+  NDRange range;
+  range.work_dim = 1;
+  range.global[0] = global;
+  return LaunchKernel(module, *fn, args, range, options, stats);
+}
+
+constexpr char kMacLoop[] = R"(
+  __kernel void mac(__global const float* a, __global const float* b,
+                    __global float* c, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+      acc += a[i * n + k] * b[k];
+    }
+    c[i] = acc;
+  })";
+
+TEST(VmBatchTest, BatchStepsAmortizeDispatchAcrossLanes) {
+  auto module = MustCompile(kMacLoop);
+  ASSERT_NE(module, nullptr);
+  const int n = 64;
+  std::vector<float> a(64 * n, 1.5f), b(n, 2.0f), c(64, 0.0f);
+  std::vector<ArgBinding> args = {
+      ArgBinding::Buffer(a.data(), a.size() * 4),
+      ArgBinding::Buffer(b.data(), b.size() * 4),
+      ArgBinding::Buffer(c.data(), c.size() * 4), ArgBinding::Int(n)};
+
+  LaunchOptions options;
+  options.num_threads = 1;
+  VmStats stats;
+  ASSERT_TRUE(RunWithStats(*module, "mac", args, 64, options, &stats).ok());
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_GT(stats.batch_steps, 0u);
+  EXPECT_EQ(stats.bailouts, 0u);  // Uniform trip count: no divergence.
+  EXPECT_EQ(stats.groups, 1u);    // 64 items fit one wide group.
+  // The whole point: far fewer dispatches than retired instructions.
+  EXPECT_LT(stats.batch_steps * 8, stats.instructions);
+}
+
+TEST(VmBatchTest, TraceFusionFiresOnMacLoopAndPreservesBits) {
+  auto module = MustCompile(kMacLoop);
+  ASSERT_NE(module, nullptr);
+  const int n = 32;
+  std::vector<float> a(128 * n), b(n), c_fused(128, -1.0f),
+      c_plain(128, -1.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.001f * static_cast<float>(i % 97) - 0.3f;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = 0.05f * static_cast<float>(i) - 0.7f;
+  }
+
+  LaunchOptions fused;
+  fused.num_threads = 1;
+  VmStats fused_stats;
+  ASSERT_TRUE(RunWithStats(*module, "mac",
+                           {ArgBinding::Buffer(a.data(), a.size() * 4),
+                            ArgBinding::Buffer(b.data(), b.size() * 4),
+                            ArgBinding::Buffer(c_fused.data(), 128 * 4),
+                            ArgBinding::Int(n)},
+                           128, fused, &fused_stats)
+                  .ok());
+  EXPECT_GT(fused_stats.fused_steps, 0u);
+
+  LaunchOptions plain;
+  plain.num_threads = 1;
+  plain.enable_trace_fusion = false;
+  VmStats plain_stats;
+  ASSERT_TRUE(RunWithStats(*module, "mac",
+                           {ArgBinding::Buffer(a.data(), a.size() * 4),
+                            ArgBinding::Buffer(b.data(), b.size() * 4),
+                            ArgBinding::Buffer(c_plain.data(), 128 * 4),
+                            ArgBinding::Int(n)},
+                           128, plain, &plain_stats)
+                  .ok());
+  EXPECT_EQ(plain_stats.fused_steps, 0u);
+  // Same retired work either way, and bit-identical floats.
+  EXPECT_EQ(fused_stats.instructions, plain_stats.instructions);
+  EXPECT_EQ(0, std::memcmp(c_fused.data(), c_plain.data(), 128 * 4));
+}
+
+TEST(VmBatchTest, DivergentBranchBailsOutToInterpreter) {
+  auto module = MustCompile(R"(
+    __kernel void collatz(__global const int* in, __global int* out) {
+      int i = get_global_id(0);
+      int x = in[i];
+      int steps = 0;
+      while (x != 1) {
+        if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+        steps++;
+      }
+      out[i] = steps;
+    })");
+  ASSERT_NE(module, nullptr);
+  std::vector<std::int32_t> in(64), out(64, -1);
+  for (int i = 0; i < 64; ++i) in[i] = i + 1;  // Divergent trip counts.
+
+  LaunchOptions options;
+  options.num_threads = 1;
+  VmStats stats;
+  ASSERT_TRUE(RunWithStats(*module, "collatz",
+                           {ArgBinding::Buffer(in.data(), in.size() * 4),
+                            ArgBinding::Buffer(out.data(), out.size() * 4)},
+                           64, options, &stats)
+                  .ok());
+  EXPECT_GT(stats.bailouts, 0u);
+  EXPECT_EQ(out[0], 0);   // 1 is already there.
+  EXPECT_EQ(out[1], 1);   // 2 -> 1.
+  EXPECT_EQ(out[26], 111);  // 27: the classic long orbit.
+}
+
+TEST(VmBatchTest, InterpreterEngineRunsWithoutBatchDispatch) {
+  auto module = MustCompile(kMacLoop);
+  ASSERT_NE(module, nullptr);
+  const int n = 8;
+  std::vector<float> a(16 * n, 1.0f), b(n, 1.0f), c(16, 0.0f);
+  LaunchOptions options;
+  options.num_threads = 1;
+  options.engine = VmEngine::kInterpreter;
+  VmStats stats;
+  ASSERT_TRUE(RunWithStats(*module, "mac",
+                           {ArgBinding::Buffer(a.data(), a.size() * 4),
+                            ArgBinding::Buffer(b.data(), b.size() * 4),
+                            ArgBinding::Buffer(c.data(), c.size() * 4),
+                            ArgBinding::Int(n)},
+                           16, options, &stats)
+                  .ok());
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_EQ(stats.batch_steps, 0u);
+  EXPECT_EQ(stats.fused_steps, 0u);
+  EXPECT_EQ(c[0], static_cast<float>(n));
+}
+
+TEST(VmBatchTest, BudgetTrapIsIdenticalAcrossEngines) {
+  auto module = MustCompile(R"(
+    __kernel void spin(__global int* out) {
+      int x = 0;
+      while (x >= 0) { x = x + 1; if (x < 0) break; x = 0; }
+      out[0] = x;
+    })");
+  ASSERT_NE(module, nullptr);
+  std::int32_t sink = 0;
+  for (VmEngine engine : {VmEngine::kBatched, VmEngine::kInterpreter}) {
+    LaunchOptions options;
+    options.num_threads = 1;
+    options.engine = engine;
+    options.max_instructions_per_item = 5000;
+    Status s = RunWithStats(*module, "spin",
+                            {ArgBinding::Buffer(&sink, sizeof(sink))}, 4,
+                            options, nullptr);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.ToString().find("budget"), std::string::npos) << s.ToString();
+  }
+}
+
+TEST(VmBatchTest, ChooseLocalSizeWidensBarrierFreeKernels) {
+  auto wide = MustCompile(kMacLoop);
+  ASSERT_NE(wide, nullptr);
+  const CompiledFunction* mac = wide->FindKernel("mac");
+  ASSERT_NE(mac, nullptr);
+  EXPECT_FALSE(mac->uses_barrier);
+
+  NDRange range;
+  range.global[0] = 1024;
+  ChooseLocalSize(range, mac);
+  EXPECT_EQ(range.local[0], 256u);
+
+  // Odd extents still get the largest divisor <= 256.
+  NDRange odd;
+  odd.global[0] = 3 * 7 * 11;  // 231.
+  ChooseLocalSize(odd, mac);
+  EXPECT_EQ(odd.local[0], 231u);
+
+  // Kernel-less (legacy callers) and barrier kernels keep the 64 cap.
+  NDRange legacy;
+  legacy.global[0] = 1024;
+  ChooseLocalSize(legacy);
+  EXPECT_EQ(legacy.local[0], 64u);
+
+  auto barrier = MustCompile(R"(
+    __kernel void rev(__global int* data, __local int* tmp) {
+      int l = get_local_id(0);
+      int size = get_local_size(0);
+      tmp[l] = data[get_global_id(0)];
+      barrier(1);
+      data[get_global_id(0)] = tmp[size - 1 - l];
+    })");
+  ASSERT_NE(barrier, nullptr);
+  const CompiledFunction* rev = barrier->FindKernel("rev");
+  ASSERT_NE(rev, nullptr);
+  EXPECT_TRUE(rev->uses_barrier);
+  NDRange brange;
+  brange.global[0] = 1024;
+  ChooseLocalSize(brange, rev);
+  EXPECT_EQ(brange.local[0], 64u);
+}
+
+TEST(VmBatchTest, ExecPoolWidthMapsComputeUnitsToHostThreads) {
+  sim::DeviceSpec cpu = sim::XeonE52686();
+  EXPECT_EQ(cpu.compute_units, 16);
+  EXPECT_EQ(sim::ExecPoolWidth(cpu, 64), 16);
+  EXPECT_EQ(sim::ExecPoolWidth(cpu, 8), 8);  // Clamped to host silicon.
+  sim::DeviceSpec gpu = sim::TeslaP4();
+  EXPECT_EQ(gpu.compute_units, 20);
+  sim::DeviceSpec legacy;  // Pre-compute-unit spec: single-threaded.
+  EXPECT_EQ(sim::ExecPoolWidth(legacy, 64), 1);
+}
+
+TEST(VmBatchTest, MultiThreadedPoolMatchesSingleThread) {
+  auto module = MustCompile(kMacLoop);
+  ASSERT_NE(module, nullptr);
+  const int n = 16;
+  const std::uint64_t global = 1024;
+  std::vector<float> a(global * n), b(n), c1(global, 0.0f), c8(global, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.01f * static_cast<float>(i % 53);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = 0.1f * static_cast<float>(i + 1);
+  }
+  for (int threads : {1, 8}) {
+    auto& c = threads == 1 ? c1 : c8;
+    LaunchOptions options;
+    options.num_threads = threads;
+    VmStats stats;
+    ASSERT_TRUE(RunWithStats(*module, "mac",
+                             {ArgBinding::Buffer(a.data(), a.size() * 4),
+                              ArgBinding::Buffer(b.data(), b.size() * 4),
+                              ArgBinding::Buffer(c.data(), global * 4),
+                              ArgBinding::Int(n)},
+                             global, options, &stats)
+                    .ok());
+    EXPECT_EQ(stats.threads_used, threads == 1 ? 1 : stats.threads_used);
+    EXPECT_GT(stats.groups, 1u);
+  }
+  EXPECT_EQ(0, std::memcmp(c1.data(), c8.data(), global * 4));
+}
+
+}  // namespace
+}  // namespace haocl::oclc

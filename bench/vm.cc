@@ -1,11 +1,18 @@
-// VM engine benchmark: lane-batched execution vs the legacy per-work-item
-// interpreter on IDENTICAL bytecode, single-threaded so the number is the
-// per-group engine speedup (dispatch amortization + trace fusion), not
-// pool parallelism. Outputs are compared byte-for-byte — a speedup that
-// changes bits is a bug, and the harness exits nonzero.
+// VM engine benchmark: three-way ablation on IDENTICAL bytecode —
+// per-work-item interpreter, lane-batched scalar engine (fusion on, SIMD
+// and lane masking off), and the full SIMD tier (vectorized superops +
+// partial-lane masking). Single-threaded so the numbers are the per-group
+// engine speedup, not pool parallelism. Outputs are compared byte-for-byte
+// across all three — a speedup that changes bits is a bug, and the harness
+// exits nonzero.
 //
-// Emits BENCH_vm.json. Gate: the matmul MAC loop must run >= 10x faster
-// batched, or the exit code is nonzero (CI fails).
+// Emits BENCH_vm.json with one ablation row per kernel family. Gates:
+//  - every engine's outputs byte-identical (always),
+//  - matmul SIMD >= 20x interpreter and >= 2x the scalar batch engine
+//    (only when the build has a vector backend),
+//  - bfs_frontier completes with ZERO whole-group bail-outs (the masked
+//    divergence path; independent of SIMD, so enforced even on the
+//    forced-scalar build).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "oclc/program.h"
 #include "oclc/vm.h"
 
@@ -34,11 +42,15 @@ struct BenchCase {
 struct BenchResult {
   std::string name;
   double interp_seconds = 0.0;
-  double batched_seconds = 0.0;
-  double speedup = 0.0;
+  double scalar_seconds = 0.0;  // Batched, SIMD + masking off (PR-9 engine).
+  double simd_seconds = 0.0;    // Batched, full SIMD tier.
+  double speedup_vs_interp = 0.0;
+  double speedup_vs_scalar = 0.0;
   std::uint64_t instructions = 0;
   std::uint64_t batch_steps = 0;
   std::uint64_t fused_steps = 0;
+  std::uint64_t simd_steps = 0;
+  std::uint64_t masked_steps = 0;
   std::uint64_t bailouts = 0;
   bool identical = false;
 };
@@ -52,10 +64,21 @@ std::vector<std::uint8_t> RandomFloats(std::mt19937& rng, std::size_t count) {
   return bytes;
 }
 
-// Runs one engine over private copies of the case's buffers; returns the
-// best-of-3 wall seconds and leaves the mutated buffers in `out`.
+std::vector<std::uint8_t> RandomBits(std::mt19937& rng, std::size_t count) {
+  std::uniform_int_distribution<int> bit(0, 1);
+  std::vector<std::int32_t> v(count);
+  for (auto& x : v) x = bit(rng);
+  std::vector<std::uint8_t> bytes(count * 4);
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+// Runs one engine config over private copies of the case's buffers;
+// returns the best-of-3 wall seconds and leaves the mutated buffers in
+// `out`.
 double TimeEngine(const oclc::Module& module, const BenchCase& bench,
-                  oclc::VmEngine engine, oclc::VmStats* stats,
+                  const oclc::LaunchOptions& base_options,
+                  oclc::VmStats* stats,
                   std::vector<std::vector<std::uint8_t>>* out) {
   const oclc::CompiledFunction* fn = module.FindKernel(bench.kernel);
   if (fn == nullptr) {
@@ -70,9 +93,8 @@ double TimeEngine(const oclc::Module& module, const BenchCase& bench,
       args.push_back(oclc::ArgBinding::Buffer(b.data(), b.size()));
     }
     for (const auto& s : bench.scalar_tail) args.push_back(s);
-    oclc::LaunchOptions options;
+    oclc::LaunchOptions options = base_options;
     options.num_threads = 1;
-    options.engine = engine;
     const auto t0 = Clock::now();
     Status s = LaunchKernel(module, *fn, args, bench.range, options, stats);
     const double seconds = std::chrono::duration<double>(Clock::now() - t0)
@@ -97,22 +119,37 @@ BenchResult RunCase(const BenchCase& bench) {
   }
   BenchResult result;
   result.name = bench.name;
-  std::vector<std::vector<std::uint8_t>> interp_out, batched_out;
-  oclc::VmStats interp_stats, batched_stats;
-  result.interp_seconds = TimeEngine(**module, bench,
-                                     oclc::VmEngine::kInterpreter,
-                                     &interp_stats, &interp_out);
-  result.batched_seconds = TimeEngine(**module, bench,
-                                      oclc::VmEngine::kBatched,
-                                      &batched_stats, &batched_out);
-  result.speedup = result.interp_seconds / result.batched_seconds;
-  result.instructions = batched_stats.instructions;
-  result.batch_steps = batched_stats.batch_steps;
-  result.fused_steps = batched_stats.fused_steps;
-  result.bailouts = batched_stats.bailouts;
-  result.identical = interp_out.size() == batched_out.size();
+
+  oclc::LaunchOptions interp;
+  interp.engine = oclc::VmEngine::kInterpreter;
+  oclc::LaunchOptions scalar;  // The PR-9 batch engine: fusion only.
+  scalar.engine = oclc::VmEngine::kBatched;
+  scalar.enable_simd = false;
+  scalar.enable_lane_masking = false;
+  oclc::LaunchOptions simd;  // Full tier.
+  simd.engine = oclc::VmEngine::kBatched;
+
+  std::vector<std::vector<std::uint8_t>> interp_out, scalar_out, simd_out;
+  oclc::VmStats interp_stats, scalar_stats, simd_stats;
+  result.interp_seconds =
+      TimeEngine(**module, bench, interp, &interp_stats, &interp_out);
+  result.scalar_seconds =
+      TimeEngine(**module, bench, scalar, &scalar_stats, &scalar_out);
+  result.simd_seconds =
+      TimeEngine(**module, bench, simd, &simd_stats, &simd_out);
+  result.speedup_vs_interp = result.interp_seconds / result.simd_seconds;
+  result.speedup_vs_scalar = result.scalar_seconds / result.simd_seconds;
+  result.instructions = simd_stats.instructions;
+  result.batch_steps = simd_stats.batch_steps;
+  result.fused_steps = simd_stats.fused_steps;
+  result.simd_steps = simd_stats.simd_steps;
+  result.masked_steps = simd_stats.masked_steps;
+  result.bailouts = simd_stats.bailouts;
+  result.identical = interp_out.size() == scalar_out.size() &&
+                     interp_out.size() == simd_out.size();
   for (std::size_t i = 0; result.identical && i < interp_out.size(); ++i) {
-    result.identical = interp_out[i] == batched_out[i];
+    result.identical =
+        interp_out[i] == scalar_out[i] && interp_out[i] == simd_out[i];
   }
   return result;
 }
@@ -125,15 +162,18 @@ int main() {
 
   {
     // The headline: the matmul MAC inner loop (acc += a[..]*b[..]), the
-    // hottest bytecode the Table I workloads run.
+    // hottest bytecode the Table I workloads run. The B-load is contiguous
+    // in the lane id, the A-load gathers, and the MAC vectorizes with two
+    // roundings per step (never an FMA).
     BenchCase c;
     c.name = "matmul";
     c.kernel = "matmul";
     c.source = R"(
       __kernel void matmul(__global const float* a, __global const float* b,
                            __global float* c, int n) {
-        int row = get_global_id(0);
-        int col = get_global_id(1);
+        int col = get_global_id(0);  // Lanes run along columns, so the
+        int row = get_global_id(1);  // B-load is a contiguous vector load
+                                     // and the A-load broadcasts.
         float acc = 0.0f;
         for (int k = 0; k < n; k++) {
           acc += a[row * n + k] * b[k * n + col];
@@ -195,20 +235,59 @@ int main() {
     c.range.global[0] = 256;
     cases.push_back(std::move(c));
   }
+  {
+    // BFS frontier expansion: a per-lane guard (bitwise & so the condition
+    // compiles branch-free) around a straight-line scatter. Before lane
+    // masking every divergent group bailed out to the interpreter; the
+    // gate below requires ZERO bail-outs now.
+    BenchCase c;
+    c.name = "bfs_frontier";
+    c.kernel = "bfs_frontier";
+    c.source = R"(
+      __kernel void bfs_frontier(__global const int* frontier,
+                                 __global const int* adj,
+                                 __global int* next, int n) {
+        int v = get_global_id(0);
+        int nb = adj[v];
+        if ((frontier[v] != 0) & (nb >= 0) & (nb < n)) {
+          next[nb] = 1;
+        }
+      })";
+    const int n = 1 << 18;
+    std::vector<std::int32_t> adj(n);
+    std::uniform_int_distribution<std::int32_t> nb(-1, n - 1);
+    for (auto& x : adj) x = nb(rng);  // -1 = no neighbour (padded row).
+    std::vector<std::uint8_t> adj_bytes(static_cast<std::size_t>(n) * 4);
+    std::memcpy(adj_bytes.data(), adj.data(), adj_bytes.size());
+    c.buffers = {RandomBits(rng, n), std::move(adj_bytes),
+                 std::vector<std::uint8_t>(static_cast<std::size_t>(n) * 4, 0)};
+    c.scalar_tail = {oclc::ArgBinding::Int(n)};
+    c.range.global[0] = n;
+    cases.push_back(std::move(c));
+  }
 
   std::vector<BenchResult> results;
   bool all_identical = true;
-  double matmul_speedup = 0.0;
+  double matmul_vs_interp = 0.0;
+  double matmul_vs_scalar = 0.0;
+  std::uint64_t bfs_bailouts = ~0ull;
   for (const BenchCase& bench : cases) {
     BenchResult r = RunCase(bench);
-    std::printf("%-16s interp %8.4fs  batched %8.4fs  speedup %6.2fx  "
-                "fused %llu  bailouts %llu  %s\n",
-                r.name.c_str(), r.interp_seconds, r.batched_seconds,
-                r.speedup, static_cast<unsigned long long>(r.fused_steps),
+    std::printf("%-16s interp %8.4fs  scalar %8.4fs  simd %8.4fs  "
+                "x-interp %6.2f  x-scalar %5.2f  simd %llu  masked %llu  "
+                "bailouts %llu  %s\n",
+                r.name.c_str(), r.interp_seconds, r.scalar_seconds,
+                r.simd_seconds, r.speedup_vs_interp, r.speedup_vs_scalar,
+                static_cast<unsigned long long>(r.simd_steps),
+                static_cast<unsigned long long>(r.masked_steps),
                 static_cast<unsigned long long>(r.bailouts),
                 r.identical ? "bit-identical" : "OUTPUTS DIVERGED");
     all_identical = all_identical && r.identical;
-    if (r.name == "matmul") matmul_speedup = r.speedup;
+    if (r.name == "matmul") {
+      matmul_vs_interp = r.speedup_vs_interp;
+      matmul_vs_scalar = r.speedup_vs_scalar;
+    }
+    if (r.name == "bfs_frontier") bfs_bailouts = r.bailouts;
     results.push_back(std::move(r));
   }
 
@@ -217,37 +296,62 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_vm.json\n");
     return 1;
   }
-  std::fprintf(json, "{\n  \"kernels\": [\n");
+  std::fprintf(json, "{\n  \"simd_backend\": \"%s\",\n  \"kernels\": [\n",
+               simd::kIsaName);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(
         json,
         "    {\"name\": \"%s\", \"interp_seconds\": %.6f, "
-        "\"batched_seconds\": %.6f, \"speedup\": %.2f, "
+        "\"scalar_seconds\": %.6f, \"simd_seconds\": %.6f, "
+        "\"speedup_vs_interp\": %.2f, \"speedup_vs_scalar\": %.2f, "
         "\"instructions\": %llu, \"batch_steps\": %llu, "
-        "\"fused_steps\": %llu, \"bailouts\": %llu, "
+        "\"fused_steps\": %llu, \"simd_steps\": %llu, "
+        "\"masked_steps\": %llu, \"bailouts\": %llu, "
         "\"bit_identical\": %s}%s\n",
-        r.name.c_str(), r.interp_seconds, r.batched_seconds, r.speedup,
+        r.name.c_str(), r.interp_seconds, r.scalar_seconds, r.simd_seconds,
+        r.speedup_vs_interp, r.speedup_vs_scalar,
         static_cast<unsigned long long>(r.instructions),
         static_cast<unsigned long long>(r.batch_steps),
         static_cast<unsigned long long>(r.fused_steps),
+        static_cast<unsigned long long>(r.simd_steps),
+        static_cast<unsigned long long>(r.masked_steps),
         static_cast<unsigned long long>(r.bailouts),
         r.identical ? "true" : "false",
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ],\n  \"matmul_speedup_gate\": 10.0\n}\n");
+  std::fprintf(json,
+               "  ],\n  \"matmul_interp_gate\": 20.0,\n"
+               "  \"matmul_scalar_gate\": 2.0\n}\n");
   std::fclose(json);
-  std::printf("wrote BENCH_vm.json\n");
+  std::printf("wrote BENCH_vm.json (backend %s)\n", simd::kIsaName);
 
   if (!all_identical) {
-    std::fprintf(stderr, "FAIL: batched outputs diverged from interpreter\n");
+    std::fprintf(stderr, "FAIL: engine outputs diverged\n");
     return 1;
   }
-  if (matmul_speedup < 10.0) {
+  if (bfs_bailouts != 0) {
     std::fprintf(stderr,
-                 "FAIL: matmul batched speedup %.2fx below the 10x gate\n",
-                 matmul_speedup);
+                 "FAIL: bfs_frontier took %llu whole-group bail-outs "
+                 "(masked path expected)\n",
+                 static_cast<unsigned long long>(bfs_bailouts));
     return 1;
+  }
+  if (simd::kEnabled) {
+    if (matmul_vs_interp < 20.0) {
+      std::fprintf(stderr,
+                   "FAIL: matmul SIMD speedup %.2fx below the 20x "
+                   "interpreter gate\n",
+                   matmul_vs_interp);
+      return 1;
+    }
+    if (matmul_vs_scalar < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: matmul SIMD speedup %.2fx below the 2x "
+                   "scalar-batch gate\n",
+                   matmul_vs_scalar);
+      return 1;
+    }
   }
   return 0;
 }

@@ -122,6 +122,7 @@ Expected<std::unique_ptr<ClusterRuntime>> ClusterRuntime::Connect(
     info.compute_gflops = decoded->compute_gflops;
     info.mem_bandwidth_gbps = decoded->mem_bandwidth_gbps;
     info.mem_capacity_bytes = decoded->mem_capacity_bytes;
+    info.simd_width = decoded->simd_width > 0 ? decoded->simd_width : 1;
     runtime->devices_.push_back(std::move(info));
     // One memory-pool ledger per node, budgeting the capacity the node
     // reported (0 = unbounded for nodes predating capacity reporting).

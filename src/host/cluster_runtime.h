@@ -79,6 +79,8 @@ struct DeviceInfo {
   // Device memory capacity from the handshake (0 = unbounded): the budget
   // the node's memory tier is managed against.
   std::uint64_t mem_capacity_bytes = 0;
+  // Native SIMD/SIMT width in 32-bit lanes from the handshake (1 = scalar).
+  std::uint32_t simd_width = 1;
 };
 
 // One kernel argument as the application binds it (clSetKernelArg).

@@ -39,6 +39,7 @@ std::vector<std::uint8_t> HelloReply::Encode() const {
   w.WriteF64(compute_gflops);
   w.WriteF64(mem_bandwidth_gbps);
   w.WriteU64(mem_capacity_bytes);
+  w.WriteU32(simd_width);
   w.WriteU32(protocol_version);
   return std::move(w).Take();
 }
@@ -53,9 +54,10 @@ Expected<HelloReply> HelloReply::Decode(
   auto gflops = r.ReadF64();
   auto bw = r.ReadF64();
   auto capacity = r.ReadU64();
+  auto simd = r.ReadU32();
   auto version = r.ReadU32();
   if (!name.ok() || !type.ok() || !model.ok() || !gflops.ok() || !bw.ok() ||
-      !capacity.ok() || !version.ok() || *type > 2) {
+      !capacity.ok() || !simd.ok() || !version.ok() || *type > 2) {
     return Malformed("HelloReply");
   }
   out.node_name = *std::move(name);
@@ -64,6 +66,7 @@ Expected<HelloReply> HelloReply::Decode(
   out.compute_gflops = *gflops;
   out.mem_bandwidth_gbps = *bw;
   out.mem_capacity_bytes = *capacity;
+  out.simd_width = *simd;
   out.protocol_version = *version;
   return out;
 }

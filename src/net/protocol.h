@@ -33,6 +33,9 @@ struct HelloReply {
   // Device memory capacity; the host budget for resident regions on this
   // node (0 = unbounded).
   std::uint64_t mem_capacity_bytes = 0;
+  // Native SIMD/SIMT width in 32-bit lanes (1 = scalar); schedulers prefer
+  // vector-width-multiple partition sizes.
+  std::uint32_t simd_width = 1;
   std::uint32_t protocol_version = 1;
 
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;

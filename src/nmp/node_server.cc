@@ -183,6 +183,10 @@ Message NodeServer::HandleMessage(const Message& request) {
       hello.compute_gflops = driver_->spec().compute_gflops;
       hello.mem_bandwidth_gbps = driver_->spec().mem_bandwidth_gbps;
       hello.mem_capacity_bytes = driver_->spec().mem_capacity_bytes;
+      hello.simd_width = driver_->spec().simd_width > 0
+                             ? static_cast<std::uint32_t>(
+                                   driver_->spec().simd_width)
+                             : 1;
       reply.type = MsgType::kHelloReply;
       reply.payload = hello.Encode();
       break;

@@ -45,6 +45,69 @@ enum class Opcode : std::uint8_t {
 // condition is group-uniform (proven by codegen's conservative analysis)
 // lets the engine take lane 0's direction without scanning every lane.
 inline constexpr std::uint8_t kInstrFlagUniformBranch = 1u << 0;
+// On kLoadLocal: the slot's value is an affine function of the lane id
+// (stride may be 0), per codegen's lane-dependence fixpoint. The batch
+// engine uses this to classify indexed-load offsets as
+// contiguous/strided/uniform and hoist the per-lane bounds test to one
+// whole-chunk range precheck.
+inline constexpr std::uint8_t kInstrFlagLaneAffine = 1u << 1;
+// On kLoadLocal: the slot is group-uniform (affine with stride 0).
+inline constexpr std::uint8_t kInstrFlagLaneUniform = 1u << 2;
+// On a forward kJumpIfFalse: the guarded region is straight-line and
+// side-effect-maskable, and the jump target IS the re-convergence pc.
+// Codegen sets this for `if`-without-`else` bodies built only from
+// maskable opcodes; the batch engine may then execute the region under a
+// partial-lane mask instead of bailing out on divergence.
+inline constexpr std::uint8_t kInstrFlagMaskedRegion = 1u << 3;
+
+// The opcode subset allowed inside a masked divergent region: straight-line
+// data flow whose side effects (local/memory stores, builtin calls) the
+// engine can suppress per-lane. No control transfer, no user calls, no
+// barriers. Shared by codegen's region flagging and the batch engine's
+// masked executor so the two never drift apart.
+[[nodiscard]] inline constexpr bool IsMaskableOp(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kPushConst:
+    case Opcode::kLoadLocal:
+    case Opcode::kStoreLocal:
+    case Opcode::kDup:
+    case Opcode::kPop:
+    case Opcode::kLoadMem:
+    case Opcode::kStoreMem:
+    case Opcode::kPtrAdd:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kNeg:
+    case Opcode::kBitAnd:
+    case Opcode::kBitOr:
+    case Opcode::kBitXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kBitNot:
+    case Opcode::kEq:
+    case Opcode::kNe:
+    case Opcode::kLt:
+    case Opcode::kLe:
+    case Opcode::kGt:
+    case Opcode::kGe:
+    case Opcode::kLogicalNot:
+    case Opcode::kConvert:
+    case Opcode::kCallBuiltin:
+      return true;
+    case Opcode::kJump:
+    case Opcode::kJumpIfFalse:
+    case Opcode::kJumpIfTrue:
+    case Opcode::kCall:
+    case Opcode::kReturn:
+    case Opcode::kBarrier:
+      return false;
+  }
+  return false;
+}
 
 struct Instruction {
   Opcode op = Opcode::kNop;

@@ -31,6 +31,7 @@ class FunctionGen {
     next_slot_ = fn_.local_slot_count;
 
     AnalyzeUniformity();
+    AnalyzeLaneDep();
     CollectArrays(*fn_.body, out.arrays);
     HAOCL_RETURN_IF_ERROR(EmitStmt(*fn_.body));
     // Implicit return for void functions / fallthrough.
@@ -169,6 +170,199 @@ class FunctionGen {
     if (ExprUniform(cond)) {
       module_.code[at].flags |= kInstrFlagUniformBranch;
     }
+  }
+
+  // Lane dependence of local slots: a three-point lattice refining the
+  // uniformity analysis. kUniform = same value in every lane, kAffine =
+  // value is `base + stride * lane_id` for group-uniform base/stride
+  // (get_global_id(0)/get_local_id(0) are the generators; closed under
+  // +/- affine and * uniform), kVarying = anything else. The batch engine
+  // uses the affine hint to turn uniform-base indexed loads into
+  // contiguous/strided vector loads with one whole-chunk bounds precheck;
+  // it still verifies the actual lane stride at dispatch time, so the
+  // analysis only has to be conservative about *uniformity*, never about
+  // the exact stride (i32 wrap included).
+  enum class LaneDep : std::uint8_t { kUniform = 0, kAffine = 1, kVarying = 2 };
+
+  static LaneDep JoinLane(LaneDep a, LaneDep b) { return a > b ? a : b; }
+
+  void AnalyzeLaneDep() {
+    slot_lane_.assign(fn_.local_slot_count, LaneDep::kUniform);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ScanStmtLane(*fn_.body, changed);
+    }
+  }
+
+  [[nodiscard]] LaneDep SlotLane(int slot) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= slot_lane_.size()) {
+      return LaneDep::kVarying;  // Scratch slots: addresses/memory values.
+    }
+    return slot_lane_[slot];
+  }
+
+  void DemoteLane(int slot, LaneDep to, bool& changed) {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= slot_lane_.size()) {
+      return;
+    }
+    const LaneDep joined = JoinLane(slot_lane_[slot], to);
+    if (joined != slot_lane_[slot]) {
+      slot_lane_[slot] = joined;
+      changed = true;
+    }
+  }
+
+  [[nodiscard]] LaneDep BinaryLane(BinaryOp op, LaneDep a, LaneDep b) const {
+    switch (op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+        // affine +/- affine stays affine (strides add).
+        return JoinLane(a, b) <= LaneDep::kAffine ? JoinLane(a, b)
+                                                  : LaneDep::kVarying;
+      case BinaryOp::kMul:
+        if (a == LaneDep::kUniform && b == LaneDep::kUniform) {
+          return LaneDep::kUniform;
+        }
+        if ((a == LaneDep::kAffine && b == LaneDep::kUniform) ||
+            (a == LaneDep::kUniform && b == LaneDep::kAffine)) {
+          return LaneDep::kAffine;  // Stride scales by a uniform factor.
+        }
+        return LaneDep::kVarying;
+      default:
+        // Division, modulo, shifts, bit ops, compares, logicals: affine-ness
+        // does not survive; only uniform-in/uniform-out holds.
+        return (a == LaneDep::kUniform && b == LaneDep::kUniform)
+                   ? LaneDep::kUniform
+                   : LaneDep::kVarying;
+    }
+  }
+
+  [[nodiscard]] LaneDep ExprLane(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kIntLiteral:
+      case ExprKind::kFloatLiteral:
+      case ExprKind::kBoolLiteral:
+        return LaneDep::kUniform;
+      case ExprKind::kVarRef:
+        return e.symbol_slot < 0 ? LaneDep::kUniform : SlotLane(e.symbol_slot);
+      case ExprKind::kBinary:
+        return BinaryLane(e.binary_op, ExprLane(*e.children[0]),
+                          ExprLane(*e.children[1]));
+      case ExprKind::kUnary: {
+        if (IsIncDec(e)) {
+          const Expr& operand = *e.children[0];
+          return operand.kind == ExprKind::kVarRef
+                     ? SlotLane(operand.symbol_slot)
+                     : LaneDep::kVarying;
+        }
+        const LaneDep operand = ExprLane(*e.children[0]);
+        if (e.unary_op == UnaryOp::kPlus || e.unary_op == UnaryOp::kNeg) {
+          return operand;  // Negation flips the stride's sign.
+        }
+        return operand == LaneDep::kUniform ? LaneDep::kUniform
+                                            : LaneDep::kVarying;
+      }
+      case ExprKind::kAssign: {
+        const LaneDep rhs = ExprLane(*e.children[1]);
+        if (!e.compound) return rhs;
+        const Expr& lhs = *e.children[0];
+        if (lhs.kind != ExprKind::kVarRef) return LaneDep::kVarying;
+        return BinaryLane(e.binary_op, SlotLane(lhs.symbol_slot), rhs);
+      }
+      case ExprKind::kCall: {
+        if (e.builtin_id == -2) return LaneDep::kUniform;  // barrier(): void.
+        if (e.builtin_id < 0) return LaneDep::kVarying;    // User calls.
+        const auto id = static_cast<BuiltinId>(e.builtin_id);
+        if (id == BuiltinId::kGetGlobalId || id == BuiltinId::kGetLocalId) {
+          // Dimension 0 is the lane generator when lanes are linearized
+          // dim-0-fastest (the engine re-checks the realized stride).
+          const bool dim0 = e.children.size() == 1 &&
+                            e.children[0]->kind == ExprKind::kIntLiteral &&
+                            e.children[0]->int_value == 0;
+          return dim0 ? LaneDep::kAffine : LaneDep::kVarying;
+        }
+        if (IsAtomic(id)) return LaneDep::kVarying;
+        for (const ExprPtr& arg : e.children) {
+          if (ExprLane(*arg) != LaneDep::kUniform) return LaneDep::kVarying;
+        }
+        return LaneDep::kUniform;
+      }
+      case ExprKind::kSubscript:
+        return LaneDep::kVarying;
+      case ExprKind::kCast:
+        // Conversions keep the hint: the engine's stride verification is
+        // exact, so truncation cannot mislead it.
+        return ExprLane(*e.children[0]);
+      case ExprKind::kTernary: {
+        const LaneDep all =
+            JoinLane(ExprLane(*e.children[0]),
+                     JoinLane(ExprLane(*e.children[1]),
+                              ExprLane(*e.children[2])));
+        return all == LaneDep::kUniform ? LaneDep::kUniform
+                                        : LaneDep::kVarying;
+      }
+    }
+    return LaneDep::kVarying;
+  }
+
+  void ScanExprLane(const Expr& e, bool& changed) {
+    for (const ExprPtr& child : e.children) {
+      if (child != nullptr) ScanExprLane(*child, changed);
+    }
+    if (e.kind == ExprKind::kAssign) {
+      const Expr& lhs = *e.children[0];
+      if (lhs.kind == ExprKind::kVarRef && lhs.symbol_slot >= 0) {
+        DemoteLane(lhs.symbol_slot, ExprLane(e), changed);
+      }
+    }
+    // ++/-- preserves the slot's lane dependence (old value +/- a literal).
+  }
+
+  void ScanStmtLane(const Stmt& stmt, bool& changed) {
+    if (stmt.kind == StmtKind::kDecl) {
+      for (const Declarator& decl : stmt.declarators) {
+        if (decl.array_size != nullptr || decl.init == nullptr) continue;
+        DemoteLane(decl.slot, ExprLane(*decl.init), changed);
+      }
+    }
+    if (stmt.expr != nullptr) ScanExprLane(*stmt.expr, changed);
+    if (stmt.cond != nullptr) ScanExprLane(*stmt.cond, changed);
+    if (stmt.step != nullptr) ScanExprLane(*stmt.step, changed);
+    for (const StmtPtr& child : stmt.body) {
+      if (child != nullptr) ScanStmtLane(*child, changed);
+    }
+  }
+
+  // kLoadLocal flags from the lane-dependence lattice, consumed by the
+  // batch plan's indexed-load matcher.
+  [[nodiscard]] std::uint8_t LoadLocalFlags(int slot) const {
+    switch (SlotLane(slot)) {
+      case LaneDep::kUniform:
+        return kInstrFlagLaneAffine | kInstrFlagLaneUniform;
+      case LaneDep::kAffine:
+        return kInstrFlagLaneAffine;
+      case LaneDep::kVarying:
+        return 0;
+    }
+    return 0;
+  }
+
+  // An `if` without `else` whose body lowered to straight-line maskable
+  // code re-converges exactly at the branch target: flag the branch so the
+  // batch engine can run the body under a partial-lane mask instead of
+  // bailing the whole group out. Any control transfer inside the body
+  // (nested if/loop/break/continue, `&&`/`||`/`?:`, calls, barriers)
+  // shows up as a non-maskable opcode and vetoes the flag.
+  static constexpr std::size_t kMaxMaskedRegionLen = 64;
+  void MaybeFlagMaskedRegion(std::size_t branch_at) {
+    const std::size_t begin = branch_at + 1;
+    const std::size_t end = module_.code.size();
+    if (end <= begin || end - begin > kMaxMaskedRegionLen) return;
+    for (std::size_t pc = begin; pc < end; ++pc) {
+      if (!IsMaskableOp(module_.code[pc].op)) return;
+    }
+    module_.code[branch_at].flags |= kInstrFlagMaskedRegion;
   }
 
   // Exact peak operand-stack depth of this function's own frame, from a
@@ -411,6 +605,7 @@ class FunctionGen {
           PatchJump(to_end);
         } else {
           PatchJump(to_else);
+          MaybeFlagMaskedRegion(to_else);
         }
         return Status::Ok();
       }
@@ -531,7 +726,8 @@ class FunctionGen {
         return Status::Ok();
       case ExprKind::kVarRef:
         if (expr.symbol_slot >= 0) {
-          Emit({Opcode::kLoadLocal, ScalarType::kVoid, expr.symbol_slot, 0});
+          Emit({Opcode::kLoadLocal, ScalarType::kVoid, expr.symbol_slot, 0,
+                LoadLocalFlags(expr.symbol_slot)});
         } else {
           // Array decaying to a pointer: builtin_id carries the alloc index.
           const std::uint64_t region = ArrayRegion(expr.builtin_id);
@@ -955,6 +1151,7 @@ class FunctionGen {
   std::unordered_map<std::uint64_t, std::int32_t> literal_index_;
   std::vector<LoopContext> loops_;
   std::vector<bool> slot_uniform_;  // See AnalyzeUniformity().
+  std::vector<LaneDep> slot_lane_;  // See AnalyzeLaneDep().
   int next_slot_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/simd.h"
 #include "oclc/vm_internal.h"
 
 namespace haocl::oclc {
@@ -78,14 +79,22 @@ void ChooseLocalSize(NDRange& range, const CompiledFunction* kernel) noexcept {
   std::uint64_t size = 1;
   while (size < cap && range.global[0] % (size * 2) == 0) size *= 2;
   if (wide && size < cap) {
-    // Odd dim-0 extents still deserve wide batches: largest divisor <= cap.
+    // Odd dim-0 extents still deserve wide batches: largest divisor <= cap,
+    // preferring a SIMD-width multiple so the vector tier runs full chunks
+    // instead of scalar tails (e.g. 500 -> 100, not 250).
+    std::uint64_t best = size;
+    std::uint64_t best_vec = 0;
     for (std::uint64_t d = std::min<std::uint64_t>(cap, range.global[0]);
          d > size; --d) {
-      if (range.global[0] % d == 0) {
-        size = d;
+      if (range.global[0] % d != 0) continue;
+      if (best == size) best = d;  // Largest divisor of any alignment.
+      if (simd::kEnabled &&
+          d % static_cast<std::uint64_t>(simd::kWidth) == 0) {
+        best_vec = d;  // Largest vector-width-multiple divisor.
         break;
       }
     }
+    size = best_vec != 0 ? best_vec : best;
   }
   range.local[0] = size;
   range.local_specified = true;
@@ -206,6 +215,8 @@ Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
         acc.instructions += gs.instructions;
         acc.batch_steps += gs.batch_steps;
         acc.fused_steps += gs.fused_steps;
+        acc.simd_steps += gs.simd_steps;
+        acc.masked_steps += gs.masked_steps;
         if (gs.bailed_out) ++acc.bailouts;
       } else {
         s = RunGroup(grp, &acc.instructions);
@@ -221,6 +232,8 @@ Status LaunchKernel(const Module& module, const CompiledFunction& kernel,
     totals.instructions += acc.instructions;
     totals.batch_steps += acc.batch_steps;
     totals.fused_steps += acc.fused_steps;
+    totals.simd_steps += acc.simd_steps;
+    totals.masked_steps += acc.masked_steps;
     totals.bailouts += acc.bailouts;
     totals.groups += acc.groups;
   };

@@ -118,6 +118,15 @@ struct LaunchOptions {
   // loop-counter steps) into single batched ops. Batched engine only;
   // results are bit-identical either way.
   bool enable_trace_fusion = true;
+  // Vectorize per-lane inner loops (uniform arithmetic, fused MAC/indexed
+  // loads/compares) with host SIMD. Batched engine only; bit-identical.
+  // No-op when the build forces the scalar backend (HAOCL_ENABLE_SIMD=OFF).
+  bool enable_simd = true;
+  // Run short straight-line divergent regions (flagged by codegen) under a
+  // partial-lane mask instead of bailing the whole group out to the
+  // interpreter. Batched engine only; bit-identical, including trap pcs
+  // and the runaway-budget charge.
+  bool enable_lane_masking = true;
 };
 
 // Execution counters for one launch (filled when the caller passes a stats
@@ -127,6 +136,10 @@ struct VmStats {
   std::uint64_t batch_steps = 0;   // Batched dispatches (1 per instruction
                                    // per GROUP, not per item).
   std::uint64_t fused_steps = 0;   // Batched dispatches through a fused op.
+  std::uint64_t simd_steps = 0;    // Batched dispatches that took a vector
+                                   // path (subset of batch_steps).
+  std::uint64_t masked_steps = 0;  // Instructions executed under a partial
+                                   // lane mask instead of a bail-out.
   std::uint64_t bailouts = 0;      // Groups that diverged to the interpreter.
   std::uint64_t groups = 0;        // Work-groups executed.
   int threads_used = 0;            // Pool width actually used.

@@ -20,6 +20,7 @@
 // step instead of per work-item — in lockstep every lane retires the same
 // instruction count, so one shared counter is exact, and the hot loop pays
 // the check once per GROUP instead of once per item.
+#include "common/simd.h"
 #include "oclc/vm_internal.h"
 
 namespace haocl::oclc::vmdetail {
@@ -44,6 +45,16 @@ struct LaneBatch {
   std::vector<PrivateRegion> priv;
   std::vector<std::uint64_t> gid[3];
   std::vector<std::uint64_t> lid[3];
+  // Masked-divergence bookkeeping. The shared budget charges a masked
+  // region's whole span up-front; a lane that sat the region out is owed
+  // that span back relative to the shared counter (the interpreter charges
+  // per item). Refunds are applied on bail-out, and has_refund downgrades
+  // the shared budget trap to a bail-out because lanes no longer exhaust
+  // their budgets in unison.
+  std::vector<std::uint64_t> refund;
+  bool has_refund = false;
+  std::vector<std::uint8_t> active;          // Masked-region lane mask.
+  std::vector<std::int32_t> idx_scratch[2];  // Affine-load lane indices.
 };
 
 inline Value* Row(LaneBatch& b, std::uint32_t slot) {
@@ -73,6 +84,11 @@ void InitBatch(LaneBatch& b, GroupContext& grp, std::uint32_t lanes) {
   b.local_rows = kernel.local_slots;
   b.locals.assign(static_cast<std::size_t>(kernel.local_slots) * lanes,
                   Value{});
+  b.refund.assign(lanes, 0);
+  b.has_refund = false;
+  b.active.assign(lanes, 1);
+  b.idx_scratch[0].resize(lanes);
+  b.idx_scratch[1].resize(lanes);
 
   const auto& local = grp.range.local;
   for (int d = 0; d < 3; ++d) {
@@ -177,7 +193,9 @@ Status BailOut(LaneBatch& b, GroupContext& grp, const std::uint32_t* lane_pc,
     ItemState& st = states[l];
     st.pc = lane_pc[l];
     st.base = b.base;
-    st.budget = b.budget;
+    // A lane skipped over masked regions is owed their spans back: per-item
+    // budgets diverge from the shared counter exactly by the refund.
+    st.budget = b.budget + (b.has_refund ? b.refund[l] : 0);
     st.done = false;
     st.stack.resize(b.sp);
     for (std::uint32_t s = 0; s < b.sp; ++s) {
@@ -201,9 +219,13 @@ Status BailOut(LaneBatch& b, GroupContext& grp, const std::uint32_t* lane_pc,
       }
     }
   }
+  std::vector<std::uint64_t> start_budget(lanes);
+  for (std::uint32_t l = 0; l < lanes; ++l) start_budget[l] = states[l].budget;
   Status s = RunStatesToCompletion(states, grp);
   if (!s.ok()) return s;
-  for (const auto& st : states) stats.instructions += b.budget - st.budget;
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    stats.instructions += start_budget[l] - states[l].budget;
+  }
   return Status::Ok();
 }
 
@@ -368,6 +390,161 @@ bool BinaryFastLoop(Opcode op, ScalarType t, Value* lhs, const Value* rhs,
   }
 }
 
+// Vectorized twins of BinaryFastLoop's hot bodies, 4 lanes per step with
+// tail lanes in scalar transcription. f32 rows hold widened doubles, so the
+// vector op is a cvt-f64→f32 / op / widen-back sandwich — byte-identical to
+// the scalar static_cast chain because each cvt is one correctly-rounded
+// IEEE operation. i32/u32 wrap in 32 bits and re-canonicalize by sign/zero
+// extension, exactly like the interpreter's storage convention. Returns
+// false for combinations the caller should run through BinaryFastLoop.
+bool SimdBinaryRows(Opcode op, ScalarType t, Value* lhs, const Value* rhs,
+                    std::uint32_t n) {
+  const std::uint32_t vec = n & ~3u;
+  switch (t) {
+    case ScalarType::kF32: {
+      if (op != Opcode::kAdd && op != Opcode::kSub && op != Opcode::kMul &&
+          op != Opcode::kDiv) {
+        return false;
+      }
+      for (std::uint32_t c = 0; c < vec; c += 4) {
+        const simd::VecF32 a = simd::ToF32(simd::VecF64::Load(&lhs[c].f));
+        const simd::VecF32 x = simd::ToF32(simd::VecF64::Load(&rhs[c].f));
+        simd::VecF32 r{};
+        switch (op) {
+          case Opcode::kAdd: r = simd::Add(a, x); break;
+          case Opcode::kSub: r = simd::Sub(a, x); break;
+          case Opcode::kMul: r = simd::Mul(a, x); break;
+          default: r = simd::Div(a, x); break;
+        }
+        simd::ToF64(r).Store(&lhs[c].f);
+      }
+      for (std::uint32_t l = vec; l < n; ++l) {
+        const float a = static_cast<float>(lhs[l].f);
+        const float x = static_cast<float>(rhs[l].f);
+        float r;
+        switch (op) {
+          case Opcode::kAdd: r = a + x; break;
+          case Opcode::kSub: r = a - x; break;
+          case Opcode::kMul: r = a * x; break;
+          default: r = a / x; break;
+        }
+        lhs[l].f = r;
+      }
+      return true;
+    }
+    case ScalarType::kF64: {
+      if (op != Opcode::kAdd && op != Opcode::kSub && op != Opcode::kMul &&
+          op != Opcode::kDiv) {
+        return false;
+      }
+      for (std::uint32_t c = 0; c < vec; c += 4) {
+        const simd::VecF64 a = simd::VecF64::Load(&lhs[c].f);
+        const simd::VecF64 x = simd::VecF64::Load(&rhs[c].f);
+        simd::VecF64 r{};
+        switch (op) {
+          case Opcode::kAdd: r = simd::Add(a, x); break;
+          case Opcode::kSub: r = simd::Sub(a, x); break;
+          case Opcode::kMul: r = simd::Mul(a, x); break;
+          default: r = simd::Div(a, x); break;
+        }
+        r.Store(&lhs[c].f);
+      }
+      for (std::uint32_t l = vec; l < n; ++l) {
+        switch (op) {
+          case Opcode::kAdd: lhs[l].f = lhs[l].f + rhs[l].f; break;
+          case Opcode::kSub: lhs[l].f = lhs[l].f - rhs[l].f; break;
+          case Opcode::kMul: lhs[l].f = lhs[l].f * rhs[l].f; break;
+          default: lhs[l].f = lhs[l].f / rhs[l].f; break;
+        }
+      }
+      return true;
+    }
+    case ScalarType::kI32: {
+      if (op != Opcode::kAdd && op != Opcode::kSub && op != Opcode::kMul) {
+        return false;
+      }
+      for (std::uint32_t c = 0; c < vec; c += 4) {
+        const simd::VecI32 a = simd::VecI32::LoadLow64(lhs + c);
+        const simd::VecI32 x = simd::VecI32::LoadLow64(rhs + c);
+        simd::VecI32 r{};
+        switch (op) {
+          case Opcode::kAdd: r = simd::Add(a, x); break;
+          case Opcode::kSub: r = simd::Sub(a, x); break;
+          default: r = simd::Mul(a, x); break;
+        }
+        r.StoreSignExt64(lhs + c);
+      }
+      for (std::uint32_t l = vec; l < n; ++l) {
+        const std::uint32_t a = static_cast<std::uint32_t>(lhs[l].i);
+        const std::uint32_t x = static_cast<std::uint32_t>(rhs[l].i);
+        switch (op) {
+          case Opcode::kAdd: lhs[l].i = static_cast<std::int32_t>(a + x); break;
+          case Opcode::kSub: lhs[l].i = static_cast<std::int32_t>(a - x); break;
+          default: lhs[l].i = static_cast<std::int32_t>(a * x); break;
+        }
+      }
+      return true;
+    }
+    case ScalarType::kU32: {
+      if (op != Opcode::kAdd && op != Opcode::kSub && op != Opcode::kMul) {
+        return false;
+      }
+      for (std::uint32_t c = 0; c < vec; c += 4) {
+        const simd::VecI32 a = simd::VecI32::LoadLow64(lhs + c);
+        const simd::VecI32 x = simd::VecI32::LoadLow64(rhs + c);
+        simd::VecI32 r{};
+        switch (op) {
+          case Opcode::kAdd: r = simd::Add(a, x); break;
+          case Opcode::kSub: r = simd::Sub(a, x); break;
+          default: r = simd::Mul(a, x); break;
+        }
+        r.StoreZeroExt64(lhs + c);
+      }
+      for (std::uint32_t l = vec; l < n; ++l) {
+        const std::uint32_t a = static_cast<std::uint32_t>(lhs[l].u);
+        const std::uint32_t x = static_cast<std::uint32_t>(rhs[l].u);
+        switch (op) {
+          case Opcode::kAdd: lhs[l].u = a + x; break;
+          case Opcode::kSub: lhs[l].u = a - x; break;
+          default: lhs[l].u = a * x; break;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// Vectorized i32 compare of two rows into 0/1 Values (EvalCompare's i32
+// path compares the sign-extended low words, which LoadLow64 extracts
+// exactly). `out` may alias `lhs`: each chunk loads both inputs before
+// storing.
+void SimdCompareI32Rows(Opcode op, const Value* lhs, const Value* rhs,
+                        Value* out, std::uint32_t n) {
+  const std::uint32_t vec = n & ~3u;
+  const simd::VecI32 one = simd::VecI32::Broadcast(1);
+  for (std::uint32_t c = 0; c < vec; c += 4) {
+    const simd::VecI32 a = simd::VecI32::LoadLow64(lhs + c);
+    const simd::VecI32 x = simd::VecI32::LoadLow64(rhs + c);
+    simd::VecI32 m{};
+    switch (op) {
+      case Opcode::kEq: m = simd::CmpEq(a, x); break;
+      case Opcode::kNe: m = simd::Not(simd::CmpEq(a, x)); break;
+      case Opcode::kLt: m = simd::CmpLt(a, x); break;
+      case Opcode::kLe: m = simd::Not(simd::CmpGt(a, x)); break;
+      case Opcode::kGt: m = simd::CmpGt(a, x); break;
+      default: m = simd::Not(simd::CmpLt(a, x)); break;
+    }
+    simd::And(m, one).StoreSignExt64(out + c);
+  }
+  for (std::uint32_t l = vec; l < n; ++l) {
+    Value v;
+    v.i = EvalCompare(op, ScalarType::kI32, lhs[l], rhs[l]) ? 1 : 0;
+    out[l] = v;
+  }
+}
+
 // One lane of an IndexedLoad: recomputes exactly what the replaced
 // bytecode would have — i32 wrap arithmetic for the two-term index, the
 // sign-extending convert, kPtrAdd's offset masking — then resolves and
@@ -415,12 +592,17 @@ struct UniformBase {
 };
 
 inline UniformBase ResolveUniformBase(LaneBatch& b, GroupContext& grp,
-                                      std::int32_t slot) {
+                                      std::int32_t slot,
+                                      bool known_uniform = false) {
   UniformBase out;
   const Value* row = LocalRow(b, b.base + slot);
   const std::uint64_t base0 = row[0].u;
-  for (std::uint32_t l = 1; l < b.lanes; ++l) {
-    if (row[l].u != base0) return out;
+  // Codegen-proved uniform bases need only a last-lane spot check (defense
+  // against analysis bugs); anything else scans every lane.
+  if (!known_uniform || row[b.lanes - 1].u != base0) {
+    for (std::uint32_t l = 1; l < b.lanes; ++l) {
+      if (row[l].u != base0) return out;
+    }
   }
   if (PointerSpace(base0) != PtrSpace::kGlobal) return out;
   const std::uint64_t region = PointerRegion(base0);
@@ -479,9 +661,327 @@ inline std::uint64_t LaneElemOffset(const UniformBase& ub,
          kPtrOffsetMask;
 }
 
+// How an IndexedLoad's lane offsets lay out in the uniform base buffer,
+// decided by one whole-chunk classification instead of per-lane decode.
+struct LanePlan {
+  enum class Kind : std::uint8_t {
+    kBroadcast,   // All lanes read the same element.
+    kContiguous,  // Lane l reads element idx[0] + l (vector load).
+    kGather,      // Arbitrary per-lane elements (vector gather).
+  };
+  Kind kind = Kind::kGather;
+  const std::int32_t* idx = nullptr;  // Element index per lane, in-bounds.
+  bool ok = false;
+};
+
+// One lane's element index with the bytecode's exact i32 wrap arithmetic.
+inline std::int32_t LaneIndex(const IndexRows& rows, std::uint32_t l) {
+  if (rows.two_term) {
+    const std::uint32_t m = static_cast<std::uint32_t>(rows.s1[l].i) *
+                            static_cast<std::uint32_t>(rows.s2[l].i);
+    return static_cast<std::int32_t>(
+        m + static_cast<std::uint32_t>(rows.s3[l].i));
+  }
+  return static_cast<std::int32_t>(rows.s1[l].i);
+}
+
+// Computes the lane element indices, prechecks the whole chunk against the
+// buffer bounds, and classifies the layout. A failed precheck — any index
+// that could trap or wrap through kPtrAdd's offset mask — returns !ok and
+// the caller falls back to the exact per-lane slow path. On success the
+// precheck guarantees base_off + idx*esize stays within [0, size - esize]
+// and below kPtrOffsetMask for every lane, so the masked pointer arithmetic
+// is the identity and loads cannot trap.
+//
+// Loads codegen proved affine classify in O(1): affinity under the
+// bytecode's mod-2^32 arithmetic is EXACT (affine*uniform and
+// affine+affine stay affine under wrap), so lanes 0 and 1 determine the
+// stride and the endpoints bound every lane — provided the i64
+// extrapolation never leaves [0, INT32_MAX], where wrap is the identity.
+// Lane lanes-1 is spot-checked against the extrapolation as a cheap
+// defense; any mismatch demotes to the full per-lane scan.
+LanePlan ClassifyLaneIndices(LaneBatch& b, const IndexedLoad& ld,
+                             const UniformBase& ub, std::int32_t* scratch) {
+  LanePlan plan;
+  if (ld.idx != ScalarType::kI32 ||
+      ld.esize != static_cast<std::int32_t>(ScalarSize(ld.elem))) {
+    return plan;  // Only the i32-index shape is classified.
+  }
+  const std::uint32_t lanes = b.lanes;
+  const IndexRows rows = RowsFor(b, ld);
+  const std::uint64_t esize = static_cast<std::uint64_t>(ld.esize);
+
+  auto check_range = [&](std::int32_t mn, std::int32_t mx) {
+    if (mn < 0) return false;
+    const std::uint64_t last =
+        ub.base_off + static_cast<std::uint64_t>(mx) * esize;
+    return last <= kPtrOffsetMask && last + esize <= ub.size;
+  };
+
+  if (ld.affine) {
+    const std::int32_t idx0 = LaneIndex(rows, 0);
+    const std::int32_t stride =
+        lanes > 1 ? static_cast<std::int32_t>(
+                        static_cast<std::uint32_t>(LaneIndex(rows, 1)) -
+                        static_cast<std::uint32_t>(idx0))
+                  : 0;
+    const std::int64_t end =
+        idx0 + static_cast<std::int64_t>(stride) * (lanes - 1);
+    if (idx0 >= 0 && end >= 0 && end <= INT32_MAX &&
+        (lanes < 3 ||
+         LaneIndex(rows, lanes - 1) == static_cast<std::int32_t>(end))) {
+      const std::int32_t lo =
+          stride >= 0 ? idx0 : static_cast<std::int32_t>(end);
+      const std::int32_t hi =
+          stride >= 0 ? static_cast<std::int32_t>(end) : idx0;
+      if (!check_range(lo, hi)) return plan;
+      plan.idx = scratch;
+      plan.ok = true;
+      if (stride == 0 || stride == 1) {
+        // Broadcast/contiguous vector bodies only read idx[0], but the
+        // scalar tail lanes still index idx[l] — fill both (no wrap: every
+        // value sits between idx0 and end).
+        scratch[0] = idx0;
+        for (std::uint32_t l = lanes & ~3u; l < lanes; ++l) {
+          scratch[l] = static_cast<std::int32_t>(
+              idx0 + static_cast<std::int64_t>(stride) * l);
+        }
+        plan.kind = stride == 0 ? LanePlan::Kind::kBroadcast
+                                : LanePlan::Kind::kContiguous;
+        return plan;
+      }
+      // Strided: materialize the full ramp for the gather.
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        scratch[l] = static_cast<std::int32_t>(
+            idx0 + static_cast<std::int64_t>(stride) * l);
+      }
+      plan.kind = LanePlan::Kind::kGather;
+      return plan;
+    }
+    // Hint contradicted or wrapping: fall through to the full scan.
+  }
+
+  // Varying indices: compute every lane (vectorized, exact wrap) with a
+  // running min/max for the range precheck.
+  const std::uint32_t vec = lanes & ~3u;
+  std::int32_t mn = INT32_MAX;
+  std::int32_t mx = INT32_MIN;
+  if (vec != 0) {
+    simd::VecI32 vmn = simd::VecI32::Broadcast(INT32_MAX);
+    simd::VecI32 vmx = simd::VecI32::Broadcast(INT32_MIN);
+    for (std::uint32_t c = 0; c < vec; c += 4) {
+      simd::VecI32 idx;
+      if (rows.two_term) {
+        const simd::VecI32 s1 = simd::VecI32::LoadLow64(rows.s1 + c);
+        const simd::VecI32 s2 = simd::VecI32::LoadLow64(rows.s2 + c);
+        const simd::VecI32 s3 = simd::VecI32::LoadLow64(rows.s3 + c);
+        idx = simd::Add(simd::Mul(s1, s2), s3);  // Exact 32-bit wrap.
+      } else {
+        idx = simd::VecI32::LoadLow64(rows.s1 + c);
+      }
+      idx.Store(scratch + c);
+      vmn = simd::Min(vmn, idx);
+      vmx = simd::Max(vmx, idx);
+    }
+    mn = simd::HMin(vmn);
+    mx = simd::HMax(vmx);
+  }
+  for (std::uint32_t l = vec; l < lanes; ++l) {
+    const std::int32_t idx = LaneIndex(rows, l);
+    scratch[l] = idx;
+    mn = idx < mn ? idx : mn;
+    mx = idx > mx ? idx : mx;
+  }
+  if (!check_range(mn, mx)) return plan;
+  plan.idx = scratch;
+  plan.ok = true;
+  plan.kind =
+      mn == mx ? LanePlan::Kind::kBroadcast : LanePlan::Kind::kGather;
+  return plan;
+}
+
+// Four f32 elements for lanes [c, c+4) under a classified plan. The plan's
+// precheck already proved every element in-bounds.
+inline simd::VecF32 LoadF32Lanes(const std::uint8_t* base, const LanePlan& p,
+                                 std::uint32_t c) {
+  switch (p.kind) {
+    case LanePlan::Kind::kBroadcast: {
+      float v;
+      std::memcpy(&v, base + static_cast<std::int64_t>(p.idx[0]) * 4, 4);
+      return simd::VecF32::Broadcast(v);
+    }
+    case LanePlan::Kind::kContiguous:
+      return simd::VecF32::Load(reinterpret_cast<const float*>(
+          base + (static_cast<std::int64_t>(p.idx[0]) + c) * 4));
+    case LanePlan::Kind::kGather:
+    default:
+      return simd::VecF32::Gather(reinterpret_cast<const float*>(base),
+                                  simd::VecI32::Load(p.idx + c));
+  }
+}
+
+inline simd::VecF64 LoadF64Lanes(const std::uint8_t* base, const LanePlan& p,
+                                 std::uint32_t c) {
+  switch (p.kind) {
+    case LanePlan::Kind::kBroadcast: {
+      double v;
+      std::memcpy(&v, base + static_cast<std::int64_t>(p.idx[0]) * 8, 8);
+      return simd::VecF64::Broadcast(v);
+    }
+    case LanePlan::Kind::kContiguous:
+      return simd::VecF64::Load(reinterpret_cast<const double*>(
+          base + (static_cast<std::int64_t>(p.idx[0]) + c) * 8));
+    case LanePlan::Kind::kGather:
+    default:
+      return simd::VecF64::Gather(reinterpret_cast<const double*>(base),
+                                  simd::VecI32::Load(p.idx + c));
+  }
+}
+
+// Vector path for a fused kIndexedLoad: classify the lane offsets once,
+// then load whole chunks. Falls back (returns false) when classification
+// fails — unusual index type, possible trap, non-global base.
+bool SimdIndexedLoad(LaneBatch& b, const IndexedLoad& ld,
+                     const UniformBase& ub, Value* out) {
+  const LanePlan plan =
+      ClassifyLaneIndices(b, ld, ub, b.idx_scratch[0].data());
+  if (!plan.ok) return false;
+  const std::uint32_t lanes = b.lanes;
+  const std::uint32_t vec = lanes & ~3u;
+  if (plan.kind == LanePlan::Kind::kBroadcast) {
+    const Value v = LoadScalar(
+        ub.data + static_cast<std::int64_t>(plan.idx[0]) *
+                      static_cast<std::int64_t>(ld.esize),
+        ld.elem);
+    for (std::uint32_t l = 0; l < lanes; ++l) out[l] = v;
+    return true;
+  }
+  switch (ld.elem) {
+    case ScalarType::kF32:
+      for (std::uint32_t c = 0; c < vec; c += 4) {
+        simd::ToF64(LoadF32Lanes(ub.data, plan, c)).Store(&out[c].f);
+      }
+      break;
+    case ScalarType::kF64:
+      for (std::uint32_t c = 0; c < vec; c += 4) {
+        LoadF64Lanes(ub.data, plan, c).Store(&out[c].f);
+      }
+      break;
+    case ScalarType::kI32:
+      if (plan.kind == LanePlan::Kind::kContiguous) {
+        const auto* src = reinterpret_cast<const std::int32_t*>(
+            ub.data + static_cast<std::int64_t>(plan.idx[0]) * 4);
+        for (std::uint32_t c = 0; c < vec; c += 4) {
+          simd::VecI32::Load(src + c).StoreSignExt64(out + c);
+        }
+      } else {
+        for (std::uint32_t l = 0; l < vec; ++l) {
+          out[l] = LoadScalar(
+              ub.data + static_cast<std::int64_t>(plan.idx[l]) * 4, ld.elem);
+        }
+      }
+      break;
+    case ScalarType::kU32:
+      if (plan.kind == LanePlan::Kind::kContiguous) {
+        const auto* src = reinterpret_cast<const std::int32_t*>(
+            ub.data + static_cast<std::int64_t>(plan.idx[0]) * 4);
+        for (std::uint32_t c = 0; c < vec; c += 4) {
+          simd::VecI32::Load(src + c).StoreZeroExt64(out + c);
+        }
+      } else {
+        for (std::uint32_t l = 0; l < vec; ++l) {
+          out[l] = LoadScalar(
+              ub.data + static_cast<std::int64_t>(plan.idx[l]) * 4, ld.elem);
+        }
+      }
+      break;
+    default:
+      for (std::uint32_t l = 0; l < vec; ++l) {
+        out[l] = LoadScalar(ub.data + static_cast<std::int64_t>(plan.idx[l]) *
+                                          static_cast<std::int64_t>(ld.esize),
+                            ld.elem);
+      }
+      break;
+  }
+  for (std::uint32_t l = vec; l < lanes; ++l) {
+    out[l] = LoadScalar(ub.data + static_cast<std::int64_t>(plan.idx[l]) *
+                                      static_cast<std::int64_t>(ld.esize),
+                        ld.elem);
+  }
+  return true;
+}
+
+// Vector path for the fused MAC superop (acc += a[i]*b[j], f32/f64).
+// MAC stays mul-then-add — two roundings, never an FMA — so results are
+// byte-identical to the interpreter's kMul/kAdd pair.
+bool SimdMac(LaneBatch& b, const FusedOp& op, const UniformBase& uba,
+             const UniformBase& ubb, Value* acc) {
+  const LanePlan pa =
+      ClassifyLaneIndices(b, op.ld[0], uba, b.idx_scratch[0].data());
+  if (!pa.ok) return false;
+  const LanePlan pb =
+      ClassifyLaneIndices(b, op.ld[1], ubb, b.idx_scratch[1].data());
+  if (!pb.ok) return false;
+  const std::uint32_t lanes = b.lanes;
+  const std::uint32_t vec = lanes & ~3u;
+  const bool bca = pa.kind == LanePlan::Kind::kBroadcast;
+  const bool bcb = pb.kind == LanePlan::Kind::kBroadcast;
+  if (op.type == ScalarType::kF32) {
+    // Hoist broadcast operands (matmul's A[row*n+k] is one per group) out
+    // of the chunk loop.
+    const simd::VecF32 ba =
+        bca ? LoadF32Lanes(uba.data, pa, 0) : simd::VecF32::Broadcast(0.0f);
+    const simd::VecF32 bb =
+        bcb ? LoadF32Lanes(ubb.data, pb, 0) : simd::VecF32::Broadcast(0.0f);
+    for (std::uint32_t c = 0; c < vec; c += 4) {
+      const simd::VecF32 xa = bca ? ba : LoadF32Lanes(uba.data, pa, c);
+      const simd::VecF32 xb = bcb ? bb : LoadF32Lanes(ubb.data, pb, c);
+      const simd::VecF32 m = simd::Mul(xa, xb);
+      const simd::VecF32 r =
+          simd::Add(simd::ToF32(simd::VecF64::Load(&acc[c].f)), m);
+      simd::ToF64(r).Store(&acc[c].f);
+    }
+    for (std::uint32_t l = vec; l < lanes; ++l) {
+      float xa;
+      float xb;
+      std::memcpy(&xa, uba.data + static_cast<std::int64_t>(pa.idx[l]) * 4, 4);
+      std::memcpy(&xb, ubb.data + static_cast<std::int64_t>(pb.idx[l]) * 4, 4);
+      const float m = xa * xb;
+      const float r = static_cast<float>(acc[l].f) + m;
+      acc[l].f = r;
+    }
+    return true;
+  }
+  if (op.type == ScalarType::kF64) {
+    const simd::VecF64 ba =
+        bca ? LoadF64Lanes(uba.data, pa, 0) : simd::VecF64::Broadcast(0.0);
+    const simd::VecF64 bb =
+        bcb ? LoadF64Lanes(ubb.data, pb, 0) : simd::VecF64::Broadcast(0.0);
+    for (std::uint32_t c = 0; c < vec; c += 4) {
+      const simd::VecF64 xa = bca ? ba : LoadF64Lanes(uba.data, pa, c);
+      const simd::VecF64 xb = bcb ? bb : LoadF64Lanes(ubb.data, pb, c);
+      const simd::VecF64 m = simd::Mul(xa, xb);
+      const simd::VecF64 r = simd::Add(simd::VecF64::Load(&acc[c].f), m);
+      r.Store(&acc[c].f);
+    }
+    for (std::uint32_t l = vec; l < lanes; ++l) {
+      double xa;
+      double xb;
+      std::memcpy(&xa, uba.data + static_cast<std::int64_t>(pa.idx[l]) * 8, 8);
+      std::memcpy(&xb, ubb.data + static_cast<std::int64_t>(pb.idx[l]) * 8, 8);
+      const double m = xa * xb;
+      const double r = acc[l].f + m;
+      acc[l].f = r;
+    }
+    return true;
+  }
+  return false;
+}
+
 // Executes one fused superop over all lanes. The caller already charged the
 // budget and verified the pattern applies at b.pc.
-Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
+Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op,
+                bool use_simd, BatchGroupStats& stats) {
   const std::uint32_t lanes = b.lanes;
   switch (op.kind) {
     case FusedOp::Kind::kLoadLocalPair: {
@@ -551,13 +1051,31 @@ Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
       if (op.type == ScalarType::kI32 &&
           (op.op == Opcode::kAdd || op.op == Opcode::kSub)) {
         const std::uint32_t c = static_cast<std::uint32_t>(op.constant.i);
+        std::uint32_t l = 0;
+        if (use_simd) {
+          const simd::VecI32 vc =
+              simd::VecI32::Broadcast(static_cast<std::int32_t>(c));
+          const std::uint32_t vec = lanes & ~3u;
+          if (op.op == Opcode::kAdd) {
+            for (; l < vec; l += 4) {
+              simd::Add(simd::VecI32::LoadLow64(row + l), vc)
+                  .StoreSignExt64(row + l);
+            }
+          } else {
+            for (; l < vec; l += 4) {
+              simd::Sub(simd::VecI32::LoadLow64(row + l), vc)
+                  .StoreSignExt64(row + l);
+            }
+          }
+          if (vec != 0) ++stats.simd_steps;
+        }
         if (op.op == Opcode::kAdd) {
-          for (std::uint32_t l = 0; l < lanes; ++l) {
+          for (; l < lanes; ++l) {
             row[l].i = static_cast<std::int32_t>(
                 static_cast<std::uint32_t>(row[l].i) + c);
           }
         } else {
-          for (std::uint32_t l = 0; l < lanes; ++l) {
+          for (; l < lanes; ++l) {
             row[l].i = static_cast<std::int32_t>(
                 static_cast<std::uint32_t>(row[l].i) - c);
           }
@@ -573,7 +1091,12 @@ Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
     case FusedOp::Kind::kIndexedLoad: {
       const IndexedLoad& ld = op.ld[0];
       Value* out = Row(b, b.sp++);
-      const UniformBase ub = ResolveUniformBase(b, grp, ld.base);
+      const UniformBase ub =
+          ResolveUniformBase(b, grp, ld.base, ld.base_uniform);
+      if (ub.ok && use_simd && SimdIndexedLoad(b, ld, ub, out)) {
+        ++stats.simd_steps;
+        return Status::Ok();
+      }
       if (ub.ok && FastIndexType(ld.idx)) {
         const IndexRows rows = RowsFor(b, ld);
         const std::uint64_t bytes = ScalarSize(ld.elem);
@@ -602,10 +1125,23 @@ Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
       Value* acc = LocalRow(b, b.base + op.a);
       const IndexedLoad& lda = op.ld[0];
       const IndexedLoad& ldb = op.ld[1];
+      if (use_simd &&
+          (op.type == ScalarType::kF32 || op.type == ScalarType::kF64)) {
+        const UniformBase sa =
+            ResolveUniformBase(b, grp, lda.base, lda.base_uniform);
+        const UniformBase sb =
+            ResolveUniformBase(b, grp, ldb.base, ldb.base_uniform);
+        if (sa.ok && sb.ok && SimdMac(b, op, sa, sb, acc)) {
+          ++stats.simd_steps;
+          return Status::Ok();
+        }
+      }
       if (op.type == ScalarType::kF32 && FastIndexType(lda.idx) &&
           FastIndexType(ldb.idx)) {
-        const UniformBase uba = ResolveUniformBase(b, grp, lda.base);
-        const UniformBase ubb = ResolveUniformBase(b, grp, ldb.base);
+        const UniformBase uba =
+            ResolveUniformBase(b, grp, lda.base, lda.base_uniform);
+        const UniformBase ubb =
+            ResolveUniformBase(b, grp, ldb.base, ldb.base_uniform);
         if (uba.ok && ubb.ok) {
           const IndexRows ra = RowsFor(b, lda);
           const IndexRows rb = RowsFor(b, ldb);
@@ -674,6 +1210,11 @@ Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
       const Value* lhs = LocalRow(b, b.base + op.a);
       const Value* rhs = LocalRow(b, b.base + op.b);
       Value* out = Row(b, b.sp++);
+      if (use_simd && op.type == ScalarType::kI32) {
+        SimdCompareI32Rows(op.op, lhs, rhs, out, lanes);
+        ++stats.simd_steps;
+        return Status::Ok();
+      }
       // i32 loop conditions (k < n) get op-hoisted loops; EvalCompare's i32
       // path is cmp((int32)a.i, (int32)b.i), transcribed per opcode.
       if (op.type == ScalarType::kI32) {
@@ -706,11 +1247,277 @@ Status RunFused(LaneBatch& b, GroupContext& grp, const FusedOp& op) {
   return Status(ErrorCode::kInternal, "bad fused op");
 }
 
+// Single-steps the straight-line region [b.pc, target) with b.active as the
+// lane mask. Transient operand-stack traffic (push const/local/dup, pops)
+// runs full-row — inactive lanes' garbage is discarded at re-convergence —
+// but anything with an observable effect (stores, memory ops, builtins) and
+// anything that could trap or hit UB on garbage (pointer decode, EvalBinary,
+// kConvert on an arbitrary double) skips inactive lanes. At return b.pc ==
+// target and all lanes are re-converged.
+Status RunMaskedOps(LaneBatch& b, GroupContext& grp, std::uint32_t target) {
+  const auto& code = grp.module.code;
+  const auto& literals = grp.module.literals;
+  const std::uint32_t lanes = b.lanes;
+  const std::uint8_t* active = b.active.data();
+
+  while (b.pc < target) {
+    const Instruction& instr = code[b.pc++];
+    switch (instr.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kPushConst: {
+        const Value v = literals[instr.a];
+        Value* row = Row(b, b.sp++);
+        for (std::uint32_t l = 0; l < lanes; ++l) row[l] = v;
+        break;
+      }
+      case Opcode::kLoadLocal:
+        std::memcpy(Row(b, b.sp++), LocalRow(b, b.base + instr.a),
+                    sizeof(Value) * lanes);
+        break;
+      case Opcode::kStoreLocal: {
+        const Value* src = Row(b, --b.sp);
+        Value* dst = LocalRow(b, b.base + instr.a);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (active[l]) dst[l] = src[l];
+        }
+        break;
+      }
+      case Opcode::kDup:
+        std::memcpy(Row(b, b.sp), Row(b, b.sp - 1), sizeof(Value) * lanes);
+        ++b.sp;
+        break;
+      case Opcode::kPop:
+        --b.sp;
+        break;
+      case Opcode::kLoadMem: {
+        Value* addr = Row(b, b.sp - 1);
+        const std::uint64_t bytes = ScalarSize(instr.type);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          auto mem = ResolveLanePtr(addr[l].u, bytes, l, b, grp);
+          if (!mem.ok()) return mem.status();
+          addr[l] = LoadScalar(*mem, instr.type);
+        }
+        break;
+      }
+      case Opcode::kStoreMem: {
+        const Value* value = Row(b, b.sp - 1);
+        const Value* addr = Row(b, b.sp - 2);
+        const std::uint64_t bytes = ScalarSize(instr.type);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          auto mem = ResolveLanePtr(addr[l].u, bytes, l, b, grp);
+          if (!mem.ok()) return mem.status();
+          StoreScalar(*mem, instr.type, value[l]);
+        }
+        b.sp -= 2;
+        break;
+      }
+      case Opcode::kPtrAdd: {
+        const Value* index = Row(b, b.sp - 1);
+        Value* ptr = Row(b, b.sp - 2);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          const std::uint64_t offset =
+              PointerOffset(ptr[l].u) +
+              static_cast<std::uint64_t>(index[l].i) *
+                  static_cast<std::uint64_t>(instr.a);
+          ptr[l].u = (ptr[l].u & ~kPtrOffsetMask) | (offset & kPtrOffsetMask);
+        }
+        --b.sp;
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+      case Opcode::kBitAnd:
+      case Opcode::kBitOr:
+      case Opcode::kBitXor:
+      case Opcode::kShl:
+      case Opcode::kShr: {
+        const Value* rhs = Row(b, b.sp - 1);
+        Value* lhs = Row(b, b.sp - 2);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          Status s = EvalBinary(instr.op, instr.type, lhs[l], rhs[l],
+                                &lhs[l]);
+          if (!s.ok()) return s;
+        }
+        --b.sp;
+        break;
+      }
+      case Opcode::kNeg: {
+        Value* row = Row(b, b.sp - 1);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          Value v = row[l];
+          if (IsFloat(instr.type)) {
+            v.f = instr.type == ScalarType::kF32
+                      ? -static_cast<float>(v.f)
+                      : -v.f;
+          } else if (IsUnsignedInt(instr.type)) {
+            v.u = ScalarSize(instr.type) == 8
+                      ? 0 - v.u
+                      : static_cast<std::uint32_t>(0 - v.u);
+          } else {
+            v.i = ScalarSize(instr.type) == 8
+                      ? -v.i
+                      : static_cast<std::int32_t>(-v.i);
+          }
+          row[l] = v;
+        }
+        break;
+      }
+      case Opcode::kBitNot: {
+        Value* row = Row(b, b.sp - 1);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          Value v = row[l];
+          if (IsUnsignedInt(instr.type)) {
+            v.u = ScalarSize(instr.type) == 8
+                      ? ~v.u
+                      : static_cast<std::uint32_t>(~v.u);
+          } else {
+            v.i = ScalarSize(instr.type) == 8
+                      ? ~v.i
+                      : static_cast<std::int32_t>(
+                            ~static_cast<std::int32_t>(v.i));
+          }
+          row[l] = v;
+        }
+        break;
+      }
+      case Opcode::kEq:
+      case Opcode::kNe:
+      case Opcode::kLt:
+      case Opcode::kLe:
+      case Opcode::kGt:
+      case Opcode::kGe: {
+        const Value* rhs = Row(b, b.sp - 1);
+        Value* lhs = Row(b, b.sp - 2);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          Value out;
+          out.i = EvalCompare(instr.op, instr.type, lhs[l], rhs[l]) ? 1 : 0;
+          lhs[l] = out;
+        }
+        --b.sp;
+        break;
+      }
+      case Opcode::kLogicalNot: {
+        Value* row = Row(b, b.sp - 1);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (active[l]) row[l].i = row[l].i == 0 ? 1 : 0;
+        }
+        break;
+      }
+      case Opcode::kConvert: {
+        // Masked even though the result is transient: converting an
+        // inactive lane's garbage (e.g. a huge double to int) is UB.
+        Value* row = Row(b, b.sp - 1);
+        const auto to = static_cast<ScalarType>(instr.a);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (active[l]) row[l] = ConvertValue(row[l], instr.type, to);
+        }
+        break;
+      }
+      case Opcode::kCallBuiltin: {
+        const auto id = static_cast<BuiltinId>(instr.a);
+        const int argc = instr.b;
+        const std::uint32_t abase = b.sp - argc;
+        const bool has_result = instr.type != ScalarType::kVoid;
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!active[l]) continue;
+          Value args[4];
+          for (int i = 0; i < argc; ++i) {
+            args[i] = b.stack[static_cast<std::size_t>(abase + i) * lanes + l];
+          }
+          Value out;
+          if (IsWorkItemBuiltin(id)) {
+            const std::uint64_t g[3] = {b.gid[0][l], b.gid[1][l],
+                                        b.gid[2][l]};
+            const std::uint64_t lo[3] = {b.lid[0][l], b.lid[1][l],
+                                         b.lid[2][l]};
+            out = EvalWorkItemBuiltin(id, g, lo, grp, args);
+          } else if (IsAtomicBuiltin(id)) {
+            auto mem = ResolveLanePtr(args[0].u, 4, l, b, grp);
+            if (!mem.ok()) return mem.status();
+            out = EvalAtomicAt(id, instr.type, *mem, args, argc);
+          } else {
+            out = EvalPureBuiltin(id, instr.type, args);
+          }
+          if (has_result) {
+            b.stack[static_cast<std::size_t>(abase) * lanes + l] = out;
+          }
+        }
+        b.sp = abase + (has_result ? 1 : 0);
+        break;
+      }
+      default:
+        // Unreachable: the caller pre-scanned the region with IsMaskableOp.
+        return Trap(grp, b.pc - 1, "non-maskable op in masked region");
+    }
+  }
+  return Status::Ok();
+}
+
+// Tries to run the divergent forward branch at pc-1 (operands already
+// popped, condition row in `cond`) as a masked region instead of bailing
+// out. Budget parity with the interpreter: the shared budget is charged the
+// region's whole span once up-front — exactly what every lane would pay
+// running it unmasked — and each inactive lane records a refund so a later
+// bail-out (or per-lane trap pc) still sees the interpreter's per-item
+// counter. Returns with *masked=false (and no state change) when the
+// region is not eligible.
+Status TryRunMaskedRegion(LaneBatch& b, GroupContext& grp,
+                          const Instruction& instr, const Value* cond,
+                          BatchGroupStats& stats, bool* masked) {
+  *masked = false;
+  if (instr.op != Opcode::kJumpIfFalse ||
+      (instr.flags & kInstrFlagMaskedRegion) == 0 ||
+      !grp.options.enable_lane_masking) {
+    return Status::Ok();
+  }
+  const auto& code = grp.module.code;
+  const auto target = static_cast<std::uint32_t>(instr.a);
+  if (target <= b.pc || target > code.size()) return Status::Ok();
+  const std::uint64_t span = target - b.pc;
+  if (b.budget < span) return Status::Ok();  // Single-step to the exact trap.
+  for (std::uint32_t p = b.pc; p < target; ++p) {
+    if (!IsMaskableOp(code[p].op)) return Status::Ok();
+  }
+  const std::uint32_t lanes = b.lanes;
+  std::uint32_t active_count = 0;
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    // kJumpIfFalse falls into the region when the condition is true.
+    const std::uint8_t a = cond[l].i != 0 ? 1 : 0;
+    b.active[l] = a;
+    if (a) {
+      ++active_count;
+    } else {
+      b.refund[l] += span;
+    }
+  }
+  b.has_refund = true;
+  b.budget -= span;
+  stats.batch_steps += span;
+  stats.masked_steps += span;
+  stats.instructions += span * active_count;
+  *masked = true;
+  return RunMaskedOps(b, grp, target);
+}
+
 Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
                 BatchGroupStats& stats) {
   const auto& code = grp.module.code;
   const auto& literals = grp.module.literals;
   const std::uint32_t lanes = b.lanes;
+  const bool use_simd =
+      simd::kEnabled && grp.options.enable_simd &&
+      lanes >= static_cast<std::uint32_t>(simd::kWidth);
 
   while (true) {
     // Trace-fused superop at this pc? One dispatch covers `length`
@@ -723,7 +1530,7 @@ Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
         ++stats.batch_steps;
         ++stats.fused_steps;
         stats.instructions += static_cast<std::uint64_t>(fop.length) * lanes;
-        Status s = RunFused(b, grp, fop);
+        Status s = RunFused(b, grp, fop, use_simd, stats);
         if (!s.ok()) return s;
         b.pc += fop.length;
         continue;
@@ -731,6 +1538,11 @@ Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
     }
 
     if (b.budget == 0) {
+      if (b.has_refund) {
+        // Lanes owed refunds no longer exhaust their budgets in unison;
+        // let the interpreter find each lane's exact trap point.
+        return BailOutUniform(b, grp, b.pc, stats);
+      }
       return Trap(grp, b.pc, "instruction budget exhausted (infinite loop?)");
     }
     --b.budget;
@@ -810,7 +1622,10 @@ Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
       case Opcode::kShr: {
         const Value* rhs = Row(b, b.sp - 1);
         Value* lhs = Row(b, b.sp - 2);
-        if (!BinaryFastLoop(instr.op, instr.type, lhs, rhs, lanes)) {
+        if (use_simd && SimdBinaryRows(instr.op, instr.type, lhs, rhs,
+                                       lanes)) {
+          ++stats.simd_steps;
+        } else if (!BinaryFastLoop(instr.op, instr.type, lhs, rhs, lanes)) {
           for (std::uint32_t l = 0; l < lanes; ++l) {
             Status s = EvalBinary(instr.op, instr.type, lhs[l], rhs[l],
                                   &lhs[l]);
@@ -867,10 +1682,15 @@ Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
       case Opcode::kGe: {
         const Value* rhs = Row(b, b.sp - 1);
         Value* lhs = Row(b, b.sp - 2);
-        for (std::uint32_t l = 0; l < lanes; ++l) {
-          Value out;
-          out.i = EvalCompare(instr.op, instr.type, lhs[l], rhs[l]) ? 1 : 0;
-          lhs[l] = out;
+        if (use_simd && instr.type == ScalarType::kI32) {
+          SimdCompareI32Rows(instr.op, lhs, rhs, lhs, lanes);
+          ++stats.simd_steps;
+        } else {
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            Value out;
+            out.i = EvalCompare(instr.op, instr.type, lhs[l], rhs[l]) ? 1 : 0;
+            lhs[l] = out;
+          }
         }
         --b.sp;
         break;
@@ -898,21 +1718,33 @@ Status RunBatch(LaneBatch& b, GroupContext& grp, const BatchPlan& plan,
         const Value* cond = Row(b, --b.sp);
         const bool want_true = instr.op == Opcode::kJumpIfTrue;
         const bool jump0 = (cond[0].i != 0) == want_true;
+        bool divergent = false;
         if ((instr.flags & kInstrFlagUniformBranch) == 0) {
           for (std::uint32_t l = 1; l < lanes; ++l) {
             if (((cond[l].i != 0) == want_true) != jump0) {
-              // Lanes disagree: transpose and finish via the interpreter.
-              const auto target = static_cast<std::uint32_t>(instr.a);
-              std::vector<std::uint32_t> pcs(lanes);
-              for (std::uint32_t m = 0; m < lanes; ++m) {
-                pcs[m] = ((cond[m].i != 0) == want_true) ? target : b.pc;
-              }
-              return BailOut(b, grp, pcs.data(), stats);
+              divergent = true;
+              break;
             }
           }
         }
-        if (jump0) b.pc = static_cast<std::uint32_t>(instr.a);
-        break;
+        if (!divergent) {
+          if (jump0) b.pc = static_cast<std::uint32_t>(instr.a);
+          break;
+        }
+        // Short straight-line guard bodies run under a partial-lane mask;
+        // everything else transposes and finishes via the interpreter.
+        bool masked = false;
+        Status ms = TryRunMaskedRegion(b, grp, instr, cond, stats, &masked);
+        if (masked) {
+          if (!ms.ok()) return ms;
+          break;
+        }
+        const auto target = static_cast<std::uint32_t>(instr.a);
+        std::vector<std::uint32_t> pcs(lanes);
+        for (std::uint32_t m = 0; m < lanes; ++m) {
+          pcs[m] = ((cond[m].i != 0) == want_true) ? target : b.pc;
+        }
+        return BailOut(b, grp, pcs.data(), stats);
       }
       case Opcode::kCall: {
         const CompiledFunction& callee = grp.module.functions[instr.a];
@@ -1068,6 +1900,18 @@ BatchPlan BuildBatchPlan(const Module& module, const LaunchOptions& options) {
       out->esize = code[p + 7].a;
       out->elem = code[p + 8].type;
       out->length = 9;
+      // s1*s2+s3 is affine in the lane id iff the product has at most one
+      // lane-affine factor (the other uniform) and the addend is affine.
+      const std::uint8_t f1 = code[p + 1].flags;
+      const std::uint8_t f2 = code[p + 2].flags;
+      const std::uint8_t f3 = code[p + 4].flags;
+      const bool prod_affine =
+          ((f1 & kInstrFlagLaneAffine) != 0 &&
+           (f2 & kInstrFlagLaneUniform) != 0) ||
+          ((f1 & kInstrFlagLaneUniform) != 0 &&
+           (f2 & kInstrFlagLaneAffine) != 0);
+      out->affine = prod_affine && (f3 & kInstrFlagLaneAffine) != 0;
+      out->base_uniform = (code[p].flags & kInstrFlagLaneUniform) != 0;
       return true;
     }
     if (straight(p, 5) && code[p].op == Opcode::kLoadLocal &&
@@ -1084,6 +1928,8 @@ BatchPlan BuildBatchPlan(const Module& module, const LaunchOptions& options) {
       out->esize = code[p + 3].a;
       out->elem = code[p + 4].type;
       out->length = 5;
+      out->affine = (code[p + 1].flags & kInstrFlagLaneAffine) != 0;
+      out->base_uniform = (code[p].flags & kInstrFlagLaneUniform) != 0;
       return true;
     }
     return false;

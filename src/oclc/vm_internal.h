@@ -1070,6 +1070,8 @@ struct BatchGroupStats {
   std::uint64_t instructions = 0;
   std::uint64_t batch_steps = 0;
   std::uint64_t fused_steps = 0;
+  std::uint64_t simd_steps = 0;    // Dispatches that took a vector path.
+  std::uint64_t masked_steps = 0;  // Instructions run under a partial mask.
   bool bailed_out = false;
 };
 
@@ -1088,6 +1090,14 @@ struct IndexedLoad {
   ScalarType elem = ScalarType::kVoid;  // Loaded element type.
   ScalarType idx = ScalarType::kVoid;   // Convert source type.
   std::uint32_t length = 0;
+  // Codegen proved the index expression affine in the lane id (stride may
+  // be 0): the engine may classify the lane offsets as
+  // broadcast/contiguous/strided after one whole-chunk range precheck.
+  bool affine = false;
+  // Codegen proved the base pointer local lane-uniform: the engine may
+  // resolve the buffer region from lane 0 with a last-lane spot check
+  // instead of scanning every lane.
+  bool base_uniform = false;
 };
 
 struct FusedOp {

@@ -352,6 +352,8 @@ net::LaunchKernelReply DeviceSession::LaunchKernel(
   busy_seconds_total_ += profile.modeled_seconds;
   vm_instructions_total_ += profile.vm_instructions;
   vm_batch_steps_total_ += profile.vm_batch_steps;
+  vm_simd_steps_total_ += profile.vm_simd_steps;
+  vm_masked_steps_total_ += profile.vm_masked_steps;
   vm_bailouts_total_ += profile.vm_bailouts;
   return reply;
 }

@@ -141,6 +141,14 @@ class DeviceSession {
     std::lock_guard<std::mutex> lock(mutex_);
     return vm_bailouts_total_;
   }
+  [[nodiscard]] std::uint64_t vm_simd_steps_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return vm_simd_steps_total_;
+  }
+  [[nodiscard]] std::uint64_t vm_masked_steps_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return vm_masked_steps_total_;
+  }
 
  private:
   struct ProgramEntry {
@@ -181,6 +189,8 @@ class DeviceSession {
   // VM execution totals (see the accessors above).
   std::uint64_t vm_instructions_total_ = 0;
   std::uint64_t vm_batch_steps_total_ = 0;
+  std::uint64_t vm_simd_steps_total_ = 0;
+  std::uint64_t vm_masked_steps_total_ = 0;
   std::uint64_t vm_bailouts_total_ = 0;
 };
 

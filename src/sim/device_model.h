@@ -46,6 +46,12 @@ struct DeviceSpec {
   // full; CPUs sit in between.
   double irregular_efficiency = 1.0;
 
+  // Native SIMD/SIMT width in 32-bit lanes (CPU vector lanes, GPU warp
+  // size, FPGA pipeline replication). Reported to the host in HelloReply /
+  // DeviceInfo so schedulers can prefer vector-width-multiple partitions.
+  // 1 = scalar (and the legacy default for specs that predate it).
+  int simd_width = 1;
+
   // FPGA-only streaming parameters (ignored for CPU/GPU).
   double pipeline_fill_s = 0.0;    // Latency to fill the pipeline once.
   double reconfigure_s = 0.0;      // Full/partial reconfiguration penalty.

@@ -82,11 +82,18 @@ TEST(ProtocolTest, HelloRoundTrip) {
   reply.device_type = NodeType::kGpu;
   reply.device_model = "Tesla P4";
   reply.compute_gflops = 5500;
+  reply.simd_width = 32;
   auto r = HelloReply::Decode(reply.Encode());
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->node_name, "gpu3");
   EXPECT_EQ(r->device_type, NodeType::kGpu);
   EXPECT_DOUBLE_EQ(r->compute_gflops, 5500);
+  EXPECT_EQ(r->simd_width, 32u);
+
+  HelloReply scalar_reply;  // Default: scalar device, width 1.
+  auto sr = HelloReply::Decode(scalar_reply.Encode());
+  ASSERT_TRUE(sr.ok());
+  EXPECT_EQ(sr->simd_width, 1u);
 }
 
 TEST(ProtocolTest, BufferRequestsRoundTrip) {

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/simd.h"
 #include "oclc/program.h"
 #include "oclc/vm.h"
 #include "sim/device_model.h"
@@ -139,6 +140,126 @@ TEST(VmBatchTest, DivergentBranchBailsOutToInterpreter) {
   EXPECT_EQ(out[26], 111);  // 27: the classic long orbit.
 }
 
+TEST(VmBatchTest, MaskedGuardAvoidsBailout) {
+  // A divergent straight-line guard (bitwise &, no short-circuit jump)
+  // must run under a partial-lane mask — zero bail-outs — and disabling
+  // masking must force the old whole-group bail-out on the same input.
+  auto module = MustCompile(R"(
+    __kernel void guard(__global const int* sel, __global int* out, int n) {
+      int i = get_global_id(0);
+      if ((sel[i] != 0) & (i < n)) {
+        out[i] = sel[i] * 3;
+      }
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = 256;
+  std::vector<std::int32_t> sel(n), out_masked(n, -1), out_bail(n, -1);
+  for (int i = 0; i < n; ++i) sel[i] = i % 3 == 0 ? 1 : 0;
+
+  LaunchOptions masked;
+  masked.num_threads = 1;
+  VmStats masked_stats;
+  ASSERT_TRUE(RunWithStats(*module, "guard",
+                           {ArgBinding::Buffer(sel.data(), n * 4),
+                            ArgBinding::Buffer(out_masked.data(), n * 4),
+                            ArgBinding::Int(n)},
+                           n, masked, &masked_stats)
+                  .ok());
+  EXPECT_EQ(masked_stats.bailouts, 0u);
+  EXPECT_GT(masked_stats.masked_steps, 0u);
+
+  LaunchOptions bail;
+  bail.num_threads = 1;
+  bail.enable_lane_masking = false;
+  VmStats bail_stats;
+  ASSERT_TRUE(RunWithStats(*module, "guard",
+                           {ArgBinding::Buffer(sel.data(), n * 4),
+                            ArgBinding::Buffer(out_bail.data(), n * 4),
+                            ArgBinding::Int(n)},
+                           n, bail, &bail_stats)
+                  .ok());
+  EXPECT_GT(bail_stats.bailouts, 0u);
+  EXPECT_EQ(bail_stats.masked_steps, 0u);
+  EXPECT_EQ(0, std::memcmp(out_masked.data(), out_bail.data(), n * 4));
+}
+
+TEST(VmBatchTest, MaskedBudgetChargesMatchInterpreterAtEveryTrapPoint) {
+  // The lockstep runaway budget must charge identically whether a
+  // divergent guard ran masked, bailed out, or went through the
+  // interpreter: sweep the budget across the feasible range and demand
+  // the same ok/trap outcome (and message) from every configuration.
+  auto module = MustCompile(R"(
+    __kernel void guarded_spin(__global const int* sel, __global int* out,
+                               int iters) {
+      int i = get_global_id(0);
+      int acc = 0;
+      for (int k = 0; k < iters; k++) {
+        if ((sel[i] & 1) == (k & 1)) { acc = acc + 13; }
+      }
+      out[i] = acc;
+    })");
+  ASSERT_NE(module, nullptr);
+  const int n = 64;
+  const int iters = 40;
+  std::vector<std::int32_t> sel(n);
+  for (int i = 0; i < n; ++i) sel[i] = i;  // Half the lanes flip each step.
+
+  for (std::uint64_t budget : {60u, 150u, 300u, 450u, 600u, 5000u}) {
+    std::string outcome[3];
+    int idx = 0;
+    for (auto [engine, masking] :
+         {std::pair{VmEngine::kBatched, true},
+          std::pair{VmEngine::kBatched, false},
+          std::pair{VmEngine::kInterpreter, true}}) {
+      std::vector<std::int32_t> out(n, 0);
+      LaunchOptions options;
+      options.num_threads = 1;
+      options.engine = engine;
+      options.enable_lane_masking = masking;
+      options.max_instructions_per_item = budget;
+      Status s = RunWithStats(*module, "guarded_spin",
+                              {ArgBinding::Buffer(sel.data(), n * 4),
+                               ArgBinding::Buffer(out.data(), n * 4),
+                               ArgBinding::Int(iters)},
+                              n, options, nullptr);
+      outcome[idx++] = s.ok() ? "ok" : s.ToString();
+    }
+    EXPECT_EQ(outcome[0], outcome[1]) << "budget " << budget;
+    EXPECT_EQ(outcome[0], outcome[2]) << "budget " << budget;
+  }
+}
+
+TEST(VmBatchTest, SimdStepsReportedOnlyWhenEnabled) {
+  auto module = MustCompile(kMacLoop);
+  ASSERT_NE(module, nullptr);
+  const int n = 32;
+  std::vector<float> a(128 * n, 0.5f), b(n, 2.0f), c(128, 0.0f);
+  auto args = [&] {
+    return std::vector<ArgBinding>{
+        ArgBinding::Buffer(a.data(), a.size() * 4),
+        ArgBinding::Buffer(b.data(), b.size() * 4),
+        ArgBinding::Buffer(c.data(), c.size() * 4), ArgBinding::Int(n)};
+  };
+  LaunchOptions vector;
+  vector.num_threads = 1;
+  VmStats vector_stats;
+  ASSERT_TRUE(
+      RunWithStats(*module, "mac", args(), 128, vector, &vector_stats).ok());
+  if (simd::kEnabled) {
+    EXPECT_GT(vector_stats.simd_steps, 0u);
+  } else {
+    EXPECT_EQ(vector_stats.simd_steps, 0u);  // Scalar-fallback build.
+  }
+
+  LaunchOptions scalar;
+  scalar.num_threads = 1;
+  scalar.enable_simd = false;
+  VmStats scalar_stats;
+  ASSERT_TRUE(
+      RunWithStats(*module, "mac", args(), 128, scalar, &scalar_stats).ok());
+  EXPECT_EQ(scalar_stats.simd_steps, 0u);
+}
+
 TEST(VmBatchTest, InterpreterEngineRunsWithoutBatchDispatch) {
   auto module = MustCompile(kMacLoop);
   ASSERT_NE(module, nullptr);
@@ -200,6 +321,19 @@ TEST(VmBatchTest, ChooseLocalSizeWidensBarrierFreeKernels) {
   odd.global[0] = 3 * 7 * 11;  // 231.
   ChooseLocalSize(odd, mac);
   EXPECT_EQ(odd.local[0], 231u);
+
+  // Vector-width alignment: 500's largest divisor <= 256 is 250, but SIMD
+  // builds prefer 100 — the largest multiple of the vector width — so no
+  // group runs a permanent scalar tail.
+  NDRange vec;
+  vec.global[0] = 500;
+  ChooseLocalSize(vec, mac);
+  if (simd::kEnabled) {
+    EXPECT_EQ(vec.local[0], 100u);
+    EXPECT_EQ(vec.local[0] % static_cast<std::uint64_t>(simd::kWidth), 0u);
+  } else {
+    EXPECT_EQ(vec.local[0], 250u);
+  }
 
   // Kernel-less (legacy callers) and barrier kernels keep the 64 cap.
   NDRange legacy;

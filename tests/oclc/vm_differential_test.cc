@@ -38,7 +38,8 @@ void ExpectEngineParity(const Module& module, const std::string& kernel,
                         const std::vector<std::size_t>& buffer_args,
                         const std::vector<ArgBinding>& scalar_tail,
                         const std::vector<std::size_t>& outputs,
-                        const NDRange& range) {
+                        const NDRange& range,
+                        VmStats* batched_stats = nullptr) {
   const CompiledFunction* fn = module.FindKernel(kernel);
   ASSERT_NE(fn, nullptr) << kernel;
 
@@ -59,6 +60,7 @@ void ExpectEngineParity(const Module& module, const std::string& kernel,
   Status sb =
       LaunchKernel(module, *fn, bind(buffers), range, batched, &stats);
   ASSERT_TRUE(sb.ok()) << kernel << ": " << sb.ToString();
+  if (batched_stats != nullptr) *batched_stats = stats;
 
   LaunchOptions oracle;
   oracle.num_threads = 1;
@@ -264,6 +266,99 @@ TEST(VmDifferentialTest, KnnBothStages) {
         {FloatBytes(real_dist), FloatBytes(cand_dist), IntBytes(cand_idx)},
         {0, 1, 2}, {ArgBinding::Int(n)}, {1, 2}, topk_range);
   }
+}
+
+// Randomized divergent-guard kernels: per-lane conditions built from
+// bitwise &/| (no short-circuit jumps) guarding short straight-line
+// bodies. These must take the partial-lane masked path — zero whole-group
+// bail-outs — and still match the interpreter byte for byte.
+TEST(VmDifferentialTest, DivergentGuardRunsMaskedNotBailedOut) {
+  auto module = Compile(R"(
+    __kernel void guard_store(__global const int* sel,
+                              __global const float* x, __global float* out,
+                              int n, float bias) {
+      int i = get_global_id(0);
+      float v = x[i] * 1.5f;
+      if ((sel[i] > 0) & (i < n)) {
+        out[i] = v + bias;
+      }
+    })");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  std::mt19937 rng(20260809);
+  std::uniform_real_distribution<float> val(-4.0f, 4.0f);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Multiple of 64 so ChooseLocalSize always yields wide (divergable)
+    // groups — a prime extent would degenerate to single-lane groups.
+    const int n = 64 * (1 + static_cast<int>(rng() % 8));
+    std::vector<std::int32_t> sel(n);
+    for (auto& s : sel) s = static_cast<std::int32_t>(rng() % 3) - 1;
+    std::vector<float> x(n), out(n, -9.0f);
+    for (float& v : x) v = val(rng);
+    NDRange range;
+    range.global[0] = static_cast<std::uint64_t>(n);
+    VmStats stats;
+    ExpectEngineParity(**module, "guard_store",
+                       {IntBytes(sel), FloatBytes(x), FloatBytes(out)},
+                       {0, 1, 2},
+                       {ArgBinding::Int(n), ArgBinding::Float(val(rng))}, {2},
+                       range, &stats);
+    EXPECT_EQ(stats.bailouts, 0u) << "guard forced a whole-group bail-out";
+    EXPECT_GT(stats.masked_steps, 0u) << "guard never took the masked path";
+  }
+}
+
+TEST(VmDifferentialTest, ChainedGuardsRunMaskedNotBailedOut) {
+  auto module = Compile(R"(
+    __kernel void guard_multi(__global const int* sel, __global int* out,
+                              int n) {
+      int i = get_global_id(0);
+      int v = out[i];
+      if ((sel[i] & 1) != 0) { v = v + 7; }
+      if (((sel[i] & 2) != 0) | (v > n)) { v = v * 3 - 1; }
+      out[i] = v;
+    })");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Multiple of 32: wide groups (see DivergentGuardRunsMaskedNotBailedOut).
+    const int n = 32 * (1 + static_cast<int>(rng() % 12));
+    std::vector<std::int32_t> sel(n), out(n);
+    for (auto& s : sel) s = static_cast<std::int32_t>(rng() % 4);
+    for (auto& v : out) v = static_cast<std::int32_t>(rng() % 64);
+    NDRange range;
+    range.global[0] = static_cast<std::uint64_t>(n);
+    VmStats stats;
+    ExpectEngineParity(**module, "guard_multi", {IntBytes(sel), IntBytes(out)},
+                       {0, 1}, {ArgBinding::Int(n / 2)}, {1}, range, &stats);
+    EXPECT_EQ(stats.bailouts, 0u) << "guard forced a whole-group bail-out";
+    EXPECT_GT(stats.masked_steps, 0u) << "guard never took the masked path";
+  }
+}
+
+// The masked path composes with sharded launches: a global offset shifts
+// every lane id, and the guard still masks instead of bailing out.
+TEST(VmDifferentialTest, DivergentGuardShardWithGlobalOffset) {
+  auto module = Compile(R"(
+    __kernel void guard_shard(__global const int* sel, __global int* out,
+                              int n) {
+      int i = get_global_id(0);
+      if ((sel[i] != 0) & (i < n)) {
+        out[i] = i * 2 + 1;
+      }
+    })");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  std::mt19937 rng(555);
+  const int n = 512;
+  std::vector<std::int32_t> sel(n), out(n, -5);
+  for (auto& s : sel) s = static_cast<std::int32_t>(rng() % 2);
+  NDRange range;  // Shard: items [96, 352) only.
+  range.global[0] = 256;
+  range.offset[0] = 96;
+  VmStats stats;
+  ExpectEngineParity(**module, "guard_shard", {IntBytes(sel), IntBytes(out)},
+                     {0, 1}, {ArgBinding::Int(n)}, {1}, range, &stats);
+  EXPECT_EQ(stats.bailouts, 0u);
+  EXPECT_GT(stats.masked_steps, 0u);
 }
 
 // NDRange offsets (sharded launches) go through get_global_id the same
